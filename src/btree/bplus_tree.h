@@ -1,0 +1,107 @@
+// An external B+-tree over a PageDevice.
+//
+// This is the paper's Section 1 baseline: optimal external dynamic
+// 1-dimensional range searching — O(log_B n + t/B) queries and O(log_B n)
+// updates — and the structure whose blocked layout the "skeletal B-tree"
+// of path caching imitates.
+//
+// Entries are (key, value) pairs ordered lexicographically, so duplicate
+// keys are supported while every stored entry remains unique, which keeps
+// deletion and rebalancing exact.  All node accesses go through the device
+// and are therefore I/O-counted.
+
+#ifndef PATHCACHE_BTREE_BPLUS_TREE_H_
+#define PATHCACHE_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "io/page_device.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+struct BTreeEntry {
+  int64_t key = 0;
+  uint64_t value = 0;
+
+  friend bool operator==(const BTreeEntry&, const BTreeEntry&) = default;
+};
+
+inline bool EntryLess(const BTreeEntry& a, const BTreeEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.value < b.value;
+}
+
+class BPlusTree {
+ public:
+  explicit BPlusTree(PageDevice* dev);
+
+  /// Creates an empty tree (a single empty root leaf).
+  Status Init();
+
+  /// Bulk-loads from entries sorted by EntryLess; tree must be empty.
+  /// Leaves are filled to `fill` fraction (default ~0.9) so that subsequent
+  /// inserts do not immediately split every leaf.
+  Status BulkLoad(std::span<const BTreeEntry> sorted, double fill = 0.9);
+
+  /// Inserts an entry.  Duplicate (key, value) pairs are rejected with
+  /// InvalidArgument (they would be undeletable as distinct entities).
+  Status Insert(const BTreeEntry& e);
+
+  /// Removes the exact entry; NotFound if absent.
+  Status Delete(const BTreeEntry& e);
+
+  /// Sets *found and, if found, *value for the first entry with this key.
+  Status Get(int64_t key, uint64_t* value, bool* found);
+
+  /// Finds the largest entry with entry.key <= key (the floor); *found is
+  /// false when every stored key exceeds `key`.  O(log_B n) I/Os.
+  Status FindFloor(int64_t key, BTreeEntry* out, bool* found);
+
+  /// Appends every entry with lo <= key <= hi to `out` in key order.
+  Status RangeScan(int64_t lo, int64_t hi, std::vector<BTreeEntry>* out);
+
+  /// Streams entries with key >= lo in order to `cb` until it returns false
+  /// or the tree is exhausted.  This is the primitive the 2-D "scan one
+  /// dimension, filter the other" baseline uses.
+  Status ScanFrom(int64_t lo, const std::function<bool(const BTreeEntry&)>& cb);
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  uint32_t leaf_capacity() const { return leaf_cap_; }
+  uint32_t internal_fanout() const { return internal_cap_; }
+
+  /// Validates every structural invariant (ordering, occupancy, fence keys,
+  /// leaf chaining).  O(n) I/Os; for tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct PathElem {
+    PageId page;
+    uint32_t child_idx;
+  };
+
+  // Node page layouts (see bplus_tree.cc for the byte format helpers).
+  Status ReadPage(PageId id, std::vector<std::byte>* buf) const;
+  Status WritePage(PageId id, const std::vector<std::byte>& buf) const;
+
+  Status DescendToLeaf(const BTreeEntry& e, std::vector<PathElem>* path,
+                       PageId* leaf) const;
+  Status InsertIntoParent(std::vector<PathElem>* path, BTreeEntry sep,
+                          PageId right_child);
+  Status RebalanceAfterDelete(std::vector<PathElem>* path, PageId node);
+
+  PageDevice* dev_;
+  PageId root_ = kInvalidPageId;
+  uint64_t size_ = 0;
+  uint32_t height_ = 1;  // number of levels (1 == root is a leaf)
+  uint32_t leaf_cap_ = 0;
+  uint32_t internal_cap_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_BTREE_BPLUS_TREE_H_

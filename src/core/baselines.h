@@ -1,0 +1,53 @@
+// The paper's Section 1 strawman for 2-D queries: a B+-tree on one
+// attribute, scanning and filtering on the other.  Optimal for 1-D ranges,
+// it degrades to O(log_B n + t_x / B) for 2-sided/3-sided queries where
+// t_x >= t is the number of points passing only the x-constraint — the
+// motivating gap path caching closes.
+//
+// Implementation: points clustered in x-order in a chained block file, with
+// a sparse B+-tree index mapping each block's first x to its page.
+
+#ifndef PATHCACHE_CORE_BASELINES_H_
+#define PATHCACHE_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "core/query_stats.h"
+#include "io/block_list.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class XSortedBaseline {
+ public:
+  explicit XSortedBaseline(PageDevice* dev) : dev_(dev), index_(dev) {}
+
+  Status Build(std::vector<Point> points);
+
+  /// Scans x >= q.x_min filtering y; I/O grows with the x-selectivity.
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats = nullptr) const;
+
+  /// Scans x in [q.x_min, q.x_max] filtering y.
+  Status QueryThreeSided(const ThreeSidedQuery& q, std::vector<Point>* out,
+                         QueryStats* stats = nullptr) const;
+
+  uint64_t size() const { return n_; }
+  uint64_t data_pages() const { return pages_.size(); }
+
+ private:
+  Status Scan(int64_t x_lo, int64_t x_hi, int64_t y_min,
+              std::vector<Point>* out, QueryStats* stats) const;
+
+  PageDevice* dev_;
+  BPlusTree index_;
+  std::vector<PageId> pages_;
+  BlockListRef data_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_BASELINES_H_

@@ -1,0 +1,429 @@
+#include "core/ext_interval_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+namespace {
+
+struct MemNode {
+  int64_t center = 0;
+  int32_t left = -1;
+  int32_t right = -1;
+  int32_t parent = -1;
+  bool is_leaf = false;
+  std::vector<Interval> ivs;  // crossing set (internal) or pool (leaf)
+};
+
+Status ReadSrcIvBlock(PageDevice* dev, PageId page,
+                      std::vector<SrcInterval>* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  size_t old = out->size();
+  out->resize(old + hdr.count);
+  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+              hdr.count * sizeof(SrcInterval));
+  return Status::OK();
+}
+
+void Bump(QueryStats* stats, uint64_t QueryStats::* role, uint64_t n = 1) {
+  if (stats != nullptr) stats->*role += n;
+}
+
+void Classify(QueryStats* stats, uint64_t qualifying, uint64_t capacity) {
+  if (stats == nullptr) return;
+  if (qualifying >= capacity) {
+    ++stats->useful;
+  } else {
+    ++stats->wasteful;
+  }
+}
+
+}  // namespace
+
+ExtIntervalTree::ExtIntervalTree(PageDevice* dev, ExtIntervalTreeOptions opts)
+    : dev_(dev), opts_(opts) {}
+
+Status ExtIntervalTree::Build(std::vector<Interval> intervals) {
+  if (root_.valid()) {
+    return Status::FailedPrecondition("Build on a non-empty structure");
+  }
+  n_ = intervals.size();
+  const uint32_t B = RecordsPerPage<Interval>(dev_->page_size());
+  if (B == 0) return Status::InvalidArgument("page too small");
+  if (n_ == 0) return Status::OK();
+
+  std::vector<int64_t> values;
+  values.reserve(n_ * 2);
+  for (const auto& iv : intervals) {
+    values.push_back(iv.lo);
+    values.push_back(iv.hi);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  // Fat-leaf threshold: ~B endpoint values per leaf.
+  const size_t fat_cap = std::max<uint32_t>(2, B);
+
+  std::vector<MemNode> nodes;
+  struct BuildFrame {
+    size_t lo, hi;  // value index range [lo, hi)
+    int32_t parent;
+    bool right_child;
+  };
+  std::vector<BuildFrame> stack{{0, values.size(), -1, false}};
+  int32_t root_idx = -1;
+  while (!stack.empty()) {
+    BuildFrame f = stack.back();
+    stack.pop_back();
+    int32_t idx = static_cast<int32_t>(nodes.size());
+    nodes.push_back(MemNode{});
+    nodes[idx].parent = f.parent;
+    if (f.parent >= 0) {
+      (f.right_child ? nodes[f.parent].right : nodes[f.parent].left) = idx;
+    } else {
+      root_idx = idx;
+    }
+    if (f.hi - f.lo <= fat_cap) {
+      nodes[idx].is_leaf = true;
+      nodes[idx].center = values[(f.lo + f.hi) / 2];
+      continue;
+    }
+    size_t mid = (f.lo + f.hi) / 2;
+    nodes[idx].center = values[mid];
+    stack.push_back({mid + 1, f.hi, idx, true});
+    stack.push_back({f.lo, mid, idx, false});
+  }
+
+  // Allocate each interval to the first node whose center it contains, or
+  // to the fat leaf it falls inside.
+  for (const auto& iv : intervals) {
+    int32_t cur = root_idx;
+    for (;;) {
+      MemNode& nd = nodes[cur];
+      if (nd.is_leaf || iv.Contains(nd.center)) {
+        nd.ivs.push_back(iv);
+        break;
+      }
+      cur = (iv.hi < nd.center) ? nd.left : nd.right;
+    }
+  }
+
+  // Lists / pools to disk.
+  std::vector<IntNodeRec> recs(nodes.size());
+  std::vector<int32_t> lefts(nodes.size()), rights(nodes.size());
+  // Keep L-page directories for the cache continuations.
+  std::vector<std::vector<PageId>> l_pages(nodes.size()), r_pages(nodes.size());
+  std::vector<std::vector<Interval>> l_sorted(nodes.size()),
+      r_sorted(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    IntNodeRec& r = recs[i];
+    r.center = nodes[i].center;
+    r.count = static_cast<uint32_t>(nodes[i].ivs.size());
+    r.is_leaf = nodes[i].is_leaf ? 1 : 0;
+    lefts[i] = nodes[i].left;
+    rights[i] = nodes[i].right;
+    if (nodes[i].is_leaf) {
+      auto pl = BuildBlockList<Interval>(
+          dev_, std::span<const Interval>(nodes[i].ivs));
+      if (!pl.ok()) return pl.status();
+      for (PageId p : pl.value().pages) owned_pages_.push_back(p);
+      storage_.points += pl.value().pages.size();
+      r.pool_page = pl.value().ref.head;
+      continue;
+    }
+    l_sorted[i] = nodes[i].ivs;
+    std::sort(l_sorted[i].begin(), l_sorted[i].end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.lo != b.lo) return a.lo < b.lo;
+                return a.id < b.id;
+              });
+    r_sorted[i] = nodes[i].ivs;
+    std::sort(r_sorted[i].begin(), r_sorted[i].end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.hi != b.hi) return a.hi > b.hi;
+                return a.id < b.id;
+              });
+    auto li =
+        BuildBlockList<Interval>(dev_, std::span<const Interval>(l_sorted[i]));
+    if (!li.ok()) return li.status();
+    auto ri =
+        BuildBlockList<Interval>(dev_, std::span<const Interval>(r_sorted[i]));
+    if (!ri.ok()) return ri.status();
+    for (PageId p : li.value().pages) owned_pages_.push_back(p);
+    for (PageId p : ri.value().pages) owned_pages_.push_back(p);
+    storage_.points += li.value().pages.size() + ri.value().pages.size();
+    r.l_head = li.value().ref.head;
+    r.r_head = ri.value().ref.head;
+    l_pages[i] = li.value().pages;
+    r_pages[i] = ri.value().pages;
+  }
+
+  auto tree =
+      WriteSkeletalTree<IntNodeRec>(dev_, recs, lefts, rights, root_idx);
+  if (!tree.ok()) return tree.status();
+  const SkeletalTreeInfo& info = tree.value();
+  root_ = info.root;
+  storage_.skeletal = info.pages;
+  for (PageId p : info.page_ids) owned_pages_.push_back(p);
+  if (!opts_.enable_path_caching) return Status::OK();
+
+  // Direction-split caches at page roots and fat leaves.
+  auto is_page_root = [&](int32_t idx) { return info.refs[idx].slot == 0; };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const bool boundary = is_page_root(static_cast<int32_t>(i)) ||
+                          nodes[i].is_leaf;
+    if (!boundary) continue;
+
+    NodeCache cache;
+    std::vector<SrcInterval> cl, cr;
+    int32_t child = static_cast<int32_t>(i);
+    for (int32_t u = nodes[i].parent; u >= 0 && !is_page_root(u);
+         u = nodes[u].parent) {
+      const bool went_left = (nodes[u].left == child);
+      child = u;
+      const auto& lst = went_left ? l_sorted[u] : r_sorted[u];
+      const auto& pages = went_left ? l_pages[u] : r_pages[u];
+      const uint32_t contributed =
+          std::min<uint32_t>(B, static_cast<uint32_t>(lst.size()));
+      if (went_left) {
+        const uint32_t ord = static_cast<uint32_t>(cache.ancs.size());
+        for (uint32_t k = 0; k < contributed; ++k) {
+          cl.push_back(SrcInterval::From(lst[k], ord));
+        }
+        cache.ancs.push_back(
+            AncInfo{pages.size() > 1 ? pages[1] : kInvalidPageId, contributed,
+                    static_cast<uint32_t>(lst.size())});
+      } else {
+        const uint32_t ord = static_cast<uint32_t>(cache.sibs.size());
+        for (uint32_t k = 0; k < contributed; ++k) {
+          cr.push_back(SrcInterval::From(lst[k], ord));
+        }
+        cache.sibs.push_back(
+            SibInfo{kNullNodeRef, kNullNodeRef,
+                    pages.size() > 1 ? pages[1] : kInvalidPageId, contributed,
+                    static_cast<uint32_t>(lst.size())});
+      }
+    }
+    if (cache.ancs.empty() && cache.sibs.empty()) continue;
+    std::sort(cl.begin(), cl.end(), [](const SrcInterval& a,
+                                       const SrcInterval& b) {
+      if (a.lo != b.lo) return a.lo < b.lo;
+      return a.id < b.id;
+    });
+    std::sort(cr.begin(), cr.end(), [](const SrcInterval& a,
+                                       const SrcInterval& b) {
+      if (a.hi != b.hi) return a.hi > b.hi;
+      return a.id < b.id;
+    });
+    auto cli = BuildBlockList<SrcInterval>(dev_,
+                                           std::span<const SrcInterval>(cl));
+    if (!cli.ok()) return cli.status();
+    auto cri = BuildBlockList<SrcInterval>(dev_,
+                                           std::span<const SrcInterval>(cr));
+    if (!cri.ok()) return cri.status();
+    cache.a_pages = cli.value().pages;
+    cache.s_pages = cri.value().pages;
+    cache.a_count = cl.size();
+    cache.s_count = cr.size();
+    for (PageId p : cache.a_pages) owned_pages_.push_back(p);
+    for (PageId p : cache.s_pages) owned_pages_.push_back(p);
+    auto hp = dev_->Allocate();
+    if (!hp.ok()) return hp.status();
+    owned_pages_.push_back(hp.value());
+    PC_RETURN_IF_ERROR(WriteCacheHeader(dev_, hp.value(), cache));
+    storage_.cache_headers += 1;
+    storage_.cache_blocks += cache.a_pages.size() + cache.s_pages.size();
+    recs[i].cache_page = hp.value();
+  }
+  return RewriteSkeletalPages(dev_, info, recs, lefts, rights);
+}
+
+Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
+                                 uint64_t QueryStats::* role,
+                                 std::vector<Interval>* out,
+                                 QueryStats* stats,
+                                 uint64_t* consumed) const {
+  const uint32_t cap = RecordsPerPage<Interval>(dev_->page_size());
+  if (consumed != nullptr) *consumed = 0;
+  PageId cur = page;
+  std::vector<std::byte> buf(dev_->page_size());
+  while (cur != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev_->Read(cur, buf.data()));
+    Bump(stats, role);
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    std::vector<Interval> ivs(hdr.count);
+    std::memcpy(ivs.data(), buf.data() + sizeof(hdr),
+                hdr.count * sizeof(Interval));
+    uint64_t qual = 0;
+    for (const auto& iv : ivs) {
+      if (is_l_list ? (iv.lo > q) : (iv.hi < q)) {
+        Classify(stats, qual, cap);
+        return Status::OK();
+      }
+      if (consumed != nullptr) ++*consumed;
+      if (iv.Contains(q)) {
+        out->push_back(iv);
+        ++qual;
+      }
+    }
+    Classify(stats, qual, cap);
+    cur = hdr.next;
+  }
+  return Status::OK();
+}
+
+Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
+                                     std::vector<Interval>* out,
+                                     QueryStats* stats) const {
+  if (cache_page == kInvalidPageId) return Status::OK();
+  const uint32_t src_cap = RecordsPerPage<SrcInterval>(dev_->page_size());
+  NodeCache cache;
+  PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, cache_page, &cache));
+  Bump(stats, &QueryStats::cache);
+  Bump(stats, &QueryStats::wasteful);
+
+  // CL: left-direction ancestors, ascending lo, scan while lo <= q.
+  std::vector<uint32_t> cl_consumed(cache.ancs.size(), 0);
+  bool stop = false;
+  for (PageId p : cache.a_pages) {
+    if (stop) break;
+    std::vector<SrcInterval> recs;
+    PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+    Bump(stats, &QueryStats::cache);
+    uint64_t qual = 0;
+    for (const SrcInterval& si : recs) {
+      if (si.lo > q) {
+        stop = true;
+        break;
+      }
+      ++cl_consumed[si.src];
+      if (si.ToInterval().Contains(q)) {
+        out->push_back(si.ToInterval());
+        ++qual;
+      }
+    }
+    Classify(stats, qual, src_cap);
+  }
+  for (size_t k = 0; k < cache.ancs.size(); ++k) {
+    const AncInfo& a = cache.ancs[k];
+    if (cl_consumed[k] == a.contributed && a.contributed < a.total &&
+        a.x_next != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(ScanList(q, a.x_next, /*is_l_list=*/true,
+                                  &QueryStats::ancestor, out, stats,
+                                  nullptr));
+    }
+  }
+
+  // CR: right-direction ancestors, descending hi, scan while hi >= q.
+  std::vector<uint32_t> cr_consumed(cache.sibs.size(), 0);
+  stop = false;
+  for (PageId p : cache.s_pages) {
+    if (stop) break;
+    std::vector<SrcInterval> recs;
+    PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+    Bump(stats, &QueryStats::cache);
+    uint64_t qual = 0;
+    for (const SrcInterval& si : recs) {
+      if (si.hi < q) {
+        stop = true;
+        break;
+      }
+      ++cr_consumed[si.src];
+      if (si.ToInterval().Contains(q)) {
+        out->push_back(si.ToInterval());
+        ++qual;
+      }
+    }
+    Classify(stats, qual, src_cap);
+  }
+  for (size_t k = 0; k < cache.sibs.size(); ++k) {
+    const SibInfo& s = cache.sibs[k];
+    if (cr_consumed[k] == s.contributed && s.contributed < s.total &&
+        s.y_next != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(ScanList(q, s.y_next, /*is_l_list=*/false,
+                                  &QueryStats::ancestor, out, stats,
+                                  nullptr));
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtIntervalTree::Stab(int64_t q, std::vector<Interval>* out,
+                             QueryStats* stats) const {
+  if (!root_.valid()) return Status::OK();
+  SkeletalTreeReader<IntNodeRec> reader(dev_);
+  NodeRef cur = root_;
+  uint64_t nav_before = reader.pages_read();
+  for (;;) {
+    IntNodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(cur, &rec));
+    if (rec.is_leaf != 0) {
+      if (stats != nullptr) {
+        stats->navigation += reader.pages_read() - nav_before;
+        stats->wasteful += reader.pages_read() - nav_before;
+      }
+      if (opts_.enable_path_caching) {
+        PC_RETURN_IF_ERROR(ProcessCache(q, rec.cache_page, out, stats));
+      }
+      if (rec.pool_page != kInvalidPageId) {
+        // Pool: O(1) blocks, filtered in memory.
+        PageId page = rec.pool_page;
+        std::vector<std::byte> buf(dev_->page_size());
+        const uint32_t cap = RecordsPerPage<Interval>(dev_->page_size());
+        while (page != kInvalidPageId) {
+          PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
+          Bump(stats, &QueryStats::descendant);
+          BlockPageHeader hdr;
+          std::memcpy(&hdr, buf.data(), sizeof(hdr));
+          std::vector<Interval> ivs(hdr.count);
+          std::memcpy(ivs.data(), buf.data() + sizeof(hdr),
+                      hdr.count * sizeof(Interval));
+          uint64_t qual = 0;
+          for (const auto& iv : ivs) {
+            if (iv.Contains(q)) {
+              out->push_back(iv);
+              ++qual;
+            }
+          }
+          Classify(stats, qual, cap);
+          page = hdr.next;
+        }
+      }
+      break;
+    }
+
+    const bool boundary = (cur.slot == 0);
+    if (boundary && opts_.enable_path_caching) {
+      PC_RETURN_IF_ERROR(ProcessCache(q, rec.cache_page, out, stats));
+    }
+    if ((boundary || !opts_.enable_path_caching) && rec.count > 0) {
+      // Own list read directly: L when the stab is left of the center.
+      const bool left_dir = q < rec.center;
+      PC_RETURN_IF_ERROR(ScanList(q, left_dir ? rec.l_head : rec.r_head,
+                                  left_dir, &QueryStats::ancestor, out, stats,
+                                  nullptr));
+    }
+    cur = (q < rec.center) ? rec.left : rec.right;
+    if (!cur.valid()) break;  // defensive; internals always have children
+  }
+  if (stats != nullptr) stats->records_reported = out->size();
+  return Status::OK();
+}
+
+Status ExtIntervalTree::Destroy() {
+  for (PageId p : owned_pages_) PC_RETURN_IF_ERROR(dev_->Free(p));
+  owned_pages_.clear();
+  root_ = kNullNodeRef;
+  n_ = 0;
+  storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+}  // namespace pathcache

@@ -1,0 +1,112 @@
+// External interval tree with path caching — Theorem 3.5 of the paper:
+// stabbing queries in O(log_B n + t/B) I/Os using O((n/B) log B) blocks.
+//
+// The paper only states the bounds ("a restricted version of interval trees
+// in secondary memory"); the concrete design here, documented in DESIGN.md:
+//
+//  * A binary interval tree over the distinct endpoint values with FAT
+//    LEAVES of ~B endpoints.  Intervals containing an internal node's
+//    center live in that node's L-list (ascending lo) and R-list
+//    (descending hi); intervals falling entirely inside a fat leaf's span
+//    go to the leaf's pool — at most ~B/2 distinct intervals when
+//    endpoints are distinct, i.e. O(1) blocks, filtered in memory.
+//  * The tree is blocked into skeletal pages.  A query's branch direction
+//    at every interior node is already determined by which page-root /
+//    fat-leaf it later reaches, so each page root and each fat leaf v
+//    carries a direction-split cache over its strictly-in-page ancestors:
+//    CL(v) merges the first L-blocks of ancestors the path leaves to the
+//    LEFT (scan while lo <= q; hi >= center > q holds automatically), and
+//    CR(v) merges the first R-blocks of right-direction ancestors (scan
+//    while hi >= q).  Continuation pointers resume into an ancestor's full
+//    list when its cached block is consumed — a paid read.
+//  * Page roots read their own (single) relevant list directly: at most
+//    one wasteful I/O per page boundary, i.e. O(log_B n) total.
+//  * A stab at q == center needs no special case: the descent continues to
+//    a fat leaf and the node's whole list drains through the cache +
+//    continuation path, since every record satisfies lo <= q <= hi.
+//
+// `enable_path_caching = false` reads every path node's list directly —
+// O(log_2 n + t/B) I/Os at optimal O(n/B) space.
+
+#ifndef PATHCACHE_CORE_EXT_INTERVAL_TREE_H_
+#define PATHCACHE_CORE_EXT_INTERVAL_TREE_H_
+
+#include <vector>
+
+#include "core/pst_common.h"
+#include "core/query_stats.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+struct ExtIntervalTreeOptions {
+  bool enable_path_caching = true;
+};
+
+/// A cached interval tagged with its source-node ordinal within the cache.
+struct SrcInterval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  uint64_t id = 0;
+  uint32_t src = 0;
+  uint32_t pad = 0;
+
+  Interval ToInterval() const { return Interval{lo, hi, id}; }
+  static SrcInterval From(const Interval& iv, uint32_t src_ordinal) {
+    return SrcInterval{iv.lo, iv.hi, iv.id, src_ordinal, 0};
+  }
+};
+static_assert(sizeof(SrcInterval) == 32);
+
+/// Skeletal node record of the external interval tree.
+struct IntNodeRec {
+  int64_t center = 0;
+  NodeRef left;
+  NodeRef right;
+  PageId l_head = kInvalidPageId;     // internal: L-list (ascending lo)
+  PageId r_head = kInvalidPageId;     // internal: R-list (descending hi)
+  PageId pool_page = kInvalidPageId;  // fat leaf: contained intervals
+  PageId cache_page = kInvalidPageId; // page roots and fat leaves
+  uint32_t count = 0;                 // intervals at this node / in pool
+  uint32_t is_leaf = 0;
+};
+static_assert(sizeof(IntNodeRec) == 80);
+
+class ExtIntervalTree {
+ public:
+  explicit ExtIntervalTree(PageDevice* dev, ExtIntervalTreeOptions opts = {});
+
+  Status Build(std::vector<Interval> intervals);
+
+  /// Reports every interval containing q.
+  Status Stab(int64_t q, std::vector<Interval>* out,
+              QueryStats* stats = nullptr) const;
+
+  Status Destroy();
+
+  uint64_t size() const { return n_; }
+  StorageBreakdown storage() const { return storage_; }
+  bool caching_enabled() const { return opts_.enable_path_caching; }
+
+ private:
+  /// Scans a blocked L- or R-list from `page`: records are reported while
+  /// the sort key is on the query side (lo <= q ascending / hi >= q
+  /// descending); *consumed counts records passing the key test.
+  Status ScanList(int64_t q, PageId page, bool is_l_list,
+                  uint64_t QueryStats::* role, std::vector<Interval>* out,
+                  QueryStats* stats, uint64_t* consumed) const;
+  Status ProcessCache(int64_t q, PageId cache_page, std::vector<Interval>* out,
+                      QueryStats* stats) const;
+
+  PageDevice* dev_;
+  ExtIntervalTreeOptions opts_;
+  NodeRef root_;
+  uint64_t n_ = 0;
+  StorageBreakdown storage_;
+  std::vector<PageId> owned_pages_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_EXT_INTERVAL_TREE_H_

@@ -1,0 +1,273 @@
+#include "core/ext_segment_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+namespace {
+
+// Closed input intervals are handled over half-open slabs by treating hi as
+// the exclusive bound hi + 1.
+int64_t ExclusiveHi(const Interval& iv) { return iv.hi + 1; }
+
+struct MemNode {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t split = 0;
+  int32_t left = -1;
+  int32_t right = -1;
+  int32_t parent = -1;
+  bool is_leaf = false;
+  std::vector<Interval> cover;
+  std::vector<Interval> ends;  // fat leaves: partially-overlapping intervals
+};
+
+}  // namespace
+
+ExtSegmentTree::ExtSegmentTree(PageDevice* dev, ExtSegmentTreeOptions opts)
+    : dev_(dev), opts_(opts) {}
+
+Status ExtSegmentTree::Build(std::vector<Interval> intervals) {
+  if (root_.valid()) {
+    return Status::FailedPrecondition("Build on a non-empty structure");
+  }
+  n_ = intervals.size();
+  const uint32_t B = RecordsPerPage<Interval>(dev_->page_size());
+  if (B == 0) return Status::InvalidArgument("page too small");
+  if (n_ == 0) return Status::OK();
+
+  // Slab boundaries: the sorted distinct endpoints.
+  std::vector<int64_t> endpoints;
+  endpoints.reserve(n_ * 2 + 1);
+  for (const auto& iv : intervals) {
+    endpoints.push_back(iv.lo);
+    endpoints.push_back(ExclusiveHi(iv));
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  if (endpoints.size() == 1) endpoints.push_back(endpoints[0] + 1);
+
+  // Fat-slab tree: leaves span ~B consecutive elementary slabs.
+  const size_t fat_cap = std::max<uint32_t>(2, B);
+  std::vector<MemNode> nodes;
+  struct BuildFrame {
+    size_t lo, hi;  // endpoint index range; node spans [e_lo, e_hi)
+    int32_t parent;
+    bool right_child;
+  };
+  std::vector<BuildFrame> stack{{0, endpoints.size() - 1, -1, false}};
+  int32_t root_idx = -1;
+  while (!stack.empty()) {
+    BuildFrame f = stack.back();
+    stack.pop_back();
+    int32_t idx = static_cast<int32_t>(nodes.size());
+    nodes.push_back(MemNode{});
+    nodes[idx].lo = endpoints[f.lo];
+    nodes[idx].hi = endpoints[f.hi];
+    nodes[idx].parent = f.parent;
+    if (f.parent >= 0) {
+      (f.right_child ? nodes[f.parent].right : nodes[f.parent].left) = idx;
+    } else {
+      root_idx = idx;
+    }
+    if (f.hi - f.lo <= fat_cap) {
+      nodes[idx].is_leaf = true;
+      nodes[idx].split = endpoints[f.lo];
+      continue;
+    }
+    size_t mid = (f.lo + f.hi) / 2;
+    nodes[idx].split = endpoints[mid];
+    stack.push_back({mid, f.hi, idx, true});
+    stack.push_back({f.lo, mid, idx, false});
+  }
+
+  // Allocate intervals: cover-lists at allocation nodes, end-lists at fat
+  // leaves the interval only partially overlaps.
+  stored_copies_ = 0;
+  for (const auto& iv : intervals) {
+    const int64_t ivhi = ExclusiveHi(iv);
+    std::vector<int32_t> todo{root_idx};
+    while (!todo.empty()) {
+      int32_t x = todo.back();
+      todo.pop_back();
+      MemNode& nd = nodes[x];
+      if (iv.lo <= nd.lo && nd.hi <= ivhi) {
+        nd.cover.push_back(iv);
+        ++stored_copies_;
+        continue;
+      }
+      if (nd.is_leaf) {
+        nd.ends.push_back(iv);  // partial overlap: an endpoint lies inside
+        continue;
+      }
+      if (iv.lo < nd.split) todo.push_back(nd.left);
+      if (ivhi > nd.split) todo.push_back(nd.right);
+    }
+  }
+
+  // Cover/end lists to disk.
+  std::vector<SegNodeRec> recs(nodes.size());
+  std::vector<int32_t> lefts(nodes.size()), rights(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SegNodeRec& r = recs[i];
+    r.lo = nodes[i].lo;
+    r.hi = nodes[i].hi;
+    r.split = nodes[i].split;
+    r.cover_count = static_cast<uint32_t>(nodes[i].cover.size());
+    r.is_leaf = nodes[i].is_leaf ? 1 : 0;
+    lefts[i] = nodes[i].left;
+    rights[i] = nodes[i].right;
+    if (!nodes[i].cover.empty()) {
+      auto info = BuildBlockList<Interval>(
+          dev_, std::span<const Interval>(nodes[i].cover));
+      if (!info.ok()) return info.status();
+      for (PageId p : info.value().pages) owned_pages_.push_back(p);
+      storage_.points += info.value().pages.size();
+      r.cover_head = info.value().ref.head;
+    }
+    if (!nodes[i].ends.empty()) {
+      auto info = BuildBlockList<Interval>(
+          dev_, std::span<const Interval>(nodes[i].ends));
+      if (!info.ok()) return info.status();
+      for (PageId p : info.value().pages) owned_pages_.push_back(p);
+      storage_.points += info.value().pages.size();
+      r.end_page = info.value().ref.head;
+    }
+  }
+
+  auto tree =
+      WriteSkeletalTree<SegNodeRec>(dev_, recs, lefts, rights, root_idx);
+  if (!tree.ok()) return tree.status();
+  const SkeletalTreeInfo& info = tree.value();
+  root_ = info.root;
+  storage_.skeletal = info.pages;
+  for (PageId p : info.page_ids) owned_pages_.push_back(p);
+  if (!opts_.enable_path_caching) return Status::OK();
+
+  // C(v) for page roots and fat leaves: coalesced underfull cover-lists of
+  // v and of v's ancestors strictly inside v's (parent) page.
+  auto is_page_root = [&](int32_t idx) { return info.refs[idx].slot == 0; };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const bool boundary = is_page_root(static_cast<int32_t>(i)) ||
+                          nodes[i].is_leaf;
+    if (!boundary) continue;
+    std::vector<Interval> cache_ivs;
+    if (nodes[i].cover.size() < B) {
+      cache_ivs.insert(cache_ivs.end(), nodes[i].cover.begin(),
+                       nodes[i].cover.end());
+    }
+    for (int32_t u = nodes[i].parent; u >= 0 && !is_page_root(u);
+         u = nodes[u].parent) {
+      if (nodes[u].cover.size() < B) {
+        cache_ivs.insert(cache_ivs.end(), nodes[u].cover.begin(),
+                         nodes[u].cover.end());
+      }
+    }
+    if (cache_ivs.empty()) continue;
+    auto ci =
+        BuildBlockList<Interval>(dev_, std::span<const Interval>(cache_ivs));
+    if (!ci.ok()) return ci.status();
+    for (PageId p : ci.value().pages) owned_pages_.push_back(p);
+    storage_.cache_blocks += ci.value().pages.size();
+    recs[i].cache_page = ci.value().ref.head;
+  }
+  return RewriteSkeletalPages(dev_, info, recs, lefts, rights);
+}
+
+Status ExtSegmentTree::ReadIntervalList(PageId head,
+                                        uint64_t QueryStats::* role,
+                                        int64_t q, std::vector<Interval>* out,
+                                        QueryStats* stats) const {
+  const uint32_t cap = RecordsPerPage<Interval>(dev_->page_size());
+  PageId page = head;
+  std::vector<std::byte> buf(dev_->page_size());
+  while (page != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
+    if (stats != nullptr) stats->*role += 1;
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    std::vector<Interval> ivs(hdr.count);
+    std::memcpy(ivs.data(), buf.data() + sizeof(hdr),
+                hdr.count * sizeof(Interval));
+    uint64_t qual = 0;
+    for (const auto& iv : ivs) {
+      if (iv.Contains(q)) {
+        out->push_back(iv);
+        ++qual;
+      }
+    }
+    if (stats != nullptr) {
+      if (qual >= cap) {
+        ++stats->useful;
+      } else {
+        ++stats->wasteful;
+      }
+    }
+    page = hdr.next;
+  }
+  return Status::OK();
+}
+
+Status ExtSegmentTree::Stab(int64_t q, std::vector<Interval>* out,
+                            QueryStats* stats) const {
+  if (!root_.valid()) return Status::OK();
+  const uint32_t B = RecordsPerPage<Interval>(dev_->page_size());
+  SkeletalTreeReader<SegNodeRec> reader(dev_);
+
+  NodeRef cur = root_;
+  uint64_t nav_before = reader.pages_read();
+  for (;;) {
+    SegNodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(cur, &rec));
+    if (q < rec.lo || q >= rec.hi) break;  // outside the indexed domain
+
+    const bool boundary = (cur.slot == 0) || rec.is_leaf != 0;
+    if (boundary && opts_.enable_path_caching &&
+        rec.cache_page != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(
+          ReadIntervalList(rec.cache_page, &QueryStats::cache, q, out,
+                           stats));
+    }
+    // Underfull lists come from the caches; full lists pay for themselves.
+    const bool read_direct =
+        !opts_.enable_path_caching || rec.cover_count >= B;
+    if (read_direct && rec.cover_count > 0 &&
+        rec.cover_head != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(ReadIntervalList(rec.cover_head,
+                                          &QueryStats::ancestor, q, out,
+                                          stats));
+    }
+    if (rec.is_leaf != 0) {
+      if (rec.end_page != kInvalidPageId) {
+        PC_RETURN_IF_ERROR(ReadIntervalList(rec.end_page,
+                                            &QueryStats::descendant, q, out,
+                                            stats));
+      }
+      break;
+    }
+    NodeRef next = (q < rec.split) ? rec.left : rec.right;
+    if (!next.valid()) break;
+    cur = next;
+  }
+  if (stats != nullptr) {
+    stats->navigation += reader.pages_read() - nav_before;
+    stats->wasteful += reader.pages_read() - nav_before;
+    stats->records_reported = out->size();
+  }
+  return Status::OK();
+}
+
+Status ExtSegmentTree::Destroy() {
+  for (PageId p : owned_pages_) PC_RETURN_IF_ERROR(dev_->Free(p));
+  owned_pages_.clear();
+  root_ = kNullNodeRef;
+  n_ = 0;
+  storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+}  // namespace pathcache

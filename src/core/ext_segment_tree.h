@@ -1,0 +1,94 @@
+// External segment tree with path caching — Section 2 of the paper
+// (Theorem 3.4): stabbing queries in O(log_B n + t/B) I/Os using
+// O((n/B) log n) blocks of storage.
+//
+// The tree is built over FAT SLABS of ~B endpoints (the paper's first
+// optimization: O(n/B) leaves, so per-leaf caches are affordable), blocked
+// into a skeletal B-tree (Figure 2).  An interval that covers a node's slab
+// but not its parent's goes to that node's blocked cover-list; an interval
+// that only partially overlaps a fat leaf has an endpoint strictly inside
+// it and goes to the leaf's END-LIST — at most ~B distinct intervals under
+// the paper's distinct-endpoint assumption, i.e. O(1) blocks filtered in
+// memory.  Because allocation nodes are pairwise incomparable, at most one
+// allocation node of an interval lies on any root-to-leaf path, so nothing
+// is ever reported twice.
+//
+// Underfull cover-lists on a path would each cost a wasteful I/O
+// (Figure 3).  Path caching coalesces them: every page root w (and every
+// fat leaf) carries a cache C(w) with copies of the underfull cover-lists
+// of w and of w's ancestors strictly inside the parent page; every interval
+// in C(w) covers w's slab, so the whole cache is output for any query
+// descending through w.  Cover-lists of >= B intervals are read directly —
+// all but the last block return B results.
+//
+// `enable_path_caching = false` reproduces the naive blocked segment tree
+// ([BlGb]-style): every nonempty cover-list on the path is read directly,
+// costing O(log_2 n + t/B) I/Os.
+
+#ifndef PATHCACHE_CORE_EXT_SEGMENT_TREE_H_
+#define PATHCACHE_CORE_EXT_SEGMENT_TREE_H_
+
+#include <vector>
+
+#include "core/pst_common.h"
+#include "core/query_stats.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+struct ExtSegmentTreeOptions {
+  bool enable_path_caching = true;
+};
+
+/// Skeletal node record of the external segment tree.
+struct SegNodeRec {
+  int64_t lo = 0;  // slab [lo, hi)
+  int64_t hi = 0;
+  int64_t split = 0;  // left child covers [lo, split), right [split, hi)
+  NodeRef left;
+  NodeRef right;
+  PageId cover_head = kInvalidPageId;  // blocked cover-list
+  PageId cache_page = kInvalidPageId;  // C(w); page roots and fat leaves
+  PageId end_page = kInvalidPageId;    // fat-leaf end-list
+  uint32_t cover_count = 0;
+  uint32_t is_leaf = 0;
+};
+static_assert(sizeof(SegNodeRec) == 88);
+
+class ExtSegmentTree {
+ public:
+  explicit ExtSegmentTree(PageDevice* dev, ExtSegmentTreeOptions opts = {});
+
+  Status Build(std::vector<Interval> intervals);
+
+  /// Reports every interval containing q.
+  Status Stab(int64_t q, std::vector<Interval>* out,
+              QueryStats* stats = nullptr) const;
+
+  Status Destroy();
+
+  uint64_t size() const { return n_; }
+  StorageBreakdown storage() const { return storage_; }
+  bool caching_enabled() const { return opts_.enable_path_caching; }
+
+  /// Total interval copies across all cover-lists (the n log n term).
+  uint64_t stored_copies() const { return stored_copies_; }
+
+ private:
+  Status ReadIntervalList(PageId head, uint64_t QueryStats::* role,
+                          int64_t q, std::vector<Interval>* out,
+                          QueryStats* stats) const;
+
+  PageDevice* dev_;
+  ExtSegmentTreeOptions opts_;
+  NodeRef root_;
+  uint64_t n_ = 0;
+  uint64_t stored_copies_ = 0;
+  StorageBreakdown storage_;
+  std::vector<PageId> owned_pages_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_EXT_SEGMENT_TREE_H_

@@ -1,0 +1,177 @@
+#include "core/grid_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+namespace {
+
+// Directory entries as stored on the directory pages.
+struct DirEntry {
+  PageId head = kInvalidPageId;
+  uint64_t count = 0;
+};
+static_assert(sizeof(DirEntry) == 16);
+
+}  // namespace
+
+Status GridBaseline::Build(std::vector<Point> points) {
+  if (n_ != 0 || !cells_.empty()) {
+    return Status::FailedPrecondition("Build on a non-empty structure");
+  }
+  n_ = points.size();
+  if (n_ == 0) return Status::OK();
+  const uint32_t B = RecordsPerPage<Point>(dev_->page_size());
+
+  min_x_ = max_x_ = points[0].x;
+  min_y_ = max_y_ = points[0].y;
+  for (const auto& p : points) {
+    min_x_ = std::min(min_x_, p.x);
+    max_x_ = std::max(max_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_y_ = std::max(max_y_, p.y);
+  }
+  // ~B points per cell on average.
+  k_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::sqrt(
+             static_cast<double>(n_) / static_cast<double>(B))));
+
+  auto cell_of = [&](const Point& p) -> size_t {
+    const double wx = static_cast<double>(max_x_ - min_x_) + 1.0;
+    const double wy = static_cast<double>(max_y_ - min_y_) + 1.0;
+    uint32_t cx = static_cast<uint32_t>(
+        static_cast<double>(p.x - min_x_) / wx * k_);
+    uint32_t cy = static_cast<uint32_t>(
+        static_cast<double>(p.y - min_y_) / wy * k_);
+    cx = std::min(cx, k_ - 1);
+    cy = std::min(cy, k_ - 1);
+    return static_cast<size_t>(cy) * k_ + cx;
+  };
+
+  std::vector<std::vector<Point>> buckets(static_cast<size_t>(k_) * k_);
+  for (const auto& p : points) buckets[cell_of(p)].push_back(p);
+
+  cells_.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    auto info =
+        BuildBlockList<Point>(dev_, std::span<const Point>(buckets[i]));
+    if (!info.ok()) return info.status();
+    cells_[i] = CellRef{info.value().ref.head, buckets[i].size()};
+  }
+
+  // Serialize the directory.
+  std::vector<DirEntry> dir(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    dir[i] = DirEntry{cells_[i].head, cells_[i].count};
+  }
+  auto di = BuildBlockList<DirEntry>(dev_, std::span<const DirEntry>(dir));
+  if (!di.ok()) return di.status();
+  dir_pages_ = di.value().pages;
+  return Status::OK();
+}
+
+Status GridBaseline::ScanCell(const CellRef& cell, const RangeQuery& q,
+                              std::vector<Point>* out,
+                              QueryStats* stats) const {
+  const uint32_t cap = RecordsPerPage<Point>(dev_->page_size());
+  PageId page = cell.head;
+  std::vector<std::byte> buf(dev_->page_size());
+  while (page != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
+    if (stats != nullptr) ++stats->descendant;
+    BlockPageHeader bh;
+    std::memcpy(&bh, buf.data(), sizeof(bh));
+    std::vector<Point> pts(bh.count);
+    std::memcpy(pts.data(), buf.data() + sizeof(bh),
+                bh.count * sizeof(Point));
+    uint64_t qual = 0;
+    for (const auto& p : pts) {
+      if (q.Contains(p)) {
+        out->push_back(p);
+        ++qual;
+      }
+    }
+    if (stats != nullptr) {
+      if (qual >= cap) {
+        ++stats->useful;
+      } else {
+        ++stats->wasteful;
+      }
+    }
+    page = bh.next;
+  }
+  return Status::OK();
+}
+
+Status GridBaseline::QueryRect(const RangeQuery& q, std::vector<Point>* out,
+                               QueryStats* stats) const {
+  if (n_ == 0) return Status::OK();
+  const double wx = static_cast<double>(max_x_ - min_x_) + 1.0;
+  const double wy = static_cast<double>(max_y_ - min_y_) + 1.0;
+  auto cell_x = [&](int64_t x) -> int64_t {
+    if (x <= min_x_) return 0;
+    if (x >= max_x_) return k_ - 1;
+    return static_cast<int64_t>(static_cast<double>(x - min_x_) / wx * k_);
+  };
+  auto cell_y = [&](int64_t y) -> int64_t {
+    if (y <= min_y_) return 0;
+    if (y >= max_y_) return k_ - 1;
+    return static_cast<int64_t>(static_cast<double>(y - min_y_) / wy * k_);
+  };
+  if (q.x_min > max_x_ || q.x_max < min_x_ || q.y_min > max_y_ ||
+      q.y_max < min_y_) {
+    return Status::OK();
+  }
+  const int64_t cx0 = cell_x(q.x_min), cx1 = cell_x(q.x_max);
+  const int64_t cy0 = cell_y(q.y_min), cy1 = cell_y(q.y_max);
+
+  // Read the directory pages covering the touched cells (counted I/O).
+  const uint32_t per_dir = RecordsPerPage<DirEntry>(dev_->page_size());
+  std::unordered_set<uint64_t> dir_pages_needed;
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      dir_pages_needed.insert((static_cast<uint64_t>(cy) * k_ + cx) /
+                              per_dir);
+    }
+  }
+  std::vector<std::byte> buf(dev_->page_size());
+  for (uint64_t dpi : dir_pages_needed) {
+    PC_RETURN_IF_ERROR(dev_->Read(dir_pages_[dpi], buf.data()));
+    if (stats != nullptr) {
+      ++stats->navigation;
+      ++stats->wasteful;
+    }
+  }
+
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      const CellRef& cell = cells_[static_cast<size_t>(cy) * k_ + cx];
+      if (cell.count == 0) continue;
+      PC_RETURN_IF_ERROR(ScanCell(cell, q, out, stats));
+    }
+  }
+  if (stats != nullptr) stats->records_reported = out->size();
+  return Status::OK();
+}
+
+Status GridBaseline::QueryTwoSided(const TwoSidedQuery& q,
+                                   std::vector<Point>* out,
+                                   QueryStats* stats) const {
+  return QueryRect(RangeQuery{q.x_min, INT64_MAX, q.y_min, INT64_MAX}, out,
+                   stats);
+}
+
+Status GridBaseline::QueryThreeSided(const ThreeSidedQuery& q,
+                                     std::vector<Point>* out,
+                                     QueryStats* stats) const {
+  return QueryRect(RangeQuery{q.x_min, q.x_max, q.y_min, INT64_MAX}, out,
+                   stats);
+}
+
+}  // namespace pathcache

@@ -1,0 +1,65 @@
+// A grid-file-style heuristic baseline ([NHS] in the paper's Section 1).
+//
+// The paper's motivation contrasts worst-case-optimal structures against
+// the era's practical spatial indexes — grid files, quad trees, R-trees —
+// whose good behaviour is average-case: "their worst-case performance is
+// much worse than the optimal bounds".  This simple grid makes that claim
+// measurable (experiment E13): a uniform KxK grid sized for ~B points per
+// cell on average, each cell a chained block list, with an on-disk cell
+// directory.  On uniform data a 2-sided query touches ~(t/B) cells and is
+// competitive; on clustered or skewed data most points crowd into few
+// cells, so queries degrade toward scanning whole heaps while the
+// path-cached structures stay at log_B n + t/B.
+
+#ifndef PATHCACHE_CORE_GRID_BASELINE_H_
+#define PATHCACHE_CORE_GRID_BASELINE_H_
+
+#include <vector>
+
+#include "core/query_stats.h"
+#include "io/block_list.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class GridBaseline {
+ public:
+  explicit GridBaseline(PageDevice* dev) : dev_(dev) {}
+
+  Status Build(std::vector<Point> points);
+
+  /// Reports all points with x >= q.x_min && y >= q.y_min.
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats = nullptr) const;
+
+  /// Reports all points inside the 3-sided region.
+  Status QueryThreeSided(const ThreeSidedQuery& q, std::vector<Point>* out,
+                         QueryStats* stats = nullptr) const;
+
+  uint64_t size() const { return n_; }
+  uint32_t cells_per_side() const { return k_; }
+
+ private:
+  struct CellRef {
+    PageId head = kInvalidPageId;
+    uint64_t count = 0;
+  };
+
+  Status ScanCell(const CellRef& cell, const RangeQuery& q,
+                  std::vector<Point>* out, QueryStats* stats) const;
+  Status QueryRect(const RangeQuery& q, std::vector<Point>* out,
+                   QueryStats* stats) const;
+
+  PageDevice* dev_;
+  uint64_t n_ = 0;
+  uint32_t k_ = 1;  // grid is k_ x k_
+  int64_t min_x_ = 0, max_x_ = 0, min_y_ = 0, max_y_ = 0;
+  // Cell directory kept on disk (read per query) and mirrored in memory.
+  std::vector<CellRef> cells_;
+  std::vector<PageId> dir_pages_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_GRID_BASELINE_H_

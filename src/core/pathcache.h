@@ -1,0 +1,43 @@
+// pathcache — umbrella header for the public API.
+//
+// A C++ library reproducing "Path Caching: A Technique for Optimal External
+// Searching" (Ramaswamy & Subramanian, PODS 1994).  Everything operates on a
+// PageDevice whose read/write counters realize the paper's I/O cost model.
+//
+// Quick map (paper anchor -> type):
+//   Theorem 3.2  ExternalPst            basic path-cached PST, 2-sided
+//   [IKO]        ExternalPst            with enable_path_caching = false
+//   Theorem 4.3  TwoLevelPst            two-level recursive scheme
+//   Theorem 4.4  TwoLevelPst            with levels > 2 (multilevel)
+//   Theorem 3.3  ThreeSidedPst          3-sided queries
+//   Theorem 3.4  ExtSegmentTree         stabbing via segment tree
+//   Theorem 3.5  ExtIntervalTree        stabbing via interval tree
+//   Theorem 5.1  DynamicPst             fully dynamic 2-sided
+//   Theorem 5.2  DynamicThreeSidedPst   dynamic 3-sided
+//   Section 1    StabbingIndex / DynamicStabbingIndex   interval management
+//   Section 1    XSortedBaseline, BPlusTree             baselines
+
+#ifndef PATHCACHE_CORE_PATHCACHE_H_
+#define PATHCACHE_CORE_PATHCACHE_H_
+
+#include "btree/bplus_tree.h"
+#include "core/baselines.h"
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/persist.h"
+#include "core/pst_dynamic.h"
+#include "core/pst_external.h"
+#include "core/pst_two_level.h"
+#include "core/query_stats.h"
+#include "core/range_index.h"
+#include "core/stabbing.h"
+#include "core/three_sided.h"
+#include "core/three_sided_dynamic.h"
+#include "core/two_sided_index.h"
+#include "io/buffer_pool.h"
+#include "io/file_page_device.h"
+#include "io/mem_page_device.h"
+#include "util/geometry.h"
+#include "util/status.h"
+
+#endif  // PATHCACHE_CORE_PATHCACHE_H_

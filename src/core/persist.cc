@@ -1,0 +1,90 @@
+#include "core/persist.h"
+
+#include <cstring>
+
+#include "core/pst_common.h"
+#include "core/pst_external.h"
+#include "core/pst_two_level.h"
+#include "io/block_list.h"
+
+namespace pathcache {
+
+namespace {
+
+Status ReadManifestHeader(PageDevice* dev, PageId page,
+                          PstManifestHeader* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  std::memcpy(out, buf.data(), sizeof(*out));
+  if (out->magic != kExternalPstMagic && out->magic != kTwoLevelPstMagic) {
+    return Status::Corruption("not a pathcache manifest page");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+Status WriteManifestHeader(PageDevice* dev, PageId page,
+                           const PstManifestHeader& hdr) {
+  std::vector<std::byte> buf(dev->page_size());
+  std::memcpy(buf.data(), &hdr, sizeof(hdr));
+  return dev->Write(page, buf.data());
+}
+
+Status ReadManifest(PageDevice* dev, PageId page, uint64_t expected_magic,
+                    PstManifestHeader* hdr, std::vector<PageId>* owned,
+                    std::vector<PageId>* children,
+                    std::vector<PageId>* manifest_chain) {
+  PC_RETURN_IF_ERROR(ReadManifestHeader(dev, page, hdr));
+  if (hdr->magic != expected_magic) {
+    return Status::InvalidArgument("manifest type mismatch");
+  }
+  manifest_chain->push_back(page);
+  if (hdr->owned_head != kInvalidPageId) {
+    BlockListRef ref{hdr->owned_head, hdr->owned_count};
+    PageId walk = hdr->owned_head;
+    while (walk != kInvalidPageId) {
+      manifest_chain->push_back(walk);
+      std::vector<std::byte> buf(dev->page_size());
+      PC_RETURN_IF_ERROR(dev->Read(walk, buf.data()));
+      BlockPageHeader bh;
+      std::memcpy(&bh, buf.data(), sizeof(bh));
+      walk = bh.next;
+    }
+    PC_RETURN_IF_ERROR(ReadBlockList<PageId>(dev, ref, owned));
+  }
+  if (children != nullptr && hdr->children_head != kInvalidPageId) {
+    BlockListRef ref{hdr->children_head, hdr->children_count};
+    PageId walk = hdr->children_head;
+    while (walk != kInvalidPageId) {
+      manifest_chain->push_back(walk);
+      std::vector<std::byte> buf(dev->page_size());
+      PC_RETURN_IF_ERROR(dev->Read(walk, buf.data()));
+      BlockPageHeader bh;
+      std::memcpy(&bh, buf.data(), sizeof(bh));
+      walk = bh.next;
+    }
+    PC_RETURN_IF_ERROR(ReadBlockList<PageId>(dev, ref, children));
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,
+                                                         PageId manifest) {
+  PstManifestHeader hdr;
+  PC_RETURN_IF_ERROR(ReadManifestHeader(dev, manifest, &hdr));
+  if (hdr.magic == kExternalPstMagic) {
+    auto pst = std::make_unique<ExternalPst>(dev);
+    PC_RETURN_IF_ERROR(pst->Open(manifest));
+    return std::unique_ptr<TwoSidedIndex>(std::move(pst));
+  }
+  auto pst = std::make_unique<TwoLevelPst>(dev);
+  PC_RETURN_IF_ERROR(pst->Open(manifest));
+  return std::unique_ptr<TwoSidedIndex>(std::move(pst));
+}
+
+}  // namespace pathcache

@@ -1,0 +1,44 @@
+// Polymorphic reopening of saved 2-sided indexes.
+//
+// ExternalPst::Save() / TwoLevelPst::Save() serialize a handle into a
+// manifest page (plus chained page lists) on the device; this helper peeks
+// the manifest's magic and restores the right concrete type — used by
+// TwoLevelPst to reopen its per-region second-level structures, and by
+// applications reopening a FilePageDevice store after a restart.
+
+#ifndef PATHCACHE_CORE_PERSIST_H_
+#define PATHCACHE_CORE_PERSIST_H_
+
+#include <memory>
+
+#include "core/two_sided_index.h"
+#include "io/page_device.h"
+
+namespace pathcache {
+
+/// Opens the saved index whose manifest lives at `manifest`; the returned
+/// instance owns every page of the structure including the manifest chain
+/// (its Destroy() reclaims the whole store).
+Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,
+                                                         PageId manifest);
+
+namespace internal {
+
+/// Serializes a manifest header into its (pre-allocated) page.
+Status WriteManifestHeader(PageDevice* dev, PageId page,
+                           const PstManifestHeader& hdr);
+
+/// Reads a manifest of the expected type: fills the header, the owned-page
+/// list, the child-manifest list (when `children` is non-null) and appends
+/// every page of the manifest chain itself to `manifest_chain` so the
+/// opener can take ownership of it.
+Status ReadManifest(PageDevice* dev, PageId page, uint64_t expected_magic,
+                    PstManifestHeader* hdr, std::vector<PageId>* owned,
+                    std::vector<PageId>* children,
+                    std::vector<PageId>* manifest_chain);
+
+}  // namespace internal
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_PERSIST_H_

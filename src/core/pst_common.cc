@@ -1,0 +1,87 @@
+#include "core/pst_common.h"
+
+#include <cstring>
+
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+uint64_t CacheHeaderBytes(uint32_t a_pages, uint32_t s_pages,
+                          uint32_t anc_count, uint32_t sib_count) {
+  return sizeof(CachePageHeader) + sizeof(PageId) * (a_pages + s_pages) +
+         sizeof(AncInfo) * anc_count + sizeof(SibInfo) * sib_count;
+}
+
+Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache) {
+  const uint64_t need = CacheHeaderBytes(
+      static_cast<uint32_t>(cache.a_pages.size()),
+      static_cast<uint32_t>(cache.s_pages.size()),
+      static_cast<uint32_t>(cache.ancs.size()),
+      static_cast<uint32_t>(cache.sibs.size()));
+  if (need > dev->page_size()) {
+    return Status::InvalidArgument("cache header exceeds page size");
+  }
+  std::vector<std::byte> buf(dev->page_size());
+  CachePageHeader hdr;
+  hdr.a_pages = static_cast<uint32_t>(cache.a_pages.size());
+  hdr.s_pages = static_cast<uint32_t>(cache.s_pages.size());
+  hdr.anc_count = static_cast<uint32_t>(cache.ancs.size());
+  hdr.sib_count = static_cast<uint32_t>(cache.sibs.size());
+  hdr.a_count = cache.a_count;
+  hdr.s_count = cache.s_count;
+  std::byte* p = buf.data();
+  std::memcpy(p, &hdr, sizeof(hdr));
+  p += sizeof(hdr);
+  std::memcpy(p, cache.a_pages.data(), cache.a_pages.size() * sizeof(PageId));
+  p += cache.a_pages.size() * sizeof(PageId);
+  std::memcpy(p, cache.s_pages.data(), cache.s_pages.size() * sizeof(PageId));
+  p += cache.s_pages.size() * sizeof(PageId);
+  std::memcpy(p, cache.ancs.data(), cache.ancs.size() * sizeof(AncInfo));
+  p += cache.ancs.size() * sizeof(AncInfo);
+  std::memcpy(p, cache.sibs.data(), cache.sibs.size() * sizeof(SibInfo));
+  return dev->Write(page, buf.data());
+}
+
+Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  CachePageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  if (CacheHeaderBytes(hdr.a_pages, hdr.s_pages, hdr.anc_count,
+                       hdr.sib_count) > dev->page_size()) {
+    return Status::Corruption("cache header shape exceeds page");
+  }
+  out->a_pages.resize(hdr.a_pages);
+  out->s_pages.resize(hdr.s_pages);
+  out->ancs.resize(hdr.anc_count);
+  out->sibs.resize(hdr.sib_count);
+  out->a_count = hdr.a_count;
+  out->s_count = hdr.s_count;
+  const std::byte* p = buf.data() + sizeof(hdr);
+  std::memcpy(out->a_pages.data(), p, hdr.a_pages * sizeof(PageId));
+  p += hdr.a_pages * sizeof(PageId);
+  std::memcpy(out->s_pages.data(), p, hdr.s_pages * sizeof(PageId));
+  p += hdr.s_pages * sizeof(PageId);
+  std::memcpy(out->ancs.data(), p, hdr.anc_count * sizeof(AncInfo));
+  p += hdr.anc_count * sizeof(AncInfo);
+  std::memcpy(out->sibs.data(), p, hdr.sib_count * sizeof(SibInfo));
+  return Status::OK();
+}
+
+uint32_t FitSegmentLen(uint32_t page_size, uint32_t want,
+                       uint32_t max_contrib_per_node) {
+  const uint32_t src_per_page = RecordsPerPage<SrcPoint>(page_size);
+  for (uint32_t s = want; s > 1; --s) {
+    // Worst case: s+1 ancestors and s siblings, each contributing up to
+    // max_contrib_per_node records, stored as SrcPoint.
+    const uint64_t a_recs =
+        static_cast<uint64_t>(s + 1) * max_contrib_per_node;
+    const uint64_t s_recs = static_cast<uint64_t>(s) * max_contrib_per_node;
+    const uint32_t a_pg = static_cast<uint32_t>(CeilDiv(a_recs, src_per_page));
+    const uint32_t s_pg = static_cast<uint32_t>(CeilDiv(s_recs, src_per_page));
+    if (CacheHeaderBytes(a_pg, s_pg, s + 1, s) <= page_size) return s;
+  }
+  return 1;
+}
+
+}  // namespace pathcache

@@ -1,0 +1,613 @@
+#include "core/pst_external.h"
+
+#include "core/persist.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+namespace {
+
+// Reads one block-list page of Points, appending records; returns the next
+// page in the chain via *next.
+Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
+                      PageId* next) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  size_t old = out->size();
+  out->resize(old + hdr.count);
+  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+              hdr.count * sizeof(Point));
+  *next = hdr.next;
+  return Status::OK();
+}
+
+Status ReadSrcBlock(PageDevice* dev, PageId page, std::vector<SrcPoint>* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  size_t old = out->size();
+  out->resize(old + hdr.count);
+  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+              hdr.count * sizeof(SrcPoint));
+  return Status::OK();
+}
+
+void Bump(QueryStats* stats, uint64_t QueryStats::* role, uint64_t n = 1) {
+  if (stats != nullptr) stats->*role += n;
+}
+
+void Classify(QueryStats* stats, uint64_t qualifying, uint64_t capacity) {
+  if (stats == nullptr) return;
+  if (qualifying >= capacity) {
+    ++stats->useful;
+  } else {
+    ++stats->wasteful;
+  }
+}
+
+}  // namespace
+
+ExternalPst::ExternalPst(PageDevice* dev, ExternalPstOptions opts)
+    : dev_(dev), opts_(opts) {}
+
+Status ExternalPst::Build(std::vector<Point> points) {
+  if (root_.valid()) {
+    return Status::FailedPrecondition("Build on a non-empty structure");
+  }
+  n_ = points.size();
+  const uint32_t pt_per_page = RecordsPerPage<Point>(dev_->page_size());
+  if (pt_per_page == 0) return Status::InvalidArgument("page too small");
+  region_size_ = opts_.region_size != 0 ? opts_.region_size : pt_per_page;
+
+  uint32_t want = opts_.segment_len != 0
+                      ? opts_.segment_len
+                      : std::max<uint32_t>(1, FloorLog2(pt_per_page));
+  seg_len_ = FitSegmentLen(dev_->page_size(), want, region_size_);
+
+  if (n_ == 0) return Status::OK();
+
+  auto nodes = BuildRegionTree(std::move(points), region_size_);
+
+  // Points pages (descending y) and cache header pages.
+  std::vector<PstNodeRec> recs(nodes.size());
+  std::vector<int32_t> lefts(nodes.size()), rights(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto info = BuildBlockList<Point>(
+        dev_, std::span<const Point>(nodes[i].pts));
+    if (!info.ok()) return info.status();
+    for (PageId p : info.value().pages) owned_pages_.push_back(p);
+    storage_.points += info.value().pages.size();
+
+    PstNodeRec& r = recs[i];
+    r.split_x = nodes[i].split_x;
+    r.split_id = nodes[i].split_id;
+    r.y_min = nodes[i].y_min;
+    r.points_page = info.value().ref.head;
+    r.count = static_cast<uint32_t>(nodes[i].pts.size());
+    r.depth = nodes[i].depth;
+    lefts[i] = nodes[i].left;
+    rights[i] = nodes[i].right;
+
+    if (opts_.enable_path_caching) {
+      auto cp = dev_->Allocate();
+      if (!cp.ok()) return cp.status();
+      r.cache_page = cp.value();
+      owned_pages_.push_back(cp.value());
+      ++storage_.cache_headers;
+    }
+  }
+
+  auto tree = WriteSkeletalTree<PstNodeRec>(dev_, recs, lefts, rights, 0);
+  if (!tree.ok()) return tree.status();
+  root_ = tree.value().root;
+  storage_.skeletal = tree.value().pages;
+  {
+    std::unordered_set<PageId> seen;
+    for (const NodeRef& ref : tree.value().refs) {
+      if (ref.valid() && seen.insert(ref.page).second) {
+        owned_pages_.push_back(ref.page);
+      }
+    }
+  }
+  if (!opts_.enable_path_caching) return Status::OK();
+
+  // Build each node's A/S cache over its segment-local path prefix.
+  const auto& refs = tree.value().refs;
+  std::vector<int32_t> chain;  // root-to-current node indices
+  struct Frame {
+    int32_t idx;
+    uint8_t stage;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.stage == 0) {
+      f.stage = 1;
+      chain.push_back(f.idx);
+      const int32_t v = f.idx;
+      const uint32_t d = nodes[v].depth;
+      const uint32_t seg_start = (d / seg_len_) * seg_len_;
+
+      NodeCache cache;
+      std::vector<SrcPoint> a_recs, s_recs;
+      for (uint32_t j = seg_start; j <= d; ++j) {
+        const int32_t u = chain[j];
+        const uint32_t ord = static_cast<uint32_t>(cache.ancs.size());
+        for (const Point& p : nodes[u].pts) {
+          a_recs.push_back(SrcPoint::From(p, ord));
+        }
+        cache.ancs.push_back(AncInfo{
+            kInvalidPageId, static_cast<uint32_t>(nodes[u].pts.size()),
+            static_cast<uint32_t>(nodes[u].pts.size())});
+      }
+      for (uint32_t j = std::max<uint32_t>(1, seg_start); j <= d; ++j) {
+        const int32_t u = chain[j];
+        const int32_t parent = chain[j - 1];
+        if (nodes[parent].left != u || nodes[parent].right < 0) continue;
+        const int32_t sib = nodes[parent].right;
+        const uint32_t ord = static_cast<uint32_t>(cache.sibs.size());
+        for (const Point& p : nodes[sib].pts) {
+          s_recs.push_back(SrcPoint::From(p, ord));
+        }
+        cache.sibs.push_back(SibInfo{
+            nodes[sib].left >= 0 ? refs[nodes[sib].left] : kNullNodeRef,
+            nodes[sib].right >= 0 ? refs[nodes[sib].right] : kNullNodeRef,
+            kInvalidPageId, static_cast<uint32_t>(nodes[sib].pts.size()),
+            static_cast<uint32_t>(nodes[sib].pts.size())});
+      }
+      std::sort(a_recs.begin(), a_recs.end(),
+                [](const SrcPoint& a, const SrcPoint& b) {
+                  return GreaterByX(a.ToPoint(), b.ToPoint());
+                });
+      std::sort(s_recs.begin(), s_recs.end(),
+                [](const SrcPoint& a, const SrcPoint& b) {
+                  return GreaterByY(a.ToPoint(), b.ToPoint());
+                });
+      auto a_info =
+          BuildBlockList<SrcPoint>(dev_, std::span<const SrcPoint>(a_recs));
+      if (!a_info.ok()) return a_info.status();
+      auto s_info =
+          BuildBlockList<SrcPoint>(dev_, std::span<const SrcPoint>(s_recs));
+      if (!s_info.ok()) return s_info.status();
+      cache.a_pages = a_info.value().pages;
+      cache.s_pages = s_info.value().pages;
+      cache.a_count = a_recs.size();
+      cache.s_count = s_recs.size();
+      storage_.cache_blocks += cache.a_pages.size() + cache.s_pages.size();
+      for (PageId p : cache.a_pages) owned_pages_.push_back(p);
+      for (PageId p : cache.s_pages) owned_pages_.push_back(p);
+      PC_RETURN_IF_ERROR(WriteCacheHeader(dev_, recs[v].cache_page, cache));
+
+      // Push children (right first so left is processed first).
+      if (nodes[v].right >= 0) stack.push_back({nodes[v].right, 0});
+      if (nodes[v].left >= 0) {
+        // Insertion may have invalidated f; re-fetch via index arithmetic.
+        stack.push_back({nodes[v].left, 0});
+      }
+    } else {
+      chain.pop_back();
+      stack.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::ReadPointsPage(PageId page, std::vector<Point>* out) const {
+  PageId next;
+  return ReadPointBlock(dev_, page, out, &next);
+}
+
+Status ExternalPst::DescendToCorner(
+    const TwoSidedQuery& q, std::vector<PathEnt>* path,
+    SkeletalTreeReader<PstNodeRec>* reader) const {
+  NodeRef cur = root_;
+  for (;;) {
+    PathEnt ent;
+    ent.ref = cur;
+    PC_RETURN_IF_ERROR(reader->Read(cur, &ent.rec));
+    path->push_back(ent);
+    // Corner: the first node whose y-band contains q.y_min, i.e., whose
+    // lowest stored y falls below the query's bottom edge.
+    if (q.y_min > ent.rec.y_min) break;
+    NodeRef next =
+        (q.x_min <= ent.rec.split_x) ? ent.rec.left : ent.rec.right;
+    if (!next.valid()) break;
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::QueryTwoSided(const TwoSidedQuery& q,
+                                  std::vector<Point>* out,
+                                  QueryStats* stats) const {
+  if (!root_.valid()) return Status::OK();
+  SkeletalTreeReader<PstNodeRec> reader(dev_);
+  std::vector<PathEnt> path;
+  PC_RETURN_IF_ERROR(DescendToCorner(q, &path, &reader));
+  Bump(stats, &QueryStats::navigation, reader.pages_read());
+  Bump(stats, &QueryStats::wasteful, reader.pages_read());
+
+  Status s = opts_.enable_path_caching
+                 ? QueryWithCaches(q, path, &reader, out, stats)
+                 : QueryUncached(q, path, &reader, out, stats);
+  if (stats != nullptr) stats->records_reported = out->size();
+  return s;
+}
+
+Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
+                                    const std::vector<PathEnt>& path,
+                                    SkeletalTreeReader<PstNodeRec>* reader,
+                                    std::vector<Point>* out,
+                                    QueryStats* stats) const {
+  const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+  const size_t corner = path.size() - 1;
+  std::vector<size_t> cache_nodes;
+  for (size_t i = 0; i < corner; ++i) {
+    if (i % seg_len_ == seg_len_ - 1) cache_nodes.push_back(i);
+  }
+  cache_nodes.push_back(corner);
+
+  std::vector<NodeRef> descend_todo;
+  for (size_t ci : cache_nodes) {
+    NodeCache cache;
+    PC_RETURN_IF_ERROR(
+        ReadCacheHeader(dev_, path[ci].rec.cache_page, &cache));
+    Bump(stats, &QueryStats::cache);
+    Bump(stats, &QueryStats::wasteful);
+
+    // A-list: descending x; stop at the first record right of nothing.
+    bool stop = false;
+    for (PageId p : cache.a_pages) {
+      if (stop) break;
+      std::vector<SrcPoint> recs;
+      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      for (const SrcPoint& sp : recs) {
+        if (sp.x < q.x_min) {
+          stop = true;
+          break;
+        }
+        if (sp.y >= q.y_min) {
+          out->push_back(sp.ToPoint());
+          ++qual;
+        }
+      }
+      Classify(stats, qual, src_cap);
+    }
+
+    // S-list: descending y; stop when below the query's bottom edge.
+    std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
+    stop = false;
+    for (PageId p : cache.s_pages) {
+      if (stop) break;
+      std::vector<SrcPoint> recs;
+      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      for (const SrcPoint& sp : recs) {
+        if (sp.y < q.y_min) {
+          stop = true;
+          break;
+        }
+        // x >= q.x_min automatically (right siblings); keep the check as a
+        // correctness belt in debug-style defensive fashion.
+        if (sp.x >= q.x_min) {
+          out->push_back(sp.ToPoint());
+          ++qual;
+          ++sib_qual[sp.src];
+        }
+      }
+      Classify(stats, qual, src_cap);
+    }
+    for (size_t k = 0; k < cache.sibs.size(); ++k) {
+      if (sib_qual[k] == cache.sibs[k].total) {
+        if (cache.sibs[k].left.valid()) descend_todo.push_back(cache.sibs[k].left);
+        if (cache.sibs[k].right.valid())
+          descend_todo.push_back(cache.sibs[k].right);
+      }
+    }
+  }
+  return DescendDescendants(q, std::move(descend_todo), reader, out, stats);
+}
+
+Status ExternalPst::QueryUncached(const TwoSidedQuery& q,
+                                  const std::vector<PathEnt>& path,
+                                  SkeletalTreeReader<PstNodeRec>* reader,
+                                  std::vector<Point>* out,
+                                  QueryStats* stats) const {
+  const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  std::vector<NodeRef> descend_todo;
+  // Every path node's own block: ancestors plus the corner.
+  for (size_t i = 0; i < path.size(); ++i) {
+    std::vector<Point> pts;
+    PC_RETURN_IF_ERROR(ReadPointsPage(path[i].rec.points_page, &pts));
+    Bump(stats, i + 1 == path.size() ? &QueryStats::corner
+                                     : &QueryStats::ancestor);
+    uint64_t qual = 0;
+    for (const Point& p : pts) {
+      if (q.Contains(p)) {
+        out->push_back(p);
+        ++qual;
+      }
+    }
+    Classify(stats, qual, pt_cap);
+  }
+  // Right siblings of the path.
+  uint64_t nav_before = reader->pages_read();
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (!(path[i - 1].rec.left == path[i].ref)) continue;
+    NodeRef sib = path[i - 1].rec.right;
+    if (!sib.valid()) continue;
+    PstNodeRec rec;
+    PC_RETURN_IF_ERROR(reader->Read(sib, &rec));
+    std::vector<Point> pts;
+    PC_RETURN_IF_ERROR(ReadPointsPage(rec.points_page, &pts));
+    Bump(stats, &QueryStats::sibling);
+    uint64_t qual = 0;
+    for (const Point& p : pts) {
+      if (q.Contains(p)) {
+        out->push_back(p);
+        ++qual;
+      }
+    }
+    Classify(stats, qual, pt_cap);
+    if (qual == rec.count) {
+      if (rec.left.valid()) descend_todo.push_back(rec.left);
+      if (rec.right.valid()) descend_todo.push_back(rec.right);
+    }
+  }
+  Bump(stats, &QueryStats::sibling, reader->pages_read() - nav_before);
+  Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
+  return DescendDescendants(q, std::move(descend_todo), reader, out, stats);
+}
+
+Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
+                                       std::vector<NodeRef> todo,
+                                       SkeletalTreeReader<PstNodeRec>* reader,
+                                       std::vector<Point>* out,
+                                       QueryStats* stats) const {
+  const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  while (!todo.empty()) {
+    NodeRef ref = todo.back();
+    todo.pop_back();
+    uint64_t nav_before = reader->pages_read();
+    PstNodeRec rec;
+    PC_RETURN_IF_ERROR(reader->Read(ref, &rec));
+    Bump(stats, &QueryStats::descendant, reader->pages_read() - nav_before);
+    Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
+
+    // Scan the region's y-descending points until one falls below the edge.
+    PageId page = rec.points_page;
+    uint64_t qual = 0;
+    bool all = true;
+    while (page != kInvalidPageId && all) {
+      std::vector<Point> pts;
+      PageId next;
+      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+      Bump(stats, &QueryStats::descendant);
+      uint64_t block_qual = 0;
+      for (const Point& p : pts) {
+        if (p.y < q.y_min) {
+          all = false;
+          break;
+        }
+        if (p.x >= q.x_min) {
+          out->push_back(p);
+          ++block_qual;
+        }
+      }
+      Classify(stats, block_qual, pt_cap);
+      qual += block_qual;
+      page = next;
+    }
+    if (all && qual == rec.count) {
+      if (rec.left.valid()) todo.push_back(rec.left);
+      if (rec.right.valid()) todo.push_back(rec.right);
+    }
+  }
+  return Status::OK();
+}
+
+Status ExternalPst::Destroy() {
+  for (PageId p : owned_pages_) PC_RETURN_IF_ERROR(dev_->Free(p));
+  owned_pages_.clear();
+  root_ = kNullNodeRef;
+  n_ = 0;
+  storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+}  // namespace pathcache
+
+namespace pathcache {
+
+Result<PageId> ExternalPst::Save() {
+  auto list =
+      BuildBlockList<PageId>(dev_, std::span<const PageId>(owned_pages_));
+  if (!list.ok()) return list.status();
+  auto mp = dev_->Allocate();
+  if (!mp.ok()) return mp.status();
+
+  PstManifestHeader hdr;
+  hdr.magic = kExternalPstMagic;
+  hdr.n = n_;
+  hdr.root = root_;
+  hdr.region_size = region_size_;
+  hdr.seg_len = seg_len_;
+  hdr.caching = opts_.enable_path_caching ? 1 : 0;
+  hdr.skeletal = storage_.skeletal;
+  hdr.points_pages = storage_.points;
+  hdr.cache_headers = storage_.cache_headers;
+  hdr.cache_blocks = storage_.cache_blocks;
+  hdr.owned_head = list.value().ref.head;
+  hdr.owned_count = owned_pages_.size();
+  PC_RETURN_IF_ERROR(internal::WriteManifestHeader(dev_, mp.value(), hdr));
+
+  // The manifest chain joins the owned set of this handle, so Destroy()
+  // from here also reclaims it.
+  owned_pages_.push_back(mp.value());
+  for (PageId p : list.value().pages) owned_pages_.push_back(p);
+  return mp.value();
+}
+
+Status ExternalPst::Open(PageId manifest) {
+  if (root_.valid() || !owned_pages_.empty()) {
+    return Status::FailedPrecondition("Open on a non-empty structure");
+  }
+  PstManifestHeader hdr;
+  std::vector<PageId> owned, chain;
+  PC_RETURN_IF_ERROR(internal::ReadManifest(dev_, manifest, kExternalPstMagic,
+                                            &hdr, &owned, nullptr, &chain));
+  n_ = hdr.n;
+  root_ = hdr.root;
+  region_size_ = hdr.region_size;
+  seg_len_ = hdr.seg_len;
+  opts_.enable_path_caching = hdr.caching != 0;
+  storage_ = StorageBreakdown{};
+  storage_.skeletal = hdr.skeletal;
+  storage_.points = hdr.points_pages;
+  storage_.cache_headers = hdr.cache_headers;
+  storage_.cache_blocks = hdr.cache_blocks;
+  owned_pages_ = std::move(owned);
+  for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+}  // namespace pathcache
+
+namespace pathcache {
+
+Status ExternalPst::CheckStructure() const {
+  if (!root_.valid()) {
+    return n_ == 0 ? Status::OK()
+                   : Status::Corruption("no root for non-empty structure");
+  }
+  SkeletalTreeReader<PstNodeRec> reader(dev_);
+  const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+  (void)src_cap;
+
+  struct Item {
+    NodeRef ref;
+    uint32_t depth;
+    int64_t parent_y_min;  // exclusive upper bound for this subtree's ys
+    bool has_x_lo, has_x_hi;
+    int64_t x_lo, x_hi;          // composite bounds via (x, id)
+    uint64_t x_lo_id, x_hi_id;
+  };
+  std::vector<Item> stack{{root_, 0, INT64_MAX, false, false, 0, 0, 0, 0}};
+  uint64_t total = 0;
+
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    PstNodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(it.ref, &rec));
+    if (rec.depth != it.depth) return Status::Corruption("depth mismatch");
+
+    // Points page: count, descending-(y,id) order, range and heap checks.
+    std::vector<Point> pts;
+    PC_RETURN_IF_ERROR(ReadPointsPage(rec.points_page, &pts));
+    if (pts.size() != rec.count) {
+      return Status::Corruption("points page count mismatch");
+    }
+    if (pts.empty()) return Status::Corruption("empty region node");
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (i > 0 && !GreaterByY(pts[i - 1], pts[i])) {
+        return Status::Corruption("points not y-descending");
+      }
+      if (pts[i].y > it.parent_y_min) {
+        return Status::Corruption("heap order violated");
+      }
+      auto key_le = [](int64_t ax, uint64_t aid, int64_t bx, uint64_t bid) {
+        if (ax != bx) return ax < bx;
+        return aid <= bid;
+      };
+      if (it.has_x_lo && key_le(pts[i].x, pts[i].id, it.x_lo, it.x_lo_id)) {
+        return Status::Corruption("point left of subtree x-range");
+      }
+      if (it.has_x_hi && !key_le(pts[i].x, pts[i].id, it.x_hi, it.x_hi_id)) {
+        return Status::Corruption("point right of subtree x-range");
+      }
+    }
+    if (rec.y_min != pts.back().y) return Status::Corruption("y_min stale");
+    total += pts.size();
+    const bool internal = rec.left.valid() || rec.right.valid();
+    if (internal && pts.size() != region_size_) {
+      return Status::Corruption("internal region not full");
+    }
+
+    // Cache header: shape and sort order.
+    if (opts_.enable_path_caching) {
+      if (rec.cache_page == kInvalidPageId) {
+        return Status::Corruption("missing cache page");
+      }
+      NodeCache cache;
+      PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, rec.cache_page, &cache));
+      const uint32_t seg_start = (rec.depth / seg_len_) * seg_len_;
+      if (cache.ancs.size() != rec.depth - seg_start + 1) {
+        return Status::Corruption("A-list coverage count mismatch");
+      }
+      uint64_t a_sum = 0;
+      for (const auto& a : cache.ancs) a_sum += a.contributed;
+      if (a_sum != cache.a_count) {
+        return Status::Corruption("A-list contributed sum mismatch");
+      }
+      std::vector<SrcPoint> a_recs;
+      for (PageId p : cache.a_pages) {
+        PC_RETURN_IF_ERROR([&] {
+          std::vector<std::byte> buf(dev_->page_size());
+          PC_RETURN_IF_ERROR(dev_->Read(p, buf.data()));
+          BlockPageHeader bh;
+          std::memcpy(&bh, buf.data(), sizeof(bh));
+          size_t old = a_recs.size();
+          a_recs.resize(old + bh.count);
+          std::memcpy(a_recs.data() + old, buf.data() + sizeof(bh),
+                      bh.count * sizeof(SrcPoint));
+          return Status::OK();
+        }());
+      }
+      if (a_recs.size() != cache.a_count) {
+        return Status::Corruption("A-list record count mismatch");
+      }
+      for (size_t i = 1; i < a_recs.size(); ++i) {
+        if (!GreaterByX(a_recs[i - 1].ToPoint(), a_recs[i].ToPoint())) {
+          return Status::Corruption("A-list not x-descending");
+        }
+      }
+    }
+
+    if (rec.left.valid()) {
+      Item child = it;
+      child.ref = rec.left;
+      child.depth = it.depth + 1;
+      child.parent_y_min = rec.y_min;
+      child.has_x_hi = true;
+      child.x_hi = rec.split_x;
+      child.x_hi_id = rec.split_id;
+      stack.push_back(child);
+    }
+    if (rec.right.valid()) {
+      Item child = it;
+      child.ref = rec.right;
+      child.depth = it.depth + 1;
+      child.parent_y_min = rec.y_min;
+      child.has_x_lo = true;
+      child.x_lo = rec.split_x;
+      child.x_lo_id = rec.split_id;
+      stack.push_back(child);
+    }
+  }
+  if (total != n_) return Status::Corruption("total point count mismatch");
+  return Status::OK();
+}
+
+}  // namespace pathcache

@@ -1,0 +1,115 @@
+// External priority search tree for 2-sided queries — the flat (one-level)
+// schemes of Section 3.
+//
+// With `enable_path_caching = true` this is the structure of Theorem 3.2:
+// per-node A-lists and S-lists over log B-length path segments give
+// O(log_B n + t/B) query I/Os at O((n/B) log B) blocks of storage.
+//
+// With `enable_path_caching = false` it degrades to the [IKO] baseline the
+// paper improves on: optimal O(n/B) space but O(log_2 n + t/B) query I/Os,
+// because every path node and sibling costs its own (possibly underfull)
+// block read.
+
+#ifndef PATHCACHE_CORE_PST_EXTERNAL_H_
+#define PATHCACHE_CORE_PST_EXTERNAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/pst_common.h"
+#include "core/query_stats.h"
+#include "core/region_tree.h"
+#include "core/two_sided_index.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+struct ExternalPstOptions {
+  /// Off reproduces the [IKO] baseline (no caches built or consulted).
+  bool enable_path_caching = true;
+  /// Points per region; 0 means one full page of points (the paper's B).
+  uint32_t region_size = 0;
+  /// Path-segment length; 0 means floor(log2 B) clamped so a worst-case
+  /// cache header still fits one page.
+  uint32_t segment_len = 0;
+};
+
+class ExternalPst : public TwoSidedIndex {
+ public:
+  explicit ExternalPst(PageDevice* dev, ExternalPstOptions opts = {});
+
+  /// Bulk-builds from an arbitrary point set (ids need not be unique for
+  /// correctness of queries, but duplicate ids weaken tie-breaking).
+  Status Build(std::vector<Point> points) override;
+
+  /// Reports all points with x >= q.x_min && y >= q.y_min.
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats = nullptr) const override;
+
+  /// Frees every page owned by the structure.
+  Status Destroy() override;
+
+  /// Serializes the handle into a manifest on the device; returns its page
+  /// id, with which Open() on a fresh instance (possibly in another
+  /// process, over a reopened FilePageDevice) restores the structure.  The
+  /// manifest pages join the owned set: Destroy() — from either instance —
+  /// reclaims everything and invalidates the manifest.
+  Result<PageId> Save();
+
+  /// Restores a previously Save()d structure into this empty instance.
+  Status Open(PageId manifest);
+
+  /// Walks the on-disk structure validating every invariant: skeletal
+  /// shape, x-partitioning, heap order of the y-bands, point-page sort
+  /// order and counts, and cache-header consistency (coverage counts and
+  /// sort order of the A/S lists).  O(n/B) I/Os; Corruption on the first
+  /// violation.  The disk-level analogue of BPlusTree::CheckInvariants.
+  Status CheckStructure() const;
+
+  uint64_t size() const override { return n_; }
+  uint32_t region_size() const { return region_size_; }
+  uint32_t segment_len() const { return seg_len_; }
+  StorageBreakdown storage() const override { return storage_; }
+  bool caching_enabled() const { return opts_.enable_path_caching; }
+  NodeRef root() const { return root_; }
+
+  /// Transfers page ownership to the caller (used when the structure is
+  /// embedded as the second level of a recursive scheme).
+  std::vector<PageId> ReleasePages() {
+    return std::exchange(owned_pages_, {});
+  }
+
+ private:
+  struct PathEnt {
+    NodeRef ref;
+    PstNodeRec rec;
+  };
+
+  Status DescendToCorner(const TwoSidedQuery& q, std::vector<PathEnt>* path,
+                         SkeletalTreeReader<PstNodeRec>* reader) const;
+  Status ReadPointsPage(PageId page, std::vector<Point>* out) const;
+  Status QueryWithCaches(const TwoSidedQuery& q,
+                         const std::vector<PathEnt>& path,
+                         SkeletalTreeReader<PstNodeRec>* reader,
+                         std::vector<Point>* out, QueryStats* stats) const;
+  Status QueryUncached(const TwoSidedQuery& q, const std::vector<PathEnt>& path,
+                       SkeletalTreeReader<PstNodeRec>* reader,
+                       std::vector<Point>* out, QueryStats* stats) const;
+  Status DescendDescendants(const TwoSidedQuery& q, std::vector<NodeRef> todo,
+                            SkeletalTreeReader<PstNodeRec>* reader,
+                            std::vector<Point>* out, QueryStats* stats) const;
+
+  PageDevice* dev_;
+  ExternalPstOptions opts_;
+  NodeRef root_;
+  uint64_t n_ = 0;
+  uint32_t region_size_ = 0;
+  uint32_t seg_len_ = 1;
+  StorageBreakdown storage_;
+  std::vector<PageId> owned_pages_;  // everything, for Destroy()
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_PST_EXTERNAL_H_

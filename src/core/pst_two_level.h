@@ -1,0 +1,114 @@
+// The recursive space-reduction scheme of Section 4.
+//
+// The top-level priority search tree uses fat regions of B*log B points.
+// Each region stores its points twice — an X-list (descending x) and a
+// Y-list (descending y) — plus A/S caches built from only the FIRST block
+// of each segment-local ancestor's X-list / sibling's Y-list, so the whole
+// top level costs O(n/B) blocks (Lemma 4.1).  A second-level structure
+// (by default the basic path-cached PST of Section 3) indexes each region's
+// points for the corner query; its caches cost O(log B * log log B) blocks
+// per region, for O((n/B) log log B) total (Lemma 4.2, Theorem 4.3).
+//
+// Setting `levels > 2` recurses: the second level is another TwoLevelPst
+// over regions of B*log log B points and so on, realizing the multilevel
+// scheme of Section 4.2 (Theorem 4.4: O((n/B) log* B) space at the price of
+// +log* B in the query).
+
+#ifndef PATHCACHE_CORE_PST_TWO_LEVEL_H_
+#define PATHCACHE_CORE_PST_TWO_LEVEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pst_common.h"
+#include "core/query_stats.h"
+#include "core/two_sided_index.h"
+#include "io/page_device.h"
+
+namespace pathcache {
+
+struct TwoLevelPstOptions {
+  /// Total levels of the recursion; 2 is Theorem 4.3, larger values follow
+  /// Section 4.2.  Values < 2 are clamped to 2.
+  uint32_t levels = 2;
+  /// Top-level region size; 0 derives B*log B from the page size (or the
+  /// appropriate iterated log for deeper recursion levels).
+  uint32_t region_size = 0;
+  /// Path-segment length; 0 means floor(log2 B) clamped to fit.
+  uint32_t segment_len = 0;
+};
+
+/// Skeletal node record of the fat-region (two-level) external PST.
+struct TwoLevelNodeRec {
+  int64_t split_x = 0;
+  uint64_t split_id = 0;
+  int64_t y_min = INT64_MAX;
+  NodeRef left;
+  NodeRef right;
+  PageId x_head = kInvalidPageId;  // X-list (descending x)
+  PageId y_head = kInvalidPageId;  // Y-list (descending y)
+  PageId cache_page = kInvalidPageId;
+  uint32_t count = 0;
+  uint32_t depth = 0;
+  uint32_t region_ord = 0;  // index of this region's second-level structure
+  uint32_t pad = 0;
+};
+static_assert(sizeof(TwoLevelNodeRec) == 96);
+
+class TwoLevelPst : public TwoSidedIndex {
+ public:
+  explicit TwoLevelPst(PageDevice* dev, TwoLevelPstOptions opts = {});
+
+  Status Build(std::vector<Point> points) override;
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats = nullptr) const override;
+  Status Destroy() override;
+
+  /// Serializes the handle (recursively saving the per-region second-level
+  /// structures) into a manifest; see ExternalPst::Save for semantics.
+  Result<PageId> Save();
+
+  /// Restores a previously Save()d structure into this empty instance.
+  Status Open(PageId manifest);
+
+  /// Validates the on-disk structure: X/Y lists hold the same points in the
+  /// right orders, heap bands nest, caches cover exactly their segment, and
+  /// the second-level sizes sum to n.  O(n/B) I/Os.
+  Status CheckStructure() const;
+
+  uint64_t size() const override { return n_; }
+  StorageBreakdown storage() const override { return storage_; }
+  uint32_t region_size() const { return region_size_; }
+  uint32_t segment_len() const { return seg_len_; }
+  uint32_t levels() const { return opts_.levels; }
+
+ private:
+  struct PathEnt {
+    NodeRef ref;
+    TwoLevelNodeRec rec;
+  };
+
+  Status DescendToCorner(const TwoSidedQuery& q, std::vector<PathEnt>* path,
+                         SkeletalTreeReader<TwoLevelNodeRec>* reader) const;
+  /// Scans a point list (descending x or y) from `page`, reporting records
+  /// inside the query until the sort key crosses its edge; sets *consumed
+  /// to the records scanned-and-qualified.
+  Status ScanList(const TwoSidedQuery& q, PageId page, bool by_x,
+                  uint64_t QueryStats::* role, std::vector<Point>* out,
+                  QueryStats* stats, uint64_t* qualified,
+                  bool* hit_end) const;
+
+  PageDevice* dev_;
+  TwoLevelPstOptions opts_;
+  NodeRef root_;
+  uint64_t n_ = 0;
+  uint32_t region_size_ = 0;
+  uint32_t seg_len_ = 1;
+  StorageBreakdown storage_;
+  std::vector<PageId> owned_pages_;
+  std::vector<std::unique_ptr<TwoSidedIndex>> second_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_PST_TWO_LEVEL_H_

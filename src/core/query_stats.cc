@@ -1,0 +1,21 @@
+#include "core/query_stats.h"
+
+namespace pathcache {
+
+std::string QueryStats::ToString() const {
+  std::string s;
+  s += "reads=" + std::to_string(total_reads());
+  s += " nav=" + std::to_string(navigation);
+  s += " cache=" + std::to_string(cache);
+  s += " corner=" + std::to_string(corner);
+  s += " anc=" + std::to_string(ancestor);
+  s += " sib=" + std::to_string(sibling);
+  s += " desc=" + std::to_string(descendant);
+  s += " buf=" + std::to_string(buffer);
+  s += " useful=" + std::to_string(useful);
+  s += " wasteful=" + std::to_string(wasteful);
+  s += " t=" + std::to_string(records_reported);
+  return s;
+}
+
+}  // namespace pathcache

@@ -1,0 +1,61 @@
+// Per-query accounting shared by every external structure.
+//
+// The paper's proofs hinge on classifying each block read as useful
+// (returned a full block of B qualifying records) or wasteful (anything
+// else), and on attributing reads to the structural role of the node
+// (Figure 4: corner / ancestor / sibling / descendant, plus navigation and
+// caches).  QueryStats captures both classifications so tests and the
+// accounting benchmark (E10) can verify the "every wasteful I/O is paid for
+// by a useful one" argument directly.
+
+#ifndef PATHCACHE_CORE_QUERY_STATS_H_
+#define PATHCACHE_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pathcache {
+
+struct QueryStats {
+  // Role breakdown (block reads).
+  uint64_t navigation = 0;   // skeletal-tree descent
+  uint64_t cache = 0;        // A/S-list (or coalesced path cache) reads
+  uint64_t corner = 0;       // the corner region's own block(s)
+  uint64_t ancestor = 0;     // X-list / cover-list reads for ancestors
+  uint64_t sibling = 0;      // Y-list reads for siblings
+  uint64_t descendant = 0;   // descendant-of-sibling reads
+  uint64_t buffer = 0;       // update-buffer reads (dynamic structures)
+
+  // Usefulness breakdown (same reads, classified by payload).
+  uint64_t useful = 0;    // full block of qualifying records
+  uint64_t wasteful = 0;  // partial or empty payoff
+
+  uint64_t records_reported = 0;
+
+  uint64_t total_reads() const {
+    return navigation + cache + corner + ancestor + sibling + descendant +
+           buffer;
+  }
+
+  void Reset() { *this = QueryStats{}; }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    navigation += o.navigation;
+    cache += o.cache;
+    corner += o.corner;
+    ancestor += o.ancestor;
+    sibling += o.sibling;
+    descendant += o.descendant;
+    buffer += o.buffer;
+    useful += o.useful;
+    wasteful += o.wasteful;
+    records_reported += o.records_reported;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_QUERY_STATS_H_

@@ -1,0 +1,78 @@
+// General (4-sided) 2-D range reporting, composed from the paper's pieces
+// (the rightmost query shape of Figure 1).
+//
+// The paper leaves optimal external 4-sided search open (Section 6).
+// RangeIndex offers the honest composition available from its toolbox: a
+// 3-sided query [x1, x2] x [y1, inf) answered optimally by ThreeSidedPst,
+// followed by an in-memory clip at y2.  The guarantee is therefore
+// O(log_B n + t'/B) I/Os where t' counts the points matching the x-range
+// with y >= y1; when y2 sits at or above the data (t' = t) the query is
+// optimal, and the gap between t' and t is exactly the open problem.
+// Space: O((n/B) log^2 B), inherited from the 3-sided structure.
+
+#ifndef PATHCACHE_CORE_RANGE_INDEX_H_
+#define PATHCACHE_CORE_RANGE_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "core/three_sided.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class RangeIndex {
+ public:
+  explicit RangeIndex(PageDevice* dev) : dev_(dev) {}
+
+  Status Build(std::vector<Point> points) {
+    if (three_ != nullptr) {
+      return Status::FailedPrecondition("Build on a non-empty structure");
+    }
+    n_ = points.size();
+    three_ = std::make_unique<ThreeSidedPst>(dev_, ThreeSidedPstOptions{});
+    return three_->Build(std::move(points));
+  }
+
+  /// Reports all points inside the axis-aligned rectangle.
+  Status QueryRange(const RangeQuery& q, std::vector<Point>* out,
+                    QueryStats* stats = nullptr) const {
+    if (three_ == nullptr || q.x_min > q.x_max || q.y_min > q.y_max) {
+      return Status::OK();
+    }
+    std::vector<Point> open;
+    PC_RETURN_IF_ERROR(three_->QueryThreeSided(
+        ThreeSidedQuery{q.x_min, q.x_max, q.y_min}, &open, stats));
+    out->reserve(out->size() + open.size());
+    for (const Point& p : open) {
+      if (p.y <= q.y_max) out->push_back(p);
+    }
+    if (stats != nullptr) stats->records_reported = out->size();
+    return Status::OK();
+  }
+
+  Status Destroy() {
+    if (three_ != nullptr) {
+      PC_RETURN_IF_ERROR(three_->Destroy());
+      three_.reset();
+    }
+    n_ = 0;
+    return Status::OK();
+  }
+
+  uint64_t size() const { return n_; }
+  StorageBreakdown storage() const {
+    return three_ != nullptr ? three_->storage() : StorageBreakdown{};
+  }
+
+ private:
+  PageDevice* dev_;
+  std::unique_ptr<ThreeSidedPst> three_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_RANGE_INDEX_H_

@@ -1,0 +1,156 @@
+#include "core/region_tree.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pathcache {
+
+namespace {
+
+// Recursive builder over a (x, id)-sorted span of `pool`, using `scratch`
+// for the top-k selection.  Appends the node for [lo, hi) and returns its
+// index, or -1 for an empty range.
+struct Builder {
+  std::vector<Point>& pool;  // x-sorted; mutated in place (points removed)
+  uint32_t region_size;
+  std::vector<RegionNode> out;
+
+  int32_t Build(size_t lo, size_t hi, uint32_t depth) {
+    if (lo >= hi) return -1;
+    const size_t m = hi - lo;
+    const size_t k = std::min<size_t>(region_size, m);
+
+    // Select the k points with the highest (y, id) in [lo, hi).
+    std::vector<std::pair<Point, size_t>> by_y;
+    by_y.reserve(m);
+    for (size_t i = lo; i < hi; ++i) by_y.push_back({pool[i], i});
+    std::nth_element(by_y.begin(), by_y.begin() + (k - 1), by_y.end(),
+                     [](const auto& a, const auto& b) {
+                       return GreaterByY(a.first, b.first);
+                     });
+    std::vector<bool> selected(m, false);
+    std::vector<Point> top;
+    top.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      selected[by_y[i].second - lo] = true;
+      top.push_back(by_y[i].first);
+    }
+    std::sort(top.begin(), top.end(), GreaterByY);
+
+    int32_t idx = static_cast<int32_t>(out.size());
+    out.push_back(RegionNode{});
+    out[idx].depth = depth;
+    out[idx].y_min = top.back().y;
+    out[idx].pts = std::move(top);
+
+    if (k == m) {
+      // Leaf: whole residue stored here.
+      out[idx].split_x = out[idx].pts.front().x;
+      out[idx].split_id = out[idx].pts.front().id;
+      return idx;
+    }
+
+    // Compact the residue back into [lo, lo + rem), preserving x-order.
+    size_t w = lo;
+    for (size_t i = lo; i < hi; ++i) {
+      if (!selected[i - lo]) pool[w++] = pool[i];
+    }
+    const size_t rem = w - lo;
+    const size_t mid = lo + (rem - 1) / 2;  // left gets ceil(rem/2)
+    out[idx].split_x = pool[mid].x;
+    out[idx].split_id = pool[mid].id;
+    int32_t l = Build(lo, mid + 1, depth + 1);
+    int32_t r = Build(mid + 1, lo + rem, depth + 1);
+    out[idx].left = l;
+    out[idx].right = r;
+    return idx;
+  }
+};
+
+}  // namespace
+
+std::vector<RegionNode> BuildRegionTree(std::vector<Point> points,
+                                        uint32_t region_size) {
+  if (points.empty() || region_size == 0) return {};
+  std::sort(points.begin(), points.end(), LessByX);
+  Builder b{points, region_size, {}};
+  b.out.reserve(2 * points.size() / std::max<uint32_t>(1, region_size) + 4);
+  b.Build(0, points.size(), 0);
+  return b.out;
+}
+
+namespace {
+
+struct Checker {
+  const std::vector<RegionNode>& nodes;
+  uint32_t region_size;
+  size_t points_seen = 0;
+  std::string error;
+
+  // Verifies the subtree at idx; every stored (y, id) must be below
+  // `y_bound` (exclusive, lexicographic) and x-keys within (lo, hi].
+  void Check(int32_t idx, std::pair<int64_t, uint64_t> y_bound, bool has_lo,
+             std::pair<int64_t, uint64_t> lo, bool has_hi,
+             std::pair<int64_t, uint64_t> hi, uint32_t depth) {
+    if (idx < 0 || !error.empty()) return;
+    const RegionNode& n = nodes[idx];
+    if (n.depth != depth) {
+      error = "depth mismatch";
+      return;
+    }
+    if (n.pts.empty()) {
+      error = "empty region node";
+      return;
+    }
+    if (n.pts.size() < region_size && !n.is_leaf()) {
+      error = "underfull internal region";
+      return;
+    }
+    for (size_t i = 0; i < n.pts.size(); ++i) {
+      const Point& p = n.pts[i];
+      if (i > 0 && !GreaterByY(n.pts[i - 1], p)) {
+        error = "region points not y-sorted";
+        return;
+      }
+      std::pair<int64_t, uint64_t> py{p.y, p.id};
+      if (!(py < y_bound)) {
+        error = "heap order violated";
+        return;
+      }
+      std::pair<int64_t, uint64_t> px{p.x, p.id};
+      if (has_lo && !(lo < px)) {
+        error = "x below subtree range";
+        return;
+      }
+      if (has_hi && !(px <= hi)) {
+        error = "x above subtree range";
+        return;
+      }
+    }
+    if (n.y_min != n.pts.back().y) {
+      error = "y_min mismatch";
+      return;
+    }
+    points_seen += n.pts.size();
+    std::pair<int64_t, uint64_t> min_y_id{n.pts.back().y, n.pts.back().id};
+    std::pair<int64_t, uint64_t> split{n.split_x, n.split_id};
+    Check(n.left, min_y_id, has_lo, lo, true, split, depth + 1);
+    Check(n.right, min_y_id, true, split, has_hi, hi, depth + 1);
+  }
+};
+
+}  // namespace
+
+std::string CheckRegionTree(const std::vector<RegionNode>& nodes,
+                            size_t expected_points, uint32_t region_size) {
+  if (nodes.empty()) {
+    return expected_points == 0 ? "" : "empty tree for non-empty input";
+  }
+  Checker c{nodes, region_size, 0, {}};
+  c.Check(0, {INT64_MAX, UINT64_MAX}, false, {}, false, {}, 0);
+  if (!c.error.empty()) return c.error;
+  if (c.points_seen != expected_points) return "point count mismatch";
+  return "";
+}
+
+}  // namespace pathcache

@@ -1,0 +1,54 @@
+// The in-memory hierarchical plane decomposition underlying every external
+// priority search tree in the paper (Sections 3-5, Figure 4).
+//
+// Each node ("region") keeps the top `region_size` points of its subtree's
+// set by y; the residue is split at the median x into two children.  A
+// node's region is therefore a rectangle: its x-range times the y-band
+// between its lowest stored point and its parent's lowest stored point.
+// Heap order — every stored point of a node has y above everything stored
+// below it — is what makes the corner/ancestor/sibling/descendant query
+// classification work.
+//
+// Ties are broken by record id in both coordinates, restoring the paper's
+// distinct-coordinates assumption for arbitrary inputs.
+
+#ifndef PATHCACHE_CORE_REGION_TREE_H_
+#define PATHCACHE_CORE_REGION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+struct RegionNode {
+  /// The region's points, sorted by descending (y, id).
+  std::vector<Point> pts;
+  /// Composite split key: left subtree holds (x, id) <= (split_x, split_id).
+  int64_t split_x = 0;
+  uint64_t split_id = 0;
+  /// Smallest y value among pts (INT64_MAX when pts is empty).
+  int64_t y_min = INT64_MAX;
+  int32_t left = -1;
+  int32_t right = -1;
+  uint32_t depth = 0;
+
+  bool is_leaf() const { return left < 0 && right < 0; }
+};
+
+/// Builds the region tree; returns nodes with the root at index 0 (empty
+/// vector for an empty input).  O(n log^2 n) time, all in memory — this is
+/// construction machinery; querying happens against the on-disk layout.
+std::vector<RegionNode> BuildRegionTree(std::vector<Point> points,
+                                        uint32_t region_size);
+
+/// Checks heap order, x-partitioning and point conservation; tests only.
+/// Returns an empty string when consistent, else a description.
+std::string CheckRegionTree(const std::vector<RegionNode>& nodes,
+                            size_t expected_points, uint32_t region_size);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_REGION_TREE_H_

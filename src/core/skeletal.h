@@ -1,0 +1,199 @@
+// Skeletal tree paging (Figure 2 of the paper).
+//
+// A binary tree with small per-node records is stored "in a blocked fashion
+// by mapping subtrees of height log B into disk blocks", turning a log2 n
+// pointer chase into a log_B n page chase.  The writer takes an array-based
+// binary tree (children as indices), chunks it into height-h subtrees that
+// fit one page each, patches the child links into (page, slot) NodeRefs and
+// writes the pages.  The reader resolves NodeRefs with a one-page cache, so
+// a root-to-leaf descent costs one device read per *page* on the path —
+// exactly the skeletal-B-tree search the paper describes.
+//
+// Rec must be trivially copyable and expose `NodeRef left, right` members.
+
+#ifndef PATHCACHE_CORE_SKELETAL_H_
+#define PATHCACHE_CORE_SKELETAL_H_
+
+#include <cstring>
+#include <vector>
+
+#include "io/page_device.h"
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+/// Location of a tree node: a page plus a slot within it.
+struct NodeRef {
+  PageId page = kInvalidPageId;
+  uint32_t slot = 0;
+  uint32_t pad = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+};
+static_assert(sizeof(NodeRef) == 16);
+
+inline constexpr NodeRef kNullNodeRef{};
+
+struct SkeletalPageHeader {
+  uint32_t count = 0;
+  uint32_t rec_size = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(SkeletalPageHeader) == 16);
+
+/// Nodes a page can hold for record type Rec.
+template <typename Rec>
+constexpr uint32_t SkeletalNodesPerPage(uint32_t page_size) {
+  static_assert(std::is_trivially_copyable_v<Rec>);
+  return (page_size - sizeof(SkeletalPageHeader)) / sizeof(Rec);
+}
+
+/// Result of writing a skeletal tree: the root ref and page accounting.
+struct SkeletalTreeInfo {
+  NodeRef root;
+  uint64_t pages = 0;
+  /// ref of every input node, indexed like the input arrays.
+  std::vector<NodeRef> refs;
+  /// node indices per page, in slot order (page_members[i] lives in
+  /// page_ids[i]); kept so callers can rewrite pages after augmenting recs.
+  std::vector<std::vector<int32_t>> page_members;
+  std::vector<PageId> page_ids;
+};
+
+template <typename Rec>
+Status RewriteSkeletalPages(PageDevice* dev, const SkeletalTreeInfo& info,
+                            const std::vector<Rec>& recs,
+                            const std::vector<int32_t>& left,
+                            const std::vector<int32_t>& right);
+
+/// Chunks the tree rooted at `root_idx` into height-limited subtrees, one
+/// per page, and writes them.  `left`/`right` give child indices (-1 none).
+/// The `left`/`right` NodeRef members of each Rec are overwritten.
+template <typename Rec>
+Result<SkeletalTreeInfo> WriteSkeletalTree(PageDevice* dev,
+                                           std::vector<Rec> recs,
+                                           const std::vector<int32_t>& left,
+                                           const std::vector<int32_t>& right,
+                                           int32_t root_idx) {
+  SkeletalTreeInfo info;
+  info.refs.assign(recs.size(), kNullNodeRef);
+  if (root_idx < 0) return info;
+
+  const uint32_t cap = SkeletalNodesPerPage<Rec>(dev->page_size());
+  if (cap == 0) return Status::InvalidArgument("page too small for node rec");
+  // Height of a complete subtree that surely fits: 2^h - 1 <= cap.
+  const uint32_t chunk_h = std::max<uint32_t>(1, FloorLog2(cap + 1));
+
+  // Pass 1: assign every node a (page, slot) by chunked BFS.
+  struct Chunk {
+    int32_t root;
+  };
+  std::vector<Chunk> chunk_queue{{root_idx}};
+  std::vector<std::vector<int32_t>> page_nodes;
+  std::vector<PageId> page_ids;
+  for (size_t ci = 0; ci < chunk_queue.size(); ++ci) {
+    int32_t croot = chunk_queue[ci].root;
+    std::vector<int32_t> members;
+    // BFS limited to chunk_h levels below croot.
+    std::vector<std::pair<int32_t, uint32_t>> bfs{{croot, 0}};
+    for (size_t bi = 0; bi < bfs.size(); ++bi) {
+      auto [idx, lvl] = bfs[bi];
+      members.push_back(idx);
+      if (lvl + 1 < chunk_h) {
+        if (left[idx] >= 0) bfs.push_back({left[idx], lvl + 1});
+        if (right[idx] >= 0) bfs.push_back({right[idx], lvl + 1});
+      } else {
+        if (left[idx] >= 0) chunk_queue.push_back({left[idx]});
+        if (right[idx] >= 0) chunk_queue.push_back({right[idx]});
+      }
+    }
+    auto r = dev->Allocate();
+    if (!r.ok()) return r.status();
+    PageId pid = r.value();
+    for (uint32_t s = 0; s < members.size(); ++s) {
+      info.refs[members[s]] = NodeRef{pid, s, 0};
+    }
+    page_nodes.push_back(std::move(members));
+    page_ids.push_back(pid);
+  }
+  info.pages = page_ids.size();
+  info.root = info.refs[root_idx];
+  info.page_members = std::move(page_nodes);
+  info.page_ids = std::move(page_ids);
+
+  PC_RETURN_IF_ERROR(RewriteSkeletalPages(dev, info, recs, left, right));
+  return info;
+}
+
+/// (Re)writes every page of a previously laid-out skeletal tree from the
+/// given recs, patching child refs.  Used by structures whose node records
+/// gain layout-dependent fields (e.g., caches attached to page roots) after
+/// the first write.
+template <typename Rec>
+Status RewriteSkeletalPages(PageDevice* dev, const SkeletalTreeInfo& info,
+                            const std::vector<Rec>& recs,
+                            const std::vector<int32_t>& left,
+                            const std::vector<int32_t>& right) {
+  std::vector<std::byte> buf(dev->page_size());
+  for (size_t pi = 0; pi < info.page_ids.size(); ++pi) {
+    std::memset(buf.data(), 0, buf.size());
+    SkeletalPageHeader hdr;
+    hdr.count = static_cast<uint32_t>(info.page_members[pi].size());
+    hdr.rec_size = sizeof(Rec);
+    std::memcpy(buf.data(), &hdr, sizeof(hdr));
+    for (uint32_t s = 0; s < info.page_members[pi].size(); ++s) {
+      int32_t idx = info.page_members[pi][s];
+      Rec rec = recs[idx];
+      rec.left = left[idx] >= 0 ? info.refs[left[idx]] : kNullNodeRef;
+      rec.right = right[idx] >= 0 ? info.refs[right[idx]] : kNullNodeRef;
+      std::memcpy(buf.data() + sizeof(hdr) + s * sizeof(Rec), &rec,
+                  sizeof(Rec));
+    }
+    PC_RETURN_IF_ERROR(dev->Write(info.page_ids[pi], buf.data()));
+  }
+  return Status::OK();
+}
+
+/// Reads skeletal nodes with a one-page cache: consecutive reads within the
+/// same page cost a single device read, so descents cost one read per page
+/// boundary crossed — the paper's skeletal-B-tree search.
+template <typename Rec>
+class SkeletalTreeReader {
+ public:
+  explicit SkeletalTreeReader(PageDevice* dev)
+      : dev_(dev), buf_(dev->page_size()) {}
+
+  Status Read(NodeRef ref, Rec* out) {
+    if (!ref.valid()) return Status::InvalidArgument("null node ref");
+    if (ref.page != cached_page_) {
+      PC_RETURN_IF_ERROR(dev_->Read(ref.page, buf_.data()));
+      cached_page_ = ref.page;
+      ++pages_read_;
+    }
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf_.data(), sizeof(hdr));
+    if (ref.slot >= hdr.count || hdr.rec_size != sizeof(Rec)) {
+      return Status::Corruption("bad skeletal slot");
+    }
+    std::memcpy(out, buf_.data() + sizeof(hdr) + ref.slot * sizeof(Rec),
+                sizeof(Rec));
+    return Status::OK();
+  }
+
+  /// Device reads issued so far (page-cache misses).
+  uint64_t pages_read() const { return pages_read_; }
+
+  /// Drops the one-page cache (e.g., between queries for cold measurements).
+  void InvalidateCache() { cached_page_ = kInvalidPageId; }
+
+ private:
+  PageDevice* dev_;
+  std::vector<std::byte> buf_;
+  PageId cached_page_ = kInvalidPageId;
+  uint64_t pages_read_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_SKELETAL_H_

@@ -1,0 +1,102 @@
+// Dynamic interval management via the [KRV] reduction (Section 1 of the
+// paper): a stabbing query "report all intervals [lo, hi] containing q"
+// maps to the 2-sided query  x >= q && y >= -q  over points (hi, -lo) —
+// a diagonal-corner query, the special case the paper generalizes.
+//
+// StabbingIndex is the static form (two-level PST inside, Theorem 4.3);
+// DynamicStabbingIndex is fully dynamic (Theorem 5.1), giving the paper's
+// headline application: dynamic interval management with O(log_B n + t/B)
+// stabbing queries and O(log_B n) amortized updates.
+
+#ifndef PATHCACHE_CORE_STABBING_H_
+#define PATHCACHE_CORE_STABBING_H_
+
+#include <vector>
+
+#include "core/pst_dynamic.h"
+#include "core/pst_two_level.h"
+#include "core/query_stats.h"
+#include "io/page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+/// Maps an interval to its [KRV] dual point and back.
+inline Point IntervalToDual(const Interval& iv) {
+  return Point{iv.hi, -iv.lo, iv.id};
+}
+inline Interval DualToInterval(const Point& p) {
+  return Interval{-p.y, p.x, p.id};
+}
+inline TwoSidedQuery StabToDualQuery(int64_t q) {
+  return TwoSidedQuery{q, -q};
+}
+
+/// Static interval-management index: bulk-built, optimal stabbing queries.
+class StabbingIndex {
+ public:
+  explicit StabbingIndex(PageDevice* dev, TwoLevelPstOptions opts = {})
+      : pst_(dev, opts) {}
+
+  Status Build(std::vector<Interval> intervals) {
+    std::vector<Point> duals;
+    duals.reserve(intervals.size());
+    for (const auto& iv : intervals) duals.push_back(IntervalToDual(iv));
+    return pst_.Build(std::move(duals));
+  }
+
+  /// Reports every interval containing q.
+  Status Stab(int64_t q, std::vector<Interval>* out,
+              QueryStats* stats = nullptr) const {
+    std::vector<Point> duals;
+    PC_RETURN_IF_ERROR(pst_.QueryTwoSided(StabToDualQuery(q), &duals, stats));
+    out->reserve(out->size() + duals.size());
+    for (const auto& p : duals) out->push_back(DualToInterval(p));
+    return Status::OK();
+  }
+
+  Status Destroy() { return pst_.Destroy(); }
+  uint64_t size() const { return pst_.size(); }
+  StorageBreakdown storage() const { return pst_.storage(); }
+
+ private:
+  TwoLevelPst pst_;
+};
+
+/// Fully dynamic interval management (the open problem of [KRV] that the
+/// paper solves up to an O(log log B) space factor).
+class DynamicStabbingIndex {
+ public:
+  explicit DynamicStabbingIndex(PageDevice* dev, DynamicPstOptions opts = {})
+      : pst_(dev, opts) {}
+
+  Status Build(std::vector<Interval> intervals) {
+    std::vector<Point> duals;
+    duals.reserve(intervals.size());
+    for (const auto& iv : intervals) duals.push_back(IntervalToDual(iv));
+    return pst_.Build(std::move(duals));
+  }
+
+  Status Insert(const Interval& iv) { return pst_.Insert(IntervalToDual(iv)); }
+  Status Erase(const Interval& iv) { return pst_.Erase(IntervalToDual(iv)); }
+
+  Status Stab(int64_t q, std::vector<Interval>* out,
+              QueryStats* stats = nullptr) const {
+    std::vector<Point> duals;
+    PC_RETURN_IF_ERROR(pst_.QueryTwoSided(StabToDualQuery(q), &duals, stats));
+    out->reserve(out->size() + duals.size());
+    for (const auto& p : duals) out->push_back(DualToInterval(p));
+    return Status::OK();
+  }
+
+  Status Destroy() { return pst_.Destroy(); }
+  uint64_t size() const { return pst_.size(); }
+  StorageBreakdown storage() const { return pst_.storage(); }
+
+ private:
+  DynamicPst pst_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_STABBING_H_

@@ -1,0 +1,615 @@
+#include "core/three_sided.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "core/region_tree.h"
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+namespace {
+
+// ---- A-cache header page -------------------------------------------------
+// [AHeader][PageId pages[n]][int64 block_min_x[n]]
+struct AHeader {
+  uint32_t pages = 0;
+  uint32_t pad = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(AHeader) == 16);
+
+// ---- S-index page ----------------------------------------------------------
+// [SIndexHeader][PageId sr[anchors]][PageId sl[anchors]]
+// Anchor k points at the sibling cache covering depths [seg_start + k, d].
+struct SIndexHeader {
+  uint32_t anchors = 0;
+  uint32_t seg_start = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(SIndexHeader) == 16);
+
+Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
+                      PageId* next) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  size_t old = out->size();
+  out->resize(old + hdr.count);
+  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+              hdr.count * sizeof(Point));
+  *next = hdr.next;
+  return Status::OK();
+}
+
+Status ReadSrcBlock(PageDevice* dev, PageId page, std::vector<SrcPoint>* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  size_t old = out->size();
+  out->resize(old + hdr.count);
+  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+              hdr.count * sizeof(SrcPoint));
+  return Status::OK();
+}
+
+void Bump(QueryStats* stats, uint64_t QueryStats::* role, uint64_t n = 1) {
+  if (stats != nullptr) stats->*role += n;
+}
+
+void Classify(QueryStats* stats, uint64_t qualifying, uint64_t capacity) {
+  if (stats == nullptr) return;
+  if (qualifying >= capacity) {
+    ++stats->useful;
+  } else {
+    ++stats->wasteful;
+  }
+}
+
+bool LessByXId(const SrcPoint& a, const SrcPoint& b) {
+  return LessByX(a.ToPoint(), b.ToPoint());
+}
+
+}  // namespace
+
+ThreeSidedPst::ThreeSidedPst(PageDevice* dev, ThreeSidedPstOptions opts)
+    : dev_(dev), opts_(opts) {}
+
+Status ThreeSidedPst::Build(std::vector<Point> points) {
+  if (root_.valid()) {
+    return Status::FailedPrecondition("Build on a non-empty structure");
+  }
+  n_ = points.size();
+  const uint32_t B = RecordsPerPage<Point>(dev_->page_size());
+  if (B == 0) return Status::InvalidArgument("page too small");
+  region_size_ = B;
+  uint32_t want = opts_.segment_len != 0 ? opts_.segment_len
+                                         : std::max<uint32_t>(1, FloorLog2(B));
+  seg_len_ = FitSegmentLen(dev_->page_size(), want, B);
+  // The A header also needs (s+1) page ids + min-x entries to fit.
+  while (seg_len_ > 1) {
+    const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+    const uint64_t a_recs = static_cast<uint64_t>(seg_len_ + 1) * B;
+    const uint64_t a_pg = CeilDiv(a_recs, src_cap);
+    const uint64_t a_hdr = sizeof(AHeader) + a_pg * (sizeof(PageId) + 8);
+    const uint64_t s_idx =
+        sizeof(SIndexHeader) + 2ULL * (seg_len_ + 1) * sizeof(PageId);
+    if (a_hdr <= dev_->page_size() && s_idx <= dev_->page_size()) break;
+    --seg_len_;
+  }
+  if (n_ == 0) return Status::OK();
+
+  auto nodes = BuildRegionTree(std::move(points), region_size_);
+
+  std::vector<Pst3NodeRec> recs(nodes.size());
+  std::vector<int32_t> lefts(nodes.size()), rights(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto info =
+        BuildBlockList<Point>(dev_, std::span<const Point>(nodes[i].pts));
+    if (!info.ok()) return info.status();
+    for (PageId p : info.value().pages) owned_pages_.push_back(p);
+    storage_.points += info.value().pages.size();
+
+    Pst3NodeRec& r = recs[i];
+    r.split_x = nodes[i].split_x;
+    r.split_id = nodes[i].split_id;
+    r.y_min = nodes[i].y_min;
+    r.points_page = info.value().ref.head;
+    r.count = static_cast<uint32_t>(nodes[i].pts.size());
+    r.depth = nodes[i].depth;
+    lefts[i] = nodes[i].left;
+    rights[i] = nodes[i].right;
+    if (opts_.enable_path_caching) {
+      auto ah = dev_->Allocate();
+      if (!ah.ok()) return ah.status();
+      auto si = dev_->Allocate();
+      if (!si.ok()) return si.status();
+      r.a_header = ah.value();
+      r.s_index = si.value();
+      owned_pages_.push_back(ah.value());
+      owned_pages_.push_back(si.value());
+      storage_.cache_headers += 2;
+    }
+  }
+
+  auto tree = WriteSkeletalTree<Pst3NodeRec>(dev_, recs, lefts, rights, 0);
+  if (!tree.ok()) return tree.status();
+  root_ = tree.value().root;
+  storage_.skeletal = tree.value().pages;
+  {
+    std::unordered_set<PageId> seen;
+    for (const NodeRef& ref : tree.value().refs) {
+      if (ref.valid() && seen.insert(ref.page).second) {
+        owned_pages_.push_back(ref.page);
+      }
+    }
+  }
+  if (!opts_.enable_path_caching) return Status::OK();
+  const auto& refs = tree.value().refs;
+
+  std::vector<std::byte> buf(dev_->page_size());
+  std::vector<int32_t> chain;
+  struct Frame {
+    int32_t idx;
+    uint8_t stage;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.stage == 0) {
+      f.stage = 1;
+      const int32_t v = f.idx;
+      chain.push_back(v);
+      const uint32_t d = nodes[v].depth;
+      const uint32_t seg_start = (d / seg_len_) * seg_len_;
+
+      // --- A-cache: segment-local ancestors (incl. self), ascending x,
+      // src = depth - seg_start, plus a per-block min-x directory. ---
+      std::vector<SrcPoint> a_recs;
+      for (uint32_t j = seg_start; j <= d; ++j) {
+        for (const Point& p : nodes[chain[j]].pts) {
+          a_recs.push_back(SrcPoint::From(p, j - seg_start));
+        }
+      }
+      std::sort(a_recs.begin(), a_recs.end(), LessByXId);
+      auto a_info =
+          BuildBlockList<SrcPoint>(dev_, std::span<const SrcPoint>(a_recs));
+      if (!a_info.ok()) return a_info.status();
+      for (PageId p : a_info.value().pages) owned_pages_.push_back(p);
+      storage_.cache_blocks += a_info.value().pages.size();
+      {
+        const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+        std::memset(buf.data(), 0, buf.size());
+        AHeader ah;
+        ah.pages = static_cast<uint32_t>(a_info.value().pages.size());
+        ah.count = a_recs.size();
+        std::byte* p = buf.data();
+        std::memcpy(p, &ah, sizeof(ah));
+        p += sizeof(ah);
+        std::memcpy(p, a_info.value().pages.data(),
+                    ah.pages * sizeof(PageId));
+        p += ah.pages * sizeof(PageId);
+        for (uint32_t bi = 0; bi < ah.pages; ++bi) {
+          int64_t mn = a_recs[static_cast<size_t>(bi) * src_cap].x;
+          std::memcpy(p + bi * 8, &mn, 8);
+        }
+        PC_RETURN_IF_ERROR(dev_->Write(recs[v].a_header, buf.data()));
+      }
+
+      // --- Anchored sibling caches: for every anchor depth k, the right
+      // siblings (and, separately, left siblings) attached at depths
+      // [seg_start + k, d]. ---
+      const uint32_t anchors = d - seg_start + 1;
+      std::vector<PageId> sr_pages(anchors, kInvalidPageId);
+      std::vector<PageId> sl_pages(anchors, kInvalidPageId);
+      for (uint32_t k = 0; k < anchors; ++k) {
+        for (int side = 0; side < 2; ++side) {
+          NodeCache cache;
+          std::vector<SrcPoint> s_recs;
+          for (uint32_t j = std::max<uint32_t>(1, seg_start + k); j <= d;
+               ++j) {
+            const int32_t u = chain[j];
+            const int32_t parent = chain[j - 1];
+            int32_t sib = -1;
+            if (side == 0) {  // right siblings of a left-child path node
+              if (nodes[parent].left == u) sib = nodes[parent].right;
+            } else {  // left siblings of a right-child path node
+              if (nodes[parent].right == u) sib = nodes[parent].left;
+            }
+            if (sib < 0) continue;
+            const uint32_t ord = static_cast<uint32_t>(cache.sibs.size());
+            for (const Point& p : nodes[sib].pts) {
+              s_recs.push_back(SrcPoint::From(p, ord));
+            }
+            cache.sibs.push_back(SibInfo{
+                nodes[sib].left >= 0 ? refs[nodes[sib].left] : kNullNodeRef,
+                nodes[sib].right >= 0 ? refs[nodes[sib].right] : kNullNodeRef,
+                kInvalidPageId,
+                static_cast<uint32_t>(nodes[sib].pts.size()),
+                static_cast<uint32_t>(nodes[sib].pts.size())});
+          }
+          if (cache.sibs.empty()) continue;
+          std::sort(s_recs.begin(), s_recs.end(),
+                    [](const SrcPoint& a, const SrcPoint& b) {
+                      return GreaterByY(a.ToPoint(), b.ToPoint());
+                    });
+          auto s_info = BuildBlockList<SrcPoint>(
+              dev_, std::span<const SrcPoint>(s_recs));
+          if (!s_info.ok()) return s_info.status();
+          cache.s_pages = s_info.value().pages;
+          cache.s_count = s_recs.size();
+          auto hp = dev_->Allocate();
+          if (!hp.ok()) return hp.status();
+          PC_RETURN_IF_ERROR(WriteCacheHeader(dev_, hp.value(), cache));
+          owned_pages_.push_back(hp.value());
+          for (PageId p : cache.s_pages) owned_pages_.push_back(p);
+          storage_.cache_blocks += cache.s_pages.size() + 1;
+          (side == 0 ? sr_pages : sl_pages)[k] = hp.value();
+        }
+      }
+      {
+        std::memset(buf.data(), 0, buf.size());
+        SIndexHeader sh;
+        sh.anchors = anchors;
+        sh.seg_start = seg_start;
+        std::byte* p = buf.data();
+        std::memcpy(p, &sh, sizeof(sh));
+        p += sizeof(sh);
+        std::memcpy(p, sr_pages.data(), anchors * sizeof(PageId));
+        p += anchors * sizeof(PageId);
+        std::memcpy(p, sl_pages.data(), anchors * sizeof(PageId));
+        PC_RETURN_IF_ERROR(dev_->Write(recs[v].s_index, buf.data()));
+      }
+
+      if (nodes[v].right >= 0) stack.push_back({nodes[v].right, 0});
+      if (nodes[v].left >= 0) stack.push_back({nodes[v].left, 0});
+    } else {
+      chain.pop_back();
+      stack.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedPst::DescendPath(
+    int64_t x, int64_t y_min, bool right_path, std::vector<PathEnt>* path,
+    SkeletalTreeReader<Pst3NodeRec>* reader) const {
+  NodeRef cur = root_;
+  for (;;) {
+    PathEnt ent;
+    ent.ref = cur;
+    PC_RETURN_IF_ERROR(reader->Read(cur, &ent.rec));
+    path->push_back(ent);
+    if (y_min > ent.rec.y_min) break;
+    // Tie-handling differs per boundary: duplicate x values may straddle a
+    // split, so the left path keeps x == split on its right (siblings all
+    // have x >= x1) while the right path keeps x == split on its left
+    // (siblings all have x <= x2).
+    const bool go_left =
+        right_path ? (x < ent.rec.split_x) : (x <= ent.rec.split_x);
+    NodeRef next = go_left ? ent.rec.left : ent.rec.right;
+    if (!next.valid()) break;
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
+                                   const PathEnt& ent, bool right_side,
+                                   size_t fork,
+                                   std::vector<NodeRef>* descend_todo,
+                                   std::vector<Point>* out,
+                                   QueryStats* stats) const {
+  const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+  const uint32_t d = ent.rec.depth;
+  const uint32_t seg_start = (d / seg_len_) * seg_len_;
+
+  // --- A-cache ---
+  {
+    std::vector<std::byte> buf(dev_->page_size());
+    PC_RETURN_IF_ERROR(dev_->Read(ent.rec.a_header, buf.data()));
+    Bump(stats, &QueryStats::cache);
+    Bump(stats, &QueryStats::wasteful);
+    AHeader ah;
+    std::memcpy(&ah, buf.data(), sizeof(ah));
+    std::vector<PageId> pages(ah.pages);
+    std::vector<int64_t> min_x(ah.pages);
+    std::memcpy(pages.data(), buf.data() + sizeof(ah),
+                ah.pages * sizeof(PageId));
+    std::memcpy(min_x.data(),
+                buf.data() + sizeof(ah) + ah.pages * sizeof(PageId),
+                ah.pages * 8);
+    // Start at the last block whose minimum is strictly below x_min: a
+    // block opening exactly at x_min may be preceded by equal-x records at
+    // the tail of the previous block (ties on x are legal).
+    uint32_t start = 0;
+    for (uint32_t bi = 1; bi < ah.pages; ++bi) {
+      if (min_x[bi] < q.x_min) start = bi;
+    }
+    bool stop = false;
+    for (uint32_t bi = start; bi < ah.pages && !stop; ++bi) {
+      std::vector<SrcPoint> recs;
+      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, pages[bi], &recs));
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      for (const SrcPoint& sp : recs) {
+        if (sp.x > q.x_max) {
+          stop = true;
+          break;
+        }
+        if (sp.x < q.x_min) continue;
+        // On the right path, records of shared-prefix ancestors were
+        // already reported while walking the left path's caches.
+        if (right_side && seg_start + sp.src <= fork) continue;
+        if (sp.y >= q.y_min) {
+          out->push_back(sp.ToPoint());
+          ++qual;
+        }
+      }
+      Classify(stats, qual, src_cap);
+    }
+  }
+
+  // --- Anchored sibling cache ---
+  {
+    // Relevant siblings hang at depths >= fork + 2: at depth fork + 1 the
+    // "sibling" is the other path's node, which reports via its own caches.
+    uint32_t k =
+        (fork + 2 > seg_start) ? static_cast<uint32_t>(fork + 2 - seg_start)
+                               : 0;
+    if (seg_start + k > d) return Status::OK();  // whole segment above fork
+    std::vector<std::byte> buf(dev_->page_size());
+    PC_RETURN_IF_ERROR(dev_->Read(ent.rec.s_index, buf.data()));
+    Bump(stats, &QueryStats::cache);
+    Bump(stats, &QueryStats::wasteful);
+    SIndexHeader sh;
+    std::memcpy(&sh, buf.data(), sizeof(sh));
+    if (k >= sh.anchors) return Status::OK();
+    PageId hdr_page;
+    const std::byte* base = buf.data() + sizeof(sh);
+    if (!right_side) {
+      std::memcpy(&hdr_page, base + k * sizeof(PageId), sizeof(PageId));
+    } else {
+      std::memcpy(&hdr_page,
+                  base + (sh.anchors + k) * sizeof(PageId), sizeof(PageId));
+    }
+    if (hdr_page == kInvalidPageId) return Status::OK();
+    NodeCache cache;
+    PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, hdr_page, &cache));
+    Bump(stats, &QueryStats::cache);
+    Bump(stats, &QueryStats::wasteful);
+
+    std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
+    bool stop = false;
+    for (PageId p : cache.s_pages) {
+      if (stop) break;
+      std::vector<SrcPoint> recs;
+      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      for (const SrcPoint& sp : recs) {
+        if (sp.y < q.y_min) {
+          stop = true;
+          break;
+        }
+        ++sib_qual[sp.src];
+        if (q.Contains(sp.ToPoint())) {
+          out->push_back(sp.ToPoint());
+          ++qual;
+        }
+      }
+      Classify(stats, qual, src_cap);
+    }
+    for (size_t i = 0; i < cache.sibs.size(); ++i) {
+      if (sib_qual[i] == cache.sibs[i].total) {
+        if (cache.sibs[i].left.valid()) {
+          descend_todo->push_back(cache.sibs[i].left);
+        }
+        if (cache.sibs[i].right.valid()) {
+          descend_todo->push_back(cache.sibs[i].right);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedPst::DescendDescendants(
+    const ThreeSidedQuery& q, std::vector<NodeRef> todo,
+    SkeletalTreeReader<Pst3NodeRec>* reader, std::vector<Point>* out,
+    QueryStats* stats) const {
+  const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  while (!todo.empty()) {
+    NodeRef ref = todo.back();
+    todo.pop_back();
+    uint64_t nav_before = reader->pages_read();
+    Pst3NodeRec rec;
+    PC_RETURN_IF_ERROR(reader->Read(ref, &rec));
+    Bump(stats, &QueryStats::descendant, reader->pages_read() - nav_before);
+    Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
+
+    PageId page = rec.points_page;
+    bool all = true;
+    while (page != kInvalidPageId && all) {
+      std::vector<Point> pts;
+      PageId next;
+      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+      Bump(stats, &QueryStats::descendant);
+      uint64_t qual = 0;
+      for (const Point& p : pts) {
+        if (p.y < q.y_min) {
+          all = false;
+          break;
+        }
+        if (q.Contains(p)) {
+          out->push_back(p);
+          ++qual;
+        }
+      }
+      Classify(stats, qual, pt_cap);
+      page = next;
+    }
+    if (all) {
+      if (rec.left.valid()) todo.push_back(rec.left);
+      if (rec.right.valid()) todo.push_back(rec.right);
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreeSidedPst::QueryUncached(const ThreeSidedQuery& q,
+                                    const std::vector<PathEnt>& p1,
+                                    const std::vector<PathEnt>& p2,
+                                    size_t fork,
+                                    SkeletalTreeReader<Pst3NodeRec>* reader,
+                                    std::vector<Point>* out,
+                                    QueryStats* stats) const {
+  const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  std::vector<NodeRef> descend_todo;
+  auto scan_node = [&](const Pst3NodeRec& rec,
+                       uint64_t QueryStats::* role) -> Status {
+    std::vector<Point> pts;
+    PageId page = rec.points_page;
+    while (page != kInvalidPageId) {
+      PageId next;
+      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+      Bump(stats, role);
+      page = next;
+    }
+    uint64_t qual = 0;
+    for (const Point& p : pts) {
+      if (q.Contains(p)) {
+        out->push_back(p);
+        ++qual;
+      }
+    }
+    Classify(stats, qual, pt_cap);
+    return Status::OK();
+  };
+
+  // Path nodes: the shared prefix once, then both tails.
+  for (size_t i = 0; i < p1.size(); ++i) {
+    PC_RETURN_IF_ERROR(scan_node(
+        p1[i].rec,
+        i + 1 == p1.size() ? &QueryStats::corner : &QueryStats::ancestor));
+  }
+  for (size_t i = fork + 1; i < p2.size(); ++i) {
+    PC_RETURN_IF_ERROR(scan_node(
+        p2[i].rec,
+        i + 1 == p2.size() ? &QueryStats::corner : &QueryStats::ancestor));
+  }
+
+  // Inner siblings below the fork.
+  auto visit_sibling = [&](NodeRef sib) -> Status {
+    uint64_t nav_before = reader->pages_read();
+    Pst3NodeRec rec;
+    PC_RETURN_IF_ERROR(reader->Read(sib, &rec));
+    Bump(stats, &QueryStats::sibling, reader->pages_read() - nav_before);
+    Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
+    std::vector<Point> pts;
+    PageId page = rec.points_page;
+    while (page != kInvalidPageId) {
+      PageId next;
+      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+      Bump(stats, &QueryStats::sibling);
+      page = next;
+    }
+    uint64_t qual = 0, y_ok = 0;
+    for (const Point& p : pts) {
+      if (p.y >= q.y_min) ++y_ok;
+      if (q.Contains(p)) {
+        out->push_back(p);
+        ++qual;
+      }
+    }
+    Classify(stats, qual, pt_cap);
+    if (y_ok == rec.count) {
+      if (rec.left.valid()) descend_todo.push_back(rec.left);
+      if (rec.right.valid()) descend_todo.push_back(rec.right);
+    }
+    return Status::OK();
+  };
+  // Start at fork + 2: the node at depth fork + 1 has the other path's node
+  // as its "sibling", and that one reports through its own path walk.
+  for (size_t i = fork + 2; i < p1.size(); ++i) {
+    if (p1[i - 1].rec.left == p1[i].ref && p1[i - 1].rec.right.valid()) {
+      PC_RETURN_IF_ERROR(visit_sibling(p1[i - 1].rec.right));
+    }
+  }
+  for (size_t i = fork + 2; i < p2.size(); ++i) {
+    if (p2[i - 1].rec.right == p2[i].ref && p2[i - 1].rec.left.valid()) {
+      PC_RETURN_IF_ERROR(visit_sibling(p2[i - 1].rec.left));
+    }
+  }
+  return DescendDescendants(q, std::move(descend_todo), reader, out, stats);
+}
+
+Status ThreeSidedPst::QueryThreeSided(const ThreeSidedQuery& q,
+                                      std::vector<Point>* out,
+                                      QueryStats* stats) const {
+  if (!root_.valid() || q.x_min > q.x_max) {
+    if (stats != nullptr) stats->records_reported = 0;
+    return Status::OK();
+  }
+  SkeletalTreeReader<Pst3NodeRec> reader(dev_);
+  std::vector<PathEnt> p1, p2;
+  PC_RETURN_IF_ERROR(
+      DescendPath(q.x_min, q.y_min, /*right_path=*/false, &p1, &reader));
+  reader.InvalidateCache();
+  PC_RETURN_IF_ERROR(
+      DescendPath(q.x_max, q.y_min, /*right_path=*/true, &p2, &reader));
+  Bump(stats, &QueryStats::navigation, reader.pages_read());
+  Bump(stats, &QueryStats::wasteful, reader.pages_read());
+
+  size_t fork = 0;
+  while (fork + 1 < p1.size() && fork + 1 < p2.size() &&
+         p1[fork + 1].ref == p2[fork + 1].ref) {
+    ++fork;
+  }
+
+  Status s;
+  if (!opts_.enable_path_caching) {
+    s = QueryUncached(q, p1, p2, fork, &reader, out, stats);
+  } else {
+    std::vector<NodeRef> descend_todo;
+    const size_t c1 = p1.size() - 1;
+    for (size_t i = 0; i < c1; ++i) {
+      if (i % seg_len_ == seg_len_ - 1) {
+        PC_RETURN_IF_ERROR(ProcessCache(q, p1[i], /*right_side=*/false, fork,
+                                        &descend_todo, out, stats));
+      }
+    }
+    PC_RETURN_IF_ERROR(ProcessCache(q, p1[c1], /*right_side=*/false, fork,
+                                    &descend_todo, out, stats));
+    const size_t c2 = p2.size() - 1;
+    if (!(c2 == c1 && p2[c2].ref == p1[c1].ref)) {
+      for (size_t i = fork + 1; i < c2; ++i) {
+        if (i % seg_len_ == seg_len_ - 1) {
+          PC_RETURN_IF_ERROR(ProcessCache(q, p2[i], /*right_side=*/true, fork,
+                                          &descend_todo, out, stats));
+        }
+      }
+      if (c2 > fork) {
+        PC_RETURN_IF_ERROR(ProcessCache(q, p2[c2], /*right_side=*/true, fork,
+                                        &descend_todo, out, stats));
+      }
+    }
+    s = DescendDescendants(q, std::move(descend_todo), &reader, out, stats);
+  }
+  if (stats != nullptr) stats->records_reported = out->size();
+  return s;
+}
+
+Status ThreeSidedPst::Destroy() {
+  for (PageId p : owned_pages_) PC_RETURN_IF_ERROR(dev_->Free(p));
+  owned_pages_.clear();
+  root_ = kNullNodeRef;
+  n_ = 0;
+  storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+}  // namespace pathcache

@@ -1,0 +1,68 @@
+// Dynamic 3-sided queries — Theorem 5.2 of the paper: O(log_B n + t/B)
+// queries with O(log_B n log^2 B) amortized updates at
+// O((n/B) log B log log B) space.
+//
+// Realized, per Section 5's buffer-and-rebuild pattern, as a static
+// ThreeSidedPst image plus a chained update buffer: updates append to the
+// buffer in O(1) I/Os; once the buffer exceeds ~c log_B n pages the image
+// is rebuilt from scratch.  Queries run against the image, scan the whole
+// buffer (O(log_B n) pages by the size invariant) and replay the pending
+// operations in sequence order.  The rebuild costs O((n/B) log^2 B) I/Os
+// amortized over Theta(B log_B n) buffered updates — i.e.
+// O(log_B n log^2 B)-class amortized updates, matching the theorem.
+
+#ifndef PATHCACHE_CORE_THREE_SIDED_DYNAMIC_H_
+#define PATHCACHE_CORE_THREE_SIDED_DYNAMIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pst_dynamic.h"  // UpdateRec
+#include "core/three_sided.h"
+#include "io/page_device.h"
+
+namespace pathcache {
+
+struct DynamicThreeSidedOptions {
+  /// Buffer page budget as a multiple of log_B n before a rebuild.
+  uint32_t buffer_pages_per_log = 2;
+};
+
+class DynamicThreeSidedPst {
+ public:
+  explicit DynamicThreeSidedPst(PageDevice* dev,
+                                DynamicThreeSidedOptions opts = {});
+
+  Status Build(std::vector<Point> points);
+  Status Insert(const Point& p);
+  Status Erase(const Point& p);
+
+  Status QueryThreeSided(const ThreeSidedQuery& q, std::vector<Point>* out,
+                         QueryStats* stats = nullptr) const;
+
+  Status Destroy();
+
+  uint64_t size() const { return live_count_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+  StorageBreakdown storage() const;
+
+ private:
+  Status Update(const Point& p, uint32_t op);
+  Status ReadPending(std::vector<UpdateRec>* out) const;
+  Status Rebuild();
+
+  PageDevice* dev_;
+  DynamicThreeSidedOptions opts_;
+  std::unique_ptr<ThreeSidedPst> image_;
+  std::vector<PageId> buffer_pages_;
+  uint32_t buffer_count_ = 0;  // records across buffer pages
+  uint32_t buf_cap_ = 0;
+  uint64_t live_count_ = 0;
+  uint64_t image_count_ = 0;
+  uint32_t next_seq_ = 1;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_THREE_SIDED_DYNAMIC_H_

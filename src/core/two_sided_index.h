@@ -1,0 +1,37 @@
+// Common interface of the 2-sided external indexes, so the recursive
+// (multi-level) scheme of Section 4 can nest any of them as its per-region
+// second-level structure, and benchmarks can sweep implementations.
+
+#ifndef PATHCACHE_CORE_TWO_SIDED_INDEX_H_
+#define PATHCACHE_CORE_TWO_SIDED_INDEX_H_
+
+#include <vector>
+
+#include "core/pst_common.h"
+#include "core/query_stats.h"
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+class TwoSidedIndex {
+ public:
+  virtual ~TwoSidedIndex() = default;
+
+  /// Bulk-builds the index; callable once per instance.
+  virtual Status Build(std::vector<Point> points) = 0;
+
+  /// Reports all points with x >= q.x_min && y >= q.y_min.
+  virtual Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                               QueryStats* stats) const = 0;
+
+  /// Frees every page owned by the index.
+  virtual Status Destroy() = 0;
+
+  virtual uint64_t size() const = 0;
+  virtual StorageBreakdown storage() const = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_CORE_TWO_SIDED_INDEX_H_

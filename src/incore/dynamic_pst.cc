@@ -1,0 +1,390 @@
+#include "incore/dynamic_pst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pathcache {
+
+namespace {
+constexpr double kAlpha = 0.7;  // scapegoat weight-balance factor
+}
+
+DynamicPrioritySearchTree::DynamicPrioritySearchTree(
+    std::span<const Point> points) {
+  for (const Point& p : points) Insert(p);
+}
+
+int32_t DynamicPrioritySearchTree::NewNode() {
+  if (!free_list_.empty()) {
+    int32_t idx = free_list_.back();
+    free_list_.pop_back();
+    nodes_[idx] = Node{};
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void DynamicPrioritySearchTree::FreeNode(int32_t idx) {
+  free_list_.push_back(idx);
+}
+
+void DynamicPrioritySearchTree::PushDown(int32_t from, Point p) {
+  int32_t v = from;
+  for (;;) {
+    Node& nd = nodes_[v];
+    if (!nd.has_pt) {
+      nd.pt = p;
+      nd.has_pt = true;
+      return;
+    }
+    if (StrongerY(p, nd.pt)) std::swap(p, nd.pt);
+    if (nd.is_leaf) {
+      // Unique keys make this unreachable: the only point whose route ends
+      // here shares this leaf's key.  Overwrite defensively.
+      nd.pt = p;
+      return;
+    }
+    v = KeyLess(p.x, p.id, nd.key_x, nd.key_id) ||
+                (p.x == nd.key_x && p.id == nd.key_id)
+            ? nd.left
+            : nd.right;
+  }
+}
+
+void DynamicPrioritySearchTree::PullUp(int32_t v) {
+  // nodes_[v].has_pt was just cleared; refill from the stronger child,
+  // cascading the hole downward until it reaches slot-free territory.
+  int32_t cur = v;
+  for (;;) {
+    Node& nd = nodes_[cur];
+    if (nd.is_leaf) return;
+    int32_t l = nd.left, r = nd.right;
+    int32_t pick = -1;
+    if (l >= 0 && nodes_[l].has_pt) pick = l;
+    if (r >= 0 && nodes_[r].has_pt &&
+        (pick < 0 || StrongerY(nodes_[r].pt, nodes_[pick].pt))) {
+      pick = r;
+    }
+    if (pick < 0) return;
+    nd.pt = nodes_[pick].pt;
+    nd.has_pt = true;
+    nodes_[pick].has_pt = false;
+    cur = pick;
+  }
+}
+
+void DynamicPrioritySearchTree::Insert(const Point& p) {
+  if (root_ < 0) {
+    root_ = NewNode();
+    Node& nd = nodes_[root_];
+    nd.key_x = p.x;
+    nd.key_id = p.id;
+    nd.pt = p;
+    nd.has_pt = true;
+    n_ = leaf_count_ = 1;
+    return;
+  }
+
+  // Descend to the leaf position for (p.x, p.id), recording the path.
+  std::vector<int32_t> path;
+  int32_t v = root_;
+  for (;;) {
+    path.push_back(v);
+    Node& nd = nodes_[v];
+    if (nd.is_leaf) break;
+    v = (KeyLess(p.x, p.id, nd.key_x, nd.key_id) ||
+         (p.x == nd.key_x && p.id == nd.key_id))
+            ? nd.left
+            : nd.right;
+  }
+
+  Node& leaf = nodes_[v];
+  if (leaf.key_x == p.x && leaf.key_id == p.id) {
+    // Same key: replace the existing point (erase + reinsert semantics).
+    for (int32_t u : path) {
+      if (nodes_[u].has_pt && nodes_[u].pt.x == p.x &&
+          nodes_[u].pt.id == p.id) {
+        nodes_[u].has_pt = false;
+        PullUp(u);
+        break;
+      }
+    }
+    PushDown(root_, p);
+    return;
+  }
+
+  // Split the leaf: a new internal node with the two keyed leaves.  The old
+  // leaf's point is hoisted into the internal node to preserve the
+  // top-down-fill invariant (an empty slot never has a nonempty
+  // descendant), which is what makes parking a pushed-down point at the
+  // first empty slot heap-safe.
+  int32_t nl = NewNode();
+  int32_t ni = NewNode();
+  {
+    Node& newleaf = nodes_[nl];
+    newleaf.key_x = p.x;
+    newleaf.key_id = p.id;
+    Node& internal = nodes_[ni];
+    internal.is_leaf = false;
+    internal.leaves = 2;
+    const bool p_smaller = KeyLess(p.x, p.id, nodes_[v].key_x,
+                                   nodes_[v].key_id);
+    internal.left = p_smaller ? nl : v;
+    internal.right = p_smaller ? v : nl;
+    const Node& lchild = nodes_[internal.left];
+    internal.key_x = lchild.key_x;
+    internal.key_id = lchild.key_id;
+    Node& old_leaf = nodes_[v];
+    if (old_leaf.has_pt) {
+      internal.pt = old_leaf.pt;
+      internal.has_pt = true;
+      old_leaf.has_pt = false;
+    }
+  }
+  if (path.size() == 1) {
+    root_ = ni;
+  } else {
+    Node& parent = nodes_[path[path.size() - 2]];
+    (parent.left == v ? parent.left : parent.right) = ni;
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) ++nodes_[path[i]].leaves;
+  ++n_;
+  ++leaf_count_;
+
+  PushDown(root_, p);
+
+  // Scapegoat rebalance when the insertion went too deep.
+  const double limit =
+      std::log(static_cast<double>(std::max<size_t>(leaf_count_, 2))) /
+          std::log(1.0 / kAlpha) +
+      2.0;
+  if (static_cast<double>(path.size()) > limit) {
+    // Find the highest weight-unbalanced node on the path and rebuild it.
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const Node& nd = nodes_[path[i]];
+      const uint32_t child_leaves = nodes_[path[i + 1]].leaves;
+      if (static_cast<double>(child_leaves) >
+          kAlpha * static_cast<double>(nd.leaves)) {
+        int32_t parent = (i == 0) ? -1 : path[i - 1];
+        int32_t rebuilt;
+        {
+          std::vector<Point> pts;
+          std::vector<std::pair<int64_t, uint64_t>> keys;
+          CollectSubtree(path[i], &pts, &keys, /*free_nodes=*/true);
+          std::sort(keys.begin(), keys.end());
+          rebuilt = BuildBalanced(keys, 0, keys.size());
+          for (const Point& q : pts) PushDown(rebuilt, q);
+        }
+        if (parent < 0) {
+          root_ = rebuilt;
+        } else {
+          Node& pn = nodes_[parent];
+          (pn.left == path[i] ? pn.left : pn.right) = rebuilt;
+        }
+        ++rebuilds_;
+        break;
+      }
+    }
+  }
+}
+
+bool DynamicPrioritySearchTree::Erase(const Point& p) {
+  if (root_ < 0) return false;
+  // Locate the slot holding p along the route to its leaf.
+  std::vector<int32_t> path;
+  int32_t holder = -1;
+  int32_t v = root_;
+  for (;;) {
+    Node& nd = nodes_[v];
+    path.push_back(v);
+    if (nd.has_pt && nd.pt == p) {
+      holder = v;
+      break;
+    }
+    if (nd.has_pt && StrongerY(p, nd.pt)) return false;  // heap prune
+    if (nd.is_leaf) return false;
+    v = (KeyLess(p.x, p.id, nd.key_x, nd.key_id) ||
+         (p.x == nd.key_x && p.id == nd.key_id))
+            ? nd.left
+            : nd.right;
+  }
+  nodes_[holder].has_pt = false;
+  PullUp(holder);
+
+  // Remove the leaf keyed (p.x, p.id): continue the descent to it.
+  path.clear();
+  v = root_;
+  for (;;) {
+    path.push_back(v);
+    Node& nd = nodes_[v];
+    if (nd.is_leaf) break;
+    v = (KeyLess(p.x, p.id, nd.key_x, nd.key_id) ||
+         (p.x == nd.key_x && p.id == nd.key_id))
+            ? nd.left
+            : nd.right;
+  }
+  // By the unique-key argument the leaf's slot is empty now.
+  if (path.size() == 1) {
+    FreeNode(root_);
+    root_ = -1;
+    n_ = leaf_count_ = 0;
+    return true;
+  }
+  const int32_t leaf = path.back();
+  const int32_t parent = path[path.size() - 2];
+  const int32_t sibling =
+      nodes_[parent].left == leaf ? nodes_[parent].right : nodes_[parent].left;
+  Point displaced;
+  bool has_displaced = nodes_[parent].has_pt;
+  if (has_displaced) displaced = nodes_[parent].pt;
+  if (path.size() == 2) {
+    root_ = sibling;
+  } else {
+    Node& gp = nodes_[path[path.size() - 3]];
+    (gp.left == parent ? gp.left : gp.right) = sibling;
+  }
+  for (size_t i = 0; i + 2 < path.size(); ++i) --nodes_[path[i]].leaves;
+  FreeNode(leaf);
+  FreeNode(parent);
+  if (has_displaced) PushDown(sibling, displaced);
+
+  --n_;
+  --leaf_count_;
+  ++erased_since_rebuild_;
+  if (erased_since_rebuild_ > n_ + 1) GlobalRebuild();
+  return true;
+}
+
+int32_t DynamicPrioritySearchTree::BuildBalanced(
+    std::vector<std::pair<int64_t, uint64_t>>& keys, size_t lo, size_t hi) {
+  int32_t idx = NewNode();
+  if (hi - lo == 1) {
+    nodes_[idx].key_x = keys[lo].first;
+    nodes_[idx].key_id = keys[lo].second;
+    return idx;
+  }
+  size_t mid = (lo + hi + 1) / 2;  // left gets ceil
+  int32_t l = BuildBalanced(keys, lo, mid);
+  int32_t r = BuildBalanced(keys, mid, hi);
+  Node& nd = nodes_[idx];
+  nd.is_leaf = false;
+  nd.left = l;
+  nd.right = r;
+  nd.key_x = keys[mid - 1].first;  // max key of the left subtree
+  nd.key_id = keys[mid - 1].second;
+  nd.leaves = nodes_[l].leaves + nodes_[r].leaves;
+  return idx;
+}
+
+void DynamicPrioritySearchTree::CollectSubtree(
+    int32_t v, std::vector<Point>* pts,
+    std::vector<std::pair<int64_t, uint64_t>>* keys, bool free_nodes) {
+  if (v < 0) return;
+  const Node nd = nodes_[v];
+  if (nd.has_pt) pts->push_back(nd.pt);
+  if (nd.is_leaf) {
+    keys->push_back({nd.key_x, nd.key_id});
+  } else {
+    CollectSubtree(nd.left, pts, keys, free_nodes);
+    CollectSubtree(nd.right, pts, keys, free_nodes);
+  }
+  if (free_nodes) FreeNode(v);
+}
+
+void DynamicPrioritySearchTree::GlobalRebuild() {
+  if (root_ < 0) return;
+  std::vector<Point> pts;
+  std::vector<std::pair<int64_t, uint64_t>> keys;
+  CollectSubtree(root_, &pts, &keys, /*free_nodes=*/true);
+  std::sort(keys.begin(), keys.end());
+  root_ = keys.empty() ? -1 : BuildBalanced(keys, 0, keys.size());
+  for (const Point& q : pts) PushDown(root_, q);
+  erased_since_rebuild_ = 0;
+  ++rebuilds_;
+}
+
+void DynamicPrioritySearchTree::QueryRec(int32_t v, int64_t x1, int64_t x2,
+                                         int64_t y_min,
+                                         std::vector<Point>* out) const {
+  if (v < 0) return;
+  const Node& nd = nodes_[v];
+  if (nd.has_pt) {
+    if (nd.pt.y < y_min) return;  // heap prune: everything below is weaker
+    if (nd.pt.x >= x1 && nd.pt.x <= x2) out->push_back(nd.pt);
+  }
+  if (nd.is_leaf) return;
+  if (x1 <= nd.key_x) QueryRec(nd.left, x1, x2, y_min, out);
+  if (x2 >= nd.key_x) QueryRec(nd.right, x1, x2, y_min, out);
+}
+
+void DynamicPrioritySearchTree::QueryThreeSided(int64_t x1, int64_t x2,
+                                                int64_t y_min,
+                                                std::vector<Point>* out) const {
+  QueryRec(root_, x1, x2, y_min, out);
+}
+
+std::string DynamicPrioritySearchTree::CheckInvariants() const {
+  if (root_ < 0) return n_ == 0 ? "" : "empty tree with live points";
+  size_t points = 0, leaves = 0;
+  std::string err;
+
+  struct Item {
+    int32_t v;
+    bool has_anc;
+    Point anc;  // weakest slot seen above
+    int64_t klo_x;
+    uint64_t klo_id;
+    bool has_klo;
+    int64_t khi_x;
+    uint64_t khi_id;
+    bool has_khi;
+  };
+  std::vector<Item> stack{{root_, false, {}, 0, 0, false, 0, 0, false}};
+  while (!stack.empty() && err.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[it.v];
+    if (nd.has_pt) {
+      ++points;
+      if (it.has_anc && StrongerY(nd.pt, it.anc)) {
+        err = "heap order violated";
+        break;
+      }
+      // The point's key must lie within this subtree's key range.
+      if (it.has_klo &&
+          KeyLess(nd.pt.x, nd.pt.id, it.klo_x, it.klo_id)) {
+        err = "slot point left of subtree range";
+        break;
+      }
+      if (it.has_khi &&
+          KeyLess(it.khi_x, it.khi_id, nd.pt.x, nd.pt.id)) {
+        err = "slot point right of subtree range";
+        break;
+      }
+    }
+    Point anc = nd.has_pt ? nd.pt : it.anc;
+    bool has_anc = nd.has_pt || it.has_anc;
+    if (nd.is_leaf) {
+      ++leaves;
+      continue;
+    }
+    if (nd.leaves != nodes_[nd.left].leaves + nodes_[nd.right].leaves) {
+      err = "leaf count mismatch";
+      break;
+    }
+    Item l{nd.left, has_anc, anc, it.klo_x, it.klo_id,
+           it.has_klo, nd.key_x, nd.key_id, true};
+    Item r{nd.right, has_anc, anc, nd.key_x, nd.key_id,
+           true, it.khi_x, it.khi_id, it.has_khi};
+    stack.push_back(l);
+    stack.push_back(r);
+  }
+  if (!err.empty()) return err;
+  if (points != n_) return "point count mismatch";
+  if (leaves != leaf_count_) return "leaf count total mismatch";
+  return "";
+}
+
+}  // namespace pathcache

@@ -1,0 +1,111 @@
+// Dynamic in-core priority search tree.
+//
+// McCreight's PST is classically dynamic; this is the leaf-oriented
+// ("tournament") formulation with scapegoat rebalancing:
+//  * a BST whose LEAVES are the distinct (x, id) keys; internal nodes carry
+//    the max-key of their left subtree as the routing fence;
+//  * every node (internal or leaf) has one heap slot; a point is pushed
+//    down from the root, swapping with weaker slots, along the path towards
+//    its own leaf — it always terminates because its leaf's slot can only
+//    be empty or hold the point itself (keys are unique);
+//  * deletion pulls the stronger child slot upward to refill the hole, then
+//    removes the leaf (whose slot, by the key argument, is empty by then)
+//    and re-pushes the displaced parent slot;
+//  * inserts that land too deep trigger a scapegoat subtree rebuild
+//    (alpha-weight-balance); deletions are counted and amortized by a
+//    global rebuild once half the tree has been removed.
+//
+// Insert/Erase run in O(log n) amortized; 3-sided queries in O(log n + t).
+// This rounds out the in-core toolbox the paper externalizes and serves as
+// a second dynamic oracle for the external DynamicPst.
+
+#ifndef PATHCACHE_INCORE_DYNAMIC_PST_H_
+#define PATHCACHE_INCORE_DYNAMIC_PST_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class DynamicPrioritySearchTree {
+ public:
+  DynamicPrioritySearchTree() = default;
+
+  /// Bulk build (equivalent to inserting every point).
+  explicit DynamicPrioritySearchTree(std::span<const Point> points);
+
+  /// Inserts a point; (x, id) pairs must be unique among live points.
+  void Insert(const Point& p);
+
+  /// Removes a previously inserted point (exact x, y, id).  Returns false
+  /// if the point is not present.
+  bool Erase(const Point& p);
+
+  /// Appends all points with x1 <= x <= x2 and y >= y_min to `out`.
+  void QueryThreeSided(int64_t x1, int64_t x2, int64_t y_min,
+                       std::vector<Point>* out) const;
+
+  void QueryTwoSided(int64_t x_min, int64_t y_min,
+                     std::vector<Point>* out) const {
+    QueryThreeSided(x_min, INT64_MAX, y_min, out);
+  }
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Structural invariants (heap order, fences, slot-path membership,
+  /// sizes); empty string when consistent.  For tests; O(n log n).
+  std::string CheckInvariants() const;
+
+ private:
+  struct Node {
+    int64_t key_x = 0;    // leaf: its key; internal: left subtree's max key
+    uint64_t key_id = 0;
+    bool is_leaf = true;
+    bool has_pt = false;
+    Point pt;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t leaves = 1;  // leaves in subtree (weight for balancing)
+  };
+
+  static bool KeyLess(int64_t ax, uint64_t aid, int64_t bx, uint64_t bid) {
+    if (ax != bx) return ax < bx;
+    return aid < bid;
+  }
+  static bool StrongerY(const Point& a, const Point& b) {
+    if (a.y != b.y) return a.y > b.y;
+    return a.id > b.id;
+  }
+
+  int32_t NewNode();
+  void FreeNode(int32_t idx);
+  void PushDown(int32_t from, Point p);
+  void PullUp(int32_t v);
+  int32_t BuildBalanced(std::vector<std::pair<int64_t, uint64_t>>& keys,
+                        size_t lo, size_t hi);
+  void CollectSubtree(int32_t v, std::vector<Point>* pts,
+                      std::vector<std::pair<int64_t, uint64_t>>* keys,
+                      bool free_nodes);
+  void RebuildSubtree(int32_t* slot);
+  void GlobalRebuild();
+  void QueryRec(int32_t v, int64_t x1, int64_t x2, int64_t y_min,
+                std::vector<Point>* out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_list_;
+  int32_t root_ = -1;
+  size_t n_ = 0;            // live points
+  size_t leaf_count_ = 0;   // live leaves (== live points)
+  size_t erased_since_rebuild_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_INCORE_DYNAMIC_PST_H_

@@ -1,0 +1,90 @@
+#include "incore/interval_tree.h"
+
+#include <algorithm>
+
+namespace pathcache {
+
+int32_t IntervalTree::BuildRec(std::vector<Interval> pool,
+                               std::span<const int64_t> pts, size_t plo,
+                               size_t phi) {
+  if (pool.empty()) return -1;
+  size_t pmid = (plo + phi) / 2;
+  int64_t center = pts[pmid];
+
+  std::vector<Interval> crossing, left_pool, right_pool;
+  for (const auto& iv : pool) {
+    if (iv.hi < center) {
+      left_pool.push_back(iv);
+    } else if (iv.lo > center) {
+      right_pool.push_back(iv);
+    } else {
+      crossing.push_back(iv);
+    }
+  }
+  pool.clear();
+  pool.shrink_to_fit();
+
+  int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[idx].center = center;
+  {
+    Node& n = nodes_[idx];
+    n.by_lo = crossing;
+    std::sort(n.by_lo.begin(), n.by_lo.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    n.by_hi = std::move(crossing);
+    std::sort(n.by_hi.begin(), n.by_hi.end(),
+              [](const Interval& a, const Interval& b) { return a.hi > b.hi; });
+  }
+
+  int32_t l = plo < pmid ? BuildRec(std::move(left_pool), pts, plo, pmid) : -1;
+  int32_t r =
+      pmid + 1 < phi ? BuildRec(std::move(right_pool), pts, pmid + 1, phi) : -1;
+  nodes_[idx].left = l;
+  nodes_[idx].right = r;
+  return idx;
+}
+
+void IntervalTree::Build(std::span<const Interval> intervals) {
+  nodes_.clear();
+  root_ = -1;
+  num_intervals_ = intervals.size();
+  if (intervals.empty()) return;
+
+  std::vector<int64_t> pts;
+  pts.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    pts.push_back(iv.lo);
+    pts.push_back(iv.hi);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+  std::vector<Interval> pool(intervals.begin(), intervals.end());
+  root_ = BuildRec(std::move(pool), pts, 0, pts.size());
+}
+
+void IntervalTree::Stab(int64_t q, std::vector<Interval>* out) const {
+  int32_t cur = root_;
+  while (cur >= 0) {
+    const Node& n = nodes_[cur];
+    if (q < n.center) {
+      for (const auto& iv : n.by_lo) {
+        if (iv.lo > q) break;
+        out->push_back(iv);  // iv.hi >= center > q, so iv contains q
+      }
+      cur = n.left;
+    } else if (q > n.center) {
+      for (const auto& iv : n.by_hi) {
+        if (iv.hi < q) break;
+        out->push_back(iv);  // iv.lo <= center < q, so iv contains q
+      }
+      cur = n.right;
+    } else {
+      for (const auto& iv : n.by_lo) out->push_back(iv);  // all contain center
+      return;
+    }
+  }
+}
+
+}  // namespace pathcache

@@ -1,0 +1,50 @@
+// In-core interval tree (Edelsbrunner) for stabbing queries: a balanced tree
+// of center points; intervals containing a node's center live in two sorted
+// lists (ascending lo, descending hi); others recurse left/right.  Query
+// O(log n + t), space O(n).
+
+#ifndef PATHCACHE_INCORE_INTERVAL_TREE_H_
+#define PATHCACHE_INCORE_INTERVAL_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class IntervalTree {
+ public:
+  IntervalTree() = default;
+  explicit IntervalTree(std::span<const Interval> intervals) {
+    Build(intervals);
+  }
+
+  void Build(std::span<const Interval> intervals);
+
+  /// Appends every interval containing q to `out`.
+  void Stab(int64_t q, std::vector<Interval>* out) const;
+
+  size_t size() const { return num_intervals_; }
+
+ private:
+  struct Node {
+    int64_t center = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<Interval> by_lo;  // intervals crossing center, lo ascending
+    std::vector<Interval> by_hi;  // same intervals, hi descending
+  };
+
+  int32_t BuildRec(std::vector<Interval> pool, std::span<const int64_t> pts,
+                   size_t plo, size_t phi);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t num_intervals_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_INCORE_INTERVAL_TREE_H_

@@ -1,0 +1,66 @@
+#include "incore/priority_search_tree.h"
+
+#include <algorithm>
+
+namespace pathcache {
+
+void PrioritySearchTree::Build(std::span<const Point> points) {
+  nodes_.clear();
+  nodes_.reserve(points.size());
+  std::vector<Point> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), LessByX);
+  root_ = BuildRec(&pts, 0, pts.size());
+}
+
+int32_t PrioritySearchTree::BuildRec(std::vector<Point>* pts, size_t lo,
+                                     size_t hi) {
+  if (lo >= hi) return -1;
+  // Find the max-y point in [lo, hi); points stay x-sorted otherwise, so we
+  // swap it out and re-stitch by rotating it to the end of the range.
+  size_t best = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (LessByY((*pts)[best], (*pts)[i])) best = i;
+  }
+  Point top = (*pts)[best];
+  // Remove `best` while keeping x-order: shift the tail left by one.
+  for (size_t i = best; i + 1 < hi; ++i) (*pts)[i] = (*pts)[i + 1];
+  size_t n = hi - lo - 1;  // residual count
+
+  Node node;
+  node.point = top;
+  int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (n == 0) {
+    nodes_[idx].split = top.x;
+    return idx;
+  }
+  size_t mid = lo + (n - 1) / 2;  // left gets ceil(n/2) elements
+  nodes_[idx].split = (*pts)[mid].x;
+  int32_t l = BuildRec(pts, lo, mid + 1);
+  int32_t r = BuildRec(pts, mid + 1, lo + n);
+  nodes_[idx].left = l;
+  nodes_[idx].right = r;
+  return idx;
+}
+
+void PrioritySearchTree::QueryRec(int32_t node, int64_t x1, int64_t x2,
+                                  int64_t y_min,
+                                  std::vector<Point>* out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  ++visited_;
+  if (n.point.y < y_min) return;  // heap order: whole subtree is below y_min
+  if (n.point.x >= x1 && n.point.x <= x2) out->push_back(n.point);
+  if (x1 <= n.split) QueryRec(n.left, x1, x2, y_min, out);
+  // ">=" (not ">") because duplicate x values may straddle the split.
+  if (x2 >= n.split) QueryRec(n.right, x1, x2, y_min, out);
+}
+
+void PrioritySearchTree::QueryThreeSided(int64_t x1, int64_t x2, int64_t y_min,
+                                         std::vector<Point>* out) const {
+  visited_ = 0;
+  QueryRec(root_, x1, x2, y_min, out);
+}
+
+}  // namespace pathcache

@@ -1,0 +1,65 @@
+// In-core priority search tree (McCreight, SIAM J. Comput. 1985).
+//
+// A max-heap on y superimposed on a balanced search structure on x: the root
+// holds the highest-y point, the rest is split at the median x.  Answers
+// 3-sided queries [x1, x2] x [y, inf) in O(log n + t) and 2-sided queries as
+// the x2 = +inf special case.  This is the structure Sections 3-5 of the
+// paper externalize via path caching.
+
+#ifndef PATHCACHE_INCORE_PRIORITY_SEARCH_TREE_H_
+#define PATHCACHE_INCORE_PRIORITY_SEARCH_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class PrioritySearchTree {
+ public:
+  PrioritySearchTree() = default;
+
+  /// Builds from an arbitrary point set in O(n log n).
+  explicit PrioritySearchTree(std::span<const Point> points) { Build(points); }
+
+  void Build(std::span<const Point> points);
+
+  /// Appends all points with x1 <= x <= x2 and y >= y_min to `out`.
+  void QueryThreeSided(int64_t x1, int64_t x2, int64_t y_min,
+                       std::vector<Point>* out) const;
+
+  /// Appends all points with x >= x_min and y >= y_min to `out`.
+  void QueryTwoSided(int64_t x_min, int64_t y_min,
+                     std::vector<Point>* out) const {
+    QueryThreeSided(x_min, INT64_MAX, y_min, out);
+  }
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Number of nodes touched by the last query (for the O(log n + t)
+  /// complexity tests).
+  uint64_t last_nodes_visited() const { return visited_; }
+
+ private:
+  struct Node {
+    Point point;       // the max-y point of this subtree's residual set
+    int64_t split;     // x values <= split go left (after removing `point`)
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t BuildRec(std::vector<Point>* pts, size_t lo, size_t hi);
+  void QueryRec(int32_t node, int64_t x1, int64_t x2, int64_t y_min,
+                std::vector<Point>* out) const;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  mutable uint64_t visited_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_INCORE_PRIORITY_SEARCH_TREE_H_

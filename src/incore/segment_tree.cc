@@ -1,0 +1,77 @@
+#include "incore/segment_tree.h"
+
+#include <algorithm>
+
+namespace pathcache {
+
+namespace {
+// Closed input intervals [lo, hi] are handled over elementary half-open
+// pieces by treating hi as exclusive bound hi+1 internally.
+int64_t ExclusiveHi(const Interval& iv) { return iv.hi + 1; }
+}  // namespace
+
+int32_t SegmentTree::BuildRec(std::span<const int64_t> endpoints, size_t lo,
+                              size_t hi) {
+  // Builds over elementary slabs [e_lo, e_hi): leaf when one slab remains.
+  int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[idx].lo = endpoints[lo];
+  nodes_[idx].hi = endpoints[hi];
+  if (hi - lo <= 1) return idx;
+  size_t mid = (lo + hi) / 2;
+  int32_t l = BuildRec(endpoints, lo, mid);
+  int32_t r = BuildRec(endpoints, mid, hi);
+  nodes_[idx].left = l;
+  nodes_[idx].right = r;
+  return idx;
+}
+
+void SegmentTree::InsertRec(int32_t node, const Interval& iv) {
+  Node& n = nodes_[node];
+  const int64_t ivhi = ExclusiveHi(iv);
+  if (iv.lo <= n.lo && n.hi <= ivhi) {
+    n.cover.push_back(iv);
+    ++stored_copies_;
+    return;
+  }
+  if (n.left >= 0 && iv.lo < nodes_[n.left].hi) InsertRec(n.left, iv);
+  if (n.right >= 0 && ivhi > nodes_[n.right].lo) InsertRec(n.right, iv);
+}
+
+void SegmentTree::Build(std::span<const Interval> intervals) {
+  nodes_.clear();
+  root_ = -1;
+  stored_copies_ = 0;
+  num_intervals_ = intervals.size();
+  if (intervals.empty()) return;
+
+  std::vector<int64_t> endpoints;
+  endpoints.reserve(intervals.size() * 2 + 2);
+  for (const auto& iv : intervals) {
+    endpoints.push_back(iv.lo);
+    endpoints.push_back(ExclusiveHi(iv));
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  if (endpoints.size() == 1) endpoints.push_back(endpoints[0] + 1);
+
+  root_ = BuildRec(endpoints, 0, endpoints.size() - 1);
+  for (const auto& iv : intervals) InsertRec(root_, iv);
+}
+
+void SegmentTree::Stab(int64_t q, std::vector<Interval>* out) const {
+  int32_t cur = root_;
+  while (cur >= 0) {
+    const Node& n = nodes_[cur];
+    if (q < n.lo || q >= n.hi) return;  // outside the indexed domain
+    for (const auto& iv : n.cover) out->push_back(iv);
+    if (n.left >= 0 && q < nodes_[n.left].hi) {
+      cur = n.left;
+    } else {
+      cur = n.right;
+    }
+  }
+}
+
+}  // namespace pathcache

@@ -1,0 +1,54 @@
+// In-core segment tree (Bentley) for stabbing queries, as described in
+// Section 2 of the paper: a binary search tree over the 2n interval
+// endpoints, each input interval stored in the cover-lists of its at most
+// 2 log n allocation nodes.  Query O(log n + t), space O(n log n).
+
+#ifndef PATHCACHE_INCORE_SEGMENT_TREE_H_
+#define PATHCACHE_INCORE_SEGMENT_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+class SegmentTree {
+ public:
+  SegmentTree() = default;
+  explicit SegmentTree(std::span<const Interval> intervals) {
+    Build(intervals);
+  }
+
+  void Build(std::span<const Interval> intervals);
+
+  /// Appends every interval containing q to `out`.
+  void Stab(int64_t q, std::vector<Interval>* out) const;
+
+  size_t size() const { return num_intervals_; }
+
+  /// Total interval copies across all cover-lists (the O(n log n) term).
+  uint64_t stored_copies() const { return stored_copies_; }
+
+ private:
+  struct Node {
+    int64_t lo = 0;  // cover-interval [lo, hi)
+    int64_t hi = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<Interval> cover;
+  };
+
+  int32_t BuildRec(std::span<const int64_t> endpoints, size_t lo, size_t hi);
+  void InsertRec(int32_t node, const Interval& iv);
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t num_intervals_ = 0;
+  uint64_t stored_copies_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_INCORE_SEGMENT_TREE_H_

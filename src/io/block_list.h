@@ -1,0 +1,152 @@
+// BlockList: a list of fixed-size records packed B-to-a-page on a
+// PageDevice, scanned a block at a time.
+//
+// This is the storage shape the paper's accounting argument lives on: a list
+// is read front-to-back, every full block read is a "useful" I/O (returns B
+// records) and only the final partial block can be "wasteful".  Cover-lists,
+// X/Y-lists and the A/S caches are all BlockLists.
+//
+// On-page layout:  [BlockPageHeader][record 0][record 1]...[record k-1]
+// Pages are chained via `next`; builders also return the page-id vector so
+// callers that need random block access can keep a directory.
+
+#ifndef PATHCACHE_IO_BLOCK_LIST_H_
+#define PATHCACHE_IO_BLOCK_LIST_H_
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "io/page_device.h"
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+struct BlockPageHeader {
+  uint32_t count = 0;     // records in this page
+  uint32_t reserved = 0;  // alignment / future use
+  PageId next = kInvalidPageId;
+};
+static_assert(sizeof(BlockPageHeader) == 16);
+
+/// Handle to a stored BlockList.
+struct BlockListRef {
+  PageId head = kInvalidPageId;
+  uint64_t count = 0;  // total records
+
+  bool empty() const { return count == 0; }
+};
+
+/// Records per page for record type T on a device with the given page size.
+template <typename T>
+constexpr uint32_t RecordsPerPage(uint32_t page_size) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return (page_size - sizeof(BlockPageHeader)) / sizeof(T);
+}
+
+/// Result of building a list: the scan handle plus the page directory.
+struct BlockListInfo {
+  BlockListRef ref;
+  std::vector<PageId> pages;
+};
+
+/// Writes `records` as a chained BlockList.  One device write per page.
+template <typename T>
+Result<BlockListInfo> BuildBlockList(PageDevice* dev,
+                                     std::span<const T> records) {
+  BlockListInfo info;
+  info.ref.count = records.size();
+  if (records.empty()) return info;
+
+  const uint32_t per_page = RecordsPerPage<T>(dev->page_size());
+  const uint64_t num_pages = CeilDiv(records.size(), per_page);
+  info.pages.reserve(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    auto r = dev->Allocate();
+    if (!r.ok()) return r.status();
+    info.pages.push_back(r.value());
+  }
+  info.ref.head = info.pages[0];
+
+  std::vector<std::byte> buf(dev->page_size());
+  uint64_t off = 0;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const uint32_t here = static_cast<uint32_t>(
+        std::min<uint64_t>(per_page, records.size() - off));
+    BlockPageHeader hdr;
+    hdr.count = here;
+    hdr.next = (i + 1 < num_pages) ? info.pages[i + 1] : kInvalidPageId;
+    std::memset(buf.data(), 0, buf.size());
+    std::memcpy(buf.data(), &hdr, sizeof(hdr));
+    std::memcpy(buf.data() + sizeof(hdr), records.data() + off,
+                here * sizeof(T));
+    PC_RETURN_IF_ERROR(dev->Write(info.pages[i], buf.data()));
+    off += here;
+  }
+  return info;
+}
+
+/// Frees every page of a list built by BuildBlockList.
+inline Status FreeBlockList(PageDevice* dev, const BlockListRef& ref) {
+  PageId id = ref.head;
+  std::vector<std::byte> buf(dev->page_size());
+  while (id != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    PC_RETURN_IF_ERROR(dev->Free(id));
+    id = hdr.next;
+  }
+  return Status::OK();
+}
+
+/// Forward scanner over a BlockList; one device read per NextBlock().
+template <typename T>
+class BlockListCursor {
+ public:
+  BlockListCursor(PageDevice* dev, const BlockListRef& ref)
+      : dev_(dev), next_(ref.head), buf_(dev->page_size()) {}
+
+  /// Starts mid-list at a known page (from a BlockListInfo directory).
+  BlockListCursor(PageDevice* dev, PageId start_page)
+      : dev_(dev), next_(start_page), buf_(dev->page_size()) {}
+
+  bool done() const { return next_ == kInvalidPageId; }
+
+  /// Appends the next page's records to `out`; no-op once done().
+  Status NextBlock(std::vector<T>* out) {
+    if (done()) return Status::OK();
+    PC_RETURN_IF_ERROR(dev_->Read(next_, buf_.data()));
+    ++blocks_read_;
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf_.data(), sizeof(hdr));
+    const size_t old = out->size();
+    out->resize(old + hdr.count);
+    std::memcpy(out->data() + old, buf_.data() + sizeof(hdr),
+                hdr.count * sizeof(T));
+    next_ = hdr.next;
+    return Status::OK();
+  }
+
+  uint64_t blocks_read() const { return blocks_read_; }
+
+ private:
+  PageDevice* dev_;
+  PageId next_;
+  std::vector<std::byte> buf_;
+  uint64_t blocks_read_ = 0;
+};
+
+/// Reads an entire list into memory (used by rebuild paths and tests).
+template <typename T>
+Status ReadBlockList(PageDevice* dev, const BlockListRef& ref,
+                     std::vector<T>* out) {
+  BlockListCursor<T> cur(dev, ref);
+  while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(out));
+  return Status::OK();
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_BLOCK_LIST_H_

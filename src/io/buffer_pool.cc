@@ -1,0 +1,75 @@
+#include "io/buffer_pool.h"
+
+#include <cstring>
+
+namespace pathcache {
+
+BufferPool::BufferPool(PageDevice* inner, uint64_t capacity_pages)
+    : inner_(inner), capacity_(capacity_pages) {}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  lru_.clear();
+}
+
+void BufferPool::Touch(Frame& f, PageId id) {
+  lru_.erase(f.lru_it);
+  lru_.push_front(id);
+  f.lru_it = lru_.begin();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (frames_.size() > capacity_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+}
+
+void BufferPool::InsertFrame(PageId id, const std::byte* buf) {
+  if (capacity_ == 0) return;
+  auto data = std::make_unique<std::byte[]>(page_size());
+  std::memcpy(data.get(), buf, page_size());
+  lru_.push_front(id);
+  frames_[id] = Frame{std::move(data), lru_.begin()};
+  EvictIfNeeded();
+}
+
+Status BufferPool::Free(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    lru_.erase(it->second.lru_it);
+    frames_.erase(it);
+  }
+  return inner_->Free(id);
+}
+
+Status BufferPool::Read(PageId id, std::byte* buf) {
+  ++stats_.reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Touch(it->second, id);
+    std::memcpy(buf, it->second.data.get(), page_size());
+    return Status::OK();
+  }
+  ++misses_;
+  PC_RETURN_IF_ERROR(inner_->Read(id, buf));
+  InsertFrame(id, buf);
+  return Status::OK();
+}
+
+Status BufferPool::Write(PageId id, const std::byte* buf) {
+  ++stats_.writes;
+  PC_RETURN_IF_ERROR(inner_->Write(id, buf));
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Touch(it->second, id);
+    std::memcpy(it->second.data.get(), buf, page_size());
+  } else {
+    InsertFrame(id, buf);
+  }
+  return Status::OK();
+}
+
+}  // namespace pathcache

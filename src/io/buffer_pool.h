@@ -1,0 +1,60 @@
+// BufferPool: an LRU page cache that is itself a PageDevice decorating an
+// inner device.  Reads served from the pool cost nothing on the inner
+// device's counters, so `inner->stats()` measures cache-miss I/Os — the
+// quantity the paper's model charges for — while `pool.stats()` measures
+// logical accesses.  Writes are write-through.
+
+#ifndef PATHCACHE_IO_BUFFER_POOL_H_
+#define PATHCACHE_IO_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "io/page_device.h"
+
+namespace pathcache {
+
+class BufferPool final : public PageDevice {
+ public:
+  /// `capacity_pages == 0` makes the pool a pure pass-through.
+  BufferPool(PageDevice* inner, uint64_t capacity_pages);
+
+  uint32_t page_size() const override { return inner_->page_size(); }
+  Result<PageId> Allocate() override { return inner_->Allocate(); }
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::byte* buf) override;
+  Status Write(PageId id, const std::byte* buf) override;
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; hits_ = 0; misses_ = 0; }
+  uint64_t live_pages() const override { return inner_->live_pages(); }
+
+  /// Drops every cached frame (e.g., to measure cold-cache queries).
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t cached_pages() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  void Touch(Frame& f, PageId id);
+  void InsertFrame(PageId id, const std::byte* buf);
+  void EvictIfNeeded();
+
+  PageDevice* inner_;
+  uint64_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  IoStats stats_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_BUFFER_POOL_H_

@@ -1,0 +1,116 @@
+#include "io/file_page_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace pathcache {
+
+Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Create(
+    const std::string& path, uint32_t page_size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FilePageDevice>(new FilePageDevice(fd, page_size));
+}
+
+Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Open(
+    const std::string& path, uint32_t page_size) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek: " + std::string(std::strerror(errno)));
+  }
+  if (size % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption("file size is not a multiple of the page size");
+  }
+  auto dev = std::unique_ptr<FilePageDevice>(
+      new FilePageDevice(fd, page_size));
+  dev->page_count_ = static_cast<uint64_t>(size) / page_size;
+  dev->live_ = dev->page_count_;
+  dev->freed_.assign(dev->page_count_, false);
+  return dev;
+}
+
+FilePageDevice::~FilePageDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePageDevice::CheckId(PageId id) const {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(id));
+  }
+  if (freed_[id]) {
+    return Status::Corruption("access to freed page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> FilePageDevice::Allocate() {
+  ++stats_.allocs;
+  ++live_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    std::string zeros(page_size_, '\0');
+    if (::pwrite(fd_, zeros.data(), page_size_,
+                 static_cast<off_t>(id) * page_size_) !=
+        static_cast<ssize_t>(page_size_)) {
+      return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    return id;
+  }
+  PageId id = page_count_++;
+  freed_.push_back(false);
+  std::string zeros(page_size_, '\0');
+  if (::pwrite(fd_, zeros.data(), page_size_,
+               static_cast<off_t>(id) * page_size_) !=
+      static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  return id;
+}
+
+Status FilePageDevice::Free(PageId id) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.frees;
+  --live_;
+  freed_[id] = true;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status FilePageDevice::Read(PageId id, std::byte* buf) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  ssize_t r = ::pread(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
+  if (r != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pread: " + std::string(std::strerror(errno)));
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FilePageDevice::Write(PageId id, const std::byte* buf) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  ssize_t r =
+      ::pwrite(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
+  if (r != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace pathcache

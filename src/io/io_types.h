@@ -1,0 +1,37 @@
+// Core identifiers and counters for the simulated block device.
+
+#ifndef PATHCACHE_IO_IO_TYPES_H_
+#define PATHCACHE_IO_IO_TYPES_H_
+
+#include <cstdint>
+
+namespace pathcache {
+
+/// Identifier of a disk page (block).  Dense, allocated by the device.
+using PageId = uint64_t;
+
+inline constexpr PageId kInvalidPageId = ~0ULL;
+
+/// Default simulated page size in bytes.  With 24-byte point records this
+/// gives B ~= 170 records per page; benchmarks sweep this.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// I/O counters.  `reads`/`writes` are the quantities every theorem in the
+/// paper bounds; everything is measured in whole pages.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+
+  uint64_t total() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{reads - o.reads, writes - o.writes, allocs - o.allocs,
+                   frees - o.frees};
+  }
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_IO_TYPES_H_

@@ -1,0 +1,68 @@
+#include "io/mem_page_device.h"
+
+#include <cstring>
+#include <string>
+
+namespace pathcache {
+
+MemPageDevice::MemPageDevice(uint32_t page_size) : page_size_(page_size) {}
+
+Status MemPageDevice::MaybeFail() {
+  if (fail_after_ < 0) return Status::OK();
+  if (fail_after_ == 0) return Status::IoError("injected device failure");
+  --fail_after_;
+  return Status::OK();
+}
+
+Status MemPageDevice::CheckId(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(id));
+  }
+  if (freed_[id]) {
+    return Status::Corruption("access to freed page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> MemPageDevice::Allocate() {
+  ++stats_.allocs;
+  ++live_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  pages_.push_back(std::make_unique<std::byte[]>(page_size_));
+  freed_.push_back(false);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPageDevice::Free(PageId id) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.frees;
+  --live_;
+  freed_[id] = true;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status MemPageDevice::Read(PageId id, std::byte* buf) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  PC_RETURN_IF_ERROR(MaybeFail());
+  ++stats_.reads;
+  std::memcpy(buf, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status MemPageDevice::Write(PageId id, const std::byte* buf) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  PC_RETURN_IF_ERROR(MaybeFail());
+  ++stats_.writes;
+  std::memcpy(pages_[id].get(), buf, page_size_);
+  return Status::OK();
+}
+
+}  // namespace pathcache

@@ -1,0 +1,47 @@
+// An in-memory simulated disk with exact I/O accounting and optional fault
+// injection.  This is the measurement substrate for every experiment: the
+// paper's model (one unit per page access) maps 1:1 onto reads/writes here.
+
+#ifndef PATHCACHE_IO_MEM_PAGE_DEVICE_H_
+#define PATHCACHE_IO_MEM_PAGE_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "io/page_device.h"
+
+namespace pathcache {
+
+class MemPageDevice final : public PageDevice {
+ public:
+  explicit MemPageDevice(uint32_t page_size = kDefaultPageSize);
+
+  uint32_t page_size() const override { return page_size_; }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::byte* buf) override;
+  Status Write(PageId id, const std::byte* buf) override;
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+  uint64_t live_pages() const override { return live_; }
+
+  /// Fault injection: after `n` further successful reads/writes, every
+  /// subsequent call fails with IOError.  Pass a negative value to disarm.
+  void InjectFailureAfter(int64_t n) { fail_after_ = n; }
+
+ private:
+  Status CheckId(PageId id) const;
+  Status MaybeFail();
+
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<std::byte[]>> pages_;
+  std::vector<bool> freed_;
+  std::vector<PageId> free_list_;
+  uint64_t live_ = 0;
+  IoStats stats_;
+  int64_t fail_after_ = -1;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_MEM_PAGE_DEVICE_H_

@@ -1,0 +1,49 @@
+// PageDevice: the abstract block device every external structure is built on.
+//
+// The paper's cost model charges one unit per page transferred; a PageDevice
+// counts exactly that.  Implementations: MemPageDevice (simulated, counted),
+// FilePageDevice (a real file, for demos), BufferPool (an LRU cache that is
+// itself a PageDevice decorating another).
+
+#ifndef PATHCACHE_IO_PAGE_DEVICE_H_
+#define PATHCACHE_IO_PAGE_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "io/io_types.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+class PageDevice {
+ public:
+  virtual ~PageDevice() = default;
+
+  /// Page size in bytes; fixed for the lifetime of the device.
+  virtual uint32_t page_size() const = 0;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Returns a page to the device.  Reading a freed page is Corruption.
+  virtual Status Free(PageId id) = 0;
+
+  /// Copies the page into `buf`, which must hold page_size() bytes.
+  virtual Status Read(PageId id, std::byte* buf) = 0;
+
+  /// Overwrites the page from `buf`, which must hold page_size() bytes.
+  virtual Status Write(PageId id, const std::byte* buf) = 0;
+
+  /// Cumulative counters since construction or the last ResetStats().
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Number of live (allocated, not freed) pages — the "disk blocks of
+  /// storage" quantity in the paper's space bounds.
+  virtual uint64_t live_pages() const = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_PAGE_DEVICE_H_

@@ -1,0 +1,94 @@
+// Geometric record types shared by every module.
+//
+// The paper assumes all endpoints / coordinates are distinct; the library
+// does not require that of callers but breaks ties deterministically by
+// record id, which restores the assumption internally.
+
+#ifndef PATHCACHE_UTIL_GEOMETRY_H_
+#define PATHCACHE_UTIL_GEOMETRY_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace pathcache {
+
+/// A 2-D point with a caller-supplied identifier (e.g., a tuple id).
+struct Point {
+  int64_t x = 0;
+  int64_t y = 0;
+  uint64_t id = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+static_assert(sizeof(Point) == 24);
+
+/// A closed 1-D interval [lo, hi] with a caller-supplied identifier.
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  uint64_t id = 0;
+
+  bool Contains(int64_t q) const { return lo <= q && q <= hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+static_assert(sizeof(Interval) == 24);
+
+/// Orders by x, ties by id (ascending).
+inline bool LessByX(const Point& a, const Point& b) {
+  return std::tie(a.x, a.id) < std::tie(b.x, b.id);
+}
+
+/// Orders by y, ties by id (ascending).
+inline bool LessByY(const Point& a, const Point& b) {
+  return std::tie(a.y, a.id) < std::tie(b.y, b.id);
+}
+
+/// Descending-x order used by A/X lists ("right-to-left").
+inline bool GreaterByX(const Point& a, const Point& b) { return LessByX(b, a); }
+
+/// Descending-y order used by S/Y lists ("top-to-bottom").
+inline bool GreaterByY(const Point& a, const Point& b) { return LessByY(b, a); }
+
+/// 2-sided query (Figure 1): report points with x >= x_min && y >= y_min.
+struct TwoSidedQuery {
+  int64_t x_min = 0;
+  int64_t y_min = 0;
+
+  bool Contains(const Point& p) const { return p.x >= x_min && p.y >= y_min; }
+};
+
+/// 3-sided query (Figure 1): x_min <= x <= x_max && y >= y_min.
+struct ThreeSidedQuery {
+  int64_t x_min = 0;
+  int64_t x_max = 0;
+  int64_t y_min = 0;
+
+  bool Contains(const Point& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min;
+  }
+};
+
+/// General axis-aligned rectangle query (Figure 1, rightmost shape).
+struct RangeQuery {
+  int64_t x_min = 0;
+  int64_t x_max = 0;
+  int64_t y_min = 0;
+  int64_t y_max = 0;
+
+  bool Contains(const Point& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+  }
+};
+
+/// Diagonal-corner query (Figure 1): 2-sided query whose corner lies on the
+/// diagonal x == y; the shape stabbing queries reduce to in [KRV].
+struct DiagonalCornerQuery {
+  int64_t corner = 0;
+
+  TwoSidedQuery AsTwoSided() const { return TwoSidedQuery{corner, corner}; }
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_UTIL_GEOMETRY_H_

@@ -1,0 +1,46 @@
+#include "util/mathutil.h"
+
+namespace pathcache {
+
+uint32_t FloorLogBase(uint64_t x, uint64_t b) {
+  uint32_t r = 0;
+  while (x >= b) {
+    x /= b;
+    ++r;
+  }
+  return r;
+}
+
+uint32_t CeilLogBase(uint64_t x, uint64_t b) {
+  if (x <= 1) return 0;
+  uint32_t r = 0;
+  uint64_t p = 1;
+  // Invariant: p == b^r, saturating; stop once p >= x.
+  while (p < x) {
+    if (p > x / b + 1) {
+      ++r;
+      break;
+    }
+    p *= b;
+    ++r;
+  }
+  return r;
+}
+
+uint32_t LogStar(uint64_t x) {
+  uint32_t r = 0;
+  while (x > 1) {
+    x = FloorLog2(x);
+    ++r;
+  }
+  return r;
+}
+
+uint32_t FloorLogLog2(uint64_t x) {
+  if (x < 4) return 1;
+  uint32_t l = FloorLog2(x);
+  uint32_t ll = FloorLog2(l);
+  return ll < 1 ? 1 : ll;
+}
+
+}  // namespace pathcache

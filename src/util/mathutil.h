@@ -1,0 +1,57 @@
+// Small integer-arithmetic helpers used throughout the library, chiefly for
+// the block-size arithmetic that shows up in every path-caching bound:
+// ceil-division, integer logs, iterated logs (log log, log*).
+
+#ifndef PATHCACHE_UTIL_MATHUTIL_H_
+#define PATHCACHE_UTIL_MATHUTIL_H_
+
+#include <cstdint>
+
+namespace pathcache {
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// floor(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr uint32_t FloorLog2(uint64_t x) {
+  uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr uint32_t CeilLog2(uint64_t x) {
+  if (x <= 1) return 0;
+  return FloorLog2(x - 1) + 1;
+}
+
+/// floor(log_b(x)) for b >= 2, x >= 1.
+uint32_t FloorLogBase(uint64_t x, uint64_t b);
+
+/// ceil(log_b(x)) for b >= 2, x >= 1 (0 when x <= 1).
+uint32_t CeilLogBase(uint64_t x, uint64_t b);
+
+/// Iterated logarithm base 2: the number of times log2 must be applied to x
+/// before the result is <= 1.  LogStar(65536) == 4, LogStar(2^65536) == 5.
+uint32_t LogStar(uint64_t x);
+
+/// max(1, floor(log2(floor(log2(x))))) convenience used for level-2 region
+/// sizing in the multilevel scheme; defined as 1 for x < 4.
+uint32_t FloorLogLog2(uint64_t x);
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_UTIL_MATHUTIL_H_

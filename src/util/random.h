@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation for workloads and tests.
+//
+// A small xoshiro256++ engine plus the distributions the benchmark workloads
+// need (uniform ints/doubles, Zipf).  Seeded explicitly everywhere so every
+// experiment is reproducible run-to-run.
+
+#ifndef PATHCACHE_UTIL_RANDOM_H_
+#define PATHCACHE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pathcache {
+
+/// xoshiro256++ PRNG.  Not cryptographic; fast and well distributed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [0, n): rank r drawn with probability
+/// proportional to 1/(r+1)^theta.  Precomputes the CDF; O(log n) per sample.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_UTIL_RANDOM_H_

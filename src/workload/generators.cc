@@ -1,0 +1,247 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathcache {
+
+namespace {
+int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+}  // namespace
+
+std::vector<Point> GenPointsUniform(const PointGenOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<Point> pts(opts.n);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    pts[i] = Point{rng.UniformRange(opts.coord_min, opts.coord_max),
+                   rng.UniformRange(opts.coord_min, opts.coord_max), i};
+  }
+  return pts;
+}
+
+std::vector<Point> GenPointsClustered(const PointGenOptions& opts,
+                                      uint32_t clusters, int64_t spread) {
+  Rng rng(opts.seed);
+  std::vector<Point> centers;
+  for (uint32_t c = 0; c < clusters; ++c) {
+    centers.push_back(Point{rng.UniformRange(opts.coord_min, opts.coord_max),
+                            rng.UniformRange(opts.coord_min, opts.coord_max),
+                            c});
+  }
+  std::vector<Point> pts(opts.n);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    const Point& c = centers[rng.Uniform(clusters)];
+    // Sum of three uniforms approximates a Gaussian well enough here.
+    auto jitter = [&]() {
+      return (rng.UniformRange(-spread, spread) +
+              rng.UniformRange(-spread, spread) +
+              rng.UniformRange(-spread, spread)) /
+             3;
+    };
+    pts[i] = Point{Clamp(c.x + jitter(), opts.coord_min, opts.coord_max),
+                   Clamp(c.y + jitter(), opts.coord_min, opts.coord_max), i};
+  }
+  return pts;
+}
+
+std::vector<Point> GenPointsDiagonal(const PointGenOptions& opts,
+                                     int64_t noise) {
+  Rng rng(opts.seed);
+  std::vector<Point> pts(opts.n);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    int64_t x = rng.UniformRange(opts.coord_min, opts.coord_max);
+    int64_t y = Clamp(x + rng.UniformRange(-noise, noise), opts.coord_min,
+                      opts.coord_max);
+    pts[i] = Point{x, y, i};
+  }
+  return pts;
+}
+
+std::vector<Point> GenPointsAntiCorrelated(const PointGenOptions& opts,
+                                           int64_t noise) {
+  Rng rng(opts.seed);
+  std::vector<Point> pts(opts.n);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    int64_t x = rng.UniformRange(opts.coord_min, opts.coord_max);
+    int64_t y = Clamp(opts.coord_max - (x - opts.coord_min) +
+                          rng.UniformRange(-noise, noise),
+                      opts.coord_min, opts.coord_max);
+    pts[i] = Point{x, y, i};
+  }
+  return pts;
+}
+
+std::vector<Point> GenPointsZipfX(const PointGenOptions& opts, double theta) {
+  Rng rng(opts.seed);
+  const uint64_t buckets = 1024;
+  Zipf zipf(buckets, theta, opts.seed ^ 0x5A17ULL);
+  std::vector<Point> pts(opts.n);
+  const int64_t span = opts.coord_max - opts.coord_min;
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    uint64_t rank = zipf.Next();
+    int64_t lo = opts.coord_min + static_cast<int64_t>(
+                                      span * (static_cast<double>(rank) /
+                                              static_cast<double>(buckets)));
+    int64_t hi = opts.coord_min + static_cast<int64_t>(
+                                      span * (static_cast<double>(rank + 1) /
+                                              static_cast<double>(buckets)));
+    pts[i] = Point{rng.UniformRange(lo, std::max(lo, hi - 1)),
+                   rng.UniformRange(opts.coord_min, opts.coord_max), i};
+  }
+  return pts;
+}
+
+std::vector<Interval> GenIntervalsUniform(const IntervalGenOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<Interval> ivs(opts.n);
+  const double domain =
+      static_cast<double>(opts.domain_max - opts.domain_min);
+  const double mean_len = std::max(1.0, domain * opts.mean_len_frac);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    int64_t lo = rng.UniformRange(opts.domain_min, opts.domain_max - 1);
+    // Exponential length with the requested mean.
+    double u = std::max(1e-12, rng.NextDouble());
+    int64_t len = std::max<int64_t>(1, static_cast<int64_t>(-mean_len *
+                                                            std::log(u)));
+    ivs[i] = Interval{lo, Clamp(lo + len, lo + 1, opts.domain_max), i};
+  }
+  return ivs;
+}
+
+std::vector<Interval> GenIntervalsNested(const IntervalGenOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<Interval> ivs;
+  ivs.reserve(opts.n);
+  int64_t lo = opts.domain_min;
+  int64_t hi = opts.domain_max;
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    ivs.push_back(Interval{lo, hi, i});
+    // Shrink towards a random interior point; restart when too narrow.
+    if (hi - lo < 4) {
+      lo = opts.domain_min + rng.UniformRange(0, (opts.domain_max -
+                                                  opts.domain_min) /
+                                                     2);
+      hi = opts.domain_max - rng.UniformRange(0, (opts.domain_max - lo) / 2);
+      if (hi - lo < 4) {
+        lo = opts.domain_min;
+        hi = opts.domain_max;
+      }
+      continue;
+    }
+    int64_t shrink_lo = rng.UniformRange(1, std::max<int64_t>(1, (hi - lo) / 8));
+    int64_t shrink_hi = rng.UniformRange(1, std::max<int64_t>(1, (hi - lo) / 8));
+    lo += shrink_lo;
+    hi -= shrink_hi;
+    if (lo >= hi) {
+      lo = opts.domain_min;
+      hi = opts.domain_max;
+    }
+  }
+  return ivs;
+}
+
+std::vector<Interval> GenIntervalsBursty(const IntervalGenOptions& opts,
+                                         uint32_t bursts) {
+  Rng rng(opts.seed);
+  std::vector<int64_t> centers;
+  for (uint32_t b = 0; b < bursts; ++b) {
+    centers.push_back(rng.UniformRange(opts.domain_min, opts.domain_max));
+  }
+  const double domain =
+      static_cast<double>(opts.domain_max - opts.domain_min);
+  const int64_t burst_spread = std::max<int64_t>(1, static_cast<int64_t>(
+                                                        domain / bursts / 4));
+  const double mean_len = std::max(1.0, domain * opts.mean_len_frac);
+  std::vector<Interval> ivs(opts.n);
+  for (uint64_t i = 0; i < opts.n; ++i) {
+    int64_t c = centers[rng.Uniform(bursts)];
+    int64_t lo = Clamp(c + rng.UniformRange(-burst_spread, burst_spread),
+                       opts.domain_min, opts.domain_max - 1);
+    double u = std::max(1e-12, rng.NextDouble());
+    int64_t len = std::max<int64_t>(
+        1, static_cast<int64_t>(-mean_len * std::log(u) / 4));
+    ivs[i] = Interval{lo, Clamp(lo + len, lo + 1, opts.domain_max), i};
+  }
+  return ivs;
+}
+
+TwoSidedQuery SampleTwoSidedQuery(const std::vector<Point>& pts, Rng* rng) {
+  const Point& p = pts[rng->Uniform(pts.size())];
+  const Point& q = pts[rng->Uniform(pts.size())];
+  return TwoSidedQuery{std::min(p.x, q.x), std::min(p.y, q.y)};
+}
+
+ThreeSidedQuery SampleThreeSidedQuery(const std::vector<Point>& pts,
+                                      double x_frac, Rng* rng) {
+  const Point& p = pts[rng->Uniform(pts.size())];
+  int64_t min_x = INT64_MAX, max_x = INT64_MIN;
+  for (const auto& pt : pts) {
+    min_x = std::min(min_x, pt.x);
+    max_x = std::max(max_x, pt.x);
+  }
+  int64_t width = static_cast<int64_t>(
+      static_cast<double>(max_x - min_x) * x_frac);
+  return ThreeSidedQuery{p.x - width / 2, p.x + width / 2, p.y};
+}
+
+void MakeCoordinatesDistinct(std::vector<Point>* pts) {
+  std::vector<size_t> order(pts->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto respace = [&](auto key_of, auto set_key) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      auto ka = key_of((*pts)[a]);
+      auto kb = key_of((*pts)[b]);
+      if (ka != kb) return ka < kb;
+      return (*pts)[a].id < (*pts)[b].id;
+    });
+    // Multiply by a stride so order is preserved with room between values.
+    for (size_t r = 0; r < order.size(); ++r) {
+      set_key(&(*pts)[order[r]], static_cast<int64_t>(r) * 2);
+    }
+  };
+  respace([](const Point& p) { return p.x; },
+          [](Point* p, int64_t v) { p->x = v; });
+  respace([](const Point& p) { return p.y; },
+          [](Point* p, int64_t v) { p->y = v; });
+}
+
+void MakeEndpointsDistinct(std::vector<Interval>* ivs) {
+  // Collect all 2n endpoints, rank them, and re-space onto even integers so
+  // every endpoint is unique while containment relations are preserved.
+  struct End {
+    int64_t v;
+    uint64_t idx;  // position in *ivs, not the caller-visible id
+    bool is_hi;
+  };
+  std::vector<End> ends;
+  ends.reserve(ivs->size() * 2);
+  for (size_t i = 0; i < ivs->size(); ++i) {
+    ends.push_back({(*ivs)[i].lo, i, false});
+    ends.push_back({(*ivs)[i].hi, i, true});
+  }
+  std::sort(ends.begin(), ends.end(), [](const End& a, const End& b) {
+    if (a.v != b.v) return a.v < b.v;
+    // At equal values, put starts before ends: an interval starting where
+    // another ends keeps overlapping it after re-spacing.
+    if (a.is_hi != b.is_hi) return !a.is_hi;
+    return a.idx < b.idx;
+  });
+  std::vector<int64_t> new_lo(ivs->size()), new_hi(ivs->size());
+  for (size_t r = 0; r < ends.size(); ++r) {
+    if (ends[r].is_hi) {
+      new_hi[ends[r].idx] = static_cast<int64_t>(r) * 2;
+    } else {
+      new_lo[ends[r].idx] = static_cast<int64_t>(r) * 2;
+    }
+  }
+  for (size_t i = 0; i < ivs->size(); ++i) {
+    (*ivs)[i].lo = new_lo[i];
+    (*ivs)[i].hi = new_hi[i];
+    if ((*ivs)[i].hi <= (*ivs)[i].lo) (*ivs)[i].hi = (*ivs)[i].lo + 1;
+  }
+}
+
+}  // namespace pathcache

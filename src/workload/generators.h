@@ -1,0 +1,81 @@
+// Synthetic workload generators for the experiments.
+//
+// Each generator is deterministic in its seed.  Distributions cover the
+// regimes the paper's motivation cares about: uniform spatial data,
+// clustered (object extents), diagonal (short intervals mapped to points via
+// the [KRV] stabbing reduction land near the x = -y diagonal), and
+// anti-correlated (worst-ish case for one-dimensional filtering baselines).
+
+#ifndef PATHCACHE_WORKLOAD_GENERATORS_H_
+#define PATHCACHE_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/random.h"
+
+namespace pathcache {
+
+struct PointGenOptions {
+  uint64_t n = 0;
+  int64_t coord_min = 0;
+  int64_t coord_max = 1'000'000'000;
+  uint64_t seed = 42;
+};
+
+/// Uniform i.i.d. points in the square.
+std::vector<Point> GenPointsUniform(const PointGenOptions& opts);
+
+/// Gaussian-ish clusters: `clusters` centers, points scattered `spread` wide.
+std::vector<Point> GenPointsClustered(const PointGenOptions& opts,
+                                      uint32_t clusters, int64_t spread);
+
+/// Points near the main diagonal y ~= x with +-noise.
+std::vector<Point> GenPointsDiagonal(const PointGenOptions& opts,
+                                     int64_t noise);
+
+/// Points near the anti-diagonal x + y ~= coord_max with +-noise; a 2-sided
+/// query's corner slides along this band, which defeats 1-D filtering.
+std::vector<Point> GenPointsAntiCorrelated(const PointGenOptions& opts,
+                                           int64_t noise);
+
+/// Zipf-skewed x (rank-mapped onto the domain), uniform y.
+std::vector<Point> GenPointsZipfX(const PointGenOptions& opts, double theta);
+
+struct IntervalGenOptions {
+  uint64_t n = 0;
+  int64_t domain_min = 0;
+  int64_t domain_max = 1'000'000'000;
+  /// Mean interval length as a fraction of the domain.
+  double mean_len_frac = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Uniform starts, exponential-ish lengths.
+std::vector<Interval> GenIntervalsUniform(const IntervalGenOptions& opts);
+
+/// Heavily nested intervals (telescoping), stressing deep cover-lists.
+std::vector<Interval> GenIntervalsNested(const IntervalGenOptions& opts);
+
+/// Temporal-log style: starts clustered into bursts, short durations.
+std::vector<Interval> GenIntervalsBursty(const IntervalGenOptions& opts,
+                                         uint32_t bursts);
+
+/// Draws a 2-sided query whose corner is the position of a random input
+/// point nudged by `rng`; guarantees non-degenerate selectivity spread.
+TwoSidedQuery SampleTwoSidedQuery(const std::vector<Point>& pts, Rng* rng);
+
+/// Draws a 3-sided query spanning roughly `x_frac` of the x-extent.
+ThreeSidedQuery SampleThreeSidedQuery(const std::vector<Point>& pts,
+                                      double x_frac, Rng* rng);
+
+/// Ensures all x, all y, and all interval endpoints are pairwise distinct by
+/// stable-sorting and re-spacing coordinates; preserves order relations.
+/// The paper assumes distinct coordinates; generators may collide.
+void MakeCoordinatesDistinct(std::vector<Point>* pts);
+void MakeEndpointsDistinct(std::vector<Interval>* ivs);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_WORKLOAD_GENERATORS_H_

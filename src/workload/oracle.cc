@@ -1,0 +1,64 @@
+#include "workload/oracle.h"
+
+#include <algorithm>
+
+namespace pathcache {
+
+std::vector<Point> BruteTwoSided(const std::vector<Point>& pts,
+                                 const TwoSidedQuery& q) {
+  std::vector<Point> out;
+  for (const auto& p : pts) {
+    if (q.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Point> BruteThreeSided(const std::vector<Point>& pts,
+                                   const ThreeSidedQuery& q) {
+  std::vector<Point> out;
+  for (const auto& p : pts) {
+    if (q.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Point> BruteRange(const std::vector<Point>& pts,
+                              const RangeQuery& q) {
+  std::vector<Point> out;
+  for (const auto& p : pts) {
+    if (q.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Interval> BruteStab(const std::vector<Interval>& ivs, int64_t q) {
+  std::vector<Interval> out;
+  for (const auto& iv : ivs) {
+    if (iv.Contains(q)) out.push_back(iv);
+  }
+  return out;
+}
+
+void SortById(std::vector<Point>* pts) {
+  std::sort(pts->begin(), pts->end(),
+            [](const Point& a, const Point& b) { return a.id < b.id; });
+}
+
+void SortById(std::vector<Interval>* ivs) {
+  std::sort(ivs->begin(), ivs->end(),
+            [](const Interval& a, const Interval& b) { return a.id < b.id; });
+}
+
+bool SameResult(std::vector<Point> a, std::vector<Point> b) {
+  SortById(&a);
+  SortById(&b);
+  return a == b;
+}
+
+bool SameResult(std::vector<Interval> a, std::vector<Interval> b) {
+  SortById(&a);
+  SortById(&b);
+  return a == b;
+}
+
+}  // namespace pathcache

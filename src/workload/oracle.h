@@ -1,0 +1,33 @@
+// Brute-force reference implementations every external structure is tested
+// against.  O(n) per query; used only in tests and for result validation in
+// benchmarks.
+
+#ifndef PATHCACHE_WORKLOAD_ORACLE_H_
+#define PATHCACHE_WORKLOAD_ORACLE_H_
+
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+std::vector<Point> BruteTwoSided(const std::vector<Point>& pts,
+                                 const TwoSidedQuery& q);
+std::vector<Point> BruteThreeSided(const std::vector<Point>& pts,
+                                   const ThreeSidedQuery& q);
+std::vector<Point> BruteRange(const std::vector<Point>& pts,
+                              const RangeQuery& q);
+std::vector<Interval> BruteStab(const std::vector<Interval>& ivs, int64_t q);
+
+/// Sorts by id (all our record sets have unique ids) for order-insensitive
+/// comparison of query results.
+void SortById(std::vector<Point>* pts);
+void SortById(std::vector<Interval>* ivs);
+
+/// True iff the two results contain the same records, ignoring order.
+bool SameResult(std::vector<Point> a, std::vector<Point> b);
+bool SameResult(std::vector<Interval> a, std::vector<Interval> b);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_WORKLOAD_ORACLE_H_

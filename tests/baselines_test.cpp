@@ -1,0 +1,125 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pst_two_level.h"
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = 1'000'000;
+  return GenPointsUniform(o);
+}
+
+TEST(XSortedBaselineTest, Empty) {
+  MemPageDevice dev(4096);
+  XSortedBaseline base(&dev);
+  ASSERT_TRUE(base.Build({}).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(base.QueryTwoSided({0, 0}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(XSortedBaselineTest, MatchesBruteForce) {
+  MemPageDevice dev(4096);
+  XSortedBaseline base(&dev);
+  auto pts = UniformPts(20000, 3);
+  ASSERT_TRUE(base.Build(pts).ok());
+
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    auto q2 = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    ASSERT_TRUE(base.QueryTwoSided(q2, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q2)));
+
+    auto q3 = SampleThreeSidedQuery(pts, 0.1, &rng);
+    got.clear();
+    ASSERT_TRUE(base.QueryThreeSided(q3, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q3)));
+  }
+}
+
+TEST(XSortedBaselineTest, DuplicateXValues) {
+  MemPageDevice dev(512);
+  XSortedBaseline base(&dev);
+  std::vector<Point> pts;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    pts.push_back({static_cast<int64_t>(i % 4), static_cast<int64_t>(i % 7),
+                   i});
+  }
+  ASSERT_TRUE(base.Build(pts).ok());
+  for (int64_t qx = -1; qx <= 4; ++qx) {
+    for (int64_t qy = -1; qy <= 7; ++qy) {
+      std::vector<Point> got;
+      ASSERT_TRUE(base.QueryTwoSided({qx, qy}, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, {qx, qy})));
+    }
+  }
+}
+
+// The Section 1 claim that motivates the paper: on y-selective queries the
+// 1-D baseline scans t_x >> t records while the path-cached structure pays
+// only for its output.
+TEST(XSortedBaselineTest, LosesToPathCachingOnYSelectiveQueries) {
+  const uint32_t page = 4096;
+  auto pts = UniformPts(200000, 7);
+
+  MemPageDevice dev_b(page);
+  XSortedBaseline base(&dev_b);
+  ASSERT_TRUE(base.Build(pts).ok());
+
+  MemPageDevice dev_p(page);
+  TwoLevelPst pst(&dev_p);
+  ASSERT_TRUE(pst.Build(pts).ok());
+
+  // Low x_min (huge x-range), high y_min (tiny output).
+  std::vector<int64_t> ys;
+  for (const auto& p : pts) ys.push_back(p.y);
+  std::sort(ys.begin(), ys.end(), std::greater<>());
+  TwoSidedQuery q{10'000, ys[200]};  // t <= 201, t_x ~ 0.99 n
+
+  std::vector<Point> a, b;
+  dev_b.ResetStats();
+  ASSERT_TRUE(base.QueryTwoSided(q, &a).ok());
+  uint64_t io_base = dev_b.stats().reads;
+  dev_p.ResetStats();
+  ASSERT_TRUE(pst.QueryTwoSided(q, &b).ok());
+  uint64_t io_pst = dev_p.stats().reads;
+  ASSERT_TRUE(SameResult(a, b));
+  EXPECT_LT(a.size(), 202u);
+  // The baseline reads ~n/B pages; path caching reads ~log_B n + t/B.
+  EXPECT_GT(io_base, 50 * io_pst);
+}
+
+TEST(XSortedBaselineTest, IoIsProportionalToXSelectivity) {
+  MemPageDevice dev(4096);
+  XSortedBaseline base(&dev);
+  auto pts = UniformPts(100000, 9);
+  ASSERT_TRUE(base.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+
+  // x >= 0: full scan.
+  std::vector<Point> out;
+  dev.ResetStats();
+  ASSERT_TRUE(base.QueryTwoSided({0, INT64_MAX / 2}, &out).ok());
+  uint64_t full = dev.stats().reads;
+  EXPECT_GE(full, CeilDiv(pts.size(), B));
+
+  // Narrow x band: few pages.
+  out.clear();
+  dev.ResetStats();
+  ASSERT_TRUE(base.QueryThreeSided({500'000, 500'900, 0}, &out).ok());
+  EXPECT_LE(dev.stats().reads, full / 10);
+}
+
+}  // namespace
+}  // namespace pathcache

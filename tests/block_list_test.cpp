@@ -1,0 +1,119 @@
+#include "io/block_list.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> MakePoints(size_t n) {
+  std::vector<Point> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = Point{static_cast<int64_t>(i), static_cast<int64_t>(i * 2), i};
+  }
+  return pts;
+}
+
+TEST(BlockListTest, RecordsPerPageMath) {
+  // 4096-byte page, 16-byte header, 24-byte Point records -> 170 per page.
+  EXPECT_EQ(RecordsPerPage<Point>(4096), 170u);
+  EXPECT_EQ(RecordsPerPage<Interval>(4096), 170u);
+  EXPECT_EQ(RecordsPerPage<Point>(256), 10u);
+}
+
+TEST(BlockListTest, EmptyList) {
+  MemPageDevice dev(256);
+  auto info = BuildBlockList<Point>(&dev, {}).value();
+  EXPECT_TRUE(info.ref.empty());
+  EXPECT_EQ(info.ref.head, kInvalidPageId);
+  std::vector<Point> out;
+  ASSERT_TRUE(ReadBlockList<Point>(&dev, info.ref, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(BlockListTest, RoundTripAcrossPages) {
+  MemPageDevice dev(256);  // 10 points per page
+  auto pts = MakePoints(37);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  EXPECT_EQ(info.ref.count, 37u);
+  EXPECT_EQ(info.pages.size(), 4u);  // ceil(37 / 10)
+
+  std::vector<Point> out;
+  ASSERT_TRUE(ReadBlockList<Point>(&dev, info.ref, &out).ok());
+  EXPECT_EQ(out, pts);
+}
+
+TEST(BlockListTest, ExactMultipleOfPageCapacity) {
+  MemPageDevice dev(256);
+  auto pts = MakePoints(30);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  EXPECT_EQ(info.pages.size(), 3u);
+  std::vector<Point> out;
+  ASSERT_TRUE(ReadBlockList<Point>(&dev, info.ref, &out).ok());
+  EXPECT_EQ(out, pts);
+}
+
+TEST(BlockListTest, CursorCountsBlockReads) {
+  MemPageDevice dev(256);
+  auto pts = MakePoints(25);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+
+  BlockListCursor<Point> cur(&dev, info.ref);
+  std::vector<Point> out;
+  ASSERT_TRUE(cur.NextBlock(&out).ok());
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(cur.blocks_read(), 1u);
+  ASSERT_TRUE(cur.NextBlock(&out).ok());
+  ASSERT_TRUE(cur.NextBlock(&out).ok());
+  EXPECT_EQ(out.size(), 25u);
+  EXPECT_TRUE(cur.done());
+  // NextBlock after done is a no-op.
+  ASSERT_TRUE(cur.NextBlock(&out).ok());
+  EXPECT_EQ(out.size(), 25u);
+  EXPECT_EQ(cur.blocks_read(), 3u);
+}
+
+TEST(BlockListTest, CursorFromMidListPage) {
+  MemPageDevice dev(256);
+  auto pts = MakePoints(25);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  BlockListCursor<Point> cur(&dev, info.pages[1]);
+  std::vector<Point> out;
+  ASSERT_TRUE(cur.NextBlock(&out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[0], pts[10]);
+}
+
+TEST(BlockListTest, FreeReleasesEveryPage) {
+  MemPageDevice dev(256);
+  auto pts = MakePoints(25);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  EXPECT_EQ(dev.live_pages(), 3u);
+  ASSERT_TRUE(FreeBlockList(&dev, info.ref).ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(BlockListTest, ReadErrorPropagates) {
+  MemPageDevice dev(256);
+  auto pts = MakePoints(25);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  dev.InjectFailureAfter(1);
+  std::vector<Point> out;
+  EXPECT_TRUE(ReadBlockList<Point>(&dev, info.ref, &out).IsIoError());
+}
+
+TEST(BlockListTest, SinglePartialPage) {
+  MemPageDevice dev(4096);
+  auto pts = MakePoints(3);
+  auto info = BuildBlockList<Point>(&dev, std::span<const Point>(pts)).value();
+  EXPECT_EQ(info.pages.size(), 1u);
+  std::vector<Point> out;
+  ASSERT_TRUE(ReadBlockList<Point>(&dev, info.ref, &out).ok());
+  EXPECT_EQ(out, pts);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,127 @@
+#include "io/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "io/mem_page_device.h"
+
+namespace pathcache {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPage = 256;
+  MemPageDevice dev_{kPage};
+
+  PageId MakePage(uint8_t fill) {
+    PageId id = dev_.Allocate().value();
+    std::vector<std::byte> buf(kPage);
+    std::memset(buf.data(), fill, kPage);
+    EXPECT_TRUE(dev_.Write(id, buf.data()).ok());
+    return id;
+  }
+};
+
+TEST_F(BufferPoolTest, SecondReadIsAHit) {
+  PageId id = MakePage(0xAA);
+  BufferPool pool(&dev_, 4);
+  dev_.ResetStats();
+
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{0xAA});
+  EXPECT_EQ(dev_.stats().reads, 1u);  // only the miss touched the device
+  EXPECT_EQ(pool.stats().reads, 2u);  // both logical reads counted
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdest) {
+  PageId a = MakePage(1), b = MakePage(2), c = MakePage(3);
+  BufferPool pool(&dev_, 2);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());  // refresh a
+  ASSERT_TRUE(pool.Read(c, buf.data()).ok());  // evicts b
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);  // a still cached
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 1u);  // b was evicted
+}
+
+TEST_F(BufferPoolTest, WriteThroughKeepsDeviceCurrent) {
+  PageId id = MakePage(0);
+  BufferPool pool(&dev_, 2);
+  std::vector<std::byte> buf(kPage);
+  std::memset(buf.data(), 0x5C, kPage);
+  ASSERT_TRUE(pool.Write(id, buf.data()).ok());
+
+  // Read directly from the device, bypassing the pool.
+  std::vector<std::byte> direct(kPage);
+  ASSERT_TRUE(dev_.Read(id, direct.data()).ok());
+  EXPECT_EQ(direct[0], std::byte{0x5C});
+
+  // And the pool serves the new data from cache.
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{0x5C});
+  EXPECT_EQ(dev_.stats().reads, 0u);
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityPassesThrough) {
+  PageId id = MakePage(0x77);
+  BufferPool pool(&dev_, 0);
+  std::vector<std::byte> buf(kPage);
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 2u);
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, ClearDropsFrames) {
+  PageId id = MakePage(0x10);
+  BufferPool pool(&dev_, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  pool.Clear();
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 1u);
+}
+
+TEST_F(BufferPoolTest, FreeInvalidatesFrame) {
+  PageId id = MakePage(0x42);
+  BufferPool pool(&dev_, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Free(id).ok());
+  EXPECT_TRUE(pool.Read(id, buf.data()).IsCorruption());
+}
+
+TEST_F(BufferPoolTest, ErrorFromInnerPropagates) {
+  PageId id = MakePage(0x01);
+  BufferPool pool(&dev_, 4);
+  std::vector<std::byte> buf(kPage);
+  dev_.InjectFailureAfter(0);
+  EXPECT_TRUE(pool.Read(id, buf.data()).IsIoError());
+  dev_.InjectFailureAfter(-1);
+  // Failure must not have poisoned the cache with garbage.
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{0x01});
+}
+
+TEST_F(BufferPoolTest, AllocateDelegates) {
+  BufferPool pool(&dev_, 4);
+  auto r = pool.Allocate();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(dev_.live_pages(), 1u);
+  EXPECT_EQ(pool.page_size(), kPage);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,118 @@
+// Integration tests: the structures running over the other PageDevice
+// implementations — a real file (FilePageDevice) and an LRU BufferPool —
+// exercising the full stack end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/pathcache.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = 200'000;
+  return GenPointsUniform(o);
+}
+
+TEST(DeviceIntegrationTest, TwoLevelPstOnRealFile) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_pst.db", 4096);
+  ASSERT_TRUE(r.ok());
+  auto dev = std::move(r).value();
+
+  TwoLevelPst pst(dev.get());
+  auto pts = UniformPts(20000, 3);
+  ASSERT_TRUE(pst.Build(pts).ok());
+
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    ASSERT_TRUE(pst.QueryTwoSided(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+  }
+  ASSERT_TRUE(pst.Destroy().ok());
+  EXPECT_EQ(dev->live_pages(), 0u);
+}
+
+TEST(DeviceIntegrationTest, DynamicPstOnRealFile) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_dyn.db", 4096);
+  ASSERT_TRUE(r.ok());
+  auto dev = std::move(r).value();
+
+  DynamicPst pst(dev.get());
+  auto pts = UniformPts(5000, 7);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pst.Insert({rng.UniformRange(0, 200'000),
+                            rng.UniformRange(0, 200'000),
+                            1'000'000ULL + i})
+                    .ok());
+  }
+  std::vector<Point> all;
+  ASSERT_TRUE(pst.QueryTwoSided({INT64_MIN, INT64_MIN}, &all).ok());
+  EXPECT_EQ(all.size(), 5500u);
+}
+
+TEST(DeviceIntegrationTest, StructureBehindBufferPool) {
+  MemPageDevice inner(4096);
+  BufferPool pool(&inner, 256);
+
+  TwoLevelPst pst(&pool);
+  auto pts = UniformPts(50000, 11);
+  ASSERT_TRUE(pst.Build(pts).ok());
+
+  Rng rng(13);
+  // Warm queries: repeat touches of the skeletal top and hot caches hit.
+  TwoSidedQuery q = SampleTwoSidedQuery(pts, &rng);
+  std::vector<Point> first;
+  ASSERT_TRUE(pst.QueryTwoSided(q, &first).ok());
+  inner.ResetStats();
+  pool.ResetStats();
+  std::vector<Point> second;
+  ASSERT_TRUE(pst.QueryTwoSided(q, &second).ok());
+  ASSERT_TRUE(SameResult(first, second));
+  // The identical repeat query should be served mostly from the pool.
+  EXPECT_LT(inner.stats().reads, pool.stats().reads);
+  EXPECT_GT(pool.hits(), 0u);
+
+  // And correctness is unaffected across fresh queries.
+  for (int i = 0; i < 10; ++i) {
+    auto q2 = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    ASSERT_TRUE(pst.QueryTwoSided(q2, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q2)));
+  }
+}
+
+TEST(DeviceIntegrationTest, StabbingOnRealFileWithPool) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_stab.db", 4096);
+  ASSERT_TRUE(r.ok());
+  auto file = std::move(r).value();
+  BufferPool pool(file.get(), 128);
+
+  StabbingIndex idx(&pool);
+  IntervalGenOptions o;
+  o.n = 10000;
+  o.seed = 17;
+  o.domain_max = 1'000'000;
+  auto ivs = GenIntervalsUniform(o);
+  ASSERT_TRUE(idx.Build(ivs).ok());
+
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    int64_t q = rng.UniformRange(0, 1'000'000);
+    std::vector<Interval> got;
+    ASSERT_TRUE(idx.Stab(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteStab(ivs, q)));
+  }
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,195 @@
+#include "core/ext_interval_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Interval> MakeIntervals(uint64_t n, uint64_t seed,
+                                    const char* dist = "uniform",
+                                    double len_frac = 0.02) {
+  IntervalGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.domain_max = 2'000'000;
+  o.mean_len_frac = len_frac;
+  std::vector<Interval> ivs;
+  if (std::string(dist) == "uniform") {
+    ivs = GenIntervalsUniform(o);
+  } else if (std::string(dist) == "nested") {
+    ivs = GenIntervalsNested(o);
+  } else {
+    ivs = GenIntervalsBursty(o, 9);
+  }
+  MakeEndpointsDistinct(&ivs);
+  return ivs;
+}
+
+TEST(ExtIntervalTreeTest, EmptyAndSingle) {
+  MemPageDevice dev(4096);
+  ExtIntervalTree it(&dev);
+  ASSERT_TRUE(it.Build({}).ok());
+  std::vector<Interval> out;
+  ASSERT_TRUE(it.Stab(5, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  ExtIntervalTree it2(&dev);
+  ASSERT_TRUE(it2.Build({{10, 20, 1}}).ok());
+  for (auto [q, want] : std::vector<std::pair<int64_t, size_t>>{
+           {9, 0}, {10, 1}, {15, 1}, {20, 1}, {21, 0}}) {
+    out.clear();
+    ASSERT_TRUE(it2.Stab(q, &out).ok());
+    EXPECT_EQ(out.size(), want) << "q=" << q;
+  }
+}
+
+struct EitCase {
+  uint64_t n;
+  uint64_t seed;
+  uint32_t page_size;
+  bool caching;
+  const char* dist;
+};
+
+class ExtIntervalTreeSweep : public ::testing::TestWithParam<EitCase> {};
+
+TEST_P(ExtIntervalTreeSweep, MatchesBruteForce) {
+  const auto& c = GetParam();
+  MemPageDevice dev(c.page_size);
+  ExtIntervalTreeOptions opts;
+  opts.enable_path_caching = c.caching;
+  ExtIntervalTree it(&dev, opts);
+  auto ivs = MakeIntervals(c.n, c.seed, c.dist);
+  ASSERT_TRUE(it.Build(ivs).ok());
+
+  Rng rng(c.seed ^ 0xAAAA);
+  for (int i = 0; i < 40; ++i) {
+    const auto& iv = ivs[rng.Uniform(ivs.size())];
+    for (int64_t q : {iv.lo, iv.hi, iv.lo - 1, iv.hi + 1,
+                      (iv.lo + iv.hi) / 2,
+                      rng.UniformRange(-5, 4'100'000)}) {
+      std::vector<Interval> got;
+      ASSERT_TRUE(it.Stab(q, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteStab(ivs, q))) << "q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExtIntervalTreeSweep,
+    ::testing::Values(EitCase{10, 1, 4096, true, "uniform"},
+                      EitCase{500, 2, 4096, true, "uniform"},
+                      EitCase{10000, 3, 4096, true, "uniform"},
+                      EitCase{10000, 4, 4096, false, "uniform"},
+                      EitCase{5000, 5, 512, true, "uniform"},
+                      EitCase{5000, 6, 512, false, "uniform"},
+                      EitCase{8000, 7, 4096, true, "nested"},
+                      EitCase{8000, 8, 4096, true, "bursty"},
+                      EitCase{4000, 9, 256, true, "uniform"},
+                      EitCase{20000, 10, 1024, true, "uniform"}));
+
+TEST(ExtIntervalTreeTest, DuplicateEndpointsStillCorrect) {
+  MemPageDevice dev(512);
+  ExtIntervalTree it(&dev);
+  std::vector<Interval> ivs;
+  Rng rng(11);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    int64_t lo = rng.UniformRange(0, 50);
+    ivs.push_back({lo, lo + rng.UniformRange(0, 20), i});
+  }
+  ASSERT_TRUE(it.Build(ivs).ok());
+  for (int64_t q = -2; q <= 75; ++q) {
+    std::vector<Interval> got;
+    ASSERT_TRUE(it.Stab(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteStab(ivs, q))) << "q=" << q;
+  }
+}
+
+// Theorem 3.5 query bound.
+TEST(ExtIntervalTreeTest, CachedStabIoIsOptimal) {
+  MemPageDevice dev(4096);
+  ExtIntervalTree it(&dev);
+  auto ivs = MakeIntervals(150000, 13);
+  ASSERT_TRUE(it.Build(ivs).ok());
+  const uint32_t B = RecordsPerPage<Interval>(4096);
+  const uint64_t logB_n = CeilLogBase(ivs.size(), B) + 1;
+
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    int64_t q = rng.UniformRange(0, 4'000'000);
+    std::vector<Interval> got;
+    dev.ResetStats();
+    ASSERT_TRUE(it.Stab(q, &got).ok());
+    uint64_t bound = 8 * logB_n + 3 * CeilDiv(got.size(), B) + 12;
+    EXPECT_LE(dev.stats().reads, bound) << "t=" << got.size() << " q=" << q;
+  }
+}
+
+// Theorem 3.5 space: O((n/B) log B) blocks; far below the segment tree's
+// O((n/B) log n) because each interval is stored O(1) times.
+TEST(ExtIntervalTreeTest, StorageWithinNLogBBound) {
+  const uint32_t page = 4096;
+  const uint32_t B = RecordsPerPage<Interval>(page);
+  auto ivs = MakeIntervals(200000, 29);
+  MemPageDevice dev(page);
+  ExtIntervalTree it(&dev);
+  ASSERT_TRUE(it.Build(ivs).ok());
+  const uint64_t logB = FloorLog2(B) + 1;
+  EXPECT_LE(dev.live_pages(), 8 * CeilDiv(ivs.size(), B) * logB + 16);
+  EXPECT_EQ(dev.live_pages(), it.storage().total());
+}
+
+TEST(ExtIntervalTreeTest, CachingBeatsNaiveOnUnderfullPaths) {
+  auto ivs = MakeIntervals(100000, 19, "uniform", 0.0005);
+
+  MemPageDevice dev_c(4096);
+  ExtIntervalTree cached(&dev_c);
+  ASSERT_TRUE(cached.Build(ivs).ok());
+  MemPageDevice dev_n(4096);
+  ExtIntervalTreeOptions no;
+  no.enable_path_caching = false;
+  ExtIntervalTree naive(&dev_n, no);
+  ASSERT_TRUE(naive.Build(ivs).ok());
+
+  Rng rng(23);
+  uint64_t io_c = 0, io_n = 0;
+  for (int i = 0; i < 50; ++i) {
+    int64_t q = rng.UniformRange(0, 4'000'000);
+    std::vector<Interval> a, b;
+    dev_c.ResetStats();
+    ASSERT_TRUE(cached.Stab(q, &a).ok());
+    io_c += dev_c.stats().reads;
+    dev_n.ResetStats();
+    ASSERT_TRUE(naive.Stab(q, &b).ok());
+    io_n += dev_n.stats().reads;
+    ASSERT_TRUE(SameResult(a, b));
+  }
+  EXPECT_LT(io_c, io_n);
+}
+
+TEST(ExtIntervalTreeTest, DestroyFreesEverything) {
+  MemPageDevice dev(4096);
+  ExtIntervalTree it(&dev);
+  ASSERT_TRUE(it.Build(MakeIntervals(5000, 31)).ok());
+  EXPECT_GT(dev.live_pages(), 0u);
+  ASSERT_TRUE(it.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(ExtIntervalTreeTest, IoErrorPropagates) {
+  MemPageDevice dev(4096);
+  ExtIntervalTree it(&dev);
+  ASSERT_TRUE(it.Build(MakeIntervals(20000, 37)).ok());
+  dev.InjectFailureAfter(1);
+  std::vector<Interval> out;
+  EXPECT_TRUE(it.Stab(1'000'000, &out).IsIoError());
+  dev.InjectFailureAfter(-1);
+}
+
+}  // namespace
+}  // namespace pathcache

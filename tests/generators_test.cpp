@@ -1,0 +1,184 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+TEST(GeneratorsTest, UniformDeterministicAndInRange) {
+  PointGenOptions o;
+  o.n = 1000;
+  o.seed = 5;
+  o.coord_min = -100;
+  o.coord_max = 100;
+  auto a = GenPointsUniform(o);
+  auto b = GenPointsUniform(o);
+  EXPECT_EQ(a, b);
+  for (const auto& p : a) {
+    EXPECT_GE(p.x, -100);
+    EXPECT_LE(p.x, 100);
+    EXPECT_GE(p.y, -100);
+    EXPECT_LE(p.y, 100);
+  }
+}
+
+TEST(GeneratorsTest, IdsAreSequential) {
+  PointGenOptions o;
+  o.n = 100;
+  auto pts = GenPointsUniform(o);
+  for (uint64_t i = 0; i < o.n; ++i) EXPECT_EQ(pts[i].id, i);
+}
+
+TEST(GeneratorsTest, ClusteredIsMoreConcentratedThanUniform) {
+  PointGenOptions o;
+  o.n = 5000;
+  o.coord_max = 1'000'000;
+  auto uni = GenPointsUniform(o);
+  auto clu = GenPointsClustered(o, 4, 10'000);
+  // Compare mean nearest-cluster spread via a crude proxy: the variance of
+  // x mod nothing is overkill; instead check many points share small
+  // neighborhoods: count distinct 100k-wide buckets hit.
+  auto buckets = [](const std::vector<Point>& pts) {
+    std::set<int64_t> s;
+    for (const auto& p : pts) s.insert(p.x / 100'000);
+    return s.size();
+  };
+  EXPECT_LT(buckets(clu), buckets(uni));
+}
+
+TEST(GeneratorsTest, DiagonalStaysNearDiagonal) {
+  PointGenOptions o;
+  o.n = 2000;
+  o.coord_max = 1'000'000;
+  auto pts = GenPointsDiagonal(o, 100);
+  for (const auto& p : pts) {
+    if (p.y > 100 && p.y < 999'900) {  // away from clamping
+      EXPECT_LE(std::abs(p.x - p.y), 100);
+    }
+  }
+}
+
+TEST(GeneratorsTest, AntiCorrelatedStaysNearAntiDiagonal) {
+  PointGenOptions o;
+  o.n = 2000;
+  o.coord_max = 1'000'000;
+  auto pts = GenPointsAntiCorrelated(o, 100);
+  for (const auto& p : pts) {
+    if (p.y > 100 && p.y < 999'900) {
+      EXPECT_LE(std::abs(p.x + p.y - 1'000'000), 100);
+    }
+  }
+}
+
+TEST(GeneratorsTest, ZipfXSkewsLow) {
+  PointGenOptions o;
+  o.n = 20000;
+  o.coord_max = 1'000'000;
+  auto pts = GenPointsZipfX(o, 0.99);
+  uint64_t low = 0;
+  for (const auto& p : pts) {
+    if (p.x < 100'000) ++low;
+  }
+  // Far more than 10% of the mass lands in the lowest decile.
+  EXPECT_GT(low, o.n / 4);
+}
+
+TEST(GeneratorsTest, IntervalsWellFormed) {
+  IntervalGenOptions o;
+  o.n = 3000;
+  for (auto gen : {0, 1, 2}) {
+    std::vector<Interval> ivs;
+    if (gen == 0) {
+      ivs = GenIntervalsUniform(o);
+    } else if (gen == 1) {
+      ivs = GenIntervalsNested(o);
+    } else {
+      ivs = GenIntervalsBursty(o, 7);
+    }
+    ASSERT_EQ(ivs.size(), o.n);
+    for (const auto& iv : ivs) {
+      EXPECT_LT(iv.lo, iv.hi);
+      EXPECT_GE(iv.lo, o.domain_min);
+      EXPECT_LE(iv.hi, o.domain_max);
+    }
+  }
+}
+
+TEST(GeneratorsTest, NestedContainsDeepChains) {
+  IntervalGenOptions o;
+  o.n = 1000;
+  o.domain_max = 1'000'000'000;
+  auto ivs = GenIntervalsNested(o);
+  // Stab the domain midpoint: nesting should yield a deep stack of results.
+  auto hits = BruteStab(ivs, o.domain_max / 2);
+  EXPECT_GT(hits.size(), 20u);
+}
+
+TEST(GeneratorsTest, MakeCoordinatesDistinctPreservesOrder) {
+  PointGenOptions o;
+  o.n = 5000;
+  o.coord_max = 100;  // force many collisions
+  auto pts = GenPointsUniform(o);
+  auto orig = pts;
+  MakeCoordinatesDistinct(&pts);
+
+  std::set<int64_t> xs, ys;
+  for (const auto& p : pts) {
+    EXPECT_TRUE(xs.insert(p.x).second) << "duplicate x " << p.x;
+    EXPECT_TRUE(ys.insert(p.y).second) << "duplicate y " << p.y;
+  }
+  // Strict order relations are preserved.
+  for (size_t i = 0; i < 200; ++i) {
+    size_t a = (i * 37) % pts.size();
+    size_t b = (i * 101 + 13) % pts.size();
+    if (orig[a].x < orig[b].x) {
+      EXPECT_LT(pts[a].x, pts[b].x);
+    }
+    if (orig[a].y < orig[b].y) {
+      EXPECT_LT(pts[a].y, pts[b].y);
+    }
+  }
+}
+
+TEST(GeneratorsTest, MakeEndpointsDistinctPreservesStabbing) {
+  IntervalGenOptions o;
+  o.n = 500;
+  o.domain_max = 200;  // force endpoint collisions
+  o.mean_len_frac = 0.2;
+  auto ivs = GenIntervalsUniform(o);
+  auto orig = ivs;
+  MakeEndpointsDistinct(&ivs);
+
+  std::set<int64_t> ends;
+  for (const auto& iv : ivs) {
+    EXPECT_TRUE(ends.insert(iv.lo).second);
+    EXPECT_TRUE(ends.insert(iv.hi).second);
+    EXPECT_LT(iv.lo, iv.hi);
+  }
+  // Pairwise overlap relations are preserved.
+  for (size_t i = 0; i < 100; ++i) {
+    size_t a = (i * 31) % ivs.size();
+    size_t b = (i * 97 + 7) % ivs.size();
+    bool was = orig[a].lo <= orig[b].hi && orig[b].lo <= orig[a].hi;
+    bool is = ivs[a].lo <= ivs[b].hi && ivs[b].lo <= ivs[a].hi;
+    EXPECT_EQ(was, is) << "pair " << a << "," << b;
+  }
+}
+
+TEST(GeneratorsTest, QuerySamplersProduceValidShapes) {
+  PointGenOptions o;
+  o.n = 1000;
+  auto pts = GenPointsUniform(o);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto q3 = SampleThreeSidedQuery(pts, 0.2, &rng);
+    EXPECT_LE(q3.x_min, q3.x_max);
+  }
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,63 @@
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace pathcache {
+namespace {
+
+TEST(GeometryTest, PointOrderings) {
+  Point a{1, 9, 0}, b{2, 3, 1}, c{1, 9, 2};
+  EXPECT_TRUE(LessByX(a, b));
+  EXPECT_FALSE(LessByX(b, a));
+  EXPECT_TRUE(LessByX(a, c));  // tie on x broken by id
+  EXPECT_TRUE(LessByY(b, a));
+  EXPECT_TRUE(LessByY(a, c));  // tie on y broken by id
+  EXPECT_TRUE(GreaterByX(b, a));
+  EXPECT_TRUE(GreaterByY(a, b));
+}
+
+TEST(GeometryTest, IntervalContains) {
+  Interval iv{3, 7, 0};
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(8));
+  Interval pt{4, 4, 1};
+  EXPECT_TRUE(pt.Contains(4));
+  EXPECT_FALSE(pt.Contains(3));
+}
+
+TEST(GeometryTest, QueryShapes) {
+  Point p{10, 20, 0};
+  EXPECT_TRUE((TwoSidedQuery{10, 20}).Contains(p));
+  EXPECT_FALSE((TwoSidedQuery{11, 20}).Contains(p));
+  EXPECT_FALSE((TwoSidedQuery{10, 21}).Contains(p));
+
+  EXPECT_TRUE((ThreeSidedQuery{10, 10, 20}).Contains(p));
+  EXPECT_FALSE((ThreeSidedQuery{11, 12, 0}).Contains(p));
+  EXPECT_FALSE((ThreeSidedQuery{0, 9, 0}).Contains(p));
+  EXPECT_FALSE((ThreeSidedQuery{0, 20, 21}).Contains(p));
+
+  EXPECT_TRUE((RangeQuery{10, 10, 20, 20}).Contains(p));
+  EXPECT_FALSE((RangeQuery{0, 9, 0, 100}).Contains(p));
+  EXPECT_FALSE((RangeQuery{0, 100, 0, 19}).Contains(p));
+}
+
+TEST(GeometryTest, DiagonalCornerIsTwoSidedSpecialCase) {
+  DiagonalCornerQuery dc{5};
+  auto ts = dc.AsTwoSided();
+  EXPECT_EQ(ts.x_min, 5);
+  EXPECT_EQ(ts.y_min, 5);
+  EXPECT_TRUE(ts.Contains({5, 5, 0}));
+  EXPECT_FALSE(ts.Contains({4, 9, 0}));
+}
+
+TEST(GeometryTest, RecordSizesAreDiskStable) {
+  // The on-disk formats depend on these sizes; a change is a format break.
+  EXPECT_EQ(sizeof(Point), 24u);
+  EXPECT_EQ(sizeof(Interval), 24u);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,169 @@
+#include "incore/dynamic_pst.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+TEST(DynamicInCorePstTest, EmptyAndSingle) {
+  DynamicPrioritySearchTree pst;
+  std::vector<Point> out;
+  pst.QueryTwoSided(0, 0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pst.CheckInvariants(), "");
+
+  pst.Insert({5, 7, 1});
+  EXPECT_EQ(pst.size(), 1u);
+  pst.QueryTwoSided(5, 7, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(pst.CheckInvariants(), "");
+  EXPECT_TRUE(pst.Erase({5, 7, 1}));
+  EXPECT_EQ(pst.size(), 0u);
+  EXPECT_FALSE(pst.Erase({5, 7, 1}));
+  EXPECT_EQ(pst.CheckInvariants(), "");
+}
+
+TEST(DynamicInCorePstTest, BulkBuildMatchesBruteForce) {
+  PointGenOptions o;
+  o.n = 5000;
+  o.seed = 3;
+  o.coord_max = 100'000;
+  auto pts = GenPointsUniform(o);
+  DynamicPrioritySearchTree pst(pts);
+  EXPECT_EQ(pst.CheckInvariants(), "");
+
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    auto q = SampleThreeSidedQuery(pts, 0.1 + 0.2 * (i % 4), &rng);
+    std::vector<Point> got;
+    pst.QueryThreeSided(q.x_min, q.x_max, q.y_min, &got);
+    ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q)));
+  }
+}
+
+TEST(DynamicInCorePstTest, ReplaceSameKeyUpdatesY) {
+  DynamicPrioritySearchTree pst;
+  pst.Insert({10, 5, 7});
+  pst.Insert({10, 99, 7});  // same (x, id): replace
+  EXPECT_EQ(pst.CheckInvariants(), "");
+  std::vector<Point> out;
+  pst.QueryTwoSided(10, 50, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].y, 99);
+}
+
+struct ChurnCase {
+  uint64_t n0;
+  uint64_t ops;
+  uint64_t seed;
+  double insert_frac;
+};
+
+class DynamicInCoreChurn : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(DynamicInCoreChurn, MatchesOracle) {
+  const auto& c = GetParam();
+  PointGenOptions o;
+  o.n = c.n0;
+  o.seed = c.seed;
+  o.coord_max = 50'000;
+  auto pts = GenPointsUniform(o);
+  DynamicPrioritySearchTree pst(pts);
+  std::map<uint64_t, Point> oracle;
+  for (const auto& p : pts) oracle[p.id] = p;
+
+  Rng rng(c.seed ^ 0xBEEF);
+  uint64_t next_id = 1'000'000;
+  for (uint64_t op = 0; op < c.ops; ++op) {
+    if (oracle.empty() || rng.Bernoulli(c.insert_frac)) {
+      Point p{rng.UniformRange(0, 50'000), rng.UniformRange(0, 50'000),
+              next_id++};
+      pst.Insert(p);
+      oracle[p.id] = p;
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      ASSERT_TRUE(pst.Erase(it->second)) << "op " << op;
+      oracle.erase(it);
+    }
+    ASSERT_EQ(pst.size(), oracle.size());
+    if (op % 151 == 0) {
+      ASSERT_EQ(pst.CheckInvariants(), "") << "op " << op;
+      int64_t x1 = rng.UniformRange(0, 50'000);
+      int64_t x2 = x1 + rng.UniformRange(0, 20'000);
+      int64_t ym = rng.UniformRange(0, 50'000);
+      std::vector<Point> got;
+      pst.QueryThreeSided(x1, x2, ym, &got);
+      std::vector<Point> want;
+      for (const auto& [id, p] : oracle) {
+        if (p.x >= x1 && p.x <= x2 && p.y >= ym) want.push_back(p);
+      }
+      ASSERT_TRUE(SameResult(got, want)) << "op " << op;
+    }
+  }
+  EXPECT_EQ(pst.CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicInCoreChurn,
+    ::testing::Values(ChurnCase{0, 2000, 1, 1.0},
+                      ChurnCase{500, 3000, 2, 0.5},
+                      ChurnCase{2000, 4000, 3, 0.3},
+                      ChurnCase{1000, 3000, 4, 0.7},
+                      ChurnCase{5000, 5000, 5, 0.02}));
+
+TEST(DynamicInCorePstTest, DeleteEverything) {
+  PointGenOptions o;
+  o.n = 2000;
+  o.seed = 7;
+  auto pts = GenPointsUniform(o);
+  DynamicPrioritySearchTree pst(pts);
+  Rng rng(9);
+  std::vector<Point> shuffled = pts;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+  for (const auto& p : shuffled) ASSERT_TRUE(pst.Erase(p));
+  EXPECT_EQ(pst.size(), 0u);
+  EXPECT_EQ(pst.CheckInvariants(), "");
+}
+
+TEST(DynamicInCorePstTest, RebalancingKeepsDepthLogarithmic) {
+  // Sorted insertion is the classic scapegoat stressor.
+  DynamicPrioritySearchTree pst;
+  for (int64_t i = 0; i < 20000; ++i) {
+    pst.Insert({i, i * 7 % 1000, static_cast<uint64_t>(i)});
+  }
+  EXPECT_EQ(pst.CheckInvariants(), "");
+  EXPECT_GT(pst.rebuilds(), 0u);
+  // Query correctness after heavy rebalancing.
+  std::vector<Point> got;
+  pst.QueryThreeSided(5000, 6000, 500, &got);
+  size_t want = 0;
+  for (int64_t i = 5000; i <= 6000; ++i) {
+    if (i * 7 % 1000 >= 500) ++want;
+  }
+  EXPECT_EQ(got.size(), want);
+}
+
+TEST(DynamicInCorePstTest, DuplicateYValues) {
+  DynamicPrioritySearchTree pst;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    pst.Insert({static_cast<int64_t>(i), 42, i});
+  }
+  EXPECT_EQ(pst.CheckInvariants(), "");
+  std::vector<Point> got;
+  pst.QueryThreeSided(100, 199, 42, &got);
+  EXPECT_EQ(got.size(), 100u);
+  got.clear();
+  pst.QueryThreeSided(100, 199, 43, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace pathcache

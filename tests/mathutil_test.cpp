@@ -1,0 +1,93 @@
+#include "util/mathutil.h"
+
+#include <gtest/gtest.h>
+
+namespace pathcache {
+namespace {
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 3), 1u);
+  EXPECT_EQ(CeilDiv(3, 3), 1u);
+  EXPECT_EQ(CeilDiv(4, 3), 2u);
+  EXPECT_EQ(CeilDiv(1000000, 256), 3907u);
+}
+
+TEST(MathTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(255), 7u);
+  EXPECT_EQ(FloorLog2(256), 8u);
+  EXPECT_EQ(FloorLog2(1ULL << 63), 63u);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(256), 8u);
+  EXPECT_EQ(CeilLog2(257), 9u);
+}
+
+TEST(MathTest, LogBase) {
+  EXPECT_EQ(FloorLogBase(1, 10), 0u);
+  EXPECT_EQ(FloorLogBase(9, 10), 0u);
+  EXPECT_EQ(FloorLogBase(10, 10), 1u);
+  EXPECT_EQ(FloorLogBase(99, 10), 1u);
+  EXPECT_EQ(FloorLogBase(1000000, 10), 6u);
+  EXPECT_EQ(CeilLogBase(1, 10), 0u);
+  EXPECT_EQ(CeilLogBase(10, 10), 1u);
+  EXPECT_EQ(CeilLogBase(11, 10), 2u);
+  // log_B n, the navigation bound: B=256, n=16M -> 3.
+  EXPECT_EQ(CeilLogBase(16'777'216, 256), 3u);
+}
+
+TEST(MathTest, LogStar) {
+  EXPECT_EQ(LogStar(1), 0u);
+  EXPECT_EQ(LogStar(2), 1u);
+  EXPECT_EQ(LogStar(4), 2u);
+  EXPECT_EQ(LogStar(16), 3u);
+  EXPECT_EQ(LogStar(65536), 4u);
+  // With the floor-log definition: 2^63 -> 63 -> 5 -> 2 -> 1, four steps.
+  EXPECT_EQ(LogStar(1ULL << 63), 4u);
+}
+
+TEST(MathTest, FloorLogLog2) {
+  EXPECT_EQ(FloorLogLog2(2), 1u);
+  EXPECT_EQ(FloorLogLog2(4), 1u);
+  EXPECT_EQ(FloorLogLog2(16), 2u);
+  EXPECT_EQ(FloorLogLog2(256), 3u);
+  EXPECT_EQ(FloorLogLog2(1ULL << 32), 5u);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(256));
+  EXPECT_FALSE(IsPowerOfTwo(255));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(256), 256u);
+  EXPECT_EQ(NextPowerOfTwo(257), 512u);
+}
+
+class LogIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogIdentityTest, FloorCeilSandwich) {
+  uint64_t x = GetParam();
+  EXPECT_LE(FloorLog2(x), CeilLog2(x));
+  EXPECT_LE(CeilLog2(x) - FloorLog2(x), 1u);
+  EXPECT_LE(1ULL << FloorLog2(x), x);
+  if (CeilLog2(x) < 64) {
+    EXPECT_GE(1ULL << CeilLog2(x), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LogIdentityTest,
+                         ::testing::Values(1, 2, 3, 5, 17, 100, 255, 256, 257,
+                                           65535, 65536, 1ULL << 40));
+
+}  // namespace
+}  // namespace pathcache

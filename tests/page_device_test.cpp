@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "io/file_page_device.h"
+#include "io/mem_page_device.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<std::byte> Pattern(uint32_t size, uint8_t fill) {
+  std::vector<std::byte> buf(size);
+  std::memset(buf.data(), fill, size);
+  return buf;
+}
+
+TEST(MemPageDeviceTest, AllocateReadWriteRoundTrip) {
+  MemPageDevice dev(512);
+  auto r = dev.Allocate();
+  ASSERT_TRUE(r.ok());
+  PageId id = r.value();
+
+  auto w = Pattern(512, 0xAB);
+  ASSERT_TRUE(dev.Write(id, w.data()).ok());
+  std::vector<std::byte> rd(512);
+  ASSERT_TRUE(dev.Read(id, rd.data()).ok());
+  EXPECT_EQ(std::memcmp(w.data(), rd.data(), 512), 0);
+}
+
+TEST(MemPageDeviceTest, FreshPageIsZeroed) {
+  MemPageDevice dev(256);
+  PageId id = dev.Allocate().value();
+  std::vector<std::byte> rd(256);
+  ASSERT_TRUE(dev.Read(id, rd.data()).ok());
+  for (auto b : rd) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemPageDeviceTest, CountsExactly) {
+  MemPageDevice dev(256);
+  PageId a = dev.Allocate().value();
+  PageId b = dev.Allocate().value();
+  auto buf = Pattern(256, 1);
+  ASSERT_TRUE(dev.Write(a, buf.data()).ok());
+  ASSERT_TRUE(dev.Write(b, buf.data()).ok());
+  ASSERT_TRUE(dev.Read(a, buf.data()).ok());
+  EXPECT_EQ(dev.stats().allocs, 2u);
+  EXPECT_EQ(dev.stats().writes, 2u);
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().total(), 3u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().total(), 0u);
+}
+
+TEST(MemPageDeviceTest, LivePagesTracksFree) {
+  MemPageDevice dev(256);
+  PageId a = dev.Allocate().value();
+  PageId b = dev.Allocate().value();
+  (void)b;
+  EXPECT_EQ(dev.live_pages(), 2u);
+  ASSERT_TRUE(dev.Free(a).ok());
+  EXPECT_EQ(dev.live_pages(), 1u);
+}
+
+TEST(MemPageDeviceTest, UseAfterFreeIsCorruption) {
+  MemPageDevice dev(256);
+  PageId a = dev.Allocate().value();
+  ASSERT_TRUE(dev.Free(a).ok());
+  std::vector<std::byte> buf(256);
+  EXPECT_TRUE(dev.Read(a, buf.data()).IsCorruption());
+  EXPECT_TRUE(dev.Write(a, buf.data()).IsCorruption());
+  EXPECT_TRUE(dev.Free(a).IsCorruption());
+}
+
+TEST(MemPageDeviceTest, FreedPageIsRecycledZeroed) {
+  MemPageDevice dev(256);
+  PageId a = dev.Allocate().value();
+  auto buf = Pattern(256, 0xFF);
+  ASSERT_TRUE(dev.Write(a, buf.data()).ok());
+  ASSERT_TRUE(dev.Free(a).ok());
+  PageId b = dev.Allocate().value();
+  EXPECT_EQ(a, b);  // recycled
+  std::vector<std::byte> rd(256);
+  ASSERT_TRUE(dev.Read(b, rd.data()).ok());
+  for (auto byte : rd) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(MemPageDeviceTest, OutOfRangeIdRejected) {
+  MemPageDevice dev(256);
+  std::vector<std::byte> buf(256);
+  EXPECT_TRUE(dev.Read(99, buf.data()).IsInvalidArgument());
+}
+
+TEST(MemPageDeviceTest, InjectedFailureFiresAfterBudget) {
+  MemPageDevice dev(256);
+  PageId a = dev.Allocate().value();
+  std::vector<std::byte> buf(256);
+  dev.InjectFailureAfter(2);
+  EXPECT_TRUE(dev.Read(a, buf.data()).ok());
+  EXPECT_TRUE(dev.Read(a, buf.data()).ok());
+  EXPECT_TRUE(dev.Read(a, buf.data()).IsIoError());
+  EXPECT_TRUE(dev.Write(a, buf.data()).IsIoError());
+  dev.InjectFailureAfter(-1);
+  EXPECT_TRUE(dev.Read(a, buf.data()).ok());
+}
+
+TEST(FilePageDeviceTest, RoundTripThroughRealFile) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_fdev_test.bin",
+                                  512);
+  ASSERT_TRUE(r.ok());
+  auto dev = std::move(r).value();
+  PageId a = dev->Allocate().value();
+  PageId b = dev->Allocate().value();
+  auto pa = Pattern(512, 0x11);
+  auto pb = Pattern(512, 0x22);
+  ASSERT_TRUE(dev->Write(a, pa.data()).ok());
+  ASSERT_TRUE(dev->Write(b, pb.data()).ok());
+  std::vector<std::byte> rd(512);
+  ASSERT_TRUE(dev->Read(a, rd.data()).ok());
+  EXPECT_EQ(std::memcmp(rd.data(), pa.data(), 512), 0);
+  ASSERT_TRUE(dev->Read(b, rd.data()).ok());
+  EXPECT_EQ(std::memcmp(rd.data(), pb.data(), 512), 0);
+  EXPECT_EQ(dev->live_pages(), 2u);
+}
+
+TEST(FilePageDeviceTest, FreeAndRecycle) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_fdev_test2.bin",
+                                  256);
+  ASSERT_TRUE(r.ok());
+  auto dev = std::move(r).value();
+  PageId a = dev->Allocate().value();
+  ASSERT_TRUE(dev->Free(a).ok());
+  std::vector<std::byte> buf(256);
+  EXPECT_TRUE(dev->Read(a, buf.data()).IsCorruption());
+  PageId b = dev->Allocate().value();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pathcache

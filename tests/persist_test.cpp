@@ -1,0 +1,189 @@
+// Persistence: Save()/Open() round trips, including across a process-style
+// close-and-reopen of a FilePageDevice store.
+
+#include "core/persist.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pst_external.h"
+#include "core/pst_two_level.h"
+#include "io/file_page_device.h"
+#include "io/mem_page_device.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = 300'000;
+  return GenPointsUniform(o);
+}
+
+TEST(PersistTest, ExternalPstRoundTrip) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  auto pts = UniformPts(20000, 3);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  ExternalPst reopened(&dev);
+  ASSERT_TRUE(reopened.Open(manifest.value()).ok());
+  EXPECT_EQ(reopened.size(), pst.size());
+  EXPECT_EQ(reopened.segment_len(), pst.segment_len());
+
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> a, b;
+    ASSERT_TRUE(pst.QueryTwoSided(q, &a).ok());
+    ASSERT_TRUE(reopened.QueryTwoSided(q, &b).ok());
+    ASSERT_TRUE(SameResult(a, b));
+  }
+  // Destroy through the reopened handle reclaims every page.
+  ASSERT_TRUE(reopened.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(PersistTest, TwoLevelPstRoundTripViaDispatcher) {
+  MemPageDevice dev(4096);
+  TwoLevelPst pst(&dev);
+  auto pts = UniformPts(30000, 7);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  auto reopened = OpenTwoSidedIndex(&dev, manifest.value());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), pts.size());
+
+  Rng rng(9);
+  for (int i = 0; i < 15; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    QueryStats qs;
+    ASSERT_TRUE(reopened.value()->QueryTwoSided(q, &got, &qs).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+  }
+  ASSERT_TRUE(reopened.value()->Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(PersistTest, OpenRejectsWrongTypeAndGarbage) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(1000, 11)).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  TwoLevelPst wrong(&dev);
+  EXPECT_TRUE(wrong.Open(manifest.value()).IsInvalidArgument());
+
+  PageId garbage = dev.Allocate().value();
+  ExternalPst bad(&dev);
+  EXPECT_TRUE(bad.Open(garbage).IsCorruption());
+
+  ExternalPst busy(&dev);
+  ASSERT_TRUE(busy.Build(UniformPts(100, 13)).ok());
+  EXPECT_EQ(busy.Open(manifest.value()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PersistTest, SurvivesFileDeviceReopen) {
+  const std::string path = ::testing::TempDir() + "/pc_persist.db";
+  auto pts = UniformPts(15000, 17);
+  PageId manifest;
+  {
+    auto r = FilePageDevice::Create(path, 4096);
+    ASSERT_TRUE(r.ok());
+    auto dev = std::move(r).value();
+    TwoLevelPst pst(dev.get());
+    ASSERT_TRUE(pst.Build(pts).ok());
+    auto m = pst.Save();
+    ASSERT_TRUE(m.ok());
+    manifest = m.value();
+    // Device closes when dev goes out of scope (process "exit").
+  }
+  {
+    auto r = FilePageDevice::Open(path, 4096);
+    ASSERT_TRUE(r.ok());
+    auto dev = std::move(r).value();
+    TwoLevelPst pst(dev.get());
+    ASSERT_TRUE(pst.Open(manifest).ok());
+    EXPECT_EQ(pst.size(), pts.size());
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i) {
+      auto q = SampleTwoSidedQuery(pts, &rng);
+      std::vector<Point> got;
+      ASSERT_TRUE(pst.QueryTwoSided(q, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+    }
+  }
+}
+
+TEST(PersistTest, FileDeviceOpenValidations) {
+  EXPECT_FALSE(FilePageDevice::Open("/nonexistent/pc.db", 4096).ok());
+  const std::string path = ::testing::TempDir() + "/pc_badsize.db";
+  {
+    auto r = FilePageDevice::Create(path, 512);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value()->Allocate().ok());
+  }
+  // Reopening with a mismatched page size that does not divide the file.
+  auto bad = FilePageDevice::Open(path, 4096);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace pathcache
+
+namespace pathcache {
+namespace {
+
+TEST(PersistTest, NestedMultilevelRoundTrip) {
+  MemPageDevice dev(1024);  // small B so levels=3 really nests
+  TwoLevelPstOptions opts;
+  opts.levels = 3;
+  TwoLevelPst pst(&dev, opts);
+  auto pts = UniformPts(20000, 23);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  TwoLevelPst reopened(&dev);
+  ASSERT_TRUE(reopened.Open(manifest.value()).ok());
+  EXPECT_EQ(reopened.levels(), 3u);
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    ASSERT_TRUE(reopened.QueryTwoSided(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+  }
+  ASSERT_TRUE(reopened.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(PersistTest, SaveIsRepeatable) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(5000, 31)).ok());
+  auto m1 = pst.Save();
+  ASSERT_TRUE(m1.ok());
+  auto m2 = pst.Save();
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NE(m1.value(), m2.value());
+  // Either manifest opens; the later one owns the earlier one's pages too.
+  ExternalPst a(&dev);
+  ASSERT_TRUE(a.Open(m2.value()).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(a.QueryTwoSided({0, 0}, &out).ok());
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace pathcache

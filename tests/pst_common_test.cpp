@@ -1,0 +1,150 @@
+#include "core/pst_common.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_stats.h"
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+
+namespace pathcache {
+namespace {
+
+TEST(SrcPointTest, RoundTrip) {
+  Point p{-5, 17, 99};
+  SrcPoint sp = SrcPoint::From(p, 3);
+  EXPECT_EQ(sp.ToPoint(), p);
+  EXPECT_EQ(sp.src, 3u);
+}
+
+TEST(CacheHeaderTest, EmptyCacheRoundTrips) {
+  MemPageDevice dev(4096);
+  PageId page = dev.Allocate().value();
+  NodeCache in;
+  ASSERT_TRUE(WriteCacheHeader(&dev, page, in).ok());
+  NodeCache out;
+  ASSERT_TRUE(ReadCacheHeader(&dev, page, &out).ok());
+  EXPECT_TRUE(out.a_pages.empty());
+  EXPECT_TRUE(out.s_pages.empty());
+  EXPECT_TRUE(out.ancs.empty());
+  EXPECT_TRUE(out.sibs.empty());
+  EXPECT_EQ(out.a_count, 0u);
+}
+
+TEST(CacheHeaderTest, FullShapeRoundTrips) {
+  MemPageDevice dev(4096);
+  PageId page = dev.Allocate().value();
+  NodeCache in;
+  for (uint64_t i = 0; i < 9; ++i) in.a_pages.push_back(100 + i);
+  for (uint64_t i = 0; i < 7; ++i) in.s_pages.push_back(200 + i);
+  for (uint32_t i = 0; i < 8; ++i) {
+    in.ancs.push_back(AncInfo{300 + i, 10 * i, 20 * i});
+  }
+  for (uint32_t i = 0; i < 6; ++i) {
+    in.sibs.push_back(SibInfo{NodeRef{400 + i, i, 0}, NodeRef{500 + i, i, 0},
+                              600 + i, i, 2 * i});
+  }
+  in.a_count = 1234;
+  in.s_count = 777;
+  ASSERT_TRUE(WriteCacheHeader(&dev, page, in).ok());
+
+  NodeCache out;
+  ASSERT_TRUE(ReadCacheHeader(&dev, page, &out).ok());
+  EXPECT_EQ(out.a_pages, in.a_pages);
+  EXPECT_EQ(out.s_pages, in.s_pages);
+  ASSERT_EQ(out.ancs.size(), in.ancs.size());
+  for (size_t i = 0; i < in.ancs.size(); ++i) {
+    EXPECT_EQ(out.ancs[i].x_next, in.ancs[i].x_next);
+    EXPECT_EQ(out.ancs[i].contributed, in.ancs[i].contributed);
+    EXPECT_EQ(out.ancs[i].total, in.ancs[i].total);
+  }
+  ASSERT_EQ(out.sibs.size(), in.sibs.size());
+  for (size_t i = 0; i < in.sibs.size(); ++i) {
+    EXPECT_EQ(out.sibs[i].left, in.sibs[i].left);
+    EXPECT_EQ(out.sibs[i].right, in.sibs[i].right);
+    EXPECT_EQ(out.sibs[i].y_next, in.sibs[i].y_next);
+    EXPECT_EQ(out.sibs[i].total, in.sibs[i].total);
+  }
+  EXPECT_EQ(out.a_count, 1234u);
+  EXPECT_EQ(out.s_count, 777u);
+}
+
+TEST(CacheHeaderTest, OverflowRejected) {
+  MemPageDevice dev(256);
+  PageId page = dev.Allocate().value();
+  NodeCache in;
+  for (uint64_t i = 0; i < 100; ++i) in.a_pages.push_back(i);
+  EXPECT_TRUE(WriteCacheHeader(&dev, page, in).IsInvalidArgument());
+}
+
+TEST(FitSegmentLenTest, ShrinksUntilItFits) {
+  // At 4096 bytes the default log B segment fits comfortably.
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  uint32_t want = FloorLog2(B);
+  EXPECT_EQ(FitSegmentLen(4096, want, B), want);
+  // A tiny page forces shorter segments (never below 1).
+  EXPECT_GE(FitSegmentLen(256, want, RecordsPerPage<Point>(256)), 1u);
+  EXPECT_LE(FitSegmentLen(256, want, RecordsPerPage<Point>(256)), want);
+}
+
+TEST(FitSegmentLenTest, ResultAlwaysFits) {
+  for (uint32_t page : {256u, 512u, 1024u, 4096u, 16384u}) {
+    const uint32_t B = RecordsPerPage<Point>(page);
+    const uint32_t s = FitSegmentLen(page, FloorLog2(B), B);
+    const uint32_t src_cap = RecordsPerPage<SrcPoint>(page);
+    const uint64_t a_pg = CeilDiv(static_cast<uint64_t>(s + 1) * B, src_cap);
+    const uint64_t s_pg = CeilDiv(static_cast<uint64_t>(s) * B, src_cap);
+    EXPECT_LE(CacheHeaderBytes(static_cast<uint32_t>(a_pg),
+                               static_cast<uint32_t>(s_pg), s + 1, s),
+              page)
+        << "page " << page;
+  }
+}
+
+TEST(StorageBreakdownTest, TotalSums) {
+  StorageBreakdown s;
+  s.skeletal = 1;
+  s.points = 2;
+  s.cache_headers = 3;
+  s.cache_blocks = 4;
+  s.second_level = 5;
+  EXPECT_EQ(s.total(), 15u);
+}
+
+}  // namespace
+}  // namespace pathcache
+
+namespace pathcache {
+namespace {
+
+TEST(QueryStatsTest, AccumulateAndPrint) {
+  QueryStats a;
+  a.navigation = 2;
+  a.cache = 3;
+  a.corner = 1;
+  a.ancestor = 4;
+  a.sibling = 5;
+  a.descendant = 6;
+  a.buffer = 7;
+  a.useful = 8;
+  a.wasteful = 9;
+  a.records_reported = 100;
+  EXPECT_EQ(a.total_reads(), 2u + 3 + 1 + 4 + 5 + 6 + 7);
+
+  QueryStats b = a;
+  b += a;
+  EXPECT_EQ(b.navigation, 4u);
+  EXPECT_EQ(b.records_reported, 200u);
+
+  std::string s = a.ToString();
+  EXPECT_NE(s.find("nav=2"), std::string::npos);
+  EXPECT_NE(s.find("useful=8"), std::string::npos);
+  EXPECT_NE(s.find("t=100"), std::string::npos);
+
+  a.Reset();
+  EXPECT_EQ(a.total_reads(), 0u);
+  EXPECT_EQ(a.records_reported, 0u);
+}
+
+}  // namespace
+}  // namespace pathcache

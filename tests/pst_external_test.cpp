@@ -1,0 +1,273 @@
+#include "core/pst_external.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed,
+                              int64_t coord_max = 1'000'000) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = coord_max;
+  return GenPointsUniform(o);
+}
+
+TEST(ExternalPstTest, EmptyStructure) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build({}).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(pst.QueryTwoSided({0, 0}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExternalPstTest, SinglePoint) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build({{5, 7, 1}}).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(pst.QueryTwoSided({5, 7}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+  out.clear();
+  ASSERT_TRUE(pst.QueryTwoSided({6, 7}, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(pst.QueryTwoSided({5, 8}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExternalPstTest, RebuildRejected) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build({{1, 1, 0}}).ok());
+  EXPECT_EQ(pst.Build({{2, 2, 1}}).code(), StatusCode::kFailedPrecondition);
+}
+
+struct PstCase {
+  uint64_t n;
+  uint64_t seed;
+  uint32_t page_size;
+  bool caching;
+  const char* dist;
+};
+
+class ExternalPstSweep : public ::testing::TestWithParam<PstCase> {};
+
+TEST_P(ExternalPstSweep, MatchesBruteForce) {
+  const auto& c = GetParam();
+  MemPageDevice dev(c.page_size);
+  ExternalPstOptions opts;
+  opts.enable_path_caching = c.caching;
+  ExternalPst pst(&dev, opts);
+
+  PointGenOptions o;
+  o.n = c.n;
+  o.seed = c.seed;
+  o.coord_max = 200000;
+  std::vector<Point> pts;
+  if (std::string(c.dist) == "uniform") {
+    pts = GenPointsUniform(o);
+  } else if (std::string(c.dist) == "clustered") {
+    pts = GenPointsClustered(o, 6, 4000);
+  } else if (std::string(c.dist) == "anti") {
+    pts = GenPointsAntiCorrelated(o, 3000);
+  } else {
+    pts = GenPointsDiagonal(o, 1000);
+  }
+  ASSERT_TRUE(pst.Build(pts).ok());
+  EXPECT_EQ(pst.size(), c.n);
+
+  Rng rng(c.seed ^ 0x2525);
+  for (int i = 0; i < 30; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    QueryStats qs;
+    ASSERT_TRUE(pst.QueryTwoSided(q, &got, &qs).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)))
+        << "q=(" << q.x_min << "," << q.y_min << ") " << qs.ToString();
+    EXPECT_EQ(qs.records_reported, got.size());
+  }
+  // Extreme corners.
+  std::vector<Point> all;
+  ASSERT_TRUE(pst.QueryTwoSided({INT64_MIN, INT64_MIN}, &all).ok());
+  EXPECT_TRUE(SameResult(all, pts));
+  std::vector<Point> none;
+  ASSERT_TRUE(pst.QueryTwoSided({INT64_MAX, INT64_MAX}, &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExternalPstSweep,
+    ::testing::Values(
+        PstCase{1, 1, 4096, true, "uniform"},
+        PstCase{50, 2, 4096, true, "uniform"},
+        PstCase{1000, 3, 4096, true, "uniform"},
+        PstCase{20000, 4, 4096, true, "uniform"},
+        PstCase{20000, 5, 4096, false, "uniform"},
+        PstCase{5000, 6, 512, true, "uniform"},
+        PstCase{5000, 7, 512, false, "uniform"},
+        PstCase{5000, 8, 256, true, "uniform"},
+        PstCase{10000, 9, 4096, true, "clustered"},
+        PstCase{10000, 10, 4096, true, "anti"},
+        PstCase{10000, 11, 4096, true, "diagonal"},
+        PstCase{10000, 12, 1024, false, "clustered"}));
+
+TEST(ExternalPstTest, DuplicateCoordinates) {
+  MemPageDevice dev(512);
+  ExternalPst pst(&dev);
+  std::vector<Point> pts;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    pts.push_back({static_cast<int64_t>(i % 7), static_cast<int64_t>(i % 11),
+                   i});
+  }
+  ASSERT_TRUE(pst.Build(pts).ok());
+  for (int64_t qx = -1; qx <= 7; ++qx) {
+    for (int64_t qy = -1; qy <= 11; ++qy) {
+      std::vector<Point> got;
+      ASSERT_TRUE(pst.QueryTwoSided({qx, qy}, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, {qx, qy})))
+          << "q=(" << qx << "," << qy << ")";
+    }
+  }
+}
+
+// Theorem 3.2: with path caching, query I/O is O(log_B n + t/B).
+TEST(ExternalPstTest, CachedQueryIoIsOptimal) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  auto pts = UniformPts(200000, 13);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(pts.size(), B) + 1;
+
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    dev.ResetStats();
+    ASSERT_TRUE(pst.QueryTwoSided(q, &got).ok());
+    // Constants: 3 cache-ish reads per path segment (header + A + S tail)
+    // plus the useful/wasteful pairing on the output term.
+    uint64_t bound = 8 * logB_n + 4 * CeilDiv(got.size(), B) + 12;
+    EXPECT_LE(dev.stats().reads, bound) << "t=" << got.size();
+  }
+}
+
+// The [IKO] baseline pays ~log2(n/B) underfull reads on the same queries.
+TEST(ExternalPstTest, UncachedBaselinePaysLog2) {
+  MemPageDevice dev(4096);
+  auto pts = UniformPts(200000, 13);
+
+  ExternalPstOptions cached_opts;
+  ExternalPst cached(&dev, cached_opts);
+  ASSERT_TRUE(cached.Build(pts).ok());
+
+  ExternalPstOptions iko_opts;
+  iko_opts.enable_path_caching = false;
+  ExternalPst iko(&dev, iko_opts);
+  ASSERT_TRUE(iko.Build(pts).ok());
+
+  // Low-selectivity queries (tiny t) expose the additive log term: take the
+  // k-th largest x as the left edge and a high y threshold, so t <= k.
+  std::vector<int64_t> xs, ys;
+  for (const auto& p : pts) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end(), std::greater<>());
+  std::sort(ys.begin(), ys.end(), std::greater<>());
+  uint64_t cached_io = 0, iko_io = 0, queries = 0;
+  for (uint64_t k = 20; k <= 400; k += 20) {
+    TwoSidedQuery q{xs[k], ys[pts.size() / 2]};
+    std::vector<Point> got;
+    dev.ResetStats();
+    ASSERT_TRUE(cached.QueryTwoSided(q, &got).ok());
+    uint64_t c_io = dev.stats().reads;
+    EXPECT_LE(got.size(), k + 1);
+    got.clear();
+    dev.ResetStats();
+    ASSERT_TRUE(iko.QueryTwoSided(q, &got).ok());
+    cached_io += c_io;
+    iko_io += dev.stats().reads;
+    ++queries;
+  }
+  ASSERT_GT(queries, 10u);
+  // The baseline touches every path node + sibling: strictly more I/O.
+  EXPECT_GT(iko_io, cached_io + queries);
+}
+
+// Theorem 3.2 space: O((n/B) log B) blocks; [IKO]: O(n/B).
+TEST(ExternalPstTest, StorageBounds) {
+  const uint32_t page = 4096;
+  const uint32_t B = RecordsPerPage<Point>(page);
+  auto pts = UniformPts(300000, 23);
+
+  MemPageDevice dev_iko(page);
+  ExternalPstOptions iko_opts;
+  iko_opts.enable_path_caching = false;
+  ExternalPst iko(&dev_iko, iko_opts);
+  ASSERT_TRUE(iko.Build(pts).ok());
+  EXPECT_LE(dev_iko.live_pages(), 8 * CeilDiv(pts.size(), B) + 8);
+
+  MemPageDevice dev_c(page);
+  ExternalPst cached(&dev_c);
+  ASSERT_TRUE(cached.Build(pts).ok());
+  const uint64_t logB = FloorLog2(B);
+  EXPECT_LE(dev_c.live_pages(), 8 * CeilDiv(pts.size(), B) * logB + 8);
+  // And caching really does cost more than the baseline.
+  EXPECT_GT(dev_c.live_pages(), dev_iko.live_pages());
+  EXPECT_EQ(dev_c.live_pages(), cached.storage().total());
+}
+
+TEST(ExternalPstTest, DestroyFreesEverything) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(5000, 29)).ok());
+  EXPECT_GT(dev.live_pages(), 0u);
+  ASSERT_TRUE(pst.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(ExternalPstTest, IoErrorPropagates) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(20000, 31)).ok());
+  dev.InjectFailureAfter(2);
+  std::vector<Point> out;
+  EXPECT_TRUE(pst.QueryTwoSided({0, 0}, &out).IsIoError());
+  dev.InjectFailureAfter(-1);
+}
+
+// The wasteful/useful accounting from Section 3: wasteful I/Os are bounded
+// by the useful ones plus the O(log_B n) path overhead.
+TEST(ExternalPstTest, WastefulIoIsPaidFor) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  auto pts = UniformPts(150000, 37);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(pts.size(), B) + 1;
+
+  Rng rng(41);
+  for (int i = 0; i < 30; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    QueryStats qs;
+    ASSERT_TRUE(pst.QueryTwoSided(q, &got, &qs).ok());
+    // Every useful (full) block pays for at most its two children's reads —
+    // the paper's "for every k partially-cut blocks, at least k/2 lie fully
+    // inside" constant — plus the O(log_B n) path/cache overhead.
+    EXPECT_LE(qs.wasteful, 2 * qs.useful + 8 * logB_n + 12) << qs.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,106 @@
+#include "core/range_index.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = 100'000;
+  return GenPointsUniform(o);
+}
+
+TEST(RangeIndexTest, EmptyAndDegenerate) {
+  MemPageDevice dev(4096);
+  RangeIndex idx(&dev);
+  ASSERT_TRUE(idx.Build({}).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(idx.QueryRange({0, 10, 0, 10}, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  RangeIndex idx2(&dev);
+  ASSERT_TRUE(idx2.Build({{5, 5, 1}}).ok());
+  ASSERT_TRUE(idx2.QueryRange({10, 0, 0, 10}, &out).ok());  // inverted x
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(idx2.QueryRange({0, 10, 10, 0}, &out).ok());  // inverted y
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(idx2.QueryRange({5, 5, 5, 5}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
+struct RiCase {
+  uint64_t n;
+  uint64_t seed;
+  uint32_t page_size;
+};
+
+class RangeIndexSweep : public ::testing::TestWithParam<RiCase> {};
+
+TEST_P(RangeIndexSweep, MatchesBruteForce) {
+  const auto& c = GetParam();
+  MemPageDevice dev(c.page_size);
+  RangeIndex idx(&dev);
+  auto pts = UniformPts(c.n, c.seed);
+  ASSERT_TRUE(idx.Build(pts).ok());
+
+  Rng rng(c.seed ^ 0x4444);
+  for (int i = 0; i < 30; ++i) {
+    int64_t x1 = rng.UniformRange(0, 100'000);
+    int64_t y1 = rng.UniformRange(0, 100'000);
+    RangeQuery q{x1, x1 + rng.UniformRange(0, 30'000), y1,
+                 y1 + rng.UniformRange(0, 30'000)};
+    std::vector<Point> got;
+    ASSERT_TRUE(idx.QueryRange(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteRange(pts, q)))
+        << "q=[" << q.x_min << "," << q.x_max << "]x[" << q.y_min << ","
+        << q.y_max << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RangeIndexSweep,
+                         ::testing::Values(RiCase{100, 1, 4096},
+                                           RiCase{10000, 2, 4096},
+                                           RiCase{30000, 3, 4096},
+                                           RiCase{8000, 4, 512}));
+
+TEST(RangeIndexTest, TopOpenQueryIsOptimal) {
+  // With y_max above all data the clip is free and the 3-sided bound holds.
+  MemPageDevice dev(4096);
+  RangeIndex idx(&dev);
+  auto pts = UniformPts(100000, 7);
+  ASSERT_TRUE(idx.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(pts.size(), B) + 1;
+
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    int64_t x1 = rng.UniformRange(0, 80'000);
+    RangeQuery q{x1, x1 + 10'000, rng.UniformRange(80'000, 100'000),
+                 INT64_MAX};
+    std::vector<Point> got;
+    dev.ResetStats();
+    ASSERT_TRUE(idx.QueryRange(q, &got).ok());
+    uint64_t bound = 16 * logB_n + 4 * CeilDiv(got.size(), B) + 24;
+    EXPECT_LE(dev.stats().reads, bound) << "t=" << got.size();
+  }
+}
+
+TEST(RangeIndexTest, DestroyFreesEverything) {
+  MemPageDevice dev(4096);
+  RangeIndex idx(&dev);
+  ASSERT_TRUE(idx.Build(UniformPts(20000, 11)).ok());
+  EXPECT_GT(dev.live_pages(), 0u);
+  ASSERT_TRUE(idx.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcache

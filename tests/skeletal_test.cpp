@@ -1,0 +1,188 @@
+#include "core/skeletal.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+
+namespace pathcache {
+namespace {
+
+struct TestRec {
+  int64_t key = 0;
+  NodeRef left;
+  NodeRef right;
+  int64_t payload = 0;
+};
+static_assert(sizeof(TestRec) == 48);
+
+// Builds a complete binary search tree over keys 0..n-1 (array heap order).
+struct TreeSpec {
+  std::vector<TestRec> recs;
+  std::vector<int32_t> left, right;
+};
+
+TreeSpec CompleteBst(int32_t n) {
+  TreeSpec t;
+  t.recs.resize(n);
+  t.left.assign(n, -1);
+  t.right.assign(n, -1);
+  // In-order index assignment via recursion on the heap shape.
+  struct R {
+    TreeSpec& t;
+    int64_t next_key = 0;
+    void Visit(int32_t i) {
+      int32_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < static_cast<int32_t>(t.recs.size())) {
+        t.left[i] = l;
+        Visit(l);
+      }
+      t.recs[i].key = next_key++;
+      t.recs[i].payload = t.recs[i].key * 10;
+      if (r < static_cast<int32_t>(t.recs.size())) {
+        t.right[i] = r;
+        Visit(r);
+      }
+    }
+  } rec{t};
+  if (n > 0) rec.Visit(0);
+  return t;
+}
+
+TEST(SkeletalTest, EmptyTree) {
+  MemPageDevice dev(4096);
+  auto r = WriteSkeletalTree<TestRec>(&dev, {}, {}, {}, -1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().root.valid());
+  EXPECT_EQ(r.value().pages, 0u);
+}
+
+TEST(SkeletalTest, SingleNode) {
+  MemPageDevice dev(4096);
+  auto t = CompleteBst(1);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+  SkeletalTreeReader<TestRec> reader(&dev);
+  TestRec rec;
+  ASSERT_TRUE(reader.Read(r.value().root, &rec).ok());
+  EXPECT_EQ(rec.key, 0);
+  EXPECT_FALSE(rec.left.valid());
+  EXPECT_FALSE(rec.right.valid());
+}
+
+TEST(SkeletalTest, SearchFindsEveryKey) {
+  MemPageDevice dev(512);
+  const int32_t n = 1023;  // complete tree of height 10
+  auto t = CompleteBst(n);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+
+  SkeletalTreeReader<TestRec> reader(&dev);
+  for (int64_t key = 0; key < n; key += 13) {
+    NodeRef cur = r.value().root;
+    TestRec rec;
+    bool found = false;
+    while (cur.valid()) {
+      ASSERT_TRUE(reader.Read(cur, &rec).ok());
+      if (rec.key == key) {
+        found = true;
+        break;
+      }
+      cur = key < rec.key ? rec.left : rec.right;
+    }
+    EXPECT_TRUE(found) << "key " << key;
+    EXPECT_EQ(rec.payload, key * 10);
+  }
+}
+
+TEST(SkeletalTest, DescentCostsOneReadPerChunkLevel) {
+  MemPageDevice dev(4096);  // 85 recs/page -> chunk height 6
+  const int32_t n = (1 << 14) - 1;  // height 14
+  auto t = CompleteBst(n);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+
+  const uint32_t cap = SkeletalNodesPerPage<TestRec>(4096);
+  const uint32_t chunk_h = FloorLog2(cap + 1);
+  const uint64_t expected_pages = CeilDiv(14, chunk_h);
+
+  SkeletalTreeReader<TestRec> reader(&dev);
+  // Descend to the leftmost leaf.
+  NodeRef cur = r.value().root;
+  TestRec rec;
+  uint32_t depth = 0;
+  while (cur.valid()) {
+    ASSERT_TRUE(reader.Read(cur, &rec).ok());
+    cur = rec.left;
+    ++depth;
+  }
+  EXPECT_EQ(depth, 14u);
+  EXPECT_LE(reader.pages_read(), expected_pages + 1);
+  EXPECT_GE(reader.pages_read(), expected_pages);
+}
+
+TEST(SkeletalTest, PageCountIsLinear) {
+  MemPageDevice dev(4096);
+  const int32_t n = 100000;
+  auto t = CompleteBst(n);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+  const uint32_t cap = SkeletalNodesPerPage<TestRec>(4096);
+  // Chunking wastes at most a constant factor over n/cap.
+  EXPECT_LE(r.value().pages, 4ULL * n / cap + 4);
+}
+
+TEST(SkeletalTest, UnbalancedTreeStillWorks) {
+  MemPageDevice dev(256);
+  // A left spine of 100 nodes.
+  const int32_t n = 100;
+  std::vector<TestRec> recs(n);
+  std::vector<int32_t> left(n, -1), right(n, -1);
+  for (int32_t i = 0; i < n; ++i) {
+    recs[i].key = n - i;
+    if (i + 1 < n) left[i] = i + 1;
+  }
+  auto r = WriteSkeletalTree<TestRec>(&dev, recs, left, right, 0);
+  ASSERT_TRUE(r.ok());
+  SkeletalTreeReader<TestRec> reader(&dev);
+  NodeRef cur = r.value().root;
+  int32_t seen = 0;
+  TestRec rec;
+  while (cur.valid()) {
+    ASSERT_TRUE(reader.Read(cur, &rec).ok());
+    EXPECT_EQ(rec.key, n - seen);
+    ++seen;
+    cur = rec.left;
+  }
+  EXPECT_EQ(seen, n);
+}
+
+TEST(SkeletalTest, ReaderDetectsBadSlot) {
+  MemPageDevice dev(4096);
+  auto t = CompleteBst(3);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+  SkeletalTreeReader<TestRec> reader(&dev);
+  TestRec rec;
+  NodeRef bad{r.value().root.page, 999, 0};
+  EXPECT_TRUE(reader.Read(bad, &rec).IsCorruption());
+  EXPECT_TRUE(reader.Read(kNullNodeRef, &rec).IsInvalidArgument());
+}
+
+TEST(SkeletalTest, InvalidateCacheForcesReread) {
+  MemPageDevice dev(4096);
+  auto t = CompleteBst(7);
+  auto r = WriteSkeletalTree<TestRec>(&dev, t.recs, t.left, t.right, 0);
+  ASSERT_TRUE(r.ok());
+  SkeletalTreeReader<TestRec> reader(&dev);
+  TestRec rec;
+  ASSERT_TRUE(reader.Read(r.value().root, &rec).ok());
+  ASSERT_TRUE(reader.Read(r.value().root, &rec).ok());
+  EXPECT_EQ(reader.pages_read(), 1u);
+  reader.InvalidateCache();
+  ASSERT_TRUE(reader.Read(r.value().root, &rec).ok());
+  EXPECT_EQ(reader.pages_read(), 2u);
+}
+
+}  // namespace
+}  // namespace pathcache

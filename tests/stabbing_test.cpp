@@ -1,0 +1,125 @@
+#include "core/stabbing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Interval> MakeIntervals(uint64_t n, uint64_t seed) {
+  IntervalGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.domain_max = 1'000'000;
+  o.mean_len_frac = 0.01;
+  return GenIntervalsUniform(o);
+}
+
+TEST(StabbingTest, DualMappingRoundTrips) {
+  Interval iv{10, 30, 7};
+  Point p = IntervalToDual(iv);
+  EXPECT_EQ(p.x, 30);
+  EXPECT_EQ(p.y, -10);
+  EXPECT_EQ(DualToInterval(p), iv);
+}
+
+TEST(StabbingTest, DualQuerySemantics) {
+  // Stabbing [lo,hi] with q <=> hi >= q && lo <= q <=> dual 2-sided query.
+  Interval iv{10, 30, 1};
+  for (int64_t q : {9, 10, 20, 30, 31}) {
+    auto dq = StabToDualQuery(q);
+    EXPECT_EQ(dq.Contains(IntervalToDual(iv)), iv.Contains(q)) << q;
+  }
+}
+
+TEST(StabbingTest, StaticMatchesBruteForce) {
+  MemPageDevice dev(4096);
+  StabbingIndex idx(&dev);
+  auto ivs = MakeIntervals(20000, 3);
+  ASSERT_TRUE(idx.Build(ivs).ok());
+  EXPECT_EQ(idx.size(), ivs.size());
+
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    int64_t q = rng.UniformRange(-10, 1'000'010);
+    std::vector<Interval> got;
+    ASSERT_TRUE(idx.Stab(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteStab(ivs, q))) << "q=" << q;
+  }
+}
+
+// The paper's open problem, answered: dynamic interval management with
+// optimal queries and O(log_B n) amortized updates.
+TEST(StabbingTest, DynamicMatchesOracleUnderChurn) {
+  MemPageDevice dev(4096);
+  DynamicStabbingIndex idx(&dev);
+  auto ivs = MakeIntervals(5000, 7);
+  ASSERT_TRUE(idx.Build(ivs).ok());
+
+  std::map<uint64_t, Interval> oracle;
+  for (const auto& iv : ivs) oracle[iv.id] = iv;
+
+  Rng rng(11);
+  uint64_t next_id = 1'000'000;
+  for (int op = 0; op < 1500; ++op) {
+    if (oracle.empty() || rng.Bernoulli(0.55)) {
+      int64_t lo = rng.UniformRange(0, 999'000);
+      Interval iv{lo, lo + rng.UniformRange(1, 50'000), next_id++};
+      ASSERT_TRUE(idx.Insert(iv).ok());
+      oracle[iv.id] = iv;
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      ASSERT_TRUE(idx.Erase(it->second).ok());
+      oracle.erase(it);
+    }
+    if (op % 73 == 0) {
+      int64_t q = rng.UniformRange(0, 1'000'000);
+      std::vector<Interval> got;
+      ASSERT_TRUE(idx.Stab(q, &got).ok());
+      std::vector<Interval> want;
+      for (const auto& [id, iv] : oracle) {
+        if (iv.Contains(q)) want.push_back(iv);
+      }
+      ASSERT_TRUE(SameResult(got, want)) << "op " << op << " q=" << q;
+    }
+  }
+}
+
+TEST(StabbingTest, StabIoIsOptimal) {
+  MemPageDevice dev(4096);
+  StabbingIndex idx(&dev);
+  auto ivs = MakeIntervals(150000, 13);
+  ASSERT_TRUE(idx.Build(ivs).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(ivs.size(), B) + 1;
+
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    int64_t q = rng.UniformRange(0, 1'000'000);
+    std::vector<Interval> got;
+    dev.ResetStats();
+    ASSERT_TRUE(idx.Stab(q, &got).ok());
+    uint64_t bound = 10 * logB_n + 4 * CeilDiv(got.size(), B) + 16;
+    EXPECT_LE(dev.stats().reads, bound) << "t=" << got.size();
+  }
+}
+
+TEST(StabbingTest, DestroyFreesEverything) {
+  MemPageDevice dev(4096);
+  DynamicStabbingIndex idx(&dev);
+  ASSERT_TRUE(idx.Build(MakeIntervals(5000, 19)).ok());
+  ASSERT_TRUE(idx.Insert({1, 2, 999999}).ok());
+  EXPECT_GT(dev.live_pages(), 0u);
+  ASSERT_TRUE(idx.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,224 @@
+#include "core/three_sided.h"
+
+#include <gtest/gtest.h>
+
+#include "io/mem_page_device.h"
+#include "util/mathutil.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed,
+                              int64_t coord_max = 1'000'000) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = coord_max;
+  return GenPointsUniform(o);
+}
+
+TEST(ThreeSidedPstTest, EmptyAndDegenerate) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build({}).ok());
+  std::vector<Point> out;
+  ASSERT_TRUE(pst.QueryThreeSided({0, 10, 0}, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  ThreeSidedPst pst2(&dev);
+  ASSERT_TRUE(pst2.Build({{5, 5, 1}}).ok());
+  // Inverted x-range reports nothing.
+  ASSERT_TRUE(pst2.QueryThreeSided({10, 0, 0}, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(pst2.QueryThreeSided({5, 5, 5}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
+struct TsCase {
+  uint64_t n;
+  uint64_t seed;
+  uint32_t page_size;
+  bool caching;
+  double x_frac;
+  const char* dist;
+};
+
+class ThreeSidedSweep : public ::testing::TestWithParam<TsCase> {};
+
+TEST_P(ThreeSidedSweep, MatchesBruteForce) {
+  const auto& c = GetParam();
+  MemPageDevice dev(c.page_size);
+  ThreeSidedPstOptions opts;
+  opts.enable_path_caching = c.caching;
+  ThreeSidedPst pst(&dev, opts);
+
+  PointGenOptions o;
+  o.n = c.n;
+  o.seed = c.seed;
+  o.coord_max = 250000;
+  std::vector<Point> pts;
+  if (std::string(c.dist) == "uniform") {
+    pts = GenPointsUniform(o);
+  } else if (std::string(c.dist) == "clustered") {
+    pts = GenPointsClustered(o, 7, 3000);
+  } else {
+    pts = GenPointsDiagonal(o, 2000);
+  }
+  ASSERT_TRUE(pst.Build(pts).ok());
+
+  Rng rng(c.seed ^ 0x3333);
+  for (int i = 0; i < 30; ++i) {
+    auto q = SampleThreeSidedQuery(pts, c.x_frac, &rng);
+    std::vector<Point> got;
+    QueryStats qs;
+    ASSERT_TRUE(pst.QueryThreeSided(q, &got, &qs).ok());
+    ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q)))
+        << "q=[" << q.x_min << "," << q.x_max << "]x[" << q.y_min
+        << ",inf) got=" << got.size()
+        << " want=" << BruteThreeSided(pts, q).size() << " " << qs.ToString();
+  }
+  // Full-width query equals a 2-sided query; whole-plane returns all.
+  std::vector<Point> all;
+  ASSERT_TRUE(
+      pst.QueryThreeSided({INT64_MIN, INT64_MAX, INT64_MIN}, &all).ok());
+  EXPECT_TRUE(SameResult(all, pts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThreeSidedSweep,
+    ::testing::Values(
+        TsCase{50, 1, 4096, true, 0.3, "uniform"},
+        TsCase{1000, 2, 4096, true, 0.2, "uniform"},
+        TsCase{20000, 3, 4096, true, 0.1, "uniform"},
+        TsCase{20000, 4, 4096, true, 0.01, "uniform"},
+        TsCase{20000, 5, 4096, false, 0.1, "uniform"},
+        TsCase{8000, 6, 512, true, 0.2, "uniform"},
+        TsCase{8000, 7, 512, false, 0.2, "uniform"},
+        TsCase{8000, 8, 256, true, 0.3, "uniform"},
+        TsCase{15000, 9, 4096, true, 0.15, "clustered"},
+        TsCase{15000, 10, 4096, true, 0.15, "diagonal"},
+        TsCase{15000, 11, 1024, true, 0.5, "uniform"},
+        TsCase{15000, 12, 1024, true, 0.9, "uniform"}));
+
+TEST(ThreeSidedPstTest, NarrowSlits) {
+  // x_min == x_max stresses the fork logic (both paths nearly identical).
+  MemPageDevice dev(512);
+  ThreeSidedPst pst(&dev);
+  auto pts = UniformPts(5000, 13, 5000);  // dense; duplicates in x likely
+  ASSERT_TRUE(pst.Build(pts).ok());
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const Point& p = pts[rng.Uniform(pts.size())];
+    ThreeSidedQuery q{p.x, p.x, p.y / 2};
+    std::vector<Point> got;
+    ASSERT_TRUE(pst.QueryThreeSided(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q))) << "x=" << p.x;
+  }
+}
+
+TEST(ThreeSidedPstTest, DuplicateCoordinates) {
+  MemPageDevice dev(512);
+  ThreeSidedPst pst(&dev);
+  std::vector<Point> pts;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    pts.push_back({static_cast<int64_t>(i % 6), static_cast<int64_t>(i % 8),
+                   i});
+  }
+  ASSERT_TRUE(pst.Build(pts).ok());
+  for (int64_t x1 = -1; x1 <= 6; ++x1) {
+    for (int64_t x2 = x1; x2 <= 6; ++x2) {
+      for (int64_t qy = -1; qy <= 8; qy += 3) {
+        ThreeSidedQuery q{x1, x2, qy};
+        std::vector<Point> got;
+        ASSERT_TRUE(pst.QueryThreeSided(q, &got).ok());
+        ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q)))
+            << "q=[" << x1 << "," << x2 << "]x[" << qy << ",inf)";
+      }
+    }
+  }
+}
+
+// Theorem 3.3: optimal query I/O.
+TEST(ThreeSidedPstTest, QueryIoIsOptimal) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  auto pts = UniformPts(200000, 19);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(pts.size(), B) + 1;
+
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    auto q = SampleThreeSidedQuery(pts, 0.05 + 0.02 * (i % 10), &rng);
+    std::vector<Point> got;
+    dev.ResetStats();
+    ASSERT_TRUE(pst.QueryThreeSided(q, &got).ok());
+    // Two paths, each with header+A+S-index+S reads per segment.
+    uint64_t bound = 16 * logB_n + 4 * CeilDiv(got.size(), B) + 24;
+    EXPECT_LE(dev.stats().reads, bound) << "t=" << got.size();
+  }
+}
+
+// Theorem 3.3 space: O((n/B) log^2 B) blocks.
+TEST(ThreeSidedPstTest, StorageWithinLogSquaredBound) {
+  const uint32_t page = 4096;
+  const uint32_t B = RecordsPerPage<Point>(page);
+  auto pts = UniformPts(200000, 29);
+
+  MemPageDevice dev(page);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  const uint64_t logB = FloorLog2(B) + 1;
+  EXPECT_LE(dev.live_pages(), 6 * CeilDiv(pts.size(), B) * logB * logB + 16);
+
+  // The uncached baseline sits at optimal linear space.
+  MemPageDevice dev_u(page);
+  ThreeSidedPstOptions uo;
+  uo.enable_path_caching = false;
+  ThreeSidedPst unc(&dev_u, uo);
+  ASSERT_TRUE(unc.Build(pts).ok());
+  EXPECT_LE(dev_u.live_pages(), 8 * CeilDiv(pts.size(), B) + 8);
+  EXPECT_GT(dev.live_pages(), dev_u.live_pages());
+}
+
+TEST(ThreeSidedPstTest, DestroyFreesEverything) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(20000, 31)).ok());
+  EXPECT_GT(dev.live_pages(), 0u);
+  ASSERT_TRUE(pst.Destroy().ok());
+  EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(ThreeSidedPstTest, IoErrorPropagates) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(20000, 37)).ok());
+  dev.InjectFailureAfter(3);
+  std::vector<Point> out;
+  EXPECT_TRUE(pst.QueryThreeSided({0, 1000000, 0}, &out).IsIoError());
+  dev.InjectFailureAfter(-1);
+}
+
+TEST(ThreeSidedPstTest, WastefulIoIsPaidFor) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  auto pts = UniformPts(150000, 41);
+  ASSERT_TRUE(pst.Build(pts).ok());
+  const uint32_t B = RecordsPerPage<Point>(4096);
+  const uint64_t logB_n = CeilLogBase(pts.size(), B) + 1;
+
+  Rng rng(43);
+  for (int i = 0; i < 25; ++i) {
+    auto q = SampleThreeSidedQuery(pts, 0.1, &rng);
+    std::vector<Point> got;
+    QueryStats qs;
+    ASSERT_TRUE(pst.QueryThreeSided(q, &got, &qs).ok());
+    EXPECT_LE(qs.wasteful, 2 * qs.useful + 16 * logB_n + 24) << qs.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pathcache
