@@ -60,8 +60,7 @@ void QueryLoop(benchmark::State& state, Env* env, MemPageDevice* counter,
     ++ops;
   }
   const uint32_t B = RecordsPerPage<Point>(page_size);
-  state.counters["io_per_query"] =
-      static_cast<double>(counter->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, counter->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["B"] = static_cast<double>(B);
@@ -113,10 +112,8 @@ void BM_Ablation_BufferPool(benchmark::State& state) {
     BenchCheck(pst->QueryTwoSided(q, &out), "query");
     ++ops;
   }
-  state.counters["physical_io_per_query"] =
-      static_cast<double>(inner->stats().reads) / static_cast<double>(ops);
-  state.counters["logical_io_per_query"] =
-      static_cast<double>(pool->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, inner->stats(), ops, "physical_io_per_query");
+  RegisterIoCounters(state, pool->stats(), ops, "logical_io_per_query");
   state.counters["hit_rate"] =
       pool->hits() + pool->misses() == 0
           ? 0.0

@@ -43,8 +43,7 @@ void BM_BTreePointLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(found);
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(dev.stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev.stats(), ops, "io_per_query");
   state.counters["bound_logB_n"] =
       static_cast<double>(CeilLogBase(n, tree.leaf_capacity()));
 }
@@ -70,8 +69,7 @@ void BM_BTreeRangeScan(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(dev.stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev.stats(), ops, "io_per_query");
   state.counters["t"] = static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["bound"] = static_cast<double>(
       CeilLogBase(n, tree.leaf_capacity()) +
@@ -95,8 +93,7 @@ void BM_BTreeInsert(benchmark::State& state) {
     BenchCheck(tree.Insert(e), "insert");
     ++ops;
   }
-  state.counters["io_per_op"] =
-      static_cast<double>(dev.stats().total()) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev.stats(), ops, "io_per_op", /*count_writes=*/true);
   state.counters["bound_logB_n"] =
       static_cast<double>(CeilLogBase(n, tree.leaf_capacity()));
 }

@@ -100,8 +100,7 @@ void Run(benchmark::State& state, F&& query_fn) {
   }
   const uint32_t B = RecordsPerPage<Point>(4096);
   state.SetLabel(DistName(dist));
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["t_over_B"] = static_cast<double>(total_t) /

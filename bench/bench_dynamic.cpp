@@ -41,8 +41,7 @@ void BM_Dynamic_InsertOnly(benchmark::State& state) {
                "insert");
     ++ops;
   }
-  state.counters["io_per_update"] =
-      static_cast<double>(dev.stats().total()) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev.stats(), ops, "io_per_update", /*count_writes=*/true);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));
   state.counters["flushes"] = static_cast<double>(pst.flushes());
   state.counters["rebuilds"] = static_cast<double>(pst.rebuilds());
@@ -83,8 +82,7 @@ void BM_Dynamic_MixedUpdates(benchmark::State& state) {
     }
     ++ops;
   }
-  state.counters["io_per_update"] =
-      static_cast<double>(dev.stats().total()) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev.stats(), ops, "io_per_update", /*count_writes=*/true);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));
 }
 BENCHMARK(BM_Dynamic_MixedUpdates)->Arg(100'000)->Iterations(3000);
@@ -124,8 +122,7 @@ void BM_Dynamic_QueryUnderChurn(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));

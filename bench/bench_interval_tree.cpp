@@ -67,8 +67,7 @@ void BM_IntervalTree_Stab(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev_it->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev_it->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["storage_blocks"] =
@@ -91,8 +90,7 @@ void BM_SegmentTree_Stab(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev_st->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev_st->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["storage_blocks"] =

@@ -86,8 +86,7 @@ void RunTwoSided(benchmark::State& state, uint64_t n, uint64_t t_target,
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));
@@ -155,8 +154,7 @@ void RunDeep(benchmark::State& state, F&& query_fn) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));

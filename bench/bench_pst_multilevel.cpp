@@ -73,8 +73,7 @@ void BM_Multilevel(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["storage_blocks"] =

@@ -71,8 +71,7 @@ void Run(benchmark::State& state, F&& query_fn) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["bound_logB_n"] = static_cast<double>(CeilLogBase(n, B));

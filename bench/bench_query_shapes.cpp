@@ -64,8 +64,7 @@ void BM_Shape_DiagonalCorner(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
 }
@@ -84,8 +83,7 @@ void BM_Shape_TwoSided(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
 }
@@ -105,8 +103,7 @@ void BM_Shape_ThreeSided(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
 }
@@ -131,8 +128,7 @@ void BM_Shape_General2D(benchmark::State& state) {
     total_t += out.size();
     ++ops;
   }
-  state.counters["io_per_query"] = static_cast<double>(
-      env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
 }

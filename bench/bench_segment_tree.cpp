@@ -68,8 +68,7 @@ void RunStab(benchmark::State& state, bool caching) {
     agg += qs;
     ++ops;
   }
-  state.counters["io_per_query"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_query");
   state.counters["t_mean"] =
       static_cast<double>(total_t) / static_cast<double>(ops);
   state.counters["wasteful_per_q"] =

@@ -97,8 +97,7 @@ void RunDescent(benchmark::State& state, bool blocked) {
   const uint32_t cap = SkeletalNodesPerPage<TestRec>(
       blocked ? page_size
               : sizeof(SkeletalPageHeader) + sizeof(TestRec));
-  state.counters["io_per_descent"] =
-      static_cast<double>(env->dev->stats().reads) / static_cast<double>(ops);
+  RegisterIoCounters(state, env->dev->stats(), ops, "io_per_descent");
   state.counters["height"] = static_cast<double>(CeilLog2(n));
   state.counters["chunk_height"] =
       static_cast<double>(std::max<uint32_t>(1, FloorLog2(cap + 1)));

@@ -1,0 +1,188 @@
+// Concurrent query throughput over a file-backed store — the wall-clock
+// side of the batching + lock-striped-pool work.
+//
+// Everything else in bench/ measures COUNTED I/Os on a MemPageDevice (the
+// paper's cost model, deterministic and machine-independent).  This harness
+// instead measures queries/second with N reader threads sharing one
+// ExternalPst + ThreeSidedPst built over a FilePageDevice behind a
+// SharedBufferPool:
+//
+//   * QPS per thread count (1, 2, 4, 8) — warm-pool scaling comes from lock
+//     striping; the single inner device stays serialized behind one mutex.
+//   * hit_rate — fraction of logical reads absorbed by the pool.
+//   * syscalls_saved — preadv coalescing on the cold pass: counted reads
+//     that reached the file minus the pread/preadv calls actually issued.
+//
+// Not a google-benchmark binary: thread sweeps over one shared fixture are
+// clearer as a plain main(), and keeping wall-clock timing out of the
+// counted-I/O suite keeps EXPERIMENTS.md's tables machine-independent.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pst_external.h"
+#include "core/three_sided.h"
+#include "io/file_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "workload/generators.h"
+
+namespace pathcache {
+namespace {
+
+constexpr uint64_t kPoints = 200'000;
+constexpr uint64_t kQueriesPerThread = 1'000;
+constexpr uint32_t kShards = 16;
+const uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct QuerySet {
+  std::vector<TwoSidedQuery> two;
+  std::vector<ThreeSidedQuery> three;
+};
+
+QuerySet MakeQueries(uint64_t count, uint32_t seed) {
+  QuerySet qs;
+  Rng rng(seed);
+  qs.two.reserve(count);
+  qs.three.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    qs.two.push_back(TwoSidedQuery{
+        rng.UniformRange(500'000'000, 1'000'000'000),
+        rng.UniformRange(800'000'000, 1'000'000'000)});
+    const int64_t x1 = rng.UniformRange(0, 900'000'000);
+    qs.three.push_back(ThreeSidedQuery{
+        x1, x1 + 100'000'000, rng.UniformRange(800'000'000, 1'000'000'000)});
+  }
+  return qs;
+}
+
+// Runs `nthreads` workers concurrently (each gets its thread ordinal) and
+// returns aggregate queries/second.  Workers park on an atomic start flag so
+// thread spawn cost stays outside the timed region.
+template <typename WorkFn>
+double RunThreads(uint32_t nthreads, uint64_t queries_per_thread,
+                  const WorkFn& work) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads);
+  for (uint32_t t = 0; t < nthreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      work(t);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(nthreads) * queries_per_thread / secs;
+}
+
+int Main() {
+  const std::string path = "/tmp/pathcache_bench_throughput.bin";
+  auto dev = BenchValue(FilePageDevice::Create(path), "create device");
+
+  // The structures are built THROUGH the pool (write-through), so the same
+  // handles later serve pooled queries.  Capacity covers the whole store:
+  // the warm passes measure lock-striping scalability, not eviction.
+  SharedBufferPool pool(dev.get(), /*capacity_pages=*/1 << 20, kShards);
+
+  PointGenOptions o;
+  o.n = kPoints;
+  o.seed = 42;
+  auto points = GenPointsUniform(o);
+
+  ExternalPst pst(&pool);
+  BenchCheck(pst.Build(points), "build 2-sided");
+  ThreeSidedPst pst3(&pool);
+  BenchCheck(pst3.Build(std::move(points)), "build 3-sided");
+
+  // ---- Cold pass (single-threaded): every page read reaches the file;
+  // measures preadv coalescing. ----
+  pool.ClearAndResetStats();
+  dev->ResetStats();
+  {
+    const QuerySet qs = MakeQueries(kQueriesPerThread, 7);
+    for (uint64_t i = 0; i < kQueriesPerThread; ++i) {
+      std::vector<Point> out;
+      BenchCheck(pst.QueryTwoSided(qs.two[i], &out), "cold 2-sided query");
+      out.clear();
+      BenchCheck(pst3.QueryThreeSided(qs.three[i], &out),
+                 "cold 3-sided query");
+    }
+  }
+  const uint64_t cold_reads = dev->stats().reads;
+  const uint64_t cold_syscalls = dev->read_syscalls();
+  std::printf(
+      "cold pass: file reads=%llu  read syscalls=%llu  "
+      "syscalls_saved=%.1f%%  pool hit_rate=%.4f\n\n",
+      static_cast<unsigned long long>(cold_reads),
+      static_cast<unsigned long long>(cold_syscalls),
+      cold_reads == 0
+          ? 0.0
+          : 100.0 * (cold_reads - cold_syscalls) / cold_reads,
+      pool.hits() + pool.misses() == 0
+          ? 0.0
+          : static_cast<double>(pool.hits()) /
+                static_cast<double>(pool.hits() + pool.misses()));
+
+  // ---- Warm sweeps: pool already holds every page the queries touch.
+  // Query streams are pre-generated per thread ordinal so the timed region
+  // holds only query execution. ----
+  uint32_t max_threads = 1;
+  for (uint32_t n : kThreadCounts) max_threads = std::max(max_threads, n);
+  std::vector<QuerySet> streams;
+  streams.reserve(max_threads);
+  for (uint32_t t = 0; t < max_threads; ++t) {
+    streams.push_back(MakeQueries(kQueriesPerThread, 100 + t));
+  }
+
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  double qps1 = 0.0;
+  for (uint32_t nthreads : kThreadCounts) {
+    pool.ResetStats();
+    dev->ResetStats();
+    const double qps = RunThreads(
+        nthreads, 2 * kQueriesPerThread, [&](uint32_t t) {
+          const QuerySet& qs = streams[t];
+          std::vector<Point> out;
+          for (uint64_t i = 0; i < kQueriesPerThread; ++i) {
+            out.clear();
+            BenchCheck(pst.QueryTwoSided(qs.two[i], &out), "2-sided query");
+            out.clear();
+            BenchCheck(pst3.QueryThreeSided(qs.three[i], &out),
+                       "3-sided query");
+          }
+        });
+    if (nthreads == 1) qps1 = qps;
+    const uint64_t hits = pool.hits();
+    const uint64_t misses = pool.misses();
+    std::printf(
+        "warm threads=%u  qps=%9.0f  speedup=%.2fx  hit_rate=%.4f  "
+        "file reads=%llu\n",
+        nthreads, qps, qps1 == 0.0 ? 0.0 : qps / qps1,
+        hits + misses == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses),
+        static_cast<unsigned long long>(dev->stats().reads));
+  }
+  std::printf(
+      "\n(each \"query\" above is one 2-sided plus one 3-sided lookup; "
+      "speedup beyond 1 thread requires as many hardware threads)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathcache
+
+int main() { return pathcache::Main(); }

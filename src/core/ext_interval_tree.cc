@@ -231,6 +231,22 @@ Status ExtIntervalTree::Build(std::vector<Interval> intervals) {
     cache.s_pages = cri.value().pages;
     cache.a_count = cl.size();
     cache.s_count = cr.size();
+    // Tail keys for exact-prefix batching: CL scans ascending lo and stops
+    // past q, CR scans descending hi and stops below q, so each page's last
+    // record key bounds where the stop can land (see NodeCache).
+    {
+      const uint32_t src_cap = RecordsPerPage<SrcInterval>(dev_->page_size());
+      for (size_t pg = 0; pg < cache.a_pages.size(); ++pg) {
+        const size_t last =
+            std::min(cl.size(), (pg + 1) * static_cast<size_t>(src_cap));
+        cache.a_tails.push_back(cl[last - 1].lo);
+      }
+      for (size_t pg = 0; pg < cache.s_pages.size(); ++pg) {
+        const size_t last =
+            std::min(cr.size(), (pg + 1) * static_cast<size_t>(src_cap));
+        cache.s_tails.push_back(cr[last - 1].hi);
+      }
+    }
     for (PageId p : cache.a_pages) owned_pages_.push_back(p);
     for (PageId p : cache.s_pages) owned_pages_.push_back(p);
     auto hp = dev_->Allocate();
@@ -289,13 +305,12 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   Bump(stats, &QueryStats::cache);
   Bump(stats, &QueryStats::wasteful);
 
-  // CL: left-direction ancestors, ascending lo, scan while lo <= q.
+  // CL: left-direction ancestors, ascending lo, scan while lo <= q.  With
+  // tail keys the stop page — the first whose last lo exceeds q — is known
+  // up front, so the exact prefix is fetched batched.
   std::vector<uint32_t> cl_consumed(cache.ancs.size(), 0);
   bool stop = false;
-  for (PageId p : cache.a_pages) {
-    if (stop) break;
-    std::vector<SrcInterval> recs;
-    PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+  auto scan_cl_page = [&](const std::vector<SrcInterval>& recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
@@ -310,6 +325,30 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       }
     }
     Classify(stats, qual, src_cap);
+  };
+  if (opts_.enable_readahead &&
+      cache.a_tails.size() == cache.a_pages.size()) {
+    size_t prefix = cache.a_pages.size();
+    for (size_t i = 0; i < cache.a_tails.size(); ++i) {
+      if (cache.a_tails[i] > q) {
+        prefix = i + 1;
+        break;
+      }
+    }
+    BlockListCursor<SrcInterval> cur(
+        dev_, std::span<const PageId>(cache.a_pages.data(), prefix));
+    while (!cur.done()) {
+      std::vector<SrcInterval> recs;
+      PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+      scan_cl_page(recs);
+    }
+  } else {
+    for (PageId p : cache.a_pages) {
+      if (stop) break;
+      std::vector<SrcInterval> recs;
+      PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+      scan_cl_page(recs);
+    }
   }
   for (size_t k = 0; k < cache.ancs.size(); ++k) {
     const AncInfo& a = cache.ancs[k];
@@ -324,10 +363,7 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   // CR: right-direction ancestors, descending hi, scan while hi >= q.
   std::vector<uint32_t> cr_consumed(cache.sibs.size(), 0);
   stop = false;
-  for (PageId p : cache.s_pages) {
-    if (stop) break;
-    std::vector<SrcInterval> recs;
-    PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+  auto scan_cr_page = [&](const std::vector<SrcInterval>& recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
@@ -342,6 +378,30 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       }
     }
     Classify(stats, qual, src_cap);
+  };
+  if (opts_.enable_readahead &&
+      cache.s_tails.size() == cache.s_pages.size()) {
+    size_t prefix = cache.s_pages.size();
+    for (size_t i = 0; i < cache.s_tails.size(); ++i) {
+      if (cache.s_tails[i] < q) {
+        prefix = i + 1;
+        break;
+      }
+    }
+    BlockListCursor<SrcInterval> cur(
+        dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
+    while (!cur.done()) {
+      std::vector<SrcInterval> recs;
+      PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+      scan_cr_page(recs);
+    }
+  } else {
+    for (PageId p : cache.s_pages) {
+      if (stop) break;
+      std::vector<SrcInterval> recs;
+      PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
+      scan_cr_page(recs);
+    }
   }
   for (size_t k = 0; k < cache.sibs.size(); ++k) {
     const SibInfo& s = cache.sibs[k];
@@ -373,18 +433,15 @@ Status ExtIntervalTree::Stab(int64_t q, std::vector<Interval>* out,
         PC_RETURN_IF_ERROR(ProcessCache(q, rec.cache_page, out, stats));
       }
       if (rec.pool_page != kInvalidPageId) {
-        // Pool: O(1) blocks, filtered in memory.
-        PageId page = rec.pool_page;
-        std::vector<std::byte> buf(dev_->page_size());
+        // Pool: O(1) blocks, filtered in memory; always a full-chain read,
+        // so chain readahead is exact.
         const uint32_t cap = RecordsPerPage<Interval>(dev_->page_size());
-        while (page != kInvalidPageId) {
-          PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
+        BlockListCursor<Interval> pool(dev_, rec.pool_page);
+        if (opts_.enable_readahead) pool.EnableChainReadahead();
+        while (!pool.done()) {
+          std::vector<Interval> ivs;
+          PC_RETURN_IF_ERROR(pool.NextBlock(&ivs));
           Bump(stats, &QueryStats::descendant);
-          BlockPageHeader hdr;
-          std::memcpy(&hdr, buf.data(), sizeof(hdr));
-          std::vector<Interval> ivs(hdr.count);
-          std::memcpy(ivs.data(), buf.data() + sizeof(hdr),
-                      hdr.count * sizeof(Interval));
           uint64_t qual = 0;
           for (const auto& iv : ivs) {
             if (iv.Contains(q)) {
@@ -393,7 +450,6 @@ Status ExtIntervalTree::Stab(int64_t q, std::vector<Interval>* out,
             }
           }
           Classify(stats, qual, cap);
-          page = hdr.next;
         }
       }
       break;

@@ -42,6 +42,9 @@ namespace pathcache {
 
 struct ExtIntervalTreeOptions {
   bool enable_path_caching = true;
+  /// Batch provably-consumed list pages into vectored device reads.  Pure
+  /// transport optimization: counted I/Os and results are unchanged.
+  bool enable_readahead = true;
 };
 
 /// A cached interval tagged with its source-node ordinal within the cache.

@@ -39,6 +39,9 @@ namespace pathcache {
 
 struct ExtSegmentTreeOptions {
   bool enable_path_caching = true;
+  /// Batch full-chain list reads into vectored device reads.  Pure
+  /// transport optimization: counted I/Os and results are unchanged.
+  bool enable_readahead = true;
 };
 
 /// Skeletal node record of the external segment tree.

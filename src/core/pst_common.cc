@@ -39,6 +39,29 @@ Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache) {
   std::memcpy(p, cache.ancs.data(), cache.ancs.size() * sizeof(AncInfo));
   p += cache.ancs.size() * sizeof(AncInfo);
   std::memcpy(p, cache.sibs.data(), cache.sibs.size() * sizeof(SibInfo));
+  p += cache.sibs.size() * sizeof(SibInfo);
+
+  // Optional tail-key trailer.  It is written only when (a) the builder
+  // supplied one tail per A/S page and (b) it fits in the slack after the
+  // mandatory arrays.  The fit rule is derivable from the mandatory shape
+  // alone, so readers know where to look, and CacheHeaderBytes /
+  // FitSegmentLen deliberately exclude the trailer: segment lengths — and
+  // with them the structures' counted I/O — are identical whether or not
+  // tails are stored.
+  const bool have_tails = cache.a_tails.size() == cache.a_pages.size() &&
+                          cache.s_tails.size() == cache.s_pages.size();
+  const uint64_t trailer =
+      sizeof(kCacheTailMagic) +
+      sizeof(int64_t) * (cache.a_pages.size() + cache.s_pages.size());
+  if (have_tails && need + trailer <= dev->page_size()) {
+    std::memcpy(p, &kCacheTailMagic, sizeof(kCacheTailMagic));
+    p += sizeof(kCacheTailMagic);
+    std::memcpy(p, cache.a_tails.data(),
+                cache.a_tails.size() * sizeof(int64_t));
+    p += cache.a_tails.size() * sizeof(int64_t);
+    std::memcpy(p, cache.s_tails.data(),
+                cache.s_tails.size() * sizeof(int64_t));
+  }
   return dev->Write(page, buf.data());
 }
 
@@ -65,6 +88,29 @@ Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
   std::memcpy(out->ancs.data(), p, hdr.anc_count * sizeof(AncInfo));
   p += hdr.anc_count * sizeof(AncInfo);
   std::memcpy(out->sibs.data(), p, hdr.sib_count * sizeof(SibInfo));
+  p += hdr.sib_count * sizeof(SibInfo);
+
+  // Optional tail-key trailer (see WriteCacheHeader).  Absent — page slack
+  // is zeroed, so no magic — leaves the vectors empty.
+  out->a_tails.clear();
+  out->s_tails.clear();
+  const uint64_t base = CacheHeaderBytes(hdr.a_pages, hdr.s_pages,
+                                         hdr.anc_count, hdr.sib_count);
+  const uint64_t trailer =
+      sizeof(kCacheTailMagic) +
+      sizeof(int64_t) * (static_cast<uint64_t>(hdr.a_pages) + hdr.s_pages);
+  if (base + trailer <= dev->page_size()) {
+    uint64_t magic = 0;
+    std::memcpy(&magic, p, sizeof(magic));
+    if (magic == kCacheTailMagic) {
+      p += sizeof(magic);
+      out->a_tails.resize(hdr.a_pages);
+      out->s_tails.resize(hdr.s_pages);
+      std::memcpy(out->a_tails.data(), p, hdr.a_pages * sizeof(int64_t));
+      p += hdr.a_pages * sizeof(int64_t);
+      std::memcpy(out->s_tails.data(), p, hdr.s_pages * sizeof(int64_t));
+    }
+  }
   return Status::OK();
 }
 

@@ -75,14 +75,30 @@ static_assert(sizeof(CachePageHeader) == 32);
 
 /// In-memory form of a node's cache, (de)serialized to one header page plus
 /// BlockLists for the A and S record streams.
+///
+/// `a_tails` / `s_tails` hold the sort key of the LAST record of each A/S
+/// page (descending x for A, descending y for S).  A scan that stops at
+/// `key < bound` therefore ends in the first page whose tail key is below
+/// the bound, so the exact set of pages it will touch is computable before
+/// issuing any I/O — that is what lets the query batch its cache reads
+/// without ever reading a page the sequential scan would not have.  The
+/// tails are an optional trailer on the header page (see WriteCacheHeader);
+/// when absent after a read, the vectors are empty and callers fall back to
+/// page-at-a-time scanning.
 struct NodeCache {
   std::vector<PageId> a_pages;
   std::vector<PageId> s_pages;
   std::vector<AncInfo> ancs;
   std::vector<SibInfo> sibs;
+  std::vector<int64_t> a_tails;
+  std::vector<int64_t> s_tails;
   uint64_t a_count = 0;
   uint64_t s_count = 0;
 };
+
+/// Marker preceding the optional tail-key trailer on a cache header page.
+/// Pages are zero-initialized, so a pre-trailer header can never alias it.
+inline constexpr uint64_t kCacheTailMagic = 0x5043'5441'494C'5331ULL;
 
 /// Serializes `cache` into the (already allocated) header page.
 Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache);

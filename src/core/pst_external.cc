@@ -181,6 +181,19 @@ Status ExternalPst::Build(std::vector<Point> points) {
       cache.s_pages = s_info.value().pages;
       cache.a_count = a_recs.size();
       cache.s_count = s_recs.size();
+      // Tail keys let queries pre-compute exactly which prefix of each list
+      // their early-stopping scan will touch (see NodeCache).
+      const uint32_t per_pg = RecordsPerPage<SrcPoint>(dev_->page_size());
+      for (size_t pg = 0; pg < cache.a_pages.size(); ++pg) {
+        const size_t last =
+            std::min(a_recs.size(), (pg + 1) * static_cast<size_t>(per_pg));
+        cache.a_tails.push_back(a_recs[last - 1].x);
+      }
+      for (size_t pg = 0; pg < cache.s_pages.size(); ++pg) {
+        const size_t last =
+            std::min(s_recs.size(), (pg + 1) * static_cast<size_t>(per_pg));
+        cache.s_tails.push_back(s_recs[last - 1].y);
+      }
       storage_.cache_blocks += cache.a_pages.size() + cache.s_pages.size();
       for (PageId p : cache.a_pages) owned_pages_.push_back(p);
       for (PageId p : cache.s_pages) owned_pages_.push_back(p);
@@ -264,11 +277,12 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     Bump(stats, &QueryStats::wasteful);
 
     // A-list: descending x; stop at the first record right of nothing.
+    // When tail keys are stored, the page where the stop lands is known
+    // up front — the first page whose tail (its minimum x) drops below
+    // q.x_min — so that exact prefix is fetched batched.  Per-page
+    // accounting and the record filter are identical either way.
     bool stop = false;
-    for (PageId p : cache.a_pages) {
-      if (stop) break;
-      std::vector<SrcPoint> recs;
-      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+    auto scan_a_page = [&](const std::vector<SrcPoint>& recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -282,15 +296,37 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
         }
       }
       Classify(stats, qual, src_cap);
+    };
+    if (opts_.enable_readahead &&
+        cache.a_tails.size() == cache.a_pages.size()) {
+      size_t prefix = cache.a_pages.size();
+      for (size_t i = 0; i < cache.a_tails.size(); ++i) {
+        if (cache.a_tails[i] < q.x_min) {
+          prefix = i + 1;
+          break;
+        }
+      }
+      BlockListCursor<SrcPoint> cur(
+          dev_, std::span<const PageId>(cache.a_pages.data(), prefix));
+      while (!cur.done()) {
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+        scan_a_page(recs);
+      }
+    } else {
+      for (PageId p : cache.a_pages) {
+        if (stop) break;
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+        scan_a_page(recs);
+      }
     }
 
-    // S-list: descending y; stop when below the query's bottom edge.
+    // S-list: descending y; stop when below the query's bottom edge.  Same
+    // exact-prefix batching, with the tails now being per-page minimum ys.
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     stop = false;
-    for (PageId p : cache.s_pages) {
-      if (stop) break;
-      std::vector<SrcPoint> recs;
-      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+    auto scan_s_page = [&](const std::vector<SrcPoint>& recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -307,6 +343,30 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
         }
       }
       Classify(stats, qual, src_cap);
+    };
+    if (opts_.enable_readahead &&
+        cache.s_tails.size() == cache.s_pages.size()) {
+      size_t prefix = cache.s_pages.size();
+      for (size_t i = 0; i < cache.s_tails.size(); ++i) {
+        if (cache.s_tails[i] < q.y_min) {
+          prefix = i + 1;
+          break;
+        }
+      }
+      BlockListCursor<SrcPoint> cur(
+          dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
+      while (!cur.done()) {
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+        scan_s_page(recs);
+      }
+    } else {
+      for (PageId p : cache.s_pages) {
+        if (stop) break;
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+        scan_s_page(recs);
+      }
     }
     for (size_t k = 0; k < cache.sibs.size(); ++k) {
       if (sib_qual[k] == cache.sibs[k].total) {
@@ -386,28 +446,50 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
     Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
 
     // Scan the region's y-descending points until one falls below the edge.
-    PageId page = rec.points_page;
+    // rec.y_min >= q.y_min means the whole region qualifies on y, so the
+    // early stop provably never fires and the chain can be read with
+    // batched readahead; otherwise scan page-at-a-time as before.
     uint64_t qual = 0;
     bool all = true;
-    while (page != kInvalidPageId && all) {
-      std::vector<Point> pts;
-      PageId next;
-      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
-      Bump(stats, &QueryStats::descendant);
-      uint64_t block_qual = 0;
-      for (const Point& p : pts) {
-        if (p.y < q.y_min) {
-          all = false;
-          break;
+    if (opts_.enable_readahead && rec.y_min >= q.y_min) {
+      BlockListCursor<Point> cur(dev_, rec.points_page);
+      cur.EnableChainReadahead();
+      while (!cur.done()) {
+        std::vector<Point> pts;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&pts));
+        Bump(stats, &QueryStats::descendant);
+        uint64_t block_qual = 0;
+        for (const Point& p : pts) {
+          if (p.x >= q.x_min && p.y >= q.y_min) {
+            out->push_back(p);
+            ++block_qual;
+          }
         }
-        if (p.x >= q.x_min) {
-          out->push_back(p);
-          ++block_qual;
-        }
+        Classify(stats, block_qual, pt_cap);
+        qual += block_qual;
       }
-      Classify(stats, block_qual, pt_cap);
-      qual += block_qual;
-      page = next;
+    } else {
+      PageId page = rec.points_page;
+      while (page != kInvalidPageId && all) {
+        std::vector<Point> pts;
+        PageId next;
+        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        Bump(stats, &QueryStats::descendant);
+        uint64_t block_qual = 0;
+        for (const Point& p : pts) {
+          if (p.y < q.y_min) {
+            all = false;
+            break;
+          }
+          if (p.x >= q.x_min) {
+            out->push_back(p);
+            ++block_qual;
+          }
+        }
+        Classify(stats, block_qual, pt_cap);
+        qual += block_qual;
+        page = next;
+      }
     }
     if (all && qual == rec.count) {
       if (rec.left.valid()) todo.push_back(rec.left);
@@ -493,7 +575,6 @@ Status ExternalPst::CheckStructure() const {
   }
   SkeletalTreeReader<PstNodeRec> reader(dev_);
   const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
-  (void)src_cap;
 
   struct Item {
     NodeRef ref;
@@ -561,19 +642,12 @@ Status ExternalPst::CheckStructure() const {
       if (a_sum != cache.a_count) {
         return Status::Corruption("A-list contributed sum mismatch");
       }
+      // Full read of the A-list: batched via the page directory.
       std::vector<SrcPoint> a_recs;
-      for (PageId p : cache.a_pages) {
-        PC_RETURN_IF_ERROR([&] {
-          std::vector<std::byte> buf(dev_->page_size());
-          PC_RETURN_IF_ERROR(dev_->Read(p, buf.data()));
-          BlockPageHeader bh;
-          std::memcpy(&bh, buf.data(), sizeof(bh));
-          size_t old = a_recs.size();
-          a_recs.resize(old + bh.count);
-          std::memcpy(a_recs.data() + old, buf.data() + sizeof(bh),
-                      bh.count * sizeof(SrcPoint));
-          return Status::OK();
-        }());
+      {
+        BlockListCursor<SrcPoint> cur(
+            dev_, std::span<const PageId>(cache.a_pages));
+        while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(&a_recs));
       }
       if (a_recs.size() != cache.a_count) {
         return Status::Corruption("A-list record count mismatch");
@@ -581,6 +655,19 @@ Status ExternalPst::CheckStructure() const {
       for (size_t i = 1; i < a_recs.size(); ++i) {
         if (!GreaterByX(a_recs[i - 1].ToPoint(), a_recs[i].ToPoint())) {
           return Status::Corruption("A-list not x-descending");
+        }
+      }
+      // Tail-key trailer, if stored, must match the actual page tails.
+      if (!cache.a_tails.empty()) {
+        if (cache.a_tails.size() != cache.a_pages.size()) {
+          return Status::Corruption("A-list tail directory size mismatch");
+        }
+        for (size_t pg = 0; pg < cache.a_pages.size(); ++pg) {
+          const size_t last = std::min<size_t>(
+              a_recs.size(), (pg + 1) * static_cast<size_t>(src_cap));
+          if (cache.a_tails[pg] != a_recs[last - 1].x) {
+            return Status::Corruption("A-list tail key stale");
+          }
         }
       }
     }

@@ -33,6 +33,10 @@ struct ExternalPstOptions {
   /// Path-segment length; 0 means floor(log2 B) clamped so a worst-case
   /// cache header still fits one page.
   uint32_t segment_len = 0;
+  /// Batch provably-consumed list pages into vectored device reads.  Pure
+  /// transport optimization: counted I/Os (and results) are identical with
+  /// it on or off — tests assert exactly that.
+  bool enable_readahead = true;
 };
 
 class ExternalPst : public TwoSidedIndex {

@@ -13,12 +13,19 @@ namespace {
 
 // ---- A-cache header page -------------------------------------------------
 // [AHeader][PageId pages[n]][int64 block_min_x[n]]
+// optionally followed by [magic][int64 block_max_x[n]] when it fits the
+// page's slack.  The max-x directory bounds the A-scan's end block exactly
+// (ascending x stops in the first block whose max exceeds x_max), enabling
+// batched reads; the segment-length fit rule deliberately ignores it, so
+// seg_len — and the counted I/O — is the same whether or not it is stored.
 struct AHeader {
   uint32_t pages = 0;
   uint32_t pad = 0;
   uint64_t count = 0;
 };
 static_assert(sizeof(AHeader) == 16);
+
+constexpr uint64_t kAMaxTrailerMagic = 0x5043'414D'4158'5831ULL;
 
 // ---- S-index page ----------------------------------------------------------
 // [SIndexHeader][PageId sr[anchors]][PageId sl[anchors]]
@@ -196,6 +203,18 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
           int64_t mn = a_recs[static_cast<size_t>(bi) * src_cap].x;
           std::memcpy(p + bi * 8, &mn, 8);
         }
+        p += ah.pages * 8;
+        const uint64_t used = static_cast<uint64_t>(p - buf.data());
+        if (used + 8 + ah.pages * 8ULL <= dev_->page_size()) {
+          std::memcpy(p, &kAMaxTrailerMagic, 8);
+          p += 8;
+          for (uint32_t bi = 0; bi < ah.pages; ++bi) {
+            const size_t last = std::min<size_t>(
+                a_recs.size(), (static_cast<size_t>(bi) + 1) * src_cap);
+            int64_t mx = a_recs[last - 1].x;
+            std::memcpy(p + bi * 8, &mx, 8);
+          }
+        }
         PC_RETURN_IF_ERROR(dev_->Write(recs[v].a_header, buf.data()));
       }
 
@@ -241,6 +260,15 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
           if (!s_info.ok()) return s_info.status();
           cache.s_pages = s_info.value().pages;
           cache.s_count = s_recs.size();
+          {
+            const uint32_t src_cap =
+                RecordsPerPage<SrcPoint>(dev_->page_size());
+            for (size_t pg = 0; pg < cache.s_pages.size(); ++pg) {
+              const size_t last = std::min(
+                  s_recs.size(), (pg + 1) * static_cast<size_t>(src_cap));
+              cache.s_tails.push_back(s_recs[last - 1].y);
+            }
+          }
           auto hp = dev_->Allocate();
           if (!hp.ok()) return hp.status();
           PC_RETURN_IF_ERROR(WriteCacheHeader(dev_, hp.value(), cache));
@@ -322,6 +350,21 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
     std::memcpy(min_x.data(),
                 buf.data() + sizeof(ah) + ah.pages * sizeof(PageId),
                 ah.pages * 8);
+    // Optional max-x trailer (see AHeader): lets us bound the scan's end
+    // block up front and fetch the exact [start..end] range batched.
+    std::vector<int64_t> max_x;
+    {
+      const uint64_t base =
+          sizeof(ah) + static_cast<uint64_t>(ah.pages) * (sizeof(PageId) + 8);
+      if (base + 8 + ah.pages * 8ULL <= dev_->page_size()) {
+        uint64_t magic = 0;
+        std::memcpy(&magic, buf.data() + base, 8);
+        if (magic == kAMaxTrailerMagic) {
+          max_x.resize(ah.pages);
+          std::memcpy(max_x.data(), buf.data() + base + 8, ah.pages * 8);
+        }
+      }
+    }
     // Start at the last block whose minimum is strictly below x_min: a
     // block opening exactly at x_min may be preceded by equal-x records at
     // the tail of the previous block (ties on x are legal).
@@ -330,9 +373,7 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       if (min_x[bi] < q.x_min) start = bi;
     }
     bool stop = false;
-    for (uint32_t bi = start; bi < ah.pages && !stop; ++bi) {
-      std::vector<SrcPoint> recs;
-      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, pages[bi], &recs));
+    auto scan_a_block = [&](const std::vector<SrcPoint>& recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -350,6 +391,31 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         }
       }
       Classify(stats, qual, src_cap);
+    };
+    if (opts_.enable_readahead && !max_x.empty() && ah.pages > 0) {
+      // Ascending x stops in the first block whose maximum exceeds x_max,
+      // so the page-at-a-time scan reads exactly blocks [start..end].
+      uint32_t end = ah.pages - 1;
+      for (uint32_t bi = start; bi < ah.pages; ++bi) {
+        if (max_x[bi] > q.x_max) {
+          end = bi;
+          break;
+        }
+      }
+      BlockListCursor<SrcPoint> cur(
+          dev_,
+          std::span<const PageId>(pages.data() + start, end - start + 1));
+      while (!cur.done()) {
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+        scan_a_block(recs);
+      }
+    } else {
+      for (uint32_t bi = start; bi < ah.pages && !stop; ++bi) {
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, pages[bi], &recs));
+        scan_a_block(recs);
+      }
     }
   }
 
@@ -384,10 +450,7 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
 
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     bool stop = false;
-    for (PageId p : cache.s_pages) {
-      if (stop) break;
-      std::vector<SrcPoint> recs;
-      PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+    auto scan_s_block = [&](const std::vector<SrcPoint>& recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -402,6 +465,32 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         }
       }
       Classify(stats, qual, src_cap);
+    };
+    if (opts_.enable_readahead &&
+        cache.s_tails.size() == cache.s_pages.size()) {
+      // Descending y stops in the first page whose tail (minimum y) falls
+      // below y_min: fetch exactly that prefix, batched.
+      size_t prefix = cache.s_pages.size();
+      for (size_t i = 0; i < cache.s_tails.size(); ++i) {
+        if (cache.s_tails[i] < q.y_min) {
+          prefix = i + 1;
+          break;
+        }
+      }
+      BlockListCursor<SrcPoint> cur(
+          dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
+      while (!cur.done()) {
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
+        scan_s_block(recs);
+      }
+    } else {
+      for (PageId p : cache.s_pages) {
+        if (stop) break;
+        std::vector<SrcPoint> recs;
+        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
+        scan_s_block(recs);
+      }
     }
     for (size_t i = 0; i < cache.sibs.size(); ++i) {
       if (sib_qual[i] == cache.sibs[i].total) {
@@ -431,26 +520,46 @@ Status ThreeSidedPst::DescendDescendants(
     Bump(stats, &QueryStats::descendant, reader->pages_read() - nav_before);
     Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
 
-    PageId page = rec.points_page;
+    // rec.y_min >= q.y_min guarantees the early stop never fires, so the
+    // whole chain is consumed and can be fetched with batched readahead.
     bool all = true;
-    while (page != kInvalidPageId && all) {
-      std::vector<Point> pts;
-      PageId next;
-      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
-      Bump(stats, &QueryStats::descendant);
-      uint64_t qual = 0;
-      for (const Point& p : pts) {
-        if (p.y < q.y_min) {
-          all = false;
-          break;
+    if (opts_.enable_readahead && rec.y_min >= q.y_min) {
+      BlockListCursor<Point> cur(dev_, rec.points_page);
+      cur.EnableChainReadahead();
+      while (!cur.done()) {
+        std::vector<Point> pts;
+        PC_RETURN_IF_ERROR(cur.NextBlock(&pts));
+        Bump(stats, &QueryStats::descendant);
+        uint64_t qual = 0;
+        for (const Point& p : pts) {
+          if (q.Contains(p)) {
+            out->push_back(p);
+            ++qual;
+          }
         }
-        if (q.Contains(p)) {
-          out->push_back(p);
-          ++qual;
-        }
+        Classify(stats, qual, pt_cap);
       }
-      Classify(stats, qual, pt_cap);
-      page = next;
+    } else {
+      PageId page = rec.points_page;
+      while (page != kInvalidPageId && all) {
+        std::vector<Point> pts;
+        PageId next;
+        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        Bump(stats, &QueryStats::descendant);
+        uint64_t qual = 0;
+        for (const Point& p : pts) {
+          if (p.y < q.y_min) {
+            all = false;
+            break;
+          }
+          if (q.Contains(p)) {
+            out->push_back(p);
+            ++qual;
+          }
+        }
+        Classify(stats, qual, pt_cap);
+        page = next;
+      }
     }
     if (all) {
       if (rec.left.valid()) todo.push_back(rec.left);
@@ -471,13 +580,23 @@ Status ThreeSidedPst::QueryUncached(const ThreeSidedQuery& q,
   std::vector<NodeRef> descend_todo;
   auto scan_node = [&](const Pst3NodeRec& rec,
                        uint64_t QueryStats::* role) -> Status {
+    // Always a full-chain read, so chain readahead is exact.
     std::vector<Point> pts;
-    PageId page = rec.points_page;
-    while (page != kInvalidPageId) {
-      PageId next;
-      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
-      Bump(stats, role);
-      page = next;
+    if (opts_.enable_readahead) {
+      BlockListCursor<Point> cur(dev_, rec.points_page);
+      cur.EnableChainReadahead();
+      while (!cur.done()) {
+        PC_RETURN_IF_ERROR(cur.NextBlock(&pts));
+        Bump(stats, role);
+      }
+    } else {
+      PageId page = rec.points_page;
+      while (page != kInvalidPageId) {
+        PageId next;
+        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        Bump(stats, role);
+        page = next;
+      }
     }
     uint64_t qual = 0;
     for (const Point& p : pts) {
@@ -510,12 +629,21 @@ Status ThreeSidedPst::QueryUncached(const ThreeSidedQuery& q,
     Bump(stats, &QueryStats::sibling, reader->pages_read() - nav_before);
     Bump(stats, &QueryStats::wasteful, reader->pages_read() - nav_before);
     std::vector<Point> pts;
-    PageId page = rec.points_page;
-    while (page != kInvalidPageId) {
-      PageId next;
-      PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
-      Bump(stats, &QueryStats::sibling);
-      page = next;
+    if (opts_.enable_readahead) {
+      BlockListCursor<Point> cur(dev_, rec.points_page);
+      cur.EnableChainReadahead();
+      while (!cur.done()) {
+        PC_RETURN_IF_ERROR(cur.NextBlock(&pts));
+        Bump(stats, &QueryStats::sibling);
+      }
+    } else {
+      PageId page = rec.points_page;
+      while (page != kInvalidPageId) {
+        PageId next;
+        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        Bump(stats, &QueryStats::sibling);
+        page = next;
+      }
     }
     uint64_t qual = 0, y_ok = 0;
     for (const Point& p : pts) {

@@ -42,6 +42,9 @@ struct ThreeSidedPstOptions {
   bool enable_path_caching = true;
   /// 0 means floor(log2 B), clamped so all headers fit their pages.
   uint32_t segment_len = 0;
+  /// Batch provably-consumed list pages into vectored device reads.  Pure
+  /// transport optimization: counted I/Os and results are unchanged.
+  bool enable_readahead = true;
 };
 
 /// Skeletal node record of the 3-sided external PST.

@@ -24,11 +24,15 @@
 namespace pathcache {
 
 struct BlockPageHeader {
-  uint32_t count = 0;     // records in this page
-  uint32_t reserved = 0;  // alignment / future use
+  uint32_t count = 0;   // records in this page
+  uint32_t contig = 0;  // id-contiguous successors: the next `contig` pages
+                        // of the chain are this page's id + 1, + 2, ...
   PageId next = kInvalidPageId;
 };
 static_assert(sizeof(BlockPageHeader) == 16);
+
+/// Default prefetch window (pages per batch) for readahead cursors.
+constexpr uint32_t kDefaultReadahead = 8;
 
 /// Handle to a stored BlockList.
 struct BlockListRef {
@@ -69,6 +73,14 @@ Result<BlockListInfo> BuildBlockList(PageDevice* dev,
   }
   info.ref.head = info.pages[0];
 
+  // contig[i] = length of the id-contiguous run following page i, so a
+  // scanner that knows it will consume the rest of the chain can fetch the
+  // run in one batch without a persisted directory.
+  std::vector<uint32_t> contig(num_pages, 0);
+  for (uint64_t i = num_pages - 1; i-- > 0;) {
+    if (info.pages[i + 1] == info.pages[i] + 1) contig[i] = contig[i + 1] + 1;
+  }
+
   std::vector<std::byte> buf(dev->page_size());
   uint64_t off = 0;
   for (uint64_t i = 0; i < num_pages; ++i) {
@@ -76,6 +88,7 @@ Result<BlockListInfo> BuildBlockList(PageDevice* dev,
         std::min<uint64_t>(per_page, records.size() - off));
     BlockPageHeader hdr;
     hdr.count = here;
+    hdr.contig = contig[i];
     hdr.next = (i + 1 < num_pages) ? info.pages[i + 1] : kInvalidPageId;
     std::memset(buf.data(), 0, buf.size());
     std::memcpy(buf.data(), &hdr, sizeof(hdr));
@@ -101,7 +114,19 @@ inline Status FreeBlockList(PageDevice* dev, const BlockListRef& ref) {
   return Status::OK();
 }
 
-/// Forward scanner over a BlockList; one device read per NextBlock().
+/// Forward scanner over a BlockList.  Every page is read exactly once and
+/// counted exactly once on the device, so the paper's I/O accounting is
+/// independent of the transport mode:
+///
+///  - Plain chain mode (default): one device Read per NextBlock().
+///  - Chain readahead (EnableChainReadahead): when a page's header says the
+///    next `contig` pages are id-adjacent, the cursor fetches up to
+///    window-1 of them in one ReadBatch.  ONLY correct when the caller will
+///    consume the whole remainder of the list — an early-stopping scan
+///    would pay for pages it never looks at.
+///  - Directory mode: the caller hands the exact pages the scan will
+///    consume (e.g. a tail-key-computed prefix of a cache list) and the
+///    cursor batches through them window pages at a time.
 template <typename T>
 class BlockListCursor {
  public:
@@ -112,19 +137,65 @@ class BlockListCursor {
   BlockListCursor(PageDevice* dev, PageId start_page)
       : dev_(dev), next_(start_page), buf_(dev->page_size()) {}
 
-  bool done() const { return next_ == kInvalidPageId; }
+  /// Directory mode over exactly `pages` (copied), batching `readahead`
+  /// pages per device call.  The caller asserts it will consume every page
+  /// listed; `next` chaining in the page headers is ignored for traversal.
+  BlockListCursor(PageDevice* dev, std::span<const PageId> pages,
+                  uint32_t readahead = kDefaultReadahead)
+      : dev_(dev),
+        next_(pages.empty() ? kInvalidPageId : pages.front()),
+        buf_(dev->page_size()),
+        dir_(pages.begin(), pages.end()),
+        readahead_(readahead == 0 ? 1 : readahead) {}
+
+  /// Switches chain traversal to batched readahead with the given window.
+  /// Call only when the whole remainder of the list will be consumed.
+  void EnableChainReadahead(uint32_t window = kDefaultReadahead) {
+    readahead_ = window == 0 ? 1 : window;
+  }
+
+  bool done() const {
+    if (!dir_.empty()) return dir_pos_ >= dir_.size() && batch_pos_ >= batch_cnt_;
+    return batch_pos_ >= batch_cnt_ && next_ == kInvalidPageId;
+  }
 
   /// Appends the next page's records to `out`; no-op once done().
   Status NextBlock(std::vector<T>* out) {
     if (done()) return Status::OK();
-    PC_RETURN_IF_ERROR(dev_->Read(next_, buf_.data()));
+    const std::byte* page = nullptr;
+    const uint32_t psz = dev_->page_size();
+    if (batch_pos_ < batch_cnt_) {
+      page = batch_buf_.data() + static_cast<size_t>(batch_pos_) * psz;
+      ++batch_pos_;
+    } else if (!dir_.empty()) {
+      const size_t n =
+          std::min<size_t>(readahead_, dir_.size() - dir_pos_);
+      PC_RETURN_IF_ERROR(FetchBatch(
+          std::span<const PageId>(dir_.data() + dir_pos_, n)));
+      dir_pos_ += n;
+      page = batch_buf_.data();
+      batch_pos_ = 1;
+    } else {
+      PC_RETURN_IF_ERROR(dev_->Read(next_, buf_.data()));
+      page = buf_.data();
+      if (readahead_ > 1) {
+        BlockPageHeader hdr;
+        std::memcpy(&hdr, buf_.data(), sizeof(hdr));
+        if (hdr.contig > 0) {
+          const uint32_t n = std::min(hdr.contig, readahead_ - 1);
+          std::vector<PageId> run(n);
+          for (uint32_t k = 0; k < n; ++k) run[k] = next_ + 1 + k;
+          PC_RETURN_IF_ERROR(FetchBatch(run));
+          batch_pos_ = 0;  // current page came from buf_, batch is all pending
+        }
+      }
+    }
     ++blocks_read_;
     BlockPageHeader hdr;
-    std::memcpy(&hdr, buf_.data(), sizeof(hdr));
+    std::memcpy(&hdr, page, sizeof(hdr));
     const size_t old = out->size();
     out->resize(old + hdr.count);
-    std::memcpy(out->data() + old, buf_.data() + sizeof(hdr),
-                hdr.count * sizeof(T));
+    std::memcpy(out->data() + old, page + sizeof(hdr), hdr.count * sizeof(T));
     next_ = hdr.next;
     return Status::OK();
   }
@@ -132,17 +203,40 @@ class BlockListCursor {
   uint64_t blocks_read() const { return blocks_read_; }
 
  private:
+  Status FetchBatch(std::span<const PageId> ids) {
+    batch_buf_.resize(ids.size() * static_cast<size_t>(dev_->page_size()));
+    if (ids.size() == 1) {
+      // A single page gains nothing from the batch path; keep the device's
+      // batch_reads counter meaningful (one tick == one multi-page batch).
+      PC_RETURN_IF_ERROR(dev_->Read(ids[0], batch_buf_.data()));
+    } else {
+      PC_RETURN_IF_ERROR(dev_->ReadBatch(ids, batch_buf_.data()));
+    }
+    batch_pos_ = 0;
+    batch_cnt_ = ids.size();
+    return Status::OK();
+  }
+
   PageDevice* dev_;
   PageId next_;
   std::vector<std::byte> buf_;
+  std::vector<PageId> dir_;  // directory mode: the exact pages to read
+  size_t dir_pos_ = 0;
+  uint32_t readahead_ = 1;
+  std::vector<std::byte> batch_buf_;
+  size_t batch_pos_ = 0;
+  size_t batch_cnt_ = 0;
   uint64_t blocks_read_ = 0;
 };
 
 /// Reads an entire list into memory (used by rebuild paths and tests).
+/// Always a full scan, so chain readahead is exact here.
 template <typename T>
 Status ReadBlockList(PageDevice* dev, const BlockListRef& ref,
-                     std::vector<T>* out) {
+                     std::vector<T>* out,
+                     uint32_t readahead = kDefaultReadahead) {
   BlockListCursor<T> cur(dev, ref);
+  cur.EnableChainReadahead(readahead);
   while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(out));
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #include "io/buffer_pool.h"
 
 #include <cstring>
+#include <vector>
 
 namespace pathcache {
 
@@ -56,6 +57,49 @@ Status BufferPool::Read(PageId id, std::byte* buf) {
   ++misses_;
   PC_RETURN_IF_ERROR(inner_->Read(id, buf));
   InsertFrame(id, buf);
+  return Status::OK();
+}
+
+Status BufferPool::ReadBatch(std::span<const PageId> ids, std::byte* bufs) {
+  // Counting must be indistinguishable from ids.size() sequential Read()
+  // calls: hits stay hits, and only genuine misses reach the inner device —
+  // in one batch, so a FilePageDevice underneath still coalesces them.
+  // With duplicate ids the hit/miss sequence depends on insertion order, so
+  // fall back to the literal loop; batch callers pass distinct pages.
+  for (size_t i = 1; i < ids.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (ids[i] == ids[j]) {
+        return PageDevice::ReadBatch(ids, bufs);
+      }
+    }
+  }
+
+  stats_.reads += ids.size();
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto it = frames_.find(ids[i]);
+    if (it != frames_.end()) {
+      ++hits_;
+      Touch(it->second, ids[i]);
+      std::memcpy(bufs + i * page_size(), it->second.data.get(), page_size());
+    } else {
+      ++misses_;
+      miss_slots.push_back(i);
+    }
+  }
+  if (miss_slots.empty()) return Status::OK();
+
+  std::vector<PageId> miss_ids(miss_slots.size());
+  for (size_t k = 0; k < miss_slots.size(); ++k) {
+    miss_ids[k] = ids[miss_slots[k]];
+  }
+  std::vector<std::byte> fetched(miss_ids.size() * page_size());
+  PC_RETURN_IF_ERROR(inner_->ReadBatch(miss_ids, fetched.data()));
+  for (size_t k = 0; k < miss_slots.size(); ++k) {
+    const std::byte* page = fetched.data() + k * page_size();
+    std::memcpy(bufs + miss_slots[k] * page_size(), page, page_size());
+    InsertFrame(miss_ids[k], page);
+  }
   return Status::OK();
 }
 

@@ -24,13 +24,26 @@ class BufferPool final : public PageDevice {
   Result<PageId> Allocate() override { return inner_->Allocate(); }
   Status Free(PageId id) override;
   Status Read(PageId id, std::byte* buf) override;
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; hits_ = 0; misses_ = 0; }
   uint64_t live_pages() const override { return inner_->live_pages(); }
 
-  /// Drops every cached frame (e.g., to measure cold-cache queries).
+  /// Drops every cached frame but — by contract — leaves `stats()`, `hits()`
+  /// and `misses()` untouched: Clear() models invalidating the cache
+  /// contents mid-measurement, not starting a new measurement.  A cold-cache
+  /// experiment that clears between phases without also resetting counters
+  /// would blend warm-phase hits into its numbers; use ClearAndResetStats()
+  /// for that (the benches do).
   void Clear();
+
+  /// Clear() plus ResetStats(): an empty pool with zeroed counters, the
+  /// canonical starting state for a cold-cache measurement.
+  void ClearAndResetStats() {
+    Clear();
+    ResetStats();
+  }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }

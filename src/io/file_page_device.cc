@@ -1,14 +1,102 @@
 #include "io/file_page_device.h"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <numeric>
 #include <string>
 
 namespace pathcache {
+
+namespace {
+
+// Longest run of adjacent pages handed to one preadv; well under any
+// realistic IOV_MAX (POSIX guarantees >= 16, Linux has 1024).
+constexpr size_t kMaxCoalescedPages = 256;
+
+// pread until `n` bytes arrived, retrying short transfers and EINTR.  A
+// zero-length read mid-page means the file is truncated relative to the
+// page table — corruption, not a transient error.
+Status ReadFully(int fd, std::byte* buf, size_t n, off_t off,
+                 uint64_t* syscalls) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, buf + done, n - done, off + done);
+    if (syscalls != nullptr) ++*syscalls;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread at offset " + std::to_string(off + done) +
+                             ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Corruption("short read at offset " +
+                                std::to_string(off + done) +
+                                ": unexpected end of file");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// pwrite until `n` bytes landed, retrying short transfers and EINTR.
+Status WriteFully(int fd, const std::byte* buf, size_t n, off_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pwrite at offset " + std::to_string(off + done) +
+                             ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("pwrite at offset " +
+                             std::to_string(off + done) +
+                             ": zero-length transfer");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// preadv over `iov`, retrying short transfers and EINTR until every vector
+// is filled.
+Status PreadvFully(int fd, struct iovec* iov, size_t iovcnt, off_t off,
+                   uint64_t* syscalls) {
+  size_t idx = 0;
+  while (idx < iovcnt) {
+    ssize_t r = ::preadv(fd, iov + idx, static_cast<int>(iovcnt - idx), off);
+    if (syscalls != nullptr) ++*syscalls;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("preadv at offset " + std::to_string(off) + ": " +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Corruption("short read at offset " + std::to_string(off) +
+                                ": unexpected end of file");
+    }
+    off += r;
+    size_t got = static_cast<size_t>(r);
+    while (got > 0 && idx < iovcnt) {
+      if (got >= iov[idx].iov_len) {
+        got -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<std::byte*>(iov[idx].iov_base) + got;
+        iov[idx].iov_len -= got;
+        got = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Create(
     const std::string& path, uint32_t page_size) {
@@ -60,26 +148,21 @@ Status FilePageDevice::CheckId(PageId id) const {
 Result<PageId> FilePageDevice::Allocate() {
   ++stats_.allocs;
   ++live_;
+  std::string zeros(page_size_, '\0');
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
     freed_[id] = false;
-    std::string zeros(page_size_, '\0');
-    if (::pwrite(fd_, zeros.data(), page_size_,
-                 static_cast<off_t>(id) * page_size_) !=
-        static_cast<ssize_t>(page_size_)) {
-      return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
-    }
+    PC_RETURN_IF_ERROR(
+        WriteFully(fd_, reinterpret_cast<const std::byte*>(zeros.data()),
+                   page_size_, static_cast<off_t>(id) * page_size_));
     return id;
   }
   PageId id = page_count_++;
   freed_.push_back(false);
-  std::string zeros(page_size_, '\0');
-  if (::pwrite(fd_, zeros.data(), page_size_,
-               static_cast<off_t>(id) * page_size_) !=
-      static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
-  }
+  PC_RETURN_IF_ERROR(
+      WriteFully(fd_, reinterpret_cast<const std::byte*>(zeros.data()),
+                 page_size_, static_cast<off_t>(id) * page_size_));
   return id;
 }
 
@@ -94,21 +177,53 @@ Status FilePageDevice::Free(PageId id) {
 
 Status FilePageDevice::Read(PageId id, std::byte* buf) {
   PC_RETURN_IF_ERROR(CheckId(id));
-  ssize_t r = ::pread(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
-  if (r != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pread: " + std::string(std::strerror(errno)));
-  }
+  PC_RETURN_IF_ERROR(ReadFully(fd_, buf, page_size_,
+                               static_cast<off_t>(id) * page_size_,
+                               &read_syscalls_));
   ++stats_.reads;
+  return Status::OK();
+}
+
+Status FilePageDevice::ReadBatch(std::span<const PageId> ids,
+                                 std::byte* bufs) {
+  if (ids.empty()) return Status::OK();
+  for (PageId id : ids) PC_RETURN_IF_ERROR(CheckId(id));
+
+  // Visit the requests in disk order so runs of adjacent pages — block
+  // lists allocate their pages consecutively — collapse into single preadv
+  // calls; each iovec still targets the caller's original slot.
+  std::vector<uint32_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&ids](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+
+  std::vector<struct iovec> iov;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i + 1;
+    while (j < order.size() && j - i < kMaxCoalescedPages &&
+           ids[order[j]] == ids[order[j - 1]] + 1) {
+      ++j;
+    }
+    iov.clear();
+    for (size_t k = i; k < j; ++k) {
+      iov.push_back({bufs + static_cast<size_t>(order[k]) * page_size_,
+                     page_size_});
+    }
+    PC_RETURN_IF_ERROR(PreadvFully(
+        fd_, iov.data(), iov.size(),
+        static_cast<off_t>(ids[order[i]]) * page_size_, &read_syscalls_));
+    i = j;
+  }
+  stats_.reads += ids.size();
+  ++stats_.batch_reads;
   return Status::OK();
 }
 
 Status FilePageDevice::Write(PageId id, const std::byte* buf) {
   PC_RETURN_IF_ERROR(CheckId(id));
-  ssize_t r =
-      ::pwrite(fd_, buf, page_size_, static_cast<off_t>(id) * page_size_);
-  if (r != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
-  }
+  PC_RETURN_IF_ERROR(WriteFully(fd_, buf, page_size_,
+                                static_cast<off_t>(id) * page_size_));
   ++stats_.writes;
   return Status::OK();
 }

@@ -1,6 +1,13 @@
 // A PageDevice backed by a real file, for running the examples against an
 // actual filesystem.  Same accounting as MemPageDevice; pages are appended
 // to the file on allocation and recycled through a free list.
+//
+// Short transfers (signals, filesystems that return partial pread/pwrite)
+// are retried until the full page moved; a zero-length transfer mid-page is
+// reported as Corruption with the failing byte offset.  ReadBatch sorts the
+// requested ids and coalesces disk-adjacent pages into preadv calls, so a
+// batch of k pages typically costs far fewer than k syscalls;
+// `read_syscalls()` exposes the actual count for the coalescing benchmarks.
 
 #ifndef PATHCACHE_IO_FILE_PAGE_DEVICE_H_
 #define PATHCACHE_IO_FILE_PAGE_DEVICE_H_
@@ -33,10 +40,19 @@ class FilePageDevice final : public PageDevice {
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
   Status Read(PageId id, std::byte* buf) override;
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
   const IoStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoStats{}; }
+  void ResetStats() override {
+    stats_ = IoStats{};
+    read_syscalls_ = 0;
+  }
   uint64_t live_pages() const override { return live_; }
+
+  /// pread/preadv calls actually issued (retries included).  With batching,
+  /// stats().reads - read_syscalls() is the number of syscalls coalescing
+  /// saved over one-page-at-a-time reading.
+  uint64_t read_syscalls() const { return read_syscalls_; }
 
  private:
   FilePageDevice(int fd, uint32_t page_size) : fd_(fd), page_size_(page_size) {}
@@ -50,6 +66,7 @@ class FilePageDevice final : public PageDevice {
   std::vector<bool> freed_;
   std::vector<PageId> free_list_;
   IoStats stats_;
+  uint64_t read_syscalls_ = 0;
 };
 
 }  // namespace pathcache

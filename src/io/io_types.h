@@ -17,18 +17,22 @@ inline constexpr PageId kInvalidPageId = ~0ULL;
 inline constexpr uint32_t kDefaultPageSize = 4096;
 
 /// I/O counters.  `reads`/`writes` are the quantities every theorem in the
-/// paper bounds; everything is measured in whole pages.
+/// paper bounds; everything is measured in whole pages.  `batch_reads`
+/// counts ReadBatch invocations (each moving >= 1 page): batching never
+/// changes `reads` — the paper's cost model — only how pages reach the
+/// device, so `reads / batch_reads` measures coalescing, not cost.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocs = 0;
   uint64_t frees = 0;
+  uint64_t batch_reads = 0;
 
   uint64_t total() const { return reads + writes; }
 
   IoStats operator-(const IoStats& o) const {
     return IoStats{reads - o.reads, writes - o.writes, allocs - o.allocs,
-                   frees - o.frees};
+                   frees - o.frees, batch_reads - o.batch_reads};
   }
 };
 

@@ -57,6 +57,21 @@ Status MemPageDevice::Read(PageId id, std::byte* buf) {
   return Status::OK();
 }
 
+Status MemPageDevice::ReadBatch(std::span<const PageId> ids,
+                                std::byte* bufs) {
+  // Page-for-page identical accounting to ids.size() Read() calls — ids are
+  // processed in order so fault injection trips at the same point — plus one
+  // batch_reads tick to record that the pages moved in a single batch.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PC_RETURN_IF_ERROR(CheckId(ids[i]));
+    PC_RETURN_IF_ERROR(MaybeFail());
+    ++stats_.reads;
+    std::memcpy(bufs + i * page_size_, pages_[ids[i]].get(), page_size_);
+  }
+  if (!ids.empty()) ++stats_.batch_reads;
+  return Status::OK();
+}
+
 Status MemPageDevice::Write(PageId id, const std::byte* buf) {
   PC_RETURN_IF_ERROR(CheckId(id));
   PC_RETURN_IF_ERROR(MaybeFail());

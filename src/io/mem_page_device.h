@@ -20,6 +20,7 @@ class MemPageDevice final : public PageDevice {
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
   Status Read(PageId id, std::byte* buf) override;
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }

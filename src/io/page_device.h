@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "io/io_types.h"
 #include "util/status.h"
@@ -31,6 +32,19 @@ class PageDevice {
 
   /// Copies the page into `buf`, which must hold page_size() bytes.
   virtual Status Read(PageId id, std::byte* buf) = 0;
+
+  /// Reads `ids.size()` pages into `bufs` (ids[k]'s page lands at
+  /// bufs + k * page_size()).  Counted exactly like ids.size() calls to
+  /// Read() — batching is a transport optimization, never a cost-model one —
+  /// so callers may only batch pages they would have read anyway.
+  /// Implementations may reorder or coalesce the physical transfers; on
+  /// error the contents of `bufs` are unspecified.
+  virtual Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      PC_RETURN_IF_ERROR(Read(ids[i], bufs + i * page_size()));
+    }
+    return Status::OK();
+  }
 
   /// Overwrites the page from `buf`, which must hold page_size() bytes.
   virtual Status Write(PageId id, const std::byte* buf) = 0;

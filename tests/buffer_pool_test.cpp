@@ -123,5 +123,87 @@ TEST_F(BufferPoolTest, AllocateDelegates) {
   EXPECT_EQ(pool.page_size(), kPage);
 }
 
+TEST_F(BufferPoolTest, EvictionAtExactCapacityBoundary) {
+  // Filling the pool to exactly its capacity must not evict anything; the
+  // (capacity+1)-th distinct page evicts exactly one frame.
+  PageId a = MakePage(1), b = MakePage(2), c = MakePage(3), d = MakePage(4);
+  BufferPool pool(&dev_, 3);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(c, buf.data()).ok());
+  EXPECT_EQ(pool.cached_pages(), 3u);
+  dev_.ResetStats();
+  // All three still resident — no premature eviction at the boundary.
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(c, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);
+  // One more distinct page: size stays pinned at capacity.
+  ASSERT_TRUE(pool.Read(d, buf.data()).ok());
+  EXPECT_EQ(pool.cached_pages(), 3u);
+}
+
+TEST_F(BufferPoolTest, ClearLeavesStatsUntouchedUntilResetStats) {
+  PageId id = MakePage(0x21);
+  BufferPool pool(&dev_, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());  // miss
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());  // hit
+  pool.Clear();
+  // Contract: Clear drops frames but keeps every counter.
+  EXPECT_EQ(pool.stats().reads, 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  // The re-read after Clear is a miss and counts as one.
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(pool.misses(), 2u);
+  pool.ClearAndResetStats();
+  EXPECT_EQ(pool.stats().reads, 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, ReadBatchCountsMatchSingleReads) {
+  // A batch through the pool must count exactly like the same sequence of
+  // single reads: one logical read per page, hits for resident pages.
+  PageId a = MakePage(1), b = MakePage(2), c = MakePage(3);
+  BufferPool pool(&dev_, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());  // b resident
+  dev_.ResetStats();
+  pool.ResetStats();
+
+  std::vector<PageId> batch{a, b, c};
+  std::vector<std::byte> bufs(batch.size() * kPage);
+  ASSERT_TRUE(pool.ReadBatch(batch, bufs.data()).ok());
+  EXPECT_EQ(pool.stats().reads, 3u);
+  EXPECT_EQ(pool.hits(), 1u);    // b
+  EXPECT_EQ(pool.misses(), 2u);  // a, c
+  EXPECT_EQ(dev_.stats().reads, 2u);  // only misses reach the device
+  // Data is correct per slot.
+  EXPECT_EQ(bufs[0], std::byte{1});
+  EXPECT_EQ(bufs[kPage], std::byte{2});
+  EXPECT_EQ(bufs[2 * kPage], std::byte{3});
+  // And everything is now resident.
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(c, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);
+}
+
+TEST_F(BufferPoolTest, ReadBatchWithDuplicateIdsStaysCorrect) {
+  PageId a = MakePage(0xA1), b = MakePage(0xB2);
+  BufferPool pool(&dev_, 4);
+  std::vector<PageId> batch{a, b, a};
+  std::vector<std::byte> bufs(batch.size() * kPage);
+  ASSERT_TRUE(pool.ReadBatch(batch, bufs.data()).ok());
+  EXPECT_EQ(bufs[0], std::byte{0xA1});
+  EXPECT_EQ(bufs[kPage], std::byte{0xB2});
+  EXPECT_EQ(bufs[2 * kPage], std::byte{0xA1});
+  EXPECT_EQ(pool.stats().reads, 3u);
+}
+
 }  // namespace
 }  // namespace pathcache

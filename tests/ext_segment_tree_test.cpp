@@ -196,5 +196,33 @@ TEST(ExtSegmentTreeTest, IoErrorPropagates) {
   dev.InjectFailureAfter(-1);
 }
 
+TEST(ExtSegmentTreeTest, ReadaheadIsPureTransport) {
+  auto ivs = MakeIntervals(60000, 95, "uniform", 0.05);
+  MemPageDevice dev_on(2048), dev_off(2048);
+  ExtSegmentTreeOptions on, off;
+  on.enable_readahead = true;
+  off.enable_readahead = false;
+  ExtSegmentTree st_on(&dev_on, on), st_off(&dev_off, off);
+  ASSERT_TRUE(st_on.Build(ivs).ok());
+  ASSERT_TRUE(st_off.Build(ivs).ok());
+
+  Rng rng(29);
+  uint64_t batches = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto& iv = ivs[rng.Uniform(ivs.size())];
+    const int64_t q = (iv.lo + iv.hi) / 2;
+    dev_on.ResetStats();
+    dev_off.ResetStats();
+    std::vector<Interval> a, b;
+    ASSERT_TRUE(st_on.Stab(q, &a).ok());
+    ASSERT_TRUE(st_off.Stab(q, &b).ok());
+    EXPECT_TRUE(SameResult(a, b)) << "q=" << q;
+    EXPECT_EQ(dev_on.stats().reads, dev_off.stats().reads) << "q=" << q;
+    EXPECT_EQ(dev_off.stats().batch_reads, 0u);
+    batches += dev_on.stats().batch_reads;
+  }
+  EXPECT_GT(batches, 0u);
+}
+
 }  // namespace
 }  // namespace pathcache

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "io/mem_page_device.h"
 #include "util/mathutil.h"
 #include "workload/generators.h"
@@ -267,6 +270,46 @@ TEST(ExternalPstTest, WastefulIoIsPaidFor) {
     // inside" constant — plus the O(log_B n) path/cache overhead.
     EXPECT_LE(qs.wasteful, 2 * qs.useful + 8 * logB_n + 12) << qs.ToString();
   }
+}
+
+TEST(ExternalPstTest, ReadaheadIsPureTransport) {
+  // Batched readahead must not change results OR counted reads — only how
+  // pages travel (single Read calls vs. vectored ReadBatch calls).
+  auto pts = UniformPts(120000, 91);
+  MemPageDevice dev_on(2048), dev_off(2048);
+  ExternalPstOptions on, off;
+  on.enable_readahead = true;
+  off.enable_readahead = false;
+  ExternalPst pst_on(&dev_on, on), pst_off(&dev_off, off);
+  ASSERT_TRUE(pst_on.Build(pts).ok());
+  ASSERT_TRUE(pst_off.Build(pts).ok());
+
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    dev_on.ResetStats();
+    dev_off.ResetStats();
+    std::vector<Point> a, b;
+    ASSERT_TRUE(pst_on.QueryTwoSided(q, &a).ok());
+    ASSERT_TRUE(pst_off.QueryTwoSided(q, &b).ok());
+    auto key = [](const Point& p) { return std::tie(p.x, p.y, p.id); };
+    std::sort(a.begin(), a.end(),
+              [&](const Point& l, const Point& r) { return key(l) < key(r); });
+    std::sort(b.begin(), b.end(),
+              [&](const Point& l, const Point& r) { return key(l) < key(r); });
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(dev_on.stats().reads, dev_off.stats().reads)
+        << "q=(" << q.x_min << "," << q.y_min << ")";
+    EXPECT_EQ(dev_off.stats().batch_reads, 0u);
+  }
+  // The batched build/query path was actually exercised.
+  dev_on.ResetStats();
+  Rng rng2(7);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<Point> a;
+    ASSERT_TRUE(pst_on.QueryTwoSided(SampleTwoSidedQuery(pts, &rng2), &a).ok());
+  }
+  EXPECT_GT(dev_on.stats().batch_reads, 0u);
 }
 
 }  // namespace

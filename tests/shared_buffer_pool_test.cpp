@@ -1,0 +1,204 @@
+#include "io/shared_buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "io/mem_page_device.h"
+
+namespace pathcache {
+namespace {
+
+class SharedBufferPoolTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPage = 256;
+  MemPageDevice dev_{kPage};
+
+  PageId MakePage(uint8_t fill) {
+    PageId id = dev_.Allocate().value();
+    std::vector<std::byte> buf(kPage);
+    std::memset(buf.data(), fill, kPage);
+    EXPECT_TRUE(dev_.Write(id, buf.data()).ok());
+    return id;
+  }
+};
+
+TEST_F(SharedBufferPoolTest, SecondReadIsAHit) {
+  PageId id = MakePage(0xAA);
+  SharedBufferPool pool(&dev_, 16, 4);
+  dev_.ResetStats();
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{0xAA});
+  EXPECT_EQ(dev_.stats().reads, 1u);
+  EXPECT_EQ(pool.stats().reads, 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(SharedBufferPoolTest, EveryShardGetsAtLeastOneFrame) {
+  // Capacity smaller than the shard count must still cache something in
+  // every shard rather than rounding some shard down to zero frames.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(MakePage(static_cast<uint8_t>(i)));
+  SharedBufferPool pool(&dev_, 4, 8);
+  EXPECT_EQ(pool.shard_count(), 8u);
+  std::vector<std::byte> buf(kPage);
+  for (PageId id : ids) ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  dev_.ResetStats();
+  for (PageId id : ids) ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  // Ids 0..7 over 8 shards: one page per shard, all resident.
+  EXPECT_EQ(dev_.stats().reads, 0u);
+  EXPECT_EQ(pool.cached_pages(), 8u);
+}
+
+TEST_F(SharedBufferPoolTest, ZeroCapacityPassesThrough) {
+  PageId id = MakePage(0x77);
+  SharedBufferPool pool(&dev_, 0, 4);
+  std::vector<std::byte> buf(kPage);
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 2u);
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(SharedBufferPoolTest, WriteThroughAndFreeInvalidate) {
+  PageId id = MakePage(0x01);
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  std::memset(buf.data(), 0x5C, kPage);
+  ASSERT_TRUE(pool.Write(id, buf.data()).ok());
+  std::vector<std::byte> direct(kPage);
+  ASSERT_TRUE(dev_.Read(id, direct.data()).ok());
+  EXPECT_EQ(direct[0], std::byte{0x5C});
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{0x5C});
+  EXPECT_EQ(dev_.stats().reads, 0u);  // updated frame served from cache
+
+  ASSERT_TRUE(pool.Free(id).ok());
+  EXPECT_TRUE(pool.Read(id, buf.data()).IsCorruption());
+}
+
+TEST_F(SharedBufferPoolTest, ClearKeepsCountersResetStatsDropsThem) {
+  PageId id = MakePage(0x21);
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  pool.Clear();
+  EXPECT_EQ(pool.stats().reads, 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  EXPECT_EQ(pool.misses(), 2u);
+  pool.ClearAndResetStats();
+  EXPECT_EQ(pool.stats().reads, 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST_F(SharedBufferPoolTest, ReadBatchCountsAndFillsSlots) {
+  PageId a = MakePage(1), b = MakePage(2), c = MakePage(3);
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(pool.Read(b, buf.data()).ok());
+  dev_.ResetStats();
+  pool.ResetStats();
+  std::vector<PageId> batch{a, b, c};
+  std::vector<std::byte> bufs(batch.size() * kPage);
+  ASSERT_TRUE(pool.ReadBatch(batch, bufs.data()).ok());
+  EXPECT_EQ(pool.stats().reads, 3u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(dev_.stats().reads, 2u);
+  EXPECT_EQ(bufs[0], std::byte{1});
+  EXPECT_EQ(bufs[kPage], std::byte{2});
+  EXPECT_EQ(bufs[2 * kPage], std::byte{3});
+}
+
+TEST_F(SharedBufferPoolTest, ReadBatchWithDuplicateIds) {
+  PageId a = MakePage(0xA1), b = MakePage(0xB2);
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<PageId> batch{a, b, a};
+  std::vector<std::byte> bufs(batch.size() * kPage);
+  ASSERT_TRUE(pool.ReadBatch(batch, bufs.data()).ok());
+  EXPECT_EQ(bufs[0], std::byte{0xA1});
+  EXPECT_EQ(bufs[kPage], std::byte{0xB2});
+  EXPECT_EQ(bufs[2 * kPage], std::byte{0xA1});
+  EXPECT_EQ(pool.stats().reads, 3u);
+}
+
+// The TSan target for the CI concurrency job: many readers over one pool,
+// mixed single and batched reads, including cold misses that race to insert
+// the same pages.  Any locking mistake in SharedBufferPool shows up here
+// under -fsanitize=thread.
+TEST_F(SharedBufferPoolTest, ConcurrentReadersSeeConsistentPages) {
+  constexpr int kPages = 64;
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kPages; ++i) {
+    ids.push_back(MakePage(static_cast<uint8_t>(i + 1)));
+  }
+  // Capacity below the working set so eviction and re-fetch race too.
+  SharedBufferPool pool(&dev_, kPages / 2, 8);
+
+  std::atomic<bool> failed{false};
+  auto reader = [&](uint32_t seed) {
+    uint64_t state = seed;
+    auto next = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<uint32_t>(state >> 33);
+    };
+    std::vector<std::byte> one(kPage);
+    std::vector<std::byte> many(4 * kPage);
+    for (int it = 0; it < kItersPerThread && !failed.load(); ++it) {
+      if (it % 4 == 0) {
+        PageId batch[4];
+        for (auto& id : batch) id = ids[next() % kPages];
+        if (!pool.ReadBatch({batch, 4}, many.data()).ok()) {
+          failed.store(true);
+          return;
+        }
+        for (int s = 0; s < 4; ++s) {
+          if (many[static_cast<size_t>(s) * kPage] !=
+              static_cast<std::byte>(batch[s] + 1)) {
+            failed.store(true);
+            return;
+          }
+        }
+      } else {
+        PageId id = ids[next() % kPages];
+        if (!pool.Read(id, one.data()).ok() ||
+            one[0] != static_cast<std::byte>(id + 1)) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(reader, static_cast<uint32_t>(t + 1));
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  // Counters add up: every logical read is a hit or a miss, and each thread
+  // issued 4 reads per batched iteration and 1 per single iteration.
+  EXPECT_EQ(pool.hits() + pool.misses(), pool.stats().reads);
+  constexpr uint64_t kReadsPerThread =
+      (kItersPerThread / 4) * 4 + (kItersPerThread - kItersPerThread / 4);
+  EXPECT_EQ(pool.stats().reads, kThreads * kReadsPerThread);
+}
+
+}  // namespace
+}  // namespace pathcache

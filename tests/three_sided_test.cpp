@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "io/mem_page_device.h"
 #include "util/mathutil.h"
 #include "workload/generators.h"
@@ -218,6 +221,39 @@ TEST(ThreeSidedPstTest, WastefulIoIsPaidFor) {
     ASSERT_TRUE(pst.QueryThreeSided(q, &got, &qs).ok());
     EXPECT_LE(qs.wasteful, 2 * qs.useful + 16 * logB_n + 24) << qs.ToString();
   }
+}
+
+TEST(ThreeSidedPstTest, ReadaheadIsPureTransport) {
+  auto pts = UniformPts(120000, 93);
+  MemPageDevice dev_on(2048), dev_off(2048);
+  ThreeSidedPstOptions on, off;
+  on.enable_readahead = true;
+  off.enable_readahead = false;
+  ThreeSidedPst pst_on(&dev_on, on), pst_off(&dev_off, off);
+  ASSERT_TRUE(pst_on.Build(pts).ok());
+  ASSERT_TRUE(pst_off.Build(pts).ok());
+
+  Rng rng(17);
+  uint64_t batches = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto q = SampleThreeSidedQuery(pts, 0.05 + 0.03 * (i % 8), &rng);
+    dev_on.ResetStats();
+    dev_off.ResetStats();
+    std::vector<Point> a, b;
+    ASSERT_TRUE(pst_on.QueryThreeSided(q, &a).ok());
+    ASSERT_TRUE(pst_off.QueryThreeSided(q, &b).ok());
+    auto key = [](const Point& p) { return std::tie(p.x, p.y, p.id); };
+    std::sort(a.begin(), a.end(),
+              [&](const Point& l, const Point& r) { return key(l) < key(r); });
+    std::sort(b.begin(), b.end(),
+              [&](const Point& l, const Point& r) { return key(l) < key(r); });
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(dev_on.stats().reads, dev_off.stats().reads)
+        << "q=(" << q.x_min << "," << q.x_max << "," << q.y_min << ")";
+    EXPECT_EQ(dev_off.stats().batch_reads, 0u);
+    batches += dev_on.stats().batch_reads;
+  }
+  EXPECT_GT(batches, 0u);  // the vectored path was actually exercised
 }
 
 }  // namespace
