@@ -1,19 +1,26 @@
 // Concurrent query throughput over a file-backed store — the wall-clock
-// side of the batching + lock-striped-pool work.
+// side of the batching + lock-striped-pool + disk-layout work.
 //
 // Everything else in bench/ measures COUNTED I/Os on a MemPageDevice (the
 // paper's cost model, deterministic and machine-independent).  This harness
-// instead measures queries/second with N reader threads sharing one
-// ExternalPst + ThreeSidedPst built over a FilePageDevice behind a
+// instead measures the transport layer under that unchanged cost model,
+// with an ExternalPst + ThreeSidedPst built over a FilePageDevice behind a
 // SharedBufferPool:
 //
-//   * QPS per thread count (1, 2, 4, 8) — warm-pool scaling comes from lock
-//     striping; the single inner device stays serialized behind one mutex.
-//   * hit_rate — fraction of logical reads absorbed by the pool.
-//   * syscalls_saved — preadv coalescing on the cold pass: counted reads
-//     that reached the file minus the pread/preadv calls actually issued.
+//   * Cold ablation (E15): {readahead off/on} x {clustered off/on}, each
+//     cell a single-threaded cold-cache pass.  Clustering (io/layout.h)
+//     relocates each structure's pages so chains and skeletal levels are
+//     disk-contiguous; the preadv coalescing in ReadBatch then folds more
+//     counted reads into each syscall, raising syscalls_saved.  Counted
+//     file reads are asserted IDENTICAL down each column — layout is
+//     invisible to the paper's cost model.
+//   * Warm sweeps: QPS per thread count (1, 2, 4, 8) on the clustered
+//     store — lock-striping scalability, pool hit rate.
 //
-// Not a google-benchmark binary: thread sweeps over one shared fixture are
+// `--json out.json` dumps every number machine-readably (CI uploads it);
+// `--points N` / `--queries N` shrink the fixture for smoke runs.
+//
+// Not a google-benchmark binary: config sweeps over one shared fixture are
 // clearer as a plain main(), and keeping wall-clock timing out of the
 // counted-I/O suite keeps EXPERIMENTS.md's tables machine-independent.
 
@@ -21,11 +28,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/persist.h"
 #include "core/pst_external.h"
 #include "core/three_sided.h"
 #include "io/file_page_device.h"
@@ -35,10 +46,40 @@
 namespace pathcache {
 namespace {
 
-constexpr uint64_t kPoints = 200'000;
-constexpr uint64_t kQueriesPerThread = 1'000;
 constexpr uint32_t kShards = 16;
 const uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct Options {
+  uint64_t points = 200'000;
+  uint64_t queries = 1'000;  // per thread, and per cold pass
+  std::string json_path;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  auto value_of = [&](int* i, const char* flag) -> const char* {
+    const size_t len = std::strlen(flag);
+    if (std::strncmp(argv[*i], flag, len) != 0) return nullptr;
+    if (argv[*i][len] == '=') return argv[*i] + len + 1;
+    if (argv[*i][len] == '\0' && *i + 1 < argc) return argv[++*i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* pv = value_of(&i, "--points")) {
+      o.points = std::strtoull(pv, nullptr, 10);
+    } else if (const char* qv = value_of(&i, "--queries")) {
+      o.queries = std::strtoull(qv, nullptr, 10);
+    } else if (const char* jv = value_of(&i, "--json")) {
+      o.json_path = jv;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--points N] [--queries N] [--json out.json]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
 
 struct QuerySet {
   std::vector<TwoSidedQuery> two;
@@ -60,6 +101,116 @@ QuerySet MakeQueries(uint64_t count, uint32_t seed) {
   }
   return qs;
 }
+
+// One built store: both structures over one FilePageDevice behind one pool.
+// Building THROUGH the pool (write-through) lets the same handles serve
+// pooled queries later.
+struct Store {
+  std::unique_ptr<FilePageDevice> dev;
+  std::unique_ptr<SharedBufferPool> pool;
+  std::unique_ptr<ExternalPst> pst;
+  std::unique_ptr<ThreeSidedPst> pst3;
+  PageId pst_manifest = kInvalidPageId;
+  PageId pst3_manifest = kInvalidPageId;
+};
+
+Store BuildStore(const std::string& path, const std::vector<Point>& points,
+                 bool clustered) {
+  Store s;
+  s.dev = BenchValue(FilePageDevice::Create(path), "create device");
+  // Capacity covers the whole store: warm passes measure lock-striping
+  // scalability, not eviction.
+  s.pool = std::make_unique<SharedBufferPool>(s.dev.get(),
+                                              /*capacity_pages=*/1 << 20,
+                                              kShards);
+  // Age the allocator the way long-lived stores age: build and destroy a
+  // sacrificial pair of structures first.  The real build below then draws
+  // every page from the LIFO free list in reverse order, so its chains come
+  // out id-descending — zero contig runs, the preadv coalescing can fold
+  // nothing.  A freshly created file would be accidentally near-optimal and
+  // leave the clustering pass nothing to show.
+  {
+    ExternalPst tmp(s.pool.get());
+    BenchCheck(tmp.Build(points), "age build 2-sided");
+    ThreeSidedPst tmp3(s.pool.get());
+    BenchCheck(tmp3.Build(points), "age build 3-sided");
+    BenchCheck(tmp.Destroy(), "age destroy 2-sided");
+    BenchCheck(tmp3.Destroy(), "age destroy 3-sided");
+    s.pool->ClearAndResetStats();
+  }
+  s.pst = std::make_unique<ExternalPst>(s.pool.get());
+  BenchCheck(s.pst->Build(points), "build 2-sided");
+  s.pst3 = std::make_unique<ThreeSidedPst>(s.pool.get());
+  BenchCheck(s.pst3->Build(points), "build 3-sided");
+  if (clustered) {
+    BenchCheck(s.pst->Cluster(), "cluster 2-sided");
+    BenchCheck(s.pst3->Cluster(), "cluster 3-sided");
+  }
+  // Save manifests so the readahead-off cold passes can reopen the same
+  // structures under different query options.
+  s.pst_manifest = BenchValue(s.pst->Save(), "save 2-sided");
+  s.pst3_manifest = BenchValue(s.pst3->Save(), "save 3-sided");
+  return s;
+}
+
+struct ColdCell {
+  bool clustered = false;
+  bool readahead = false;
+  uint64_t file_reads = 0;
+  uint64_t read_syscalls = 0;
+  uint64_t sorted_batches = 0;
+  double syscalls_saved_pct = 0.0;
+  double hit_rate = 0.0;
+};
+
+// Single-threaded cold-cache pass over `queries` 2-sided + 3-sided lookups,
+// reopening the saved structures with `readahead` on or off.
+ColdCell RunColdPass(Store& s, const QuerySet& qs, bool clustered,
+                     bool readahead) {
+  ExternalPstOptions o2;
+  o2.enable_readahead = readahead;
+  ExternalPst pst(s.pool.get(), o2);
+  BenchCheck(pst.Open(s.pst_manifest), "open 2-sided");
+  ThreeSidedPstOptions o3;
+  o3.enable_readahead = readahead;
+  ThreeSidedPst pst3(s.pool.get(), o3);
+  BenchCheck(pst3.Open(s.pst3_manifest), "open 3-sided");
+
+  s.pool->ClearAndResetStats();
+  s.dev->ResetStats();
+  std::vector<Point> out;
+  for (uint64_t i = 0; i < qs.two.size(); ++i) {
+    out.clear();
+    BenchCheck(pst.QueryTwoSided(qs.two[i], &out), "cold 2-sided query");
+    out.clear();
+    BenchCheck(pst3.QueryThreeSided(qs.three[i], &out), "cold 3-sided query");
+  }
+
+  ColdCell c;
+  c.clustered = clustered;
+  c.readahead = readahead;
+  c.file_reads = s.dev->stats().reads;
+  c.read_syscalls = s.dev->read_syscalls();
+  c.sorted_batches = s.dev->sorted_batches();
+  c.syscalls_saved_pct =
+      c.file_reads == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(c.file_reads - c.read_syscalls) /
+                static_cast<double>(c.file_reads);
+  const uint64_t logical = s.pool->hits() + s.pool->misses();
+  c.hit_rate = logical == 0 ? 0.0
+                            : static_cast<double>(s.pool->hits()) /
+                                  static_cast<double>(logical);
+  return c;
+}
+
+struct WarmRow {
+  uint32_t threads = 0;
+  double qps = 0.0;
+  double speedup = 0.0;
+  double hit_rate = 0.0;
+  uint64_t file_reads = 0;
+};
 
 // Runs `nthreads` workers concurrently (each gets its thread ordinal) and
 // returns aggregate queries/second.  Workers park on an atomic start flag so
@@ -87,102 +238,153 @@ double RunThreads(uint32_t nthreads, uint64_t queries_per_thread,
   return static_cast<double>(nthreads) * queries_per_thread / secs;
 }
 
-int Main() {
-  const std::string path = "/tmp/pathcache_bench_throughput.bin";
-  auto dev = BenchValue(FilePageDevice::Create(path), "create device");
+void WriteJson(const Options& opt, const std::vector<ColdCell>& cold,
+               const std::vector<WarmRow>& warm) {
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL cannot open %s for writing\n",
+                 opt.json_path.c_str());
+    std::abort();
+  }
+  JsonWriter w(f);
+  w.BeginObject();
+  w.Key("bench").Str("bench_throughput");
+  w.Key("points").Uint(opt.points);
+  w.Key("queries_per_thread").Uint(opt.queries);
+  w.Key("cold_ablation").BeginArray();
+  for (const ColdCell& c : cold) {
+    w.BeginObject();
+    w.Key("clustered").Bool(c.clustered);
+    w.Key("readahead").Bool(c.readahead);
+    w.Key("file_reads").Uint(c.file_reads);
+    w.Key("read_syscalls").Uint(c.read_syscalls);
+    w.Key("sorted_batches").Uint(c.sorted_batches);
+    w.Key("syscalls_saved_pct").Double(c.syscalls_saved_pct);
+    w.Key("hit_rate").Double(c.hit_rate);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("warm_sweep").BeginArray();
+  for (const WarmRow& r : warm) {
+    w.BeginObject();
+    w.Key("threads").Uint(r.threads);
+    w.Key("qps").Double(r.qps);
+    w.Key("speedup").Double(r.speedup);
+    w.Key("hit_rate").Double(r.hit_rate);
+    w.Key("file_reads").Uint(r.file_reads);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
 
-  // The structures are built THROUGH the pool (write-through), so the same
-  // handles later serve pooled queries.  Capacity covers the whole store:
-  // the warm passes measure lock-striping scalability, not eviction.
-  SharedBufferPool pool(dev.get(), /*capacity_pages=*/1 << 20, kShards);
+int Main(int argc, char** argv) {
+  const Options opt = ParseArgs(argc, argv);
 
-  PointGenOptions o;
-  o.n = kPoints;
-  o.seed = 42;
-  auto points = GenPointsUniform(o);
+  PointGenOptions po;
+  po.n = opt.points;
+  po.seed = 42;
+  const auto points = GenPointsUniform(po);
+  const QuerySet cold_qs = MakeQueries(opt.queries, 7);
 
-  ExternalPst pst(&pool);
-  BenchCheck(pst.Build(points), "build 2-sided");
-  ThreeSidedPst pst3(&pool);
-  BenchCheck(pst3.Build(std::move(points)), "build 3-sided");
+  // ---- Cold 2x2 ablation: readahead x clustering.  One build per layout;
+  // the readahead toggle reopens the saved structures. ----
+  std::vector<ColdCell> cold;
+  Store clustered_store;
+  for (bool clustered : {false, true}) {
+    const std::string path = std::string("/tmp/pathcache_bench_throughput") +
+                             (clustered ? ".clustered.bin" : ".plain.bin");
+    Store s = BuildStore(path, points, clustered);
+    for (bool readahead : {false, true}) {
+      cold.push_back(RunColdPass(s, cold_qs, clustered, readahead));
+      const ColdCell& c = cold.back();
+      std::printf(
+          "cold clustered=%d readahead=%d: file reads=%llu  "
+          "read syscalls=%llu  syscalls_saved=%.1f%%  hit_rate=%.4f\n",
+          c.clustered ? 1 : 0, c.readahead ? 1 : 0,
+          static_cast<unsigned long long>(c.file_reads),
+          static_cast<unsigned long long>(c.read_syscalls),
+          c.syscalls_saved_pct, c.hit_rate);
+    }
+    if (clustered) clustered_store = std::move(s);
+  }
 
-  // ---- Cold pass (single-threaded): every page read reaches the file;
-  // measures preadv coalescing. ----
-  pool.ClearAndResetStats();
-  dev->ResetStats();
-  {
-    const QuerySet qs = MakeQueries(kQueriesPerThread, 7);
-    for (uint64_t i = 0; i < kQueriesPerThread; ++i) {
-      std::vector<Point> out;
-      BenchCheck(pst.QueryTwoSided(qs.two[i], &out), "cold 2-sided query");
-      out.clear();
-      BenchCheck(pst3.QueryThreeSided(qs.three[i], &out),
-                 "cold 3-sided query");
+  // Layout is invisible to the paper's cost model: each readahead column
+  // must show identical counted file reads with and without clustering.
+  for (size_t i = 0; i < 2; ++i) {
+    if (cold[i].file_reads != cold[i + 2].file_reads) {
+      std::fprintf(stderr,
+                   "FATAL counted reads differ with clustering: "
+                   "readahead=%d %llu vs %llu\n",
+                   cold[i].readahead ? 1 : 0,
+                   static_cast<unsigned long long>(cold[i].file_reads),
+                   static_cast<unsigned long long>(cold[i + 2].file_reads));
+      std::abort();
     }
   }
-  const uint64_t cold_reads = dev->stats().reads;
-  const uint64_t cold_syscalls = dev->read_syscalls();
-  std::printf(
-      "cold pass: file reads=%llu  read syscalls=%llu  "
-      "syscalls_saved=%.1f%%  pool hit_rate=%.4f\n\n",
-      static_cast<unsigned long long>(cold_reads),
-      static_cast<unsigned long long>(cold_syscalls),
-      cold_reads == 0
-          ? 0.0
-          : 100.0 * (cold_reads - cold_syscalls) / cold_reads,
-      pool.hits() + pool.misses() == 0
-          ? 0.0
-          : static_cast<double>(pool.hits()) /
-                static_cast<double>(pool.hits() + pool.misses()));
+  std::printf("counted file reads identical across layouts (asserted)\n\n");
 
-  // ---- Warm sweeps: pool already holds every page the queries touch.
-  // Query streams are pre-generated per thread ordinal so the timed region
-  // holds only query execution. ----
+  // ---- Warm sweeps on the clustered store: pool already holds every page
+  // the queries touch.  Query streams are pre-generated per thread ordinal
+  // so the timed region holds only query execution. ----
+  Store& s = clustered_store;
   uint32_t max_threads = 1;
   for (uint32_t n : kThreadCounts) max_threads = std::max(max_threads, n);
   std::vector<QuerySet> streams;
   streams.reserve(max_threads);
   for (uint32_t t = 0; t < max_threads; ++t) {
-    streams.push_back(MakeQueries(kQueriesPerThread, 100 + t));
+    streams.push_back(MakeQueries(opt.queries, 100 + t));
   }
 
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  std::vector<WarmRow> warm;
   double qps1 = 0.0;
   for (uint32_t nthreads : kThreadCounts) {
-    pool.ResetStats();
-    dev->ResetStats();
-    const double qps = RunThreads(
-        nthreads, 2 * kQueriesPerThread, [&](uint32_t t) {
-          const QuerySet& qs = streams[t];
-          std::vector<Point> out;
-          for (uint64_t i = 0; i < kQueriesPerThread; ++i) {
-            out.clear();
-            BenchCheck(pst.QueryTwoSided(qs.two[i], &out), "2-sided query");
-            out.clear();
-            BenchCheck(pst3.QueryThreeSided(qs.three[i], &out),
-                       "3-sided query");
-          }
-        });
+    s.pool->ResetStats();
+    s.dev->ResetStats();
+    const double qps = RunThreads(nthreads, 2 * opt.queries, [&](uint32_t t) {
+      const QuerySet& qs = streams[t];
+      std::vector<Point> out;
+      for (uint64_t i = 0; i < qs.two.size(); ++i) {
+        out.clear();
+        BenchCheck(s.pst->QueryTwoSided(qs.two[i], &out), "2-sided query");
+        out.clear();
+        BenchCheck(s.pst3->QueryThreeSided(qs.three[i], &out),
+                   "3-sided query");
+      }
+    });
     if (nthreads == 1) qps1 = qps;
-    const uint64_t hits = pool.hits();
-    const uint64_t misses = pool.misses();
+    const uint64_t hits = s.pool->hits();
+    const uint64_t misses = s.pool->misses();
+    WarmRow row;
+    row.threads = nthreads;
+    row.qps = qps;
+    row.speedup = qps1 == 0.0 ? 0.0 : qps / qps1;
+    row.hit_rate = hits + misses == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(hits + misses);
+    row.file_reads = s.dev->stats().reads;
+    warm.push_back(row);
     std::printf(
         "warm threads=%u  qps=%9.0f  speedup=%.2fx  hit_rate=%.4f  "
         "file reads=%llu\n",
-        nthreads, qps, qps1 == 0.0 ? 0.0 : qps / qps1,
-        hits + misses == 0
-            ? 0.0
-            : static_cast<double>(hits) / static_cast<double>(hits + misses),
-        static_cast<unsigned long long>(dev->stats().reads));
+        row.threads, row.qps, row.speedup, row.hit_rate,
+        static_cast<unsigned long long>(row.file_reads));
   }
   std::printf(
       "\n(each \"query\" above is one 2-sided plus one 3-sided lookup; "
       "speedup beyond 1 thread requires as many hardware threads)\n");
+
+  if (!opt.json_path.empty()) WriteJson(opt, cold, warm);
   return 0;
 }
 
 }  // namespace
 }  // namespace pathcache
 
-int main() { return pathcache::Main(); }
+int main(int argc, char** argv) { return pathcache::Main(argc, argv); }

@@ -1,8 +1,11 @@
 #include "core/ext_interval_tree.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+#include <string>
 
+#include "core/persist.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -17,19 +20,6 @@ struct MemNode {
   bool is_leaf = false;
   std::vector<Interval> ivs;  // crossing set (internal) or pool (leaf)
 };
-
-Status ReadSrcIvBlock(PageDevice* dev, PageId page,
-                      std::vector<SrcInterval>* out) {
-  std::vector<std::byte> buf(dev->page_size());
-  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
-  BlockPageHeader hdr;
-  std::memcpy(&hdr, buf.data(), sizeof(hdr));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(SrcInterval));
-  return Status::OK();
-}
 
 void Bump(QueryStats* stats, uint64_t QueryStats::* role, uint64_t n = 1) {
   if (stats != nullptr) stats->*role += n;
@@ -267,18 +257,15 @@ Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
                                  uint64_t* consumed) const {
   const uint32_t cap = RecordsPerPage<Interval>(dev_->page_size());
   if (consumed != nullptr) *consumed = 0;
+  // Early-stopping scan, filtered in place via a pinned frame: one counted
+  // read per page either way.
+  BlockPageView<Interval> view;
   PageId cur = page;
-  std::vector<std::byte> buf(dev_->page_size());
   while (cur != kInvalidPageId) {
-    PC_RETURN_IF_ERROR(dev_->Read(cur, buf.data()));
+    PC_RETURN_IF_ERROR(view.Load(dev_, cur));
     Bump(stats, role);
-    BlockPageHeader hdr;
-    std::memcpy(&hdr, buf.data(), sizeof(hdr));
-    std::vector<Interval> ivs(hdr.count);
-    std::memcpy(ivs.data(), buf.data() + sizeof(hdr),
-                hdr.count * sizeof(Interval));
     uint64_t qual = 0;
-    for (const auto& iv : ivs) {
+    for (const auto& iv : view.records()) {
       if (is_l_list ? (iv.lo > q) : (iv.hi < q)) {
         Classify(stats, qual, cap);
         return Status::OK();
@@ -290,7 +277,7 @@ Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
       }
     }
     Classify(stats, qual, cap);
-    cur = hdr.next;
+    cur = view.next();
   }
   return Status::OK();
 }
@@ -310,7 +297,7 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   // up front, so the exact prefix is fetched batched.
   std::vector<uint32_t> cl_consumed(cache.ancs.size(), 0);
   bool stop = false;
-  auto scan_cl_page = [&](const std::vector<SrcInterval>& recs) {
+  auto scan_cl_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
@@ -343,11 +330,11 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       scan_cl_page(recs);
     }
   } else {
+    BlockPageView<SrcInterval> view;
     for (PageId p : cache.a_pages) {
       if (stop) break;
-      std::vector<SrcInterval> recs;
-      PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
-      scan_cl_page(recs);
+      PC_RETURN_IF_ERROR(view.Load(dev_, p));
+      scan_cl_page(view.records());
     }
   }
   for (size_t k = 0; k < cache.ancs.size(); ++k) {
@@ -363,7 +350,7 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   // CR: right-direction ancestors, descending hi, scan while hi >= q.
   std::vector<uint32_t> cr_consumed(cache.sibs.size(), 0);
   stop = false;
-  auto scan_cr_page = [&](const std::vector<SrcInterval>& recs) {
+  auto scan_cr_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
@@ -396,11 +383,11 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       scan_cr_page(recs);
     }
   } else {
+    BlockPageView<SrcInterval> view;
     for (PageId p : cache.s_pages) {
       if (stop) break;
-      std::vector<SrcInterval> recs;
-      PC_RETURN_IF_ERROR(ReadSrcIvBlock(dev_, p, &recs));
-      scan_cr_page(recs);
+      PC_RETURN_IF_ERROR(view.Load(dev_, p));
+      scan_cr_page(view.records());
     }
   }
   for (size_t k = 0; k < cache.sibs.size(); ++k) {
@@ -479,6 +466,126 @@ Status ExtIntervalTree::Destroy() {
   root_ = kNullNodeRef;
   n_ = 0;
   storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+Result<PageId> ExtIntervalTree::Save() {
+  auto list =
+      BuildBlockList<PageId>(dev_, std::span<const PageId>(owned_pages_));
+  if (!list.ok()) return list.status();
+  auto mp = dev_->Allocate();
+  if (!mp.ok()) return mp.status();
+
+  PstManifestHeader hdr;
+  hdr.magic = kExtIntTreeMagic;
+  hdr.n = n_;
+  hdr.root = root_;
+  hdr.caching = opts_.enable_path_caching ? 1 : 0;
+  hdr.skeletal = storage_.skeletal;
+  hdr.points_pages = storage_.points;
+  hdr.cache_headers = storage_.cache_headers;
+  hdr.cache_blocks = storage_.cache_blocks;
+  hdr.owned_head = list.value().ref.head;
+  hdr.owned_count = owned_pages_.size();
+  PC_RETURN_IF_ERROR(internal::WriteManifestHeader(dev_, mp.value(), hdr));
+
+  owned_pages_.push_back(mp.value());
+  for (PageId p : list.value().pages) owned_pages_.push_back(p);
+  return mp.value();
+}
+
+Status ExtIntervalTree::Open(PageId manifest) {
+  if (root_.valid() || !owned_pages_.empty()) {
+    return Status::FailedPrecondition("Open on a non-empty structure");
+  }
+  PstManifestHeader hdr;
+  std::vector<PageId> owned, chain;
+  PC_RETURN_IF_ERROR(internal::ReadManifest(
+      dev_, manifest, kExtIntTreeMagic, &hdr, &owned, nullptr, &chain));
+  n_ = hdr.n;
+  root_ = hdr.root;
+  opts_.enable_path_caching = hdr.caching != 0;
+  storage_ = StorageBreakdown{};
+  storage_.skeletal = hdr.skeletal;
+  storage_.points = hdr.points_pages;
+  storage_.cache_headers = hdr.cache_headers;
+  storage_.cache_blocks = hdr.cache_blocks;
+  owned_pages_ = std::move(owned);
+  for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ExtIntervalTree::Cluster() {
+  if (!root_.valid()) return Status::OK();
+
+  std::vector<PageTreeNode> ptree;
+  PC_RETURN_IF_ERROR(
+      CollectSkeletalPageTree<IntNodeRec>(dev_, root_, &ptree));
+  const std::vector<uint32_t> veb = VanEmdeBoasOrder(ptree, 0);
+
+  // Pass 1: skeletal pages in van Emde Boas order with every stored PageId
+  // slot registered for rewrite.
+  LayoutPlan plan;
+  std::vector<std::byte> buf(dev_->page_size());
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    plan.Add(pid);
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      const uint32_t base =
+          static_cast<uint32_t>(sizeof(hdr) + s * sizeof(IntNodeRec));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, left) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, right) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, l_head));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, r_head));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, pool_page));
+      plan.AddRef(pid, base + offsetof(IntNodeRec, cache_page));
+    }
+  }
+
+  // Pass 2: each node's cluster — direction-split cache (header + CL/CR
+  // chains; its continuation pointers into ancestors' lists are registered
+  // by AppendCachePagesToPlan and remapped with those lists), then the L/R
+  // lists or the leaf pool — in descent order.
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      IntNodeRec rec;
+      std::memcpy(&rec, buf.data() + sizeof(hdr) + s * sizeof(IntNodeRec),
+                  sizeof(rec));
+      if (rec.cache_page != kInvalidPageId) {
+        NodeCache cache;
+        PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, rec.cache_page, &cache));
+        AppendCachePagesToPlan(rec.cache_page, cache, &plan);
+      }
+      for (PageId head : {rec.l_head, rec.r_head, rec.pool_page}) {
+        if (head == kInvalidPageId) continue;
+        std::vector<PageId> chain;
+        PC_RETURN_IF_ERROR(CollectChainPages(dev_, head, &chain));
+        plan.AddChain(chain);
+      }
+    }
+  }
+
+  if (plan.page_count() != owned_pages_.size()) {
+    return Status::FailedPrecondition(
+        "layout plan covers " + std::to_string(plan.page_count()) +
+        " pages but the structure owns " +
+        std::to_string(owned_pages_.size()) +
+        " — Cluster() must run on a finished build before Save()");
+  }
+  auto remap = ComputeRemap(plan);
+  if (!remap.ok()) return remap.status();
+  PC_RETURN_IF_ERROR(ApplyLayout(dev_, plan, remap.value()));
+  root_.page = remap.value().Of(root_.page);
+  for (PageId& p : owned_pages_) p = remap.value().Of(p);
   return Status::OK();
 }
 

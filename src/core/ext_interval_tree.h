@@ -88,6 +88,21 @@ class ExtIntervalTree {
 
   Status Destroy();
 
+  /// Serializes the handle into a manifest page (kExtIntTreeMagic); Open()
+  /// on a fresh instance restores it.  The manifest chain joins the owned
+  /// set, so Destroy() from either instance reclaims everything.
+  Result<PageId> Save();
+
+  /// Restores a previously Save()d structure into this empty instance.
+  Status Open(PageId manifest);
+
+  /// Build-time disk-layout clustering (io/layout.h): skeletal pages in van
+  /// Emde Boas order, then per node the direction-split cache cluster and
+  /// the L/R-list (or leaf pool) chains in descent order.  Counted logical
+  /// I/O is bit-identical before and after.  Call on a finished build
+  /// BEFORE Save().
+  Status Cluster();
+
   uint64_t size() const { return n_; }
   StorageBreakdown storage() const { return storage_; }
   bool caching_enabled() const { return opts_.enable_path_caching; }

@@ -1,8 +1,11 @@
 #include "core/ext_segment_tree.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+#include <string>
 
+#include "core/persist.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -263,7 +266,122 @@ Status ExtSegmentTree::Destroy() {
   owned_pages_.clear();
   root_ = kNullNodeRef;
   n_ = 0;
+  stored_copies_ = 0;
   storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+Result<PageId> ExtSegmentTree::Save() {
+  auto list =
+      BuildBlockList<PageId>(dev_, std::span<const PageId>(owned_pages_));
+  if (!list.ok()) return list.status();
+  auto mp = dev_->Allocate();
+  if (!mp.ok()) return mp.status();
+
+  PstManifestHeader hdr;
+  hdr.magic = kExtSegTreeMagic;
+  hdr.n = n_;
+  hdr.root = root_;
+  hdr.caching = opts_.enable_path_caching ? 1 : 0;
+  hdr.skeletal = storage_.skeletal;
+  hdr.points_pages = storage_.points;
+  hdr.cache_headers = storage_.cache_headers;
+  hdr.cache_blocks = storage_.cache_blocks;
+  hdr.owned_head = list.value().ref.head;
+  hdr.owned_count = owned_pages_.size();
+  hdr.aux = stored_copies_;
+  PC_RETURN_IF_ERROR(internal::WriteManifestHeader(dev_, mp.value(), hdr));
+
+  owned_pages_.push_back(mp.value());
+  for (PageId p : list.value().pages) owned_pages_.push_back(p);
+  return mp.value();
+}
+
+Status ExtSegmentTree::Open(PageId manifest) {
+  if (root_.valid() || !owned_pages_.empty()) {
+    return Status::FailedPrecondition("Open on a non-empty structure");
+  }
+  PstManifestHeader hdr;
+  std::vector<PageId> owned, chain;
+  PC_RETURN_IF_ERROR(internal::ReadManifest(
+      dev_, manifest, kExtSegTreeMagic, &hdr, &owned, nullptr, &chain));
+  n_ = hdr.n;
+  root_ = hdr.root;
+  opts_.enable_path_caching = hdr.caching != 0;
+  stored_copies_ = hdr.aux;
+  storage_ = StorageBreakdown{};
+  storage_.skeletal = hdr.skeletal;
+  storage_.points = hdr.points_pages;
+  storage_.cache_headers = hdr.cache_headers;
+  storage_.cache_blocks = hdr.cache_blocks;
+  owned_pages_ = std::move(owned);
+  for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ExtSegmentTree::Cluster() {
+  if (!root_.valid()) return Status::OK();
+
+  std::vector<PageTreeNode> ptree;
+  PC_RETURN_IF_ERROR(
+      CollectSkeletalPageTree<SegNodeRec>(dev_, root_, &ptree));
+  const std::vector<uint32_t> veb = VanEmdeBoasOrder(ptree, 0);
+
+  // Pass 1: skeletal pages in van Emde Boas order with every stored PageId
+  // slot registered for rewrite.
+  LayoutPlan plan;
+  std::vector<std::byte> buf(dev_->page_size());
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    plan.Add(pid);
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      const uint32_t base =
+          static_cast<uint32_t>(sizeof(hdr) + s * sizeof(SegNodeRec));
+      plan.AddRef(pid, base + offsetof(SegNodeRec, left) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(SegNodeRec, right) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(SegNodeRec, cover_head));
+      plan.AddRef(pid, base + offsetof(SegNodeRec, cache_page));
+      plan.AddRef(pid, base + offsetof(SegNodeRec, end_page));
+    }
+  }
+
+  // Pass 2: each node's chains — cache, cover, end-list — in the order a
+  // descending stab touches them.
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      SegNodeRec rec;
+      std::memcpy(&rec, buf.data() + sizeof(hdr) + s * sizeof(SegNodeRec),
+                  sizeof(rec));
+      for (PageId head : {rec.cache_page, rec.cover_head, rec.end_page}) {
+        if (head == kInvalidPageId) continue;
+        std::vector<PageId> chain;
+        PC_RETURN_IF_ERROR(CollectChainPages(dev_, head, &chain));
+        plan.AddChain(chain);
+      }
+    }
+  }
+
+  if (plan.page_count() != owned_pages_.size()) {
+    return Status::FailedPrecondition(
+        "layout plan covers " + std::to_string(plan.page_count()) +
+        " pages but the structure owns " +
+        std::to_string(owned_pages_.size()) +
+        " — Cluster() must run on a finished build before Save()");
+  }
+  auto remap = ComputeRemap(plan);
+  if (!remap.ok()) return remap.status();
+  PC_RETURN_IF_ERROR(ApplyLayout(dev_, plan, remap.value()));
+  root_.page = remap.value().Of(root_.page);
+  for (PageId& p : owned_pages_) p = remap.value().Of(p);
   return Status::OK();
 }
 

@@ -71,6 +71,20 @@ class ExtSegmentTree {
 
   Status Destroy();
 
+  /// Serializes the handle into a manifest page (kExtSegTreeMagic; the
+  /// stored-copies count rides in the header's aux field); Open() on a
+  /// fresh instance restores it.  The manifest chain joins the owned set.
+  Result<PageId> Save();
+
+  /// Restores a previously Save()d structure into this empty instance.
+  Status Open(PageId manifest);
+
+  /// Build-time disk-layout clustering (io/layout.h): skeletal pages in van
+  /// Emde Boas order, then per node the cache, cover and end-list chains in
+  /// descent order.  Counted logical I/O is bit-identical before and after.
+  /// Call on a finished build BEFORE Save().
+  Status Cluster();
+
   uint64_t size() const { return n_; }
   StorageBreakdown storage() const { return storage_; }
   bool caching_enabled() const { return opts_.enable_path_caching; }

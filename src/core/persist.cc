@@ -16,7 +16,9 @@ Status ReadManifestHeader(PageDevice* dev, PageId page,
   std::vector<std::byte> buf(dev->page_size());
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   std::memcpy(out, buf.data(), sizeof(*out));
-  if (out->magic != kExternalPstMagic && out->magic != kTwoLevelPstMagic) {
+  if (out->magic != kExternalPstMagic && out->magic != kTwoLevelPstMagic &&
+      out->magic != kThreeSidedPstMagic && out->magic != kExtSegTreeMagic &&
+      out->magic != kExtIntTreeMagic) {
     return Status::Corruption("not a pathcache manifest page");
   }
   return Status::OK();
@@ -81,6 +83,9 @@ Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,
     auto pst = std::make_unique<ExternalPst>(dev);
     PC_RETURN_IF_ERROR(pst->Open(manifest));
     return std::unique_ptr<TwoSidedIndex>(std::move(pst));
+  }
+  if (hdr.magic != kTwoLevelPstMagic) {
+    return Status::InvalidArgument("manifest is not a 2-sided index");
   }
   auto pst = std::make_unique<TwoLevelPst>(dev);
   PC_RETURN_IF_ERROR(pst->Open(manifest));

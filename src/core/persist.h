@@ -22,6 +22,17 @@ namespace pathcache {
 Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,
                                                          PageId manifest);
 
+/// Clusters a finished structure's disk layout (io/layout.h) and then saves
+/// it, returning the manifest page id.  The order matters: the manifest
+/// chain is outside the structure's page graph, so clustering must precede
+/// Save() — this helper encodes that contract for every structure exposing
+/// the Cluster()/Save() pair.
+template <typename S>
+Result<PageId> SaveClustered(S* s) {
+  PC_RETURN_IF_ERROR(s->Cluster());
+  return s->Save();
+}
+
 namespace internal {
 
 /// Serializes a manifest header into its (pre-allocated) page.

@@ -1,5 +1,6 @@
 #include "core/pst_common.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "util/mathutil.h"
@@ -66,10 +67,13 @@ Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache) {
 }
 
 Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
-  std::vector<std::byte> buf(dev->page_size());
-  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
+  // Parse straight out of the device's frame when it supports pinning; one
+  // counted read either way.
+  PagePin pin;
+  PC_RETURN_IF_ERROR(pin.Load(dev, page));
+  const std::byte* buf_data = pin.data();
   CachePageHeader hdr;
-  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  std::memcpy(&hdr, buf_data, sizeof(hdr));
   if (CacheHeaderBytes(hdr.a_pages, hdr.s_pages, hdr.anc_count,
                        hdr.sib_count) > dev->page_size()) {
     return Status::Corruption("cache header shape exceeds page");
@@ -80,7 +84,7 @@ Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
   out->sibs.resize(hdr.sib_count);
   out->a_count = hdr.a_count;
   out->s_count = hdr.s_count;
-  const std::byte* p = buf.data() + sizeof(hdr);
+  const std::byte* p = buf_data + sizeof(hdr);
   std::memcpy(out->a_pages.data(), p, hdr.a_pages * sizeof(PageId));
   p += hdr.a_pages * sizeof(PageId);
   std::memcpy(out->s_pages.data(), p, hdr.s_pages * sizeof(PageId));
@@ -112,6 +116,41 @@ Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
     }
   }
   return Status::OK();
+}
+
+void AppendCachePagesToPlan(PageId header_page, const NodeCache& cache,
+                            LayoutPlan* plan) {
+  plan->Add(header_page);
+
+  // Mirror the serialized layout of WriteCacheHeader: header struct, then
+  // the A/S page-id arrays, then the AncInfo and SibInfo directories.  The
+  // tail-key trailer holds no PageIds.
+  const uint32_t na = static_cast<uint32_t>(cache.a_pages.size());
+  const uint32_t ns = static_cast<uint32_t>(cache.s_pages.size());
+  uint32_t off = sizeof(CachePageHeader);
+  for (uint32_t i = 0; i < na + ns; ++i) {
+    plan->AddRef(header_page, off);
+    off += sizeof(PageId);
+  }
+  for (size_t k = 0; k < cache.ancs.size(); ++k) {
+    plan->AddRef(header_page,
+                 off + static_cast<uint32_t>(offsetof(AncInfo, x_next)));
+    off += sizeof(AncInfo);
+  }
+  for (size_t m = 0; m < cache.sibs.size(); ++m) {
+    plan->AddRef(header_page,
+                 off + static_cast<uint32_t>(offsetof(SibInfo, left) +
+                                             offsetof(NodeRef, page)));
+    plan->AddRef(header_page,
+                 off + static_cast<uint32_t>(offsetof(SibInfo, right) +
+                                             offsetof(NodeRef, page)));
+    plan->AddRef(header_page,
+                 off + static_cast<uint32_t>(offsetof(SibInfo, y_next)));
+    off += sizeof(SibInfo);
+  }
+
+  plan->AddChain(cache.a_pages);
+  plan->AddChain(cache.s_pages);
 }
 
 uint32_t FitSegmentLen(uint32_t page_size, uint32_t want,

@@ -21,6 +21,7 @@
 
 #include "core/skeletal.h"
 #include "io/block_list.h"
+#include "io/layout.h"
 #include "util/geometry.h"
 
 namespace pathcache {
@@ -106,6 +107,15 @@ Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache);
 /// Reads a cache header page back.
 Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out);
 
+/// Registers a cache header page and its A/S chains in a layout plan:
+/// appends [header, A chain, S chain] to the plan's order and registers
+/// every PageId slot the header page stores (the A/S page directories, the
+/// ancestors' X-list continuations, the siblings' child NodeRefs and Y-list
+/// continuations), so ApplyLayout can relocate and rewrite the whole
+/// cluster.  `cache` must be the header's current contents.
+void AppendCachePagesToPlan(PageId header_page, const NodeCache& cache,
+                            LayoutPlan* plan);
+
 /// Bytes the header page needs for the given shape.
 uint64_t CacheHeaderBytes(uint32_t a_pages, uint32_t s_pages,
                           uint32_t anc_count, uint32_t sib_count);
@@ -137,6 +147,9 @@ static_assert(sizeof(PstNodeRec) == 80);
 /// polymorphic reopening.
 inline constexpr uint64_t kExternalPstMagic = 0x31545350'43500001ULL;
 inline constexpr uint64_t kTwoLevelPstMagic = 0x32545350'43500002ULL;
+inline constexpr uint64_t kThreeSidedPstMagic = 0x33545350'43500003ULL;
+inline constexpr uint64_t kExtSegTreeMagic = 0x34545350'43500004ULL;
+inline constexpr uint64_t kExtIntTreeMagic = 0x35545350'43500005ULL;
 
 struct PstManifestHeader {
   uint64_t magic = 0;
@@ -155,6 +168,7 @@ struct PstManifestHeader {
   uint64_t owned_count = 0;
   PageId children_head = kInvalidPageId;  // BlockList<PageId> of manifests
   uint64_t children_count = 0;
+  uint64_t aux = 0;  // structure-specific (ExtSegmentTree: stored copies)
 };
 static_assert(sizeof(PstManifestHeader) <= 256);
 

@@ -3,7 +3,9 @@
 #include "core/persist.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+#include <string>
 #include <unordered_set>
 
 #include "util/mathutil.h"
@@ -13,30 +15,15 @@ namespace pathcache {
 namespace {
 
 // Reads one block-list page of Points, appending records; returns the next
-// page in the chain via *next.
+// page in the chain via *next.  Scan paths that can filter in place use
+// BlockPageView directly instead (zero-copy on pinning devices).
 Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
                       PageId* next) {
-  std::vector<std::byte> buf(dev->page_size());
-  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
-  BlockPageHeader hdr;
-  std::memcpy(&hdr, buf.data(), sizeof(hdr));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(Point));
-  *next = hdr.next;
-  return Status::OK();
-}
-
-Status ReadSrcBlock(PageDevice* dev, PageId page, std::vector<SrcPoint>* out) {
-  std::vector<std::byte> buf(dev->page_size());
-  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
-  BlockPageHeader hdr;
-  std::memcpy(&hdr, buf.data(), sizeof(hdr));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(SrcPoint));
+  BlockPageView<Point> view;
+  PC_RETURN_IF_ERROR(view.Load(dev, page));
+  const std::span<const Point> recs = view.records();
+  out->insert(out->end(), recs.begin(), recs.end());
+  *next = view.next();
   return Status::OK();
 }
 
@@ -282,7 +269,7 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     // q.x_min — so that exact prefix is fetched batched.  Per-page
     // accounting and the record filter are identical either way.
     bool stop = false;
-    auto scan_a_page = [&](const std::vector<SrcPoint>& recs) {
+    auto scan_a_page = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -314,11 +301,13 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
         scan_a_page(recs);
       }
     } else {
+      // Page-at-a-time early-stopping scan, filtered in place (zero-copy on
+      // pinning devices).
+      BlockPageView<SrcPoint> view;
       for (PageId p : cache.a_pages) {
         if (stop) break;
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
-        scan_a_page(recs);
+        PC_RETURN_IF_ERROR(view.Load(dev_, p));
+        scan_a_page(view.records());
       }
     }
 
@@ -326,7 +315,7 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     // exact-prefix batching, with the tails now being per-page minimum ys.
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     stop = false;
-    auto scan_s_page = [&](const std::vector<SrcPoint>& recs) {
+    auto scan_s_page = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -361,11 +350,11 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
         scan_s_page(recs);
       }
     } else {
+      BlockPageView<SrcPoint> view;
       for (PageId p : cache.s_pages) {
         if (stop) break;
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
-        scan_s_page(recs);
+        PC_RETURN_IF_ERROR(view.Load(dev_, p));
+        scan_s_page(view.records());
       }
     }
     for (size_t k = 0; k < cache.sibs.size(); ++k) {
@@ -386,14 +375,14 @@ Status ExternalPst::QueryUncached(const TwoSidedQuery& q,
                                   QueryStats* stats) const {
   const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
   std::vector<NodeRef> descend_todo;
+  BlockPageView<Point> view;
   // Every path node's own block: ancestors plus the corner.
   for (size_t i = 0; i < path.size(); ++i) {
-    std::vector<Point> pts;
-    PC_RETURN_IF_ERROR(ReadPointsPage(path[i].rec.points_page, &pts));
+    PC_RETURN_IF_ERROR(view.Load(dev_, path[i].rec.points_page));
     Bump(stats, i + 1 == path.size() ? &QueryStats::corner
                                      : &QueryStats::ancestor);
     uint64_t qual = 0;
-    for (const Point& p : pts) {
+    for (const Point& p : view.records()) {
       if (q.Contains(p)) {
         out->push_back(p);
         ++qual;
@@ -409,11 +398,10 @@ Status ExternalPst::QueryUncached(const TwoSidedQuery& q,
     if (!sib.valid()) continue;
     PstNodeRec rec;
     PC_RETURN_IF_ERROR(reader->Read(sib, &rec));
-    std::vector<Point> pts;
-    PC_RETURN_IF_ERROR(ReadPointsPage(rec.points_page, &pts));
+    PC_RETURN_IF_ERROR(view.Load(dev_, rec.points_page));
     Bump(stats, &QueryStats::sibling);
     uint64_t qual = 0;
-    for (const Point& p : pts) {
+    for (const Point& p : view.records()) {
       if (q.Contains(p)) {
         out->push_back(p);
         ++qual;
@@ -469,14 +457,13 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
         qual += block_qual;
       }
     } else {
+      BlockPageView<Point> view;
       PageId page = rec.points_page;
       while (page != kInvalidPageId && all) {
-        std::vector<Point> pts;
-        PageId next;
-        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t block_qual = 0;
-        for (const Point& p : pts) {
+        for (const Point& p : view.records()) {
           if (p.y < q.y_min) {
             all = false;
             break;
@@ -488,7 +475,7 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
         }
         Classify(stats, block_qual, pt_cap);
         qual += block_qual;
-        page = next;
+        page = view.next();
       }
     }
     if (all && qual == rec.count) {
@@ -561,6 +548,75 @@ Status ExternalPst::Open(PageId manifest) {
   storage_.cache_blocks = hdr.cache_blocks;
   owned_pages_ = std::move(owned);
   for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ExternalPst::Cluster() {
+  if (!root_.valid()) return Status::OK();
+
+  std::vector<PageTreeNode> ptree;
+  PC_RETURN_IF_ERROR(
+      CollectSkeletalPageTree<PstNodeRec>(dev_, root_, &ptree));
+  const std::vector<uint32_t> veb = VanEmdeBoasOrder(ptree, 0);
+
+  // Pass 1: skeletal pages in van Emde Boas order, every per-slot PageId
+  // (child refs, points chain head, cache header) registered for rewrite.
+  LayoutPlan plan;
+  std::vector<std::byte> buf(dev_->page_size());
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    plan.Add(pid);
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      const uint32_t base =
+          static_cast<uint32_t>(sizeof(hdr) + s * sizeof(PstNodeRec));
+      plan.AddRef(pid, base + offsetof(PstNodeRec, left) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(PstNodeRec, right) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(PstNodeRec, points_page));
+      plan.AddRef(pid, base + offsetof(PstNodeRec, cache_page));
+    }
+  }
+
+  // Pass 2: each node's cluster — cache header, A chain, S chain, points
+  // chain — appended in descent order (vEB page order, slot order within a
+  // page), so what one query touches sits together.
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      PstNodeRec rec;
+      std::memcpy(&rec, buf.data() + sizeof(hdr) + s * sizeof(PstNodeRec),
+                  sizeof(rec));
+      if (rec.cache_page != kInvalidPageId) {
+        NodeCache cache;
+        PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, rec.cache_page, &cache));
+        AppendCachePagesToPlan(rec.cache_page, cache, &plan);
+      }
+      std::vector<PageId> points_chain;
+      PC_RETURN_IF_ERROR(
+          CollectChainPages(dev_, rec.points_page, &points_chain));
+      plan.AddChain(points_chain);
+    }
+  }
+
+  if (plan.page_count() != owned_pages_.size()) {
+    return Status::FailedPrecondition(
+        "layout plan covers " + std::to_string(plan.page_count()) +
+        " pages but the structure owns " +
+        std::to_string(owned_pages_.size()) +
+        " — Cluster() must run on a finished build before Save()");
+  }
+  auto remap = ComputeRemap(plan);
+  if (!remap.ok()) return remap.status();
+  PC_RETURN_IF_ERROR(ApplyLayout(dev_, plan, remap.value()));
+  root_.page = remap.value().Of(root_.page);
+  for (PageId& p : owned_pages_) p = remap.value().Of(p);
   return Status::OK();
 }
 

@@ -15,8 +15,10 @@
 #define PATHCACHE_CORE_SKELETAL_H_
 
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
+#include "io/layout.h"
 #include "io/page_device.h"
 #include "util/mathutil.h"
 
@@ -157,26 +159,29 @@ Status RewriteSkeletalPages(PageDevice* dev, const SkeletalTreeInfo& info,
 
 /// Reads skeletal nodes with a one-page cache: consecutive reads within the
 /// same page cost a single device read, so descents cost one read per page
-/// boundary crossed — the paper's skeletal-B-tree search.
+/// boundary crossed — the paper's skeletal-B-tree search.  The cached page
+/// is held through PagePin, so on pinning devices (buffer pools, the
+/// simulated disk) node records are copied straight out of the frame with
+/// no per-page buffer fill.
 template <typename Rec>
 class SkeletalTreeReader {
  public:
-  explicit SkeletalTreeReader(PageDevice* dev)
-      : dev_(dev), buf_(dev->page_size()) {}
+  explicit SkeletalTreeReader(PageDevice* dev) : dev_(dev) {}
 
   Status Read(NodeRef ref, Rec* out) {
     if (!ref.valid()) return Status::InvalidArgument("null node ref");
     if (ref.page != cached_page_) {
-      PC_RETURN_IF_ERROR(dev_->Read(ref.page, buf_.data()));
+      PC_RETURN_IF_ERROR(pin_.Load(dev_, ref.page));
       cached_page_ = ref.page;
       ++pages_read_;
     }
+    const std::byte* page = pin_.data();
     SkeletalPageHeader hdr;
-    std::memcpy(&hdr, buf_.data(), sizeof(hdr));
+    std::memcpy(&hdr, page, sizeof(hdr));
     if (ref.slot >= hdr.count || hdr.rec_size != sizeof(Rec)) {
       return Status::Corruption("bad skeletal slot");
     }
-    std::memcpy(out, buf_.data() + sizeof(hdr) + ref.slot * sizeof(Rec),
+    std::memcpy(out, page + sizeof(hdr) + ref.slot * sizeof(Rec),
                 sizeof(Rec));
     return Status::OK();
   }
@@ -184,15 +189,61 @@ class SkeletalTreeReader {
   /// Device reads issued so far (page-cache misses).
   uint64_t pages_read() const { return pages_read_; }
 
-  /// Drops the one-page cache (e.g., between queries for cold measurements).
-  void InvalidateCache() { cached_page_ = kInvalidPageId; }
+  /// Drops the one-page cache (e.g., between queries for cold measurements)
+  /// and releases the pin backing it.
+  void InvalidateCache() {
+    cached_page_ = kInvalidPageId;
+    pin_.Release();
+  }
 
  private:
   PageDevice* dev_;
-  std::vector<std::byte> buf_;
+  PagePin pin_;
   PageId cached_page_ = kInvalidPageId;
   uint64_t pages_read_ = 0;
 };
+
+/// Collects the PAGE tree of a written skeletal tree for layout passes: one
+/// PageTreeNode per page reachable from `root` (index 0 = the root page),
+/// with an edge wherever a node in page u has a child stored in page v.
+/// Chunking gives every page exactly one parent node, so the result is a
+/// tree discovered in BFS order.  Costs one read per page.
+template <typename Rec>
+Status CollectSkeletalPageTree(PageDevice* dev, NodeRef root,
+                               std::vector<PageTreeNode>* out) {
+  out->clear();
+  if (!root.valid()) return Status::OK();
+
+  std::unordered_map<PageId, uint32_t> index;
+  out->push_back(PageTreeNode{root.page, {}});
+  index.emplace(root.page, 0);
+
+  std::vector<std::byte> buf(dev->page_size());
+  for (uint32_t i = 0; i < out->size(); ++i) {
+    const PageId pid = (*out)[i].id;
+    PC_RETURN_IF_ERROR(dev->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    if (hdr.rec_size != sizeof(Rec)) {
+      return Status::Corruption("bad skeletal page in page-tree walk");
+    }
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      Rec rec;
+      std::memcpy(&rec, buf.data() + sizeof(hdr) + s * sizeof(Rec),
+                  sizeof(Rec));
+      for (const NodeRef& child : {rec.left, rec.right}) {
+        if (!child.valid() || child.page == pid) continue;
+        auto [it, inserted] = index.emplace(
+            child.page, static_cast<uint32_t>(out->size()));
+        if (inserted) {
+          (*out)[i].children.push_back(it->second);
+          out->push_back(PageTreeNode{child.page, {}});
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace pathcache
 

@@ -1,9 +1,12 @@
 #include "core/three_sided.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+#include <string>
 #include <unordered_set>
 
+#include "core/persist.h"
 #include "core/region_tree.h"
 #include "util/mathutil.h"
 
@@ -48,18 +51,6 @@ Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
               hdr.count * sizeof(Point));
   *next = hdr.next;
-  return Status::OK();
-}
-
-Status ReadSrcBlock(PageDevice* dev, PageId page, std::vector<SrcPoint>* out) {
-  std::vector<std::byte> buf(dev->page_size());
-  PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
-  BlockPageHeader hdr;
-  std::memcpy(&hdr, buf.data(), sizeof(hdr));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(SrcPoint));
   return Status::OK();
 }
 
@@ -373,7 +364,7 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       if (min_x[bi] < q.x_min) start = bi;
     }
     bool stop = false;
-    auto scan_a_block = [&](const std::vector<SrcPoint>& recs) {
+    auto scan_a_block = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -411,10 +402,12 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         scan_a_block(recs);
       }
     } else {
+      // Records scanned in place via a pinned frame: one counted read per
+      // page either way.
+      BlockPageView<SrcPoint> view;
       for (uint32_t bi = start; bi < ah.pages && !stop; ++bi) {
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, pages[bi], &recs));
-        scan_a_block(recs);
+        PC_RETURN_IF_ERROR(view.Load(dev_, pages[bi]));
+        scan_a_block(view.records());
       }
     }
   }
@@ -450,7 +443,7 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
 
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     bool stop = false;
-    auto scan_s_block = [&](const std::vector<SrcPoint>& recs) {
+    auto scan_s_block = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
@@ -485,11 +478,11 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         scan_s_block(recs);
       }
     } else {
+      BlockPageView<SrcPoint> view;
       for (PageId p : cache.s_pages) {
         if (stop) break;
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(ReadSrcBlock(dev_, p, &recs));
-        scan_s_block(recs);
+        PC_RETURN_IF_ERROR(view.Load(dev_, p));
+        scan_s_block(view.records());
       }
     }
     for (size_t i = 0; i < cache.sibs.size(); ++i) {
@@ -540,14 +533,14 @@ Status ThreeSidedPst::DescendDescendants(
         Classify(stats, qual, pt_cap);
       }
     } else {
+      // Early-stopping scan: records filtered in place via a pinned frame.
+      BlockPageView<Point> view;
       PageId page = rec.points_page;
       while (page != kInvalidPageId && all) {
-        std::vector<Point> pts;
-        PageId next;
-        PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
+        PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t qual = 0;
-        for (const Point& p : pts) {
+        for (const Point& p : view.records()) {
           if (p.y < q.y_min) {
             all = false;
             break;
@@ -558,7 +551,7 @@ Status ThreeSidedPst::DescendDescendants(
           }
         }
         Classify(stats, qual, pt_cap);
-        page = next;
+        page = view.next();
       }
     }
     if (all) {
@@ -737,6 +730,154 @@ Status ThreeSidedPst::Destroy() {
   root_ = kNullNodeRef;
   n_ = 0;
   storage_ = StorageBreakdown{};
+  return Status::OK();
+}
+
+Result<PageId> ThreeSidedPst::Save() {
+  auto list =
+      BuildBlockList<PageId>(dev_, std::span<const PageId>(owned_pages_));
+  if (!list.ok()) return list.status();
+  auto mp = dev_->Allocate();
+  if (!mp.ok()) return mp.status();
+
+  PstManifestHeader hdr;
+  hdr.magic = kThreeSidedPstMagic;
+  hdr.n = n_;
+  hdr.root = root_;
+  hdr.region_size = region_size_;
+  hdr.seg_len = seg_len_;
+  hdr.caching = opts_.enable_path_caching ? 1 : 0;
+  hdr.skeletal = storage_.skeletal;
+  hdr.points_pages = storage_.points;
+  hdr.cache_headers = storage_.cache_headers;
+  hdr.cache_blocks = storage_.cache_blocks;
+  hdr.owned_head = list.value().ref.head;
+  hdr.owned_count = owned_pages_.size();
+  PC_RETURN_IF_ERROR(internal::WriteManifestHeader(dev_, mp.value(), hdr));
+
+  owned_pages_.push_back(mp.value());
+  for (PageId p : list.value().pages) owned_pages_.push_back(p);
+  return mp.value();
+}
+
+Status ThreeSidedPst::Open(PageId manifest) {
+  if (root_.valid() || !owned_pages_.empty()) {
+    return Status::FailedPrecondition("Open on a non-empty structure");
+  }
+  PstManifestHeader hdr;
+  std::vector<PageId> owned, chain;
+  PC_RETURN_IF_ERROR(internal::ReadManifest(
+      dev_, manifest, kThreeSidedPstMagic, &hdr, &owned, nullptr, &chain));
+  n_ = hdr.n;
+  root_ = hdr.root;
+  region_size_ = hdr.region_size;
+  seg_len_ = hdr.seg_len;
+  opts_.enable_path_caching = hdr.caching != 0;
+  storage_ = StorageBreakdown{};
+  storage_.skeletal = hdr.skeletal;
+  storage_.points = hdr.points_pages;
+  storage_.cache_headers = hdr.cache_headers;
+  storage_.cache_blocks = hdr.cache_blocks;
+  owned_pages_ = std::move(owned);
+  for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ThreeSidedPst::Cluster() {
+  if (!root_.valid()) return Status::OK();
+
+  std::vector<PageTreeNode> ptree;
+  PC_RETURN_IF_ERROR(
+      CollectSkeletalPageTree<Pst3NodeRec>(dev_, root_, &ptree));
+  const std::vector<uint32_t> veb = VanEmdeBoasOrder(ptree, 0);
+
+  // Pass 1: skeletal pages in van Emde Boas order with every stored PageId
+  // slot registered for rewrite.
+  LayoutPlan plan;
+  std::vector<std::byte> buf(dev_->page_size());
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    plan.Add(pid);
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      const uint32_t base =
+          static_cast<uint32_t>(sizeof(hdr) + s * sizeof(Pst3NodeRec));
+      plan.AddRef(pid, base + offsetof(Pst3NodeRec, left) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(Pst3NodeRec, right) +
+                           offsetof(NodeRef, page));
+      plan.AddRef(pid, base + offsetof(Pst3NodeRec, points_page));
+      plan.AddRef(pid, base + offsetof(Pst3NodeRec, a_header));
+      plan.AddRef(pid, base + offsetof(Pst3NodeRec, s_index));
+    }
+  }
+
+  // Pass 2: each node's cluster — A header + chain, S index with its
+  // per-anchor sibling caches, points chain — in descent order.
+  std::vector<std::byte> aux(dev_->page_size());
+  for (uint32_t pi : veb) {
+    const PageId pid = ptree[pi].id;
+    PC_RETURN_IF_ERROR(dev_->Read(pid, buf.data()));
+    SkeletalPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    for (uint32_t s = 0; s < hdr.count; ++s) {
+      Pst3NodeRec rec;
+      std::memcpy(&rec, buf.data() + sizeof(hdr) + s * sizeof(Pst3NodeRec),
+                  sizeof(rec));
+      if (rec.a_header != kInvalidPageId) {
+        plan.Add(rec.a_header);
+        PC_RETURN_IF_ERROR(dev_->Read(rec.a_header, aux.data()));
+        AHeader ah;
+        std::memcpy(&ah, aux.data(), sizeof(ah));
+        std::vector<PageId> a_chain(ah.pages);
+        std::memcpy(a_chain.data(), aux.data() + sizeof(ah),
+                    ah.pages * sizeof(PageId));
+        for (uint32_t i = 0; i < ah.pages; ++i) {
+          plan.AddRef(rec.a_header, static_cast<uint32_t>(
+                                        sizeof(ah) + i * sizeof(PageId)));
+        }
+        plan.AddChain(a_chain);
+      }
+      if (rec.s_index != kInvalidPageId) {
+        plan.Add(rec.s_index);
+        PC_RETURN_IF_ERROR(dev_->Read(rec.s_index, aux.data()));
+        SIndexHeader sh;
+        std::memcpy(&sh, aux.data(), sizeof(sh));
+        std::vector<PageId> anchor_pages(2ULL * sh.anchors);
+        std::memcpy(anchor_pages.data(), aux.data() + sizeof(sh),
+                    anchor_pages.size() * sizeof(PageId));
+        for (uint32_t k = 0; k < anchor_pages.size(); ++k) {
+          plan.AddRef(rec.s_index, static_cast<uint32_t>(
+                                       sizeof(sh) + k * sizeof(PageId)));
+        }
+        for (PageId hp : anchor_pages) {
+          if (hp == kInvalidPageId) continue;
+          NodeCache cache;
+          PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, hp, &cache));
+          AppendCachePagesToPlan(hp, cache, &plan);
+        }
+      }
+      std::vector<PageId> points_chain;
+      PC_RETURN_IF_ERROR(
+          CollectChainPages(dev_, rec.points_page, &points_chain));
+      plan.AddChain(points_chain);
+    }
+  }
+
+  if (plan.page_count() != owned_pages_.size()) {
+    return Status::FailedPrecondition(
+        "layout plan covers " + std::to_string(plan.page_count()) +
+        " pages but the structure owns " +
+        std::to_string(owned_pages_.size()) +
+        " — Cluster() must run on a finished build before Save()");
+  }
+  auto remap = ComputeRemap(plan);
+  if (!remap.ok()) return remap.status();
+  PC_RETURN_IF_ERROR(ApplyLayout(dev_, plan, remap.value()));
+  root_.page = remap.value().Of(root_.page);
+  for (PageId& p : owned_pages_) p = remap.value().Of(p);
   return Status::OK();
 }
 

@@ -74,6 +74,21 @@ class ThreeSidedPst {
 
   Status Destroy();
 
+  /// Serializes the handle into a manifest page (see PstManifestHeader);
+  /// Open() on a fresh instance restores it.  The manifest chain joins the
+  /// owned set, so Destroy() from either instance reclaims everything.
+  Result<PageId> Save();
+
+  /// Restores a previously Save()d structure into this empty instance.
+  Status Open(PageId manifest);
+
+  /// Build-time disk-layout clustering (io/layout.h): skeletal pages in van
+  /// Emde Boas order, then per node the A-cache header + chain, the S-index
+  /// with its per-anchor sibling caches, and the points chain, in descent
+  /// order.  Counted logical I/O is bit-identical before and after.  Call on
+  /// a finished build BEFORE Save().
+  Status Cluster();
+
   uint64_t size() const { return n_; }
   uint32_t segment_len() const { return seg_len_; }
   StorageBreakdown storage() const { return storage_; }

@@ -100,6 +100,22 @@ Result<BlockListInfo> BuildBlockList(PageDevice* dev,
   return info;
 }
 
+/// Collects the page ids of a chain starting at `head` by following the
+/// `next` pointers.  One read per page; used by layout passes that need a
+/// chain's directory without a persisted one.
+inline Status CollectChainPages(PageDevice* dev, PageId head,
+                                std::vector<PageId>* out) {
+  std::vector<std::byte> buf(dev->page_size());
+  for (PageId id = head; id != kInvalidPageId;) {
+    out->push_back(id);
+    PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    id = hdr.next;
+  }
+  return Status::OK();
+}
+
 /// Frees every page of a list built by BuildBlockList.
 inline Status FreeBlockList(PageDevice* dev, const BlockListRef& ref) {
   PageId id = ref.head;
@@ -113,6 +129,40 @@ inline Status FreeBlockList(PageDevice* dev, const BlockListRef& ref) {
   }
   return Status::OK();
 }
+
+/// Zero-copy view of one BlockList page: the page is pinned in the device's
+/// own storage when the device supports Pin(), otherwise read into an
+/// internal buffer (see PagePin).  Either way exactly one counted read, so
+/// scan paths can iterate records in place without touching the paper's
+/// accounting.
+template <typename T>
+class BlockPageView {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  /// Loads `id`, replacing any previously viewed page.
+  Status Load(PageDevice* dev, PageId id) {
+    PC_RETURN_IF_ERROR(pin_.Load(dev, id));
+    std::memcpy(&hdr_, pin_.data(), sizeof(hdr_));
+    return Status::OK();
+  }
+
+  const BlockPageHeader& header() const { return hdr_; }
+  PageId next() const { return hdr_.next; }
+
+  /// The page's records, in place.  Valid until the next Load() or until the
+  /// view is destroyed.  (Records are written with memcpy and the frame is
+  /// new[]-aligned, so reading them through a T* is well-formed for the
+  /// trivially copyable record types block lists hold.)
+  std::span<const T> records() const {
+    return {reinterpret_cast<const T*>(pin_.data() + sizeof(BlockPageHeader)),
+            hdr_.count};
+  }
+
+ private:
+  PagePin pin_;
+  BlockPageHeader hdr_;
+};
 
 /// Forward scanner over a BlockList.  Every page is read exactly once and
 /// counted exactly once on the device, so the paper's I/O accounting is

@@ -1,6 +1,7 @@
 #include "io/buffer_pool.h"
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace pathcache {
@@ -9,8 +10,15 @@ BufferPool::BufferPool(PageDevice* inner, uint64_t capacity_pages)
     : inner_(inner), capacity_(capacity_pages) {}
 
 void BufferPool::Clear() {
-  frames_.clear();
-  lru_.clear();
+  // Pinned frames must survive: a caller is reading them in place.
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pins > 0) {
+      ++it;
+    } else {
+      lru_.erase(it->second.lru_it);
+      it = frames_.erase(it);
+    }
+  }
 }
 
 void BufferPool::Touch(Frame& f, PageId id) {
@@ -20,10 +28,17 @@ void BufferPool::Touch(Frame& f, PageId id) {
 }
 
 void BufferPool::EvictIfNeeded() {
-  while (frames_.size() > capacity_ && !lru_.empty()) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim);
+  // Scan from the cold end, skipping pinned frames.  If every frame is
+  // pinned the pool temporarily exceeds capacity rather than evicting a
+  // frame someone holds a pointer into.
+  auto victim = lru_.end();
+  while (frames_.size() - pinned_pages_ > 0 && frames_.size() > capacity_) {
+    if (victim == lru_.begin()) break;
+    --victim;
+    auto it = frames_.find(*victim);
+    if (it->second.pins > 0) continue;
+    victim = lru_.erase(victim);
+    frames_.erase(it);
   }
 }
 
@@ -39,10 +54,48 @@ void BufferPool::InsertFrame(PageId id, const std::byte* buf) {
 Status BufferPool::Free(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
+    if (it->second.pins > 0) {
+      return Status::FailedPrecondition("Free of pinned page " +
+                                        std::to_string(id));
+    }
     lru_.erase(it->second.lru_it);
     frames_.erase(it);
   }
   return inner_->Free(id);
+}
+
+Result<const std::byte*> BufferPool::Pin(PageId id) {
+  if (capacity_ == 0) {
+    return Status::NotSupported("pass-through pool has no frames to pin");
+  }
+  ++stats_.reads;
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    ++misses_;
+    // The frame is born pinned so the eviction scan below cannot pick it.
+    auto data = std::make_unique<std::byte[]>(page_size());
+    PC_RETURN_IF_ERROR(inner_->Read(id, data.get()));
+    lru_.push_front(id);
+    it = frames_.emplace(id, Frame{std::move(data), lru_.begin(), 1}).first;
+    ++pinned_pages_;
+    EvictIfNeeded();
+  } else {
+    ++hits_;
+    Touch(it->second, id);
+    if (it->second.pins++ == 0) ++pinned_pages_;
+  }
+  // Frame.data lives in its own heap block: map rehashes move the
+  // unique_ptr header, never the bytes, so the pointer is stable.
+  return static_cast<const std::byte*>(it->second.data.get());
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || it->second.pins == 0) return;  // caller bug
+  if (--it->second.pins == 0) {
+    --pinned_pages_;
+    EvictIfNeeded();  // the pool may have been held over capacity by pins
+  }
 }
 
 Status BufferPool::Read(PageId id, std::byte* buf) {

@@ -26,6 +26,16 @@ class BufferPool final : public PageDevice {
   Status Read(PageId id, std::byte* buf) override;
   Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
+
+  /// Pins the page's frame (faulting it in on a miss) and returns its stable
+  /// data pointer.  Counted exactly like Read() (one logical read, one
+  /// hit-or-miss tick).  Pinned frames are exempt from eviction and from
+  /// Clear(); the caller must not Write() or Free() the page while pinned.
+  /// A zero-capacity (pass-through) pool has no frames to pin and returns
+  /// NotSupported.
+  Result<const std::byte*> Pin(PageId id) override;
+  void Unpin(PageId id) override;
+
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; hits_ = 0; misses_ = 0; }
   uint64_t live_pages() const override { return inner_->live_pages(); }
@@ -48,11 +58,13 @@ class BufferPool final : public PageDevice {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t cached_pages() const { return frames_.size(); }
+  uint64_t pinned_pages() const { return pinned_pages_; }
 
  private:
   struct Frame {
     std::unique_ptr<std::byte[]> data;
     std::list<PageId>::iterator lru_it;
+    uint32_t pins = 0;
   };
 
   void Touch(Frame& f, PageId id);
@@ -66,6 +78,7 @@ class BufferPool final : public PageDevice {
   IoStats stats_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t pinned_pages_ = 0;  // frames with pins > 0
 };
 
 }  // namespace pathcache

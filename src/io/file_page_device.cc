@@ -190,29 +190,41 @@ Status FilePageDevice::ReadBatch(std::span<const PageId> ids,
   for (PageId id : ids) PC_RETURN_IF_ERROR(CheckId(id));
 
   // Visit the requests in disk order so runs of adjacent pages — block
-  // lists allocate their pages consecutively — collapse into single preadv
-  // calls; each iovec still targets the caller's original slot.
-  std::vector<uint32_t> order(ids.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&ids](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+  // lists allocate their pages consecutively, and the clustering pass in
+  // io/layout.h relocates whole structures that way — collapse into single
+  // preadv calls; each iovec still targets the caller's original slot.
+  // Batches that arrive already in disk order (the common case once a
+  // structure is clustered) skip building the sort permutation: slot k of
+  // the batch IS disk-order position k.
+  const bool already_sorted = std::is_sorted(ids.begin(), ids.end());
+  std::vector<uint32_t> order;
+  if (already_sorted) {
+    ++sorted_batches_;
+  } else {
+    order.resize(ids.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&ids](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+  }
+  auto slot = [&](size_t k) -> size_t {
+    return already_sorted ? k : order[k];
+  };
 
   std::vector<struct iovec> iov;
   size_t i = 0;
-  while (i < order.size()) {
+  while (i < ids.size()) {
     size_t j = i + 1;
-    while (j < order.size() && j - i < kMaxCoalescedPages &&
-           ids[order[j]] == ids[order[j - 1]] + 1) {
+    while (j < ids.size() && j - i < kMaxCoalescedPages &&
+           ids[slot(j)] == ids[slot(j - 1)] + 1) {
       ++j;
     }
     iov.clear();
     for (size_t k = i; k < j; ++k) {
-      iov.push_back({bufs + static_cast<size_t>(order[k]) * page_size_,
-                     page_size_});
+      iov.push_back({bufs + slot(k) * page_size_, page_size_});
     }
     PC_RETURN_IF_ERROR(PreadvFully(
         fd_, iov.data(), iov.size(),
-        static_cast<off_t>(ids[order[i]]) * page_size_, &read_syscalls_));
+        static_cast<off_t>(ids[slot(i)]) * page_size_, &read_syscalls_));
     i = j;
   }
   stats_.reads += ids.size();

@@ -46,6 +46,7 @@ class FilePageDevice final : public PageDevice {
   void ResetStats() override {
     stats_ = IoStats{};
     read_syscalls_ = 0;
+    sorted_batches_ = 0;
   }
   uint64_t live_pages() const override { return live_; }
 
@@ -53,6 +54,10 @@ class FilePageDevice final : public PageDevice {
   /// stats().reads - read_syscalls() is the number of syscalls coalescing
   /// saved over one-page-at-a-time reading.
   uint64_t read_syscalls() const { return read_syscalls_; }
+
+  /// ReadBatch calls whose ids arrived already in disk order, taking the
+  /// sort-free fast path.  Clustered structures make this the common case.
+  uint64_t sorted_batches() const { return sorted_batches_; }
 
  private:
   FilePageDevice(int fd, uint32_t page_size) : fd_(fd), page_size_(page_size) {}
@@ -67,6 +72,7 @@ class FilePageDevice final : public PageDevice {
   std::vector<PageId> free_list_;
   IoStats stats_;
   uint64_t read_syscalls_ = 0;
+  uint64_t sorted_batches_ = 0;
 };
 
 }  // namespace pathcache

@@ -1,0 +1,216 @@
+#include "io/layout.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "io/block_list.h"
+
+namespace pathcache {
+
+void LayoutPlan::AddChain(std::span<const PageId> pages) {
+  if (pages.empty()) return;
+  ChainSpan span;
+  span.first = static_cast<uint32_t>(order.size());
+  span.count = static_cast<uint32_t>(pages.size());
+  chains.push_back(span);
+  for (PageId id : pages) {
+    order.push_back(id);
+    AddRef(id, offsetof(BlockPageHeader, next));
+  }
+}
+
+Result<PageRemap> ComputeRemap(const LayoutPlan& plan) {
+  PageRemap remap;
+  if (plan.order.empty()) return remap;
+
+  std::vector<PageId> sorted = plan.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i + 1]) {
+      return Status::InvalidArgument("layout plan lists page " +
+                                     std::to_string(sorted[i]) + " twice");
+    }
+  }
+  if (sorted.back() == kInvalidPageId) {
+    return Status::InvalidArgument("layout plan lists an invalid page id");
+  }
+
+  remap.map_.reserve(plan.order.size());
+  for (size_t i = 0; i < plan.order.size(); ++i) {
+    remap.map_.emplace(plan.order[i], sorted[i]);
+  }
+
+  for (const auto& [page, slots] : plan.ref_slots) {
+    (void)slots;
+    if (remap.map_.find(page) == remap.map_.end()) {
+      return Status::InvalidArgument(
+          "layout plan holds reference slots on page " + std::to_string(page) +
+          " which is not in the plan's order");
+    }
+  }
+  return remap;
+}
+
+namespace {
+
+// Everything ApplyLayout must change inside one page as it moves.
+struct PagePatch {
+  const std::vector<uint32_t>* slots = nullptr;  // PageId slots to remap
+  bool in_chain = false;
+  uint32_t new_contig = 0;  // chain members: contig under the new geometry
+};
+
+Status RewritePage(std::byte* buf, uint32_t page_size, const PagePatch& patch,
+                   const PageRemap& remap) {
+  if (patch.slots != nullptr) {
+    for (uint32_t off : *patch.slots) {
+      if (off + sizeof(PageId) > page_size) {
+        return Status::InvalidArgument("reference slot at offset " +
+                                       std::to_string(off) +
+                                       " exceeds the page");
+      }
+      PageId ref;
+      std::memcpy(&ref, buf + off, sizeof(ref));
+      const PageId mapped = remap.Of(ref);
+      if (mapped != ref) std::memcpy(buf + off, &mapped, sizeof(mapped));
+    }
+  }
+  if (patch.in_chain) {
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf, sizeof(hdr));
+    hdr.contig = patch.new_contig;
+    std::memcpy(buf, &hdr, sizeof(hdr));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyLayout(PageDevice* dev, const LayoutPlan& plan,
+                   const PageRemap& remap) {
+  const uint32_t psz = dev->page_size();
+
+  // Per-page patch table, keyed by OLD page id.
+  std::unordered_map<PageId, PagePatch> patches;
+  patches.reserve(plan.ref_slots.size());
+  for (const auto& [page, slots] : plan.ref_slots) {
+    patches[page].slots = &slots;
+  }
+  for (const LayoutPlan::ChainSpan& span : plan.chains) {
+    if (static_cast<uint64_t>(span.first) + span.count > plan.order.size()) {
+      return Status::InvalidArgument("chain span exceeds the plan's order");
+    }
+    // contig[k] = length of the run of id-adjacent successors of chain
+    // position k under the NEW ids — same recurrence BuildBlockList uses.
+    uint32_t contig = 0;
+    PageId succ_new = kInvalidPageId;
+    for (uint32_t k = span.count; k-- > 0;) {
+      const PageId old_id = plan.order[span.first + k];
+      const PageId new_id = remap.Of(old_id);
+      contig = (succ_new != kInvalidPageId && succ_new == new_id + 1)
+                   ? contig + 1
+                   : 0;
+      PagePatch& p = patches[old_id];
+      p.in_chain = true;
+      p.new_contig = contig;
+      succ_new = new_id;
+    }
+  }
+
+  // Relocate along permutation cycles: two page buffers, every page read
+  // once and written once (plus one extra read closing each cycle).
+  std::vector<std::byte> carry(psz), scratch(psz);
+  std::unordered_set<PageId> moved;
+  moved.reserve(plan.order.size());
+  static const PagePatch kNoPatch;
+  const auto patch_of = [&patches](PageId id) -> const PagePatch& {
+    auto it = patches.find(id);
+    return it == patches.end() ? kNoPatch : it->second;
+  };
+
+  for (const PageId start : plan.order) {
+    if (moved.count(start) > 0) continue;
+    if (remap.Of(start) == start) {
+      // Fixed point: contents stay put, references inside may still move.
+      PC_RETURN_IF_ERROR(dev->Read(start, carry.data()));
+      PC_RETURN_IF_ERROR(RewritePage(carry.data(), psz, patch_of(start),
+                                     remap));
+      PC_RETURN_IF_ERROR(dev->Write(start, carry.data()));
+      moved.insert(start);
+      continue;
+    }
+    PageId cur = start;
+    PC_RETURN_IF_ERROR(dev->Read(cur, carry.data()));
+    do {
+      const PageId dst = remap.Of(cur);
+      if (dst != start) {
+        PC_RETURN_IF_ERROR(dev->Read(dst, scratch.data()));
+      }
+      PC_RETURN_IF_ERROR(RewritePage(carry.data(), psz, patch_of(cur),
+                                     remap));
+      PC_RETURN_IF_ERROR(dev->Write(dst, carry.data()));
+      carry.swap(scratch);
+      moved.insert(cur);
+      cur = dst;
+    } while (cur != start);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Emits the subtree rooted at `v`, truncated to `h` levels, in van Emde
+// Boas order; nodes exactly `h` levels below `v` land in `frontier` as the
+// roots of the next recursion.
+void VebEmit(const std::vector<PageTreeNode>& nodes, uint32_t v, uint32_t h,
+             std::vector<uint32_t>* out, std::vector<uint32_t>* frontier) {
+  if (h == 1) {
+    out->push_back(v);
+    for (uint32_t c : nodes[v].children) frontier->push_back(c);
+    return;
+  }
+  const uint32_t top_h = h / 2;
+  std::vector<uint32_t> mid;
+  VebEmit(nodes, v, top_h, out, &mid);
+  for (uint32_t w : mid) {
+    VebEmit(nodes, w, h - top_h, out, frontier);
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> VanEmdeBoasOrder(const std::vector<PageTreeNode>& nodes,
+                                       uint32_t root) {
+  std::vector<uint32_t> out;
+  if (root >= nodes.size()) return out;
+
+  // Subtree height via iterative post-order (page trees are shallow, but
+  // nothing here should assume that).
+  std::vector<uint32_t> height(nodes.size(), 0);
+  std::vector<std::pair<uint32_t, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [v, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      uint32_t h = 1;
+      for (uint32_t c : nodes[v].children) {
+        h = std::max(h, height[c] + 1);
+      }
+      height[v] = h;
+    } else {
+      stack.push_back({v, true});
+      for (uint32_t c : nodes[v].children) stack.push_back({c, false});
+    }
+  }
+
+  out.reserve(nodes.size());
+  std::vector<uint32_t> frontier;
+  VebEmit(nodes, root, height[root], &out, &frontier);
+  // Every reachable node sits strictly above its subtree's height limit, so
+  // the final frontier is empty.
+  return out;
+}
+
+}  // namespace pathcache

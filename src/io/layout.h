@@ -1,0 +1,123 @@
+// Build-time disk-layout clustering: relocate a finished structure's pages
+// so that what a query reads together sits together on disk.
+//
+// The paper's bounds count page transfers, so WHERE pages land in the file
+// is invisible to the cost model — but it decides how well the preadv
+// coalescing in FilePageDevice::ReadBatch works.  Structures are built
+// bottom-up (points first, caches next, skeletal pages last), so allocation
+// order scatters each node's working set across the file.  This pass fixes
+// that after the fact:
+//
+//   1. The structure describes its page-reference graph as a LayoutPlan:
+//      every page it owns in the order it wants them on disk, which spans of
+//      that order are BlockList chains (whose `contig` run-length headers
+//      must match the new geometry), and where inside each page PageIds are
+//      stored (so they can be rewritten).
+//   2. ComputeRemap turns the plan into a permutation of the structure's own
+//      id set: the i-th page of the desired order moves to the i-th smallest
+//      owned id.  Permuting within the owned set means other structures
+//      sharing the device are untouched, and a freshly built structure
+//      (dense id range) comes out perfectly contiguous.
+//   3. ApplyLayout walks the permutation cycles with two page buffers,
+//      rewriting every registered reference slot and chain header as pages
+//      move.  Counted logical I/O of later queries is bit-identical before
+//      and after — only physical adjacency changes.
+//
+// VanEmdeBoasOrder is the ordering helper for the skeletal pages: recursive
+// top-half-then-subtrees layout, so any root-to-leaf page path touches
+// O(log_B n / log_B M) cache-line/disk neighborhoods regardless of which
+// level granularity the transfer unit sits at (Demaine–Iacono–Langerman).
+
+#ifndef PATHCACHE_IO_LAYOUT_H_
+#define PATHCACHE_IO_LAYOUT_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "io/page_device.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+/// A structure's page-reference graph, in the page order it wants on disk.
+struct LayoutPlan {
+  /// Every page the structure owns, exactly once, in desired disk order.
+  std::vector<PageId> order;
+
+  /// Spans of `order` that are BlockList chains in chain order; ApplyLayout
+  /// recomputes their BlockPageHeader::contig fields for the new geometry.
+  struct ChainSpan {
+    uint32_t first = 0;  // index into `order`
+    uint32_t count = 0;
+  };
+  std::vector<ChainSpan> chains;
+
+  /// Byte offsets, per page, of the PageId slots stored inside that page.
+  /// Every slot is remapped in place as the page is relocated; slots holding
+  /// kInvalidPageId pass through unchanged.
+  std::unordered_map<PageId, std::vector<uint32_t>> ref_slots;
+
+  /// Appends one page to the order.
+  void Add(PageId id) { order.push_back(id); }
+
+  /// Appends a whole BlockList chain (in chain order) and registers both the
+  /// span and each page's `next` pointer slot.
+  void AddChain(std::span<const PageId> pages);
+
+  /// Registers a PageId slot at `byte_offset` inside `page`.
+  void AddRef(PageId page, uint32_t byte_offset) {
+    ref_slots[page].push_back(byte_offset);
+  }
+
+  uint64_t page_count() const { return order.size(); }
+};
+
+/// The permutation produced by ComputeRemap: old page id -> new page id.
+class PageRemap {
+ public:
+  /// Identity for kInvalidPageId and for pages outside the plan.
+  PageId Of(PageId id) const {
+    if (id == kInvalidPageId) return id;
+    auto it = map_.find(id);
+    return it == map_.end() ? id : it->second;
+  }
+
+  bool empty() const { return map_.empty(); }
+  uint64_t size() const { return map_.size(); }
+
+ private:
+  friend Result<PageRemap> ComputeRemap(const LayoutPlan& plan);
+  std::unordered_map<PageId, PageId> map_;
+};
+
+/// Builds the permutation sending plan.order[i] to the i-th smallest owned
+/// id.  Fails with InvalidArgument if the plan lists a page twice or hangs a
+/// reference slot on a page outside the plan (such a slot would silently
+/// never be rewritten).
+Result<PageRemap> ComputeRemap(const LayoutPlan& plan);
+
+/// Physically relocates the pages and rewrites their internal references
+/// and chain headers.  O(1) extra memory in pages (two page buffers); every
+/// page in the plan is read and rewritten once (cycle walking), which is
+/// build-time I/O on the structure's own device — reset stats afterwards if
+/// a measurement follows.
+Status ApplyLayout(PageDevice* dev, const LayoutPlan& plan,
+                   const PageRemap& remap);
+
+/// A node of a page-level tree (e.g. the skeletal pages, where an edge means
+/// "a node stored in page u has a child stored in page v").
+struct PageTreeNode {
+  PageId id = kInvalidPageId;
+  std::vector<uint32_t> children;  // indices into the owning vector
+};
+
+/// Returns the indices of `nodes` reachable from `root` in van Emde Boas
+/// order: the top half of the tree's height first, then each bottom subtree
+/// recursively.  Works on unbalanced trees and arbitrary fan-out.
+std::vector<uint32_t> VanEmdeBoasOrder(const std::vector<PageTreeNode>& nodes,
+                                       uint32_t root);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_LAYOUT_H_

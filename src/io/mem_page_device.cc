@@ -72,6 +72,13 @@ Status MemPageDevice::ReadBatch(std::span<const PageId> ids,
   return Status::OK();
 }
 
+Result<const std::byte*> MemPageDevice::Pin(PageId id) {
+  PC_RETURN_IF_ERROR(CheckId(id));
+  PC_RETURN_IF_ERROR(MaybeFail());
+  ++stats_.reads;
+  return static_cast<const std::byte*>(pages_[id].get());
+}
+
 Status MemPageDevice::Write(PageId id, const std::byte* buf) {
   PC_RETURN_IF_ERROR(CheckId(id));
   PC_RETURN_IF_ERROR(MaybeFail());

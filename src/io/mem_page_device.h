@@ -22,6 +22,9 @@ class MemPageDevice final : public PageDevice {
   Status Read(PageId id, std::byte* buf) override;
   Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
+  /// Pages live in stable heap blocks, so pinning is free: same counting as
+  /// Read(), no copy.  Unpin is a no-op — the simulated disk never evicts.
+  Result<const std::byte*> Pin(PageId id) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return live_; }

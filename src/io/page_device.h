@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "io/io_types.h"
 #include "util/status.h"
@@ -49,6 +51,25 @@ class PageDevice {
   /// Overwrites the page from `buf`, which must hold page_size() bytes.
   virtual Status Write(PageId id, const std::byte* buf) = 0;
 
+  /// Pins the page in the device's own storage and returns a stable pointer
+  /// to its page_size() bytes, valid until the matching Unpin(id).  Counted
+  /// exactly like Read() — pinning is a transport optimization (it skips the
+  /// copy into a caller buffer), never a cost-model one.  Pins nest: each
+  /// successful Pin() must be paired with one Unpin().
+  ///
+  /// A pinned frame is read-only and stays resident: caching devices must
+  /// not evict it, and callers must not Write() or Free() the page while it
+  /// is pinned.  Devices without stable frames return NotSupported and
+  /// callers fall back to Read() into their own buffer — PagePin (below)
+  /// packages that fallback.
+  virtual Result<const std::byte*> Pin(PageId /*id*/) {
+    return Status::NotSupported("device has no pinnable frames");
+  }
+
+  /// Releases one pin on `id`.  Calling without a matching Pin() is a
+  /// caller bug; implementations may assert.
+  virtual void Unpin(PageId /*id*/) {}
+
   /// Cumulative counters since construction or the last ResetStats().
   virtual const IoStats& stats() const = 0;
   virtual void ResetStats() = 0;
@@ -56,6 +77,84 @@ class PageDevice {
   /// Number of live (allocated, not freed) pages — the "disk blocks of
   /// storage" quantity in the paper's space bounds.
   virtual uint64_t live_pages() const = 0;
+};
+
+/// RAII view of one page: a zero-copy pinned frame when the device supports
+/// Pin(), otherwise a read into an owned buffer.  Either path costs exactly
+/// one counted logical read, so scan code can use PagePin unconditionally
+/// without perturbing the paper's I/O accounting.
+class PagePin {
+ public:
+  PagePin() = default;
+  ~PagePin() { Release(); }
+  PagePin(const PagePin&) = delete;
+  PagePin& operator=(const PagePin&) = delete;
+  PagePin(PagePin&& o) noexcept { *this = std::move(o); }
+  PagePin& operator=(PagePin&& o) noexcept {
+    if (this != &o) {
+      Release();
+      dev_ = o.dev_;
+      id_ = o.id_;
+      pinned_ = o.pinned_;
+      data_ = o.data_;
+      no_pin_dev_ = o.no_pin_dev_;
+      fallback_ = std::move(o.fallback_);
+      if (!pinned_ && data_ != nullptr) data_ = fallback_.data();
+      o.dev_ = nullptr;
+      o.id_ = kInvalidPageId;
+      o.pinned_ = false;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Loads `id`, releasing any previously held page first.
+  Status Load(PageDevice* dev, PageId id) {
+    Release();
+    // Remember a NotSupported verdict per device so steady-state loads on a
+    // non-pinning device skip straight to the Read() fallback.
+    if (dev != no_pin_dev_) {
+      Result<const std::byte*> pin = dev->Pin(id);
+      if (pin.ok()) {
+        dev_ = dev;
+        id_ = id;
+        pinned_ = true;
+        data_ = pin.value();
+        return Status::OK();
+      }
+      if (pin.status().code() != StatusCode::kNotSupported) {
+        return pin.status();
+      }
+      no_pin_dev_ = dev;
+    }
+    fallback_.resize(dev->page_size());
+    PC_RETURN_IF_ERROR(dev->Read(id, fallback_.data()));
+    dev_ = dev;
+    id_ = id;
+    data_ = fallback_.data();
+    return Status::OK();
+  }
+
+  /// Valid only after a successful Load(); page_size() bytes.
+  const std::byte* data() const { return data_; }
+  bool holds_page() const { return data_ != nullptr; }
+  PageId page() const { return id_; }
+
+  void Release() {
+    if (pinned_) dev_->Unpin(id_);
+    dev_ = nullptr;
+    id_ = kInvalidPageId;
+    pinned_ = false;
+    data_ = nullptr;
+  }
+
+ private:
+  PageDevice* dev_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  bool pinned_ = false;
+  const std::byte* data_ = nullptr;
+  PageDevice* no_pin_dev_ = nullptr;  // last device that said NotSupported
+  std::vector<std::byte> fallback_;   // kept across Loads to reuse capacity
 };
 
 }  // namespace pathcache

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace pathcache {
 
@@ -28,17 +29,33 @@ void SharedBufferPool::Touch(Shard& s, Frame& f, PageId id) {
   f.lru_it = s.lru.begin();
 }
 
+namespace {
+
+// Evicts cold unpinned frames until the shard is back under capacity.
+// Caller holds s.mu.  If every frame is pinned the shard temporarily runs
+// over capacity rather than invalidating a pointer someone holds.
+template <typename ShardT>
+void EvictShardIfNeeded(ShardT& s) {
+  auto victim = s.lru.end();
+  while (s.frames.size() - s.pinned > 0 && s.frames.size() > s.capacity) {
+    if (victim == s.lru.begin()) break;
+    --victim;
+    auto it = s.frames.find(*victim);
+    if (it->second.pins > 0) continue;
+    victim = s.lru.erase(victim);
+    s.frames.erase(it);
+  }
+}
+
+}  // namespace
+
 void SharedBufferPool::InsertFrame(Shard& s, PageId id, const std::byte* buf) {
   if (s.capacity == 0) return;
   auto data = std::make_unique<std::byte[]>(page_size_);
   std::memcpy(data.get(), buf, page_size_);
   s.lru.push_front(id);
   s.frames[id] = Frame{std::move(data), s.lru.begin()};
-  while (s.frames.size() > s.capacity && !s.lru.empty()) {
-    PageId victim = s.lru.back();
-    s.lru.pop_back();
-    s.frames.erase(victim);
-  }
+  EvictShardIfNeeded(s);
 }
 
 Result<PageId> SharedBufferPool::Allocate() {
@@ -51,11 +68,54 @@ Status SharedBufferPool::Free(PageId id) {
   std::lock_guard<std::mutex> slk(s.mu);
   auto it = s.frames.find(id);
   if (it != s.frames.end()) {
+    if (it->second.pins > 0) {
+      return Status::FailedPrecondition("Free of pinned page " +
+                                        std::to_string(id));
+    }
     s.lru.erase(it->second.lru_it);
     s.frames.erase(it);
   }
   std::lock_guard<std::mutex> ilk(inner_mu_);
   return inner_->Free(id);
+}
+
+Result<const std::byte*> SharedBufferPool::Pin(PageId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> slk(s.mu);
+  if (s.capacity == 0) {
+    return Status::NotSupported("pass-through pool has no frames to pin");
+  }
+  ++s.stats.reads;
+  auto it = s.frames.find(id);
+  if (it == s.frames.end()) {
+    ++s.misses;
+    // The frame is born pinned so the eviction scan cannot pick it.
+    auto data = std::make_unique<std::byte[]>(page_size_);
+    {
+      std::lock_guard<std::mutex> ilk(inner_mu_);
+      PC_RETURN_IF_ERROR(inner_->Read(id, data.get()));
+    }
+    s.lru.push_front(id);
+    it = s.frames.emplace(id, Frame{std::move(data), s.lru.begin(), 1}).first;
+    ++s.pinned;
+    EvictShardIfNeeded(s);
+  } else {
+    ++s.hits;
+    Touch(s, it->second, id);
+    if (it->second.pins++ == 0) ++s.pinned;
+  }
+  return static_cast<const std::byte*>(it->second.data.get());
+}
+
+void SharedBufferPool::Unpin(PageId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> slk(s.mu);
+  auto it = s.frames.find(id);
+  if (it == s.frames.end() || it->second.pins == 0) return;  // caller bug
+  if (--it->second.pins == 0) {
+    --s.pinned;
+    EvictShardIfNeeded(s);  // the shard may have been held over capacity
+  }
 }
 
 Status SharedBufferPool::Read(PageId id, std::byte* buf) {
@@ -193,8 +253,15 @@ uint64_t SharedBufferPool::live_pages() const {
 void SharedBufferPool::Clear() {
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s->mu);
-    s->frames.clear();
-    s->lru.clear();
+    // Pinned frames must survive: a caller is reading them in place.
+    for (auto it = s->frames.begin(); it != s->frames.end();) {
+      if (it->second.pins > 0) {
+        ++it;
+      } else {
+        s->lru.erase(it->second.lru_it);
+        it = s->frames.erase(it);
+      }
+    }
   }
 }
 
@@ -221,6 +288,15 @@ uint64_t SharedBufferPool::cached_pages() const {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s->mu);
     n += s->frames.size();
+  }
+  return n;
+}
+
+uint64_t SharedBufferPool::pinned_pages() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    n += s->pinned;
   }
   return n;
 }

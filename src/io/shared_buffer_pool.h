@@ -43,6 +43,17 @@ class SharedBufferPool final : public PageDevice {
   Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
 
+  /// Pins the page's frame in its shard (faulting it in on a miss) and
+  /// returns its stable data pointer; counted exactly like Read().  The
+  /// pointer stays valid after the shard lock is released because pinned
+  /// frames are exempt from eviction and Clear(), and frame bytes live in
+  /// their own heap blocks that map rehashes never move.  Safe under the
+  /// read-only concurrent regime this pool is built for: nothing writes a
+  /// page while queries run, so readers of a pinned frame race with no one.
+  /// A zero-capacity (pass-through) pool returns NotSupported.
+  Result<const std::byte*> Pin(PageId id) override;
+  void Unpin(PageId id) override;
+
   /// Aggregated logical-access counters.  Returns a reference to an
   /// internal snapshot refreshed by this call; like the rest of the stats
   /// API it is intended for quiesced measurement points, not for reading
@@ -62,12 +73,14 @@ class SharedBufferPool final : public PageDevice {
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t cached_pages() const;
+  uint64_t pinned_pages() const;
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:
   struct Frame {
     std::unique_ptr<std::byte[]> data;
     std::list<PageId>::iterator lru_it;
+    uint32_t pins = 0;
   };
 
   struct Shard {
@@ -75,6 +88,7 @@ class SharedBufferPool final : public PageDevice {
     std::unordered_map<PageId, Frame> frames;
     std::list<PageId> lru;  // front = most recent
     uint64_t capacity = 0;
+    uint64_t pinned = 0;  // frames with pins > 0
     IoStats stats;
     uint64_t hits = 0;
     uint64_t misses = 0;

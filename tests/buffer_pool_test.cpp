@@ -205,5 +205,84 @@ TEST_F(BufferPoolTest, ReadBatchWithDuplicateIdsStaysCorrect) {
   EXPECT_EQ(pool.stats().reads, 3u);
 }
 
+TEST_F(BufferPoolTest, PinCountsLikeReadAndReturnsStableData) {
+  PageId id = MakePage(0x3D);
+  BufferPool pool(&dev_, 4);
+  auto p = pool.Pin(id);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()[0], std::byte{0x3D});
+  EXPECT_EQ(pool.stats().reads, 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.pinned_pages(), 1u);
+  // A second pin on the resident frame is a hit on the same pointer.
+  auto p2 = pool.Pin(id);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2.value(), p.value());
+  EXPECT_EQ(pool.hits(), 1u);
+  pool.Unpin(id);
+  EXPECT_EQ(pool.pinned_pages(), 1u);  // pins nest
+  pool.Unpin(id);
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedFrameSurvivesEvictionPressureAndClear) {
+  PageId a = MakePage(0xA0);
+  BufferPool pool(&dev_, 2);
+  auto p = pool.Pin(a);
+  ASSERT_TRUE(p.ok());
+  const std::byte* stable = p.value();
+
+  // Churn far more distinct pages than the capacity through the pool; the
+  // pinned frame must never be picked by the eviction scan.
+  std::vector<std::byte> buf(kPage);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Read(MakePage(uint8_t(i + 1)), buf.data()).ok());
+  }
+  EXPECT_EQ(stable[0], std::byte{0xA0});
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.Read(a, buf.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);  // still resident
+
+  // Clear() drops everything except the pinned frame.
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  EXPECT_EQ(stable[0], std::byte{0xA0});
+  pool.Unpin(a);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, FreeOfPinnedPageFails) {
+  PageId id = MakePage(0x66);
+  BufferPool pool(&dev_, 4);
+  ASSERT_TRUE(pool.Pin(id).ok());
+  EXPECT_EQ(pool.Free(id).code(), StatusCode::kFailedPrecondition);
+  pool.Unpin(id);
+  EXPECT_TRUE(pool.Free(id).ok());
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityPinNotSupported) {
+  PageId id = MakePage(0x01);
+  BufferPool pool(&dev_, 0);
+  EXPECT_EQ(pool.Pin(id).status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BufferPoolTest, PagePinFallsBackOnNonPinningDevice) {
+  // A zero-capacity pool refuses Pin; PagePin must transparently fall back
+  // to a counted Read() and still expose the bytes.
+  PageId id = MakePage(0x5A);
+  BufferPool pool(&dev_, 0);
+  dev_.ResetStats();
+  PagePin pin;
+  ASSERT_TRUE(pin.Load(&pool, id).ok());
+  EXPECT_EQ(pin.data()[0], std::byte{0x5A});
+  EXPECT_EQ(dev_.stats().reads, 1u);
+  // Second load reuses the cached NotSupported verdict — still one read.
+  PageId id2 = MakePage(0x5B);
+  ASSERT_TRUE(pin.Load(&pool, id2).ok());
+  EXPECT_EQ(pin.data()[0], std::byte{0x5B});
+  EXPECT_EQ(dev_.stats().reads, 2u);
+}
+
 }  // namespace
 }  // namespace pathcache

@@ -1,0 +1,388 @@
+// Disk-layout clustering (io/layout.h): unit tests for the ordering and
+// relocation primitives, plus golden-layout tests for all four structures —
+// clustering must leave query results AND counted logical I/O bit-identical
+// to an unclustered twin; only physical placement changes.
+
+#include "io/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/persist.h"
+#include "core/pst_external.h"
+#include "core/three_sided.h"
+#include "io/block_list.h"
+#include "io/file_page_device.h"
+#include "io/mem_page_device.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<Point> UniformPts(uint64_t n, uint64_t seed) {
+  PointGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.coord_max = 300'000;
+  return GenPointsUniform(o);
+}
+
+std::vector<Interval> UniformIvs(uint64_t n, uint64_t seed) {
+  IntervalGenOptions o;
+  o.n = n;
+  o.seed = seed;
+  auto ivs = GenIntervalsUniform(o);
+  MakeEndpointsDistinct(&ivs);
+  return ivs;
+}
+
+// ---- VanEmdeBoasOrder ------------------------------------------------------
+
+std::vector<PageTreeNode> CompleteTree(uint32_t levels) {
+  const uint32_t n = (1u << levels) - 1;
+  std::vector<PageTreeNode> nodes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    nodes[i].id = 100 + i;
+    if (2 * i + 2 < n) nodes[i].children = {2 * i + 1, 2 * i + 2};
+  }
+  return nodes;
+}
+
+TEST(VanEmdeBoasOrderTest, CompleteHeight3) {
+  auto nodes = CompleteTree(3);
+  EXPECT_EQ(VanEmdeBoasOrder(nodes, 0),
+            (std::vector<uint32_t>{0, 1, 3, 4, 2, 5, 6}));
+}
+
+TEST(VanEmdeBoasOrderTest, CompleteHeight4GroupsBottomSubtrees) {
+  auto nodes = CompleteTree(4);
+  // Top two levels first, then each height-2 bottom subtree contiguously.
+  EXPECT_EQ(VanEmdeBoasOrder(nodes, 0),
+            (std::vector<uint32_t>{0, 1, 2, 3, 7, 8, 4, 9, 10, 5, 11, 12, 6,
+                                   13, 14}));
+}
+
+TEST(VanEmdeBoasOrderTest, UnbalancedChainAndPermutation) {
+  // A path: 0 -> 1 -> 2 -> 3 -> 4.
+  std::vector<PageTreeNode> nodes(5);
+  for (uint32_t i = 0; i < 5; ++i) {
+    nodes[i].id = i;
+    if (i + 1 < 5) nodes[i].children = {i + 1};
+  }
+  EXPECT_EQ(VanEmdeBoasOrder(nodes, 0),
+            (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+
+  // A lopsided tree: every emitted index appears exactly once.
+  std::vector<PageTreeNode> lop(6);
+  for (uint32_t i = 0; i < 6; ++i) lop[i].id = i;
+  lop[0].children = {1, 2};
+  lop[1].children = {3};
+  lop[3].children = {4, 5};
+  auto order = VanEmdeBoasOrder(lop, 0);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 0u);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint32_t> want(6);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(sorted, want);
+}
+
+// ---- ComputeRemap / ApplyLayout -------------------------------------------
+
+TEST(LayoutPlanTest, ComputeRemapRejectsBadPlans) {
+  LayoutPlan dup;
+  dup.Add(3);
+  dup.Add(3);
+  EXPECT_TRUE(ComputeRemap(dup).status().IsInvalidArgument());
+
+  LayoutPlan invalid;
+  invalid.Add(kInvalidPageId);
+  EXPECT_TRUE(ComputeRemap(invalid).status().IsInvalidArgument());
+
+  LayoutPlan stray;
+  stray.Add(1);
+  stray.AddRef(2, 0);  // slot on a page the plan does not own
+  EXPECT_TRUE(ComputeRemap(stray).status().IsInvalidArgument());
+}
+
+TEST(ApplyLayoutTest, ReordersInterleavedChainsAndFixesContig) {
+  MemPageDevice dev(256);
+  const uint32_t per_page = RecordsPerPage<uint64_t>(256);
+
+  // Chain A at ids {0,1}, a foreign page at 2, chain B at ids {3,4}.
+  std::vector<uint64_t> recs_a(per_page + 3), recs_b(per_page + 5);
+  std::iota(recs_a.begin(), recs_a.end(), 1000);
+  std::iota(recs_b.begin(), recs_b.end(), 5000);
+  auto a = BuildBlockList<uint64_t>(&dev, recs_a);
+  auto foreign = dev.Allocate();
+  ASSERT_TRUE(foreign.ok());
+  std::vector<std::byte> sentinel(256, std::byte{0xAB});
+  ASSERT_TRUE(dev.Write(foreign.value(), sentinel.data()).ok());
+  auto b = BuildBlockList<uint64_t>(&dev, recs_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().pages, (std::vector<PageId>{0, 1}));
+  ASSERT_EQ(b.value().pages, (std::vector<PageId>{3, 4}));
+
+  // Desired order: B first, then A — so both chains move but page 2 stays.
+  LayoutPlan plan;
+  plan.AddChain(b.value().pages);
+  plan.AddChain(a.value().pages);
+  auto remap = ComputeRemap(plan);
+  ASSERT_TRUE(remap.ok());
+  EXPECT_EQ(remap.value().Of(3), 0u);
+  EXPECT_EQ(remap.value().Of(4), 1u);
+  EXPECT_EQ(remap.value().Of(0), 3u);
+  EXPECT_EQ(remap.value().Of(2), 2u);  // identity outside the plan
+  ASSERT_TRUE(ApplyLayout(&dev, plan, remap.value()).ok());
+
+  // Both chains read back intact from their remapped heads.
+  std::vector<uint64_t> got_a, got_b;
+  BlockListRef ra{remap.value().Of(a.value().ref.head), recs_a.size()};
+  BlockListRef rb{remap.value().Of(b.value().ref.head), recs_b.size()};
+  ASSERT_TRUE(ReadBlockList<uint64_t>(&dev, ra, &got_a).ok());
+  ASSERT_TRUE(ReadBlockList<uint64_t>(&dev, rb, &got_b).ok());
+  EXPECT_EQ(got_a, recs_a);
+  EXPECT_EQ(got_b, recs_b);
+
+  // Chain headers were rewritten: both chains are now id-contiguous and say
+  // so in their contig run-lengths; next pointers were remapped.
+  std::vector<std::byte> buf(256);
+  ASSERT_TRUE(dev.Read(rb.head, buf.data()).ok());
+  BlockPageHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  EXPECT_EQ(hdr.contig, 1u);
+  EXPECT_EQ(hdr.next, rb.head + 1);
+
+  // The foreign page never moved and never got rewritten.
+  ASSERT_TRUE(dev.Read(foreign.value(), buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), sentinel.data(), 256), 0);
+}
+
+// ---- Golden layout: clustered twin answers identically --------------------
+
+TEST(ClusterTest, ExternalPstBitIdenticalCountedIo) {
+  auto pts = UniformPts(20000, 3);
+  MemPageDevice plain_dev(1024), clus_dev(1024);
+  ExternalPst plain(&plain_dev), clustered(&clus_dev);
+  ASSERT_TRUE(plain.Build(pts).ok());
+  ASSERT_TRUE(clustered.Build(pts).ok());
+  ASSERT_TRUE(clustered.Cluster().ok());
+  // Invariants hold on the relocated pages, and the skeletal root — first
+  // page of the plan — landed on the smallest owned id of a fresh build.
+  ASSERT_TRUE(clustered.CheckStructure().ok());
+  EXPECT_EQ(clustered.root().page, 0u);
+
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got_plain, got_clus;
+    const uint64_t before_plain = plain_dev.stats().reads;
+    ASSERT_TRUE(plain.QueryTwoSided(q, &got_plain).ok());
+    const uint64_t reads_plain = plain_dev.stats().reads - before_plain;
+    const uint64_t before_clus = clus_dev.stats().reads;
+    ASSERT_TRUE(clustered.QueryTwoSided(q, &got_clus).ok());
+    const uint64_t reads_clus = clus_dev.stats().reads - before_clus;
+    ASSERT_TRUE(SameResult(got_plain, got_clus));
+    EXPECT_EQ(reads_plain, reads_clus) << "query " << i;
+  }
+}
+
+TEST(ClusterTest, ExternalPstCachingOffToo) {
+  auto pts = UniformPts(8000, 5);
+  MemPageDevice plain_dev(1024), clus_dev(1024);
+  ExternalPstOptions opts;
+  opts.enable_path_caching = false;
+  ExternalPst plain(&plain_dev, opts), clustered(&clus_dev, opts);
+  ASSERT_TRUE(plain.Build(pts).ok());
+  ASSERT_TRUE(clustered.Build(pts).ok());
+  ASSERT_TRUE(clustered.Cluster().ok());
+  Rng rng(11);
+  for (int i = 0; i < 15; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got_plain, got_clus;
+    const uint64_t before_plain = plain_dev.stats().reads;
+    ASSERT_TRUE(plain.QueryTwoSided(q, &got_plain).ok());
+    const uint64_t reads_plain = plain_dev.stats().reads - before_plain;
+    const uint64_t before_clus = clus_dev.stats().reads;
+    ASSERT_TRUE(clustered.QueryTwoSided(q, &got_clus).ok());
+    ASSERT_TRUE(SameResult(got_plain, got_clus));
+    EXPECT_EQ(reads_plain, clus_dev.stats().reads - before_clus);
+  }
+}
+
+TEST(ClusterTest, ThreeSidedPstBitIdenticalCountedIo) {
+  auto pts = UniformPts(15000, 13);
+  MemPageDevice plain_dev(1024), clus_dev(1024);
+  ThreeSidedPst plain(&plain_dev), clustered(&clus_dev);
+  ASSERT_TRUE(plain.Build(pts).ok());
+  ASSERT_TRUE(clustered.Build(pts).ok());
+  ASSERT_TRUE(clustered.Cluster().ok());
+
+  Rng rng(17);
+  for (int i = 0; i < 25; ++i) {
+    auto q = SampleThreeSidedQuery(pts, 0.1, &rng);
+    std::vector<Point> got_plain, got_clus;
+    const uint64_t before_plain = plain_dev.stats().reads;
+    ASSERT_TRUE(plain.QueryThreeSided(q, &got_plain).ok());
+    const uint64_t reads_plain = plain_dev.stats().reads - before_plain;
+    const uint64_t before_clus = clus_dev.stats().reads;
+    ASSERT_TRUE(clustered.QueryThreeSided(q, &got_clus).ok());
+    const uint64_t reads_clus = clus_dev.stats().reads - before_clus;
+    ASSERT_TRUE(SameResult(got_plain, got_clus));
+    ASSERT_TRUE(SameResult(got_plain, BruteThreeSided(pts, q)));
+    EXPECT_EQ(reads_plain, reads_clus) << "query " << i;
+  }
+}
+
+TEST(ClusterTest, ExtSegmentTreeBitIdenticalCountedIo) {
+  auto ivs = UniformIvs(8000, 19);
+  MemPageDevice plain_dev(1024), clus_dev(1024);
+  ExtSegmentTree plain(&plain_dev), clustered(&clus_dev);
+  ASSERT_TRUE(plain.Build(ivs).ok());
+  ASSERT_TRUE(clustered.Build(ivs).ok());
+  ASSERT_TRUE(clustered.Cluster().ok());
+
+  Rng rng(23);
+  for (int i = 0; i < 25; ++i) {
+    const auto& iv = ivs[rng.Uniform(ivs.size())];
+    const int64_t q = rng.Bernoulli(0.5) ? iv.lo : iv.hi;
+    std::vector<Interval> got_plain, got_clus;
+    const uint64_t before_plain = plain_dev.stats().reads;
+    ASSERT_TRUE(plain.Stab(q, &got_plain).ok());
+    const uint64_t reads_plain = plain_dev.stats().reads - before_plain;
+    const uint64_t before_clus = clus_dev.stats().reads;
+    ASSERT_TRUE(clustered.Stab(q, &got_clus).ok());
+    const uint64_t reads_clus = clus_dev.stats().reads - before_clus;
+    ASSERT_TRUE(SameResult(got_plain, got_clus));
+    ASSERT_TRUE(SameResult(got_plain, BruteStab(ivs, q)));
+    EXPECT_EQ(reads_plain, reads_clus) << "stab " << q;
+  }
+}
+
+TEST(ClusterTest, ExtIntervalTreeBitIdenticalCountedIo) {
+  auto ivs = UniformIvs(8000, 29);
+  MemPageDevice plain_dev(1024), clus_dev(1024);
+  ExtIntervalTree plain(&plain_dev), clustered(&clus_dev);
+  ASSERT_TRUE(plain.Build(ivs).ok());
+  ASSERT_TRUE(clustered.Build(ivs).ok());
+  ASSERT_TRUE(clustered.Cluster().ok());
+
+  Rng rng(31);
+  for (int i = 0; i < 25; ++i) {
+    const auto& iv = ivs[rng.Uniform(ivs.size())];
+    const int64_t q = rng.Bernoulli(0.5) ? iv.lo : iv.hi;
+    std::vector<Interval> got_plain, got_clus;
+    const uint64_t before_plain = plain_dev.stats().reads;
+    ASSERT_TRUE(plain.Stab(q, &got_plain).ok());
+    const uint64_t reads_plain = plain_dev.stats().reads - before_plain;
+    const uint64_t before_clus = clus_dev.stats().reads;
+    ASSERT_TRUE(clustered.Stab(q, &got_clus).ok());
+    const uint64_t reads_clus = clus_dev.stats().reads - before_clus;
+    ASSERT_TRUE(SameResult(got_plain, got_clus));
+    ASSERT_TRUE(SameResult(got_plain, BruteStab(ivs, q)));
+    EXPECT_EQ(reads_plain, reads_clus) << "stab " << q;
+  }
+}
+
+// ---- Cluster + persistence ------------------------------------------------
+
+TEST(ClusterTest, ClusterAfterSaveIsRejected) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(2000, 37)).ok());
+  ASSERT_TRUE(pst.Save().ok());
+  // The manifest chain is not part of the page graph.
+  EXPECT_EQ(pst.Cluster().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClusterTest, SaveClusteredSurvivesFileReopenAllStructures) {
+  const std::string path = ::testing::TempDir() + "/pc_layout.db";
+  auto pts = UniformPts(12000, 41);
+  auto ivs = UniformIvs(6000, 43);
+  PageId m_pst, m_3s, m_seg, m_int;
+  {
+    auto r = FilePageDevice::Create(path, 1024);
+    ASSERT_TRUE(r.ok());
+    auto dev = std::move(r).value();
+    ExternalPst pst(dev.get());
+    ThreeSidedPst pst3(dev.get());
+    ExtSegmentTree seg(dev.get());
+    ExtIntervalTree itree(dev.get());
+    ASSERT_TRUE(pst.Build(pts).ok());
+    ASSERT_TRUE(pst3.Build(pts).ok());
+    ASSERT_TRUE(seg.Build(ivs).ok());
+    ASSERT_TRUE(itree.Build(ivs).ok());
+    auto r1 = SaveClustered(&pst);
+    auto r2 = SaveClustered(&pst3);
+    auto r3 = SaveClustered(&seg);
+    auto r4 = SaveClustered(&itree);
+    ASSERT_TRUE(r1.ok()) << r1.status().message();
+    ASSERT_TRUE(r2.ok()) << r2.status().message();
+    ASSERT_TRUE(r3.ok()) << r3.status().message();
+    ASSERT_TRUE(r4.ok()) << r4.status().message();
+    m_pst = r1.value();
+    m_3s = r2.value();
+    m_seg = r3.value();
+    m_int = r4.value();
+  }
+  {
+    auto r = FilePageDevice::Open(path, 1024);
+    ASSERT_TRUE(r.ok());
+    auto dev = std::move(r).value();
+    ExternalPst pst(dev.get());
+    ThreeSidedPst pst3(dev.get());
+    ExtSegmentTree seg(dev.get());
+    ExtIntervalTree itree(dev.get());
+    ASSERT_TRUE(pst.Open(m_pst).ok());
+    ASSERT_TRUE(pst3.Open(m_3s).ok());
+    ASSERT_TRUE(seg.Open(m_seg).ok());
+    ASSERT_TRUE(itree.Open(m_int).ok());
+    ASSERT_TRUE(pst.CheckStructure().ok());
+    EXPECT_EQ(pst.size(), pts.size());
+    EXPECT_EQ(pst3.size(), pts.size());
+    EXPECT_EQ(seg.size(), ivs.size());
+    EXPECT_EQ(itree.size(), ivs.size());
+    EXPECT_GT(seg.stored_copies(), 0u);  // round-tripped through aux
+
+    Rng rng(47);
+    for (int i = 0; i < 10; ++i) {
+      auto q2 = SampleTwoSidedQuery(pts, &rng);
+      std::vector<Point> got;
+      ASSERT_TRUE(pst.QueryTwoSided(q2, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q2)));
+      auto q3 = SampleThreeSidedQuery(pts, 0.1, &rng);
+      got.clear();
+      ASSERT_TRUE(pst3.QueryThreeSided(q3, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q3)));
+      const int64_t qs = ivs[rng.Uniform(ivs.size())].lo;
+      std::vector<Interval> stabbed;
+      ASSERT_TRUE(seg.Stab(qs, &stabbed).ok());
+      ASSERT_TRUE(SameResult(stabbed, BruteStab(ivs, qs)));
+      stabbed.clear();
+      ASSERT_TRUE(itree.Stab(qs, &stabbed).ok());
+      ASSERT_TRUE(SameResult(stabbed, BruteStab(ivs, qs)));
+    }
+  }
+}
+
+TEST(ClusterTest, EmptyStructuresClusterTrivially) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build({}).ok());
+  EXPECT_TRUE(pst.Cluster().ok());
+  ExtSegmentTree seg(&dev);
+  ASSERT_TRUE(seg.Build({}).ok());
+  EXPECT_TRUE(seg.Cluster().ok());
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -271,5 +271,77 @@ TEST(FilePageDeviceTest, ReadBatchFaultBudgetRespected) {
   EXPECT_TRUE(dev->ReadBatch(bad, bufs.data()).IsInvalidArgument());
 }
 
+TEST(FilePageDeviceTest, SortedBatchTakesSortFreeFastPath) {
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_fdev_sorted.bin",
+                                  256);
+  ASSERT_TRUE(r.ok());
+  auto dev = std::move(r).value();
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    PageId id = dev->Allocate().value();
+    auto buf = Pattern(256, static_cast<uint8_t>(0x60 + i));
+    ASSERT_TRUE(dev->Write(id, buf.data()).ok());
+    ids.push_back(id);
+  }
+  dev->ResetStats();
+
+  // Monotone non-contiguous batch: sort-free, but still two coalesced runs.
+  std::vector<PageId> sorted{ids[0], ids[1], ids[2], ids[4], ids[5]};
+  std::vector<std::byte> bufs(sorted.size() * 256);
+  ASSERT_TRUE(dev->ReadBatch(sorted, bufs.data()).ok());
+  EXPECT_EQ(dev->sorted_batches(), 1u);
+  EXPECT_EQ(dev->read_syscalls(), 2u);  // runs [0,1,2] and [4,5]
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(bufs[i * 256],
+              static_cast<std::byte>(0x60 + (i < 3 ? i : i + 1)));
+  }
+
+  // Fully contiguous sorted batch: one syscall for the whole run.
+  std::vector<PageId> contig{ids[1], ids[2], ids[3], ids[4]};
+  dev->ResetStats();
+  ASSERT_TRUE(dev->ReadBatch(contig, bufs.data()).ok());
+  EXPECT_EQ(dev->sorted_batches(), 1u);
+  EXPECT_EQ(dev->read_syscalls(), 1u);
+  EXPECT_EQ(dev->stats().reads, 4u);
+
+  // An unsorted batch skips the fast path but returns identical data.
+  std::vector<PageId> unsorted{ids[4], ids[1], ids[3], ids[2]};
+  dev->ResetStats();
+  std::vector<std::byte> ub(unsorted.size() * 256);
+  ASSERT_TRUE(dev->ReadBatch(unsorted, ub.data()).ok());
+  EXPECT_EQ(dev->sorted_batches(), 0u);
+  EXPECT_EQ(dev->read_syscalls(), 1u);  // still coalesces to run [1..4]
+  for (size_t i = 0; i < unsorted.size(); ++i) {
+    EXPECT_EQ(ub[i * 256], static_cast<std::byte>(0x60 + unsorted[i]));
+  }
+}
+
+TEST(MemPageDeviceTest, PinReturnsStableCountedView) {
+  MemPageDevice dev(256);
+  PageId id = dev.Allocate().value();
+  auto pat = Pattern(256, 0x9C);
+  ASSERT_TRUE(dev.Write(id, pat.data()).ok());
+  dev.ResetStats();
+
+  auto p = dev.Pin(id);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(dev.stats().reads, 1u);  // counted exactly like Read()
+  EXPECT_EQ(std::memcmp(p.value(), pat.data(), 256), 0);
+  dev.Unpin(id);
+
+  // PagePin prefers the zero-copy path on a pinning device.
+  PagePin pin;
+  ASSERT_TRUE(pin.Load(&dev, id).ok());
+  EXPECT_EQ(dev.stats().reads, 2u);
+  EXPECT_EQ(std::memcmp(pin.data(), pat.data(), 256), 0);
+}
+
+TEST(MemPageDeviceTest, PinOfFreedPageIsCorruption) {
+  MemPageDevice dev(256);
+  PageId id = dev.Allocate().value();
+  ASSERT_TRUE(dev.Free(id).ok());
+  EXPECT_TRUE(dev.Pin(id).status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace pathcache
