@@ -39,6 +39,7 @@
 #include "core/persist.h"
 #include "core/pst_external.h"
 #include "core/three_sided.h"
+#include "io/checksum_page_device.h"
 #include "io/file_page_device.h"
 #include "io/shared_buffer_pool.h"
 #include "workload/generators.h"
@@ -52,6 +53,7 @@ const uint32_t kThreadCounts[] = {1, 2, 4, 8};
 struct Options {
   uint64_t points = 200'000;
   uint64_t queries = 1'000;  // per thread, and per cold pass
+  bool checksums = false;    // also measure the CRC32C trailer's warm cost
   std::string json_path;
 };
 
@@ -71,9 +73,12 @@ Options ParseArgs(int argc, char** argv) {
       o.queries = std::strtoull(qv, nullptr, 10);
     } else if (const char* jv = value_of(&i, "--json")) {
       o.json_path = jv;
+    } else if (std::strcmp(argv[i], "--checksums") == 0) {
+      o.checksums = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--points N] [--queries N] [--json out.json]\n",
+                   "usage: %s [--points N] [--queries N] [--checksums] "
+                   "[--json out.json]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -107,6 +112,7 @@ QuerySet MakeQueries(uint64_t count, uint32_t seed) {
 // pooled queries later.
 struct Store {
   std::unique_ptr<FilePageDevice> dev;
+  std::unique_ptr<ChecksumPageDevice> sum;  // set only with --checksums
   std::unique_ptr<SharedBufferPool> pool;
   std::unique_ptr<ExternalPst> pst;
   std::unique_ptr<ThreeSidedPst> pst3;
@@ -115,12 +121,19 @@ struct Store {
 };
 
 Store BuildStore(const std::string& path, const std::vector<Point>& points,
-                 bool clustered) {
+                 bool clustered, bool checksums = false) {
   Store s;
   s.dev = BenchValue(FilePageDevice::Create(path), "create device");
+  PageDevice* base = s.dev.get();
+  if (checksums) {
+    // File -> Checksum -> pool: every page entering the pool is CRC-verified
+    // once; warm hits pay nothing extra (see README stacking order).
+    s.sum = std::make_unique<ChecksumPageDevice>(base);
+    base = s.sum.get();
+  }
   // Capacity covers the whole store: warm passes measure lock-striping
   // scalability, not eviction.
-  s.pool = std::make_unique<SharedBufferPool>(s.dev.get(),
+  s.pool = std::make_unique<SharedBufferPool>(base,
                                               /*capacity_pages=*/1 << 20,
                                               kShards);
   // Age the allocator the way long-lived stores age: build and destroy a
@@ -238,8 +251,17 @@ double RunThreads(uint32_t nthreads, uint64_t queries_per_thread,
   return static_cast<double>(nthreads) * queries_per_thread / secs;
 }
 
+struct ChecksumResult {
+  bool enabled = false;
+  double qps_plain = 0.0;       // contemporaneous 1-thread warm baseline
+  double qps_checksummed = 0.0; // same pass through File -> Checksum -> pool
+  double overhead_pct = 0.0;    // target: < 3% (E16)
+  uint64_t pages_verified = 0;
+};
+
 void WriteJson(const Options& opt, const std::vector<ColdCell>& cold,
-               const std::vector<WarmRow>& warm) {
+               const std::vector<WarmRow>& warm,
+               const ChecksumResult& sum) {
   std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL cannot open %s for writing\n",
@@ -275,6 +297,14 @@ void WriteJson(const Options& opt, const std::vector<ColdCell>& cold,
     w.EndObject();
   }
   w.EndArray();
+  if (sum.enabled) {
+    w.Key("checksum_overhead").BeginObject();
+    w.Key("qps_plain").Double(sum.qps_plain);
+    w.Key("qps_checksummed").Double(sum.qps_checksummed);
+    w.Key("checksum_overhead_pct").Double(sum.overhead_pct);
+    w.Key("pages_verified").Uint(sum.pages_verified);
+    w.EndObject();
+  }
   w.EndObject();
   std::fputc('\n', f);
   std::fclose(f);
@@ -380,7 +410,53 @@ int Main(int argc, char** argv) {
       "\n(each \"query\" above is one 2-sided plus one 3-sided lookup; "
       "speedup beyond 1 thread requires as many hardware threads)\n");
 
-  if (!opt.json_path.empty()) WriteJson(opt, cold, warm);
+  // ---- Checksum overhead (E16): the same warm single-threaded pass on a
+  // clustered store read through File -> Checksum -> pool.  Every page is
+  // CRC-verified exactly once on its way into the pool; warm hits bypass the
+  // trailer entirely, so the steady-state overhead should stay under 3%. ----
+  ChecksumResult sumres;
+  if (opt.checksums) {
+    Store cs = BuildStore("/tmp/pathcache_bench_throughput.sum.bin", points,
+                          /*clustered=*/true, /*checksums=*/true);
+    auto run_once = [&](Store& st) {
+      const QuerySet& qs = streams[0];
+      std::vector<Point> out;
+      for (uint64_t i = 0; i < qs.two.size(); ++i) {
+        out.clear();
+        BenchCheck(st.pst->QueryTwoSided(qs.two[i], &out), "sum 2-sided");
+        out.clear();
+        BenchCheck(st.pst3->QueryThreeSided(qs.three[i], &out), "sum 3-sided");
+      }
+    };
+    cs.pool->ClearAndResetStats();  // drop build-time frames
+    run_once(cs);  // fill the pool: verification cost paid here, once
+    sumres.enabled = true;
+    // Alternating best-of-5: the true warm delta (hits never reach the
+    // trailer) is far below scheduler noise on a shared machine, so a
+    // single pass per stack can report either sign.  Best-of filters the
+    // noise floor; alternation keeps thermal drift from biasing one side.
+    for (int round = 0; round < 5; ++round) {
+      sumres.qps_checksummed = std::max(
+          sumres.qps_checksummed,
+          RunThreads(1, 2 * opt.queries, [&](uint32_t) { run_once(cs); }));
+      sumres.qps_plain = std::max(
+          sumres.qps_plain,
+          RunThreads(1, 2 * opt.queries, [&](uint32_t) { run_once(s); }));
+    }
+    sumres.overhead_pct =
+        sumres.qps_plain == 0.0
+            ? 0.0
+            : 100.0 * (sumres.qps_plain - sumres.qps_checksummed) /
+                  sumres.qps_plain;
+    sumres.pages_verified = cs.sum->pages_verified();
+    std::printf(
+        "\nchecksums: warm qps plain=%9.0f  checksummed=%9.0f  "
+        "overhead=%.2f%%  pages_verified=%llu  (target < 3%%)\n",
+        sumres.qps_plain, sumres.qps_checksummed, sumres.overhead_pct,
+        static_cast<unsigned long long>(sumres.pages_verified));
+  }
+
+  if (!opt.json_path.empty()) WriteJson(opt, cold, warm, sumres);
   return 0;
 }
 

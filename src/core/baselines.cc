@@ -54,11 +54,14 @@ Status XSortedBaseline::Scan(int64_t x_lo, int64_t x_hi, int64_t y_min,
   const uint32_t cap = RecordsPerPage<Point>(dev_->page_size());
   PageId page = start;
   std::vector<std::byte> buf(dev_->page_size());
+  uint64_t walked = 0;
   while (page != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
     PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
     if (stats != nullptr) ++stats->ancestor;
     BlockPageHeader hdr;
     std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, cap));
     std::vector<Point> pts(hdr.count);
     std::memcpy(pts.data(), buf.data() + sizeof(hdr),
                 hdr.count * sizeof(Point));

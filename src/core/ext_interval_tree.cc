@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstring>
 #include <string>
+#include <tuple>
 
 #include "core/persist.h"
 #include "util/mathutil.h"
@@ -261,7 +262,9 @@ Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
   // read per page either way.
   BlockPageView<Interval> view;
   PageId cur = page;
+  uint64_t walked = 0;
   while (cur != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
     PC_RETURN_IF_ERROR(view.Load(dev_, cur));
     Bump(stats, role);
     uint64_t qual = 0;
@@ -297,11 +300,17 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   // up front, so the exact prefix is fetched batched.
   std::vector<uint32_t> cl_consumed(cache.ancs.size(), 0);
   bool stop = false;
+  bool bad_src = false;
   auto scan_cl_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
       if (si.lo > q) {
+        stop = true;
+        break;
+      }
+      if (si.src >= cl_consumed.size()) {
+        bad_src = true;
         stop = true;
         break;
       }
@@ -337,6 +346,11 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       scan_cl_page(view.records());
     }
   }
+  if (bad_src) {
+    return Status::Corruption(
+        "CL cache record names a source ordinal beyond the cache's ancestor "
+        "table");
+  }
   for (size_t k = 0; k < cache.ancs.size(); ++k) {
     const AncInfo& a = cache.ancs[k];
     if (cl_consumed[k] == a.contributed && a.contributed < a.total &&
@@ -350,11 +364,17 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   // CR: right-direction ancestors, descending hi, scan while hi >= q.
   std::vector<uint32_t> cr_consumed(cache.sibs.size(), 0);
   stop = false;
+  bad_src = false;
   auto scan_cr_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
     for (const SrcInterval& si : recs) {
       if (si.hi < q) {
+        stop = true;
+        break;
+      }
+      if (si.src >= cr_consumed.size()) {
+        bad_src = true;
         stop = true;
         break;
       }
@@ -390,6 +410,11 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
       scan_cr_page(view.records());
     }
   }
+  if (bad_src) {
+    return Status::Corruption(
+        "CR cache record names a source ordinal beyond the cache's sibling "
+        "table");
+  }
   for (size_t k = 0; k < cache.sibs.size(); ++k) {
     const SibInfo& s = cache.sibs[k];
     if (cr_consumed[k] == s.contributed && s.contributed < s.total &&
@@ -408,7 +433,10 @@ Status ExtIntervalTree::Stab(int64_t q, std::vector<Interval>* out,
   SkeletalTreeReader<IntNodeRec> reader(dev_);
   NodeRef cur = root_;
   uint64_t nav_before = reader.pages_read();
+  const uint64_t limit = SkeletalWalkLimit<IntNodeRec>(dev_);
+  uint64_t steps = 0;
   for (;;) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     IntNodeRec rec;
     PC_RETURN_IF_ERROR(reader.Read(cur, &rec));
     if (rec.is_leaf != 0) {
@@ -512,6 +540,327 @@ Status ExtIntervalTree::Open(PageId manifest) {
   storage_.cache_blocks = hdr.cache_blocks;
   owned_pages_ = std::move(owned);
   for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ExtIntervalTree::CheckStructure() const {
+  if (!root_.valid()) {
+    return n_ == 0 ? Status::OK()
+                   : Status::Corruption("no root for non-empty structure");
+  }
+  const uint32_t B = RecordsPerPage<Interval>(dev_->page_size());
+  const uint32_t src_cap = RecordsPerPage<SrcInterval>(dev_->page_size());
+  SkeletalTreeReader<IntNodeRec> reader(dev_);
+  const uint64_t walk_limit = SkeletalWalkLimit<IntNodeRec>(dev_);
+  uint64_t walk_steps = 0;
+
+  auto lt_lo = [](const SrcInterval& a, const SrcInterval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.id < b.id;
+  };
+  auto lt_hi = [](const SrcInterval& a, const SrcInterval& b) {
+    if (a.hi != b.hi) return a.hi > b.hi;
+    return a.id < b.id;
+  };
+  // Ties under the build's sort keys are stored in unspecified order, so
+  // cache contents are compared as multisets under a total order.
+  auto lt_full = [](const SrcInterval& a, const SrcInterval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    if (a.hi != b.hi) return a.hi < b.hi;
+    if (a.id != b.id) return a.id < b.id;
+    return a.src < b.src;
+  };
+
+  // DFS with an explicit unwind marker: the caches replicate the first
+  // blocks of the strictly-in-page ancestors' L/R lists, so those blocks
+  // (and the lists' continuation pages) ride along on the chain.
+  struct ChainEnt {
+    bool page_root;
+    int8_t side;  // 0 = left child of its parent, 1 = right, -1 = root
+    uint32_t count = 0;
+    std::vector<Interval> l_first, r_first;  // first list block each
+    PageId l_next = kInvalidPageId, r_next = kInvalidPageId;
+  };
+  struct Item {
+    NodeRef ref;
+    int8_t side = -1;
+    bool has_lo = false, has_hi = false;
+    int64_t lo = 0, hi = 0;  // open bounds on centers and interval spans
+    bool unwind = false;
+  };
+  std::vector<ChainEnt> chain;
+  std::vector<Item> stack;
+  stack.push_back(Item{root_});
+  uint64_t total = 0;
+
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.unwind) {
+      chain.pop_back();
+      continue;
+    }
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(walk_steps++, walk_limit));
+
+    IntNodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(it.ref, &rec));
+    if (it.has_lo && rec.center <= it.lo) {
+      return Status::Corruption("center below subtree bound");
+    }
+    if (it.has_hi && rec.center >= it.hi) {
+      return Status::Corruption("center above subtree bound");
+    }
+    const bool leaf = rec.is_leaf != 0;
+    total += rec.count;
+
+    auto in_bounds = [&](const Interval& iv) {
+      if (it.has_lo && iv.lo <= it.lo) return false;
+      if (it.has_hi && iv.hi >= it.hi) return false;
+      return true;
+    };
+
+    ChainEnt ent;
+    ent.page_root = it.ref.slot == 0;
+    ent.side = it.side;
+    ent.count = rec.count;
+
+    if (leaf) {
+      if (rec.left.valid() || rec.right.valid()) {
+        return Status::Corruption("fat leaf with children");
+      }
+      if (rec.l_head != kInvalidPageId || rec.r_head != kInvalidPageId) {
+        return Status::Corruption("L/R lists on a fat leaf");
+      }
+      std::vector<Interval> pool;
+      PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.pool_page,
+                                                  &pool));
+      if (pool.size() != rec.count) {
+        return Status::Corruption("leaf pool count mismatch");
+      }
+      for (const Interval& iv : pool) {
+        if (!in_bounds(iv)) {
+          return Status::Corruption("leaf pool interval escapes its span");
+        }
+      }
+    } else {
+      if (!rec.left.valid() || !rec.right.valid()) {
+        return Status::Corruption("internal node missing a child");
+      }
+      if (rec.pool_page != kInvalidPageId) {
+        return Status::Corruption("pool on an internal node");
+      }
+      if (rec.count == 0) {
+        if (rec.l_head != kInvalidPageId || rec.r_head != kInvalidPageId) {
+          return Status::Corruption("lists on an empty crossing set");
+        }
+      } else if (rec.l_head == kInvalidPageId ||
+                 rec.r_head == kInvalidPageId) {
+        return Status::Corruption("missing L/R list");
+      }
+      std::vector<Interval> l, r;
+      PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.l_head, &l,
+                                                  &ent.l_next));
+      PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.r_head, &r,
+                                                  &ent.r_next));
+      if (l.size() != rec.count || r.size() != rec.count) {
+        return Status::Corruption("L/R list count mismatch");
+      }
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i > 0 && (l[i].lo < l[i - 1].lo ||
+                      (l[i].lo == l[i - 1].lo && l[i].id < l[i - 1].id))) {
+          return Status::Corruption("L-list not ascending by lo");
+        }
+        if (i > 0 && (r[i].hi > r[i - 1].hi ||
+                      (r[i].hi == r[i - 1].hi && r[i].id < r[i - 1].id))) {
+          return Status::Corruption("R-list not descending by hi");
+        }
+        if (!l[i].Contains(rec.center) || !r[i].Contains(rec.center)) {
+          return Status::Corruption(
+              "crossing-set interval misses its center");
+        }
+        if (!in_bounds(l[i])) {
+          return Status::Corruption("crossing-set interval escapes bounds");
+        }
+      }
+      auto key = [](const Interval& iv) {
+        return std::tuple<uint64_t, int64_t, int64_t>(iv.id, iv.lo, iv.hi);
+      };
+      std::vector<std::tuple<uint64_t, int64_t, int64_t>> lk, rk;
+      for (const Interval& iv : l) lk.push_back(key(iv));
+      for (const Interval& iv : r) rk.push_back(key(iv));
+      std::sort(lk.begin(), lk.end());
+      std::sort(rk.begin(), rk.end());
+      if (lk != rk) {
+        return Status::Corruption("L and R lists hold different intervals");
+      }
+      ent.l_first.assign(l.begin(),
+                         l.begin() + std::min<size_t>(l.size(), B));
+      ent.r_first.assign(r.begin(),
+                         r.begin() + std::min<size_t>(r.size(), B));
+    }
+
+    chain.push_back(std::move(ent));
+    {
+      Item unwind;
+      unwind.unwind = true;
+      stack.push_back(unwind);
+    }
+
+    // Cache: page roots and fat leaves carry a direction-split copy of the
+    // first L- or R-blocks of the strictly-in-page ancestor path.
+    const bool boundary = (it.ref.slot == 0) || leaf;
+    if (!opts_.enable_path_caching || !boundary) {
+      if (rec.cache_page != kInvalidPageId) {
+        return Status::Corruption("cache on a non-boundary node");
+      }
+    } else {
+      struct ExpectEnt {
+        PageId next;
+        uint32_t contributed, total;
+      };
+      std::vector<ExpectEnt> expect_ancs, expect_sibs;
+      std::vector<SrcInterval> expect_cl, expect_cr;
+      for (size_t j = chain.size() - 1; j-- > 0;) {
+        if (chain[j].page_root) break;
+        const ChainEnt& u = chain[j];
+        const bool went_left = chain[j + 1].side == 0;
+        const uint32_t contributed =
+            std::min<uint32_t>(B, u.count);
+        if (went_left) {
+          const uint32_t ord = static_cast<uint32_t>(expect_ancs.size());
+          for (uint32_t k = 0; k < contributed; ++k) {
+            expect_cl.push_back(SrcInterval::From(u.l_first[k], ord));
+          }
+          expect_ancs.push_back(ExpectEnt{u.l_next, contributed, u.count});
+        } else {
+          const uint32_t ord = static_cast<uint32_t>(expect_sibs.size());
+          for (uint32_t k = 0; k < contributed; ++k) {
+            expect_cr.push_back(SrcInterval::From(u.r_first[k], ord));
+          }
+          expect_sibs.push_back(ExpectEnt{u.r_next, contributed, u.count});
+        }
+      }
+      if (expect_ancs.empty() && expect_sibs.empty()) {
+        if (rec.cache_page != kInvalidPageId) {
+          return Status::Corruption("cache present with no in-page ancestors");
+        }
+      } else {
+        if (rec.cache_page == kInvalidPageId) {
+          return Status::Corruption("missing cache");
+        }
+        NodeCache cache;
+        PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, rec.cache_page, &cache));
+        if (cache.ancs.size() != expect_ancs.size() ||
+            cache.sibs.size() != expect_sibs.size()) {
+          return Status::Corruption("cache directory size mismatch");
+        }
+        uint64_t cl_sum = 0, cr_sum = 0;
+        for (size_t ord = 0; ord < expect_ancs.size(); ++ord) {
+          const AncInfo& a = cache.ancs[ord];
+          if (a.x_next != expect_ancs[ord].next ||
+              a.contributed != expect_ancs[ord].contributed ||
+              a.total != expect_ancs[ord].total) {
+            return Status::Corruption("CL directory entry stale");
+          }
+          cl_sum += a.contributed;
+        }
+        for (size_t ord = 0; ord < expect_sibs.size(); ++ord) {
+          const SibInfo& s = cache.sibs[ord];
+          if (s.left != kNullNodeRef || s.right != kNullNodeRef ||
+              s.y_next != expect_sibs[ord].next ||
+              s.contributed != expect_sibs[ord].contributed ||
+              s.total != expect_sibs[ord].total) {
+            return Status::Corruption("CR directory entry stale");
+          }
+          cr_sum += s.contributed;
+        }
+        if (cache.a_count != cl_sum || cache.s_count != cr_sum) {
+          return Status::Corruption("cache contributed sums mismatch");
+        }
+        std::vector<SrcInterval> cl, cr;
+        {
+          BlockListCursor<SrcInterval> cur(
+              dev_, std::span<const PageId>(cache.a_pages));
+          while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(&cl));
+          BlockListCursor<SrcInterval> cur2(
+              dev_, std::span<const PageId>(cache.s_pages));
+          while (!cur2.done()) PC_RETURN_IF_ERROR(cur2.NextBlock(&cr));
+        }
+        if (cl.size() != cache.a_count || cr.size() != cache.s_count) {
+          return Status::Corruption("cache record count mismatch");
+        }
+        for (size_t i = 1; i < cl.size(); ++i) {
+          if (lt_lo(cl[i], cl[i - 1])) {
+            return Status::Corruption("CL not ascending by lo");
+          }
+        }
+        for (size_t i = 1; i < cr.size(); ++i) {
+          if (lt_hi(cr[i], cr[i - 1])) {
+            return Status::Corruption("CR not descending by hi");
+          }
+        }
+        // Tail keys against the stored order (what the query batches on).
+        if (!cache.a_tails.empty()) {
+          if (cache.a_tails.size() != cache.a_pages.size()) {
+            return Status::Corruption("CL tail directory size mismatch");
+          }
+          for (size_t pg = 0; pg < cache.a_pages.size(); ++pg) {
+            const size_t last = std::min<size_t>(
+                cl.size(), (pg + 1) * static_cast<size_t>(src_cap));
+            if (cache.a_tails[pg] != cl[last - 1].lo) {
+              return Status::Corruption("CL tail key stale");
+            }
+          }
+        }
+        if (!cache.s_tails.empty()) {
+          if (cache.s_tails.size() != cache.s_pages.size()) {
+            return Status::Corruption("CR tail directory size mismatch");
+          }
+          for (size_t pg = 0; pg < cache.s_pages.size(); ++pg) {
+            const size_t last = std::min<size_t>(
+                cr.size(), (pg + 1) * static_cast<size_t>(src_cap));
+            if (cache.s_tails[pg] != cr[last - 1].hi) {
+              return Status::Corruption("CR tail key stale");
+            }
+          }
+        }
+        std::sort(cl.begin(), cl.end(), lt_full);
+        std::sort(cr.begin(), cr.end(), lt_full);
+        std::sort(expect_cl.begin(), expect_cl.end(), lt_full);
+        std::sort(expect_cr.begin(), expect_cr.end(), lt_full);
+        auto same = [](const std::vector<SrcInterval>& a,
+                       const std::vector<SrcInterval>& b) {
+          for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].lo != b[i].lo || a[i].hi != b[i].hi ||
+                a[i].id != b[i].id || a[i].src != b[i].src) {
+              return false;
+            }
+          }
+          return true;
+        };
+        if (!same(cl, expect_cl) || !same(cr, expect_cr)) {
+          return Status::Corruption(
+              "cache contents diverge from the ancestor lists");
+        }
+      }
+    }
+
+    if (!leaf) {
+      Item right = it;
+      right.ref = rec.right;
+      right.side = 1;
+      right.has_lo = true;
+      right.lo = rec.center;
+      stack.push_back(right);
+      Item left = it;
+      left.ref = rec.left;
+      left.side = 0;
+      left.has_hi = true;
+      left.hi = rec.center;
+      stack.push_back(left);
+    }
+  }
+  if (total != n_) return Status::Corruption("total interval count mismatch");
   return Status::OK();
 }
 

@@ -103,6 +103,15 @@ class ExtIntervalTree {
   /// BEFORE Save().
   Status Cluster();
 
+  /// Exhaustively validates every on-disk invariant: the center BST against
+  /// subtree bounds, L/R lists that sort correctly, hold the same interval
+  /// multiset and straddle their center, leaf pools inside their span, and
+  /// the direction-split caches (per-ancestor directory entries,
+  /// continuation pointers, record contents and tail keys) against the
+  /// actual in-page ancestor path.  Corruption on the first violation; the
+  /// fsck hook behind VerifyStore.
+  Status CheckStructure() const;
+
   uint64_t size() const { return n_; }
   StorageBreakdown storage() const { return storage_; }
   bool caching_enabled() const { return opts_.enable_path_caching; }

@@ -220,7 +220,10 @@ Status ExtSegmentTree::Stab(int64_t q, std::vector<Interval>* out,
 
   NodeRef cur = root_;
   uint64_t nav_before = reader.pages_read();
+  const uint64_t limit = SkeletalWalkLimit<SegNodeRec>(dev_);
+  uint64_t steps = 0;
   for (;;) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     SegNodeRec rec;
     PC_RETURN_IF_ERROR(reader.Read(cur, &rec));
     if (q < rec.lo || q >= rec.hi) break;  // outside the indexed domain
@@ -316,6 +319,174 @@ Status ExtSegmentTree::Open(PageId manifest) {
   storage_.cache_blocks = hdr.cache_blocks;
   owned_pages_ = std::move(owned);
   for (PageId p : chain) owned_pages_.push_back(p);
+  return Status::OK();
+}
+
+Status ExtSegmentTree::CheckStructure() const {
+  if (!root_.valid()) {
+    return n_ == 0 ? Status::OK()
+                   : Status::Corruption("no root for non-empty structure");
+  }
+  const uint32_t B = RecordsPerPage<Interval>(dev_->page_size());
+  SkeletalTreeReader<SegNodeRec> reader(dev_);
+  const uint64_t walk_limit = SkeletalWalkLimit<SegNodeRec>(dev_);
+  uint64_t walk_steps = 0;
+
+  // DFS with an explicit unwind marker: a node's cache coalesces the
+  // underfull cover-lists of its strictly-in-page ancestors, so those lists
+  // ride along on the chain for exact content comparison.
+  struct ChainEnt {
+    bool page_root;
+    std::vector<Interval> underfull;  // the cover-list when count < B
+  };
+  struct Item {
+    NodeRef ref;
+    bool has_parent = false;
+    int64_t lo = 0, hi = 0;             // expected slab (from parent split)
+    int64_t parent_lo = 0, parent_hi = 0;
+    bool unwind = false;
+  };
+  std::vector<ChainEnt> chain;
+  std::vector<Item> stack;
+  stack.push_back(Item{root_});
+  uint64_t copies = 0;
+
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.unwind) {
+      chain.pop_back();
+      continue;
+    }
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(walk_steps++, walk_limit));
+
+    SegNodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(it.ref, &rec));
+    if (rec.lo >= rec.hi) return Status::Corruption("empty slab");
+    if (it.has_parent && (rec.lo != it.lo || rec.hi != it.hi)) {
+      return Status::Corruption("child slab does not match parent split");
+    }
+    const bool leaf = rec.is_leaf != 0;
+    if (leaf && (rec.left.valid() || rec.right.valid())) {
+      return Status::Corruption("fat leaf with children");
+    }
+    if (!leaf) {
+      if (!(rec.lo < rec.split && rec.split < rec.hi)) {
+        return Status::Corruption("split outside slab");
+      }
+      if (!rec.left.valid() || !rec.right.valid()) {
+        return Status::Corruption("internal node missing a child");
+      }
+    }
+
+    // Cover-list: every interval covers this slab but not the parent's
+    // (allocation nodes are maximal).
+    std::vector<Interval> cover;
+    PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.cover_head,
+                                                &cover));
+    if (cover.size() != rec.cover_count) {
+      return Status::Corruption("cover-list count mismatch");
+    }
+    for (const Interval& iv : cover) {
+      if (!(iv.lo <= rec.lo && rec.hi <= iv.hi + 1)) {
+        return Status::Corruption("cover interval does not cover its slab");
+      }
+      if (it.has_parent && iv.lo <= it.parent_lo &&
+          it.parent_hi <= iv.hi + 1) {
+        return Status::Corruption(
+            "cover interval covers the parent slab (allocated too low)");
+      }
+    }
+    copies += cover.size();
+
+    // End-list: fat leaves only; partial overlaps by definition.
+    if (!leaf && rec.end_page != kInvalidPageId) {
+      return Status::Corruption("end-list on an internal node");
+    }
+    if (leaf && rec.end_page != kInvalidPageId) {
+      std::vector<Interval> ends;
+      PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.end_page,
+                                                  &ends));
+      for (const Interval& iv : ends) {
+        const bool overlaps = iv.lo < rec.hi && iv.hi + 1 > rec.lo;
+        const bool covers = iv.lo <= rec.lo && rec.hi <= iv.hi + 1;
+        if (!overlaps || covers) {
+          return Status::Corruption(
+              "end-list interval does not partially overlap its leaf");
+        }
+      }
+    }
+
+    chain.push_back(ChainEnt{it.ref.slot == 0,
+                             cover.size() < B ? std::move(cover)
+                                              : std::vector<Interval>{}});
+    {
+      Item unwind;
+      unwind.unwind = true;
+      stack.push_back(unwind);
+    }
+
+    // Cache: page roots and fat leaves coalesce the underfull cover-lists
+    // of themselves and their strictly-in-page ancestors, in that order.
+    const bool boundary = (it.ref.slot == 0) || leaf;
+    if (!opts_.enable_path_caching || !boundary) {
+      if (rec.cache_page != kInvalidPageId) {
+        return Status::Corruption("cache on a non-boundary node");
+      }
+    } else {
+      std::vector<Interval> expect = chain.back().underfull;
+      for (size_t j = chain.size() - 1; j-- > 0;) {
+        if (chain[j].page_root) break;
+        expect.insert(expect.end(), chain[j].underfull.begin(),
+                      chain[j].underfull.end());
+      }
+      if (expect.empty()) {
+        if (rec.cache_page != kInvalidPageId) {
+          return Status::Corruption(
+              "cache present with no underfull cover-lists in scope");
+        }
+      } else {
+        if (rec.cache_page == kInvalidPageId) {
+          return Status::Corruption("missing cache");
+        }
+        std::vector<Interval> got;
+        PC_RETURN_IF_ERROR(ReadBlockChain<Interval>(dev_, rec.cache_page,
+                                                    &got));
+        if (got.size() != expect.size()) {
+          return Status::Corruption("cache record count mismatch");
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].lo != expect[i].lo || got[i].hi != expect[i].hi ||
+              got[i].id != expect[i].id) {
+            return Status::Corruption(
+                "cache contents diverge from the in-scope cover-lists");
+          }
+        }
+      }
+    }
+
+    if (!leaf) {
+      Item right;
+      right.ref = rec.right;
+      right.has_parent = true;
+      right.lo = rec.split;
+      right.hi = rec.hi;
+      right.parent_lo = rec.lo;
+      right.parent_hi = rec.hi;
+      stack.push_back(right);
+      Item left;
+      left.ref = rec.left;
+      left.has_parent = true;
+      left.lo = rec.lo;
+      left.hi = rec.split;
+      left.parent_lo = rec.lo;
+      left.parent_hi = rec.hi;
+      stack.push_back(left);
+    }
+  }
+  if (copies != stored_copies_) {
+    return Status::Corruption("stored-copies total mismatch");
+  }
   return Status::OK();
 }
 

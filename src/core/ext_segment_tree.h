@@ -85,6 +85,14 @@ class ExtSegmentTree {
   /// Call on a finished build BEFORE Save().
   Status Cluster();
 
+  /// Exhaustively validates every on-disk invariant: slab nesting against
+  /// the parent splits, cover-lists that cover their slab but not the
+  /// parent's, end-lists that partially overlap their fat leaf, caches that
+  /// hold exactly the in-scope underfull cover-lists, and the stored-copies
+  /// total.  Corruption on the first violation; the fsck hook behind
+  /// VerifyStore.
+  Status CheckStructure() const;
+
   uint64_t size() const { return n_; }
   StorageBreakdown storage() const { return storage_; }
   bool caching_enabled() const { return opts_.enable_path_caching; }

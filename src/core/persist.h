@@ -10,11 +10,47 @@
 #define PATHCACHE_CORE_PERSIST_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/two_sided_index.h"
 #include "io/page_device.h"
 
 namespace pathcache {
+
+/// Knobs for VerifyStore.
+struct VerifyStoreOptions {
+  /// Read every owned page once.  On a checksummed device stack this scrubs
+  /// the CRC of every page the store owns, surfacing latent bit rot that no
+  /// query path has touched yet.
+  bool scrub_pages = true;
+  /// Open each top-level structure and run its CheckStructure() pass.
+  bool check_structures = true;
+  /// Treat live pages owned by no manifest as Corruption (leaks).  Disable
+  /// when the device hosts data outside the manifests being verified.
+  bool expect_full_coverage = true;
+};
+
+/// What VerifyStore saw.  Filled on success and on a leak failure; earlier
+/// corruption aborts the walk with the report only partially meaningful.
+struct VerifyStoreReport {
+  uint64_t manifests = 0;          // manifests walked, children included
+  uint64_t structures_checked = 0; // top-level CheckStructure() passes run
+  uint64_t owned_pages = 0;        // distinct pages claimed by the manifests
+  uint64_t scrubbed_pages = 0;     // pages read by the scrub pass
+  uint64_t leaked_pages = 0;       // live pages no manifest claims
+};
+
+/// Offline consistency check over a store: walks every manifest (descending
+/// into child manifests), claims each owned page exactly once (a page owned
+/// by two manifests is Corruption, as is a live page owned by none), scrubs
+/// each owned page with a read, and dispatches the per-structure
+/// CheckStructure() deep validation by manifest magic.  The store is not
+/// modified.  `manifests` must list every top-level manifest on the device
+/// when `expect_full_coverage` is on.
+Status VerifyStore(PageDevice* dev, std::span<const PageId> manifests,
+                   const VerifyStoreOptions& opts = {},
+                   VerifyStoreReport* report = nullptr);
 
 /// Opens the saved index whose manifest lives at `manifest`; the returned
 /// instance owns every page of the structure including the manifest chain

@@ -31,16 +31,17 @@ Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache) {
   hdr.a_count = cache.a_count;
   hdr.s_count = cache.s_count;
   std::byte* p = buf.data();
+  // Empty vectors have a null data(); memcpy forbids null even with n == 0.
+  auto append = [&p](const void* src, size_t n) {
+    if (n != 0) std::memcpy(p, src, n);
+    p += n;
+  };
   std::memcpy(p, &hdr, sizeof(hdr));
   p += sizeof(hdr);
-  std::memcpy(p, cache.a_pages.data(), cache.a_pages.size() * sizeof(PageId));
-  p += cache.a_pages.size() * sizeof(PageId);
-  std::memcpy(p, cache.s_pages.data(), cache.s_pages.size() * sizeof(PageId));
-  p += cache.s_pages.size() * sizeof(PageId);
-  std::memcpy(p, cache.ancs.data(), cache.ancs.size() * sizeof(AncInfo));
-  p += cache.ancs.size() * sizeof(AncInfo);
-  std::memcpy(p, cache.sibs.data(), cache.sibs.size() * sizeof(SibInfo));
-  p += cache.sibs.size() * sizeof(SibInfo);
+  append(cache.a_pages.data(), cache.a_pages.size() * sizeof(PageId));
+  append(cache.s_pages.data(), cache.s_pages.size() * sizeof(PageId));
+  append(cache.ancs.data(), cache.ancs.size() * sizeof(AncInfo));
+  append(cache.sibs.data(), cache.sibs.size() * sizeof(SibInfo));
 
   // Optional tail-key trailer.  It is written only when (a) the builder
   // supplied one tail per A/S page and (b) it fits in the slack after the
@@ -57,11 +58,8 @@ Status WriteCacheHeader(PageDevice* dev, PageId page, const NodeCache& cache) {
   if (have_tails && need + trailer <= dev->page_size()) {
     std::memcpy(p, &kCacheTailMagic, sizeof(kCacheTailMagic));
     p += sizeof(kCacheTailMagic);
-    std::memcpy(p, cache.a_tails.data(),
-                cache.a_tails.size() * sizeof(int64_t));
-    p += cache.a_tails.size() * sizeof(int64_t);
-    std::memcpy(p, cache.s_tails.data(),
-                cache.s_tails.size() * sizeof(int64_t));
+    append(cache.a_tails.data(), cache.a_tails.size() * sizeof(int64_t));
+    append(cache.s_tails.data(), cache.s_tails.size() * sizeof(int64_t));
   }
   return dev->Write(page, buf.data());
 }
@@ -85,14 +83,16 @@ Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
   out->a_count = hdr.a_count;
   out->s_count = hdr.s_count;
   const std::byte* p = buf_data + sizeof(hdr);
-  std::memcpy(out->a_pages.data(), p, hdr.a_pages * sizeof(PageId));
-  p += hdr.a_pages * sizeof(PageId);
-  std::memcpy(out->s_pages.data(), p, hdr.s_pages * sizeof(PageId));
-  p += hdr.s_pages * sizeof(PageId);
-  std::memcpy(out->ancs.data(), p, hdr.anc_count * sizeof(AncInfo));
-  p += hdr.anc_count * sizeof(AncInfo);
-  std::memcpy(out->sibs.data(), p, hdr.sib_count * sizeof(SibInfo));
-  p += hdr.sib_count * sizeof(SibInfo);
+  // As in WriteCacheHeader: resize(0) leaves data() null, which memcpy
+  // forbids even for zero-length copies.
+  auto extract = [&p](void* dst, size_t n) {
+    if (n != 0) std::memcpy(dst, p, n);
+    p += n;
+  };
+  extract(out->a_pages.data(), hdr.a_pages * sizeof(PageId));
+  extract(out->s_pages.data(), hdr.s_pages * sizeof(PageId));
+  extract(out->ancs.data(), hdr.anc_count * sizeof(AncInfo));
+  extract(out->sibs.data(), hdr.sib_count * sizeof(SibInfo));
 
   // Optional tail-key trailer (see WriteCacheHeader).  Absent — page slack
   // is zeroed, so no magic — leaves the vectors empty.
@@ -110,9 +110,8 @@ Status ReadCacheHeader(PageDevice* dev, PageId page, NodeCache* out) {
       p += sizeof(magic);
       out->a_tails.resize(hdr.a_pages);
       out->s_tails.resize(hdr.s_pages);
-      std::memcpy(out->a_tails.data(), p, hdr.a_pages * sizeof(int64_t));
-      p += hdr.a_pages * sizeof(int64_t);
-      std::memcpy(out->s_tails.data(), p, hdr.s_pages * sizeof(int64_t));
+      extract(out->a_tails.data(), hdr.a_pages * sizeof(int64_t));
+      extract(out->s_tails.data(), hdr.s_pages * sizeof(int64_t));
     }
   }
   return Status::OK();

@@ -151,6 +151,15 @@ inline constexpr uint64_t kThreeSidedPstMagic = 0x33545350'43500003ULL;
 inline constexpr uint64_t kExtSegTreeMagic = 0x34545350'43500004ULL;
 inline constexpr uint64_t kExtIntTreeMagic = 0x35545350'43500005ULL;
 
+/// Manifest format history.  Version 1 (implicit: the field reads 0 from
+/// pre-versioning manifests, accepted as 1) is the original layout; version
+/// 2 adds the trailing `format_version` itself and blesses stores written
+/// through a ChecksumPageDevice (the header layout is unchanged — page
+/// payloads just shrink by the checksum trailer).  Readers accept any
+/// version <= current and reject newer ones with Corruption instead of
+/// misparsing pages from a future writer.
+inline constexpr uint32_t kManifestFormatVersion = 2;
+
 struct PstManifestHeader {
   uint64_t magic = 0;
   uint64_t n = 0;
@@ -169,6 +178,9 @@ struct PstManifestHeader {
   PageId children_head = kInvalidPageId;  // BlockList<PageId> of manifests
   uint64_t children_count = 0;
   uint64_t aux = 0;  // structure-specific (ExtSegmentTree: stored copies)
+  // New fields go below so legacy manifests (zero-filled slack) read 0.
+  uint32_t format_version = 0;  // stamped by WriteManifestHeader
+  uint32_t reserved = 0;
 };
 static_assert(sizeof(PstManifestHeader) <= 256);
 

@@ -18,6 +18,8 @@ Status ReadPointBlockPage(PageDevice* dev, PageId page,
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(
+      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size())));
   size_t old = out->size();
   out->resize(old + hdr.count);
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
@@ -32,6 +34,8 @@ Status ReadSrcBlockPage(PageDevice* dev, PageId page,
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(
+      CheckBlockPageHeader(hdr, RecordsPerPage<SrcPoint>(dev->page_size())));
   size_t old = out->size();
   out->resize(old + hdr.count);
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
@@ -623,7 +627,9 @@ Status DynamicPst::QueryTwoSided(const TwoSidedQuery& q,
                        uint64_t* qualified) -> Status {
     *qualified = 0;
     PageId cur = page;
+    uint64_t walked = 0;
     while (cur != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
       std::vector<Point> pts;
       PageId next;
       PC_RETURN_IF_ERROR(ReadPointBlockPage(dev_, cur, &pts, &next));
@@ -701,6 +707,11 @@ Status DynamicPst::QueryTwoSided(const TwoSidedQuery& q,
           break;
         }
         if (sp.src == self_skip) continue;
+        if (sp.src >= anc_qual.size()) {
+          return Status::Corruption(
+              "A-list record names an ancestor ordinal beyond the cache's "
+              "ancestor table");
+        }
         if (sp.y >= q.y_min) {
           out->push_back(sp.ToPoint());
           ++qual;
@@ -732,6 +743,11 @@ Status DynamicPst::QueryTwoSided(const TwoSidedQuery& q,
         if (sp.y < q.y_min) {
           stop = true;
           break;
+        }
+        if (sp.src >= sib_qual.size()) {
+          return Status::Corruption(
+              "S-list record names a sibling ordinal beyond the cache's "
+              "sibling table");
         }
         if (sp.x >= q.x_min) {
           out->push_back(sp.ToPoint());

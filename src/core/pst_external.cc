@@ -208,8 +208,11 @@ Status ExternalPst::ReadPointsPage(PageId page, std::vector<Point>* out) const {
 Status ExternalPst::DescendToCorner(
     const TwoSidedQuery& q, std::vector<PathEnt>* path,
     SkeletalTreeReader<PstNodeRec>* reader) const {
+  const uint64_t limit = SkeletalWalkLimit<PstNodeRec>(dev_);
+  uint64_t steps = 0;
   NodeRef cur = root_;
   for (;;) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     PathEnt ent;
     ent.ref = cur;
     PC_RETURN_IF_ERROR(reader->Read(cur, &ent.rec));
@@ -315,11 +318,17 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     // exact-prefix batching, with the tails now being per-page minimum ys.
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     stop = false;
+    bool bad_src = false;
     auto scan_s_page = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
         if (sp.y < q.y_min) {
+          stop = true;
+          break;
+        }
+        if (sp.src >= sib_qual.size()) {
+          bad_src = true;
           stop = true;
           break;
         }
@@ -356,6 +365,11 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
         PC_RETURN_IF_ERROR(view.Load(dev_, p));
         scan_s_page(view.records());
       }
+    }
+    if (bad_src) {
+      return Status::Corruption(
+          "S-list record names a sibling ordinal beyond the cache's sibling "
+          "table");
     }
     for (size_t k = 0; k < cache.sibs.size(); ++k) {
       if (sib_qual[k] == cache.sibs[k].total) {
@@ -424,7 +438,10 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
                                        std::vector<Point>* out,
                                        QueryStats* stats) const {
   const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  const uint64_t limit = SkeletalWalkLimit<PstNodeRec>(dev_);
+  uint64_t steps = 0;
   while (!todo.empty()) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     NodeRef ref = todo.back();
     todo.pop_back();
     uint64_t nav_before = reader->pages_read();
@@ -459,7 +476,9 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
     } else {
       BlockPageView<Point> view;
       PageId page = rec.points_page;
+      uint64_t walked = 0;
       while (page != kInvalidPageId && all) {
+        PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
         PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t block_qual = 0;

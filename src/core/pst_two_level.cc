@@ -20,6 +20,8 @@ Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(
+      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size())));
   size_t old = out->size();
   out->resize(old + hdr.count);
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
@@ -33,6 +35,8 @@ Status ReadSrcBlock(PageDevice* dev, PageId page, std::vector<SrcPoint>* out) {
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(
+      CheckBlockPageHeader(hdr, RecordsPerPage<SrcPoint>(dev->page_size())));
   size_t old = out->size();
   out->resize(old + hdr.count);
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
@@ -234,8 +238,11 @@ Status TwoLevelPst::Build(std::vector<Point> points) {
 Status TwoLevelPst::DescendToCorner(
     const TwoSidedQuery& q, std::vector<PathEnt>* path,
     SkeletalTreeReader<TwoLevelNodeRec>* reader) const {
+  const uint64_t limit = SkeletalWalkLimit<TwoLevelNodeRec>(dev_);
+  uint64_t steps = 0;
   NodeRef cur = root_;
   for (;;) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     PathEnt ent;
     ent.ref = cur;
     PC_RETURN_IF_ERROR(reader->Read(cur, &ent.rec));
@@ -256,7 +263,9 @@ Status TwoLevelPst::ScanList(const TwoSidedQuery& q, PageId page, bool by_x,
   *qualified = 0;
   *hit_end = false;
   PageId cur = page;
+  uint64_t walked = 0;
   while (cur != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
     std::vector<Point> pts;
     PageId next;
     PC_RETURN_IF_ERROR(ReadPointBlock(dev_, cur, &pts, &next));
@@ -325,6 +334,11 @@ Status TwoLevelPst::QueryTwoSided(const TwoSidedQuery& q,
           break;
         }
         if (sp.src == self_skip) continue;
+        if (sp.src >= anc_qual.size()) {
+          return Status::Corruption(
+              "A-list record names an ancestor ordinal beyond the cache's "
+              "ancestor table");
+        }
         if (sp.y >= q.y_min) {
           out->push_back(sp.ToPoint());
           ++qual;
@@ -360,6 +374,11 @@ Status TwoLevelPst::QueryTwoSided(const TwoSidedQuery& q,
           stop = true;
           break;
         }
+        if (sp.src >= sib_qual.size()) {
+          return Status::Corruption(
+              "S-list record names a sibling ordinal beyond the cache's "
+              "sibling table");
+        }
         if (sp.x >= q.x_min) {
           out->push_back(sp.ToPoint());
           ++qual;
@@ -388,7 +407,10 @@ Status TwoLevelPst::QueryTwoSided(const TwoSidedQuery& q,
   }
 
   // Descendants of siblings: whole regions scanned via their Y-lists.
+  const uint64_t walk_limit = SkeletalWalkLimit<TwoLevelNodeRec>(dev_);
+  uint64_t walk_steps = 0;
   while (!descend_todo.empty()) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(walk_steps++, walk_limit));
     NodeRef ref = descend_todo.back();
     descend_todo.pop_back();
     uint64_t nav_before = reader.pages_read();
@@ -409,9 +431,14 @@ Status TwoLevelPst::QueryTwoSided(const TwoSidedQuery& q,
 
   // The corner region itself: second-level 2-sided query.
   {
+    const uint32_t ord = path[corner].rec.region_ord;
+    if (ord >= second_.size() || second_[ord] == nullptr) {
+      return Status::Corruption(
+          "corner node names a second-level ordinal beyond the opened "
+          "structures");
+    }
     QueryStats sub;
-    PC_RETURN_IF_ERROR(
-        second_[path[corner].rec.region_ord]->QueryTwoSided(q, out, &sub));
+    PC_RETURN_IF_ERROR(second_[ord]->QueryTwoSided(q, out, &sub));
     if (stats != nullptr) {
       sub.records_reported = 0;  // avoid double counting; set below
       *stats += sub;
@@ -542,10 +569,14 @@ Status TwoLevelPst::CheckStructure() const {
 
   auto read_list = [&](PageId head, std::vector<Point>* out) -> Status {
     PageId page = head;
+    uint64_t walked = 0;
     while (page != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
       PC_RETURN_IF_ERROR(dev_->Read(page, buf.data()));
       BlockPageHeader bh;
       std::memcpy(&bh, buf.data(), sizeof(bh));
+      PC_RETURN_IF_ERROR(
+          CheckBlockPageHeader(bh, RecordsPerPage<Point>(dev_->page_size())));
       size_t old = out->size();
       out->resize(old + bh.count);
       std::memcpy(out->data() + old, buf.data() + sizeof(bh),
@@ -555,7 +586,10 @@ Status TwoLevelPst::CheckStructure() const {
     return Status::OK();
   };
 
+  const uint64_t walk_limit = SkeletalWalkLimit<TwoLevelNodeRec>(dev_);
+  uint64_t walk_steps = 0;
   while (!stack.empty()) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(walk_steps++, walk_limit));
     Item it = stack.back();
     stack.pop_back();
     TwoLevelNodeRec rec;

@@ -15,6 +15,7 @@
 #define PATHCACHE_CORE_SKELETAL_H_
 
 #include <cstring>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,25 @@ template <typename Rec>
 constexpr uint32_t SkeletalNodesPerPage(uint32_t page_size) {
   static_assert(std::is_trivially_copyable_v<Rec>);
   return (page_size - sizeof(SkeletalPageHeader)) / sizeof(Rec);
+}
+
+/// Upper bound on nodes any legitimate skeletal-tree walk can visit: the
+/// device cannot hold more.  Walk loops (descents, work-list expansions)
+/// check their step count against this so corrupt child refs that form a
+/// cycle degrade to Corruption instead of an infinite loop.
+template <typename Rec>
+uint64_t SkeletalWalkLimit(const PageDevice* dev) {
+  return (dev->live_pages() + 1) *
+         static_cast<uint64_t>(SkeletalNodesPerPage<Rec>(dev->page_size()));
+}
+
+inline Status CheckSkeletalWalkStep(uint64_t steps, uint64_t limit) {
+  if (steps >= limit) {
+    return Status::Corruption(
+        "tree walk visited more nodes than the device can hold (corrupt "
+        "child refs forming a cycle)");
+  }
+  return Status::OK();
 }
 
 /// Result of writing a skeletal tree: the root ref and page accounting.
@@ -178,8 +198,17 @@ class SkeletalTreeReader {
     const std::byte* page = pin_.data();
     SkeletalPageHeader hdr;
     std::memcpy(&hdr, page, sizeof(hdr));
-    if (ref.slot >= hdr.count || hdr.rec_size != sizeof(Rec)) {
-      return Status::Corruption("bad skeletal slot");
+    if (hdr.rec_size != sizeof(Rec) ||
+        hdr.count > SkeletalNodesPerPage<Rec>(dev_->page_size())) {
+      return Status::Corruption("skeletal page " + std::to_string(ref.page) +
+                                ": bad header (count " +
+                                std::to_string(hdr.count) + ", rec_size " +
+                                std::to_string(hdr.rec_size) + ")");
+    }
+    if (ref.slot >= hdr.count) {
+      return Status::Corruption("skeletal page " + std::to_string(ref.page) +
+                                ": slot " + std::to_string(ref.slot) +
+                                " out of range");
     }
     std::memcpy(out, page + sizeof(hdr) + ref.slot * sizeof(Rec),
                 sizeof(Rec));
@@ -224,7 +253,8 @@ Status CollectSkeletalPageTree(PageDevice* dev, NodeRef root,
     PC_RETURN_IF_ERROR(dev->Read(pid, buf.data()));
     SkeletalPageHeader hdr;
     std::memcpy(&hdr, buf.data(), sizeof(hdr));
-    if (hdr.rec_size != sizeof(Rec)) {
+    if (hdr.rec_size != sizeof(Rec) ||
+        hdr.count > SkeletalNodesPerPage<Rec>(dev->page_size())) {
       return Status::Corruption("bad skeletal page in page-tree walk");
     }
     for (uint32_t s = 0; s < hdr.count; ++s) {

@@ -46,6 +46,8 @@ Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
   PC_RETURN_IF_ERROR(dev->Read(page, buf.data()));
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(
+      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size())));
   size_t old = out->size();
   out->resize(old + hdr.count);
   std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
@@ -296,8 +298,11 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
 Status ThreeSidedPst::DescendPath(
     int64_t x, int64_t y_min, bool right_path, std::vector<PathEnt>* path,
     SkeletalTreeReader<Pst3NodeRec>* reader) const {
+  const uint64_t limit = SkeletalWalkLimit<Pst3NodeRec>(dev_);
+  uint64_t steps = 0;
   NodeRef cur = root_;
   for (;;) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     PathEnt ent;
     ent.ref = cur;
     PC_RETURN_IF_ERROR(reader->Read(cur, &ent.rec));
@@ -334,6 +339,10 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
     Bump(stats, &QueryStats::wasteful);
     AHeader ah;
     std::memcpy(&ah, buf.data(), sizeof(ah));
+    if (sizeof(ah) + static_cast<uint64_t>(ah.pages) * (sizeof(PageId) + 8) >
+        dev_->page_size()) {
+      return Status::Corruption("A-cache header block directory exceeds page");
+    }
     std::vector<PageId> pages(ah.pages);
     std::vector<int64_t> min_x(ah.pages);
     std::memcpy(pages.data(), buf.data() + sizeof(ah),
@@ -426,6 +435,9 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
     Bump(stats, &QueryStats::wasteful);
     SIndexHeader sh;
     std::memcpy(&sh, buf.data(), sizeof(sh));
+    if (sizeof(sh) + 2ULL * sh.anchors * sizeof(PageId) > dev_->page_size()) {
+      return Status::Corruption("S-index anchor directory exceeds page");
+    }
     if (k >= sh.anchors) return Status::OK();
     PageId hdr_page;
     const std::byte* base = buf.data() + sizeof(sh);
@@ -443,11 +455,17 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
 
     std::vector<uint32_t> sib_qual(cache.sibs.size(), 0);
     bool stop = false;
+    bool bad_src = false;
     auto scan_s_block = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
       for (const SrcPoint& sp : recs) {
         if (sp.y < q.y_min) {
+          stop = true;
+          break;
+        }
+        if (sp.src >= sib_qual.size()) {
+          bad_src = true;
           stop = true;
           break;
         }
@@ -485,6 +503,11 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         scan_s_block(view.records());
       }
     }
+    if (bad_src) {
+      return Status::Corruption(
+          "anchored cache record names a sibling ordinal beyond the cache's "
+          "sibling table");
+    }
     for (size_t i = 0; i < cache.sibs.size(); ++i) {
       if (sib_qual[i] == cache.sibs[i].total) {
         if (cache.sibs[i].left.valid()) {
@@ -504,7 +527,10 @@ Status ThreeSidedPst::DescendDescendants(
     SkeletalTreeReader<Pst3NodeRec>* reader, std::vector<Point>* out,
     QueryStats* stats) const {
   const uint32_t pt_cap = RecordsPerPage<Point>(dev_->page_size());
+  const uint64_t limit = SkeletalWalkLimit<Pst3NodeRec>(dev_);
+  uint64_t steps = 0;
   while (!todo.empty()) {
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(steps++, limit));
     NodeRef ref = todo.back();
     todo.pop_back();
     uint64_t nav_before = reader->pages_read();
@@ -536,7 +562,9 @@ Status ThreeSidedPst::DescendDescendants(
       // Early-stopping scan: records filtered in place via a pinned frame.
       BlockPageView<Point> view;
       PageId page = rec.points_page;
+      uint64_t walked = 0;
       while (page != kInvalidPageId && all) {
+        PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
         PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t qual = 0;
@@ -584,7 +612,9 @@ Status ThreeSidedPst::QueryUncached(const ThreeSidedQuery& q,
       }
     } else {
       PageId page = rec.points_page;
+      uint64_t walked = 0;
       while (page != kInvalidPageId) {
+        PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
         PageId next;
         PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
         Bump(stats, role);
@@ -631,7 +661,9 @@ Status ThreeSidedPst::QueryUncached(const ThreeSidedQuery& q,
       }
     } else {
       PageId page = rec.points_page;
+      uint64_t walked = 0;
       while (page != kInvalidPageId) {
+        PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
         PageId next;
         PC_RETURN_IF_ERROR(ReadPointBlock(dev_, page, &pts, &next));
         Bump(stats, &QueryStats::sibling);
@@ -783,6 +815,312 @@ Status ThreeSidedPst::Open(PageId manifest) {
   return Status::OK();
 }
 
+Status ThreeSidedPst::CheckStructure() const {
+  if (!root_.valid()) {
+    return n_ == 0 ? Status::OK()
+                   : Status::Corruption("no root for non-empty structure");
+  }
+  SkeletalTreeReader<Pst3NodeRec> reader(dev_);
+  const uint32_t src_cap = RecordsPerPage<SrcPoint>(dev_->page_size());
+  const uint64_t walk_limit = SkeletalWalkLimit<Pst3NodeRec>(dev_);
+  uint64_t walk_steps = 0;
+
+  // DFS with an explicit unwind marker so the root-to-node chain is in hand
+  // at every visit — the caches replicate path-dependent state (ancestor
+  // counts, sibling refs) that can only be validated against the live path.
+  struct ChainEnt {
+    Pst3NodeRec rec;
+    int8_t side;  // 0 = left child of its parent, 1 = right, -1 = root
+  };
+  struct Item {
+    NodeRef ref;
+    int8_t side = -1;
+    int64_t parent_y_min = INT64_MAX;
+    bool has_x_lo = false, has_x_hi = false;
+    int64_t x_lo = 0, x_hi = 0;  // composite bounds via (x, id)
+    uint64_t x_lo_id = 0, x_hi_id = 0;
+    bool unwind = false;
+  };
+  std::vector<ChainEnt> chain;
+  std::vector<Item> stack;
+  stack.push_back(Item{root_});
+  uint64_t total = 0;
+  std::vector<std::byte> buf(dev_->page_size());
+
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.unwind) {
+      chain.pop_back();
+      continue;
+    }
+    PC_RETURN_IF_ERROR(CheckSkeletalWalkStep(walk_steps++, walk_limit));
+
+    Pst3NodeRec rec;
+    PC_RETURN_IF_ERROR(reader.Read(it.ref, &rec));
+    const uint32_t depth = static_cast<uint32_t>(chain.size());
+    if (rec.depth != depth) return Status::Corruption("depth mismatch");
+    chain.push_back(ChainEnt{rec, it.side});
+    {
+      Item unwind;
+      unwind.unwind = true;
+      stack.push_back(unwind);
+    }
+
+    // Points chain: count, descending-(y,id) order, range and heap checks.
+    std::vector<Point> pts;
+    PC_RETURN_IF_ERROR(ReadBlockChain<Point>(dev_, rec.points_page, &pts));
+    if (pts.size() != rec.count) {
+      return Status::Corruption("points chain count mismatch");
+    }
+    if (pts.empty()) return Status::Corruption("empty region node");
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (i > 0 && !GreaterByY(pts[i - 1], pts[i])) {
+        return Status::Corruption("points not y-descending");
+      }
+      if (pts[i].y > it.parent_y_min) {
+        return Status::Corruption("heap order violated");
+      }
+      auto key_le = [](int64_t ax, uint64_t aid, int64_t bx, uint64_t bid) {
+        if (ax != bx) return ax < bx;
+        return aid <= bid;
+      };
+      if (it.has_x_lo && key_le(pts[i].x, pts[i].id, it.x_lo, it.x_lo_id)) {
+        return Status::Corruption("point left of subtree x-range");
+      }
+      if (it.has_x_hi && !key_le(pts[i].x, pts[i].id, it.x_hi, it.x_hi_id)) {
+        return Status::Corruption("point right of subtree x-range");
+      }
+    }
+    if (rec.y_min != pts.back().y) return Status::Corruption("y_min stale");
+    total += pts.size();
+    const bool internal = rec.left.valid() || rec.right.valid();
+    if (internal && pts.size() != region_size_) {
+      return Status::Corruption("internal region not full");
+    }
+
+    if (!opts_.enable_path_caching) {
+      if (rec.a_header != kInvalidPageId || rec.s_index != kInvalidPageId) {
+        return Status::Corruption("cache pages on a caching-off structure");
+      }
+    } else {
+      if (rec.a_header == kInvalidPageId || rec.s_index == kInvalidPageId) {
+        return Status::Corruption("missing cache pages");
+      }
+      const uint32_t seg_start = (depth / seg_len_) * seg_len_;
+
+      // --- A-cache: counts per segment-local ancestor, ascending-(x, id)
+      // order, min-x directory, optional max-x trailer. ---
+      PC_RETURN_IF_ERROR(dev_->Read(rec.a_header, buf.data()));
+      AHeader ah;
+      std::memcpy(&ah, buf.data(), sizeof(ah));
+      if (sizeof(ah) + ah.pages * (sizeof(PageId) + 8ULL) >
+          dev_->page_size()) {
+        return Status::Corruption("A-cache block directory exceeds page");
+      }
+      uint64_t expect_count = 0;
+      for (uint32_t j = seg_start; j <= depth; ++j) {
+        expect_count += chain[j].rec.count;
+      }
+      if (ah.count != expect_count) {
+        return Status::Corruption("A-cache count mismatch");
+      }
+      if (ah.pages != CeilDiv(ah.count, src_cap)) {
+        return Status::Corruption("A-cache block directory size mismatch");
+      }
+      std::vector<PageId> a_pages(ah.pages);
+      std::memcpy(a_pages.data(), buf.data() + sizeof(ah),
+                  ah.pages * sizeof(PageId));
+      std::vector<SrcPoint> a_recs;
+      {
+        BlockListCursor<SrcPoint> cur(dev_,
+                                      std::span<const PageId>(a_pages));
+        while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(&a_recs));
+      }
+      if (a_recs.size() != ah.count) {
+        return Status::Corruption("A-cache record count mismatch");
+      }
+      std::vector<uint64_t> per_src(depth - seg_start + 1, 0);
+      for (size_t i = 0; i < a_recs.size(); ++i) {
+        if (i > 0 && LessByXId(a_recs[i], a_recs[i - 1])) {
+          return Status::Corruption("A-cache not x-ascending");
+        }
+        if (a_recs[i].src >= per_src.size()) {
+          return Status::Corruption("A-cache source ordinal out of range");
+        }
+        ++per_src[a_recs[i].src];
+      }
+      for (uint32_t j = seg_start; j <= depth; ++j) {
+        if (per_src[j - seg_start] != chain[j].rec.count) {
+          return Status::Corruption("A-cache per-ancestor count mismatch");
+        }
+      }
+      const std::byte* mn = buf.data() + sizeof(ah) +
+                            ah.pages * sizeof(PageId);
+      for (uint32_t bi = 0; bi < ah.pages; ++bi) {
+        int64_t v;
+        std::memcpy(&v, mn + bi * 8, 8);
+        if (v != a_recs[static_cast<size_t>(bi) * src_cap].x) {
+          return Status::Corruption("A-cache min-x directory stale");
+        }
+      }
+      const uint64_t used = sizeof(ah) + ah.pages * (sizeof(PageId) + 8ULL);
+      if (used + 8 + ah.pages * 8ULL <= dev_->page_size()) {
+        const std::byte* tr = buf.data() + used;
+        uint64_t magic;
+        std::memcpy(&magic, tr, 8);
+        if (magic != kAMaxTrailerMagic) {
+          return Status::Corruption("A-cache max-x trailer missing");
+        }
+        for (uint32_t bi = 0; bi < ah.pages; ++bi) {
+          const size_t last = std::min<size_t>(
+              a_recs.size(), (static_cast<size_t>(bi) + 1) * src_cap);
+          int64_t v;
+          std::memcpy(&v, tr + 8 + bi * 8, 8);
+          if (v != a_recs[last - 1].x) {
+            return Status::Corruption("A-cache max-x trailer stale");
+          }
+        }
+      }
+
+      // --- S-index: one anchored sibling cache per (anchor, side), checked
+      // against the actual siblings hanging off the live path. ---
+      PC_RETURN_IF_ERROR(dev_->Read(rec.s_index, buf.data()));
+      SIndexHeader sh;
+      std::memcpy(&sh, buf.data(), sizeof(sh));
+      if (sh.seg_start != seg_start) {
+        return Status::Corruption("S-index segment start mismatch");
+      }
+      const uint32_t anchors = depth - seg_start + 1;
+      if (sh.anchors != anchors) {
+        return Status::Corruption("S-index anchor count mismatch");
+      }
+      if (sizeof(sh) + 2ULL * anchors * sizeof(PageId) > dev_->page_size()) {
+        return Status::Corruption("S-index anchor directory exceeds page");
+      }
+      std::vector<PageId> sr(anchors), sl(anchors);
+      std::memcpy(sr.data(), buf.data() + sizeof(sh),
+                  anchors * sizeof(PageId));
+      std::memcpy(sl.data(),
+                  buf.data() + sizeof(sh) + anchors * sizeof(PageId),
+                  anchors * sizeof(PageId));
+      for (uint32_t k = 0; k < anchors; ++k) {
+        for (int side = 0; side < 2; ++side) {
+          std::vector<NodeRef> expect_sibs;
+          for (uint32_t j = std::max<uint32_t>(1, seg_start + k); j <= depth;
+               ++j) {
+            NodeRef sib = kNullNodeRef;
+            if (side == 0 && chain[j].side == 0) {
+              sib = chain[j - 1].rec.right;
+            } else if (side == 1 && chain[j].side == 1) {
+              sib = chain[j - 1].rec.left;
+            }
+            if (sib.valid()) expect_sibs.push_back(sib);
+          }
+          const PageId hp = (side == 0 ? sr : sl)[k];
+          if (expect_sibs.empty()) {
+            if (hp != kInvalidPageId) {
+              return Status::Corruption(
+                  "anchored sibling cache present with no siblings in scope");
+            }
+            continue;
+          }
+          if (hp == kInvalidPageId) {
+            return Status::Corruption("anchored sibling cache missing");
+          }
+          NodeCache cache;
+          PC_RETURN_IF_ERROR(ReadCacheHeader(dev_, hp, &cache));
+          if (cache.sibs.size() != expect_sibs.size()) {
+            return Status::Corruption(
+                "anchored cache sibling directory size mismatch");
+          }
+          uint64_t s_sum = 0;
+          for (size_t ord = 0; ord < expect_sibs.size(); ++ord) {
+            Pst3NodeRec srec;
+            PC_RETURN_IF_ERROR(reader.Read(expect_sibs[ord], &srec));
+            const SibInfo& si = cache.sibs[ord];
+            if (si.left != srec.left || si.right != srec.right) {
+              return Status::Corruption("anchored cache child refs stale");
+            }
+            if (si.total != srec.count || si.contributed != si.total) {
+              return Status::Corruption(
+                  "anchored cache sibling counts mismatch");
+            }
+            s_sum += si.contributed;
+          }
+          if (cache.s_count != s_sum) {
+            return Status::Corruption(
+                "anchored cache contributed sum mismatch");
+          }
+          std::vector<SrcPoint> s_recs;
+          {
+            BlockListCursor<SrcPoint> cur(
+                dev_, std::span<const PageId>(cache.s_pages));
+            while (!cur.done()) PC_RETURN_IF_ERROR(cur.NextBlock(&s_recs));
+          }
+          if (s_recs.size() != cache.s_count) {
+            return Status::Corruption("anchored cache record count mismatch");
+          }
+          std::vector<uint64_t> per(cache.sibs.size(), 0);
+          for (size_t i = 0; i < s_recs.size(); ++i) {
+            if (i > 0 && GreaterByY(s_recs[i].ToPoint(),
+                                    s_recs[i - 1].ToPoint())) {
+              return Status::Corruption("anchored cache not y-descending");
+            }
+            if (s_recs[i].src >= per.size()) {
+              return Status::Corruption(
+                  "anchored cache source ordinal out of range");
+            }
+            ++per[s_recs[i].src];
+          }
+          for (size_t ord = 0; ord < per.size(); ++ord) {
+            if (per[ord] != cache.sibs[ord].contributed) {
+              return Status::Corruption(
+                  "anchored cache per-sibling count mismatch");
+            }
+          }
+          if (!cache.s_tails.empty()) {
+            if (cache.s_tails.size() != cache.s_pages.size()) {
+              return Status::Corruption(
+                  "anchored cache tail directory size mismatch");
+            }
+            for (size_t pg = 0; pg < cache.s_pages.size(); ++pg) {
+              const size_t last = std::min<size_t>(
+                  s_recs.size(), (pg + 1) * static_cast<size_t>(src_cap));
+              if (cache.s_tails[pg] != s_recs[last - 1].y) {
+                return Status::Corruption("anchored cache tail key stale");
+              }
+            }
+          }
+        }
+      }
+    }
+
+    if (rec.left.valid()) {
+      Item child = it;
+      child.ref = rec.left;
+      child.side = 0;
+      child.parent_y_min = rec.y_min;
+      child.has_x_hi = true;
+      child.x_hi = rec.split_x;
+      child.x_hi_id = rec.split_id;
+      stack.push_back(child);
+    }
+    if (rec.right.valid()) {
+      Item child = it;
+      child.ref = rec.right;
+      child.side = 1;
+      child.parent_y_min = rec.y_min;
+      child.has_x_lo = true;
+      child.x_lo = rec.split_x;
+      child.x_lo_id = rec.split_id;
+      stack.push_back(child);
+    }
+  }
+  if (total != n_) return Status::Corruption("total point count mismatch");
+  return Status::OK();
+}
+
 Status ThreeSidedPst::Cluster() {
   if (!root_.valid()) return Status::OK();
 
@@ -831,6 +1169,11 @@ Status ThreeSidedPst::Cluster() {
         PC_RETURN_IF_ERROR(dev_->Read(rec.a_header, aux.data()));
         AHeader ah;
         std::memcpy(&ah, aux.data(), sizeof(ah));
+        if (sizeof(ah) + static_cast<uint64_t>(ah.pages) *
+                             (sizeof(PageId) + 8) > dev_->page_size()) {
+          return Status::Corruption(
+              "A-cache header block directory exceeds page");
+        }
         std::vector<PageId> a_chain(ah.pages);
         std::memcpy(a_chain.data(), aux.data() + sizeof(ah),
                     ah.pages * sizeof(PageId));
@@ -845,6 +1188,10 @@ Status ThreeSidedPst::Cluster() {
         PC_RETURN_IF_ERROR(dev_->Read(rec.s_index, aux.data()));
         SIndexHeader sh;
         std::memcpy(&sh, aux.data(), sizeof(sh));
+        if (sizeof(sh) + 2ULL * sh.anchors * sizeof(PageId) >
+            dev_->page_size()) {
+          return Status::Corruption("S-index anchor directory exceeds page");
+        }
         std::vector<PageId> anchor_pages(2ULL * sh.anchors);
         std::memcpy(anchor_pages.data(), aux.data() + sizeof(sh),
                     anchor_pages.size() * sizeof(PageId));

@@ -89,6 +89,14 @@ class ThreeSidedPst {
   /// a finished build BEFORE Save().
   Status Cluster();
 
+  /// Exhaustively validates every on-disk invariant: skeletal shape (depth,
+  /// x-partition, heap order, full internal regions), the ascending-x
+  /// A-caches (per-ancestor counts, min/max-x directories), and every
+  /// anchored sibling cache (directory refs/counts against the actual
+  /// siblings, descending-y order, tail keys).  Corruption on the first
+  /// violation; the fsck hook behind VerifyStore.
+  Status CheckStructure() const;
+
   uint64_t size() const { return n_; }
   uint32_t segment_len() const { return seg_len_; }
   StorageBreakdown storage() const { return storage_; }

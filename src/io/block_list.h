@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -47,6 +48,36 @@ template <typename T>
 constexpr uint32_t RecordsPerPage(uint32_t page_size) {
   static_assert(std::is_trivially_copyable_v<T>);
   return (page_size - sizeof(BlockPageHeader)) / sizeof(T);
+}
+
+/// Validates a block page header read from untrusted storage: the record
+/// count must fit the page.  (A `next` pointer cannot be validated locally —
+/// chain walkers bound their step count by the device's live pages instead,
+/// so a corrupt pointer that forms a cycle degrades to Corruption rather
+/// than an infinite loop.)
+inline Status CheckBlockPageHeader(const BlockPageHeader& hdr,
+                                   uint32_t records_per_page) {
+  if (hdr.count > records_per_page) {
+    return Status::Corruption(
+        "block page record count " + std::to_string(hdr.count) +
+        " exceeds page capacity " + std::to_string(records_per_page));
+  }
+  return Status::OK();
+}
+
+/// Returns Corruption once a chain walk has consumed more pages than the
+/// device held when the walk started — the only way that happens is a
+/// corrupt `next` pointer forming a cycle.  Capture `device_live_pages`
+/// before the walk (it may shrink mid-walk if the walker frees pages).
+inline Status CheckChainStep(uint64_t pages_walked,
+                             uint64_t device_live_pages) {
+  if (pages_walked >= device_live_pages) {
+    return Status::Corruption(
+        "block chain longer than the device's " +
+        std::to_string(device_live_pages) + " live pages (corrupt next "
+        "pointer forming a cycle)");
+  }
+  return Status::OK();
 }
 
 /// Result of building a list: the scan handle plus the page directory.
@@ -106,7 +137,10 @@ Result<BlockListInfo> BuildBlockList(PageDevice* dev,
 inline Status CollectChainPages(PageDevice* dev, PageId head,
                                 std::vector<PageId>* out) {
   std::vector<std::byte> buf(dev->page_size());
+  const uint64_t limit = dev->live_pages();
+  uint64_t walked = 0;
   for (PageId id = head; id != kInvalidPageId;) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, limit));
     out->push_back(id);
     PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
     BlockPageHeader hdr;
@@ -116,11 +150,47 @@ inline Status CollectChainPages(PageDevice* dev, PageId head,
   return Status::OK();
 }
 
+/// Reads every record of the chain starting at `head` with the full set of
+/// corruption guards (bounded walk, per-page header validation), appending
+/// to `out`.  `second_page`, when non-null, receives the id of the chain's
+/// second page (kInvalidPageId for chains of <= 1 page) — the continuation
+/// pointer the cache builders persist.  Verification passes use this where
+/// query paths use BlockListCursor.
+template <typename T>
+Status ReadBlockChain(PageDevice* dev, PageId head, std::vector<T>* out,
+                      PageId* second_page = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (second_page != nullptr) *second_page = kInvalidPageId;
+  const uint32_t cap = RecordsPerPage<T>(dev->page_size());
+  std::vector<std::byte> buf(dev->page_size());
+  const uint64_t limit = dev->live_pages();
+  uint64_t walked = 0;
+  for (PageId id = head; id != kInvalidPageId;) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, limit));
+    PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
+    BlockPageHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, cap));
+    const size_t old = out->size();
+    out->resize(old + hdr.count);
+    if (hdr.count != 0) {  // empty vector data() is null; memcpy forbids it
+      std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
+                  hdr.count * sizeof(T));
+    }
+    if (walked == 1 && second_page != nullptr) *second_page = hdr.next;
+    id = hdr.next;
+  }
+  return Status::OK();
+}
+
 /// Frees every page of a list built by BuildBlockList.
 inline Status FreeBlockList(PageDevice* dev, const BlockListRef& ref) {
   PageId id = ref.head;
   std::vector<std::byte> buf(dev->page_size());
+  const uint64_t limit = dev->live_pages();
+  uint64_t walked = 0;
   while (id != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(CheckChainStep(walked++, limit));
     PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
     BlockPageHeader hdr;
     std::memcpy(&hdr, buf.data(), sizeof(hdr));
@@ -140,11 +210,13 @@ class BlockPageView {
  public:
   static_assert(std::is_trivially_copyable_v<T>);
 
-  /// Loads `id`, replacing any previously viewed page.
+  /// Loads `id`, replacing any previously viewed page.  Rejects a page
+  /// whose header claims more records than fit, so records() can never span
+  /// past the frame.
   Status Load(PageDevice* dev, PageId id) {
     PC_RETURN_IF_ERROR(pin_.Load(dev, id));
     std::memcpy(&hdr_, pin_.data(), sizeof(hdr_));
-    return Status::OK();
+    return CheckBlockPageHeader(hdr_, RecordsPerPage<T>(dev->page_size()));
   }
 
   const BlockPageHeader& header() const { return hdr_; }
@@ -212,6 +284,11 @@ class BlockListCursor {
   /// Appends the next page's records to `out`; no-op once done().
   Status NextBlock(std::vector<T>* out) {
     if (done()) return Status::OK();
+    // In chain mode a corrupt `next` pointer can form a cycle; no walk can
+    // legitimately visit more pages than the device holds.
+    if (dir_.empty()) {
+      PC_RETURN_IF_ERROR(CheckChainStep(blocks_read_, dev_->live_pages()));
+    }
     const std::byte* page = nullptr;
     const uint32_t psz = dev_->page_size();
     if (batch_pos_ < batch_cnt_) {
@@ -243,9 +320,13 @@ class BlockListCursor {
     ++blocks_read_;
     BlockPageHeader hdr;
     std::memcpy(&hdr, page, sizeof(hdr));
+    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, RecordsPerPage<T>(psz)));
     const size_t old = out->size();
     out->resize(old + hdr.count);
-    std::memcpy(out->data() + old, page + sizeof(hdr), hdr.count * sizeof(T));
+    if (hdr.count != 0) {  // empty vector data() is null; memcpy forbids it
+      std::memcpy(out->data() + old, page + sizeof(hdr),
+                  hdr.count * sizeof(T));
+    }
     next_ = hdr.next;
     return Status::OK();
   }

@@ -1,0 +1,66 @@
+#include "io/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace pathcache {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  // t[0] is the classic byte-at-a-time table; t[1..7] extend it so eight
+  // input bytes fold into the register with eight table lookups (slice-by-8).
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tb.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tb.t[0][crc & 0xFF] ^ (crc >> 8);
+      tb.t[s][i] = crc;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = state;
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables.t[7][lo & 0xFF] ^ kTables.t[6][(lo >> 8) & 0xFF] ^
+          kTables.t[5][(lo >> 16) & 0xFF] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFF] ^ kTables.t[2][(hi >> 8) & 0xFF] ^
+          kTables.t[1][(hi >> 16) & 0xFF] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace pathcache

@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// persisted page.
+//
+// Chosen over CRC32 (IEEE) for its strictly better Hamming-distance profile
+// at 4 KiB block lengths: it detects all 1- and 2-bit errors and all burst
+// errors up to 32 bits at the page sizes this library uses, which is exactly
+// the fault model ChecksumPageDevice defends against.  Software slice-by-8
+// implementation (no SSE4.2 dependency) — ~1 GB/s, far above the simulated
+// device's transfer rates, so checksum cost never dominates an experiment.
+
+#ifndef PATHCACHE_IO_CRC32C_H_
+#define PATHCACHE_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pathcache {
+
+/// Incremental interface: `state = Crc32cInit()`, fold bytes with
+/// `Crc32cUpdate`, then `Crc32cFinish(state)` yields the checksum.  The
+/// intermediate state is the un-inverted CRC register, not a valid checksum.
+uint32_t Crc32cInit();
+uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t n);
+uint32_t Crc32cFinish(uint32_t state);
+
+/// One-shot convenience over the incremental interface.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cFinish(Crc32cUpdate(Crc32cInit(), data, n));
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_CRC32C_H_

@@ -1,0 +1,140 @@
+#include "io/fault_page_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace pathcache {
+namespace {
+
+std::string Ordinal(const char* kind, uint64_t nth) {
+  return std::string(kind) + " #" + std::to_string(nth);
+}
+
+}  // namespace
+
+void FaultPageDevice::FailReadAt(uint64_t nth, bool persistent) {
+  read_fails_.push_back({nth, persistent});
+}
+
+void FaultPageDevice::FailWriteAt(uint64_t nth, bool persistent) {
+  write_fails_.push_back({nth, persistent});
+}
+
+void FaultPageDevice::FlipBitOnReadAt(uint64_t nth, uint64_t bit) {
+  read_flips_.emplace_back(nth, bit);
+}
+
+void FaultPageDevice::TearWriteAt(uint64_t nth, uint32_t keep_bytes) {
+  tears_.emplace_back(nth, keep_bytes);
+}
+
+void FaultPageDevice::CrashAtWrite(uint64_t nth) { crash_at_ = nth; }
+
+bool FaultPageDevice::crashed() const { return crashed_; }
+
+void FaultPageDevice::ClearFaults() {
+  read_fails_.clear();
+  write_fails_.clear();
+  read_flips_.clear();
+  tears_.clear();
+  crash_at_.reset();
+  crashed_ = false;
+  fault_stats_ = FaultStats{};
+  reads_seen_ = 0;
+  writes_seen_ = 0;
+}
+
+Status FaultPageDevice::CorruptStoredBit(PageId id, uint64_t bit) {
+  const uint32_t psz = inner_->page_size();
+  if (bit >= 8ULL * psz) {
+    return Status::InvalidArgument("bit index beyond page");
+  }
+  std::vector<std::byte> tmp(psz);
+  PC_RETURN_IF_ERROR(inner_->Read(id, tmp.data()));
+  tmp[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  PC_RETURN_IF_ERROR(inner_->Write(id, tmp.data()));
+  ++fault_stats_.bit_flips;
+  return Status::OK();
+}
+
+Result<PageId> FaultPageDevice::Allocate() {
+  PC_ASSIGN_OR_RETURN(PageId id, inner_->Allocate());
+  ++stats_.allocs;
+  return id;
+}
+
+Status FaultPageDevice::Free(PageId id) {
+  PC_RETURN_IF_ERROR(inner_->Free(id));
+  ++stats_.frees;
+  return Status::OK();
+}
+
+Status FaultPageDevice::ReadImpl(PageId id, std::byte* buf) {
+  const uint64_t nth = reads_seen_++;
+  for (const OrdinalFault& f : read_fails_) {
+    if (nth == f.at || (f.persistent && nth > f.at)) {
+      ++fault_stats_.read_errors;
+      return Status::IoError("injected fault: " + Ordinal("read", nth) +
+                             (f.persistent ? " (persistent)" : " (transient)"));
+    }
+  }
+  PC_RETURN_IF_ERROR(inner_->Read(id, buf));
+  for (const auto& [at, bit] : read_flips_) {
+    if (nth == at && bit < 8ULL * page_size()) {
+      buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      ++fault_stats_.bit_flips;
+    }
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FaultPageDevice::Read(PageId id, std::byte* buf) {
+  return ReadImpl(id, buf);
+}
+
+Status FaultPageDevice::ReadBatch(std::span<const PageId> ids,
+                                  std::byte* bufs) {
+  // Per-page so ordinal faults land on individual pages of the batch; the
+  // cost model already counts a batch as ids.size() reads.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PC_RETURN_IF_ERROR(ReadImpl(ids[i], bufs + i * page_size()));
+  }
+  if (!ids.empty()) ++stats_.batch_reads;
+  return Status::OK();
+}
+
+Status FaultPageDevice::Write(PageId id, const std::byte* buf) {
+  const uint64_t nth = writes_seen_++;
+  for (const OrdinalFault& f : write_fails_) {
+    if (nth == f.at || (f.persistent && nth > f.at)) {
+      ++fault_stats_.write_errors;
+      return Status::IoError("injected fault: " + Ordinal("write", nth) +
+                             (f.persistent ? " (persistent)" : " (transient)"));
+    }
+  }
+  if (crash_at_ && nth >= *crash_at_) {
+    crashed_ = true;
+    ++fault_stats_.dropped_writes;
+    ++stats_.writes;  // the caller believes this write happened
+    return Status::OK();
+  }
+  for (const auto& [at, keep] : tears_) {
+    if (nth == at) {
+      const uint32_t psz = page_size();
+      std::vector<std::byte> torn(psz);
+      PC_RETURN_IF_ERROR(inner_->Read(id, torn.data()));
+      std::memcpy(torn.data(), buf, std::min<uint64_t>(keep, psz));
+      PC_RETURN_IF_ERROR(inner_->Write(id, torn.data()));
+      ++fault_stats_.torn_writes;
+      ++stats_.writes;
+      return Status::OK();
+    }
+  }
+  PC_RETURN_IF_ERROR(inner_->Write(id, buf));
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace pathcache

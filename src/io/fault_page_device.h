@@ -1,0 +1,136 @@
+// FaultPageDevice: a PageDevice decorator with a scriptable fault schedule.
+//
+// Robustness work needs deterministic disks that misbehave on cue.  This
+// decorator sits anywhere in a device stack and injects, at exact operation
+// ordinals:
+//
+//   * read/write failures   — transient (that one operation) or persistent
+//     (that operation and every later one) IOError;
+//   * bit flips             — corrupt one bit of the buffer returned by the
+//     scheduled Read, modeling a media or bus error;
+//   * torn writes           — persist only the first K bytes of the
+//     scheduled Write (the page keeps its old tail), reporting success;
+//   * crash point           — from the Nth write onward, silently drop
+//     every Write while still reporting success, modeling power loss with
+//     a volatile write-back cache.
+//
+// Ordinals are 0-based and counted per operation kind from construction (or
+// the last ClearFaults()).  Everything injected is tallied in FaultStats so
+// tests can assert the schedule actually fired.
+//
+// Pin() is NotSupported by design: a pinned frame would bypass the fault
+// path, so callers are forced through Read() where faults apply (PagePin
+// falls back automatically).  IoStats counts logical operations the caller
+// believes happened — a dropped or torn write still counts as a write.
+
+#ifndef PATHCACHE_IO_FAULT_PAGE_DEVICE_H_
+#define PATHCACHE_IO_FAULT_PAGE_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "io/page_device.h"
+
+namespace pathcache {
+
+/// Tally of injected faults; every schedule entry that fires bumps exactly
+/// one counter.
+struct FaultStats {
+  uint64_t read_errors = 0;
+  uint64_t write_errors = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_writes = 0;
+  uint64_t dropped_writes = 0;
+
+  uint64_t total() const {
+    return read_errors + write_errors + bit_flips + torn_writes +
+           dropped_writes;
+  }
+};
+
+class FaultPageDevice final : public PageDevice {
+ public:
+  /// Does not own `inner`.  With no schedule armed the decorator is a
+  /// transparent pass-through (plus its own operation counters).
+  explicit FaultPageDevice(PageDevice* inner) : inner_(inner) {}
+
+  // --- Fault schedule -----------------------------------------------------
+
+  /// Fails the read with ordinal `nth` (and, when `persistent`, every read
+  /// after it) with IOError.
+  void FailReadAt(uint64_t nth, bool persistent = false);
+
+  /// Fails the write with ordinal `nth` (and, when `persistent`, every
+  /// write after it) with IOError.  A failed write does not reach `inner`.
+  void FailWriteAt(uint64_t nth, bool persistent = false);
+
+  /// Flips bit `bit` (0 <= bit < 8 * page_size()) of the buffer returned by
+  /// the read with ordinal `nth`.  The stored page is untouched.  May be
+  /// called repeatedly to schedule several flips.
+  void FlipBitOnReadAt(uint64_t nth, uint64_t bit);
+
+  /// The write with ordinal `nth` persists only its first `keep_bytes`
+  /// bytes; the rest of the page keeps its previous contents.  Reported as
+  /// success to the caller.
+  void TearWriteAt(uint64_t nth, uint32_t keep_bytes);
+
+  /// From write ordinal `nth` onward every Write is silently dropped
+  /// (reported as success, nothing persisted), modeling a crash: all state
+  /// the caller believed durable after the trigger is gone on "reboot".
+  void CrashAtWrite(uint64_t nth);
+
+  /// True once the crash point has triggered (some write was dropped).
+  bool crashed() const;
+
+  /// Flips one bit of the page as stored in `inner`, modeling at-rest media
+  /// decay.  Takes effect immediately; not counted in IoStats (the physical
+  /// Read+Write used to patch the page bypass this decorator's counters)
+  /// but tallied as a bit flip in fault_stats().
+  Status CorruptStoredBit(PageId id, uint64_t bit);
+
+  /// Clears the entire schedule and fault tally; operation ordinals restart
+  /// at zero.  IoStats is left alone (see ResetStats()).
+  void ClearFaults();
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  // --- PageDevice ---------------------------------------------------------
+
+  uint32_t page_size() const override { return inner_->page_size(); }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::byte* buf) override;
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
+  Status Write(PageId id, const std::byte* buf) override;
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+  uint64_t live_pages() const override { return inner_->live_pages(); }
+
+ private:
+  struct OrdinalFault {
+    uint64_t at = 0;
+    bool persistent = false;
+  };
+
+  Status ReadImpl(PageId id, std::byte* buf);
+
+  PageDevice* inner_;
+  IoStats stats_;
+  FaultStats fault_stats_;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+
+  std::vector<OrdinalFault> read_fails_;
+  std::vector<OrdinalFault> write_fails_;
+  std::vector<std::pair<uint64_t, uint64_t>> read_flips_;  // (ordinal, bit)
+  std::vector<std::pair<uint64_t, uint32_t>> tears_;  // (ordinal, keep_bytes)
+  std::optional<uint64_t> crash_at_;
+  bool crashed_ = false;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_FAULT_PAGE_DEVICE_H_

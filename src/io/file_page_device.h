@@ -28,7 +28,11 @@ class FilePageDevice final : public PageDevice {
   /// Re-opens an existing store without truncation.  Every page below the
   /// file's size is treated as live (the free list is not persisted), so
   /// reopening is intended for stores whose structures were saved via their
-  /// manifests rather than partially freed.
+  /// manifests rather than partially freed.  A file whose size is not a
+  /// multiple of `page_size` is rejected with Corruption: a partial tail
+  /// page means the store was truncated mid-write (or the wrong page_size
+  /// was passed), and treating it as live would surface later as a baffling
+  /// short-read error instead of at open time.
   static Result<std::unique_ptr<FilePageDevice>> Open(
       const std::string& path, uint32_t page_size = kDefaultPageSize);
 

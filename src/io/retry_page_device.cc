@@ -1,0 +1,86 @@
+#include "io/retry_page_device.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace pathcache {
+
+void RetryPageDevice::Backoff(uint32_t attempt) const {
+  if (opts_.base_backoff_us == 0) return;
+  const uint64_t us = std::min<uint64_t>(
+      static_cast<uint64_t>(opts_.base_backoff_us) << attempt,
+      opts_.max_backoff_us);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+template <typename Op>
+Status RetryPageDevice::RetryLoop(const Op& op) {
+  const uint32_t attempts = std::max<uint32_t>(1, opts_.max_attempts);
+  Status last;
+  for (uint32_t k = 0; k < attempts; ++k) {
+    if (k > 0) {
+      Backoff(k - 1);
+      ++retries_;
+    }
+    last = op();
+    if (last.ok()) {
+      if (k > 0) ++recovered_;
+      return last;
+    }
+    if (last.code() != StatusCode::kIoError) return last;  // deterministic
+  }
+  ++exhausted_;
+  return last;
+}
+
+Result<PageId> RetryPageDevice::Allocate() {
+  PageId id = kInvalidPageId;
+  PC_RETURN_IF_ERROR(RetryLoop([&] {
+    Result<PageId> r = inner_->Allocate();
+    if (r.ok()) id = r.value();
+    return r.ToStatus();
+  }));
+  ++stats_.allocs;
+  return id;
+}
+
+Status RetryPageDevice::Free(PageId id) {
+  PC_RETURN_IF_ERROR(RetryLoop([&] { return inner_->Free(id); }));
+  ++stats_.frees;
+  return Status::OK();
+}
+
+Status RetryPageDevice::Read(PageId id, std::byte* buf) {
+  PC_RETURN_IF_ERROR(RetryLoop([&] { return inner_->Read(id, buf); }));
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status RetryPageDevice::ReadBatch(std::span<const PageId> ids,
+                                  std::byte* bufs) {
+  if (ids.empty()) return Status::OK();
+  PC_RETURN_IF_ERROR(RetryLoop([&] { return inner_->ReadBatch(ids, bufs); }));
+  stats_.reads += ids.size();
+  ++stats_.batch_reads;
+  return Status::OK();
+}
+
+Status RetryPageDevice::Write(PageId id, const std::byte* buf) {
+  PC_RETURN_IF_ERROR(RetryLoop([&] { return inner_->Write(id, buf); }));
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<const std::byte*> RetryPageDevice::Pin(PageId id) {
+  const std::byte* frame = nullptr;
+  PC_RETURN_IF_ERROR(RetryLoop([&] {
+    Result<const std::byte*> r = inner_->Pin(id);
+    if (r.ok()) frame = r.value();
+    return r.ToStatus();
+  }));
+  ++stats_.reads;
+  return frame;
+}
+
+}  // namespace pathcache

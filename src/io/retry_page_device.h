@@ -1,0 +1,80 @@
+// RetryPageDevice: bounded retries with exponential backoff on transient
+// IOError.
+//
+// Real block devices fail transiently (EINTR-class hiccups, fabric resets);
+// the structures above should not have to know.  This decorator re-issues
+// any operation that fails with StatusCode::kIoError up to max_attempts
+// total tries, sleeping base_backoff_us * 2^k between tries (capped at
+// max_backoff_us; 0 disables sleeping so tests run at full speed).
+//
+// Only IOError is retried: Corruption, InvalidArgument etc. are
+// deterministic verdicts about the bytes or the call, and retrying them
+// would just repeat the answer — notably, a checksum failure from a
+// ChecksumPageDevice below is *not* retried (the stored page is bad; the
+// read did not fail).  Counters expose how often retries happened and
+// whether they recovered, so tests can assert the backoff path actually
+// ran.
+
+#ifndef PATHCACHE_IO_RETRY_PAGE_DEVICE_H_
+#define PATHCACHE_IO_RETRY_PAGE_DEVICE_H_
+
+#include <cstdint>
+
+#include "io/page_device.h"
+
+namespace pathcache {
+
+struct RetryOptions {
+  /// Total tries per operation (1 = no retrying).
+  uint32_t max_attempts = 4;
+  /// Sleep before retry k (0-based) is base_backoff_us << k microseconds;
+  /// 0 disables sleeping entirely.
+  uint32_t base_backoff_us = 0;
+  uint32_t max_backoff_us = 100'000;
+};
+
+class RetryPageDevice final : public PageDevice {
+ public:
+  /// Does not own `inner`.
+  explicit RetryPageDevice(PageDevice* inner, RetryOptions opts = {})
+      : inner_(inner), opts_(opts) {}
+
+  /// Re-issued tries (beyond each operation's first).
+  uint64_t retries() const { return retries_; }
+  /// Operations that eventually succeeded after >= 1 retry.
+  uint64_t recovered() const { return recovered_; }
+  /// Operations that failed all max_attempts tries.
+  uint64_t exhausted() const { return exhausted_; }
+
+  // --- PageDevice ---------------------------------------------------------
+
+  uint32_t page_size() const override { return inner_->page_size(); }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::byte* buf) override;
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
+  Status Write(PageId id, const std::byte* buf) override;
+  Result<const std::byte*> Pin(PageId id) override;
+  void Unpin(PageId id) override { inner_->Unpin(id); }
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+  uint64_t live_pages() const override { return inner_->live_pages(); }
+
+ private:
+  /// Runs `op` up to max_attempts times, backing off between IoError tries.
+  template <typename Op>
+  Status RetryLoop(const Op& op);
+
+  void Backoff(uint32_t attempt) const;
+
+  PageDevice* inner_;
+  RetryOptions opts_;
+  IoStats stats_;
+  uint64_t retries_ = 0;
+  uint64_t recovered_ = 0;
+  uint64_t exhausted_ = 0;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_RETRY_PAGE_DEVICE_H_

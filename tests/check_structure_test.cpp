@@ -5,8 +5,11 @@
 
 #include <cstring>
 
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
 #include "core/pst_external.h"
 #include "core/pst_two_level.h"
+#include "core/three_sided.h"
 #include "io/mem_page_device.h"
 #include "workload/generators.h"
 
@@ -19,6 +22,14 @@ std::vector<Point> Pts(uint64_t n, uint64_t seed) {
   o.seed = seed;
   o.coord_max = 500'000;
   return GenPointsUniform(o);
+}
+
+std::vector<Interval> Ivs(uint64_t n, uint64_t seed) {
+  IntervalGenOptions o;
+  o.n = n;
+  o.domain_max = 500'000;
+  o.seed = seed;
+  return GenIntervalsUniform(o);
 }
 
 TEST(CheckStructureTest, FreshExternalPstIsClean) {
@@ -82,6 +93,104 @@ TEST(CheckStructureTest, DetectsCorruptedPage) {
   // Either a direct Corruption or (if page 40 was structural) an I/O-layer
   // corruption surfaces; what must NOT happen is a clean bill of health.
   EXPECT_FALSE(s.ok());
+}
+
+TEST(CheckStructureTest, FreshThreeSidedIsClean) {
+  for (bool caching : {true, false}) {
+    MemPageDevice dev(4096);
+    ThreeSidedPstOptions opts;
+    opts.enable_path_caching = caching;
+    ThreeSidedPst pst(&dev, opts);
+    ASSERT_TRUE(pst.Build(Pts(20000, 15)).ok());
+    EXPECT_TRUE(pst.CheckStructure().ok()) << "caching=" << caching;
+  }
+}
+
+TEST(CheckStructureTest, FreshSegmentTreeIsClean) {
+  for (bool caching : {true, false}) {
+    MemPageDevice dev(4096);
+    ExtSegmentTreeOptions opts;
+    opts.enable_path_caching = caching;
+    ExtSegmentTree tree(&dev, opts);
+    ASSERT_TRUE(tree.Build(Ivs(8000, 17)).ok());
+    EXPECT_TRUE(tree.CheckStructure().ok()) << "caching=" << caching;
+  }
+}
+
+TEST(CheckStructureTest, FreshIntervalTreeIsClean) {
+  for (bool caching : {true, false}) {
+    MemPageDevice dev(4096);
+    ExtIntervalTreeOptions opts;
+    opts.enable_path_caching = caching;
+    ExtIntervalTree tree(&dev, opts);
+    ASSERT_TRUE(tree.Build(Ivs(8000, 19)).ok());
+    EXPECT_TRUE(tree.CheckStructure().ok()) << "caching=" << caching;
+  }
+}
+
+TEST(CheckStructureTest, SmallPagesNewStructuresClean) {
+  MemPageDevice dev(512);
+  ThreeSidedPst a(&dev);
+  ASSERT_TRUE(a.Build(Pts(4000, 21)).ok());
+  EXPECT_TRUE(a.CheckStructure().ok());
+  ExtSegmentTree b(&dev);
+  ASSERT_TRUE(b.Build(Ivs(2000, 23)).ok());
+  EXPECT_TRUE(b.CheckStructure().ok());
+  ExtIntervalTree c(&dev);
+  ASSERT_TRUE(c.Build(Ivs(2000, 25)).ok());
+  EXPECT_TRUE(c.CheckStructure().ok());
+}
+
+TEST(CheckStructureTest, ClusteredAndReopenedStayClean) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build(Pts(15000, 27)).ok());
+  ASSERT_TRUE(pst.Cluster().ok());
+  EXPECT_TRUE(pst.CheckStructure().ok());
+  auto m1 = pst.Save();
+  ASSERT_TRUE(m1.ok());
+  ThreeSidedPst pst2(&dev);
+  ASSERT_TRUE(pst2.Open(m1.value()).ok());
+  EXPECT_TRUE(pst2.CheckStructure().ok());
+
+  ExtSegmentTree seg(&dev);
+  ASSERT_TRUE(seg.Build(Ivs(6000, 29)).ok());
+  ASSERT_TRUE(seg.Cluster().ok());
+  EXPECT_TRUE(seg.CheckStructure().ok());
+  auto m2 = seg.Save();
+  ASSERT_TRUE(m2.ok());
+  ExtSegmentTree seg2(&dev);
+  ASSERT_TRUE(seg2.Open(m2.value()).ok());
+  EXPECT_TRUE(seg2.CheckStructure().ok());
+
+  ExtIntervalTree ivt(&dev);
+  ASSERT_TRUE(ivt.Build(Ivs(6000, 31)).ok());
+  ASSERT_TRUE(ivt.Cluster().ok());
+  EXPECT_TRUE(ivt.CheckStructure().ok());
+  auto m3 = ivt.Save();
+  ASSERT_TRUE(m3.ok());
+  ExtIntervalTree ivt2(&dev);
+  ASSERT_TRUE(ivt2.Open(m3.value()).ok());
+  EXPECT_TRUE(ivt2.CheckStructure().ok());
+}
+
+// Smashing record pages must never yield a clean bill of health from the
+// new validators either.
+TEST(CheckStructureTest, NewValidatorsDetectCorruptedPages) {
+  MemPageDevice dev(4096);
+  ThreeSidedPst pst(&dev);
+  ASSERT_TRUE(pst.Build(Pts(20000, 33)).ok());
+  ASSERT_TRUE(pst.CheckStructure().ok());
+
+  std::vector<std::byte> buf(4096);
+  PageId victim = dev.live_pages() / 3;
+  while (!dev.Read(victim, buf.data()).ok()) ++victim;
+  for (size_t off = 16; off + 8 <= buf.size(); off += 8) {
+    int64_t garbage = static_cast<int64_t>(off * 7919);
+    std::memcpy(buf.data() + off, &garbage, 8);
+  }
+  ASSERT_TRUE(dev.Write(victim, buf.data()).ok());
+  EXPECT_FALSE(pst.CheckStructure().ok());
 }
 
 }  // namespace

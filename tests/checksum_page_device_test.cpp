@@ -1,0 +1,179 @@
+// CRC32C and ChecksumPageDevice: round trips, zero-page semantics, and
+// guaranteed detection of injected bit flips and torn writes.
+
+#include "io/checksum_page_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/crc32c.h"
+#include "io/fault_page_device.h"
+#include "io/mem_page_device.h"
+#include "util/random.h"
+
+namespace pathcache {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string msg = "path caching: optimal external searching";
+  uint32_t crc = Crc32cInit();
+  crc = Crc32cUpdate(crc, msg.data(), 10);
+  crc = Crc32cUpdate(crc, msg.data() + 10, msg.size() - 10);
+  EXPECT_EQ(Crc32cFinish(crc), Crc32c(msg.data(), msg.size()));
+}
+
+TEST(ChecksumPageDeviceTest, RoundTripAndPayloadSize) {
+  MemPageDevice mem(4096);
+  ChecksumPageDevice dev(&mem);
+  EXPECT_EQ(dev.page_size(), 4096u - kPageTrailerBytes);
+
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<std::byte> data(dev.page_size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7);
+  }
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  std::vector<std::byte> back(dev.page_size());
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  EXPECT_EQ(dev.checksum_failures(), 0u);
+}
+
+TEST(ChecksumPageDeviceTest, FreshPageReadsAsZeroPayload) {
+  MemPageDevice mem(1024);
+  ChecksumPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<std::byte> back(dev.page_size(), std::byte{0xff});
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  for (std::byte b : back) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(ChecksumPageDeviceTest, EveryBitFlipIsDetected) {
+  // >= 20 seeds; each seed flips one random stored bit of a written page
+  // (payload or trailer) and requires the read to come back Corruption.
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    MemPageDevice mem(1024);
+    FaultPageDevice fault(&mem);
+    ChecksumPageDevice dev(&fault);
+    auto id = dev.Allocate();
+    ASSERT_TRUE(id.ok());
+
+    Rng rng(seed);
+    std::vector<std::byte> data(dev.page_size());
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.Uniform(256));
+    }
+    ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+    const uint64_t bit = rng.Uniform(1024 * 8);
+    ASSERT_TRUE(fault.CorruptStoredBit(id.value(), bit).ok());
+
+    std::vector<std::byte> back(dev.page_size());
+    Status s = dev.Read(id.value(), back.data());
+    ASSERT_EQ(s.code(), StatusCode::kCorruption)
+        << "seed " << seed << " bit " << bit << ": " << s.ToString();
+    EXPECT_NE(s.message().find(std::to_string(id.value())),
+              std::string::npos);
+    EXPECT_EQ(dev.checksum_failures(), 1u);
+
+    // Scrub sees the same verdict without delivering a payload.
+    EXPECT_EQ(dev.Scrub(id.value()).code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ChecksumPageDeviceTest, TornWriteIsDetected) {
+  MemPageDevice mem(1024);
+  FaultPageDevice fault(&mem);
+  ChecksumPageDevice dev(&fault);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+
+  std::vector<std::byte> v1(dev.page_size(), std::byte{0xaa});
+  std::vector<std::byte> v2(dev.page_size(), std::byte{0x55});
+  ASSERT_TRUE(dev.Write(id.value(), v1.data()).ok());
+  fault.TearWriteAt(1, /*keep_bytes=*/300);  // second physical write tears
+  ASSERT_TRUE(dev.Write(id.value(), v2.data()).ok());
+
+  std::vector<std::byte> back(dev.page_size());
+  EXPECT_EQ(dev.Read(id.value(), back.data()).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChecksumPageDeviceTest, MisdirectedPageIsDetected) {
+  // The CRC covers the page id, so a page written as A but surfacing under
+  // id B (a misdirected write, emulated by copying frames in the inner
+  // store) fails verification even though its bytes are internally intact.
+  MemPageDevice mem(1024);
+  ChecksumPageDevice dev(&mem);
+  auto a = dev.Allocate();
+  auto b = dev.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<std::byte> data(dev.page_size(), std::byte{0x42});
+  ASSERT_TRUE(dev.Write(a.value(), data.data()).ok());
+
+  std::vector<std::byte> raw(1024);
+  ASSERT_TRUE(mem.Read(a.value(), raw.data()).ok());
+  ASSERT_TRUE(mem.Write(b.value(), raw.data()).ok());
+
+  std::vector<std::byte> back(dev.page_size());
+  EXPECT_TRUE(dev.Read(a.value(), back.data()).ok());
+  EXPECT_EQ(dev.Read(b.value(), back.data()).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChecksumPageDeviceTest, ReadBatchVerifiesEveryPage) {
+  MemPageDevice mem(1024);
+  FaultPageDevice fault(&mem);
+  ChecksumPageDevice dev(&fault);
+  auto a = dev.Allocate();
+  auto b = dev.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<std::byte> data(dev.page_size(), std::byte{0x17});
+  ASSERT_TRUE(dev.Write(a.value(), data.data()).ok());
+  ASSERT_TRUE(dev.Write(b.value(), data.data()).ok());
+  ASSERT_TRUE(fault.CorruptStoredBit(b.value(), 999).ok());
+
+  std::vector<std::byte> bufs(2 * dev.page_size());
+  const PageId ids[] = {a.value(), b.value()};
+  EXPECT_EQ(
+      dev.ReadBatch(std::span<const PageId>(ids, 2), bufs.data()).code(),
+      StatusCode::kCorruption);
+}
+
+TEST(ChecksumPageDeviceTest, PinVerifiesFrame) {
+  MemPageDevice mem(1024);
+  ChecksumPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<std::byte> data(dev.page_size(), std::byte{0x33});
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  auto frame = dev.Pin(id.value());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(std::memcmp(frame.value(), data.data(), dev.page_size()), 0);
+  dev.Unpin(id.value());
+
+  std::vector<std::byte> raw(1024);
+  ASSERT_TRUE(mem.Read(id.value(), raw.data()).ok());
+  raw[5] ^= std::byte{0x01};
+  ASSERT_TRUE(mem.Write(id.value(), raw.data()).ok());
+  EXPECT_EQ(dev.Pin(id.value()).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -1,0 +1,199 @@
+// Randomized crash-recovery: build a structure on a device that silently
+// drops every write from a random crash point onward, then reopen from the
+// surviving media.  The contract is "fail cleanly or answer correctly":
+// Open() either returns a descriptive error, or the reopened structure
+// passes CheckStructure() and answers queries identically to the brute
+// oracle.  A wrong answer is never acceptable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/pst_two_level.h"
+#include "core/three_sided.h"
+#include "io/fault_page_device.h"
+#include "io/mem_page_device.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+constexpr uint32_t kPageSize = 1024;
+constexpr uint64_t kSeeds = 24;
+
+std::vector<Point> Pts(uint64_t seed) {
+  PointGenOptions o;
+  o.n = 3000;
+  o.seed = seed;
+  o.coord_max = 200'000;
+  return GenPointsUniform(o);
+}
+
+std::vector<Interval> Ivs(uint64_t seed) {
+  IntervalGenOptions o;
+  o.n = 1500;
+  o.domain_max = 200'000;
+  o.seed = seed;
+  return GenIntervalsUniform(o);
+}
+
+// Builds `S` over `data` through `dev` and saves it; returns the manifest
+// via `*manifest`.  Any step may fail once a crash schedule is armed.
+template <typename S, typename D>
+Status BuildAndSave(PageDevice* dev, const D& data, PageId* manifest) {
+  S s(dev);
+  PC_RETURN_IF_ERROR(s.Build(data));
+  auto m = s.Save();
+  if (!m.ok()) return m.status();
+  *manifest = m.value();
+  return Status::OK();
+}
+
+// Reopens `S` from post-crash media and enforces the fail-cleanly-or-
+// answer-correctly contract.  `query` runs only if CheckStructure() passes.
+template <typename S, typename QueryFn>
+void ExpectCleanOrCorrect(PageDevice* media, PageId manifest, uint64_t seed,
+                          bool* answered, const QueryFn& query) {
+  S reopened(media);
+  Status open = reopened.Open(manifest);
+  if (!open.ok()) return;  // clean, descriptive failure is acceptable
+  Status chk = reopened.CheckStructure();
+  if (!chk.ok()) return;  // detected corruption is acceptable
+  // The structure claims to be fully intact: it must answer correctly.
+  *answered = true;
+  query(reopened, seed);
+}
+
+// One crash-point trial: count the writes of a clean build, then rebuild on
+// fresh media with a crash armed at a seed-derived ordinal.
+template <typename S, typename D, typename QueryFn>
+void CrashTrial(const D& data, uint64_t seed, bool* answered,
+                const QueryFn& query) {
+  uint64_t total_writes = 0;
+  {
+    MemPageDevice mem(kPageSize);
+    FaultPageDevice fault(&mem);
+    PageId manifest = kInvalidPageId;
+    ASSERT_TRUE(BuildAndSave<S>(&fault, data, &manifest).ok())
+        << "seed " << seed << ": clean build failed";
+    total_writes = fault.writes_seen();
+    ASSERT_GT(total_writes, 0u);
+  }
+
+  MemPageDevice mem(kPageSize);
+  FaultPageDevice fault(&mem);
+  const uint64_t crash_at = 1 + (seed * 2654435761ULL) % total_writes;
+  fault.CrashAtWrite(crash_at);
+  PageId manifest = kInvalidPageId;
+  Status built = BuildAndSave<S>(&fault, data, &manifest);
+  if (!built.ok() || manifest == kInvalidPageId) return;  // crash surfaced
+  // The build "succeeded" against a device that dropped writes >= crash_at.
+  // Reopen from the raw surviving media.
+  ExpectCleanOrCorrect<S>(&mem, manifest, seed, answered, query);
+}
+
+TEST(CrashRecoveryTest, NeverAWrongAnswerAcrossSeeds) {
+  uint64_t answered_runs = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    bool answered = false;
+    switch (seed % 4) {
+      case 0: {
+        auto pts = Pts(seed);
+        CrashTrial<TwoLevelPst>(
+            pts, seed, &answered, [&pts](TwoLevelPst& s, uint64_t sd) {
+              Rng rng(sd);
+              for (int i = 0; i < 8; ++i) {
+                auto q = SampleTwoSidedQuery(pts, &rng);
+                std::vector<Point> got;
+                ASSERT_TRUE(s.QueryTwoSided(q, &got).ok());
+                ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)))
+                    << "seed " << sd << ": wrong two-sided answer";
+              }
+            });
+        break;
+      }
+      case 1: {
+        auto pts = Pts(seed);
+        CrashTrial<ThreeSidedPst>(
+            pts, seed, &answered, [&pts](ThreeSidedPst& s, uint64_t sd) {
+              Rng rng(sd);
+              for (int i = 0; i < 8; ++i) {
+                auto q = SampleThreeSidedQuery(pts, 0.1, &rng);
+                std::vector<Point> got;
+                ASSERT_TRUE(s.QueryThreeSided(q, &got).ok());
+                ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q)))
+                    << "seed " << sd << ": wrong three-sided answer";
+              }
+            });
+        break;
+      }
+      case 2: {
+        auto ivs = Ivs(seed);
+        CrashTrial<ExtSegmentTree>(
+            ivs, seed, &answered, [&ivs](ExtSegmentTree& s, uint64_t sd) {
+              Rng rng(sd);
+              for (int i = 0; i < 8; ++i) {
+                const int64_t q = rng.UniformRange(0, 200'000);
+                std::vector<Interval> got;
+                ASSERT_TRUE(s.Stab(q, &got).ok());
+                ASSERT_TRUE(SameResult(got, BruteStab(ivs, q)))
+                    << "seed " << sd << ": wrong stab answer";
+              }
+            });
+        break;
+      }
+      default: {
+        auto ivs = Ivs(seed);
+        CrashTrial<ExtIntervalTree>(
+            ivs, seed, &answered, [&ivs](ExtIntervalTree& s, uint64_t sd) {
+              Rng rng(sd);
+              for (int i = 0; i < 8; ++i) {
+                const int64_t q = rng.UniformRange(0, 200'000);
+                std::vector<Interval> got;
+                ASSERT_TRUE(s.Stab(q, &got).ok());
+                ASSERT_TRUE(SameResult(got, BruteStab(ivs, q)))
+                    << "seed " << sd << ": wrong stab answer";
+              }
+            });
+        break;
+      }
+    }
+    if (answered) ++answered_runs;
+  }
+  // Crash points land all over the build; most trials should detect the
+  // crash rather than silently answer.  (All 24 answering would mean the
+  // crash device did nothing.)
+  RecordProperty("answered_runs", static_cast<int>(answered_runs));
+  EXPECT_LT(answered_runs, kSeeds);
+}
+
+// A crash after the final write is indistinguishable from a clean shutdown:
+// the reopened structure must verify and answer.
+TEST(CrashRecoveryTest, CrashAfterLastWriteIsCleanShutdown) {
+  auto pts = Pts(99);
+  MemPageDevice mem(kPageSize);
+  FaultPageDevice fault(&mem);
+  fault.CrashAtWrite(1'000'000'000);  // never reached
+  PageId manifest = kInvalidPageId;
+  ASSERT_TRUE(BuildAndSave<TwoLevelPst>(&fault, pts, &manifest).ok());
+  EXPECT_FALSE(fault.crashed());
+
+  TwoLevelPst reopened(&mem);
+  ASSERT_TRUE(reopened.Open(manifest).ok());
+  ASSERT_TRUE(reopened.CheckStructure().ok());
+  Rng rng(101);
+  for (int i = 0; i < 8; ++i) {
+    auto q = SampleTwoSidedQuery(pts, &rng);
+    std::vector<Point> got;
+    ASSERT_TRUE(reopened.QueryTwoSided(q, &got).ok());
+    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+  }
+}
+
+}  // namespace
+}  // namespace pathcache

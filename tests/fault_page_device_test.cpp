@@ -1,0 +1,242 @@
+// FaultPageDevice schedule semantics and RetryPageDevice recovery.
+
+#include "io/fault_page_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "io/mem_page_device.h"
+#include "io/retry_page_device.h"
+
+namespace pathcache {
+namespace {
+
+std::vector<std::byte> Pattern(uint32_t page_size, uint8_t seed) {
+  std::vector<std::byte> buf(page_size);
+  for (uint32_t i = 0; i < page_size; ++i) {
+    buf[i] = static_cast<std::byte>((seed + i * 13) & 0xff);
+  }
+  return buf;
+}
+
+TEST(FaultPageDeviceTest, TransparentWithoutSchedule) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 1);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), 512), 0);
+  EXPECT_EQ(dev.fault_stats().total(), 0u);
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+}
+
+TEST(FaultPageDeviceTest, TransientReadFailureHitsExactOrdinal) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 2);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  dev.FailReadAt(1);  // second read only
+  std::vector<std::byte> buf(512);
+  EXPECT_TRUE(dev.Read(id.value(), buf.data()).ok());
+  Status s = dev.Read(id.value(), buf.data());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(dev.Read(id.value(), buf.data()).ok());
+  EXPECT_EQ(dev.fault_stats().read_errors, 1u);
+}
+
+TEST(FaultPageDeviceTest, PersistentWriteFailureStaysDown) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 3);
+  dev.FailWriteAt(1, /*persistent=*/true);
+  EXPECT_TRUE(dev.Write(id.value(), data.data()).ok());
+  EXPECT_EQ(dev.Write(id.value(), data.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(dev.Write(id.value(), data.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(dev.fault_stats().write_errors, 2u);
+}
+
+TEST(FaultPageDeviceTest, BitFlipCorruptsReturnedBufferOnly) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 4);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  dev.FlipBitOnReadAt(0, /*bit=*/7 * 8 + 2);
+  std::vector<std::byte> flipped(512), clean(512);
+  ASSERT_TRUE(dev.Read(id.value(), flipped.data()).ok());
+  ASSERT_TRUE(dev.Read(id.value(), clean.data()).ok());
+  EXPECT_EQ(std::memcmp(clean.data(), data.data(), 512), 0);
+  EXPECT_EQ(flipped[7], data[7] ^ std::byte{0x04});
+  flipped[7] = data[7];
+  EXPECT_EQ(std::memcmp(flipped.data(), data.data(), 512), 0);
+  EXPECT_EQ(dev.fault_stats().bit_flips, 1u);
+}
+
+TEST(FaultPageDeviceTest, TornWriteKeepsOldTail) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto old_data = Pattern(512, 5);
+  ASSERT_TRUE(dev.Write(id.value(), old_data.data()).ok());
+
+  dev.TearWriteAt(1, /*keep_bytes=*/100);
+  auto new_data = Pattern(512, 6);
+  ASSERT_TRUE(dev.Write(id.value(), new_data.data()).ok());  // reports OK
+
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), new_data.data(), 100), 0);
+  EXPECT_EQ(std::memcmp(back.data() + 100, old_data.data() + 100, 412), 0);
+  EXPECT_EQ(dev.fault_stats().torn_writes, 1u);
+}
+
+TEST(FaultPageDeviceTest, CrashPointDropsEveryLaterWrite) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto a = dev.Allocate();
+  auto b = dev.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto first = Pattern(512, 7);
+  auto second = Pattern(512, 8);
+  dev.CrashAtWrite(1);
+  ASSERT_TRUE(dev.Write(a.value(), first.data()).ok());
+  EXPECT_FALSE(dev.crashed());
+  ASSERT_TRUE(dev.Write(b.value(), second.data()).ok());  // dropped
+  EXPECT_TRUE(dev.crashed());
+  ASSERT_TRUE(dev.Write(a.value(), second.data()).ok());  // dropped too
+
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(a.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
+  ASSERT_TRUE(dev.Read(b.value(), back.data()).ok());
+  for (uint32_t i = 0; i < 512; ++i) EXPECT_EQ(back[i], std::byte{0});
+  EXPECT_EQ(dev.fault_stats().dropped_writes, 2u);
+  // Dropped writes still count as logical writes the caller issued.
+  EXPECT_EQ(dev.stats().writes, 3u);
+}
+
+TEST(FaultPageDeviceTest, CorruptStoredBitMutatesMedia) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 9);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  ASSERT_TRUE(dev.CorruptStoredBit(id.value(), 3).ok());
+
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(back[0], data[0] ^ std::byte{0x08});
+  EXPECT_EQ(dev.fault_stats().bit_flips, 1u);
+}
+
+TEST(FaultPageDeviceTest, ClearFaultsRestartsOrdinals) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 10);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  dev.FailReadAt(0, /*persistent=*/true);
+  std::vector<std::byte> buf(512);
+  EXPECT_FALSE(dev.Read(id.value(), buf.data()).ok());
+  dev.ClearFaults();
+  EXPECT_TRUE(dev.Read(id.value(), buf.data()).ok());  // consumes ordinal 0
+  EXPECT_EQ(dev.fault_stats().total(), 0u);
+
+  // Ordinals restarted at zero with ClearFaults; the read above was ordinal
+  // 0, so a fresh fault at ordinal 1 hits the next read.
+  dev.FailReadAt(1);
+  EXPECT_FALSE(dev.Read(id.value(), buf.data()).ok());
+}
+
+TEST(FaultPageDeviceTest, ReadBatchAppliesPerPageFaults) {
+  MemPageDevice mem(512);
+  FaultPageDevice dev(&mem);
+  auto a = dev.Allocate();
+  auto b = dev.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto data = Pattern(512, 11);
+  ASSERT_TRUE(dev.Write(a.value(), data.data()).ok());
+  ASSERT_TRUE(dev.Write(b.value(), data.data()).ok());
+
+  dev.FailReadAt(1);  // second page of the batch
+  std::vector<std::byte> bufs(2 * 512);
+  const PageId ids[] = {a.value(), b.value()};
+  EXPECT_EQ(dev.ReadBatch(std::span<const PageId>(ids, 2), bufs.data()).code(),
+            StatusCode::kIoError);
+}
+
+TEST(RetryPageDeviceTest, RecoversFromTransientReadError) {
+  MemPageDevice mem(512);
+  FaultPageDevice fault(&mem);
+  RetryPageDevice dev(&fault);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 12);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  fault.FailReadAt(0);  // first inner read fails, the retry succeeds
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), 512), 0);
+  EXPECT_EQ(dev.retries(), 1u);
+  EXPECT_EQ(dev.recovered(), 1u);
+  EXPECT_EQ(dev.exhausted(), 0u);
+}
+
+TEST(RetryPageDeviceTest, ExhaustsOnPersistentError) {
+  MemPageDevice mem(512);
+  FaultPageDevice fault(&mem);
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  RetryPageDevice dev(&fault, opts);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 13);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  fault.FailReadAt(0, /*persistent=*/true);
+  std::vector<std::byte> back(512);
+  EXPECT_EQ(dev.Read(id.value(), back.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(dev.retries(), 2u);  // 3 attempts = first try + 2 retries
+  EXPECT_EQ(dev.exhausted(), 1u);
+  EXPECT_EQ(dev.recovered(), 0u);
+}
+
+TEST(RetryPageDeviceTest, RecoversTransientWriteDuringBurst) {
+  MemPageDevice mem(512);
+  FaultPageDevice fault(&mem);
+  RetryPageDevice dev(&fault);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 14);
+  fault.FailWriteAt(0);
+  fault.FailWriteAt(2);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  EXPECT_EQ(dev.recovered(), 2u);
+  std::vector<std::byte> back(512);
+  ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), 512), 0);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
+
 #include "core/pst_external.h"
 #include "core/pst_two_level.h"
 #include "io/file_page_device.h"
@@ -166,6 +169,69 @@ TEST(PersistTest, NestedMultilevelRoundTrip) {
   }
   ASSERT_TRUE(reopened.Destroy().ok());
   EXPECT_EQ(dev.live_pages(), 0u);
+}
+
+TEST(PersistTest, TruncatedOwnedListChainIsCorruption) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(20000, 37)).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  // Zero the first page of the owned-list chain: the header still promises
+  // owned_count entries, so the reader must flag the truncation.
+  std::vector<std::byte> buf(4096);
+  ASSERT_TRUE(dev.Read(manifest.value(), buf.data()).ok());
+  PstManifestHeader hdr;
+  std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  ASSERT_NE(hdr.owned_head, kInvalidPageId);
+  ASSERT_GT(hdr.owned_count, 0u);
+  std::vector<std::byte> zeros(4096, std::byte{0});
+  ASSERT_TRUE(dev.Write(hdr.owned_head, zeros.data()).ok());
+
+  ExternalPst reopened(&dev);
+  Status s = reopened.Open(manifest.value());
+  ASSERT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST(PersistTest, ScribbledMagicIsCorruption) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(2000, 41)).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  std::vector<std::byte> buf(4096);
+  ASSERT_TRUE(dev.Read(manifest.value(), buf.data()).ok());
+  const uint64_t garbage = 0xDEADBEEFDEADBEEFull;
+  std::memcpy(buf.data(), &garbage, sizeof(garbage));
+  ASSERT_TRUE(dev.Write(manifest.value(), buf.data()).ok());
+
+  ExternalPst reopened(&dev);
+  Status s = reopened.Open(manifest.value());
+  ASSERT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("not a pathcache manifest"),
+            std::string_view::npos);
+}
+
+TEST(PersistTest, FutureFormatVersionIsRejected) {
+  MemPageDevice dev(4096);
+  ExternalPst pst(&dev);
+  ASSERT_TRUE(pst.Build(UniformPts(2000, 43)).ok());
+  auto manifest = pst.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  std::vector<std::byte> buf(4096);
+  ASSERT_TRUE(dev.Read(manifest.value(), buf.data()).ok());
+  const uint32_t future = kManifestFormatVersion + 7;
+  std::memcpy(buf.data() + offsetof(PstManifestHeader, format_version),
+              &future, sizeof(future));
+  ASSERT_TRUE(dev.Write(manifest.value(), buf.data()).ok());
+
+  ExternalPst reopened(&dev);
+  Status s = reopened.Open(manifest.value());
+  ASSERT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("newer"), std::string_view::npos);
 }
 
 TEST(PersistTest, SaveIsRepeatable) {
