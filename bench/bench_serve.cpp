@@ -1,0 +1,392 @@
+// E17 — Concurrent query serving: QPS vs worker threads, rejection rate vs
+// offered load (src/serve/QueryEngine).
+//
+// Where E14 measured raw concurrent readers hammering structure handles
+// directly, this harness measures the full serving path: bounded queue,
+// admission control, batch dequeue with locality sort, per-request deadline
+// checks and per-request IoStats isolation.  Two sweeps:
+//
+//   * Warm QPS vs worker count {1, 2, 4, 8} over a mixed 2-sided + stabbing
+//     workload on a file-backed store behind a SharedBufferPool.  A
+//     per-request result fingerprint is XOR-folded across the run and must
+//     come out IDENTICAL for every worker count — the engine's concurrency
+//     must be invisible in the bytes (the test suite asserts the same
+//     property request-by-request; the bench cross-checks it at scale).
+//   * Rejection rate vs offered load: bursts of B requests thrown at a
+//     2-worker engine with a small queue, B sweeping past the queue
+//     capacity.  Shows kOverloaded back-pressure doing its job; the
+//     accepted requests all complete.
+//
+// `--json out.json` dumps everything machine-readably.  Speedup beyond 1
+// worker requires as many hardware threads; single-core machines will show
+// flat QPS (the CI smoke run only checks the harness executes).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ext_segment_tree.h"
+#include "core/pst_external.h"
+#include "io/file_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "serve/query_engine.h"
+#include "workload/generators.h"
+
+namespace pathcache {
+namespace {
+
+constexpr uint32_t kShards = 16;
+const uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+
+struct Options {
+  uint64_t points = 150'000;
+  uint64_t intervals = 100'000;
+  uint64_t queries = 4'000;  // per warm sweep run (half 2-sided, half stab)
+  std::string json_path;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  auto value_of = [&](int* i, const char* flag) -> const char* {
+    const size_t len = std::strlen(flag);
+    if (std::strncmp(argv[*i], flag, len) != 0) return nullptr;
+    if (argv[*i][len] == '=') return argv[*i] + len + 1;
+    if (argv[*i][len] == '\0' && *i + 1 < argc) return argv[++*i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* pv = value_of(&i, "--points")) {
+      o.points = std::strtoull(pv, nullptr, 10);
+    } else if (const char* iv = value_of(&i, "--intervals")) {
+      o.intervals = std::strtoull(iv, nullptr, 10);
+    } else if (const char* qv = value_of(&i, "--queries")) {
+      o.queries = std::strtoull(qv, nullptr, 10);
+    } else if (const char* jv = value_of(&i, "--json")) {
+      o.json_path = jv;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--points N] [--intervals N] [--queries N] "
+                   "[--json out.json]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+struct Store {
+  std::unique_ptr<FilePageDevice> dev;
+  std::unique_ptr<SharedBufferPool> pool;
+  PageId pst_manifest = kInvalidPageId;
+  PageId seg_manifest = kInvalidPageId;
+};
+
+Store BuildStore(const Options& opt) {
+  Store s;
+  s.dev = BenchValue(FilePageDevice::Create("/tmp/pathcache_bench_serve.bin"),
+                     "create device");
+  s.pool = std::make_unique<SharedBufferPool>(s.dev.get(),
+                                              /*capacity_pages=*/1 << 20,
+                                              kShards);
+  PointGenOptions po;
+  po.n = opt.points;
+  po.seed = 42;
+  {
+    ExternalPst pst(s.pool.get());
+    BenchCheck(pst.Build(GenPointsUniform(po)), "build 2-sided");
+    BenchCheck(pst.Cluster(), "cluster 2-sided");
+    s.pst_manifest = BenchValue(pst.Save(), "save 2-sided");
+  }
+  IntervalGenOptions io;
+  io.n = opt.intervals;
+  io.seed = 43;
+  {
+    auto ivs = GenIntervalsUniform(io);
+    MakeEndpointsDistinct(&ivs);
+    ExtSegmentTree st(s.pool.get());
+    BenchCheck(st.Build(ivs), "build segment tree");
+    BenchCheck(st.Cluster(), "cluster segment tree");
+    s.seg_manifest = BenchValue(st.Save(), "save segment tree");
+  }
+  return s;
+}
+
+struct PlannedQuery {
+  uint32_t structure;
+  ServeQuery query;
+};
+
+std::vector<PlannedQuery> MakePlan(uint64_t count, uint32_t pst_id,
+                                   uint32_t seg_id) {
+  std::vector<PlannedQuery> plan;
+  plan.reserve(count);
+  Rng rng(7);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i % 2 == 0) {
+      plan.push_back({pst_id, ServeQuery::TwoSided(TwoSidedQuery{
+                                  rng.UniformRange(500'000'000, 1'000'000'000),
+                                  rng.UniformRange(800'000'000,
+                                                   1'000'000'000)})});
+    } else {
+      plan.push_back(
+          {seg_id, ServeQuery::Stab(rng.UniformRange(0, 1'000'000'000))});
+    }
+  }
+  return plan;
+}
+
+// Order-insensitive fingerprint of one request's result, fold-combined with
+// the request ordinal so every request contributes a distinct term.
+uint64_t Fingerprint(size_t ordinal, const QueryResult& r) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ (ordinal * 0x100000001b3ULL);
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const Point& p : r.points) {
+    mix(static_cast<uint64_t>(p.x));
+    mix(static_cast<uint64_t>(p.y));
+    mix(p.id);
+  }
+  for (const Interval& iv : r.intervals) {
+    mix(static_cast<uint64_t>(iv.lo));
+    mix(static_cast<uint64_t>(iv.hi));
+    mix(iv.id);
+  }
+  return h;
+}
+
+struct WarmRow {
+  uint32_t workers = 0;
+  double qps = 0.0;
+  double speedup = 0.0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t reads = 0;
+  uint64_t fingerprint = 0;
+};
+
+WarmRow RunWarm(Store& s, const std::vector<PlannedQuery>& plan,
+                uint32_t workers) {
+  QueryEngineOptions eopts;
+  eopts.num_workers = workers;
+  eopts.queue_capacity = plan.size() + 1;  // admission never in the way here
+  eopts.batch_size = 8;
+  QueryEngine engine(s.pool.get(), eopts);
+  const uint32_t pst_id =
+      BenchValue(engine.AddStructure(s.pst_manifest), "register 2-sided");
+  const uint32_t seg_id =
+      BenchValue(engine.AddStructure(s.seg_manifest), "register stabbing");
+  (void)pst_id;
+  (void)seg_id;
+  BenchCheck(engine.Start(), "start engine");
+
+  std::atomic<uint64_t> fp{0};
+  auto submit_all = [&](bool fingerprinted) {
+    for (size_t i = 0; i < plan.size(); ++i) {
+      Status st = engine.Submit(
+          plan[i].structure, plan[i].query,
+          [i, fingerprinted, &fp](QueryResult r) {
+            BenchCheck(r.status, "serve query");
+            if (fingerprinted) {
+              fp.fetch_xor(Fingerprint(i, r), std::memory_order_relaxed);
+            }
+          });
+      BenchCheck(st, "submit");
+    }
+    engine.Drain();
+  };
+
+  submit_all(false);  // warm the pool; results discarded
+
+  const auto start = std::chrono::steady_clock::now();
+  submit_all(true);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const ServeStats stats = engine.stats();
+  WarmRow row;
+  row.workers = workers;
+  row.qps = static_cast<double>(plan.size()) / secs;
+  row.p50 = stats.latency.p50;
+  row.p95 = stats.latency.p95;
+  row.p99 = stats.latency.p99;
+  row.reads = stats.io.reads;
+  row.fingerprint = fp.load();
+  engine.Stop();
+  return row;
+}
+
+struct LoadRow {
+  uint64_t burst = 0;       // requests thrown at the queue back-to-back
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  double rejection_rate = 0.0;
+};
+
+// Offered-load sweep: a 2-worker engine with a deliberately small queue;
+// each burst is submitted as fast as the loop can go, then drained.
+std::vector<LoadRow> RunLoadSweep(Store& s,
+                                  const std::vector<PlannedQuery>& plan,
+                                  size_t queue_capacity) {
+  QueryEngineOptions eopts;
+  eopts.num_workers = 2;
+  eopts.queue_capacity = queue_capacity;
+  eopts.batch_size = 4;
+  QueryEngine engine(s.pool.get(), eopts);
+  BenchCheck(engine.AddStructure(s.pst_manifest).ToStatus(), "register 2-sided");
+  BenchCheck(engine.AddStructure(s.seg_manifest).ToStatus(), "register stab");
+  BenchCheck(engine.Start(), "start engine");
+
+  std::vector<LoadRow> rows;
+  for (uint64_t burst :
+       {queue_capacity / 2, queue_capacity, 2 * queue_capacity,
+        4 * queue_capacity, 8 * queue_capacity}) {
+    LoadRow row;
+    row.burst = burst;
+    std::atomic<uint64_t> done{0};
+    for (uint64_t i = 0; i < burst; ++i) {
+      const PlannedQuery& pq = plan[i % plan.size()];
+      Status st = engine.Submit(pq.structure, pq.query,
+                                [&done](QueryResult r) {
+                                  BenchCheck(r.status, "load query");
+                                  done.fetch_add(1);
+                                });
+      if (st.IsOverloaded()) {
+        ++row.rejected;
+      } else {
+        BenchCheck(st, "load submit");
+        ++row.accepted;
+      }
+    }
+    engine.Drain();
+    if (done.load() != row.accepted) {
+      std::fprintf(stderr, "FATAL accepted %llu but completed %llu\n",
+                   static_cast<unsigned long long>(row.accepted),
+                   static_cast<unsigned long long>(done.load()));
+      std::abort();
+    }
+    row.rejection_rate =
+        burst == 0 ? 0.0
+                   : static_cast<double>(row.rejected) /
+                         static_cast<double>(burst);
+    rows.push_back(row);
+  }
+  engine.Stop();
+  return rows;
+}
+
+void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
+               const std::vector<LoadRow>& load) {
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL cannot open %s for writing\n",
+                 opt.json_path.c_str());
+    std::abort();
+  }
+  JsonWriter w(f);
+  w.BeginObject();
+  w.Key("bench").Str("bench_serve");
+  w.Key("points").Uint(opt.points);
+  w.Key("intervals").Uint(opt.intervals);
+  w.Key("queries").Uint(opt.queries);
+  w.Key("warm_sweep").BeginArray();
+  for (const WarmRow& r : warm) {
+    w.BeginObject();
+    w.Key("workers").Uint(r.workers);
+    w.Key("qps").Double(r.qps);
+    w.Key("speedup").Double(r.speedup);
+    w.Key("latency_p50_us").Uint(r.p50);
+    w.Key("latency_p95_us").Uint(r.p95);
+    w.Key("latency_p99_us").Uint(r.p99);
+    w.Key("pool_reads").Uint(r.reads);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("load_sweep").BeginArray();
+  for (const LoadRow& r : load) {
+    w.BeginObject();
+    w.Key("burst").Uint(r.burst);
+    w.Key("accepted").Uint(r.accepted);
+    w.Key("rejected").Uint(r.rejected);
+    w.Key("rejection_rate").Double(r.rejection_rate);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseArgs(argc, argv);
+  Store s = BuildStore(opt);
+
+  // Probe structure ids once (identical registration order per engine).
+  std::vector<PlannedQuery> plan = MakePlan(opt.queries, 0, 1);
+
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  std::vector<WarmRow> warm;
+  double qps1 = 0.0;
+  for (uint32_t workers : kWorkerCounts) {
+    WarmRow row = RunWarm(s, plan, workers);
+    if (workers == 1) qps1 = row.qps;
+    row.speedup = qps1 == 0.0 ? 0.0 : row.qps / qps1;
+    warm.push_back(row);
+    std::printf(
+        "warm workers=%u  qps=%9.0f  speedup=%.2fx  p50=%lluus  p95=%lluus  "
+        "p99=%lluus  pool reads=%llu\n",
+        row.workers, row.qps, row.speedup,
+        static_cast<unsigned long long>(row.p50),
+        static_cast<unsigned long long>(row.p95),
+        static_cast<unsigned long long>(row.p99),
+        static_cast<unsigned long long>(row.reads));
+  }
+
+  // The engine's concurrency must be invisible in the results: every worker
+  // count folds the same per-request fingerprints.
+  for (const WarmRow& r : warm) {
+    if (r.fingerprint != warm[0].fingerprint) {
+      std::fprintf(stderr,
+                   "FATAL result fingerprint diverged at %u workers: "
+                   "%016llx vs %016llx\n",
+                   r.workers,
+                   static_cast<unsigned long long>(r.fingerprint),
+                   static_cast<unsigned long long>(warm[0].fingerprint));
+      std::abort();
+    }
+  }
+  std::printf("result fingerprints identical across worker counts "
+              "(asserted)\n\n");
+
+  const std::vector<LoadRow> load = RunLoadSweep(s, plan,
+                                                 /*queue_capacity=*/64);
+  for (const LoadRow& r : load) {
+    std::printf(
+        "load burst=%5llu  accepted=%5llu  rejected=%5llu  "
+        "rejection_rate=%.3f\n",
+        static_cast<unsigned long long>(r.burst),
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.rejected), r.rejection_rate);
+  }
+
+  if (!opt.json_path.empty()) WriteJson(opt, warm, load);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathcache
+
+int main(int argc, char** argv) { return pathcache::Main(argc, argv); }

@@ -76,6 +76,11 @@ struct IntNodeRec {
 };
 static_assert(sizeof(IntNodeRec) == 80);
 
+/// Thread-safety: mutators (Build/Save/Open/Cluster/Destroy) require
+/// external serialization.  Stab is const with no lazy mutation: concurrent
+/// queries on distinct instances are safe; on the same instance they are
+/// safe iff the PageDevice is thread-safe (see the contract note on
+/// ExternalPst in pst_external.h).
 class ExtIntervalTree {
  public:
   explicit ExtIntervalTree(PageDevice* dev, ExtIntervalTreeOptions opts = {});

@@ -59,6 +59,11 @@ struct SegNodeRec {
 };
 static_assert(sizeof(SegNodeRec) == 88);
 
+/// Thread-safety: mutators (Build/Save/Open/Cluster/Destroy) require
+/// external serialization.  Stab is const with no lazy mutation: concurrent
+/// queries on distinct instances are safe; on the same instance they are
+/// safe iff the PageDevice is thread-safe (see the contract note on
+/// ExternalPst in pst_external.h).
 class ExtSegmentTree {
  public:
   explicit ExtSegmentTree(PageDevice* dev, ExtSegmentTreeOptions opts = {});

@@ -11,10 +11,19 @@
 #include "core/pst_two_level.h"
 #include "core/three_sided.h"
 #include "io/block_list.h"
+#include "io/crc32c.h"
 
 namespace pathcache {
 
 namespace {
+
+// CRC32C over the header bytes with `header_crc` itself zeroed — the value
+// WriteManifestHeader stamps and ReadManifestHeader demands back.
+uint32_t ManifestHeaderCrc(const PstManifestHeader& hdr) {
+  PstManifestHeader scratch = hdr;
+  scratch.header_crc = 0;
+  return Crc32c(&scratch, sizeof(scratch));
+}
 
 Status ReadManifestHeader(PageDevice* dev, PageId page,
                           PstManifestHeader* out) {
@@ -29,6 +38,15 @@ Status ReadManifestHeader(PageDevice* dev, PageId page,
       out->magic != kExtIntTreeMagic) {
     return Status::Corruption("page " + std::to_string(page) +
                               " is not a pathcache manifest");
+  }
+  // The CRC gate comes before any field is trusted (only the magic, which
+  // the CRC also covers, is peeked first to give unrelated pages a clearer
+  // error).  A failed gate means SOME header byte changed since Save() —
+  // maybe one that merely skews storage accounting — so nothing below may
+  // interpret the rest.
+  if (out->header_crc != ManifestHeaderCrc(*out)) {
+    return Status::Corruption("manifest page " + std::to_string(page) +
+                              " header checksum mismatch");
   }
   if (out->format_version > kManifestFormatVersion) {
     return Status::Corruption(
@@ -94,6 +112,8 @@ Status WriteManifestHeader(PageDevice* dev, PageId page,
   std::vector<std::byte> buf(dev->page_size());
   PstManifestHeader stamped = hdr;
   stamped.format_version = kManifestFormatVersion;
+  stamped.header_crc = 0;
+  stamped.header_crc = ManifestHeaderCrc(stamped);
   std::memcpy(buf.data(), &stamped, sizeof(stamped));
   return dev->Write(page, buf.data());
 }
@@ -209,6 +229,12 @@ Status VerifyStore(PageDevice* dev, std::span<const PageId> manifests,
         " live pages are owned by no manifest (leaked)");
   }
   return Status::OK();
+}
+
+Result<uint64_t> PeekManifestMagic(PageDevice* dev, PageId manifest) {
+  PstManifestHeader hdr;
+  PC_RETURN_IF_ERROR(ReadManifestHeader(dev, manifest, &hdr));
+  return hdr.magic;
 }
 
 Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,

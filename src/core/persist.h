@@ -58,6 +58,13 @@ Status VerifyStore(PageDevice* dev, std::span<const PageId> manifests,
 Result<std::unique_ptr<TwoSidedIndex>> OpenTwoSidedIndex(PageDevice* dev,
                                                          PageId manifest);
 
+/// Reads and validates (magic, header CRC, format version) the manifest at
+/// `manifest`, returning its magic — the structure type tag — without
+/// opening the structure.  Lets a caller holding a bag of manifest ids
+/// dispatch each to the right concrete Open() (the serving layer's
+/// AddStructure does exactly this).
+Result<uint64_t> PeekManifestMagic(PageDevice* dev, PageId manifest);
+
 /// Clusters a finished structure's disk layout (io/layout.h) and then saves
 /// it, returning the manifest page id.  The order matters: the manifest
 /// chain is outside the structure's page graph, so clustering must precede

@@ -155,10 +155,15 @@ inline constexpr uint64_t kExtIntTreeMagic = 0x35545350'43500005ULL;
 /// pre-versioning manifests, accepted as 1) is the original layout; version
 /// 2 adds the trailing `format_version` itself and blesses stores written
 /// through a ChecksumPageDevice (the header layout is unchanged — page
-/// payloads just shrink by the checksum trailer).  Readers accept any
-/// version <= current and reject newer ones with Corruption instead of
+/// payloads just shrink by the checksum trailer); version 3 stamps
+/// `header_crc` (CRC32C over the header bytes with that field zeroed) so a
+/// single flipped bit anywhere in the header — including fields no open
+/// path interprets, like the storage breakdown — degrades to Corruption
+/// instead of a silently wrong handle.  Readers verify the CRC on every
+/// manifest (all extant stores are written by this code), accept any
+/// version <= current, and reject newer ones with Corruption instead of
 /// misparsing pages from a future writer.
-inline constexpr uint32_t kManifestFormatVersion = 2;
+inline constexpr uint32_t kManifestFormatVersion = 3;
 
 struct PstManifestHeader {
   uint64_t magic = 0;
@@ -180,9 +185,12 @@ struct PstManifestHeader {
   uint64_t aux = 0;  // structure-specific (ExtSegmentTree: stored copies)
   // New fields go below so legacy manifests (zero-filled slack) read 0.
   uint32_t format_version = 0;  // stamped by WriteManifestHeader
-  uint32_t reserved = 0;
+  uint32_t header_crc = 0;      // CRC32C of the header, this field as 0
 };
 static_assert(sizeof(PstManifestHeader) <= 256);
+// The CRC is computed over the raw struct bytes, so the layout must stay
+// free of implicit padding (whose value memcpy would not pin down).
+static_assert(sizeof(PstManifestHeader) == 136);
 
 /// Page accounting for the space-bound experiments (Lemmas 3.1/4.1/4.2).
 struct StorageBreakdown {

@@ -39,6 +39,14 @@ struct ExternalPstOptions {
   bool enable_readahead = true;
 };
 
+/// Thread-safety contract (shared by all four external structures): Build,
+/// Save, Open, Cluster and Destroy mutate and must be externally serialized.
+/// Queries are const and perform no lazy mutation, so concurrent queries on
+/// DISTINCT instances are always safe, and concurrent queries on the SAME
+/// instance are safe iff the underlying PageDevice is itself thread-safe
+/// (e.g. SharedBufferPool; MemPageDevice and CountingPageDevice are not).
+/// src/serve/QueryEngine builds on this: one handle per worker thread,
+/// Open()d over the same manifest through a shared thread-safe pool.
 class ExternalPst : public TwoSidedIndex {
  public:
   explicit ExternalPst(PageDevice* dev, ExternalPstOptions opts = {});

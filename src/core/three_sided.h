@@ -62,6 +62,11 @@ struct Pst3NodeRec {
 };
 static_assert(sizeof(Pst3NodeRec) == 88);
 
+/// Thread-safety: mutators (Build/Save/Open/Cluster/Destroy) require
+/// external serialization.  QueryThreeSided is const with no lazy mutation:
+/// concurrent queries on distinct instances are safe; on the same instance
+/// they are safe iff the PageDevice is thread-safe (see the contract note
+/// on ExternalPst in pst_external.h).
 class ThreeSidedPst {
  public:
   explicit ThreeSidedPst(PageDevice* dev, ThreeSidedPstOptions opts = {});

@@ -218,7 +218,7 @@ Status SharedBufferPool::Write(PageId id, const std::byte* buf) {
   return Status::OK();
 }
 
-const IoStats& SharedBufferPool::stats() const {
+IoStats SharedBufferPool::StatsSnapshot() const {
   IoStats agg;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s->mu);
@@ -232,6 +232,12 @@ const IoStats& SharedBufferPool::stats() const {
     agg.allocs = in.allocs;
     agg.frees = in.frees;
   }
+  return agg;
+}
+
+const IoStats& SharedBufferPool::stats() const {
+  IoStats agg = StatsSnapshot();
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
   stats_snapshot_ = agg;
   return stats_snapshot_;
 }

@@ -55,10 +55,17 @@ class SharedBufferPool final : public PageDevice {
   void Unpin(PageId id) override;
 
   /// Aggregated logical-access counters.  Returns a reference to an
-  /// internal snapshot refreshed by this call; like the rest of the stats
-  /// API it is intended for quiesced measurement points, not for reading
-  /// while writers are mid-flight.
+  /// internal snapshot refreshed by this call; the refresh is serialized, but
+  /// the returned reference can be overwritten by a later call, so this
+  /// remains a quiesced-measurement API.  Concurrent readers (the serving
+  /// layer's observability path) must use StatsSnapshot() instead.
   const IoStats& stats() const override;
+
+  /// Thread-safe by-value variant of stats(): aggregates the shards under
+  /// their locks and returns the copy.  Safe to call at any time, including
+  /// while readers are mid-flight on other threads.
+  IoStats StatsSnapshot() const;
+
   void ResetStats() override;
   uint64_t live_pages() const override;
 
@@ -104,6 +111,7 @@ class SharedBufferPool final : public PageDevice {
   uint32_t page_size_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex inner_mu_;  // serializes every inner_-> call
+  mutable std::mutex snapshot_mu_;  // serializes stats_snapshot_ refreshes
   mutable IoStats stats_snapshot_;
 };
 

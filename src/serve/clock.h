@@ -1,0 +1,65 @@
+// Clock abstraction for the serving layer.
+//
+// Deadlines are absolute microsecond timestamps against an injected Clock so
+// tests can drive expiry deterministically: a FakeClock advanced past a
+// queued request's deadline while the workers are parked makes the next
+// dispatch drop it, every time, with no sleeps and no flakiness.  Production
+// engines use SystemClock, a monotonic (steady_clock) source immune to
+// wall-time jumps.
+
+#ifndef PATHCACHE_SERVE_CLOCK_H_
+#define PATHCACHE_SERVE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pathcache {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed origin.  Monotonic:
+  /// never decreases across calls on any thread.
+  virtual uint64_t NowMicros() const = 0;
+};
+
+/// Monotonic real clock.  Stateless; the shared instance is safe to hand to
+/// any number of engines.
+class SystemClock final : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static SystemClock* Default() {
+    static SystemClock clock;
+    return &clock;
+  }
+};
+
+/// Manually advanced clock for deterministic tests.  Thread-safe: workers
+/// read while the test thread advances.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void Advance(uint64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_SERVE_CLOCK_H_

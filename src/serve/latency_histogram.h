@@ -1,0 +1,95 @@
+// Lock-free latency histogram with power-of-two buckets.
+//
+// Record() is a single relaxed fetch_add on the value's bucket (bucket i
+// holds values whose bit width is i, i.e. [2^(i-1), 2^i)), so worker threads
+// never contend on a lock to account a completed query.  Quantiles are
+// computed from a snapshot of the counters and are therefore approximate —
+// resolved to the bucket's upper bound, an error of at most 2x, which is
+// plenty for the p50/p95/p99 serving dashboards this feeds.  Sum and max are
+// tracked exactly.
+
+#ifndef PATHCACHE_SERVE_LATENCY_HISTOGRAM_H_
+#define PATHCACHE_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace pathcache {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit widths 0..64
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+
+    double mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+  };
+
+  void Record(uint64_t value) {
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Aggregates the counters into quantiles.  Concurrent Record() calls may
+  /// or may not be included — the snapshot is consistent enough for
+  /// monitoring, and exact once writers quiesce.
+  Snapshot TakeSnapshot() const {
+    std::array<uint64_t, kBuckets> counts;
+    Snapshot s;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += counts[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    if (s.count == 0) return s;
+    s.p50 = Quantile(counts, s.count, 0.50);
+    s.p95 = Quantile(counts, s.count, 0.95);
+    s.p99 = Quantile(counts, s.count, 0.99);
+    return s;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Value below which at least ceil(q * total) recorded samples fall:
+  /// the upper bound of the bucket containing the q-quantile sample.
+  static uint64_t Quantile(const std::array<uint64_t, kBuckets>& counts,
+                           uint64_t total, double q) {
+    const uint64_t rank = static_cast<uint64_t>(q * double(total - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) {
+        // Bucket i holds values of bit width i: upper bound 2^i - 1.
+        return i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+      }
+    }
+    return UINT64_MAX;  // unreachable when total matches the counters
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_SERVE_LATENCY_HISTOGRAM_H_

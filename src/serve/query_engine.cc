@@ -1,0 +1,269 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/persist.h"
+#include "core/pst_common.h"
+
+namespace pathcache {
+
+QueryEngine::QueryEngine(PageDevice* shared, QueryEngineOptions opts)
+    : shared_(shared),
+      opts_(opts),
+      clock_(opts.clock != nullptr ? opts.clock : SystemClock::Default()) {
+  if (opts_.num_workers == 0) opts_.num_workers = 1;
+  if (opts_.batch_size == 0) opts_.batch_size = 1;
+  workers_.reserve(opts_.num_workers);
+  for (uint32_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(shared_));
+  }
+}
+
+QueryEngine::~QueryEngine() { Stop(); }
+
+Result<uint32_t> QueryEngine::AddStructure(PageId manifest) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_ || stopping_) {
+      return Status::FailedPrecondition(
+          "AddStructure is a setup-phase call; the engine is already running");
+    }
+  }
+  PC_ASSIGN_OR_RETURN(uint64_t magic, PeekManifestMagic(shared_, manifest));
+  QueryKind kind;
+  if (magic == kExternalPstMagic || magic == kTwoLevelPstMagic) {
+    kind = QueryKind::kTwoSided;
+  } else if (magic == kThreeSidedPstMagic) {
+    kind = QueryKind::kThreeSided;
+  } else if (magic == kExtSegTreeMagic || magic == kExtIntTreeMagic) {
+    kind = QueryKind::kStabbing;
+  } else {
+    return Status::InvalidArgument("manifest magic names no servable type");
+  }
+
+  // Every worker gets its own handle over its own counting device, so the
+  // query paths never share in-memory state and per-request I/O deltas are
+  // exact.  The handles all read the same on-disk pages — byte-identical
+  // results by construction.
+  for (auto& w : workers_) {
+    StructureHandle h;
+    h.kind = kind;
+    switch (kind) {
+      case QueryKind::kTwoSided: {
+        PC_ASSIGN_OR_RETURN(h.two_sided, OpenTwoSidedIndex(&w->dev, manifest));
+        break;
+      }
+      case QueryKind::kThreeSided: {
+        h.three_sided = std::make_unique<ThreeSidedPst>(&w->dev);
+        PC_RETURN_IF_ERROR(h.three_sided->Open(manifest));
+        break;
+      }
+      case QueryKind::kStabbing: {
+        if (magic == kExtSegTreeMagic) {
+          h.seg_tree = std::make_unique<ExtSegmentTree>(&w->dev);
+          PC_RETURN_IF_ERROR(h.seg_tree->Open(manifest));
+        } else {
+          h.interval_tree = std::make_unique<ExtIntervalTree>(&w->dev);
+          PC_RETURN_IF_ERROR(h.interval_tree->Open(manifest));
+        }
+        break;
+      }
+    }
+    w->handles.push_back(std::move(h));
+  }
+  manifests_.push_back(manifest);
+  kinds_.push_back(kind);
+  return static_cast<uint32_t>(manifests_.size() - 1);
+}
+
+Status QueryEngine::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_ || stopping_) {
+    return Status::FailedPrecondition("engine already started");
+  }
+  // Opening handles counted reads on the worker devices; zero them so the
+  // aggregate io in stats() is pure serving traffic.
+  for (auto& w : workers_) w->dev.ResetStats();
+  running_ = true;
+  for (auto& w : workers_) {
+    w->thread = std::thread(&QueryEngine::WorkerLoop, this, w.get());
+  }
+  return Status::OK();
+}
+
+void QueryEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+Status QueryEngine::Submit(uint32_t structure_id, const ServeQuery& query,
+                           QueryDoneCallback done, uint64_t deadline_micros) {
+  if (structure_id >= manifests_.size()) {
+    return Status::InvalidArgument("unknown structure id " +
+                                   std::to_string(structure_id));
+  }
+  Request req;
+  req.structure_id = structure_id;
+  req.query = query;
+  req.done = std::move(done);
+  req.deadline_micros = deadline_micros;
+  req.submit_micros = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_ || stopping_) {
+      return Status::FailedPrecondition("engine is not serving");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      ++rejected_overload_;
+      return Status::Overloaded("queue full (" +
+                                std::to_string(opts_.queue_capacity) +
+                                " requests waiting)");
+    }
+    queue_.push_back(std::move(req));
+    ++submitted_;
+    max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, queue_.size());
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void QueryEngine::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+int64_t QueryEngine::LocalityKey(QueryKind kind, const ServeQuery& q) {
+  switch (kind) {
+    case QueryKind::kTwoSided:
+      return q.two_sided.x_min;
+    case QueryKind::kThreeSided:
+      return q.three_sided.x_min;
+    case QueryKind::kStabbing:
+      return q.stab;
+  }
+  return 0;
+}
+
+QueryResult QueryEngine::Execute(Worker* w, const Request& req) {
+  QueryResult res;
+  const IoStats before = w->dev.stats();
+  StructureHandle& h = w->handles[req.structure_id];
+  switch (h.kind) {
+    case QueryKind::kTwoSided:
+      res.status = h.two_sided->QueryTwoSided(req.query.two_sided,
+                                              &res.points, nullptr);
+      break;
+    case QueryKind::kThreeSided:
+      res.status = h.three_sided->QueryThreeSided(req.query.three_sided,
+                                                  &res.points);
+      break;
+    case QueryKind::kStabbing:
+      if (h.seg_tree != nullptr) {
+        res.status = h.seg_tree->Stab(req.query.stab, &res.intervals);
+      } else {
+        res.status = h.interval_tree->Stab(req.query.stab, &res.intervals);
+      }
+      break;
+  }
+  res.io = w->dev.stats() - before;
+  return res;
+}
+
+void QueryEngine::WorkerLoop(Worker* w) {
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      const size_t take =
+          std::min<size_t>(opts_.batch_size, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += batch.size();
+    }
+    // No extra notify here: every Submit() posts its own notify_one, so a
+    // worker parked while requests remain always has a wakeup in flight.
+
+    // Locality sort: group the batch by structure, then by query key, so
+    // consecutive queries descend through the same skeletal neighborhoods
+    // while the shared pool still holds them.  stable_sort keeps equal
+    // queries in submission order.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [this](const Request& a, const Request& b) {
+                       return std::make_tuple(
+                                  a.structure_id,
+                                  LocalityKey(kinds_[a.structure_id],
+                                              a.query)) <
+                              std::make_tuple(
+                                  b.structure_id,
+                                  LocalityKey(kinds_[b.structure_id],
+                                              b.query));
+                     });
+
+    for (Request& req : batch) {
+      QueryResult res;
+      // Deadline gate at dispatch: an expired request is dropped before any
+      // I/O is issued — never abandoned mid-scan — so the engine sheds load
+      // that can no longer meet its deadline at zero device cost.
+      const uint64_t now = clock_->NowMicros();
+      if (req.deadline_micros != 0 && now > req.deadline_micros) {
+        res.status = Status::DeadlineExceeded(
+            "deadline passed " + std::to_string(now - req.deadline_micros) +
+            "us before dispatch");
+        res.latency_micros = now - req.submit_micros;
+        expired_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        res = Execute(w, req);
+        res.latency_micros = clock_->NowMicros() - req.submit_micros;
+        latency_.Record(res.latency_micros);
+        io_reads_.fetch_add(res.io.reads, std::memory_order_relaxed);
+        io_batch_reads_.fetch_add(res.io.batch_reads,
+                                  std::memory_order_relaxed);
+        io_writes_.fetch_add(res.io.writes, std::memory_order_relaxed);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (req.done) req.done(std::move(res));
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+ServeStats QueryEngine::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.submitted = submitted_;
+    s.rejected_overload = rejected_overload_;
+    s.queue_depth = queue_.size();
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.latency = latency_.TakeSnapshot();
+  s.io.reads = io_reads_.load(std::memory_order_relaxed);
+  s.io.batch_reads = io_batch_reads_.load(std::memory_order_relaxed);
+  s.io.writes = io_writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pathcache

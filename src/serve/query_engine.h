@@ -1,0 +1,243 @@
+// QueryEngine: a concurrent query-serving layer over the external
+// structures.
+//
+// One engine owns a pool of worker threads fed by a bounded MPMC request
+// queue.  Clients Submit() queries against structures registered by their
+// Save()d manifests; workers execute them and deliver results through a
+// completion callback.  The design goals, in order:
+//
+//  * Correctness under concurrency: every query runs on a worker-private
+//    handle of the structure (opened from the same manifest), so the
+//    read-only query paths never share mutable state.  All page I/O funnels
+//    through the engine's shared (thread-safe) PageDevice — in practice a
+//    SharedBufferPool — so results are byte-identical to single-threaded
+//    execution; serve_test asserts exactly that.
+//  * Admission control: the queue is bounded.  A Submit() that would exceed
+//    `queue_capacity` is rejected immediately with kOverloaded — back
+//    pressure at the edge instead of unbounded memory growth.
+//  * Deadlines: each request may carry an absolute deadline (microseconds on
+//    the engine's Clock).  Workers re-check the deadline when they dequeue a
+//    request and drop expired ones with kDeadlineExceeded BEFORE issuing any
+//    I/O — a request is never abandoned mid-scan, so a started query always
+//    runs to completion and its I/O accounting is whole.
+//  * Batch dequeue: workers take up to `batch_size` requests at once and
+//    sort them by (structure, query key) before executing, so neighboring
+//    queries walk the same skeletal pages back to back and hit the shared
+//    pool while those pages are still hot.
+//  * Observability: per-request IoStats deltas (from the worker's private
+//    CountingPageDevice) ride on every completion; the engine aggregates a
+//    latency histogram (p50/p95/p99), queue-depth high-water mark, and
+//    rejection/expiry counters, all readable mid-flight via stats().
+//
+// Thread-safety: Submit(), Drain() and stats() may be called from any
+// thread once Start() returns.  AddStructure() and Start() are setup-phase
+// calls (single-threaded, before serving); Stop() may be called once from
+// any thread and blocks until the queue is drained and workers have joined.
+
+#ifndef PATHCACHE_SERVE_QUERY_ENGINE_H_
+#define PATHCACHE_SERVE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/three_sided.h"
+#include "core/two_sided_index.h"
+#include "io/counting_page_device.h"
+#include "io/io_types.h"
+#include "io/page_device.h"
+#include "serve/clock.h"
+#include "serve/latency_histogram.h"
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+/// Which query family a registered structure answers.
+enum class QueryKind : uint8_t {
+  kTwoSided,    // ExternalPst / TwoLevelPst: x >= x_min && y >= y_min
+  kThreeSided,  // ThreeSidedPst: x in [x_min, x_max] && y >= y_min
+  kStabbing,    // ExtSegmentTree / ExtIntervalTree: intervals containing q
+};
+
+/// A query addressed to one registered structure.  Only the member matching
+/// the structure's kind is read.
+struct ServeQuery {
+  TwoSidedQuery two_sided;
+  ThreeSidedQuery three_sided;
+  int64_t stab = 0;
+
+  static ServeQuery TwoSided(TwoSidedQuery q) {
+    ServeQuery s;
+    s.two_sided = q;
+    return s;
+  }
+  static ServeQuery ThreeSided(ThreeSidedQuery q) {
+    ServeQuery s;
+    s.three_sided = q;
+    return s;
+  }
+  static ServeQuery Stab(int64_t q) {
+    ServeQuery s;
+    s.stab = q;
+    return s;
+  }
+};
+
+/// Outcome of one request, delivered to its completion callback on a worker
+/// thread.  Exactly one of `points` / `intervals` is populated on success,
+/// by the structure's kind.
+struct QueryResult {
+  Status status = Status::OK();
+  std::vector<Point> points;
+  std::vector<Interval> intervals;
+  /// Pages this request read, isolated per-request via the worker's private
+  /// counting device.  Zero for rejected/expired requests (no I/O issued).
+  IoStats io;
+  /// Submit-to-completion time on the engine's clock.
+  uint64_t latency_micros = 0;
+};
+
+using QueryDoneCallback = std::function<void(QueryResult)>;
+
+struct QueryEngineOptions {
+  uint32_t num_workers = 4;
+  /// Submissions beyond this many queued requests are rejected.
+  size_t queue_capacity = 256;
+  /// Requests a worker dequeues (and locality-sorts) per queue pass.
+  uint32_t batch_size = 8;
+  /// Deadline source; nullptr uses the monotonic SystemClock.
+  Clock* clock = nullptr;
+};
+
+/// Mid-flight counters, snapshotted by QueryEngine::stats().
+struct ServeStats {
+  uint64_t submitted = 0;           // accepted into the queue
+  uint64_t completed = 0;           // executed (status delivered, any code)
+  uint64_t rejected_overload = 0;   // bounced at Submit() with kOverloaded
+  uint64_t expired = 0;             // dropped at dispatch, kDeadlineExceeded
+  uint64_t queue_depth = 0;         // requests waiting right now
+  uint64_t max_queue_depth = 0;     // high-water mark since Start()
+  /// Latency of executed queries (expired requests excluded).
+  LatencyHistogram::Snapshot latency;
+  /// Page I/O across all workers (sum of the per-request deltas).
+  IoStats io;
+};
+
+class QueryEngine {
+ public:
+  /// `shared` is the device every worker reads through; it must be
+  /// thread-safe if `num_workers > 1` (SharedBufferPool is the intended
+  /// stack).  The engine does not own it.
+  explicit QueryEngine(PageDevice* shared, QueryEngineOptions opts = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers a Save()d structure, classified by its manifest magic, and
+  /// opens one private handle per worker.  Setup-phase only: returns
+  /// FailedPrecondition once Start() has run.  Returns the structure id
+  /// Submit() addresses.
+  Result<uint32_t> AddStructure(PageId manifest);
+
+  /// Spawns the workers.  No-op error (FailedPrecondition) if already
+  /// started.
+  Status Start();
+
+  /// Graceful shutdown: refuses new submissions, lets the workers drain the
+  /// queue (running every queued request through the normal deadline check),
+  /// then joins them.  Idempotent.
+  void Stop();
+
+  /// Enqueues a query against structure `structure_id`.  `done` is invoked
+  /// exactly once, on a worker thread, unless Submit returns non-OK (then
+  /// never).  `deadline_micros` is absolute on the engine's clock; 0 means
+  /// no deadline.  Returns kOverloaded when the queue is full and
+  /// FailedPrecondition when the engine is not running.
+  Status Submit(uint32_t structure_id, const ServeQuery& query,
+                QueryDoneCallback done, uint64_t deadline_micros = 0);
+
+  /// Blocks until every accepted request has completed (queue empty and no
+  /// request in flight).
+  void Drain();
+
+  ServeStats stats() const;
+
+  uint32_t num_workers() const { return opts_.num_workers; }
+  size_t num_structures() const { return manifests_.size(); }
+  QueryKind structure_kind(uint32_t id) const { return kinds_[id]; }
+
+ private:
+  struct StructureHandle {
+    QueryKind kind;
+    // Exactly one is set, by kind.
+    std::unique_ptr<TwoSidedIndex> two_sided;
+    std::unique_ptr<ThreeSidedPst> three_sided;
+    std::unique_ptr<ExtSegmentTree> seg_tree;
+    std::unique_ptr<ExtIntervalTree> interval_tree;
+  };
+
+  /// Everything one worker thread touches while executing queries.  The
+  /// counting device (and therefore every handle's I/O) is private to the
+  /// worker, which is what makes per-request IoStats deltas race-free.
+  struct Worker {
+    explicit Worker(PageDevice* shared) : dev(shared) {}
+    CountingPageDevice dev;
+    std::vector<StructureHandle> handles;
+    std::thread thread;
+  };
+
+  struct Request {
+    uint32_t structure_id = 0;
+    ServeQuery query;
+    QueryDoneCallback done;
+    uint64_t deadline_micros = 0;  // 0 = none
+    uint64_t submit_micros = 0;
+  };
+
+  void WorkerLoop(Worker* w);
+  QueryResult Execute(Worker* w, const Request& req);
+  /// The key batch sorting clusters on: queries near each other descend
+  /// through the same skeletal pages.
+  static int64_t LocalityKey(QueryKind kind, const ServeQuery& q);
+
+  PageDevice* shared_;
+  QueryEngineOptions opts_;
+  Clock* clock_;
+
+  std::vector<PageId> manifests_;
+  std::vector<QueryKind> kinds_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for requests / stop
+  std::condition_variable drain_cv_;  // Drain()/Stop() wait for idle
+  std::deque<Request> queue_;
+  uint64_t in_flight_ = 0;  // dequeued but not yet completed
+  bool running_ = false;
+  bool stopping_ = false;
+
+  // Queue-side counters live under mu_; completion-side counters are
+  // atomics so workers never retake the queue lock to account a result.
+  uint64_t submitted_ = 0;
+  uint64_t rejected_overload_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> io_reads_{0};
+  std::atomic<uint64_t> io_batch_reads_{0};
+  std::atomic<uint64_t> io_writes_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_SERVE_QUERY_ENGINE_H_

@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

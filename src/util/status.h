@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kNotSupported = 5,
   kOutOfRange = 6,
   kFailedPrecondition = 7,
+  kOverloaded = 8,         // admission control: request rejected, retry later
+  kDeadlineExceeded = 9,   // request expired before (or instead of) running
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
@@ -59,6 +61,12 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +75,13 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// Message attached at construction; empty for OK.

@@ -48,50 +48,9 @@ TEST(ExtIntervalTreeTest, EmptyAndSingle) {
   }
 }
 
-struct EitCase {
-  uint64_t n;
-  uint64_t seed;
-  uint32_t page_size;
-  bool caching;
-  const char* dist;
-};
-
-class ExtIntervalTreeSweep : public ::testing::TestWithParam<EitCase> {};
-
-TEST_P(ExtIntervalTreeSweep, MatchesBruteForce) {
-  const auto& c = GetParam();
-  MemPageDevice dev(c.page_size);
-  ExtIntervalTreeOptions opts;
-  opts.enable_path_caching = c.caching;
-  ExtIntervalTree it(&dev, opts);
-  auto ivs = MakeIntervals(c.n, c.seed, c.dist);
-  ASSERT_TRUE(it.Build(ivs).ok());
-
-  Rng rng(c.seed ^ 0xAAAA);
-  for (int i = 0; i < 40; ++i) {
-    const auto& iv = ivs[rng.Uniform(ivs.size())];
-    for (int64_t q : {iv.lo, iv.hi, iv.lo - 1, iv.hi + 1,
-                      (iv.lo + iv.hi) / 2,
-                      rng.UniformRange(-5, 4'100'000)}) {
-      std::vector<Interval> got;
-      ASSERT_TRUE(it.Stab(q, &got).ok());
-      ASSERT_TRUE(SameResult(got, BruteStab(ivs, q))) << "q=" << q;
-    }
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, ExtIntervalTreeSweep,
-    ::testing::Values(EitCase{10, 1, 4096, true, "uniform"},
-                      EitCase{500, 2, 4096, true, "uniform"},
-                      EitCase{10000, 3, 4096, true, "uniform"},
-                      EitCase{10000, 4, 4096, false, "uniform"},
-                      EitCase{5000, 5, 512, true, "uniform"},
-                      EitCase{5000, 6, 512, false, "uniform"},
-                      EitCase{8000, 7, 4096, true, "nested"},
-                      EitCase{8000, 8, 4096, true, "bursty"},
-                      EitCase{4000, 9, 256, true, "uniform"},
-                      EitCase{20000, 10, 1024, true, "uniform"}));
+// The random-vs-oracle sweep lives in differential_test.cpp (shared
+// shrinking harness, see tests/oracle_common.h); this file keeps the
+// structure-specific and deterministic cases.
 
 TEST(ExtIntervalTreeTest, DuplicateEndpointsStillCorrect) {
   MemPageDevice dev(512);

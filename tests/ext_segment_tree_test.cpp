@@ -48,49 +48,9 @@ TEST(ExtSegmentTreeTest, EmptyAndSingle) {
   }
 }
 
-struct EstCase {
-  uint64_t n;
-  uint64_t seed;
-  uint32_t page_size;
-  bool caching;
-  const char* dist;
-};
-
-class ExtSegTreeSweep : public ::testing::TestWithParam<EstCase> {};
-
-TEST_P(ExtSegTreeSweep, MatchesBruteForce) {
-  const auto& c = GetParam();
-  MemPageDevice dev(c.page_size);
-  ExtSegmentTreeOptions opts;
-  opts.enable_path_caching = c.caching;
-  ExtSegmentTree st(&dev, opts);
-  auto ivs = MakeIntervals(c.n, c.seed, c.dist);
-  ASSERT_TRUE(st.Build(ivs).ok());
-
-  Rng rng(c.seed ^ 0x9999);
-  for (int i = 0; i < 40; ++i) {
-    const auto& iv = ivs[rng.Uniform(ivs.size())];
-    for (int64_t q : {iv.lo, iv.hi, iv.lo - 1, iv.hi + 1,
-                      (iv.lo + iv.hi) / 2,
-                      rng.UniformRange(-5, 4'100'000)}) {
-      std::vector<Interval> got;
-      ASSERT_TRUE(st.Stab(q, &got).ok());
-      ASSERT_TRUE(SameResult(got, BruteStab(ivs, q))) << "q=" << q;
-    }
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, ExtSegTreeSweep,
-    ::testing::Values(EstCase{10, 1, 4096, true, "uniform"},
-                      EstCase{500, 2, 4096, true, "uniform"},
-                      EstCase{10000, 3, 4096, true, "uniform"},
-                      EstCase{10000, 4, 4096, false, "uniform"},
-                      EstCase{5000, 5, 512, true, "uniform"},
-                      EstCase{5000, 6, 512, false, "uniform"},
-                      EstCase{8000, 7, 4096, true, "nested"},
-                      EstCase{8000, 8, 4096, true, "bursty"},
-                      EstCase{4000, 9, 256, true, "uniform"}));
+// The random-vs-oracle sweep lives in differential_test.cpp (shared
+// shrinking harness, see tests/oracle_common.h); this file keeps the
+// structure-specific and deterministic cases.
 
 TEST(ExtSegmentTreeTest, DuplicateEndpointsStillCorrect) {
   // Without MakeEndpointsDistinct: correctness must hold (bounds may not).

@@ -1,0 +1,205 @@
+// Unified property-based differential harness: every external structure is
+// exercised against its in-core brute-force oracle over randomly generated
+// record sets and randomly sampled queries, all derived deterministically
+// from a case seed.
+//
+// The harness replaces the per-structure ad-hoc "MatchesBruteForce" sweeps
+// the test suite grew one copy at a time.  What it adds over them:
+//
+//  * One shrinking engine.  On a disagreement the harness does not just
+//    fail — it delta-debugs the record set down to a locally minimal set
+//    that still reproduces the disagreement (rebuilding the structure from
+//    scratch per candidate, so shrink results are trustworthy), then prints
+//    a self-contained reproducer: the case parameters, the seed, the
+//    surviving records, and the failing query.
+//  * One place to add query-distribution coverage for all four structures.
+//
+// A structure plugs in via an Adapter type:
+//
+//   struct MyAdapter {
+//     using Record = ...;              // Point or Interval
+//     using Query = ...;
+//     static const char* Name();
+//     struct Instance {                // a built structure on a fresh device
+//       Instance(const std::vector<Record>&, const DiffCase&);
+//       Status init;                   // Build() outcome
+//       Status Query(const Query&, std::vector<Record>* out) const;
+//     };
+//     static std::vector<Record> GenRecords(const DiffCase&);
+//     static Query Sample(const std::vector<Record>&, Rng*, const DiffCase&,
+//                         int ordinal);
+//     static std::vector<Query> BoundaryQueries();
+//     static std::vector<Record> Oracle(const std::vector<Record>&,
+//                                       const Query&);
+//     static std::string FormatQuery(const Query&);
+//   };
+
+#ifndef PATHCACHE_TESTS_ORACLE_COMMON_H_
+#define PATHCACHE_TESTS_ORACLE_COMMON_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace difftest {
+
+/// One differential case: everything about it (records and queries) derives
+/// from these values, so quoting the case IS the reproducer.
+struct DiffCase {
+  uint64_t n = 0;
+  uint64_t seed = 0;
+  uint32_t page_size = 4096;
+  bool caching = true;
+  const char* dist = "uniform";
+  double x_frac = 0.2;  // 3-sided query width fraction; ignored elsewhere
+};
+
+inline std::string FormatCase(const DiffCase& c) {
+  std::ostringstream os;
+  os << "DiffCase{.n=" << c.n << ", .seed=" << c.seed
+     << ", .page_size=" << c.page_size
+     << ", .caching=" << (c.caching ? "true" : "false") << ", .dist=\""
+     << c.dist << "\", .x_frac=" << c.x_frac << "}";
+  return os.str();
+}
+
+inline std::string FormatRecord(const Point& p) {
+  std::ostringstream os;
+  os << "{" << p.x << ", " << p.y << ", " << p.id << "}";
+  return os.str();
+}
+
+inline std::string FormatRecord(const Interval& iv) {
+  std::ostringstream os;
+  os << "{" << iv.lo << ", " << iv.hi << ", " << iv.id << "}";
+  return os.str();
+}
+
+/// True iff a fresh instance built over `recs` disagrees with the oracle on
+/// `q` (a Build or Query error also counts: the shrinker may legitimately
+/// walk into one while minimizing, and an erroring input is just as much a
+/// reproducer).
+template <typename A>
+bool Disagrees(const std::vector<typename A::Record>& recs,
+               const typename A::Query& q, const DiffCase& c) {
+  typename A::Instance inst(recs, c);
+  if (!inst.init.ok()) return true;
+  std::vector<typename A::Record> got;
+  if (!inst.Query(q, &got).ok()) return true;
+  return !SameResult(got, A::Oracle(recs, q));
+}
+
+/// ddmin-style minimizer: repeatedly tries deleting chunks of the record
+/// set, keeping any deletion that still reproduces the disagreement, until
+/// the set is 1-minimal (no single record can be removed) or the rebuild
+/// budget runs out.  Each probe rebuilds the structure from scratch.
+template <typename A>
+std::vector<typename A::Record> ShrinkRecords(
+    std::vector<typename A::Record> recs, const typename A::Query& q,
+    const DiffCase& c, int max_probes = 600) {
+  size_t chunks = 2;
+  int probes = 0;
+  while (recs.size() > 1 && chunks <= recs.size() && probes < max_probes) {
+    const size_t chunk_len = (recs.size() + chunks - 1) / chunks;
+    bool removed_any = false;
+    for (size_t start = 0; start < recs.size() && probes < max_probes;
+         start += chunk_len) {
+      std::vector<typename A::Record> candidate;
+      candidate.reserve(recs.size());
+      for (size_t i = 0; i < recs.size(); ++i) {
+        if (i < start || i >= start + chunk_len) candidate.push_back(recs[i]);
+      }
+      if (candidate.empty()) continue;
+      ++probes;
+      if (Disagrees<A>(candidate, q, c)) {
+        recs = std::move(candidate);
+        chunks = std::max<size_t>(2, chunks - 1);
+        removed_any = true;
+        break;  // restart the chunk scan on the smaller set
+      }
+    }
+    if (!removed_any) {
+      if (chunk_len == 1) break;  // 1-minimal
+      chunks = std::min(recs.size(), chunks * 2);
+    }
+  }
+  return recs;
+}
+
+/// Self-contained failure report: enough to paste into a regression test.
+template <typename A>
+std::string Reproducer(const std::vector<typename A::Record>& minimal,
+                       const typename A::Query& q, const DiffCase& c) {
+  std::ostringstream os;
+  os << A::Name() << " disagrees with its oracle.\n"
+     << "case: " << FormatCase(c) << "\n"
+     << "query: " << A::FormatQuery(q) << "\n"
+     << "shrunk to " << minimal.size() << " record(s):\n";
+  const size_t show = std::min<size_t>(minimal.size(), 64);
+  for (size_t i = 0; i < show; ++i) {
+    os << "  " << FormatRecord(minimal[i]) << ",\n";
+  }
+  if (show < minimal.size()) {
+    os << "  ... (" << (minimal.size() - show) << " more)\n";
+  }
+  {
+    typename A::Instance inst(minimal, c);
+    if (!inst.init.ok()) {
+      os << "Build on the shrunk set: " << inst.init.ToString() << "\n";
+    } else {
+      std::vector<typename A::Record> got;
+      Status s = inst.Query(q, &got);
+      if (!s.ok()) {
+        os << "Query on the shrunk set: " << s.ToString() << "\n";
+      } else {
+        auto want = A::Oracle(minimal, q);
+        os << "structure returned " << got.size() << " record(s), oracle "
+           << want.size() << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+/// The harness entry point: builds the structure once over the generated
+/// records, then replays `num_queries` sampled queries plus the adapter's
+/// fixed boundary queries against the oracle.  The first disagreement is
+/// shrunk and reported; the test fails with the reproducer.
+template <typename A>
+void RunDifferential(const DiffCase& c, int num_queries) {
+  const std::vector<typename A::Record> recs = A::GenRecords(c);
+  typename A::Instance inst(recs, c);
+  ASSERT_TRUE(inst.init.ok()) << A::Name() << " Build: "
+                              << inst.init.ToString() << "\n"
+                              << FormatCase(c);
+
+  std::vector<typename A::Query> queries = A::BoundaryQueries();
+  Rng rng(c.seed ^ 0x5EEDF00DULL);
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(A::Sample(recs, &rng, c, i));
+  }
+
+  for (const auto& q : queries) {
+    std::vector<typename A::Record> got;
+    Status s = inst.Query(q, &got);
+    const bool ok = s.ok() && SameResult(got, A::Oracle(recs, q));
+    if (ok) continue;
+    auto minimal = ShrinkRecords<A>(recs, q, c);
+    FAIL() << Reproducer<A>(minimal, q, c)
+           << (s.ok() ? "" : "first failure status: " + s.ToString());
+  }
+}
+
+}  // namespace difftest
+}  // namespace pathcache
+
+#endif  // PATHCACHE_TESTS_ORACLE_COMMON_H_

@@ -10,6 +10,8 @@
 
 #include "core/pst_external.h"
 #include "core/pst_two_level.h"
+#include "core/three_sided.h"
+#include "io/crc32c.h"
 #include "io/file_page_device.h"
 #include "io/mem_page_device.h"
 #include "workload/generators.h"
@@ -214,6 +216,19 @@ TEST(PersistTest, ScribbledMagicIsCorruption) {
             std::string_view::npos);
 }
 
+// Restamps a manifest header's CRC in place, the way a (possibly future)
+// writer would — used to forge headers that must fail on semantic checks
+// rather than on the checksum gate.
+void RestampHeaderCrc(std::byte* page) {
+  PstManifestHeader hdr;
+  std::memcpy(&hdr, page, sizeof(hdr));
+  hdr.header_crc = 0;
+  std::memcpy(page, &hdr, sizeof(hdr));
+  hdr.header_crc = Crc32c(page, sizeof(hdr));
+  std::memcpy(page + offsetof(PstManifestHeader, header_crc), &hdr.header_crc,
+              sizeof(hdr.header_crc));
+}
+
 TEST(PersistTest, FutureFormatVersionIsRejected) {
   MemPageDevice dev(4096);
   ExternalPst pst(&dev);
@@ -226,12 +241,54 @@ TEST(PersistTest, FutureFormatVersionIsRejected) {
   const uint32_t future = kManifestFormatVersion + 7;
   std::memcpy(buf.data() + offsetof(PstManifestHeader, format_version),
               &future, sizeof(future));
+  // A future writer stamps a valid CRC; forge one so the version check —
+  // not the checksum gate — is what rejects the manifest.
+  RestampHeaderCrc(buf.data());
   ASSERT_TRUE(dev.Write(manifest.value(), buf.data()).ok());
 
   ExternalPst reopened(&dev);
   Status s = reopened.Open(manifest.value());
   ASSERT_EQ(s.code(), StatusCode::kCorruption);
   EXPECT_NE(s.message().find("newer"), std::string_view::npos);
+}
+
+// Every single-byte corruption anywhere in the header region must surface
+// as Corruption (or InvalidArgument), never a crash and never a structure
+// that silently opens with a skewed header — the header CRC's whole job.
+// Swept over two structure families so both manifest writers are covered.
+template <typename Structure, typename BuildInput>
+void ByteFlipSweep(const BuildInput& input) {
+  MemPageDevice dev(4096);
+  Structure built(&dev);
+  ASSERT_TRUE(built.Build(input).ok());
+  auto manifest = built.Save();
+  ASSERT_TRUE(manifest.ok());
+
+  std::vector<std::byte> pristine(4096);
+  ASSERT_TRUE(dev.Read(manifest.value(), pristine.data()).ok());
+  std::vector<std::byte> buf = pristine;
+  for (size_t off = 0; off < sizeof(PstManifestHeader); ++off) {
+    buf[off] ^= std::byte{0xFF};
+    ASSERT_TRUE(dev.Write(manifest.value(), buf.data()).ok());
+    Structure reopened(&dev);
+    Status s = reopened.Open(manifest.value());
+    ASSERT_FALSE(s.ok()) << "byte " << off << " flip opened successfully";
+    EXPECT_TRUE(s.IsCorruption() || s.IsInvalidArgument())
+        << "byte " << off << ": " << s.ToString();
+    buf[off] = pristine[off];
+  }
+  // The unflipped manifest still opens — the sweep always restored cleanly.
+  ASSERT_TRUE(dev.Write(manifest.value(), pristine.data()).ok());
+  Structure ok(&dev);
+  EXPECT_TRUE(ok.Open(manifest.value()).ok());
+}
+
+TEST(PersistTest, HeaderByteFlipSweepExternalPst) {
+  ByteFlipSweep<ExternalPst>(UniformPts(2000, 47));
+}
+
+TEST(PersistTest, HeaderByteFlipSweepThreeSidedPst) {
+  ByteFlipSweep<ThreeSidedPst>(UniformPts(2000, 53));
 }
 
 TEST(PersistTest, SaveIsRepeatable) {

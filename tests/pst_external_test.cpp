@@ -54,74 +54,9 @@ TEST(ExternalPstTest, RebuildRejected) {
   EXPECT_EQ(pst.Build({{2, 2, 1}}).code(), StatusCode::kFailedPrecondition);
 }
 
-struct PstCase {
-  uint64_t n;
-  uint64_t seed;
-  uint32_t page_size;
-  bool caching;
-  const char* dist;
-};
-
-class ExternalPstSweep : public ::testing::TestWithParam<PstCase> {};
-
-TEST_P(ExternalPstSweep, MatchesBruteForce) {
-  const auto& c = GetParam();
-  MemPageDevice dev(c.page_size);
-  ExternalPstOptions opts;
-  opts.enable_path_caching = c.caching;
-  ExternalPst pst(&dev, opts);
-
-  PointGenOptions o;
-  o.n = c.n;
-  o.seed = c.seed;
-  o.coord_max = 200000;
-  std::vector<Point> pts;
-  if (std::string(c.dist) == "uniform") {
-    pts = GenPointsUniform(o);
-  } else if (std::string(c.dist) == "clustered") {
-    pts = GenPointsClustered(o, 6, 4000);
-  } else if (std::string(c.dist) == "anti") {
-    pts = GenPointsAntiCorrelated(o, 3000);
-  } else {
-    pts = GenPointsDiagonal(o, 1000);
-  }
-  ASSERT_TRUE(pst.Build(pts).ok());
-  EXPECT_EQ(pst.size(), c.n);
-
-  Rng rng(c.seed ^ 0x2525);
-  for (int i = 0; i < 30; ++i) {
-    auto q = SampleTwoSidedQuery(pts, &rng);
-    std::vector<Point> got;
-    QueryStats qs;
-    ASSERT_TRUE(pst.QueryTwoSided(q, &got, &qs).ok());
-    ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)))
-        << "q=(" << q.x_min << "," << q.y_min << ") " << qs.ToString();
-    EXPECT_EQ(qs.records_reported, got.size());
-  }
-  // Extreme corners.
-  std::vector<Point> all;
-  ASSERT_TRUE(pst.QueryTwoSided({INT64_MIN, INT64_MIN}, &all).ok());
-  EXPECT_TRUE(SameResult(all, pts));
-  std::vector<Point> none;
-  ASSERT_TRUE(pst.QueryTwoSided({INT64_MAX, INT64_MAX}, &none).ok());
-  EXPECT_TRUE(none.empty());
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, ExternalPstSweep,
-    ::testing::Values(
-        PstCase{1, 1, 4096, true, "uniform"},
-        PstCase{50, 2, 4096, true, "uniform"},
-        PstCase{1000, 3, 4096, true, "uniform"},
-        PstCase{20000, 4, 4096, true, "uniform"},
-        PstCase{20000, 5, 4096, false, "uniform"},
-        PstCase{5000, 6, 512, true, "uniform"},
-        PstCase{5000, 7, 512, false, "uniform"},
-        PstCase{5000, 8, 256, true, "uniform"},
-        PstCase{10000, 9, 4096, true, "clustered"},
-        PstCase{10000, 10, 4096, true, "anti"},
-        PstCase{10000, 11, 4096, true, "diagonal"},
-        PstCase{10000, 12, 1024, false, "clustered"}));
+// The random-vs-oracle sweep lives in differential_test.cpp (shared
+// shrinking harness, see tests/oracle_common.h); this file keeps the
+// structure-specific and deterministic cases.
 
 TEST(ExternalPstTest, DuplicateCoordinates) {
   MemPageDevice dev(512);

@@ -1,0 +1,437 @@
+// Tests for the concurrent query-serving engine (src/serve/).
+//
+// Correctness: N worker threads x M queries per structure must return
+// byte-identical results to single-threaded execution over the same saved
+// structures.  Run under TSan in CI, this is also the data-race probe for
+// the whole serving stack (SharedBufferPool, CountingPageDevice, the
+// engine's queue and counters).
+//
+// Admission control and deadlines are asserted deterministically: a blocker
+// request parks the only worker inside its completion callback, the test
+// fills the queue / advances a FakeClock while the engine is provably
+// quiescent, and only then releases the worker.  No sleeps, no timing
+// assumptions.
+
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/pst_external.h"
+#include "core/three_sided.h"
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "serve/clock.h"
+#include "serve/latency_histogram.h"
+#include "workload/generators.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+struct SavedStore {
+  MemPageDevice dev{4096};
+  PageId pst_manifest = kInvalidPageId;
+  PageId three_manifest = kInvalidPageId;
+  PageId seg_manifest = kInvalidPageId;
+  PageId int_manifest = kInvalidPageId;
+  std::vector<Point> pts;
+  std::vector<Interval> ivs;
+};
+
+// Builds and Save()s one structure of each kind on a fresh device.
+void BuildStore(SavedStore* s, uint64_t n_pts = 4000,
+                uint64_t n_ivs = 3000) {
+  PointGenOptions po;
+  po.n = n_pts;
+  po.seed = 71;
+  po.coord_max = 300000;
+  s->pts = GenPointsUniform(po);
+
+  IntervalGenOptions io;
+  io.n = n_ivs;
+  io.seed = 72;
+  io.domain_max = 2'000'000;
+  s->ivs = GenIntervalsUniform(io);
+  MakeEndpointsDistinct(&s->ivs);
+
+  {
+    ExternalPst pst(&s->dev);
+    ASSERT_TRUE(pst.Build(s->pts).ok());
+    auto m = pst.Save();
+    ASSERT_TRUE(m.ok());
+    s->pst_manifest = m.value();
+  }
+  {
+    ThreeSidedPst pst(&s->dev);
+    ASSERT_TRUE(pst.Build(s->pts).ok());
+    auto m = pst.Save();
+    ASSERT_TRUE(m.ok());
+    s->three_manifest = m.value();
+  }
+  {
+    ExtSegmentTree st(&s->dev);
+    ASSERT_TRUE(st.Build(s->ivs).ok());
+    auto m = st.Save();
+    ASSERT_TRUE(m.ok());
+    s->seg_manifest = m.value();
+  }
+  {
+    ExtIntervalTree it(&s->dev);
+    ASSERT_TRUE(it.Build(s->ivs).ok());
+    auto m = it.Save();
+    ASSERT_TRUE(m.ok());
+    s->int_manifest = m.value();
+  }
+}
+
+TEST(QueryEngineTest, ConcurrentResultsMatchSingleThreaded) {
+  SavedStore store;
+  BuildStore(&store);
+  SharedBufferPool pool(&store.dev, /*capacity_pages=*/4096);
+
+  QueryEngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 4096;
+  opts.batch_size = 8;
+  QueryEngine engine(&pool, opts);
+  auto pst_id = engine.AddStructure(store.pst_manifest);
+  auto three_id = engine.AddStructure(store.three_manifest);
+  auto seg_id = engine.AddStructure(store.seg_manifest);
+  auto int_id = engine.AddStructure(store.int_manifest);
+  ASSERT_TRUE(pst_id.ok() && three_id.ok() && seg_id.ok() && int_id.ok());
+  EXPECT_EQ(engine.structure_kind(pst_id.value()), QueryKind::kTwoSided);
+  EXPECT_EQ(engine.structure_kind(three_id.value()), QueryKind::kThreeSided);
+  EXPECT_EQ(engine.structure_kind(seg_id.value()), QueryKind::kStabbing);
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Query mix: M of each kind, deterministic from the seed.
+  constexpr int kPerKind = 40;
+  struct Planned {
+    uint32_t structure;
+    ServeQuery query;
+    QueryKind kind;
+  };
+  std::vector<Planned> plan;
+  Rng rng(1234);
+  for (int i = 0; i < kPerKind; ++i) {
+    plan.push_back({pst_id.value(),
+                    ServeQuery::TwoSided(SampleTwoSidedQuery(store.pts, &rng)),
+                    QueryKind::kTwoSided});
+    plan.push_back(
+        {three_id.value(),
+         ServeQuery::ThreeSided(SampleThreeSidedQuery(store.pts, 0.15, &rng)),
+         QueryKind::kThreeSided});
+    const Interval& iv = store.ivs[rng.Uniform(store.ivs.size())];
+    plan.push_back({seg_id.value(), ServeQuery::Stab(iv.lo),
+                    QueryKind::kStabbing});
+    plan.push_back({int_id.value(),
+                    ServeQuery::Stab((iv.lo + iv.hi) / 2),
+                    QueryKind::kStabbing});
+  }
+
+  // Single-threaded ground truth from freshly Open()d handles over the bare
+  // device — the serial execution the engine must match byte for byte.
+  std::vector<QueryResult> want(plan.size());
+  {
+    ExternalPst pst(&store.dev);
+    ASSERT_TRUE(pst.Open(store.pst_manifest).ok());
+    ThreeSidedPst three(&store.dev);
+    ASSERT_TRUE(three.Open(store.three_manifest).ok());
+    ExtSegmentTree seg(&store.dev);
+    ASSERT_TRUE(seg.Open(store.seg_manifest).ok());
+    ExtIntervalTree itree(&store.dev);
+    ASSERT_TRUE(itree.Open(store.int_manifest).ok());
+    for (size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].kind == QueryKind::kTwoSided) {
+        ASSERT_TRUE(
+            pst.QueryTwoSided(plan[i].query.two_sided, &want[i].points)
+                .ok());
+      } else if (plan[i].kind == QueryKind::kThreeSided) {
+        ASSERT_TRUE(three
+                        .QueryThreeSided(plan[i].query.three_sided,
+                                         &want[i].points)
+                        .ok());
+      } else if (plan[i].structure == seg_id.value()) {
+        ASSERT_TRUE(seg.Stab(plan[i].query.stab, &want[i].intervals).ok());
+      } else {
+        ASSERT_TRUE(itree.Stab(plan[i].query.stab, &want[i].intervals).ok());
+      }
+    }
+  }
+
+  // Fan the plan out from several submitter threads; each result lands in
+  // its own slot (no two callbacks share one).
+  std::vector<QueryResult> got(plan.size());
+  std::atomic<size_t> next{0};
+  auto submitter = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= plan.size()) return;
+      Status s = engine.Submit(
+          plan[i].structure, plan[i].query,
+          [&got, i](QueryResult r) { got[i] = std::move(r); });
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  };
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) submitters.emplace_back(submitter);
+  for (auto& t : submitters) t.join();
+  engine.Drain();
+
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok()) << i << ": " << got[i].status.ToString();
+    // Byte-identical: same records in the same order, not just same set.
+    EXPECT_EQ(got[i].points, want[i].points) << "request " << i;
+    EXPECT_EQ(got[i].intervals, want[i].intervals) << "request " << i;
+    // Every executed query descends the skeletal tree: its isolated
+    // per-request delta must show at least one logical read.
+    EXPECT_GT(got[i].io.reads, 0u) << "request " << i;
+    EXPECT_EQ(got[i].io.writes, 0u) << "request " << i;
+  }
+
+  ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, plan.size());
+  EXPECT_EQ(stats.completed, plan.size());
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.latency.count, plan.size());
+  uint64_t delta_sum = 0;
+  for (const auto& r : got) delta_sum += r.io.reads;
+  EXPECT_EQ(stats.io.reads, delta_sum);
+  engine.Stop();
+}
+
+// Parks the engine's only worker inside a completion callback and hands
+// control back to the test: with batch_size=1 the worker holds exactly one
+// request, so everything submitted afterwards stays queued until Release().
+class WorkerBlocker {
+ public:
+  // Must be submitted with a cheap query.  Blocks the worker until
+  // Release().
+  QueryDoneCallback Callback() {
+    return [this](QueryResult) {
+      started_.set_value();
+      release_future_.wait();
+    };
+  }
+  void AwaitWorkerParked() { started_.get_future().wait(); }
+  void Release() { release_.set_value(); }
+
+ private:
+  std::promise<void> started_;
+  std::promise<void> release_;
+  std::shared_future<void> release_future_{release_.get_future().share()};
+};
+
+TEST(QueryEngineTest, QueueOverflowRejectsDeterministically) {
+  SavedStore store;
+  BuildStore(&store, /*n_pts=*/500, /*n_ivs=*/200);
+  SharedBufferPool pool(&store.dev, 1024);
+
+  FakeClock clock(1'000'000);
+  QueryEngineOptions opts;
+  opts.num_workers = 1;
+  opts.batch_size = 1;
+  opts.queue_capacity = 4;
+  opts.clock = &clock;
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddStructure(store.pst_manifest);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  WorkerBlocker blocker;
+  const ServeQuery cheap =
+      ServeQuery::TwoSided(TwoSidedQuery{INT64_MAX, INT64_MAX});
+  ASSERT_TRUE(engine.Submit(id.value(), cheap, blocker.Callback()).ok());
+  blocker.AwaitWorkerParked();  // worker busy, queue provably empty
+
+  std::atomic<int> completed{0};
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine
+                    .Submit(id.value(), cheap,
+                            [&completed](QueryResult r) {
+                              ASSERT_TRUE(r.status.ok());
+                              ++completed;
+                            })
+                    .ok())
+        << "submission " << i << " of " << opts.queue_capacity;
+  }
+  // The queue now holds exactly queue_capacity requests: the next one must
+  // bounce, every time.
+  Status overflow = engine.Submit(id.value(), cheap, nullptr);
+  EXPECT_TRUE(overflow.IsOverloaded()) << overflow.ToString();
+
+  ServeStats mid = engine.stats();
+  EXPECT_EQ(mid.queue_depth, 4u);
+  EXPECT_EQ(mid.max_queue_depth, 4u);
+  EXPECT_EQ(mid.rejected_overload, 1u);
+
+  blocker.Release();
+  engine.Drain();
+  EXPECT_EQ(completed.load(), 4);
+  ServeStats done = engine.stats();
+  EXPECT_EQ(done.completed, 5u);  // blocker + 4 queued
+  EXPECT_EQ(done.rejected_overload, 1u);
+  engine.Stop();
+}
+
+TEST(QueryEngineTest, DeadlineExpiryIsDeterministicAndCostsNoIo) {
+  SavedStore store;
+  BuildStore(&store, 500, 200);
+  SharedBufferPool pool(&store.dev, 1024);
+
+  FakeClock clock(1'000'000);
+  QueryEngineOptions opts;
+  opts.num_workers = 1;
+  opts.batch_size = 1;
+  opts.queue_capacity = 16;
+  opts.clock = &clock;
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddStructure(store.seg_manifest);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  WorkerBlocker blocker;
+  ASSERT_TRUE(
+      engine.Submit(id.value(), ServeQuery::Stab(-1), blocker.Callback())
+          .ok());
+  blocker.AwaitWorkerParked();
+
+  // Queued behind the blocker: one request due to expire, one with no
+  // deadline, one with a still-distant deadline.
+  std::promise<QueryResult> expired_p, no_deadline_p, future_p;
+  ASSERT_TRUE(engine
+                  .Submit(id.value(), ServeQuery::Stab(store.ivs[0].lo),
+                          [&](QueryResult r) { expired_p.set_value(r); },
+                          /*deadline_micros=*/clock.NowMicros() + 1'000)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Submit(id.value(), ServeQuery::Stab(store.ivs[0].lo),
+                          [&](QueryResult r) { no_deadline_p.set_value(r); })
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Submit(id.value(), ServeQuery::Stab(store.ivs[0].lo),
+                          [&](QueryResult r) { future_p.set_value(r); },
+                          clock.NowMicros() + 60'000'000)
+                  .ok());
+
+  // The worker is parked, so nothing has been dispatched: advancing the
+  // clock past the first deadline expires it deterministically.
+  clock.Advance(10'000);
+  blocker.Release();
+  engine.Drain();
+
+  QueryResult expired = expired_p.get_future().get();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded())
+      << expired.status.ToString();
+  EXPECT_TRUE(expired.intervals.empty());
+  // Dropped before dispatch: not one page was read for it.
+  EXPECT_EQ(expired.io.reads, 0u);
+  EXPECT_EQ(expired.io.total(), 0u);
+
+  QueryResult no_deadline = no_deadline_p.get_future().get();
+  EXPECT_TRUE(no_deadline.status.ok());
+  EXPECT_EQ(no_deadline.intervals,
+            BruteStab(store.ivs, store.ivs[0].lo));
+
+  QueryResult future = future_p.get_future().get();
+  EXPECT_TRUE(future.status.ok());
+
+  ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 4u);
+  // Expired requests don't pollute the latency histogram.
+  EXPECT_EQ(stats.latency.count, 3u);
+  engine.Stop();
+}
+
+TEST(QueryEngineTest, LifecycleAndArgumentErrors) {
+  SavedStore store;
+  BuildStore(&store, 300, 100);
+  SharedBufferPool pool(&store.dev, 256);
+  QueryEngine engine(&pool, QueryEngineOptions{.num_workers = 2});
+
+  // Submitting before Start is refused (nothing would serve it).
+  auto id = engine.AddStructure(store.int_manifest);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(engine.Submit(id.value(), ServeQuery::Stab(1), nullptr)
+                  .IsFailedPrecondition());
+  // Unknown structure ids are rejected outright.
+  EXPECT_TRUE(engine.Submit(99, ServeQuery::Stab(1), nullptr)
+                  .IsInvalidArgument());
+  // A non-manifest page cannot be registered.
+  auto bogus = pool.Allocate();
+  ASSERT_TRUE(bogus.ok());
+  std::vector<std::byte> zero(pool.page_size());
+  ASSERT_TRUE(pool.Write(bogus.value(), zero.data()).ok());
+  EXPECT_FALSE(engine.AddStructure(bogus.value()).ok());
+
+  ASSERT_TRUE(engine.Start().ok());
+  // The registration window closes at Start().
+  EXPECT_TRUE(
+      engine.AddStructure(store.pst_manifest).status().IsFailedPrecondition());
+  EXPECT_TRUE(engine.Start().IsFailedPrecondition());
+
+  // Stop drains what was accepted and is idempotent.
+  std::atomic<int> done_count{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine
+                    .Submit(id.value(), ServeQuery::Stab(i),
+                            [&done_count](QueryResult) { ++done_count; })
+                    .ok());
+  }
+  engine.Stop();
+  EXPECT_EQ(done_count.load(), 8);
+  engine.Stop();  // no-op
+  EXPECT_TRUE(engine.Submit(id.value(), ServeQuery::Stab(1), nullptr)
+                  .IsFailedPrecondition());
+}
+
+TEST(LatencyHistogramTest, QuantilesAndCounters) {
+  LatencyHistogram h;
+  LatencyHistogram::Snapshot empty = h.TakeSnapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p99, 0u);
+
+  for (int i = 0; i < 98; ++i) h.Record(1);
+  h.Record(1000);
+  h.Record(1000);
+  LatencyHistogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 98u + 2000u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_EQ(s.p50, 1u);
+  EXPECT_EQ(s.p95, 1u);
+  // The outliers sit in the [512, 1024) bucket; p99 reports its upper bound.
+  EXPECT_EQ(s.p99, 1023u);
+
+  h.Reset();
+  EXPECT_EQ(h.TakeSnapshot().count, 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAreAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(uint64_t(t) * 100 + (i % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TakeSnapshot().count, uint64_t(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -29,6 +29,8 @@ TEST(StatusTest, AllConstructorsMapToCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(Status::Overloaded("x").IsOverloaded());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, CopyPreservesMessage) {
@@ -42,6 +44,9 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IOError");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

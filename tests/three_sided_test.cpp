@@ -39,71 +39,9 @@ TEST(ThreeSidedPstTest, EmptyAndDegenerate) {
   ASSERT_EQ(out.size(), 1u);
 }
 
-struct TsCase {
-  uint64_t n;
-  uint64_t seed;
-  uint32_t page_size;
-  bool caching;
-  double x_frac;
-  const char* dist;
-};
-
-class ThreeSidedSweep : public ::testing::TestWithParam<TsCase> {};
-
-TEST_P(ThreeSidedSweep, MatchesBruteForce) {
-  const auto& c = GetParam();
-  MemPageDevice dev(c.page_size);
-  ThreeSidedPstOptions opts;
-  opts.enable_path_caching = c.caching;
-  ThreeSidedPst pst(&dev, opts);
-
-  PointGenOptions o;
-  o.n = c.n;
-  o.seed = c.seed;
-  o.coord_max = 250000;
-  std::vector<Point> pts;
-  if (std::string(c.dist) == "uniform") {
-    pts = GenPointsUniform(o);
-  } else if (std::string(c.dist) == "clustered") {
-    pts = GenPointsClustered(o, 7, 3000);
-  } else {
-    pts = GenPointsDiagonal(o, 2000);
-  }
-  ASSERT_TRUE(pst.Build(pts).ok());
-
-  Rng rng(c.seed ^ 0x3333);
-  for (int i = 0; i < 30; ++i) {
-    auto q = SampleThreeSidedQuery(pts, c.x_frac, &rng);
-    std::vector<Point> got;
-    QueryStats qs;
-    ASSERT_TRUE(pst.QueryThreeSided(q, &got, &qs).ok());
-    ASSERT_TRUE(SameResult(got, BruteThreeSided(pts, q)))
-        << "q=[" << q.x_min << "," << q.x_max << "]x[" << q.y_min
-        << ",inf) got=" << got.size()
-        << " want=" << BruteThreeSided(pts, q).size() << " " << qs.ToString();
-  }
-  // Full-width query equals a 2-sided query; whole-plane returns all.
-  std::vector<Point> all;
-  ASSERT_TRUE(
-      pst.QueryThreeSided({INT64_MIN, INT64_MAX, INT64_MIN}, &all).ok());
-  EXPECT_TRUE(SameResult(all, pts));
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, ThreeSidedSweep,
-    ::testing::Values(
-        TsCase{50, 1, 4096, true, 0.3, "uniform"},
-        TsCase{1000, 2, 4096, true, 0.2, "uniform"},
-        TsCase{20000, 3, 4096, true, 0.1, "uniform"},
-        TsCase{20000, 4, 4096, true, 0.01, "uniform"},
-        TsCase{20000, 5, 4096, false, 0.1, "uniform"},
-        TsCase{8000, 6, 512, true, 0.2, "uniform"},
-        TsCase{8000, 7, 512, false, 0.2, "uniform"},
-        TsCase{8000, 8, 256, true, 0.3, "uniform"},
-        TsCase{15000, 9, 4096, true, 0.15, "clustered"},
-        TsCase{15000, 10, 4096, true, 0.15, "diagonal"},
-        TsCase{15000, 11, 1024, true, 0.5, "uniform"},
-        TsCase{15000, 12, 1024, true, 0.9, "uniform"}));
+// The random-vs-oracle sweep lives in differential_test.cpp (shared
+// shrinking harness, see tests/oracle_common.h); this file keeps the
+// structure-specific and deterministic cases.
 
 TEST(ThreeSidedPstTest, NarrowSlits) {
   // x_min == x_max stresses the fork logic (both paths nearly identical).
