@@ -1,0 +1,45 @@
+// promlint: validate a file (or stdin) against the Prometheus text
+// exposition format, using the same strict checker the obs unit tests run
+// over every export.  CI lints the bench-smoke metrics artifact with this.
+//
+//   $ ./promlint metrics.prom
+//   $ some_exporter | ./promlint -
+//
+// Exit code 0 when the input is clean; 1 with the first offending line
+// reported otherwise.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/promlint.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <metrics-file | ->\n", argv[0]);
+    return 2;
+  }
+  std::FILE* in = nullptr;
+  const bool use_stdin = std::string(argv[1]) == "-";
+  if (use_stdin) {
+    in = stdin;
+  } else {
+    in = std::fopen(argv[1], "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "promlint: cannot open %s\n", argv[1]);
+      return 2;
+    }
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) text.append(buf, n);
+  if (!use_stdin) std::fclose(in);
+
+  const pathcache::Status s = pathcache::PrometheusLint(text);
+  if (!s.ok()) {
+    std::fprintf(stderr, "promlint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("promlint: OK (%zu bytes)\n", text.size());
+  return 0;
+}

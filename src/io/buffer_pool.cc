@@ -39,6 +39,7 @@ void BufferPool::EvictIfNeeded() {
     if (it->second.pins > 0) continue;
     victim = lru_.erase(victim);
     frames_.erase(it);
+    ++evictions_;
   }
 }
 

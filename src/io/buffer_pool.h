@@ -37,7 +37,12 @@ class BufferPool final : public PageDevice {
   void Unpin(PageId id) override;
 
   const IoStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoStats{}; hits_ = 0; misses_ = 0; }
+  void ResetStats() override {
+    stats_ = IoStats{};
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
   uint64_t live_pages() const override { return inner_->live_pages(); }
 
   /// Drops every cached frame but — by contract — leaves `stats()`, `hits()`
@@ -57,6 +62,9 @@ class BufferPool final : public PageDevice {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Frames dropped by the capacity eviction scan; Clear()/Free() drops are
+  /// not evictions.
+  uint64_t evictions() const { return evictions_; }
   uint64_t cached_pages() const { return frames_.size(); }
   uint64_t pinned_pages() const { return pinned_pages_; }
 
@@ -78,6 +86,7 @@ class BufferPool final : public PageDevice {
   IoStats stats_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   uint64_t pinned_pages_ = 0;  // frames with pins > 0
 };
 

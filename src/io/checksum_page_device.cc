@@ -49,23 +49,23 @@ Status ChecksumPageDevice::Verify(PageId id, const std::byte* phys) {
   if (t.magic != kPageTrailerMagic) {
     if (AllZero(phys, payload_size_ + kPageTrailerBytes)) {
       // Never written since Allocate(); a zero payload is the valid content.
-      ++pages_verified_;
+      pages_verified_.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
-    ++checksum_failures_;
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::Corruption(
         "page " + std::to_string(id) + ": bad checksum trailer magic at byte " +
         std::to_string(payload_size_) + " (page unstamped or trailer damaged)");
   }
   const uint32_t want = PageCrc(phys, payload_size_, id);
   if (t.crc != want) {
-    ++checksum_failures_;
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::Corruption(
         "page " + std::to_string(id) + ": checksum mismatch at byte " +
         std::to_string(payload_size_ + offsetof(Trailer, crc)) + " (stored " +
         Hex32(t.crc) + ", computed " + Hex32(want) + ")");
   }
-  ++pages_verified_;
+  pages_verified_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -24,6 +24,7 @@
 #ifndef PATHCACHE_IO_CHECKSUM_PAGE_DEVICE_H_
 #define PATHCACHE_IO_CHECKSUM_PAGE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -48,9 +49,16 @@ class ChecksumPageDevice final : public PageDevice {
   /// primitive VerifyStore's scrub pass is built on.
   Status Scrub(PageId id);
 
-  /// Pages that passed / failed verification since construction.
-  uint64_t pages_verified() const { return pages_verified_; }
-  uint64_t checksum_failures() const { return checksum_failures_; }
+  /// Pages that passed / failed verification since construction.  Relaxed
+  /// atomics: safe to sample from any thread while operations run (the
+  /// observability exporter does); everything else on this device follows
+  /// the usual single-caller decorator contract.
+  uint64_t pages_verified() const {
+    return pages_verified_.load(std::memory_order_relaxed);
+  }
+  uint64_t checksum_failures() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
 
   // --- PageDevice ---------------------------------------------------------
 
@@ -77,8 +85,8 @@ class ChecksumPageDevice final : public PageDevice {
   PageDevice* inner_;
   uint32_t payload_size_;
   IoStats stats_;
-  uint64_t pages_verified_ = 0;
-  uint64_t checksum_failures_ = 0;
+  std::atomic<uint64_t> pages_verified_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
   std::vector<std::byte> scratch_;  // one physical page, reused across ops
 };
 

@@ -1,16 +1,26 @@
 #include "io/retry_page_device.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <thread>
 
 namespace pathcache {
 
 void RetryPageDevice::Backoff(uint32_t attempt) const {
-  if (opts_.base_backoff_us == 0) return;
-  const uint64_t us = std::min<uint64_t>(
-      static_cast<uint64_t>(opts_.base_backoff_us) << attempt,
-      opts_.max_backoff_us);
+  const uint64_t base = opts_.base_backoff_us;
+  if (base == 0) return;
+  // `base << attempt` must saturate, not wrap: max_attempts is
+  // caller-controlled, so `attempt` can reach 64+ where the shift is
+  // undefined, and even below 64 an overflowing shift could wrap to a value
+  // *smaller* than max_backoff_us and silently shorten the sleep.  Any
+  // shift that could carry a set bit past bit 63 is therefore treated as
+  // "already past the cap".
+  const uint64_t headroom = 64 - std::bit_width(base);
+  const uint64_t us =
+      attempt >= headroom
+          ? opts_.max_backoff_us
+          : std::min<uint64_t>(base << attempt, opts_.max_backoff_us);
   std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
@@ -21,16 +31,16 @@ Status RetryPageDevice::RetryLoop(const Op& op) {
   for (uint32_t k = 0; k < attempts; ++k) {
     if (k > 0) {
       Backoff(k - 1);
-      ++retries_;
+      retries_.fetch_add(1, std::memory_order_relaxed);
     }
     last = op();
     if (last.ok()) {
-      if (k > 0) ++recovered_;
+      if (k > 0) recovered_.fetch_add(1, std::memory_order_relaxed);
       return last;
     }
     if (last.code() != StatusCode::kIoError) return last;  // deterministic
   }
-  ++exhausted_;
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
   return last;
 }
 

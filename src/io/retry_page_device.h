@@ -14,10 +14,19 @@
 // read did not fail).  Counters expose how often retries happened and
 // whether they recovered, so tests can assert the backoff path actually
 // ran.
+//
+// Thread-safety: like the other decorators, operations (Read/Write/...)
+// and stats()/ResetStats() follow the single-caller contract — one thread
+// (or externally serialized callers) drives the device; `stats_` is plain
+// state.  The retry telemetry counters retries()/recovered()/exhausted()
+// are the exception: they are relaxed atomics, safe to sample from any
+// thread at any time, because the observability layer (obs/metrics.h
+// RegisterRetryMetrics) exports them while operations are in flight.
 
 #ifndef PATHCACHE_IO_RETRY_PAGE_DEVICE_H_
 #define PATHCACHE_IO_RETRY_PAGE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "io/page_device.h"
@@ -39,12 +48,17 @@ class RetryPageDevice final : public PageDevice {
   explicit RetryPageDevice(PageDevice* inner, RetryOptions opts = {})
       : inner_(inner), opts_(opts) {}
 
-  /// Re-issued tries (beyond each operation's first).
-  uint64_t retries() const { return retries_; }
+  /// Re-issued tries (beyond each operation's first).  Safe to call from
+  /// any thread (relaxed atomic), including while operations run.
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
   /// Operations that eventually succeeded after >= 1 retry.
-  uint64_t recovered() const { return recovered_; }
+  uint64_t recovered() const {
+    return recovered_.load(std::memory_order_relaxed);
+  }
   /// Operations that failed all max_attempts tries.
-  uint64_t exhausted() const { return exhausted_; }
+  uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
 
   // --- PageDevice ---------------------------------------------------------
 
@@ -69,10 +83,10 @@ class RetryPageDevice final : public PageDevice {
 
   PageDevice* inner_;
   RetryOptions opts_;
-  IoStats stats_;
-  uint64_t retries_ = 0;
-  uint64_t recovered_ = 0;
-  uint64_t exhausted_ = 0;
+  IoStats stats_;  // single-caller, like every decorator's IoStats
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> recovered_{0};
+  std::atomic<uint64_t> exhausted_{0};
 };
 
 }  // namespace pathcache

@@ -44,6 +44,7 @@ void EvictShardIfNeeded(ShardT& s) {
     if (it->second.pins > 0) continue;
     victim = s.lru.erase(victim);
     s.frames.erase(it);
+    ++s.evictions;
   }
 }
 
@@ -248,6 +249,7 @@ void SharedBufferPool::ResetStats() {
     s->stats = IoStats{};
     s->hits = 0;
     s->misses = 0;
+    s->evictions = 0;
   }
 }
 
@@ -285,6 +287,15 @@ uint64_t SharedBufferPool::misses() const {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s->mu);
     n += s->misses;
+  }
+  return n;
+}
+
+uint64_t SharedBufferPool::evictions() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    n += s->evictions;
   }
   return n;
 }

@@ -79,6 +79,9 @@ class SharedBufferPool final : public PageDevice {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Frames dropped by the capacity eviction scan since construction (or
+  /// the last ResetStats()); Clear()/Free() drops are not evictions.
+  uint64_t evictions() const;
   uint64_t cached_pages() const;
   uint64_t pinned_pages() const;
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
@@ -99,6 +102,7 @@ class SharedBufferPool final : public PageDevice {
     IoStats stats;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }

@@ -1,0 +1,486 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "io/checksum_page_device.h"
+#include "io/fault_page_device.h"
+#include "io/retry_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "util/json_writer.h"
+
+namespace pathcache {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.size() >= 2 && name[0] == '_' && name[1] == '_') return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+void AppendEscapedLabelValue(std::string* out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+/// `{k1="v1",k2="v2"}` (empty string when there are no labels), with
+/// `extra` appended after the declared labels (used for quantile series).
+std::string LabelBlock(const MetricLabels& labels,
+                       const MetricLabels& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto* set : {&labels, &extra}) {
+    for (const auto& [k, v] : *set) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += k;
+      out += "=\"";
+      AppendEscapedLabelValue(&out, v);
+      out.push_back('"');
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+void AppendUintSample(std::string* out, const std::string& name,
+                      const std::string& label_block, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += name;
+  *out += label_block;
+  out->push_back(' ');
+  *out += buf;
+  out->push_back('\n');
+}
+
+void AppendDoubleSample(std::string* out, const std::string& name,
+                        const std::string& label_block, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += name;
+  *out += label_block;
+  out->push_back(' ');
+  *out += buf;
+  out->push_back('\n');
+}
+
+}  // namespace
+
+Status MetricsRegistry::CheckRegistration(const std::string& name,
+                                          const MetricLabels& labels,
+                                          Kind kind) const {
+  if (!ValidMetricName(name)) {
+    return Status::InvalidArgument("invalid metric name \"" + name + "\"");
+  }
+  for (const auto& [k, v] : labels) {
+    (void)v;
+    if (!ValidLabelName(k)) {
+      return Status::InvalidArgument("invalid label name \"" + k +
+                                     "\" on metric " + name);
+    }
+  }
+  for (const Metric& m : metrics_) {
+    if (m.name != name) continue;
+    const bool same_kind =
+        m.kind == kind ||
+        (m.kind == Kind::kCounter && kind == Kind::kCounterFn) ||
+        (m.kind == Kind::kCounterFn && kind == Kind::kCounter);
+    if (!same_kind) {
+      return Status::InvalidArgument("metric " + name +
+                                     " already registered with another kind");
+    }
+    if (m.labels == labels) {
+      return Status::InvalidArgument("duplicate series " + name +
+                                     LabelBlock(labels));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Counter*> MetricsRegistry::AddCounter(std::string name,
+                                             std::string help,
+                                             MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(CheckRegistration(name, labels, Kind::kCounter));
+  Metric m;
+  m.kind = Kind::kCounter;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.labels = std::move(labels);
+  m.counter.reset(new Counter());
+  metrics_.push_back(std::move(m));
+  return metrics_.back().counter.get();
+}
+
+Status MetricsRegistry::AddCounterFn(std::string name, std::string help,
+                                     MetricLabels labels,
+                                     std::function<uint64_t()> sample) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(CheckRegistration(name, labels, Kind::kCounterFn));
+  Metric m;
+  m.kind = Kind::kCounterFn;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.labels = std::move(labels);
+  m.sample_u64 = std::move(sample);
+  metrics_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status MetricsRegistry::AddGaugeFn(std::string name, std::string help,
+                                   MetricLabels labels,
+                                   std::function<double()> sample) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(CheckRegistration(name, labels, Kind::kGaugeFn));
+  Metric m;
+  m.kind = Kind::kGaugeFn;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.labels = std::move(labels);
+  m.sample_f64 = std::move(sample);
+  metrics_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status MetricsRegistry::AddSummaryFn(std::string name, std::string help,
+                                     MetricLabels labels,
+                                     std::function<MetricSummary()> sample) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(CheckRegistration(name, labels, Kind::kSummaryFn));
+  Metric m;
+  m.kind = Kind::kSummaryFn;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.labels = std::move(labels);
+  m.summary = std::move(sample);
+  metrics_.push_back(std::move(m));
+  return Status::OK();
+}
+
+size_t MetricsRegistry::num_series() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return metrics_.size();
+}
+
+void MetricsRegistry::WritePrometheus(std::string* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Families (same name) must be exported contiguously with one HELP/TYPE
+  // header; walk names in first-registration order.
+  std::unordered_map<std::string, size_t> first_index;
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    first_index.emplace(metrics_[i].name, i);
+  }
+  std::vector<const Metric*> order;
+  order.reserve(metrics_.size());
+  for (const Metric& m : metrics_) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [&first_index](const Metric* a, const Metric* b) {
+                     return first_index[a->name] < first_index[b->name];
+                   });
+  const std::string* prev_name = nullptr;
+  for (const Metric* m : order) {
+    if (prev_name == nullptr || *prev_name != m->name) {
+      *out += "# HELP " + m->name + " ";
+      // HELP text: escape backslash and newline per the exposition format.
+      for (char c : m->help) {
+        if (c == '\\') {
+          *out += "\\\\";
+        } else if (c == '\n') {
+          *out += "\\n";
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\n');
+      *out += "# TYPE " + m->name + " ";
+      switch (m->kind) {
+        case Kind::kCounter:
+        case Kind::kCounterFn:
+          *out += "counter\n";
+          break;
+        case Kind::kGaugeFn:
+          *out += "gauge\n";
+          break;
+        case Kind::kSummaryFn:
+          *out += "summary\n";
+          break;
+      }
+      prev_name = &m->name;
+    }
+    switch (m->kind) {
+      case Kind::kCounter:
+        AppendUintSample(out, m->name, LabelBlock(m->labels),
+                         m->counter->value());
+        break;
+      case Kind::kCounterFn:
+        AppendUintSample(out, m->name, LabelBlock(m->labels), m->sample_u64());
+        break;
+      case Kind::kGaugeFn:
+        AppendDoubleSample(out, m->name, LabelBlock(m->labels),
+                           m->sample_f64());
+        break;
+      case Kind::kSummaryFn: {
+        const MetricSummary s = m->summary();
+        AppendUintSample(out, m->name,
+                         LabelBlock(m->labels, {{"quantile", "0.5"}}), s.p50);
+        AppendUintSample(out, m->name,
+                         LabelBlock(m->labels, {{"quantile", "0.95"}}), s.p95);
+        AppendUintSample(out, m->name,
+                         LabelBlock(m->labels, {{"quantile", "0.99"}}), s.p99);
+        AppendUintSample(out, m->name + "_sum", LabelBlock(m->labels), s.sum);
+        AppendUintSample(out, m->name + "_count", LabelBlock(m->labels),
+                         s.count);
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::WriteJson(std::string* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("metrics").BeginArray();
+  for (const Metric& m : metrics_) {
+    w.BeginObject();
+    w.Key("name").Str(m.name);
+    w.Key("help").Str(m.help);
+    switch (m.kind) {
+      case Kind::kCounter:
+      case Kind::kCounterFn:
+        w.Key("type").Str("counter");
+        break;
+      case Kind::kGaugeFn:
+        w.Key("type").Str("gauge");
+        break;
+      case Kind::kSummaryFn:
+        w.Key("type").Str("summary");
+        break;
+    }
+    w.Key("labels").BeginObject();
+    for (const auto& [k, v] : m.labels) w.Key(k).Str(v);
+    w.EndObject();
+    switch (m.kind) {
+      case Kind::kCounter:
+        w.Key("value").Uint(m.counter->value());
+        break;
+      case Kind::kCounterFn:
+        w.Key("value").Uint(m.sample_u64());
+        break;
+      case Kind::kGaugeFn:
+        w.Key("value").Double(m.sample_f64());
+        break;
+      case Kind::kSummaryFn: {
+        const MetricSummary s = m.summary();
+        w.Key("count").Uint(s.count);
+        w.Key("sum").Uint(s.sum);
+        w.Key("max").Uint(s.max);
+        w.Key("p50").Uint(s.p50);
+        w.Key("p95").Uint(s.p95);
+        w.Key("p99").Uint(s.p99);
+        break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+// --- Adapters --------------------------------------------------------------
+
+Status RegisterIoStatsMetrics(MetricsRegistry* reg,
+                              const std::string& device_label,
+                              std::function<IoStats()> sample) {
+  const MetricLabels labels = {{"device", device_label}};
+  struct Field {
+    const char* name;
+    const char* help;
+    uint64_t IoStats::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"pathcache_io_reads_total", "Pages read (the paper's counted I/O).",
+       &IoStats::reads},
+      {"pathcache_io_writes_total", "Pages written.", &IoStats::writes},
+      {"pathcache_io_allocs_total", "Pages allocated.", &IoStats::allocs},
+      {"pathcache_io_frees_total", "Pages freed.", &IoStats::frees},
+      {"pathcache_io_batch_reads_total",
+       "ReadBatch invocations (>= 1 page each; reads counts the pages).",
+       &IoStats::batch_reads},
+  };
+  for (const Field& f : kFields) {
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        f.name, f.help, labels,
+        [sample, member = f.member] { return sample().*member; }));
+  }
+  return Status::OK();
+}
+
+Status RegisterQueryStatsMetrics(MetricsRegistry* reg, MetricLabels labels,
+                                 std::function<QueryStats()> sample) {
+  struct Role {
+    const char* label;
+    uint64_t QueryStats::*member;
+  };
+  static constexpr Role kRoles[] = {
+      {"navigation", &QueryStats::navigation},
+      {"cache", &QueryStats::cache},
+      {"corner", &QueryStats::corner},
+      {"ancestor", &QueryStats::ancestor},
+      {"sibling", &QueryStats::sibling},
+      {"descendant", &QueryStats::descendant},
+      {"buffer", &QueryStats::buffer},
+  };
+  for (const Role& r : kRoles) {
+    MetricLabels l = labels;
+    l.emplace_back("role", r.label);
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        "pathcache_query_block_reads_total",
+        "Per-query block reads by structural role (paper Figure 4).",
+        std::move(l), [sample, member = r.member] { return sample().*member; }));
+  }
+  static constexpr Role kClasses[] = {
+      {"useful", &QueryStats::useful},
+      {"wasteful", &QueryStats::wasteful},
+  };
+  for (const Role& r : kClasses) {
+    MetricLabels l = labels;
+    l.emplace_back("class", r.label);
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        "pathcache_query_payoff_reads_total",
+        "Block reads classified by payoff: useful (full block of qualifying "
+        "records) vs wasteful.",
+        std::move(l), [sample, member = r.member] { return sample().*member; }));
+  }
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_query_records_reported_total", "Records reported to callers.",
+      std::move(labels),
+      [sample] { return sample().records_reported; }));
+  return Status::OK();
+}
+
+Status RegisterSharedBufferPoolMetrics(MetricsRegistry* reg,
+                                       const std::string& pool_label,
+                                       const SharedBufferPool* pool) {
+  const MetricLabels labels = {{"pool", pool_label}};
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_pool_hits_total", "Buffer-pool cache hits.", labels,
+      [pool] { return pool->hits(); }));
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_pool_misses_total", "Buffer-pool cache misses.", labels,
+      [pool] { return pool->misses(); }));
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_pool_evictions_total",
+      "Frames evicted by the capacity scan.", labels,
+      [pool] { return pool->evictions(); }));
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_pool_cached_pages", "Frames currently cached.", labels,
+      [pool] { return static_cast<double>(pool->cached_pages()); }));
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_pool_pinned_pages", "Frames currently pinned.", labels,
+      [pool] { return static_cast<double>(pool->pinned_pages()); }));
+  return RegisterIoStatsMetrics(reg, pool_label,
+                                [pool] { return pool->StatsSnapshot(); });
+}
+
+Status RegisterChecksumMetrics(MetricsRegistry* reg,
+                               const std::string& device_label,
+                               const ChecksumPageDevice* dev) {
+  const MetricLabels labels = {{"device", device_label}};
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_checksum_pages_verified_total",
+      "Pages whose CRC32C trailer verified.", labels,
+      [dev] { return dev->pages_verified(); }));
+  return reg->AddCounterFn(
+      "pathcache_checksum_failures_total",
+      "Pages rejected as Corruption by trailer verification.", labels,
+      [dev] { return dev->checksum_failures(); });
+}
+
+Status RegisterRetryMetrics(MetricsRegistry* reg,
+                            const std::string& device_label,
+                            const RetryPageDevice* dev) {
+  const MetricLabels labels = {{"device", device_label}};
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_retry_retries_total",
+      "Re-issued tries beyond each operation's first.", labels,
+      [dev] { return dev->retries(); }));
+  PC_RETURN_IF_ERROR(reg->AddCounterFn(
+      "pathcache_retry_recovered_total",
+      "Operations that succeeded after at least one retry.", labels,
+      [dev] { return dev->recovered(); }));
+  return reg->AddCounterFn(
+      "pathcache_retry_exhausted_total",
+      "Operations that failed every allowed try.", labels,
+      [dev] { return dev->exhausted(); });
+}
+
+Status RegisterFaultMetrics(MetricsRegistry* reg,
+                            const std::string& device_label,
+                            const FaultPageDevice* dev) {
+  const MetricLabels labels = {{"device", device_label}};
+  struct Field {
+    const char* name;
+    const char* help;
+    uint64_t FaultStats::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"pathcache_fault_read_errors_total", "Injected read IOErrors.",
+       &FaultStats::read_errors},
+      {"pathcache_fault_write_errors_total", "Injected write IOErrors.",
+       &FaultStats::write_errors},
+      {"pathcache_fault_bit_flips_total", "Injected bit flips.",
+       &FaultStats::bit_flips},
+      {"pathcache_fault_torn_writes_total", "Injected torn writes.",
+       &FaultStats::torn_writes},
+      {"pathcache_fault_dropped_writes_total",
+       "Writes silently dropped past the crash point.",
+       &FaultStats::dropped_writes},
+  };
+  for (const Field& f : kFields) {
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        f.name, f.help, labels,
+        [dev, member = f.member] { return dev->fault_stats().*member; }));
+  }
+  return Status::OK();
+}
+
+}  // namespace pathcache

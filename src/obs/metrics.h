@@ -1,0 +1,187 @@
+// MetricsRegistry: named counters / gauges / summaries with cheap
+// thread-safe registration, plus exporters for the Prometheus text
+// exposition format and JSON.
+//
+// The paper's whole argument is an I/O accounting discipline — every block
+// read is classified useful or wasteful — and the repo already *collects*
+// that accounting (QueryStats, per-device IoStats, pool hit/miss/eviction
+// counts, ServeStats).  This registry is the publication side: adapters
+// below register the existing stats structs as sampled metric families, so
+// an operator scraping /metrics sees, per structure and per device, exactly
+// the per-query transfer accounting the theorems bound.
+//
+// Two metric flavors:
+//
+//   * Owned counters (`AddCounter`): the registry owns an atomic the caller
+//     increments through the returned handle.  Lock-free on the hot path.
+//   * Sampled metrics (`AddCounterFn` / `AddGaugeFn` / `AddSummaryFn`): the
+//     registry stores a callback invoked at export time.  This is how the
+//     existing stats structs publish without being rewritten — the callback
+//     must be safe to invoke from the exporting thread (use the atomic /
+//     snapshot accessors: SharedBufferPool::StatsSnapshot(), the retry and
+//     checksum devices' atomic counters, QueryEngine::stats()).
+//
+// Thread-safety: registration, export and Counter::Increment may be called
+// from any thread; registration and export serialize on one mutex,
+// increments are relaxed atomics.  Registered names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]* (Prometheus rules); duplicate (name, labels)
+// pairs and kind conflicts within a name are rejected at registration.
+
+#ifndef PATHCACHE_OBS_METRICS_H_
+#define PATHCACHE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "io/io_types.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+class SharedBufferPool;
+class ChecksumPageDevice;
+class RetryPageDevice;
+class FaultPageDevice;
+
+/// Label set attached to one metric series, e.g. {{"device", "pool"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing counter owned by the registry.  Increment is
+/// a single relaxed fetch_add; handles stay valid for the registry's
+/// lifetime.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Quantile snapshot published as a Prometheus summary.  Mirrors
+/// LatencyHistogram::Snapshot (serve/) without depending on it, so lower
+/// layers can publish summaries too.
+struct MetricSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers an owned counter and returns its handle (valid for the
+  /// registry's lifetime).  By Prometheus convention counter names should
+  /// end in `_total`.
+  Result<Counter*> AddCounter(std::string name, std::string help,
+                              MetricLabels labels = {});
+
+  /// Registers a sampled counter: `sample` is invoked at every export.
+  Status AddCounterFn(std::string name, std::string help, MetricLabels labels,
+                      std::function<uint64_t()> sample);
+
+  /// Registers a sampled gauge (a value that can go down).
+  Status AddGaugeFn(std::string name, std::string help, MetricLabels labels,
+                    std::function<double()> sample);
+
+  /// Registers a sampled summary, exported as the Prometheus
+  /// `name{quantile=...}` / `name_sum` / `name_count` series.
+  Status AddSummaryFn(std::string name, std::string help, MetricLabels labels,
+                      std::function<MetricSummary()> sample);
+
+  /// Appends the Prometheus text exposition of every metric, grouped into
+  /// families (# HELP / # TYPE once per name, in first-registration order).
+  void WritePrometheus(std::string* out) const;
+
+  /// Appends a JSON document {"metrics":[...]} with one entry per series.
+  void WriteJson(std::string* out) const;
+
+  size_t num_series() const;
+
+ private:
+  enum class Kind { kCounter, kCounterFn, kGaugeFn, kSummaryFn };
+
+  struct Metric {
+    Kind kind;
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;        // kCounter
+    std::function<uint64_t()> sample_u64;    // kCounterFn
+    std::function<double()> sample_f64;      // kGaugeFn
+    std::function<MetricSummary()> summary;  // kSummaryFn
+  };
+
+  /// Name/label validity, kind consistency within the family, and
+  /// (name, labels) uniqueness.  Caller holds mu_.
+  Status CheckRegistration(const std::string& name, const MetricLabels& labels,
+                           Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::deque<Metric> metrics_;  // deque: Counter addresses must be stable
+};
+
+// --- Adapters for the repo's existing stats structs ------------------------
+//
+// Each registers one or more sampled families.  The callback is invoked at
+// export time from the exporting thread; hand in thread-safe accessors.
+
+/// IoStats as pathcache_io_{reads,writes,allocs,frees,batch_reads}_total,
+/// labeled {device="<device_label>"}.
+Status RegisterIoStatsMetrics(MetricsRegistry* reg,
+                              const std::string& device_label,
+                              std::function<IoStats()> sample);
+
+/// QueryStats as pathcache_query_block_reads_total{role=...} (the Figure-4
+/// role breakdown), pathcache_query_payoff_reads_total{class=useful|wasteful}
+/// and pathcache_query_records_reported_total, all with `labels` appended.
+Status RegisterQueryStatsMetrics(MetricsRegistry* reg, MetricLabels labels,
+                                 std::function<QueryStats()> sample);
+
+/// SharedBufferPool hit/miss/eviction counters and cached/pinned gauges
+/// (pathcache_pool_*, labeled {pool="<pool_label>"}), plus its IoStats via
+/// RegisterIoStatsMetrics(StatsSnapshot).  `pool` must outlive the registry's
+/// exports.
+Status RegisterSharedBufferPoolMetrics(MetricsRegistry* reg,
+                                       const std::string& pool_label,
+                                       const SharedBufferPool* pool);
+
+/// ChecksumPageDevice pages_verified / checksum_failures counters
+/// (pathcache_checksum_*_total, labeled {device=...}).
+Status RegisterChecksumMetrics(MetricsRegistry* reg,
+                               const std::string& device_label,
+                               const ChecksumPageDevice* dev);
+
+/// RetryPageDevice retries / recovered / exhausted counters
+/// (pathcache_retry_*_total, labeled {device=...}).
+Status RegisterRetryMetrics(MetricsRegistry* reg,
+                            const std::string& device_label,
+                            const RetryPageDevice* dev);
+
+/// FaultPageDevice injected-fault tallies (pathcache_fault_*_total, labeled
+/// {device=...}).  The fault device is test gear: sample it quiesced.
+Status RegisterFaultMetrics(MetricsRegistry* reg,
+                            const std::string& device_label,
+                            const FaultPageDevice* dev);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_OBS_METRICS_H_

@@ -1,0 +1,254 @@
+#include "obs/promlint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pathcache {
+
+namespace {
+
+bool NameHead(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool NameTail(char c) { return NameHead(c) || (c >= '0' && c <= '9'); }
+bool LabelHead(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool LabelTail(char c) { return LabelHead(c) || (c >= '0' && c <= '9'); }
+
+/// Consumes a metric/label identifier starting at *pos; empty on failure.
+std::string_view TakeName(std::string_view line, size_t* pos, bool label) {
+  const size_t start = *pos;
+  if (start >= line.size()) return {};
+  if (label ? !LabelHead(line[start]) : !NameHead(line[start])) return {};
+  size_t end = start + 1;
+  while (end < line.size() &&
+         (label ? LabelTail(line[end]) : NameTail(line[end]))) {
+    ++end;
+  }
+  *pos = end;
+  return line.substr(start, end - start);
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("prometheus text line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+bool IsSuffix(std::string_view name, std::string_view suffix,
+              std::string_view* base) {
+  if (name.size() <= suffix.size() ||
+      name.substr(name.size() - suffix.size()) != suffix) {
+    return false;
+  }
+  *base = name.substr(0, name.size() - suffix.size());
+  return true;
+}
+
+}  // namespace
+
+Status PrometheusLint(std::string_view text) {
+  std::unordered_map<std::string, std::string> types;  // family -> type
+  std::unordered_set<std::string> helps;
+  std::unordered_set<std::string> sampled_families;
+  std::unordered_set<std::string> series_seen;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = std::min(text.find('\n', pos), text.size());
+    const std::string_view line = text.substr(pos, eol - pos);
+    const bool last = eol >= text.size();
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (last) break;
+      continue;
+    }
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; anything else after '#' is
+      // a plain comment.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_help = line[2] == 'H';
+        size_t p = 7;
+        const std::string_view name = TakeName(line, &p, /*label=*/false);
+        if (name.empty()) {
+          return LineError(line_no, "missing metric name after # HELP/# TYPE");
+        }
+        if (is_help) {
+          if (p < line.size() && line[p] != ' ') {
+            return LineError(line_no, "malformed metric name in # HELP");
+          }
+          if (!helps.insert(std::string(name)).second) {
+            return LineError(line_no,
+                             "duplicate # HELP for " + std::string(name));
+          }
+          // Free-form doc text follows; nothing further to check.
+        } else {
+          if (p >= line.size() || line[p] != ' ') {
+            return LineError(line_no, "missing type in # TYPE");
+          }
+          const std::string_view type = line.substr(p + 1);
+          if (type != "counter" && type != "gauge" && type != "summary" &&
+              type != "histogram" && type != "untyped") {
+            return LineError(line_no,
+                             "unknown type \"" + std::string(type) + "\"");
+          }
+          if (!types.emplace(std::string(name), std::string(type)).second) {
+            return LineError(line_no,
+                             "duplicate # TYPE for " + std::string(name));
+          }
+          if (sampled_families.count(std::string(name)) != 0) {
+            return LineError(line_no, "# TYPE for " + std::string(name) +
+                                          " after its first sample");
+          }
+        }
+      }
+      if (last) break;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp].
+    size_t p = 0;
+    const std::string_view name = TakeName(line, &p, /*label=*/false);
+    if (name.empty()) {
+      return LineError(line_no, "line is neither a comment nor a sample");
+    }
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (p < line.size() && line[p] == '{') {
+      ++p;
+      while (true) {
+        if (p < line.size() && line[p] == '}') {
+          ++p;
+          break;
+        }
+        const std::string_view lname = TakeName(line, &p, /*label=*/true);
+        if (lname.empty()) return LineError(line_no, "malformed label name");
+        if (p >= line.size() || line[p] != '=') {
+          return LineError(line_no, "missing '=' after label " +
+                                        std::string(lname));
+        }
+        ++p;
+        if (p >= line.size() || line[p] != '"') {
+          return LineError(line_no, "label value must be double-quoted");
+        }
+        ++p;
+        std::string value;
+        bool closed = false;
+        while (p < line.size()) {
+          const char c = line[p];
+          if (c == '"') {
+            closed = true;
+            ++p;
+            break;
+          }
+          if (c == '\\') {
+            if (p + 1 >= line.size()) {
+              return LineError(line_no, "dangling backslash in label value");
+            }
+            const char esc = line[p + 1];
+            if (esc != '\\' && esc != '"' && esc != 'n') {
+              return LineError(line_no,
+                               std::string("invalid escape \"\\") + esc +
+                                   "\" in label value");
+            }
+            value.push_back(esc == 'n' ? '\n' : esc);
+            p += 2;
+            continue;
+          }
+          value.push_back(c);
+          ++p;
+        }
+        if (!closed) return LineError(line_no, "unterminated label value");
+        for (const auto& [k, v] : labels) {
+          (void)v;
+          if (k == lname) {
+            return LineError(line_no,
+                             "duplicate label " + std::string(lname));
+          }
+        }
+        labels.emplace_back(std::string(lname), std::move(value));
+        if (p < line.size() && line[p] == ',') {
+          ++p;  // separator (a trailing comma before '}' is legal)
+          continue;
+        }
+        if (p < line.size() && line[p] == '}') {
+          ++p;
+          break;
+        }
+        return LineError(line_no, "expected ',' or '}' in label block");
+      }
+    }
+    if (p >= line.size() || line[p] != ' ') {
+      return LineError(line_no, "missing value after metric name");
+    }
+    while (p < line.size() && line[p] == ' ') ++p;
+    const size_t value_start = p;
+    while (p < line.size() && line[p] != ' ') ++p;
+    const std::string value_tok(line.substr(value_start, p - value_start));
+    if (value_tok.empty()) {
+      return LineError(line_no, "missing value after metric name");
+    }
+    {
+      char* end = nullptr;
+      std::strtod(value_tok.c_str(), &end);
+      if (end != value_tok.c_str() + value_tok.size()) {
+        return LineError(line_no, "unparseable value \"" + value_tok + "\"");
+      }
+    }
+    if (p < line.size()) {
+      while (p < line.size() && line[p] == ' ') ++p;
+      const size_t ts_start = p;
+      if (p < line.size() && (line[p] == '+' || line[p] == '-')) ++p;
+      while (p < line.size() && line[p] >= '0' && line[p] <= '9') ++p;
+      if (p != line.size() || p == ts_start) {
+        return LineError(line_no, "trailing garbage after value");
+      }
+    }
+
+    // Attribute the sample to its family: an exact TYPE match, or a
+    // summary/histogram child series.
+    std::string family(name);
+    if (types.count(family) == 0) {
+      std::string_view base;
+      if ((IsSuffix(name, "_sum", &base) || IsSuffix(name, "_count", &base) ||
+           IsSuffix(name, "_bucket", &base))) {
+        const auto it = types.find(std::string(base));
+        if (it != types.end() &&
+            (it->second == "summary" || it->second == "histogram")) {
+          family = std::string(base);
+        }
+      }
+    }
+    if (types.count(family) == 0) {
+      return LineError(line_no, "sample for " + std::string(name) +
+                                    " has no preceding # TYPE");
+    }
+    sampled_families.insert(family);
+
+    // Exact-duplicate series check (label order is irrelevant).
+    std::vector<std::pair<std::string, std::string>> sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string key(name);
+    for (const auto& [k, v] : sorted) {
+      key += '\x1f';
+      key += k;
+      key += '\x1e';
+      key += v;
+    }
+    if (!series_seen.insert(key).second) {
+      return LineError(line_no, "duplicate series " + std::string(name));
+    }
+    if (last) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace pathcache

@@ -1,0 +1,31 @@
+// PrometheusLint: a strict validator for the Prometheus text exposition
+// format, shared by the obs unit tests and the `promlint` CLI the CI
+// bench-smoke job runs over the exported metrics.
+//
+// Checked, line by line:
+//   * `# HELP <name> <text>` / `# TYPE <name> <type>` headers: valid metric
+//     name, known type, TYPE before any sample of that family, no duplicate
+//     HELP/TYPE per family; other `#` lines pass as plain comments;
+//   * samples `name[{labels}] value [timestamp]`: valid metric and label
+//     names, properly quoted and escaped label values, a parseable float
+//     value (Inf/NaN included) and optional integer timestamp;
+//   * no exact duplicate series (same name and label block);
+//   * summary/histogram child series (`_sum`, `_count`, `_bucket`,
+//     quantile/le labels) are attributed to their parent family's TYPE.
+
+#ifndef PATHCACHE_OBS_PROMLINT_H_
+#define PATHCACHE_OBS_PROMLINT_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pathcache {
+
+/// Returns OK when `text` is valid exposition format; otherwise
+/// InvalidArgument naming the first offending line (1-based) and problem.
+Status PrometheusLint(std::string_view text);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_OBS_PROMLINT_H_

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "util/json_writer.h"
+
+namespace pathcache {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(std::bit_ceil(std::max<size_t>(2, capacity))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]),
+      origin_ns_(SteadyNowNanos()) {}
+
+uint64_t Tracer::NowMicros() const {
+  return (SteadyNowNanos() - origin_ns_) / 1000;
+}
+
+uint32_t Tracer::ThreadOrdinal() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void Tracer::Record(char phase, const char* name, uint64_t arg) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+  // Invalidate first so a concurrent Snapshot never pairs the new payload
+  // with the old ticket.  (See the header note on the residual wraparound
+  // race: two writers a full ring apart can still interleave.)
+  s.seq.store(0, std::memory_order_release);
+  s.ts.store(NowMicros(), std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.tid.store(ThreadOrdinal(), std::memory_order_relaxed);
+  s.phase.store(phase, std::memory_order_relaxed);
+  s.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<TraceEvent> events;
+  events.reserve(end - begin);
+  for (uint64_t ticket = begin; ticket < end; ++ticket) {
+    const Slot& s = slots_[ticket & mask_];
+    if (s.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    TraceEvent e;
+    e.ts_micros = s.ts.load(std::memory_order_relaxed);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    e.phase = s.phase.load(std::memory_order_relaxed);
+    // A writer that claimed this slot mid-copy zeroes seq first; reject the
+    // slot if that happened while we were reading the payload.
+    if (s.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    if (e.name == nullptr || e.phase == 0) continue;
+    events.push_back(e);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_micros < b.ts_micros;
+                   });
+  return events;
+}
+
+void Tracer::Reset() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+    slots_[i].name.store(nullptr, std::memory_order_relaxed);
+    slots_[i].phase.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+void Tracer::WriteChromeTrace(std::string* out) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("displayTimeUnit").Str("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").Str(e.name);
+    switch (e.phase) {
+      case 'B':
+        w.Key("ph").Str("B");
+        break;
+      case 'E':
+        w.Key("ph").Str("E");
+        break;
+      default:
+        // Chrome instant events need a scope; thread scope matches our tid.
+        w.Key("ph").Str("i");
+        w.Key("s").Str("t");
+    }
+    w.Key("ts").Uint(e.ts_micros);
+    w.Key("pid").Uint(1);
+    w.Key("tid").Uint(e.tid);
+    w.Key("args").BeginObject().Key("arg").Uint(e.arg).EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+Status Tracer::WriteChromeTrace(std::FILE* out) const {
+  std::string doc;
+  WriteChromeTrace(&doc);
+  doc.push_back('\n');
+  if (std::fwrite(doc.data(), 1, doc.size(), out) != doc.size()) {
+    return Status::IoError("short write dumping Chrome trace");
+  }
+  return Status::OK();
+}
+
+}  // namespace pathcache

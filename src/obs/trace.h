@@ -1,0 +1,144 @@
+// Tracer: low-overhead spans recorded into a fixed-size lock-free ring
+// buffer, dumped as Chrome trace-event JSON (load the file in Perfetto or
+// chrome://tracing).
+//
+// The serving stack uses three nesting levels: one span per query
+// (serve.query), one per dequeued batch (serve.batch), and one per device
+// operation underneath (io.read / io.read_batch / io.write / io.pin, via
+// TracingPageDevice), so a Perfetto timeline shows exactly which device
+// I/Os a slow query paid for — the per-transfer accounting the paper's
+// bounds are stated in, laid out on a wall clock.
+//
+// Always compiled in, off by default: every Record path starts with one
+// relaxed load of `enabled_` and a branch, which is the entire disabled
+// cost.  bench_serve --obs gates that disabled-by-default cost (<3% vs an
+// engine with no obs wired) and reports the enabled cost, which against a
+// RAM-speed device is genuinely double-digit percent because every page
+// read becomes two ring events; see EXPERIMENTS E18.
+//
+// Concurrency: Record() claims a ticket with one relaxed fetch_add and
+// writes the slot's fields as relaxed atomics, then publishes the ticket
+// with a release store — no locks anywhere.  The ring overwrites oldest
+// events when full (dropped() counts them).  Snapshot() skips slots caught
+// mid-write; in the rare interleaving where a wraparound overwrite races a
+// snapshot, a surfaced event may mix fields of the old and new record.
+// The trace is a diagnostic, not an audit log — readers get well-formed
+// events, just occasionally an approximate one.
+//
+// Event names must be string literals (or otherwise outlive the tracer):
+// slots store the pointer, never a copy.
+
+#ifndef PATHCACHE_OBS_TRACE_H_
+#define PATHCACHE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pathcache {
+
+/// One recorded event, as returned by Tracer::Snapshot().
+struct TraceEvent {
+  uint64_t ts_micros = 0;  // since the tracer's construction
+  uint32_t tid = 0;        // small per-thread ordinal, stable per thread
+  uint64_t arg = 0;        // operand: page id, batch size, structure id...
+  const char* name = nullptr;
+  char phase = 0;  // 'B' begin, 'E' end, 'I' instant
+};
+
+class Tracer {
+ public:
+  /// `capacity` is rounded up to a power of two; the ring holds the most
+  /// recent `capacity` events.
+  explicit Tracer(size_t capacity = 1 << 14);
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// `name` must outlive the tracer (use string literals).
+  void Begin(const char* name, uint64_t arg = 0) {
+    if (enabled()) Record('B', name, arg);
+  }
+  void End(const char* name, uint64_t arg = 0) {
+    if (enabled()) Record('E', name, arg);
+  }
+  void Instant(const char* name, uint64_t arg = 0) {
+    if (enabled()) Record('I', name, arg);
+  }
+
+  /// Events currently readable from the ring, in timestamp order.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events recorded since construction / Reset().
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const {
+    const uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Clears the ring and counters.  Callers must quiesce recording threads
+  /// first (or Disable() and let in-flight Records finish).
+  void Reset();
+
+  /// Dumps the snapshot as a Chrome trace-event document:
+  /// {"traceEvents":[{"name":...,"ph":"B","ts":...,"pid":1,"tid":...}...]}.
+  void WriteChromeTrace(std::string* out) const;
+  Status WriteChromeTrace(std::FILE* out) const;
+
+  /// Microseconds since construction on the tracer's steady clock.
+  uint64_t NowMicros() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = empty, else ticket + 1
+    std::atomic<uint64_t> ts{0};
+    std::atomic<uint64_t> arg{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<char> phase{0};
+  };
+
+  void Record(char phase, const char* name, uint64_t arg);
+  static uint32_t ThreadOrdinal();
+
+  size_t capacity_;  // power of two
+  uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> enabled_{false};
+  uint64_t origin_ns_;  // steady-clock origin, set at construction
+};
+
+/// RAII span: Begin on construction, End on destruction.  A null tracer is
+/// a no-op, so call sites need no branching.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, uint64_t arg = 0)
+      : tracer_(tracer), name_(name), arg_(arg) {
+    if (tracer_ != nullptr) tracer_->Begin(name_, arg_);
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->End(name_, arg_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t arg_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_OBS_TRACE_H_

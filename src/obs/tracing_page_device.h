@@ -1,0 +1,80 @@
+// TracingPageDevice: a forwarding decorator that records one tracer span
+// per device operation (io.read / io.read_batch / io.write / io.pin /
+// io.alloc / io.free), with the page id (or batch size) as the span arg.
+//
+// Sits between a worker's CountingPageDevice and the shared pool in the
+// serving stack, so a query's trace shows every page it touched nested
+// under its serve.query span.  With a null or disabled tracer every call
+// is a plain forward plus one branch — cheap enough to leave compiled in.
+//
+// Stats are the inner device's (this layer counts nothing itself), so
+// inserting it never changes any counted-I/O assertion.
+
+#ifndef PATHCACHE_OBS_TRACING_PAGE_DEVICE_H_
+#define PATHCACHE_OBS_TRACING_PAGE_DEVICE_H_
+
+#include "io/page_device.h"
+#include "obs/trace.h"
+
+namespace pathcache {
+
+class TracingPageDevice final : public PageDevice {
+ public:
+  /// Does not own `inner` or `tracer`; `tracer` may be null (pass-through).
+  TracingPageDevice(PageDevice* inner, Tracer* tracer)
+      : inner_(inner), tracer_(tracer) {}
+
+  uint32_t page_size() const override { return inner_->page_size(); }
+
+  Result<PageId> Allocate() override {
+    if (!Tracing()) return inner_->Allocate();
+    TraceSpan span(tracer_, "io.alloc");
+    return inner_->Allocate();
+  }
+
+  Status Free(PageId id) override {
+    if (!Tracing()) return inner_->Free(id);
+    TraceSpan span(tracer_, "io.free", id);
+    return inner_->Free(id);
+  }
+
+  Status Read(PageId id, std::byte* buf) override {
+    if (!Tracing()) return inner_->Read(id, buf);
+    TraceSpan span(tracer_, "io.read", id);
+    return inner_->Read(id, buf);
+  }
+
+  Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override {
+    if (!Tracing()) return inner_->ReadBatch(ids, bufs);
+    TraceSpan span(tracer_, "io.read_batch", ids.size());
+    return inner_->ReadBatch(ids, bufs);
+  }
+
+  Status Write(PageId id, const std::byte* buf) override {
+    if (!Tracing()) return inner_->Write(id, buf);
+    TraceSpan span(tracer_, "io.write", id);
+    return inner_->Write(id, buf);
+  }
+
+  Result<const std::byte*> Pin(PageId id) override {
+    if (!Tracing()) return inner_->Pin(id);
+    TraceSpan span(tracer_, "io.pin", id);
+    return inner_->Pin(id);
+  }
+
+  void Unpin(PageId id) override { inner_->Unpin(id); }
+
+  const IoStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+  uint64_t live_pages() const override { return inner_->live_pages(); }
+
+ private:
+  bool Tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  PageDevice* inner_;
+  Tracer* tracer_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_OBS_TRACING_PAGE_DEVICE_H_

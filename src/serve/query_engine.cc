@@ -1,6 +1,7 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -10,6 +11,30 @@
 
 namespace pathcache {
 
+std::string SlowQueryLogEntry::ToString() const {
+  std::string s = "slow query: structure=" + std::to_string(structure_id);
+  switch (kind) {
+    case QueryKind::kTwoSided:
+      s += " kind=two_sided q=(x>=" + std::to_string(query.two_sided.x_min) +
+           ", y>=" + std::to_string(query.two_sided.y_min) + ")";
+      break;
+    case QueryKind::kThreeSided:
+      s += " kind=three_sided q=(x in [" +
+           std::to_string(query.three_sided.x_min) + ", " +
+           std::to_string(query.three_sided.x_max) +
+           "], y>=" + std::to_string(query.three_sided.y_min) + ")";
+      break;
+    case QueryKind::kStabbing:
+      s += " kind=stabbing q=" + std::to_string(query.stab);
+      break;
+  }
+  s += " latency_us=" + std::to_string(latency_micros);
+  s += " device_reads=" + std::to_string(io.reads) +
+       " batch_reads=" + std::to_string(io.batch_reads);
+  s += "\n" + stats.ToString();
+  return s;
+}
+
 QueryEngine::QueryEngine(PageDevice* shared, QueryEngineOptions opts)
     : shared_(shared),
       opts_(opts),
@@ -18,7 +43,7 @@ QueryEngine::QueryEngine(PageDevice* shared, QueryEngineOptions opts)
   if (opts_.batch_size == 0) opts_.batch_size = 1;
   workers_.reserve(opts_.num_workers);
   for (uint32_t i = 0; i < opts_.num_workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(shared_));
+    workers_.push_back(std::make_unique<Worker>(shared_, opts_.tracer));
   }
 }
 
@@ -158,27 +183,54 @@ int64_t QueryEngine::LocalityKey(QueryKind kind, const ServeQuery& q) {
 
 QueryResult QueryEngine::Execute(Worker* w, const Request& req) {
   QueryResult res;
+  TraceSpan span(opts_.tracer, "serve.query", req.structure_id);
   const IoStats before = w->dev.stats();
   StructureHandle& h = w->handles[req.structure_id];
   switch (h.kind) {
     case QueryKind::kTwoSided:
       res.status = h.two_sided->QueryTwoSided(req.query.two_sided,
-                                              &res.points, nullptr);
+                                              &res.points, &res.stats);
       break;
     case QueryKind::kThreeSided:
       res.status = h.three_sided->QueryThreeSided(req.query.three_sided,
-                                                  &res.points);
+                                                  &res.points, &res.stats);
       break;
     case QueryKind::kStabbing:
       if (h.seg_tree != nullptr) {
-        res.status = h.seg_tree->Stab(req.query.stab, &res.intervals);
+        res.status =
+            h.seg_tree->Stab(req.query.stab, &res.intervals, &res.stats);
       } else {
-        res.status = h.interval_tree->Stab(req.query.stab, &res.intervals);
+        res.status =
+            h.interval_tree->Stab(req.query.stab, &res.intervals, &res.stats);
       }
       break;
   }
   res.io = w->dev.stats() - before;
   return res;
+}
+
+void QueryEngine::MaybeLogSlowQuery(const Request& req,
+                                    const QueryResult& res) {
+  const SlowQueryLogOptions& log = opts_.slow_query_log;
+  const bool slow_latency = log.latency_threshold_micros != 0 &&
+                            res.latency_micros >= log.latency_threshold_micros;
+  const bool slow_reads = log.reads_threshold != 0 &&
+                          res.stats.total_reads() >= log.reads_threshold;
+  if (!slow_latency && !slow_reads) return;
+  slow_queries_.fetch_add(1, std::memory_order_relaxed);
+  SlowQueryLogEntry entry;
+  entry.structure_id = req.structure_id;
+  entry.kind = kinds_[req.structure_id];
+  entry.query = req.query;
+  entry.latency_micros = res.latency_micros;
+  entry.io = res.io;
+  entry.stats = res.stats;
+  if (log.sink) {
+    log.sink(entry);
+  } else {
+    const std::string line = entry.ToString();
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 void QueryEngine::WorkerLoop(Worker* w) {
@@ -199,6 +251,8 @@ void QueryEngine::WorkerLoop(Worker* w) {
     }
     // No extra notify here: every Submit() posts its own notify_one, so a
     // worker parked while requests remain always has a wakeup in flight.
+
+    TraceSpan batch_span(opts_.tracer, "serve.batch", batch.size());
 
     // Locality sort: group the batch by structure, then by query key, so
     // consecutive queries descend through the same skeletal neighborhoods
@@ -236,6 +290,7 @@ void QueryEngine::WorkerLoop(Worker* w) {
         io_batch_reads_.fetch_add(res.io.batch_reads,
                                   std::memory_order_relaxed);
         io_writes_.fetch_add(res.io.writes, std::memory_order_relaxed);
+        MaybeLogSlowQuery(req, res);
       }
       completed_.fetch_add(1, std::memory_order_relaxed);
       if (req.done) req.done(std::move(res));
@@ -259,6 +314,7 @@ ServeStats QueryEngine::stats() const {
   }
   s.completed = completed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
+  s.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   s.latency = latency_.TakeSnapshot();
   s.io.reads = io_reads_.load(std::memory_order_relaxed);
   s.io.batch_reads = io_batch_reads_.load(std::memory_order_relaxed);

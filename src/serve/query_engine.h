@@ -24,10 +24,15 @@
 //    sort them by (structure, query key) before executing, so neighboring
 //    queries walk the same skeletal pages back to back and hit the shared
 //    pool while those pages are still hot.
-//  * Observability: per-request IoStats deltas (from the worker's private
-//    CountingPageDevice) ride on every completion; the engine aggregates a
-//    latency histogram (p50/p95/p99), queue-depth high-water mark, and
-//    rejection/expiry counters, all readable mid-flight via stats().
+//  * Observability: per-request IoStats and QueryStats deltas (from the
+//    worker's private CountingPageDevice and the structure's own accounting)
+//    ride on every completion; the engine aggregates a latency histogram
+//    (p50/p95/p99), queue-depth high-water mark, and rejection/expiry
+//    counters, all readable mid-flight via stats().  Optional extras: a
+//    slow-query log (requests over a latency or block-read threshold emit a
+//    full per-phase breakdown to a sink) and a Tracer that records
+//    serve.batch / serve.query / io.* spans for Perfetto.  serve_metrics.h
+//    publishes all of it to a MetricsRegistry.
 //
 // Thread-safety: Submit(), Drain() and stats() may be called from any
 // thread once Start() returns.  AddStructure() and Start() are setup-phase
@@ -48,11 +53,14 @@
 
 #include "core/ext_interval_tree.h"
 #include "core/ext_segment_tree.h"
+#include "core/query_stats.h"
 #include "core/three_sided.h"
 #include "core/two_sided_index.h"
 #include "io/counting_page_device.h"
 #include "io/io_types.h"
 #include "io/page_device.h"
+#include "obs/trace.h"
+#include "obs/tracing_page_device.h"
 #include "serve/clock.h"
 #include "serve/latency_histogram.h"
 #include "util/geometry.h"
@@ -101,11 +109,43 @@ struct QueryResult {
   /// Pages this request read, isolated per-request via the worker's private
   /// counting device.  Zero for rejected/expired requests (no I/O issued).
   IoStats io;
+  /// The structure's own per-query accounting (role + useful/wasteful
+  /// breakdown); `stats.total_reads()` matches `io` block reads by
+  /// construction, and serve_test asserts it byte-for-byte.
+  QueryStats stats;
   /// Submit-to-completion time on the engine's clock.
   uint64_t latency_micros = 0;
 };
 
 using QueryDoneCallback = std::function<void(QueryResult)>;
+
+/// One slow-query log record: everything needed to explain where a request's
+/// time and I/O went, captured at completion on the worker thread.
+struct SlowQueryLogEntry {
+  uint32_t structure_id = 0;
+  QueryKind kind = QueryKind::kTwoSided;
+  ServeQuery query;
+  uint64_t latency_micros = 0;
+  /// Exactly the request's QueryResult::io / QueryResult::stats — the same
+  /// per-request accounting the completion callback sees.
+  IoStats io;
+  QueryStats stats;
+
+  /// Human-readable one-entry dump (multi-line, ends without newline).
+  std::string ToString() const;
+};
+
+struct SlowQueryLogOptions {
+  /// Log a completed request when latency_micros >= this.  0 disables the
+  /// latency trigger.
+  uint64_t latency_threshold_micros = 0;
+  /// Log a completed request when its block reads (stats.total_reads())
+  /// reach this.  0 disables the reads trigger.
+  uint64_t reads_threshold = 0;
+  /// Invoked on the worker thread for each slow request; must be
+  /// thread-safe.  Null with nonzero thresholds falls back to stderr.
+  std::function<void(const SlowQueryLogEntry&)> sink;
+};
 
 struct QueryEngineOptions {
   uint32_t num_workers = 4;
@@ -115,6 +155,12 @@ struct QueryEngineOptions {
   uint32_t batch_size = 8;
   /// Deadline source; nullptr uses the monotonic SystemClock.
   Clock* clock = nullptr;
+  /// Slow-query logging; both thresholds 0 (the default) turns it off.
+  SlowQueryLogOptions slow_query_log;
+  /// Optional tracer: when set and enabled, workers record serve.batch /
+  /// serve.query spans and per-operation io.* spans underneath (via each
+  /// worker's TracingPageDevice).  Not owned; may be null.
+  Tracer* tracer = nullptr;
 };
 
 /// Mid-flight counters, snapshotted by QueryEngine::stats().
@@ -125,6 +171,7 @@ struct ServeStats {
   uint64_t expired = 0;             // dropped at dispatch, kDeadlineExceeded
   uint64_t queue_depth = 0;         // requests waiting right now
   uint64_t max_queue_depth = 0;     // high-water mark since Start()
+  uint64_t slow_queries = 0;        // requests the slow-query log captured
   /// Latency of executed queries (expired requests excluded).
   LatencyHistogram::Snapshot latency;
   /// Page I/O across all workers (sum of the per-request deltas).
@@ -187,9 +234,13 @@ class QueryEngine {
 
   /// Everything one worker thread touches while executing queries.  The
   /// counting device (and therefore every handle's I/O) is private to the
-  /// worker, which is what makes per-request IoStats deltas race-free.
+  /// worker, which is what makes per-request IoStats deltas race-free.  The
+  /// tracing layer sits between the counting device and the shared pool so
+  /// traced io.* spans carry exactly the operations the counters count.
   struct Worker {
-    explicit Worker(PageDevice* shared) : dev(shared) {}
+    Worker(PageDevice* shared, Tracer* tracer)
+        : tdev(shared, tracer), dev(&tdev) {}
+    TracingPageDevice tdev;
     CountingPageDevice dev;
     std::vector<StructureHandle> handles;
     std::thread thread;
@@ -205,6 +256,8 @@ class QueryEngine {
 
   void WorkerLoop(Worker* w);
   QueryResult Execute(Worker* w, const Request& req);
+  /// Feeds the slow-query log if `res` trips a configured threshold.
+  void MaybeLogSlowQuery(const Request& req, const QueryResult& res);
   /// The key batch sorting clusters on: queries near each other descend
   /// through the same skeletal pages.
   static int64_t LocalityKey(QueryKind kind, const ServeQuery& q);
@@ -232,6 +285,7 @@ class QueryEngine {
   uint64_t max_queue_depth_ = 0;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> slow_queries_{0};
   std::atomic<uint64_t> io_reads_{0};
   std::atomic<uint64_t> io_batch_reads_{0};
   std::atomic<uint64_t> io_writes_{0};

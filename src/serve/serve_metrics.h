@@ -1,0 +1,76 @@
+// RegisterServeMetrics: publishes a QueryEngine's ServeStats through a
+// MetricsRegistry.  Header-only and in serve/ (not obs/) so the dependency
+// arrow stays obs <- serve: the registry knows nothing about the engine.
+//
+// Every sample callback goes through QueryEngine::stats(), which is safe
+// from any thread while the engine serves, so exports can run concurrently
+// with traffic.
+
+#ifndef PATHCACHE_SERVE_SERVE_METRICS_H_
+#define PATHCACHE_SERVE_SERVE_METRICS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+/// Registers the engine's counters (submitted/completed/rejected/expired/
+/// slow), queue-depth gauges, the latency summary, and its aggregate worker
+/// IoStats (device="<engine_label>").  `engine` must outlive the registry's
+/// exports.
+inline Status RegisterServeMetrics(MetricsRegistry* reg,
+                                   const std::string& engine_label,
+                                   const QueryEngine* engine) {
+  const MetricLabels labels = {{"engine", engine_label}};
+  struct Row {
+    const char* name;
+    const char* help;
+    uint64_t ServeStats::* field;
+  };
+  static constexpr Row kCounters[] = {
+      {"pathcache_serve_submitted_total", "Requests accepted into the queue",
+       &ServeStats::submitted},
+      {"pathcache_serve_completed_total",
+       "Requests executed (any status code)", &ServeStats::completed},
+      {"pathcache_serve_rejected_overload_total",
+       "Submissions bounced with kOverloaded", &ServeStats::rejected_overload},
+      {"pathcache_serve_expired_total",
+       "Requests dropped at dispatch past their deadline",
+       &ServeStats::expired},
+      {"pathcache_serve_slow_queries_total",
+       "Requests captured by the slow-query log", &ServeStats::slow_queries},
+  };
+  for (const Row& row : kCounters) {
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        row.name, row.help, labels,
+        [engine, field = row.field] { return engine->stats().*field; }));
+  }
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_serve_queue_depth", "Requests waiting right now", labels,
+      [engine] { return double(engine->stats().queue_depth); }));
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_serve_max_queue_depth", "Queue high-water mark since Start()",
+      labels, [engine] { return double(engine->stats().max_queue_depth); }));
+  PC_RETURN_IF_ERROR(reg->AddSummaryFn(
+      "pathcache_serve_latency_micros",
+      "Submit-to-completion latency of executed queries", labels, [engine] {
+        const LatencyHistogram::Snapshot s = engine->stats().latency;
+        MetricSummary m;
+        m.count = s.count;
+        m.sum = s.sum;
+        m.max = s.max;
+        m.p50 = s.p50;
+        m.p95 = s.p95;
+        m.p99 = s.p99;
+        return m;
+      }));
+  return RegisterIoStatsMetrics(reg, engine_label,
+                                [engine] { return engine->stats().io; });
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_SERVE_SERVE_METRICS_H_

@@ -1,0 +1,169 @@
+// Minimal streaming JSON emitter, shared by the benches' `--json` dumps and
+// the observability exporters (obs/metrics, obs/trace).
+//
+// The writer tracks nesting and comma placement so call sites just narrate
+// the document.  All string output (keys and values) is escaped per RFC
+// 8259: quote, backslash and every control character below 0x20 are emitted
+// as escape sequences, so metric names, label values and error messages can
+// flow through without corrupting the document.  Output goes to either a
+// FILE* or a std::string sink.
+
+#ifndef PATHCACHE_UTIL_JSON_WRITER_H_
+#define PATHCACHE_UTIL_JSON_WRITER_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathcache {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : file_(out) {}
+  explicit JsonWriter(std::string* out) : str_(out) {}
+
+  JsonWriter& BeginObject() {
+    Pre();
+    Put('{');
+    levels_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    levels_.pop_back();
+    Put('}');
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Pre();
+    Put('[');
+    levels_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    levels_.pop_back();
+    Put(']');
+    return *this;
+  }
+
+  JsonWriter& Key(std::string_view k) {
+    Pre();
+    PutEscaped(k);
+    Put(':');
+    pending_key_ = true;
+    return *this;
+  }
+  JsonWriter& Uint(uint64_t v) {
+    Pre();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    Write(buf);
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Pre();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    Write(buf);
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    Pre();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Write(buf);
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Pre();
+    Write(v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& Str(std::string_view s) {
+    Pre();
+    PutEscaped(s);
+    return *this;
+  }
+
+ private:
+  // Emits the separating comma for the second and later members of the
+  // innermost object/array; a value directly following its Key never takes
+  // one (the Key already placed the member separator).
+  void Pre() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!levels_.empty()) {
+      if (levels_.back()) Put(',');
+      levels_.back() = true;
+    }
+  }
+
+  void Put(char c) {
+    if (file_ != nullptr) {
+      std::fputc(c, file_);
+    } else {
+      str_->push_back(c);
+    }
+  }
+  void Write(const char* s) {
+    if (file_ != nullptr) {
+      std::fputs(s, file_);
+    } else {
+      str_->append(s);
+    }
+  }
+
+  /// Quoted, escaped string per RFC 8259: `"` and `\` are backslash-escaped,
+  /// control characters get their short form (\n, \t, \r, \b, \f) or \u00XX.
+  void PutEscaped(std::string_view s) {
+    Put('"');
+    for (char c : s) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      switch (c) {
+        case '"':
+          Write("\\\"");
+          break;
+        case '\\':
+          Write("\\\\");
+          break;
+        case '\n':
+          Write("\\n");
+          break;
+        case '\t':
+          Write("\\t");
+          break;
+        case '\r':
+          Write("\\r");
+          break;
+        case '\b':
+          Write("\\b");
+          break;
+        case '\f':
+          Write("\\f");
+          break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            Write(buf);
+          } else {
+            Put(c);
+          }
+      }
+    }
+    Put('"');
+  }
+
+  std::FILE* file_ = nullptr;
+  std::string* str_ = nullptr;
+  std::vector<bool> levels_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_UTIL_JSON_WRITER_H_

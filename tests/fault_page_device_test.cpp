@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "io/mem_page_device.h"
@@ -219,6 +221,69 @@ TEST(RetryPageDeviceTest, ExhaustsOnPersistentError) {
   EXPECT_EQ(dev.retries(), 2u);  // 3 attempts = first try + 2 retries
   EXPECT_EQ(dev.exhausted(), 1u);
   EXPECT_EQ(dev.recovered(), 0u);
+}
+
+// Regression: the backoff used to compute `base_backoff_us << attempt`
+// directly, which is undefined behavior once `attempt` reaches the bit
+// width of the operand (attempt 79 here).  The shift must saturate to
+// max_backoff_us instead.  With max_backoff_us = 0 every sleep is zero, so
+// the 80 attempts run instantly and UBSan sees the full attempt range.
+TEST(RetryPageDeviceTest, HighAttemptCountBackoffDoesNotOverflowShift) {
+  MemPageDevice mem(512);
+  FaultPageDevice fault(&mem);
+  RetryOptions opts;
+  opts.max_attempts = 80;
+  opts.base_backoff_us = 1;
+  opts.max_backoff_us = 0;
+  RetryPageDevice dev(&fault, opts);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 15);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+
+  fault.FailReadAt(0, /*persistent=*/true);
+  std::vector<std::byte> back(512);
+  EXPECT_EQ(dev.Read(id.value(), back.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(dev.retries(), 79u);  // 80 attempts = first try + 79 retries
+  EXPECT_EQ(dev.exhausted(), 1u);
+  EXPECT_EQ(dev.recovered(), 0u);
+  EXPECT_EQ(fault.reads_seen(), 80u);  // every attempt reached the device
+}
+
+// The telemetry counters are relaxed atomics: sampling them from another
+// thread while operations run must be race-free (this is what the obs
+// exporter does).  Run under TSan in CI.
+TEST(RetryPageDeviceTest, CountersAreSafeToSampleConcurrently) {
+  MemPageDevice mem(512);
+  FaultPageDevice fault(&mem);
+  RetryOptions opts;
+  opts.max_attempts = 2;
+  RetryPageDevice dev(&fault, opts);
+  auto id = dev.Allocate();
+  ASSERT_TRUE(id.ok());
+  auto data = Pattern(512, 16);
+  ASSERT_TRUE(dev.Write(id.value(), data.data()).ok());
+  for (int i = 0; i < 400; i += 2) fault.FailReadAt(uint64_t(i));
+
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t r = dev.retries();
+      EXPECT_GE(r, last);  // monotone under concurrent sampling
+      last = r;
+      (void)dev.recovered();
+      (void)dev.exhausted();
+    }
+  });
+  std::vector<std::byte> back(512);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(dev.Read(id.value(), back.data()).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  EXPECT_EQ(dev.retries(), 200u);
+  EXPECT_EQ(dev.recovered(), 200u);
 }
 
 TEST(RetryPageDeviceTest, RecoversTransientWriteDuringBurst) {

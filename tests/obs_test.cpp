@@ -1,0 +1,733 @@
+// Tests for the observability layer (src/obs/): MetricsRegistry export
+// correctness (Prometheus text + JSON), the PrometheusLint validator it is
+// checked against, the lock-free Tracer and its Chrome trace output, the
+// TracingPageDevice decorator, JsonWriter escaping, and LatencyHistogram
+// edge cases.  The concurrent tests double as TSan probes for the
+// record/export paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/promlint.h"
+#include "obs/trace.h"
+#include "obs/tracing_page_device.h"
+#include "serve/latency_histogram.h"
+#include "util/json_writer.h"
+
+namespace pathcache {
+namespace {
+
+// --- A minimal JSON validator -----------------------------------------------
+//
+// Recursive-descent acceptor for RFC 8259 JSON, used to assert that every
+// exported document parses.  Validation only: no tree is built.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char esc = s_[pos_ + 1];
+        if (esc == 'u') {
+          if (pos_ + 5 >= s_.size()) return false;
+          for (int i = 2; i <= 5; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 6;
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+          ++pos_;
+          SkipWs();
+          if (!Value()) return false;
+          SkipWs();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          if (!Value()) return false;
+          SkipWs();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+bool Contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, OwnedCounterExportsAndLints) {
+  MetricsRegistry reg;
+  auto c = reg.AddCounter("pathcache_test_events_total", "Events observed.",
+                          {{"source", "unit_test"}});
+  ASSERT_TRUE(c.ok());
+  c.value()->Increment();
+  c.value()->Increment(41);
+  EXPECT_EQ(c.value()->value(), 42u);
+
+  std::string text;
+  reg.WritePrometheus(&text);
+  EXPECT_TRUE(Contains(text, "# HELP pathcache_test_events_total Events"));
+  EXPECT_TRUE(Contains(text, "# TYPE pathcache_test_events_total counter"));
+  EXPECT_TRUE(Contains(
+      text, "pathcache_test_events_total{source=\"unit_test\"} 42\n"));
+  Status lint = PrometheusLint(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+}
+
+TEST(MetricsRegistryTest, SampledGaugeAndSummaryExport) {
+  MetricsRegistry reg;
+  double gauge_value = 1.5;
+  ASSERT_TRUE(reg.AddGaugeFn("pathcache_test_depth", "Current depth.", {},
+                             [&] { return gauge_value; })
+                  .ok());
+  ASSERT_TRUE(reg.AddSummaryFn("pathcache_test_latency_micros", "Latency.",
+                               {{"engine", "e0"}},
+                               [] {
+                                 MetricSummary s;
+                                 s.count = 10;
+                                 s.sum = 100;
+                                 s.max = 31;
+                                 s.p50 = 7;
+                                 s.p95 = 15;
+                                 s.p99 = 31;
+                                 return s;
+                               })
+                  .ok());
+  EXPECT_EQ(reg.num_series(), 2u);
+
+  std::string text;
+  reg.WritePrometheus(&text);
+  EXPECT_TRUE(Contains(text, "pathcache_test_depth 1.5\n"));
+  EXPECT_TRUE(Contains(
+      text, "pathcache_test_latency_micros{engine=\"e0\",quantile=\"0.5\"} 7"));
+  EXPECT_TRUE(Contains(
+      text,
+      "pathcache_test_latency_micros{engine=\"e0\",quantile=\"0.99\"} 31"));
+  EXPECT_TRUE(
+      Contains(text, "pathcache_test_latency_micros_sum{engine=\"e0\"} 100"));
+  EXPECT_TRUE(
+      Contains(text, "pathcache_test_latency_micros_count{engine=\"e0\"} 10"));
+  Status lint = PrometheusLint(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+}
+
+TEST(MetricsRegistryTest, RegistrationRejectsInvalidAndConflicting) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.AddCounter("9starts_with_digit", "bad").ok());
+  EXPECT_FALSE(reg.AddCounter("has space", "bad").ok());
+  EXPECT_FALSE(
+      reg.AddCounter("pathcache_ok_total", "bad label", {{"__reserved", "x"}})
+          .ok());
+  EXPECT_FALSE(
+      reg.AddCounter("pathcache_ok_total", "bad label", {{"0digit", "x"}})
+          .ok());
+
+  ASSERT_TRUE(reg.AddCounter("pathcache_dup_total", "a", {{"k", "v"}}).ok());
+  // Same (name, labels) pair: rejected.
+  EXPECT_FALSE(reg.AddCounter("pathcache_dup_total", "a", {{"k", "v"}}).ok());
+  // Same name, different labels: a new series of the same family, fine.
+  EXPECT_TRUE(reg.AddCounter("pathcache_dup_total", "a", {{"k", "w"}}).ok());
+  // Same name, different kind: family kind conflict.
+  EXPECT_FALSE(
+      reg.AddGaugeFn("pathcache_dup_total", "a", {}, [] { return 0.0; }).ok());
+  // Counter and sampled counter are the same family kind.
+  EXPECT_TRUE(reg.AddCounterFn("pathcache_dup_total", "a", {{"k", "fn"}},
+                               [] { return uint64_t{1}; })
+                  .ok());
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.AddCounter("pathcache_escape_total", "Escaping.",
+                             {{"path", "a\\b\"c\nd"}})
+                  .ok());
+  std::string text;
+  reg.WritePrometheus(&text);
+  EXPECT_TRUE(Contains(text, "{path=\"a\\\\b\\\"c\\nd\"}"));
+  Status lint = PrometheusLint(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+}
+
+TEST(MetricsRegistryTest, JsonExportIsValidJson) {
+  MetricsRegistry reg;
+  auto c = reg.AddCounter("pathcache_json_total", "With \"quotes\" and \\.",
+                          {{"k", "v\n\"w\\"}});
+  ASSERT_TRUE(c.ok());
+  c.value()->Increment(7);
+  ASSERT_TRUE(reg.AddGaugeFn("pathcache_json_gauge", "g", {},
+                             [] { return 0.25; })
+                  .ok());
+  ASSERT_TRUE(reg.AddSummaryFn("pathcache_json_summary", "s", {},
+                               [] { return MetricSummary{}; })
+                  .ok());
+  std::string json;
+  reg.WriteJson(&json);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_TRUE(Contains(json, "\"pathcache_json_total\""));
+  EXPECT_TRUE(Contains(json, "\"value\":7"));
+}
+
+TEST(MetricsRegistryTest, PoolAndQueryStatsAdaptersTrackTheSource) {
+  MemPageDevice dev(4096);
+  SharedBufferPool pool(&dev, /*capacity_pages=*/64);
+  MetricsRegistry reg;
+  ASSERT_TRUE(RegisterSharedBufferPoolMetrics(&reg, "main", &pool).ok());
+
+  QueryStats qs;
+  qs.navigation = 3;
+  qs.corner = 1;
+  qs.useful = 2;
+  qs.wasteful = 2;
+  qs.records_reported = 57;
+  ASSERT_TRUE(
+      RegisterQueryStatsMetrics(&reg, {{"structure", "pst"}},
+                                [&qs] { return qs; })
+          .ok());
+
+  // Drive some traffic so the sampled values are nonzero.
+  auto id = pool.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<std::byte> page(pool.page_size());
+  ASSERT_TRUE(pool.Write(id.value(), page.data()).ok());
+  ASSERT_TRUE(pool.Read(id.value(), page.data()).ok());  // hit
+  ASSERT_TRUE(pool.Read(id.value(), page.data()).ok());  // hit
+
+  std::string text;
+  reg.WritePrometheus(&text);
+  Status lint = PrometheusLint(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+  EXPECT_TRUE(Contains(text, "pathcache_pool_hits_total{pool=\"main\"} " +
+                                 std::to_string(pool.hits())));
+  EXPECT_TRUE(Contains(
+      text,
+      "pathcache_query_block_reads_total{structure=\"pst\",role="
+      "\"navigation\"} 3"));
+  EXPECT_TRUE(Contains(
+      text,
+      "pathcache_query_payoff_reads_total{structure=\"pst\",class="
+      "\"wasteful\"} 2"));
+  EXPECT_TRUE(Contains(
+      text,
+      "pathcache_query_records_reported_total{structure=\"pst\"} 57"));
+
+  // The sampled callback sees later mutations.
+  qs.records_reported = 58;
+  std::string text2;
+  reg.WritePrometheus(&text2);
+  EXPECT_TRUE(Contains(
+      text2,
+      "pathcache_query_records_reported_total{structure=\"pst\"} 58"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementAndExport) {
+  MetricsRegistry reg;
+  auto c = reg.AddCounter("pathcache_tsan_total", "Concurrency probe.");
+  ASSERT_TRUE(c.ok());
+  Counter* counter = c.value();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  // Export while increments are in flight: must stay well-formed.
+  for (int i = 0; i < 50; ++i) {
+    std::string text;
+    reg.WritePrometheus(&text);
+    ASSERT_TRUE(PrometheusLint(text).ok());
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(), uint64_t(kThreads) * kPerThread);
+}
+
+// --- PrometheusLint ---------------------------------------------------------
+
+TEST(PromLintTest, AcceptsWellFormedDocument) {
+  const std::string doc =
+      "# plain comment\n"
+      "# HELP m_total Things counted, with \\\\ escapes.\n"
+      "# TYPE m_total counter\n"
+      "m_total{a=\"x\",b=\"y\\\"z\"} 12\n"
+      "m_total{a=\"other\"} 3 1712000000\n"
+      "# TYPE lat summary\n"
+      "lat{quantile=\"0.5\"} 4\n"
+      "lat_sum 100\n"
+      "lat_count 25\n"
+      "# TYPE g gauge\n"
+      "g 1.5e-3\n"
+      "# TYPE inf gauge\n"
+      "inf +Inf\n";
+  Status s = PrometheusLint(doc);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(PromLintTest, RejectsMalformedDocuments) {
+  // Sample with no preceding TYPE.
+  EXPECT_FALSE(PrometheusLint("m_total 1\n").ok());
+  // TYPE after the family's first sample.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm 1\n# TYPE m counter\n")
+                   .ok());
+  // Unknown type.
+  EXPECT_FALSE(PrometheusLint("# TYPE m rate\nm 1\n").ok());
+  // Duplicate HELP.
+  EXPECT_FALSE(
+      PrometheusLint("# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n").ok());
+  // Unquoted label value.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm{a=1} 1\n").ok());
+  // Unterminated label value.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm{a=\"x} 1\n").ok());
+  // Invalid escape in a label value.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm{a=\"\\t\"} 1\n").ok());
+  // Duplicate label name in one sample.
+  EXPECT_FALSE(
+      PrometheusLint("# TYPE m counter\nm{a=\"x\",a=\"y\"} 1\n").ok());
+  // Duplicate series, even with reordered labels.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\n"
+                              "m{a=\"x\",b=\"y\"} 1\n"
+                              "m{b=\"y\",a=\"x\"} 2\n")
+                   .ok());
+  // Unparseable value.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm fast\n").ok());
+  // Trailing garbage after the timestamp.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm 1 123 456\n").ok());
+  // Metric name starting with a digit.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\n9m 1\n").ok());
+  // _sum child of a *counter* family is not a child series.
+  EXPECT_FALSE(PrometheusLint("# TYPE m counter\nm_sum 1\n").ok());
+  // The error names the offending line.
+  Status s = PrometheusLint("# TYPE m counter\nm 1\nbogus line\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(Contains(s.ToString(), "line 3")) << s.ToString();
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer(64);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Begin("x");
+  tracer.End("x");
+  tracer.Instant("y");
+  { TraceSpan span(&tracer, "z", 9); }
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  // Null tracer spans are no-ops too.
+  { TraceSpan span(nullptr, "w"); }
+}
+
+TEST(TracerTest, SpansAreBalancedAndOrdered) {
+  Tracer tracer(256);
+  tracer.Enable();
+  {
+    TraceSpan q(&tracer, "serve.query", 3);
+    {
+      TraceSpan r(&tracer, "io.read", 17);
+    }
+    { TraceSpan r(&tracer, "io.read", 18); }
+  }
+  tracer.Instant("marker", 1);
+  tracer.Disable();
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 7u);
+  int depth = 0;
+  int begins = 0, ends = 0, instants = 0;
+  for (const TraceEvent& e : events) {
+    ASSERT_NE(e.name, nullptr);
+    if (e.phase == 'B') {
+      ++depth;
+      ++begins;
+    } else if (e.phase == 'E') {
+      --depth;
+      ++ends;
+    } else {
+      EXPECT_EQ(e.phase, 'I');
+      ++instants;
+    }
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+  EXPECT_EQ(instants, 1);
+  // Single-threaded: timestamps are monotone after the stable sort.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_micros, events[i].ts_micros);
+  }
+  EXPECT_EQ(events[0].arg, 3u);
+  EXPECT_STREQ(events[0].name, "serve.query");
+}
+
+TEST(TracerTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  Tracer tracer(8);  // rounds to capacity 8
+  ASSERT_EQ(tracer.capacity(), 8u);
+  tracer.Enable();
+  for (uint64_t i = 0; i < 20; ++i) tracer.Instant("tick", i);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the newest 8, args 12..19.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 12 + i);
+  }
+  tracer.Reset();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, ChromeTraceJsonIsValidAndBalanced) {
+  Tracer tracer(128);
+  tracer.Enable();
+  {
+    TraceSpan q(&tracer, "serve.query", 1);
+    TraceSpan r(&tracer, "io.read", 42);
+  }
+  tracer.Instant("note");
+  std::string doc;
+  tracer.WriteChromeTrace(&doc);
+  EXPECT_TRUE(JsonChecker(doc).Valid()) << doc;
+  EXPECT_TRUE(Contains(doc, "\"traceEvents\""));
+  EXPECT_TRUE(Contains(doc, "\"ph\":\"B\""));
+  EXPECT_TRUE(Contains(doc, "\"ph\":\"E\""));
+  // Instant events carry thread scope, which Perfetto requires.
+  EXPECT_TRUE(Contains(doc, "\"ph\":\"i\""));
+  EXPECT_TRUE(Contains(doc, "\"s\":\"t\""));
+  // Balanced begin/end counts in the serialized document too.
+  size_t b = 0, e = 0, at = 0;
+  while ((at = doc.find("\"ph\":\"B\"", at)) != std::string::npos) {
+    ++b;
+    ++at;
+  }
+  at = 0;
+  while ((at = doc.find("\"ph\":\"E\"", at)) != std::string::npos) {
+    ++e;
+    ++at;
+  }
+  EXPECT_EQ(b, e);
+}
+
+TEST(TracerTest, ConcurrentRecordAndSnapshot) {
+  Tracer tracer(1024);
+  tracer.Enable();
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < 20000; ++i) {
+        TraceSpan span(&tracer, "work", uint64_t(t));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const TraceEvent& e : tracer.Snapshot()) {
+        // Every surfaced event is well-formed even mid-storm.
+        ASSERT_NE(e.name, nullptr);
+        ASSERT_TRUE(e.phase == 'B' || e.phase == 'E' || e.phase == 'I');
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(tracer.recorded(), uint64_t(kThreads) * 20000 * 2);
+  EXPECT_EQ(tracer.Snapshot().size(), tracer.capacity());
+}
+
+// --- TracingPageDevice ------------------------------------------------------
+
+TEST(TracingPageDeviceTest, EmitsSpansAndForwardsStats) {
+  MemPageDevice dev(512);
+  Tracer tracer(256);
+  TracingPageDevice traced(&dev, &tracer);
+  EXPECT_EQ(traced.page_size(), 512u);
+
+  // Disabled: pure pass-through, nothing recorded.
+  auto id = traced.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<std::byte> page(512);
+  ASSERT_TRUE(traced.Write(id.value(), page.data()).ok());
+  EXPECT_EQ(tracer.recorded(), 0u);
+
+  tracer.Enable();
+  ASSERT_TRUE(traced.Read(id.value(), page.data()).ok());
+  const PageId ids[] = {id.value()};
+  ASSERT_TRUE(traced.ReadBatch(ids, page.data()).ok());
+  tracer.Disable();
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // B/E for Read, B/E for ReadBatch
+  EXPECT_STREQ(events[0].name, "io.read");
+  EXPECT_EQ(events[0].arg, id.value());
+  EXPECT_STREQ(events[2].name, "io.read_batch");
+  EXPECT_EQ(events[2].arg, 1u);  // batch size, not page id
+
+  // Stats are the inner device's: the tracing layer counts nothing.
+  EXPECT_EQ(traced.stats().reads, dev.stats().reads);
+  EXPECT_EQ(traced.stats().writes, dev.stats().writes);
+  EXPECT_EQ(traced.live_pages(), dev.live_pages());
+  traced.ResetStats();
+  EXPECT_EQ(dev.stats().reads, 0u);
+}
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesEverythingJsonRequires) {
+  std::string out;
+  {
+    JsonWriter w(&out);
+    w.BeginObject();
+    w.Key("quote\"backslash\\").Str("newline\ntab\tcontrol\x01");
+    w.Key("nums").BeginArray();
+    w.Uint(UINT64_MAX);
+    w.Int(-42);
+    w.Double(0.5);
+    w.Bool(true);
+    w.EndArray();
+    w.EndObject();
+  }
+  EXPECT_TRUE(JsonChecker(out).Valid()) << out;
+  EXPECT_TRUE(Contains(out, "quote\\\"backslash\\\\"));
+  EXPECT_TRUE(Contains(out, "newline\\ntab\\tcontrol\\u0001"));
+  EXPECT_TRUE(Contains(out, "18446744073709551615"));
+}
+
+TEST(JsonWriterTest, FileAndStringSinksProduceIdenticalBytes) {
+  std::string via_string;
+  {
+    JsonWriter w(&via_string);
+    w.BeginObject();
+    w.Key("k").Str("v\n");
+    w.EndObject();
+  }
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    JsonWriter w(tmp);
+    w.BeginObject();
+    w.Key("k").Str("v\n");
+    w.EndObject();
+  }
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string via_file(via_string.size() + 16, '\0');
+  const size_t n = std::fread(via_file.data(), 1, via_file.size(), tmp);
+  via_file.resize(n);
+  std::fclose(tmp);
+  EXPECT_EQ(via_file, via_string);
+}
+
+// --- LatencyHistogram edges -------------------------------------------------
+
+TEST(LatencyHistogramEdgeTest, RecordZero) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(0);
+  LatencyHistogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+  // Zero has bit width 0: bucket 0's upper bound is 2^0 - 1 = 0.
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(LatencyHistogramEdgeTest, RecordUint64Max) {
+  LatencyHistogram h;
+  h.Record(UINT64_MAX);
+  LatencyHistogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, UINT64_MAX);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_EQ(s.p50, UINT64_MAX);
+  EXPECT_EQ(s.p99, UINT64_MAX);
+}
+
+TEST(LatencyHistogramEdgeTest, QuantilesResolveToExactBucketUpperBounds) {
+  LatencyHistogram h;
+  // Bit widths: 1 -> bucket 1 (bound 1), 2 and 3 -> bucket 2 (bound 3),
+  // 4 -> bucket 3 (bound 7).
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  LatencyHistogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 10u);
+  EXPECT_EQ(s.max, 4u);
+  // p50 rank = floor(0.5 * 3) = 1: the second sample (value 2) sits in the
+  // width-2 bucket, whose exact upper bound is 3.
+  EXPECT_EQ(s.p50, 3u);
+  // p99 rank = floor(0.99 * 3) = 2: still the width-2 bucket (value 3).
+  EXPECT_EQ(s.p99, 3u);
+  // A lone extra sample in the next bucket moves p99 to that bucket's exact
+  // upper bound (width 3 -> 7).
+  h.Record(5);
+  h.Record(6);
+  LatencyHistogram::Snapshot s2 = h.TakeSnapshot();
+  EXPECT_EQ(s2.p99, 7u);  // rank 5 of 6 -> width-3 bucket, bound 2^3 - 1
+}
+
+TEST(LatencyHistogramEdgeTest, ConcurrentRecordSnapshotReset) {
+  LatencyHistogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 0; i < 30000; ++i) h.Record(uint64_t(i) % 1000);
+    });
+  }
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      LatencyHistogram::Snapshot s = h.TakeSnapshot();
+      // Quantiles never exceed the bucket ceiling for the recorded range.
+      EXPECT_LE(s.p50, 1023u);
+      h.Reset();
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+}
+
+}  // namespace
+}  // namespace pathcache

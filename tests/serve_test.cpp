@@ -21,14 +21,20 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+#include <mutex>
+
 #include "core/ext_interval_tree.h"
 #include "core/ext_segment_tree.h"
 #include "core/pst_external.h"
 #include "core/three_sided.h"
 #include "io/mem_page_device.h"
 #include "io/shared_buffer_pool.h"
+#include "obs/promlint.h"
+#include "obs/trace.h"
 #include "serve/clock.h"
 #include "serve/latency_histogram.h"
+#include "serve/serve_metrics.h"
 #include "workload/generators.h"
 #include "workload/oracle.h"
 
@@ -357,7 +363,9 @@ TEST(QueryEngineTest, LifecycleAndArgumentErrors) {
   SavedStore store;
   BuildStore(&store, 300, 100);
   SharedBufferPool pool(&store.dev, 256);
-  QueryEngine engine(&pool, QueryEngineOptions{.num_workers = 2});
+  QueryEngineOptions lifecycle_opts;
+  lifecycle_opts.num_workers = 2;
+  QueryEngine engine(&pool, lifecycle_opts);
 
   // Submitting before Start is refused (nothing would serve it).
   auto id = engine.AddStructure(store.int_manifest);
@@ -393,6 +401,267 @@ TEST(QueryEngineTest, LifecycleAndArgumentErrors) {
   engine.Stop();  // no-op
   EXPECT_TRUE(engine.Submit(id.value(), ServeQuery::Stab(1), nullptr)
                   .IsFailedPrecondition());
+}
+
+TEST(QueryEngineTest, SlowQueryLogMatchesPerRequestAccountingExactly) {
+  SavedStore store;
+  BuildStore(&store, /*n_pts=*/2000, /*n_ivs=*/500);
+  SharedBufferPool pool(&store.dev, 2048);
+
+  QueryEngineOptions opts;
+  opts.num_workers = 1;
+  opts.batch_size = 1;
+  // reads_threshold = 1: every executed query trips the log, so each
+  // completion has a log entry to compare against.
+  opts.slow_query_log.reads_threshold = 1;
+  std::mutex log_mu;
+  std::vector<SlowQueryLogEntry> entries;
+  opts.slow_query_log.sink = [&](const SlowQueryLogEntry& e) {
+    std::lock_guard<std::mutex> lk(log_mu);
+    entries.push_back(e);
+  };
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddStructure(store.pst_manifest);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // One at a time with a Drain() between: entries arrive in submit order.
+  Rng rng(99);
+  std::vector<ServeQuery> queries;
+  std::vector<QueryResult> results;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(
+        ServeQuery::TwoSided(SampleTwoSidedQuery(store.pts, &rng)));
+    ASSERT_TRUE(engine
+                    .Submit(id.value(), queries.back(),
+                            [&results](QueryResult r) {
+                              results.push_back(std::move(r));
+                            })
+                    .ok());
+    engine.Drain();
+  }
+
+  ASSERT_EQ(results.size(), queries.size());
+  ASSERT_EQ(entries.size(), queries.size());
+  EXPECT_EQ(engine.stats().slow_queries, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    const SlowQueryLogEntry& e = entries[i];
+    EXPECT_EQ(e.structure_id, id.value());
+    EXPECT_EQ(e.kind, QueryKind::kTwoSided);
+    EXPECT_EQ(e.latency_micros, results[i].latency_micros);
+    // The log entry carries the request's accounting byte for byte.
+    EXPECT_EQ(std::memcmp(&e.stats, &results[i].stats, sizeof(QueryStats)),
+              0)
+        << "entry " << i;
+    EXPECT_EQ(std::memcmp(&e.io, &results[i].io, sizeof(IoStats)), 0)
+        << "entry " << i;
+
+    // And both equal a direct serial query's QueryStats over the bare
+    // device: the engine adds no phantom reads to the classification.
+    ExternalPst pst(&store.dev);
+    ASSERT_TRUE(pst.Open(store.pst_manifest).ok());
+    std::vector<Point> pts;
+    QueryStats direct;
+    ASSERT_TRUE(
+        pst.QueryTwoSided(queries[i].two_sided, &pts, &direct).ok());
+    EXPECT_EQ(std::memcmp(&e.stats, &direct, sizeof(QueryStats)), 0)
+        << "entry " << i;
+    EXPECT_EQ(e.stats.total_reads(), results[i].io.reads) << "entry " << i;
+    // The rendered entry mentions the headline numbers.
+    const std::string text = e.ToString();
+    EXPECT_NE(text.find("latency_us=" + std::to_string(e.latency_micros)),
+              std::string::npos);
+    EXPECT_NE(text.find("structure=" + std::to_string(e.structure_id)),
+              std::string::npos);
+  }
+  engine.Stop();
+}
+
+TEST(QueryEngineTest, SlowQueryLogLatencyThresholdAndDisable) {
+  SavedStore store;
+  BuildStore(&store, 500, 200);
+  SharedBufferPool pool(&store.dev, 1024);
+
+  // Disabled (both thresholds 0): nothing is ever captured.
+  {
+    QueryEngineOptions opts;
+    opts.num_workers = 1;
+    std::atomic<int> captured{0};
+    opts.slow_query_log.sink = [&](const SlowQueryLogEntry&) { ++captured; };
+    QueryEngine engine(&pool, opts);
+    auto id = engine.AddStructure(store.seg_manifest);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(engine.Start().ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          engine.Submit(id.value(), ServeQuery::Stab(store.ivs[0].lo), nullptr)
+              .ok());
+    }
+    engine.Drain();
+    EXPECT_EQ(captured.load(), 0);
+    EXPECT_EQ(engine.stats().slow_queries, 0u);
+    engine.Stop();
+  }
+
+  // Latency trigger, deterministic via FakeClock: park the worker, advance
+  // the clock past the threshold for one queued request, then release.
+  {
+    FakeClock clock(1'000'000);
+    QueryEngineOptions opts;
+    opts.num_workers = 1;
+    opts.batch_size = 1;
+    opts.clock = &clock;
+    opts.slow_query_log.latency_threshold_micros = 5'000;
+    std::mutex log_mu;
+    std::vector<SlowQueryLogEntry> entries;
+    opts.slow_query_log.sink = [&](const SlowQueryLogEntry& e) {
+      std::lock_guard<std::mutex> lk(log_mu);
+      entries.push_back(e);
+    };
+    QueryEngine engine(&pool, opts);
+    auto id = engine.AddStructure(store.seg_manifest);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(engine.Start().ok());
+
+    WorkerBlocker blocker;
+    ASSERT_TRUE(
+        engine.Submit(id.value(), ServeQuery::Stab(-1), blocker.Callback())
+            .ok());
+    blocker.AwaitWorkerParked();
+    // Queued while the worker is parked; its latency will include the 10ms
+    // the clock advances below.
+    ASSERT_TRUE(
+        engine.Submit(id.value(), ServeQuery::Stab(store.ivs[0].lo), nullptr)
+            .ok());
+    clock.Advance(10'000);
+    blocker.Release();
+    engine.Drain();
+
+    // The blocker ran before the clock advanced (latency 0); only the
+    // queued request crossed the threshold.
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_GE(entries[0].latency_micros, 10'000u);
+    EXPECT_EQ(entries[0].kind, QueryKind::kStabbing);
+    EXPECT_EQ(engine.stats().slow_queries, 1u);
+    engine.Stop();
+  }
+}
+
+TEST(QueryEngineTest, TracerRecordsServeAndIoSpans) {
+  SavedStore store;
+  BuildStore(&store, 500, 200);
+  SharedBufferPool pool(&store.dev, 1024);
+
+  Tracer tracer(1 << 12);
+  QueryEngineOptions opts;
+  opts.num_workers = 2;
+  opts.tracer = &tracer;
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddStructure(store.pst_manifest);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Tracer off: serving records nothing.
+  Rng rng(7);
+  ASSERT_TRUE(engine
+                  .Submit(id.value(),
+                          ServeQuery::TwoSided(
+                              SampleTwoSidedQuery(store.pts, &rng)),
+                          nullptr)
+                  .ok());
+  engine.Drain();
+  EXPECT_EQ(tracer.recorded(), 0u);
+
+  tracer.Enable();
+  constexpr int kQueries = 16;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(engine
+                    .Submit(id.value(),
+                            ServeQuery::TwoSided(
+                                SampleTwoSidedQuery(store.pts, &rng)),
+                            nullptr)
+                    .ok());
+  }
+  engine.Drain();
+  tracer.Disable();
+  engine.Stop();
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  int query_begins = 0, batch_begins = 0, io_begins = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'B') continue;
+    const std::string_view name = e.name;
+    if (name == "serve.query") {
+      ++query_begins;
+      EXPECT_EQ(e.arg, id.value());
+    } else if (name == "serve.batch") {
+      ++batch_begins;
+    } else if (name.substr(0, 3) == "io.") {
+      ++io_begins;
+    }
+  }
+  EXPECT_EQ(query_begins, kQueries);
+  EXPECT_GE(batch_begins, 1);
+  // Every query descends the tree, so device spans dominate query spans.
+  EXPECT_GT(io_begins, query_begins);
+  // The dump is loadable Chrome trace JSON.
+  std::string doc;
+  tracer.WriteChromeTrace(&doc);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("serve.query"), std::string::npos);
+  EXPECT_NE(doc.find("io.read"), std::string::npos);
+}
+
+TEST(QueryEngineTest, ServeMetricsExportIsLintCleanAndTracksStats) {
+  SavedStore store;
+  BuildStore(&store, 500, 200);
+  SharedBufferPool pool(&store.dev, 1024);
+
+  QueryEngineOptions opts;
+  opts.num_workers = 2;
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddStructure(store.int_manifest);
+  ASSERT_TRUE(id.ok());
+
+  MetricsRegistry reg;
+  ASSERT_TRUE(RegisterServeMetrics(&reg, "main", &engine).ok());
+  // Distinct label: the pool's IoStats series must not collide with the
+  // engine's (both families are pathcache_io_*).
+  ASSERT_TRUE(RegisterSharedBufferPoolMetrics(&reg, "pool0", &pool).ok());
+
+  ASSERT_TRUE(engine.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(id.value(), ServeQuery::Stab(store.ivs[i].lo), nullptr)
+            .ok());
+  }
+  engine.Drain();
+
+  std::string text;
+  reg.WritePrometheus(&text);
+  Status lint = PrometheusLint(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+  const ServeStats stats = engine.stats();
+  EXPECT_NE(
+      text.find("pathcache_serve_submitted_total{engine=\"main\"} " +
+                std::to_string(stats.submitted)),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("pathcache_serve_latency_micros_count{engine=\"main\"} " +
+                std::to_string(stats.latency.count)),
+      std::string::npos);
+  // The engine's aggregate worker IoStats export under device="main".
+  EXPECT_NE(text.find("pathcache_io_reads_total{device=\"main\"} " +
+                      std::to_string(stats.io.reads)),
+            std::string::npos);
+
+  std::string json;
+  reg.WriteJson(&json);
+  EXPECT_NE(json.find("\"pathcache_serve_completed_total\""),
+            std::string::npos);
+  engine.Stop();
 }
 
 TEST(LatencyHistogramTest, QuantilesAndCounters) {
