@@ -37,6 +37,7 @@
 #include "core/pst_external.h"
 #include "io/file_page_device.h"
 #include "io/shared_buffer_pool.h"
+#include "kernels/dispatch.h"
 #include "obs/metrics.h"
 #include "obs/promlint.h"
 #include "obs/trace.h"
@@ -497,6 +498,7 @@ void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
   JsonWriter w(f);
   w.BeginObject();
   w.Key("bench").Str("bench_serve");
+  w.Key("kernel_tier").Str(kernels::TierName(kernels::ActiveTier()));
   w.Key("points").Uint(opt.points);
   w.Key("intervals").Uint(opt.intervals);
   w.Key("queries").Uint(opt.queries);

@@ -42,6 +42,7 @@
 #include "io/checksum_page_device.h"
 #include "io/file_page_device.h"
 #include "io/shared_buffer_pool.h"
+#include "kernels/dispatch.h"
 #include "workload/generators.h"
 
 namespace pathcache {
@@ -251,6 +252,15 @@ double RunThreads(uint32_t nthreads, uint64_t queries_per_thread,
   return static_cast<double>(nthreads) * queries_per_thread / secs;
 }
 
+struct KernelAblation {
+  const char* tier = "scalar";     // the tier "kernels on" dispatches to
+  uint64_t cold_reads_scalar = 0;  // counted reads, kernels forced scalar
+  uint64_t cold_reads_kernels = 0; // counted reads, full dispatch tier
+  double qps_scalar = 0.0;         // warm 1-thread best-of-5, scalar forced
+  double qps_kernels = 0.0;        // warm 1-thread best-of-5, kernels on
+  double speedup = 0.0;
+};
+
 struct ChecksumResult {
   bool enabled = false;
   double qps_plain = 0.0;       // contemporaneous 1-thread warm baseline
@@ -260,7 +270,7 @@ struct ChecksumResult {
 };
 
 void WriteJson(const Options& opt, const std::vector<ColdCell>& cold,
-               const std::vector<WarmRow>& warm,
+               const std::vector<WarmRow>& warm, const KernelAblation& ka,
                const ChecksumResult& sum) {
   std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
@@ -297,6 +307,14 @@ void WriteJson(const Options& opt, const std::vector<ColdCell>& cold,
     w.EndObject();
   }
   w.EndArray();
+  w.Key("kernel_ablation").BeginObject();
+  w.Key("tier").Str(ka.tier);
+  w.Key("cold_file_reads_scalar").Uint(ka.cold_reads_scalar);
+  w.Key("cold_file_reads_kernels").Uint(ka.cold_reads_kernels);
+  w.Key("warm_qps_scalar").Double(ka.qps_scalar);
+  w.Key("warm_qps_kernels").Double(ka.qps_kernels);
+  w.Key("kernel_speedup").Double(ka.speedup);
+  w.EndObject();
   if (sum.enabled) {
     w.Key("checksum_overhead").BeginObject();
     w.Key("qps_plain").Double(sum.qps_plain);
@@ -410,6 +428,61 @@ int Main(int argc, char** argv) {
       "\n(each \"query\" above is one 2-sided plus one 3-sided lookup; "
       "speedup beyond 1 thread requires as many hardware threads)\n");
 
+  // ---- Kernel ablation (E19): the same pass with the SIMD kernels forced
+  // to the scalar tier vs the full dispatch tier.  Two claims: (1) kernels
+  // change NO counted I/O — a cold pass per tier must read the identical
+  // number of pages (the first-match family returns the same scan prefix on
+  // every tier, see kernels/search.h) — and (2) warm QPS improves, since a
+  // warm pass is all in-page work.  Warm timing is alternating best-of-5
+  // for the same reason as the checksum comparison below. ----
+  KernelAblation ka;
+  ka.tier = kernels::TierName(kernels::DetectedTier());
+  auto warm_pass = [&](uint32_t t) {
+    const QuerySet& qs = streams[t];
+    std::vector<Point> out;
+    for (uint64_t i = 0; i < qs.two.size(); ++i) {
+      out.clear();
+      BenchCheck(s.pst->QueryTwoSided(qs.two[i], &out), "e19 2-sided");
+      out.clear();
+      BenchCheck(s.pst3->QueryThreeSided(qs.three[i], &out), "e19 3-sided");
+    }
+  };
+  kernels::ForceTier(kernels::Tier::kScalar);
+  s.pool->ClearAndResetStats();
+  s.dev->ResetStats();
+  warm_pass(0);
+  ka.cold_reads_scalar = s.dev->stats().reads;
+  kernels::ResetTier();
+  s.pool->ClearAndResetStats();
+  s.dev->ResetStats();
+  warm_pass(0);
+  ka.cold_reads_kernels = s.dev->stats().reads;
+  if (ka.cold_reads_scalar != ka.cold_reads_kernels) {
+    std::fprintf(stderr,
+                 "FATAL counted reads differ across kernel tiers: "
+                 "scalar=%llu %s=%llu\n",
+                 static_cast<unsigned long long>(ka.cold_reads_scalar),
+                 ka.tier,
+                 static_cast<unsigned long long>(ka.cold_reads_kernels));
+    std::abort();
+  }
+  for (int round = 0; round < 5; ++round) {
+    kernels::ForceTier(kernels::Tier::kScalar);
+    ka.qps_scalar = std::max(
+        ka.qps_scalar,
+        RunThreads(1, 2 * opt.queries, [&](uint32_t) { warm_pass(0); }));
+    kernels::ResetTier();
+    ka.qps_kernels = std::max(
+        ka.qps_kernels,
+        RunThreads(1, 2 * opt.queries, [&](uint32_t) { warm_pass(0); }));
+  }
+  ka.speedup = ka.qps_scalar == 0.0 ? 0.0 : ka.qps_kernels / ka.qps_scalar;
+  std::printf(
+      "\nkernels (E19): tier=%s  counted reads identical (asserted, "
+      "%llu)  warm qps scalar=%9.0f  kernels=%9.0f  speedup=%.3fx\n",
+      ka.tier, static_cast<unsigned long long>(ka.cold_reads_kernels),
+      ka.qps_scalar, ka.qps_kernels, ka.speedup);
+
   // ---- Checksum overhead (E16): the same warm single-threaded pass on a
   // clustered store read through File -> Checksum -> pool.  Every page is
   // CRC-verified exactly once on its way into the pool; warm hits bypass the
@@ -456,7 +529,7 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(sumres.pages_verified));
   }
 
-  if (!opt.json_path.empty()) WriteJson(opt, cold, warm, sumres);
+  if (!opt.json_path.empty()) WriteJson(opt, cold, warm, ka, sumres);
   return 0;
 }
 

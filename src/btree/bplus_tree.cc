@@ -1,8 +1,11 @@
 #include "btree/bplus_tree.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <string>
+
+#include "kernels/search.h"
 
 namespace pathcache {
 
@@ -33,7 +36,29 @@ struct ChildEntry {
 };
 static_assert(sizeof(ChildEntry) == 24);
 
+// The in-page search kernels read BTreeEntry as a packed {int64 key,
+// uint64 value} record and ChildEntry as the same record with 8 trailing
+// bytes of stride; pin the layouts they assume.
+static_assert(sizeof(BTreeEntry) == 16);
+static_assert(offsetof(BTreeEntry, key) == 0);
+static_assert(offsetof(BTreeEntry, value) == 8);
+static_assert(offsetof(ChildEntry, sep) == 0);
+
 constexpr BTreeEntry kMinEntry{INT64_MIN, 0};
+
+// kernels:: equivalents of std::lower_bound / std::upper_bound with
+// EntryLess over a decoded leaf (bit-identical results, SIMD-dispatched).
+std::vector<BTreeEntry>::iterator LeafLowerBound(std::vector<BTreeEntry>& leaf,
+                                                 const BTreeEntry& e) {
+  return leaf.begin() + static_cast<ptrdiff_t>(kernels::LowerBoundKV(
+                            leaf.data(), leaf.size(), e.key, e.value));
+}
+
+std::vector<BTreeEntry>::iterator LeafUpperBound(std::vector<BTreeEntry>& leaf,
+                                                 const BTreeEntry& e) {
+  return leaf.begin() + static_cast<ptrdiff_t>(kernels::UpperBoundKV(
+                            leaf.data(), leaf.size(), e.key, e.value));
+}
 
 // Decoded node, mutated in memory and re-encoded on write.
 struct Node {
@@ -83,17 +108,11 @@ void Encode(const Node& n, std::vector<std::byte>* buf) {
 
 // Index of the child to descend into for entry e.
 uint32_t RouteChild(const Node& n, const BTreeEntry& e) {
-  // Largest i with sep[i] <= e; sep[0] acts as -infinity.
-  uint32_t lo = 0, hi = n.count() - 1;
-  while (lo < hi) {
-    uint32_t mid = (lo + hi + 1) / 2;
-    if (!EntryLess(e, n.children[mid].sep)) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  return lo;
+  // Largest i with sep[i] <= e; sep[0] acts as -infinity, which the upper
+  // bound honors by clamping 0 (no separator <= e) to child 0.
+  const size_t ub = kernels::UpperBoundKVStrided(
+      n.children.data(), sizeof(ChildEntry), n.count(), e.key, e.value);
+  return ub == 0 ? 0 : static_cast<uint32_t>(ub - 1);
 }
 
 }  // namespace
@@ -243,7 +262,7 @@ Status BPlusTree::Insert(const BTreeEntry& e) {
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
   Decode(buf, &n);
-  auto it = std::lower_bound(n.leaf.begin(), n.leaf.end(), e, EntryLess);
+  auto it = LeafLowerBound(n.leaf, e);
   if (it != n.leaf.end() && *it == e) {
     return Status::InvalidArgument("duplicate entry");
   }
@@ -330,7 +349,7 @@ Status BPlusTree::Delete(const BTreeEntry& e) {
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
   Decode(buf, &n);
-  auto it = std::lower_bound(n.leaf.begin(), n.leaf.end(), e, EntryLess);
+  auto it = LeafLowerBound(n.leaf, e);
   if (it == n.leaf.end() || !(*it == e)) {
     return Status::NotFound("entry not present");
   }
@@ -463,8 +482,7 @@ Status BPlusTree::Get(int64_t key, uint64_t* value, bool* found) {
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
   Decode(buf, &n);
-  auto it = std::lower_bound(n.leaf.begin(), n.leaf.end(), BTreeEntry{key, 0},
-                             EntryLess);
+  auto it = LeafLowerBound(n.leaf, BTreeEntry{key, 0});
   if (it != n.leaf.end() && it->key == key) {
     *found = true;
     *value = it->value;
@@ -493,8 +511,7 @@ Status BPlusTree::FindFloor(int64_t key, BTreeEntry* out, bool* found) {
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
   Decode(buf, &n);
-  auto it = std::upper_bound(n.leaf.begin(), n.leaf.end(),
-                             BTreeEntry{key, UINT64_MAX}, EntryLess);
+  auto it = LeafUpperBound(n.leaf, BTreeEntry{key, UINT64_MAX});
   if (it != n.leaf.begin()) {
     *out = *(it - 1);
     *found = true;
@@ -535,9 +552,7 @@ Status BPlusTree::ScanFrom(int64_t lo,
     Decode(buf, &n);
     size_t start = 0;
     if (first) {
-      start = std::lower_bound(n.leaf.begin(), n.leaf.end(), BTreeEntry{lo, 0},
-                               EntryLess) -
-              n.leaf.begin();
+      start = kernels::LowerBoundKV(n.leaf.data(), n.leaf.size(), lo, 0);
       first = false;
     }
     for (size_t i = start; i < n.leaf.size(); ++i) {

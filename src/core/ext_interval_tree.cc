@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/persist.h"
+#include "kernels/search.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -268,11 +269,19 @@ Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
     PC_RETURN_IF_ERROR(view.Load(dev_, cur));
     Bump(stats, role);
     uint64_t qual = 0;
-    for (const auto& iv : view.records()) {
-      if (is_l_list ? (iv.lo > q) : (iv.hi < q)) {
-        Classify(stats, qual, cap);
-        return Status::OK();
-      }
+    const auto recs = view.records();
+    // The stop record (first lo > q on L-lists, first hi < q on R-lists)
+    // is found in one vectorized pass over the key column.
+    const size_t lim =
+        recs.empty()
+            ? 0
+            : (is_l_list ? kernels::FindFirstAbove(&recs[0].lo,
+                                                   sizeof(Interval),
+                                                   recs.size(), q)
+                         : kernels::FindFirstBelow(&recs[0].hi,
+                                                   sizeof(Interval),
+                                                   recs.size(), q));
+    for (const auto& iv : recs.first(lim)) {
       if (consumed != nullptr) ++*consumed;
       if (iv.Contains(q)) {
         out->push_back(iv);
@@ -280,6 +289,7 @@ Status ExtIntervalTree::ScanList(int64_t q, PageId page, bool is_l_list,
       }
     }
     Classify(stats, qual, cap);
+    if (lim < recs.size()) return Status::OK();
     cur = view.next();
   }
   return Status::OK();
@@ -304,11 +314,15 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   auto scan_cl_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
-    for (const SrcInterval& si : recs) {
-      if (si.lo > q) {
-        stop = true;
-        break;
-      }
+    // Hoisted stop (first lo > q), then the unchanged per-record tally and
+    // containment filter over the prefix before it.
+    const size_t limit =
+        recs.empty() ? 0
+                     : kernels::FindFirstAbove(&recs[0].lo,
+                                               sizeof(SrcInterval),
+                                               recs.size(), q);
+    if (limit < recs.size()) stop = true;
+    for (const SrcInterval& si : recs.first(limit)) {
       if (si.src >= cl_consumed.size()) {
         bad_src = true;
         stop = true;
@@ -324,13 +338,10 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   };
   if (opts_.enable_readahead &&
       cache.a_tails.size() == cache.a_pages.size()) {
-    size_t prefix = cache.a_pages.size();
-    for (size_t i = 0; i < cache.a_tails.size(); ++i) {
-      if (cache.a_tails[i] > q) {
-        prefix = i + 1;
-        break;
-      }
-    }
+    const size_t n_tails = cache.a_tails.size();
+    const size_t hit = kernels::FindFirstAbove(cache.a_tails.data(),
+                                               sizeof(int64_t), n_tails, q);
+    const size_t prefix = hit == n_tails ? n_tails : hit + 1;
     BlockListCursor<SrcInterval> cur(
         dev_, std::span<const PageId>(cache.a_pages.data(), prefix));
     while (!cur.done()) {
@@ -368,11 +379,13 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   auto scan_cr_page = [&](std::span<const SrcInterval> recs) {
     Bump(stats, &QueryStats::cache);
     uint64_t qual = 0;
-    for (const SrcInterval& si : recs) {
-      if (si.hi < q) {
-        stop = true;
-        break;
-      }
+    const size_t limit =
+        recs.empty() ? 0
+                     : kernels::FindFirstBelow(&recs[0].hi,
+                                               sizeof(SrcInterval),
+                                               recs.size(), q);
+    if (limit < recs.size()) stop = true;
+    for (const SrcInterval& si : recs.first(limit)) {
       if (si.src >= cr_consumed.size()) {
         bad_src = true;
         stop = true;
@@ -388,13 +401,10 @@ Status ExtIntervalTree::ProcessCache(int64_t q, PageId cache_page,
   };
   if (opts_.enable_readahead &&
       cache.s_tails.size() == cache.s_pages.size()) {
-    size_t prefix = cache.s_pages.size();
-    for (size_t i = 0; i < cache.s_tails.size(); ++i) {
-      if (cache.s_tails[i] < q) {
-        prefix = i + 1;
-        break;
-      }
-    }
+    const size_t n_tails = cache.s_tails.size();
+    const size_t hit = kernels::FindFirstBelow(cache.s_tails.data(),
+                                               sizeof(int64_t), n_tails, q);
+    const size_t prefix = hit == n_tails ? n_tails : hit + 1;
     BlockListCursor<SrcInterval> cur(
         dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
     while (!cur.done()) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/persist.h"
+#include "kernels/search.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -195,10 +196,19 @@ Status ExtSegmentTree::ReadIntervalList(PageId head,
     PC_RETURN_IF_ERROR(cur.NextBlock(&ivs));
     if (stats != nullptr) stats->*role += 1;
     uint64_t qual = 0;
-    for (const auto& iv : ivs) {
-      if (iv.Contains(q)) {
-        out->push_back(iv);
-        ++qual;
+    // Segment-tree cover lists are allocated to nodes whose span the
+    // interval covers, so "every record on the page stabs q" is the common
+    // case; confirm it with one vectorized pass and bulk-append, falling
+    // back to the per-record filter on mixed pages.
+    if (kernels::AllContain24(ivs.data(), ivs.size(), q)) {
+      out->insert(out->end(), ivs.begin(), ivs.end());
+      qual = ivs.size();
+    } else {
+      for (const auto& iv : ivs) {
+        if (iv.Contains(q)) {
+          out->push_back(iv);
+          ++qual;
+        }
       }
     }
     if (stats != nullptr) {

@@ -8,6 +8,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "kernels/search.h"
+
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -275,11 +277,15 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     auto scan_a_page = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
-      for (const SrcPoint& sp : recs) {
-        if (sp.x < q.x_min) {
-          stop = true;
-          break;
-        }
+      // Find the stop record (first x < x_min) in one vectorized pass, then
+      // filter the prefix before it; identical record-for-record to the old
+      // per-record stop branch on any page contents, sorted or not.
+      const size_t limit =
+          recs.empty() ? 0
+                       : kernels::FindFirstBelow(&recs[0].x, sizeof(SrcPoint),
+                                                 recs.size(), q.x_min);
+      if (limit < recs.size()) stop = true;
+      for (const SrcPoint& sp : recs.first(limit)) {
         if (sp.y >= q.y_min) {
           out->push_back(sp.ToPoint());
           ++qual;
@@ -289,13 +295,10 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     };
     if (opts_.enable_readahead &&
         cache.a_tails.size() == cache.a_pages.size()) {
-      size_t prefix = cache.a_pages.size();
-      for (size_t i = 0; i < cache.a_tails.size(); ++i) {
-        if (cache.a_tails[i] < q.x_min) {
-          prefix = i + 1;
-          break;
-        }
-      }
+      const size_t n_tails = cache.a_tails.size();
+      const size_t hit = kernels::FindFirstBelow(
+          cache.a_tails.data(), sizeof(int64_t), n_tails, q.x_min);
+      const size_t prefix = hit == n_tails ? n_tails : hit + 1;
       BlockListCursor<SrcPoint> cur(
           dev_, std::span<const PageId>(cache.a_pages.data(), prefix));
       while (!cur.done()) {
@@ -322,11 +325,15 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     auto scan_s_page = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
-      for (const SrcPoint& sp : recs) {
-        if (sp.y < q.y_min) {
-          stop = true;
-          break;
-        }
+      // Same hoisted stop as the A-list, now on y.  The sibling-ordinal
+      // check only ever applied to records before the stop record, which is
+      // exactly the prefix the kernel hands back.
+      const size_t limit =
+          recs.empty() ? 0
+                       : kernels::FindFirstBelow(&recs[0].y, sizeof(SrcPoint),
+                                                 recs.size(), q.y_min);
+      if (limit < recs.size()) stop = true;
+      for (const SrcPoint& sp : recs.first(limit)) {
         if (sp.src >= sib_qual.size()) {
           bad_src = true;
           stop = true;
@@ -344,13 +351,10 @@ Status ExternalPst::QueryWithCaches(const TwoSidedQuery& q,
     };
     if (opts_.enable_readahead &&
         cache.s_tails.size() == cache.s_pages.size()) {
-      size_t prefix = cache.s_pages.size();
-      for (size_t i = 0; i < cache.s_tails.size(); ++i) {
-        if (cache.s_tails[i] < q.y_min) {
-          prefix = i + 1;
-          break;
-        }
-      }
+      const size_t n_tails = cache.s_tails.size();
+      const size_t hit = kernels::FindFirstBelow(
+          cache.s_tails.data(), sizeof(int64_t), n_tails, q.y_min);
+      const size_t prefix = hit == n_tails ? n_tails : hit + 1;
       BlockListCursor<SrcPoint> cur(
           dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
       while (!cur.done()) {
@@ -482,11 +486,13 @@ Status ExternalPst::DescendDescendants(const TwoSidedQuery& q,
         PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t block_qual = 0;
-        for (const Point& p : view.records()) {
-          if (p.y < q.y_min) {
-            all = false;
-            break;
-          }
+        const auto recs = view.records();
+        const size_t lim =
+            recs.empty() ? 0
+                         : kernels::FindFirstBelow(&recs[0].y, sizeof(Point),
+                                                   recs.size(), q.y_min);
+        if (lim < recs.size()) all = false;
+        for (const Point& p : recs.first(lim)) {
           if (p.x >= q.x_min) {
             out->push_back(p);
             ++block_qual;

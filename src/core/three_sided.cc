@@ -8,6 +8,7 @@
 
 #include "core/persist.h"
 #include "core/region_tree.h"
+#include "kernels/search.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
@@ -459,11 +460,15 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
     auto scan_s_block = [&](std::span<const SrcPoint> recs) {
       Bump(stats, &QueryStats::cache);
       uint64_t qual = 0;
-      for (const SrcPoint& sp : recs) {
-        if (sp.y < q.y_min) {
-          stop = true;
-          break;
-        }
+      // Vectorized hoist of the per-record stop branch (first y < y_min);
+      // the prefix before the stop record is scanned exactly as before,
+      // including the unconditional sibling tally.
+      const size_t limit =
+          recs.empty() ? 0
+                       : kernels::FindFirstBelow(&recs[0].y, sizeof(SrcPoint),
+                                                 recs.size(), q.y_min);
+      if (limit < recs.size()) stop = true;
+      for (const SrcPoint& sp : recs.first(limit)) {
         if (sp.src >= sib_qual.size()) {
           bad_src = true;
           stop = true;
@@ -481,13 +486,10 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
         cache.s_tails.size() == cache.s_pages.size()) {
       // Descending y stops in the first page whose tail (minimum y) falls
       // below y_min: fetch exactly that prefix, batched.
-      size_t prefix = cache.s_pages.size();
-      for (size_t i = 0; i < cache.s_tails.size(); ++i) {
-        if (cache.s_tails[i] < q.y_min) {
-          prefix = i + 1;
-          break;
-        }
-      }
+      const size_t n_tails = cache.s_tails.size();
+      const size_t hit = kernels::FindFirstBelow(
+          cache.s_tails.data(), sizeof(int64_t), n_tails, q.y_min);
+      const size_t prefix = hit == n_tails ? n_tails : hit + 1;
       BlockListCursor<SrcPoint> cur(
           dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
       while (!cur.done()) {
@@ -568,11 +570,13 @@ Status ThreeSidedPst::DescendDescendants(
         PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t qual = 0;
-        for (const Point& p : view.records()) {
-          if (p.y < q.y_min) {
-            all = false;
-            break;
-          }
+        const auto recs = view.records();
+        const size_t lim =
+            recs.empty() ? 0
+                         : kernels::FindFirstBelow(&recs[0].y, sizeof(Point),
+                                                   recs.size(), q.y_min);
+        if (lim < recs.size()) all = false;
+        for (const Point& p : recs.first(lim)) {
           if (q.Contains(p)) {
             out->push_back(p);
             ++qual;

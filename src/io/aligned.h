@@ -1,0 +1,45 @@
+// Aligned page-frame allocation.  Every in-memory page frame — MemPageDevice
+// backing frames, buffer-pool slots, shared-pool slots — is allocated on a
+// 64-byte (cache line) boundary so the SIMD kernels' vector loads never
+// straddle a line and the frame start never shares a line with allocator
+// metadata.  Alignment is a performance contract only: the kernels use
+// alignment-free loads and are correct on any pointer (record payloads
+// inside a block page start at byte 16 — sizeof(BlockPageHeader) — so they
+// are 16-byte aligned, not 64; changing that would change the on-disk
+// format).  tests/kernels_test.cpp pins the frame guarantee.
+
+#ifndef PATHCACHE_IO_ALIGNED_H_
+#define PATHCACHE_IO_ALIGNED_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+
+namespace pathcache {
+
+inline constexpr std::size_t kPageFrameAlign = 64;
+
+namespace internal {
+struct PageFrameDeleter {
+  void operator()(std::byte* p) const noexcept {
+    ::operator delete[](p, std::align_val_t{kPageFrameAlign});
+  }
+};
+}  // namespace internal
+
+/// Owning pointer to a 64-byte-aligned, zero-initialized page frame.
+using PageFrame = std::unique_ptr<std::byte[], internal::PageFrameDeleter>;
+
+/// Allocates a frame of `n` bytes aligned to kPageFrameAlign, zero-filled
+/// (MemPageDevice hands freshly allocated pages to callers as all-zero).
+inline PageFrame AllocPageFrame(std::size_t n) {
+  auto* p = static_cast<std::byte*>(
+      ::operator new[](n, std::align_val_t{kPageFrameAlign}));
+  std::memset(p, 0, n);
+  return PageFrame(p);
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_ALIGNED_H_

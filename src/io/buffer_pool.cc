@@ -45,7 +45,7 @@ void BufferPool::EvictIfNeeded() {
 
 void BufferPool::InsertFrame(PageId id, const std::byte* buf) {
   if (capacity_ == 0) return;
-  auto data = std::make_unique<std::byte[]>(page_size());
+  auto data = AllocPageFrame(page_size());
   std::memcpy(data.get(), buf, page_size());
   lru_.push_front(id);
   frames_[id] = Frame{std::move(data), lru_.begin()};
@@ -74,7 +74,7 @@ Result<const std::byte*> BufferPool::Pin(PageId id) {
   if (it == frames_.end()) {
     ++misses_;
     // The frame is born pinned so the eviction scan below cannot pick it.
-    auto data = std::make_unique<std::byte[]>(page_size());
+    auto data = AllocPageFrame(page_size());
     PC_RETURN_IF_ERROR(inner_->Read(id, data.get()));
     lru_.push_front(id);
     it = frames_.emplace(id, Frame{std::move(data), lru_.begin(), 1}).first;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "io/aligned.h"
 #include "io/page_device.h"
 
 namespace pathcache {
@@ -70,7 +71,7 @@ class BufferPool final : public PageDevice {
 
  private:
   struct Frame {
-    std::unique_ptr<std::byte[]> data;
+    PageFrame data;
     std::list<PageId>::iterator lru_it;
     uint32_t pins = 0;
   };

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "kernels/dispatch.h"
+
 namespace pathcache {
 namespace {
 
@@ -42,6 +44,13 @@ uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
 uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
 
 uint32_t Crc32cUpdate(uint32_t state, const void* data, size_t n) {
+  // The CRC32C instruction folds bytes into the register exactly as the
+  // slice-by-8 tables below do, so hardware and software states are
+  // interchangeable mid-stream and persisted checksums stay byte-identical
+  // whichever path ran (tests/crc32c_test.cpp cross-checks both).
+  if (kernels::HwCrc32cActive()) {
+    return kernels::Crc32cUpdateHw(state, data, n);
+  }
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t crc = state;
   while (n >= 8) {

@@ -4,9 +4,11 @@
 // Chosen over CRC32 (IEEE) for its strictly better Hamming-distance profile
 // at 4 KiB block lengths: it detects all 1- and 2-bit errors and all burst
 // errors up to 32 bits at the page sizes this library uses, which is exactly
-// the fault model ChecksumPageDevice defends against.  Software slice-by-8
-// implementation (no SSE4.2 dependency) — ~1 GB/s, far above the simulated
-// device's transfer rates, so checksum cost never dominates an experiment.
+// the fault model ChecksumPageDevice defends against.  The portable
+// implementation is software slice-by-8 (~1 GB/s); when the CPU has the
+// CRC32C instruction (SSE4.2 / ARMv8+crc) and SIMD kernels are not disabled
+// (kernels::HwCrc32cActive()), updates run on the hardware instruction
+// instead — same polynomial, same register state, byte-identical checksums.
 
 #ifndef PATHCACHE_IO_CRC32C_H_
 #define PATHCACHE_IO_CRC32C_H_

@@ -5,22 +5,38 @@
 // Short transfers (signals, filesystems that return partial pread/pwrite)
 // are retried until the full page moved; a zero-length transfer mid-page is
 // reported as Corruption with the failing byte offset.  ReadBatch sorts the
-// requested ids and coalesces disk-adjacent pages into preadv calls, so a
-// batch of k pages typically costs far fewer than k syscalls;
+// requested ids and coalesces disk-adjacent pages into runs, so a batch of
+// k pages typically costs far fewer than k transfer operations;
 // `read_syscalls()` exposes the actual count for the coalescing benchmarks.
+//
+// Two read backends serve the coalesced runs:
+//
+//  * kPreadv — one blocking preadv per run (the portable baseline).
+//  * kIoUring — every run of a multi-run batch is submitted to an io_uring
+//    in one io_uring_enter, letting the kernel service the runs
+//    concurrently.  Probed at runtime; the device silently uses preadv when
+//    the kernel refuses a ring or PATHCACHE_DISABLE_IOURING is set in the
+//    environment.  Bytes delivered, IoStats, read_syscalls() and error
+//    mapping are identical between backends (tests/uring_test.cpp) — the
+//    backend is a transport choice, never a semantic one, so the paper's
+//    one-unit-per-page cost model is unaffected.
 
 #ifndef PATHCACHE_IO_FILE_PAGE_DEVICE_H_
 #define PATHCACHE_IO_FILE_PAGE_DEVICE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/page_device.h"
+#include "io/uring_reader.h"
 
 namespace pathcache {
 
 class FilePageDevice final : public PageDevice {
  public:
+  enum class ReadBackend { kPreadv, kIoUring };
+
   /// Opens (creating or truncating) `path` as the backing store.
   static Result<std::unique_ptr<FilePageDevice>> Create(
       const std::string& path, uint32_t page_size = kDefaultPageSize);
@@ -51,6 +67,7 @@ class FilePageDevice final : public PageDevice {
     stats_ = IoStats{};
     read_syscalls_ = 0;
     sorted_batches_ = 0;
+    uring_batches_ = 0;
   }
   uint64_t live_pages() const override { return live_; }
 
@@ -63,10 +80,25 @@ class FilePageDevice final : public PageDevice {
   /// sort-free fast path.  Clustered structures make this the common case.
   uint64_t sorted_batches() const { return sorted_batches_; }
 
+  /// Selects the ReadBatch transport.  Requesting kIoUring on a kernel
+  /// without io_uring returns NotSupported and leaves preadv active; the
+  /// constructor default is kIoUring where supported unless
+  /// PATHCACHE_DISABLE_IOURING is set.
+  Status SetReadBackend(ReadBackend backend);
+
+  /// The backend multi-run batches actually use right now.
+  ReadBackend read_backend() const { return backend_; }
+
+  /// ReadBatch calls whose runs went through the io_uring backend.
+  uint64_t uring_batches() const { return uring_batches_; }
+
  private:
-  FilePageDevice(int fd, uint32_t page_size) : fd_(fd), page_size_(page_size) {}
+  FilePageDevice(int fd, uint32_t page_size);
 
   Status CheckId(PageId id) const;
+
+  /// Lazily builds the ring; on failure flips the device to preadv for good.
+  bool EnsureUring();
 
   int fd_;
   uint32_t page_size_;
@@ -77,6 +109,10 @@ class FilePageDevice final : public PageDevice {
   IoStats stats_;
   uint64_t read_syscalls_ = 0;
   uint64_t sorted_batches_ = 0;
+  uint64_t uring_batches_ = 0;
+  ReadBackend backend_ = ReadBackend::kPreadv;
+  std::unique_ptr<UringReader> uring_;
+  bool uring_failed_ = false;
 };
 
 }  // namespace pathcache

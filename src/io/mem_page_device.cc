@@ -35,7 +35,7 @@ Result<PageId> MemPageDevice::Allocate() {
     std::memset(pages_[id].get(), 0, page_size_);
     return id;
   }
-  pages_.push_back(std::make_unique<std::byte[]>(page_size_));
+  pages_.push_back(AllocPageFrame(page_size_));
   freed_.push_back(false);
   return static_cast<PageId>(pages_.size() - 1);
 }

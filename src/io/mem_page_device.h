@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "io/aligned.h"
 #include "io/page_device.h"
 
 namespace pathcache {
@@ -38,7 +39,7 @@ class MemPageDevice final : public PageDevice {
   Status MaybeFail();
 
   uint32_t page_size_;
-  std::vector<std::unique_ptr<std::byte[]>> pages_;
+  std::vector<PageFrame> pages_;
   std::vector<bool> freed_;
   std::vector<PageId> free_list_;
   uint64_t live_ = 0;

@@ -52,7 +52,7 @@ void EvictShardIfNeeded(ShardT& s) {
 
 void SharedBufferPool::InsertFrame(Shard& s, PageId id, const std::byte* buf) {
   if (s.capacity == 0) return;
-  auto data = std::make_unique<std::byte[]>(page_size_);
+  auto data = AllocPageFrame(page_size_);
   std::memcpy(data.get(), buf, page_size_);
   s.lru.push_front(id);
   s.frames[id] = Frame{std::move(data), s.lru.begin()};
@@ -91,7 +91,7 @@ Result<const std::byte*> SharedBufferPool::Pin(PageId id) {
   if (it == s.frames.end()) {
     ++s.misses;
     // The frame is born pinned so the eviction scan cannot pick it.
-    auto data = std::make_unique<std::byte[]>(page_size_);
+    auto data = AllocPageFrame(page_size_);
     {
       std::lock_guard<std::mutex> ilk(inner_mu_);
       PC_RETURN_IF_ERROR(inner_->Read(id, data.get()));

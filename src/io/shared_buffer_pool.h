@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/aligned.h"
 #include "io/page_device.h"
 
 namespace pathcache {
@@ -88,7 +89,7 @@ class SharedBufferPool final : public PageDevice {
 
  private:
   struct Frame {
-    std::unique_ptr<std::byte[]> data;
+    PageFrame data;
     std::list<PageId>::iterator lru_it;
     uint32_t pins = 0;
   };

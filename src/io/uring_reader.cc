@@ -1,0 +1,318 @@
+#include "io/uring_reader.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+
+// Headers can lag the kernel; the syscall numbers are ABI-stable.
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+
+#define PATHCACHE_HAVE_URING 1
+#endif
+
+namespace pathcache {
+
+#if defined(PATHCACHE_HAVE_URING)
+
+namespace {
+
+int SysUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+inline unsigned LoadAcquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_acquire);
+}
+inline unsigned LoadRelaxed(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_relaxed);
+}
+inline void StoreRelease(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+// The three kernel-shared mappings (SQ ring, CQ ring, SQE array) plus the
+// raw pointers into them.  Offsets come from io_uring_params at setup time.
+struct UringReader::Rings {
+  int fd = -1;
+  unsigned sq_entries = 0;
+
+  void* sq_ptr = nullptr;
+  size_t sq_len = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  size_t cq_len = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  size_t sqes_len = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+
+  ~Rings() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_len);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_len);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool UringReader::SystemSupported() {
+  static const bool supported = [] {
+    struct io_uring_params p {};
+    int fd = SysUringSetup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+UringReader::UringReader(std::unique_ptr<Rings> rings)
+    : rings_(std::move(rings)) {}
+
+UringReader::~UringReader() = default;
+
+Result<std::unique_ptr<UringReader>> UringReader::Create(unsigned entries) {
+  struct io_uring_params p {};
+  int ring_fd = SysUringSetup(entries, &p);
+  if (ring_fd < 0) {
+    return Status::NotSupported(std::string("io_uring_setup: ") +
+                                std::strerror(errno));
+  }
+  auto r = std::make_unique<Rings>();
+  r->fd = ring_fd;
+  r->sq_entries = p.sq_entries;
+
+  r->sq_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  r->cq_len = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    r->sq_len = r->cq_len = std::max(r->sq_len, r->cq_len);
+  }
+
+  r->sq_ptr = ::mmap(nullptr, r->sq_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+  if (r->sq_ptr == MAP_FAILED) {
+    r->sq_ptr = nullptr;
+    return Status::IoError(std::string("mmap(sq ring): ") +
+                           std::strerror(errno));
+  }
+  if (single_mmap) {
+    r->cq_ptr = r->sq_ptr;
+  } else {
+    r->cq_ptr = ::mmap(nullptr, r->cq_len, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+    if (r->cq_ptr == MAP_FAILED) {
+      r->cq_ptr = nullptr;
+      return Status::IoError(std::string("mmap(cq ring): ") +
+                             std::strerror(errno));
+    }
+  }
+  r->sqes_len = p.sq_entries * sizeof(struct io_uring_sqe);
+  void* sqes = ::mmap(nullptr, r->sqes_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    return Status::IoError(std::string("mmap(sqes): ") + std::strerror(errno));
+  }
+  r->sqes = static_cast<struct io_uring_sqe*>(sqes);
+
+  char* sq = static_cast<char*>(r->sq_ptr);
+  r->sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  r->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  r->sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  r->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  char* cq = static_cast<char*>(r->cq_ptr);
+  r->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  r->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  r->cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  r->cqes = reinterpret_cast<struct io_uring_cqe*>(cq + p.cq_off.cqes);
+
+  return std::unique_ptr<UringReader>(new UringReader(std::move(r)));
+}
+
+Status UringReader::ReadRuns(int fd, std::span<Run> runs, uint64_t* ops) {
+  if (runs.empty()) return Status::OK();
+  Rings& rg = *rings_;
+
+  // Runs awaiting (re)submission, popped back-to-front so they submit in
+  // ascending disk order.
+  std::vector<uint32_t> pending;
+  pending.reserve(runs.size());
+  for (size_t i = runs.size(); i > 0; --i) {
+    pending.push_back(static_cast<uint32_t>(i - 1));
+  }
+
+  size_t inflight = 0;
+  size_t done = 0;
+  int enter_failures = 0;
+  Status first_error = Status::OK();
+
+  // On error we stop submitting but keep draining: the kernel writes into
+  // caller-owned buffers, so no completion may outlive this call.
+  while (done < runs.size()) {
+    unsigned to_submit = 0;
+    if (first_error.ok()) {
+      unsigned tail = LoadRelaxed(rg.sq_tail);
+      while (!pending.empty() &&
+             tail - LoadAcquire(rg.sq_head) < rg.sq_entries) {
+        const uint32_t ri = pending.back();
+        pending.pop_back();
+        Run& run = runs[ri];
+        const unsigned idx = tail & *rg.sq_mask;
+        struct io_uring_sqe* sqe = &rg.sqes[idx];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_READV;
+        sqe->fd = fd;
+        sqe->addr = reinterpret_cast<uint64_t>(run.iov);
+        sqe->len = static_cast<uint32_t>(run.iovcnt);
+        sqe->off = static_cast<uint64_t>(run.offset);
+        sqe->user_data = ri;
+        rg.sq_array[idx] = idx;
+        ++tail;
+        ++to_submit;
+        if (ops != nullptr) ++*ops;
+      }
+      StoreRelease(rg.sq_tail, tail);
+    } else if (inflight == 0) {
+      break;  // error recorded, nothing left in flight: abandon the rest
+    }
+
+    // Submit whatever is queued and wait for at least one completion.  The
+    // submit count is recomputed from the ring so an EINTR retry never
+    // double-counts entries the kernel already consumed.
+    const unsigned unconsumed =
+        LoadRelaxed(rg.sq_tail) - LoadAcquire(rg.sq_head);
+    const int ret = SysUringEnter(rg.fd, unconsumed,
+                                  (to_submit + inflight) > 0 ? 1 : 0,
+                                  IORING_ENTER_GETEVENTS);
+    if (ret < 0) {
+      if (errno == EINTR) continue;
+      if (first_error.ok()) {
+        first_error = Status::IoError(std::string("io_uring_enter: ") +
+                                      std::strerror(errno));
+      }
+      // A persistently failing enter with submissions in flight would spin
+      // forever; give the kernel a bounded number of chances to hand back
+      // the completions before bailing out.
+      if (++enter_failures > 100 || inflight == 0) return first_error;
+      continue;
+    }
+    inflight += static_cast<size_t>(ret);
+
+    // Drain every available completion.
+    unsigned chead = LoadRelaxed(rg.cq_head);
+    const unsigned ctail = LoadAcquire(rg.cq_tail);
+    while (chead != ctail) {
+      const struct io_uring_cqe& cqe = rg.cqes[chead & *rg.cq_mask];
+      const auto ri = static_cast<uint32_t>(cqe.user_data);
+      const int res = cqe.res;
+      ++chead;
+      --inflight;
+      Run& run = runs[ri];
+      if (res < 0) {
+        if ((res == -EINTR || res == -EAGAIN) && first_error.ok()) {
+          pending.push_back(ri);
+          continue;
+        }
+        if (first_error.ok()) {
+          first_error = Status::IoError(
+              "io_uring read at offset " + std::to_string(run.offset) + ": " +
+              std::strerror(-res));
+        }
+        ++done;
+        continue;
+      }
+      if (res == 0) {
+        // Same mapping as the synchronous helpers: EOF mid-run means the
+        // file is truncated relative to the page table.
+        if (first_error.ok()) {
+          first_error = Status::Corruption(
+              "short read at offset " + std::to_string(run.offset) +
+              ": unexpected end of file");
+        }
+        ++done;
+        continue;
+      }
+      size_t got = static_cast<size_t>(res);
+      run.offset += res;
+      while (got > 0 && run.iovcnt > 0) {
+        if (got >= run.iov[0].iov_len) {
+          got -= run.iov[0].iov_len;
+          ++run.iov;
+          --run.iovcnt;
+        } else {
+          run.iov[0].iov_base =
+              static_cast<char*>(run.iov[0].iov_base) + got;
+          run.iov[0].iov_len -= got;
+          got = 0;
+        }
+      }
+      if (run.iovcnt == 0) {
+        ++done;
+      } else if (first_error.ok()) {
+        pending.push_back(ri);  // short completion: resubmit the remainder
+      } else {
+        ++done;
+      }
+    }
+    StoreRelease(rg.cq_head, chead);
+
+    if (!first_error.ok() && !pending.empty()) {
+      // Stop-the-batch: never-submitted runs are abandoned, not retried.
+      done += pending.size();
+      pending.clear();
+    }
+  }
+  return first_error;
+}
+
+#else  // !PATHCACHE_HAVE_URING
+
+struct UringReader::Rings {};
+
+bool UringReader::SystemSupported() { return false; }
+
+UringReader::UringReader(std::unique_ptr<Rings> rings)
+    : rings_(std::move(rings)) {}
+
+UringReader::~UringReader() = default;
+
+Result<std::unique_ptr<UringReader>> UringReader::Create(unsigned /*entries*/) {
+  return Status::NotSupported("io_uring unavailable on this platform");
+}
+
+Status UringReader::ReadRuns(int /*fd*/, std::span<Run> /*runs*/,
+                             uint64_t* /*ops*/) {
+  return Status::NotSupported("io_uring unavailable on this platform");
+}
+
+#endif  // PATHCACHE_HAVE_URING
+
+}  // namespace pathcache

@@ -1,0 +1,76 @@
+// UringReader: an io_uring submission path for batched page reads.
+//
+// FilePageDevice::ReadBatch coalesces a batch into runs of disk-adjacent
+// pages; the preadv backend issues one blocking syscall per run.  This
+// reader instead queues one IORING_OP_READV submission per run and lets the
+// kernel service every run of the batch concurrently under a single
+// io_uring_enter — the async win the paper's batched path-cache probes
+// (many runs per query) are shaped for.
+//
+// Semantics are identical to the preadv path by construction: short
+// completions are resubmitted for the remainder, -EINTR/-EAGAIN retry, a
+// zero-length completion mid-run maps to the same Corruption("short read at
+// offset N: unexpected end of file") the synchronous helpers produce, and
+// `*ops` counts submitted read operations (retries included) exactly as the
+// preadv backend counts syscalls — so FilePageDevice::read_syscalls() is
+// backend-independent on healthy files (tests/uring_test.cpp asserts this).
+//
+// Built on raw syscalls (io_uring_setup / io_uring_enter + mmap'd rings);
+// no liburing dependency.  SystemSupported() probes once per process and
+// callers fall back to preadv when the kernel (or a seccomp policy) says no.
+
+#ifndef PATHCACHE_IO_URING_READER_H_
+#define PATHCACHE_IO_URING_READER_H_
+
+#include <sys/types.h>
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/status.h"
+
+namespace pathcache {
+
+class UringReader {
+ public:
+  /// One coalesced run: fill `iov[0..iovcnt)` from the file starting at
+  /// `offset`.  The iovecs are adjusted in place as completions land (same
+  /// contract as the synchronous PreadvFully helper).
+  struct Run {
+    off_t offset = 0;
+    struct iovec* iov = nullptr;
+    size_t iovcnt = 0;
+  };
+
+  /// True when this kernel accepts io_uring_setup (probed once per process).
+  static bool SystemSupported();
+
+  /// Creates a reader with a ring of `entries` submission slots (rounded up
+  /// by the kernel).  Fails with NotSupported/IoError when the kernel
+  /// refuses the ring; callers then use the preadv path.
+  static Result<std::unique_ptr<UringReader>> Create(unsigned entries = 64);
+
+  ~UringReader();
+  UringReader(const UringReader&) = delete;
+  UringReader& operator=(const UringReader&) = delete;
+
+  /// Reads every run from `fd`, blocking until all complete.  On error the
+  /// first failure is returned, but only after every in-flight submission
+  /// has drained — the kernel writes into caller-owned buffers, so no
+  /// completion may outlive this call.  `*ops` (optional) is incremented
+  /// once per submitted read operation, retries included.
+  Status ReadRuns(int fd, std::span<Run> runs, uint64_t* ops);
+
+ private:
+  struct Rings;  // mmap'd SQ/CQ state, defined in the .cc
+
+  explicit UringReader(std::unique_ptr<Rings> rings);
+
+  std::unique_ptr<Rings> rings_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_URING_READER_H_

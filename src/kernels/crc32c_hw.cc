@@ -1,0 +1,103 @@
+// Hardware CRC32C tier, compiled with -msse4.2 (x86) or -march=armv8-a+crc
+// (aarch64) — see CMakeLists.txt.  The instruction implements exactly the
+// reflected-polynomial byte fold the slice-by-8 tables in io/crc32c.cc
+// compute, so the register state is interchangeable mid-stream between the
+// two implementations; io/crc32c_test.cc cross-checks them so persisted
+// stores stay byte-compatible whichever path computed the checksum.
+
+#include "kernels/search_impl.h"
+
+#if defined(__SSE4_2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <nmmintrin.h>
+
+namespace pathcache {
+namespace kernels {
+namespace internal {
+
+const bool kCompiledHwCrc = true;
+
+unsigned int Crc32cUpdateHwImpl(unsigned int state, const void* data,
+                                unsigned long n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+#if defined(__x86_64__)
+  unsigned long long crc = state;
+  while (n >= 8) {
+    unsigned long long chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = _mm_crc32_u64(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  unsigned int crc32 = static_cast<unsigned int>(crc);
+#else
+  unsigned int crc32 = state;
+  while (n >= 4) {
+    unsigned int chunk;
+    __builtin_memcpy(&chunk, p, 4);
+    crc32 = _mm_crc32_u32(crc32, chunk);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n-- > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+  }
+  return crc32;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace pathcache
+
+#elif defined(__ARM_FEATURE_CRC32)
+
+#include <arm_acle.h>
+
+namespace pathcache {
+namespace kernels {
+namespace internal {
+
+const bool kCompiledHwCrc = true;
+
+unsigned int Crc32cUpdateHwImpl(unsigned int state, const void* data,
+                                unsigned long n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  unsigned int crc = state;
+  while (n >= 8) {
+    unsigned long long chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = __crc32cd(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace pathcache
+
+#else
+
+namespace pathcache {
+namespace kernels {
+namespace internal {
+
+const bool kCompiledHwCrc = false;
+
+// Never reached: dispatch.cc only reports hardware CRC when kCompiledHwCrc
+// is true.  Returning the state unchanged keeps the symbol defined.
+unsigned int Crc32cUpdateHwImpl(unsigned int state, const void* /*data*/,
+                                unsigned long /*n*/) {
+  return state;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace pathcache
+
+#endif

@@ -1,0 +1,140 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/search_impl.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace pathcache {
+namespace kernels {
+
+namespace {
+
+struct CpuFeatures {
+  Tier best = Tier::kScalar;
+  bool crc32c = false;
+};
+
+#if defined(__x86_64__) || defined(__i386__)
+CpuFeatures ProbeCpu() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  const bool sse2 = (edx & (1u << 26)) != 0;
+  const bool sse42 = (ecx & (1u << 20)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (sse2) f.best = Tier::kSse2;
+  f.crc32c = sse42 && internal::kCompiledHwCrc;
+  // AVX2 requires the OS to have enabled YMM state (XCR0 bits 1+2) on top of
+  // the cpuid feature bit, and this build to have compiled the AVX2 TU.
+  if (avx && osxsave && internal::kCompiledAvx2) {
+    unsigned xcr0_lo, xcr0_hi;
+    __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+    if ((xcr0_lo & 0x6) == 0x6) {
+      unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+      if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) &&
+          (ebx7 & (1u << 5)) != 0) {
+        f.best = Tier::kAvx2;
+      }
+    }
+  }
+  return f;
+}
+#elif defined(__aarch64__)
+CpuFeatures ProbeCpu() {
+  CpuFeatures f;
+  f.best = Tier::kNeon;  // ASIMD is architecturally baseline on aarch64
+#if defined(__linux__)
+  f.crc32c =
+      internal::kCompiledHwCrc && (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#endif
+  return f;
+}
+#else
+CpuFeatures ProbeCpu() { return CpuFeatures{}; }
+#endif
+
+const CpuFeatures& Cpu() {
+  static const CpuFeatures f = ProbeCpu();
+  return f;
+}
+
+Tier ClampToCpu(Tier t) {
+  return static_cast<int>(t) <= static_cast<int>(Cpu().best) ? t : Cpu().best;
+}
+
+// Environment-derived default, resolved once.
+Tier EnvTier() {
+  static const Tier t = [] {
+    const char* off = std::getenv("PATHCACHE_DISABLE_SIMD");
+    if (off != nullptr && off[0] != '\0' && off[0] != '0') {
+      return Tier::kScalar;
+    }
+    const char* name = std::getenv("PATHCACHE_KERNEL_TIER");
+    if (name != nullptr) {
+      if (std::strcmp(name, "scalar") == 0) return Tier::kScalar;
+      if (std::strcmp(name, "neon") == 0) return ClampToCpu(Tier::kNeon);
+      if (std::strcmp(name, "sse2") == 0) return ClampToCpu(Tier::kSse2);
+      if (std::strcmp(name, "avx2") == 0) return ClampToCpu(Tier::kAvx2);
+    }
+    return Cpu().best;
+  }();
+  return t;
+}
+
+// -1 = no override; otherwise the forced tier.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Tier DetectedTier() { return Cpu().best; }
+
+Tier ActiveTier() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  return EnvTier();
+}
+
+void ForceTier(Tier t) {
+  g_forced.store(static_cast<int>(ClampToCpu(t)), std::memory_order_relaxed);
+}
+
+void ResetTier() { g_forced.store(-1, std::memory_order_relaxed); }
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool HwCrc32cActive() {
+  return Cpu().crc32c && ActiveTier() != Tier::kScalar;
+}
+
+unsigned int Crc32cUpdateHw(unsigned int state, const void* data,
+                            unsigned long n) {
+  return internal::Crc32cUpdateHwImpl(state, data, n);
+}
+
+}  // namespace kernels
+}  // namespace pathcache

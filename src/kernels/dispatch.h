@@ -1,0 +1,68 @@
+// Runtime CPU-feature dispatch for the in-page search kernels.
+//
+// Every kernel in kernels/search.h and the hardware CRC32C in io/crc32c.cc
+// picks its implementation from the process-wide *active tier*.  The tier is
+// resolved once from the CPU (cpuid on x86, HWCAP on aarch64) and the
+// environment, and can be overridden programmatically so tests and benches
+// can force every implementation down the same differential harness:
+//
+//   PATHCACHE_DISABLE_SIMD=1          -> scalar everywhere (also software CRC)
+//   PATHCACHE_KERNEL_TIER=<name>      -> force a tier by name ("scalar",
+//                                        "sse2", "avx2", "neon"); clamped to
+//                                        what the CPU actually supports
+//   kernels::ForceTier(t)             -> in-process override (benches/tests)
+//
+// Contract: every tier computes bit-identical results — a tier is a speed,
+// never a semantic.  The differential tests in tests/kernels_test.cpp force
+// each available tier through exhaustive and randomized sweeps to pin that.
+
+#ifndef PATHCACHE_KERNELS_DISPATCH_H_
+#define PATHCACHE_KERNELS_DISPATCH_H_
+
+namespace pathcache {
+namespace kernels {
+
+/// Kernel implementation tiers, ordered weakest to strongest.  A CPU that
+/// supports tier T can run every tier below it; ForceTier clamps upward
+/// requests to the detected maximum.
+enum class Tier : int {
+  kScalar = 0,  // portable branchless C++ (always available)
+  kNeon = 1,    // aarch64 ASIMD
+  kSse2 = 2,    // x86-64 baseline vectors (int64 compares synthesized)
+  kAvx2 = 3,    // 4-wide int64 compares + gathers
+};
+
+/// Strongest tier this CPU + build supports (environment NOT applied).
+Tier DetectedTier();
+
+/// The tier kernels currently dispatch on: DetectedTier() clamped by the
+/// environment overrides, unless ForceTier() installed something else.
+/// Thread-safe to read concurrently with queries.
+Tier ActiveTier();
+
+/// Installs `t` (clamped to DetectedTier()) as the active tier until
+/// ResetTier().  For benches and differential tests; switching while other
+/// threads run kernels is safe (atomic) but makes their tier unpredictable.
+void ForceTier(Tier t);
+
+/// Drops any ForceTier override, returning to the environment-derived tier.
+void ResetTier();
+
+/// Human-readable tier name ("scalar", "neon", "sse2", "avx2").
+const char* TierName(Tier t);
+
+/// True when the CPU has a CRC32C instruction (SSE4.2 / ARMv8 CRC), this
+/// build compiled the intrinsic path, and the active tier is not kScalar —
+/// forcing scalar forces the software slice-by-8 CRC too, so the two
+/// implementations can be cross-checked.
+bool HwCrc32cActive();
+
+/// CRC32C over the hardware instruction; call only when HwCrc32cActive().
+/// Same state convention as Crc32cUpdate in io/crc32c.h.
+unsigned int Crc32cUpdateHw(unsigned int state, const void* data,
+                            unsigned long n);
+
+}  // namespace kernels
+}  // namespace pathcache
+
+#endif  // PATHCACHE_KERNELS_DISPATCH_H_

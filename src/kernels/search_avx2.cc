@@ -1,0 +1,302 @@
+// AVX2 kernel tier.  This TU is the only one compiled with -mavx2 (see
+// CMakeLists.txt), so the 256-bit intrinsics must not leak anywhere else;
+// the dispatcher only routes here after the runtime cpuid/XCR0 probe.  When
+// the toolchain cannot target AVX2 the stubs at the bottom forward to scalar
+// and kCompiledAvx2 tells the dispatcher never to report this tier.
+
+#include <cstring>
+
+#include "kernels/search_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pathcache {
+namespace kernels {
+namespace internal {
+
+const bool kCompiledAvx2 = true;
+
+namespace {
+
+inline int64_t LoadI64(const void* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t LoadU64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline bool RecLess(const void* p, int64_t key, uint64_t value) {
+  const int64_t k = LoadI64(p);
+  if (k != key) return k < key;
+  return LoadU64(static_cast<const char*>(p) + 8) < value;
+}
+inline bool RecLessEq(const void* p, int64_t key, uint64_t value) {
+  const int64_t k = LoadI64(p);
+  if (k != key) return k < key;
+  return LoadU64(static_cast<const char*>(p) + 8) <= value;
+}
+
+inline int Mask4(__m256i m) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(m));
+}
+
+inline unsigned PopCount(int mask) {
+  return static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(mask)));
+}
+
+// Narrowing stops here and the rest is a straight vectorized count: each
+// branchless halving step is a ~15-cycle serial load->cmp->cmov chain,
+// while counting 32 more keys costs ~8 throughput-bound cycles, so the
+// break-even window is wide.  64 keeps directory-sized arrays (<= 64 keys)
+// entirely in the count loop.
+constexpr size_t kWindow = 64;
+
+}  // namespace
+
+size_t LowerBoundI64Avx2(const int64_t* a, size_t n, int64_t key) {
+  size_t lo = 0, len = n;
+  while (len > kWindow) {
+    const size_t half = len / 2;
+    if (a[lo + half - 1] < key) {
+      lo += half;
+      len -= half;
+    } else {
+      len = half;
+    }
+  }
+  const __m256i vkey = _mm256_set1_epi64x(key);
+  size_t cnt = 0, i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + lo + i));
+    cnt += PopCount(Mask4(_mm256_cmpgt_epi64(vkey, v)));
+  }
+  for (; i < len; ++i) cnt += a[lo + i] < key ? 1 : 0;
+  return lo + cnt;
+}
+
+size_t UpperBoundI64Avx2(const int64_t* a, size_t n, int64_t key) {
+  size_t lo = 0, len = n;
+  while (len > kWindow) {
+    const size_t half = len / 2;
+    if (a[lo + half - 1] <= key) {
+      lo += half;
+      len -= half;
+    } else {
+      len = half;
+    }
+  }
+  const __m256i vkey = _mm256_set1_epi64x(key);
+  size_t gt = 0, i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + lo + i));
+    gt += PopCount(Mask4(_mm256_cmpgt_epi64(v, vkey)));
+  }
+  for (; i < len; ++i) gt += a[lo + i] > key ? 1 : 0;
+  return lo + len - gt;
+}
+
+namespace {
+
+// Counts records r in the window with r < (key, value) or, when
+// kCountGreater, r > (key, value).  Four 16-byte records load as two
+// 256-bit vectors; per-128-lane unpacklo/hi deinterleaves them into a
+// keys vector and a values vector with consistent lane pairing (the lane
+// order is scrambled — k0,k2,k1,k3 — which a popcount never notices).
+template <bool kCountGreater>
+inline size_t CountKVAvx2(const void* recs, size_t lo, size_t len,
+                          int64_t key, uint64_t value) {
+  const char* base = static_cast<const char*>(recs) + lo * 16;
+  const __m256i sign = _mm256_set1_epi64x(INT64_MIN);
+  const __m256i vkey = _mm256_set1_epi64x(key);
+  const __m256i vval =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<int64_t>(value)), sign);
+  size_t cnt = 0, i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const char* p = base + i * 16;
+    const __m256i r01 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i r23 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32));
+    const __m256i keys = _mm256_unpacklo_epi64(r01, r23);
+    const __m256i vals =
+        _mm256_xor_si256(_mm256_unpackhi_epi64(r01, r23), sign);
+    const __m256i eqk = _mm256_cmpeq_epi64(keys, vkey);
+    __m256i pred;
+    if (kCountGreater) {
+      pred = _mm256_or_si256(
+          _mm256_cmpgt_epi64(keys, vkey),
+          _mm256_and_si256(eqk, _mm256_cmpgt_epi64(vals, vval)));
+    } else {
+      pred = _mm256_or_si256(
+          _mm256_cmpgt_epi64(vkey, keys),
+          _mm256_and_si256(eqk, _mm256_cmpgt_epi64(vval, vals)));
+    }
+    cnt += PopCount(Mask4(pred));
+  }
+  for (; i < len; ++i) {
+    const char* p = base + i * 16;
+    if (kCountGreater) {
+      cnt += RecLessEq(p, key, value) ? 0 : 1;
+    } else {
+      cnt += RecLess(p, key, value) ? 1 : 0;
+    }
+  }
+  return cnt;
+}
+
+}  // namespace
+
+size_t LowerBoundKVAvx2(const void* recs, size_t n, int64_t key,
+                        uint64_t value) {
+  const char* base = static_cast<const char*>(recs);
+  size_t lo = 0, len = n;
+  while (len > kWindow) {
+    const size_t half = len / 2;
+    if (RecLess(base + (lo + half - 1) * 16, key, value)) {
+      lo += half;
+      len -= half;
+    } else {
+      len = half;
+    }
+  }
+  return lo + CountKVAvx2<false>(recs, lo, len, key, value);
+}
+
+size_t UpperBoundKVAvx2(const void* recs, size_t n, int64_t key,
+                        uint64_t value) {
+  const char* base = static_cast<const char*>(recs);
+  size_t lo = 0, len = n;
+  while (len > kWindow) {
+    const size_t half = len / 2;
+    if (RecLessEq(base + (lo + half - 1) * 16, key, value)) {
+      lo += half;
+      len -= half;
+    } else {
+      len = half;
+    }
+  }
+  return lo + len - CountKVAvx2<true>(recs, lo, len, key, value);
+}
+
+namespace {
+
+// Shared first-match skeleton: loads four keys per step (contiguous loads
+// when stride == 8, byte-offset gathers otherwise), compares, and converts
+// the first set movemask lane to the exact scalar index.
+template <bool kBelow>
+inline size_t FindFirstAvx2(const void* base, size_t stride, size_t n,
+                            int64_t bound) {
+  const char* p = static_cast<const char*>(base);
+  const __m256i vb = _mm256_set1_epi64x(bound);
+  size_t i = 0;
+  if (stride == sizeof(int64_t)) {
+    const int64_t* a = static_cast<const int64_t*>(base);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const int m = kBelow ? Mask4(_mm256_cmpgt_epi64(vb, v))
+                           : Mask4(_mm256_cmpgt_epi64(v, vb));
+      if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+    }
+  } else {
+    const __m256i offs = _mm256_setr_epi64x(
+        0, static_cast<int64_t>(stride), static_cast<int64_t>(2 * stride),
+        static_cast<int64_t>(3 * stride));
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(p + i * stride), offs, 1);
+      const int m = kBelow ? Mask4(_mm256_cmpgt_epi64(vb, v))
+                           : Mask4(_mm256_cmpgt_epi64(v, vb));
+      if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+    }
+  }
+  for (; i < n; ++i) {
+    const int64_t k = LoadI64(p + i * stride);
+    if (kBelow ? (k < bound) : (k > bound)) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t FindFirstBelowAvx2(const void* base, size_t stride, size_t n,
+                          int64_t bound) {
+  return FindFirstAvx2<true>(base, stride, n, bound);
+}
+
+size_t FindFirstAboveAvx2(const void* base, size_t stride, size_t n,
+                          int64_t bound) {
+  return FindFirstAvx2<false>(base, stride, n, bound);
+}
+
+bool AllContain24Avx2(const void* recs, size_t n, int64_t q) {
+  const char* p = static_cast<const char*>(recs);
+  const __m256i vq = _mm256_set1_epi64x(q);
+  const __m256i lo_offs = _mm256_setr_epi64x(0, 24, 48, 72);
+  const __m256i hi_offs = _mm256_setr_epi64x(8, 32, 56, 80);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const long long* b = reinterpret_cast<const long long*>(p + i * 24);
+    const __m256i lo = _mm256_i64gather_epi64(b, lo_offs, 1);
+    const __m256i hi = _mm256_i64gather_epi64(b, hi_offs, 1);
+    const __m256i viol = _mm256_or_si256(_mm256_cmpgt_epi64(lo, vq),
+                                         _mm256_cmpgt_epi64(vq, hi));
+    if (Mask4(viol) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    const char* r = p + i * 24;
+    if (LoadI64(r) > q || LoadI64(r + 8) < q) return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace pathcache
+
+#else  // !__AVX2__
+
+namespace pathcache {
+namespace kernels {
+namespace internal {
+
+const bool kCompiledAvx2 = false;
+
+size_t LowerBoundI64Avx2(const int64_t* a, size_t n, int64_t key) {
+  return LowerBoundI64Scalar(a, n, key);
+}
+size_t UpperBoundI64Avx2(const int64_t* a, size_t n, int64_t key) {
+  return UpperBoundI64Scalar(a, n, key);
+}
+size_t LowerBoundKVAvx2(const void* recs, size_t n, int64_t key,
+                        uint64_t value) {
+  return LowerBoundKVScalar(recs, n, key, value);
+}
+size_t UpperBoundKVAvx2(const void* recs, size_t n, int64_t key,
+                        uint64_t value) {
+  return UpperBoundKVScalar(recs, n, key, value);
+}
+size_t FindFirstBelowAvx2(const void* base, size_t stride, size_t n,
+                          int64_t bound) {
+  return FindFirstBelowScalar(base, stride, n, bound);
+}
+size_t FindFirstAboveAvx2(const void* base, size_t stride, size_t n,
+                          int64_t bound) {
+  return FindFirstAboveScalar(base, stride, n, bound);
+}
+bool AllContain24Avx2(const void* recs, size_t n, int64_t q) {
+  return AllContain24Scalar(recs, n, q);
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace pathcache
+
+#endif  // __AVX2__

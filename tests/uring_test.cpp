@@ -1,0 +1,236 @@
+// io_uring-vs-preadv equivalence for FilePageDevice::ReadBatch.  The backend
+// is supposed to be a pure transport choice: bytes delivered, IoStats,
+// read_syscalls() and error mapping must all be identical, so every
+// experiment's counted I/O is the same no matter which path served it.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/file_page_device.h"
+#include "io/uring_reader.h"
+
+namespace pathcache {
+namespace {
+
+using Backend = FilePageDevice::ReadBackend;
+
+// Deterministic page content so byte-level comparisons are meaningful.
+void FillPage(PageId id, uint32_t page_size, std::byte* buf) {
+  for (uint32_t j = 0; j < page_size; ++j) {
+    buf[j] = static_cast<std::byte>((id * 131u + j * 7u + 3u) & 0xFF);
+  }
+}
+
+Result<std::unique_ptr<FilePageDevice>> MakeStore(const std::string& path,
+                                                  size_t pages,
+                                                  uint32_t page_size) {
+  PC_ASSIGN_OR_RETURN(auto dev, FilePageDevice::Create(path, page_size));
+  std::vector<std::byte> buf(page_size);
+  for (size_t p = 0; p < pages; ++p) {
+    PC_ASSIGN_OR_RETURN(PageId id, dev->Allocate());
+    FillPage(id, page_size, buf.data());
+    PC_RETURN_IF_ERROR(dev->Write(id, buf.data()));
+  }
+  return dev;
+}
+
+// Batches covering the shapes ReadBatch distinguishes: single run, many
+// scattered runs, unsorted arrivals, adjacent-run boundaries, big fan-out.
+std::vector<std::vector<PageId>> InterestingBatches(size_t pages) {
+  std::vector<std::vector<PageId>> batches;
+  batches.push_back({0});                          // single page
+  batches.push_back({0, 1, 2, 3});                 // one sorted run
+  batches.push_back({0, 2, 4, 6});                 // all 1-page runs
+  batches.push_back({5, 1, 9, 3, 7});              // unsorted, all gaps
+  batches.push_back({8, 9, 2, 3, 0});              // unsorted, mixed runs
+  std::vector<PageId> evens, all;
+  for (PageId p = 0; p < pages; ++p) {
+    all.push_back(p);
+    if (p % 2 == 0) evens.push_back(p);
+  }
+  batches.push_back(std::move(evens));             // many runs
+  batches.push_back(std::move(all));               // one max-length run
+  std::vector<PageId> reversed;
+  for (PageId p = pages; p-- > 0;) reversed.push_back(p);
+  batches.push_back(std::move(reversed));          // worst-case arrival order
+  return batches;
+}
+
+TEST(UringReader, ProbeIsStable) {
+  const bool first = UringReader::SystemSupported();
+  EXPECT_EQ(UringReader::SystemSupported(), first);
+  if (first) {
+    auto ring = UringReader::Create();
+    EXPECT_TRUE(ring.ok()) << ring.status().ToString();
+  }
+}
+
+TEST(UringEquivalence, BytesStatsAndSyscalls) {
+  const std::string path = ::testing::TempDir() + "/pc_uring_equiv.db";
+  constexpr uint32_t kPageSize = 512;
+  constexpr size_t kPages = 40;
+  auto r = MakeStore(path, kPages, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+
+  if (!UringReader::SystemSupported()) {
+    GTEST_SKIP() << "io_uring unavailable; preadv path is covered by "
+                    "page_device_test";
+  }
+  for (const auto& batch : InterestingBatches(kPages)) {
+    std::vector<std::byte> via_preadv(batch.size() * kPageSize);
+    std::vector<std::byte> via_uring(batch.size() * kPageSize, std::byte{0xAA});
+
+    ASSERT_TRUE(dev->SetReadBackend(Backend::kPreadv).ok());
+    dev->ResetStats();
+    ASSERT_TRUE(dev->ReadBatch(batch, via_preadv.data()).ok());
+    const IoStats preadv_stats = dev->stats();
+    const uint64_t preadv_syscalls = dev->read_syscalls();
+    EXPECT_EQ(dev->uring_batches(), 0u);
+
+    ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+    EXPECT_EQ(dev->read_backend(), Backend::kIoUring);
+    dev->ResetStats();
+    ASSERT_TRUE(dev->ReadBatch(batch, via_uring.data()).ok());
+    const IoStats uring_stats = dev->stats();
+
+    EXPECT_EQ(std::memcmp(via_preadv.data(), via_uring.data(),
+                          via_preadv.size()),
+              0)
+        << "byte mismatch on batch of " << batch.size();
+    // Every slot holds the page the caller asked for, in the caller's order.
+    for (size_t k = 0; k < batch.size(); ++k) {
+      std::vector<std::byte> want(kPageSize);
+      FillPage(batch[k], kPageSize, want.data());
+      ASSERT_EQ(std::memcmp(via_uring.data() + k * kPageSize, want.data(),
+                            kPageSize),
+                0)
+          << "slot " << k << " (page " << batch[k] << ")";
+    }
+    EXPECT_EQ(uring_stats.reads, preadv_stats.reads);
+    EXPECT_EQ(uring_stats.batch_reads, preadv_stats.batch_reads);
+    EXPECT_EQ(uring_stats.reads, batch.size());
+    EXPECT_EQ(uring_stats.batch_reads, 1u);
+    // One SQE per coalesced run == one preadv per run: counted transfer ops
+    // are backend-independent on healthy files.
+    EXPECT_EQ(dev->read_syscalls(), preadv_syscalls)
+        << "batch of " << batch.size();
+  }
+}
+
+TEST(UringEquivalence, UringBatchesCounterAndSingleRunBypass) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_count.db";
+  constexpr uint32_t kPageSize = 256;
+  auto r = MakeStore(path, 8, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+  dev->ResetStats();
+
+  std::vector<std::byte> buf(8 * kPageSize);
+  // A single coalesced run costs one syscall either way, so it stays on
+  // preadv and must not bump the uring counter.
+  std::vector<PageId> one_run{2, 3, 4};
+  ASSERT_TRUE(dev->ReadBatch(one_run, buf.data()).ok());
+  EXPECT_EQ(dev->uring_batches(), 0u);
+  // Two runs is where async submission engages.
+  std::vector<PageId> two_runs{0, 1, 6, 7};
+  ASSERT_TRUE(dev->ReadBatch(two_runs, buf.data()).ok());
+  EXPECT_EQ(dev->uring_batches(), 1u);
+  EXPECT_EQ(dev->read_syscalls(), 1u + 2u);
+}
+
+TEST(UringEquivalence, TruncatedFileMapsToCorruptionOnBothBackends) {
+  const std::string path = ::testing::TempDir() + "/pc_uring_trunc.db";
+  constexpr uint32_t kPageSize = 512;
+  auto r = MakeStore(path, 10, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+
+  // Cut the file while the device still believes all 10 pages exist; pages
+  // 6..9 are now beyond EOF and must surface as Corruption ("short read"),
+  // never as silently zero-filled buffers.
+  ASSERT_EQ(::truncate(path.c_str(), 6 * kPageSize), 0);
+
+  std::vector<PageId> batch{0, 1, 5, 6, 8, 9};  // several runs, some past EOF
+  std::vector<std::byte> buf(batch.size() * kPageSize);
+
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kPreadv).ok());
+  Status preadv_status = dev->ReadBatch(batch, buf.data());
+  ASSERT_FALSE(preadv_status.ok());
+  EXPECT_EQ(preadv_status.code(), StatusCode::kCorruption)
+      << preadv_status.ToString();
+
+  if (UringReader::SystemSupported()) {
+    ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+    Status uring_status = dev->ReadBatch(batch, buf.data());
+    ASSERT_FALSE(uring_status.ok());
+    EXPECT_EQ(uring_status.code(), StatusCode::kCorruption)
+        << uring_status.ToString();
+    EXPECT_NE(uring_status.message().find("short read"), std::string::npos)
+        << uring_status.ToString();
+  }
+  EXPECT_NE(preadv_status.message().find("short read"), std::string::npos)
+      << preadv_status.ToString();
+
+  // The healthy prefix is still readable on both backends after the error.
+  std::vector<PageId> healthy{0, 2, 4};
+  std::vector<std::byte> ok_buf(healthy.size() * kPageSize);
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kPreadv).ok());
+  EXPECT_TRUE(dev->ReadBatch(healthy, ok_buf.data()).ok());
+  if (UringReader::SystemSupported()) {
+    ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+    EXPECT_TRUE(dev->ReadBatch(healthy, ok_buf.data()).ok());
+    for (size_t k = 0; k < healthy.size(); ++k) {
+      std::vector<std::byte> want(kPageSize);
+      FillPage(healthy[k], kPageSize, want.data());
+      EXPECT_EQ(std::memcmp(ok_buf.data() + k * kPageSize, want.data(),
+                            kPageSize),
+                0);
+    }
+  }
+}
+
+TEST(UringEquivalence, EnvDisableForcesPreadvDefault) {
+  ASSERT_EQ(::setenv("PATHCACHE_DISABLE_IOURING", "1", 1), 0);
+  const std::string path = ::testing::TempDir() + "/pc_uring_env.db";
+  auto r = MakeStore(path, 4, 256);
+  ::unsetenv("PATHCACHE_DISABLE_IOURING");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  // The env switch governs the default; an explicit SetReadBackend may
+  // still opt back in (CI flips the env to push the whole suite through
+  // the preadv path by default).
+  EXPECT_EQ(dev->read_backend(), Backend::kPreadv);
+  std::vector<PageId> batch{0, 2};
+  std::vector<std::byte> buf(2 * 256);
+  ASSERT_TRUE(dev->ReadBatch(batch, buf.data()).ok());
+  EXPECT_EQ(dev->uring_batches(), 0u);
+}
+
+TEST(UringEquivalence, SetReadBackendReportsSupport) {
+  const std::string path = ::testing::TempDir() + "/pc_uring_set.db";
+  auto r = MakeStore(path, 2, 256);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kPreadv).ok());
+  EXPECT_EQ(dev->read_backend(), Backend::kPreadv);
+  Status s = dev->SetReadBackend(Backend::kIoUring);
+  if (UringReader::SystemSupported()) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(dev->read_backend(), Backend::kIoUring);
+  } else {
+    EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+    EXPECT_EQ(dev->read_backend(), Backend::kPreadv);
+  }
+}
+
+}  // namespace
+}  // namespace pathcache
