@@ -55,6 +55,10 @@ struct Options {
   uint64_t points = 150'000;
   uint64_t intervals = 100'000;
   uint64_t queries = 4'000;  // per warm sweep run (half 2-sided, half stab)
+  // --zipf THETA: skew query popularity Zipf(theta) over the candidate
+  // pool, so the warm sweep reports QPS and tail latency under the hot-key
+  // concentration real serving traffic has.  0 keeps the uniform stream.
+  double zipf_theta = 0.0;
   std::string json_path;
   // --obs: run the observability overhead comparison (E18) — best-of-5 warm
   // QPS through three configurations: no obs wired, obs wired with the
@@ -84,6 +88,8 @@ Options ParseArgs(int argc, char** argv) {
       o.intervals = std::strtoull(iv, nullptr, 10);
     } else if (const char* qv = value_of(&i, "--queries")) {
       o.queries = std::strtoull(qv, nullptr, 10);
+    } else if (const char* zv = value_of(&i, "--zipf")) {
+      o.zipf_theta = std::strtod(zv, nullptr);
     } else if (const char* jv = value_of(&i, "--json")) {
       o.json_path = jv;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
@@ -103,6 +109,7 @@ Options ParseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--points N] [--intervals N] [--queries N] "
+                   "[--zipf THETA] "
                    "[--json out.json] [--obs] [--check-overhead PCT] "
                    "[--metrics-out m.prom] [--metrics-json m.json] "
                    "[--trace-out t.json]\n",
@@ -156,7 +163,7 @@ struct PlannedQuery {
 };
 
 std::vector<PlannedQuery> MakePlan(uint64_t count, uint32_t pst_id,
-                                   uint32_t seg_id) {
+                                   uint32_t seg_id, double zipf_theta) {
   std::vector<PlannedQuery> plan;
   plan.reserve(count);
   Rng rng(7);
@@ -169,6 +176,20 @@ std::vector<PlannedQuery> MakePlan(uint64_t count, uint32_t pst_id,
     } else {
       plan.push_back(
           {seg_id, ServeQuery::Stab(rng.UniformRange(0, 1'000'000'000))});
+    }
+  }
+  if (zipf_theta > 0.0) {
+    // Skewed popularity: the submitted stream draws from the candidate plan
+    // Zipf(theta)-distributed, within each structure's half so the 2-sided /
+    // stab mix stays 50:50.  The fingerprint cross-check still holds — every
+    // worker count replays the identical skewed stream.
+    std::vector<PlannedQuery> candidates = std::move(plan);
+    plan.clear();
+    plan.reserve(count);
+    const auto idx =
+        ZipfIndexStream(candidates.size() / 2, count, zipf_theta, 8);
+    for (uint64_t i = 0; i < count; ++i) {
+      plan.push_back(candidates[2 * idx[i] + (i % 2)]);
     }
   }
   return plan;
@@ -502,6 +523,7 @@ void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
   w.Key("points").Uint(opt.points);
   w.Key("intervals").Uint(opt.intervals);
   w.Key("queries").Uint(opt.queries);
+  w.Key("zipf_theta").Double(opt.zipf_theta);
   w.Key("warm_sweep").BeginArray();
   for (const WarmRow& r : warm) {
     w.BeginObject();
@@ -547,10 +569,13 @@ int Main(int argc, char** argv) {
   Store s = BuildStore(opt);
 
   // Probe structure ids once (identical registration order per engine).
-  std::vector<PlannedQuery> plan = MakePlan(opt.queries, 0, 1);
+  std::vector<PlannedQuery> plan = MakePlan(opt.queries, 0, 1, opt.zipf_theta);
 
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  if (opt.zipf_theta > 0.0) {
+    std::printf("query popularity: Zipf(theta=%.2f)\n", opt.zipf_theta);
+  }
   std::vector<WarmRow> warm;
   double qps1 = 0.0;
   for (uint32_t workers : kWorkerCounts) {

@@ -5,17 +5,30 @@
 #include <cstring>
 #include <string>
 
+#include "io/page_codec.h"
 #include "kernels/search.h"
 
 namespace pathcache {
 
 namespace {
 
-// On-page node layout.
+// On-page node layout.  NodeHeader.pad[0] carries the body format version:
 //
-//   NodeHeader            (24 bytes)
-//   leaf:     BTreeEntry  x count          (16 bytes each)
-//   internal: ChildEntry  x count          (24 bytes each; count children)
+//   v2 (0, interleaved):
+//     NodeHeader            (24 bytes)
+//     leaf:     BTreeEntry  x count        (16 bytes each)
+//     internal: ChildEntry  x count        (24 bytes each; count children)
+//
+//   v3 (1, packed; written when codec::PackedPagesEnabled()):
+//     NodeHeader            (24 bytes)
+//     leaf:     int64 key   x count | uint64 value x count
+//     internal: int64 sep.key x count | uint64 sep.value x count
+//               | PageId child x count
+//
+// Both spend the same bytes per entry, so node capacities, split points and
+// page counts are identical — only the byte order inside the body changes.
+// The packed form puts the search keys eight to a cache line, which is what
+// the in-place descent below probes (kernels::*KVPacked).
 //
 // Internal nodes route on lower fences: entries_[i].sep is <= every entry in
 // the subtree of entries_[i].child and > every entry in subtrees 0..i-1.
@@ -35,6 +48,9 @@ struct ChildEntry {
   PageId child = kInvalidPageId;
 };
 static_assert(sizeof(ChildEntry) == 24);
+
+constexpr uint8_t kNodeV2 = 0;  // interleaved records
+constexpr uint8_t kNodeV3 = 1;  // deinterleaved key/value(/child) arrays
 
 // The in-page search kernels read BTreeEntry as a packed {int64 key,
 // uint64 value} record and ChildEntry as the same record with 8 trailing
@@ -72,47 +88,95 @@ struct Node {
   }
 };
 
-void Decode(const std::vector<std::byte>& buf, Node* n) {
+// Validates a node header against the page geometry before any body bytes
+// are trusted: a corrupt count or version must fail loudly, never index off
+// the frame.
+Status CheckNodeHeader(const NodeHeader& hdr, size_t page_size) {
+  if (hdr.pad[0] > kNodeV3) {
+    return Status::Corruption("btree node format version " +
+                              std::to_string(hdr.pad[0]) + " unknown");
+  }
+  const size_t entry =
+      hdr.is_leaf != 0 ? sizeof(BTreeEntry) : sizeof(ChildEntry);
+  if (sizeof(hdr) + static_cast<size_t>(hdr.count) * entry > page_size) {
+    return Status::Corruption("btree node count " + std::to_string(hdr.count) +
+                              " exceeds page capacity");
+  }
+  return Status::OK();
+}
+
+Status Decode(const std::vector<std::byte>& buf, Node* n) {
   NodeHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
+  PC_RETURN_IF_ERROR(CheckNodeHeader(hdr, buf.size()));
   n->is_leaf = hdr.is_leaf != 0;
   n->next = hdr.next;
   n->leaf.clear();
   n->children.clear();
-  if (n->is_leaf) {
-    n->leaf.resize(hdr.count);
-    std::memcpy(n->leaf.data(), buf.data() + sizeof(hdr),
-                hdr.count * sizeof(BTreeEntry));
-  } else {
-    n->children.resize(hdr.count);
-    std::memcpy(n->children.data(), buf.data() + sizeof(hdr),
-                hdr.count * sizeof(ChildEntry));
+  const std::byte* body = buf.data() + sizeof(hdr);
+  const size_t cnt = hdr.count;
+  if (hdr.pad[0] == kNodeV3) {
+    const auto* keys = reinterpret_cast<const int64_t*>(body);
+    const auto* vals = reinterpret_cast<const uint64_t*>(body + cnt * 8);
+    if (n->is_leaf) {
+      n->leaf.resize(cnt);
+      for (size_t i = 0; i < cnt; ++i) n->leaf[i] = BTreeEntry{keys[i], vals[i]};
+    } else {
+      const std::byte* kids = body + cnt * 16;
+      n->children.resize(cnt);
+      for (size_t i = 0; i < cnt; ++i) {
+        PageId child;
+        std::memcpy(&child, kids + i * sizeof(PageId), sizeof(PageId));
+        n->children[i] = ChildEntry{BTreeEntry{keys[i], vals[i]}, child};
+      }
+    }
+    return Status::OK();
   }
+  if (n->is_leaf) {
+    n->leaf.resize(cnt);
+    std::memcpy(n->leaf.data(), body, cnt * sizeof(BTreeEntry));
+  } else {
+    n->children.resize(cnt);
+    std::memcpy(n->children.data(), body, cnt * sizeof(ChildEntry));
+  }
+  return Status::OK();
 }
 
 void Encode(const Node& n, std::vector<std::byte>* buf) {
   std::memset(buf->data(), 0, buf->size());
+  const bool pack = codec::PackedPagesEnabled();
   NodeHeader hdr;
   hdr.is_leaf = n.is_leaf ? 1 : 0;
+  hdr.pad[0] = pack ? kNodeV3 : kNodeV2;
   hdr.count = n.count();
   hdr.next = n.next;
   std::memcpy(buf->data(), &hdr, sizeof(hdr));
-  if (n.is_leaf) {
-    std::memcpy(buf->data() + sizeof(hdr), n.leaf.data(),
-                n.leaf.size() * sizeof(BTreeEntry));
-  } else {
-    std::memcpy(buf->data() + sizeof(hdr), n.children.data(),
-                n.children.size() * sizeof(ChildEntry));
+  std::byte* body = buf->data() + sizeof(hdr);
+  const size_t cnt = hdr.count;
+  if (!pack) {
+    if (n.is_leaf) {
+      std::memcpy(body, n.leaf.data(), cnt * sizeof(BTreeEntry));
+    } else {
+      std::memcpy(body, n.children.data(), cnt * sizeof(ChildEntry));
+    }
+    return;
   }
-}
-
-// Index of the child to descend into for entry e.
-uint32_t RouteChild(const Node& n, const BTreeEntry& e) {
-  // Largest i with sep[i] <= e; sep[0] acts as -infinity, which the upper
-  // bound honors by clamping 0 (no separator <= e) to child 0.
-  const size_t ub = kernels::UpperBoundKVStrided(
-      n.children.data(), sizeof(ChildEntry), n.count(), e.key, e.value);
-  return ub == 0 ? 0 : static_cast<uint32_t>(ub - 1);
+  auto* keys = reinterpret_cast<int64_t*>(body);
+  auto* vals = reinterpret_cast<uint64_t*>(body + cnt * 8);
+  if (n.is_leaf) {
+    for (size_t i = 0; i < cnt; ++i) {
+      keys[i] = n.leaf[i].key;
+      vals[i] = n.leaf[i].value;
+    }
+  } else {
+    std::byte* kids = body + cnt * 16;
+    for (size_t i = 0; i < cnt; ++i) {
+      keys[i] = n.children[i].sep.key;
+      vals[i] = n.children[i].sep.value;
+      std::memcpy(kids + i * sizeof(PageId), &n.children[i].child,
+                  sizeof(PageId));
+    }
+  }
 }
 
 }  // namespace
@@ -241,15 +305,43 @@ Status BPlusTree::DescendToLeaf(const BTreeEntry& e,
   PageId cur = root_;
   for (;;) {
     PC_RETURN_IF_ERROR(ReadPage(cur, &buf));
-    Node n;
-    Decode(buf, &n);
-    if (n.is_leaf) {
+    // Route in place: the separator search runs directly on the page body
+    // (dense key array on v3 nodes, strided records on v2), so the descent
+    // never materializes a node.
+    NodeHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    PC_RETURN_IF_ERROR(CheckNodeHeader(hdr, buf.size()));
+    if (hdr.is_leaf != 0) {
       *leaf = cur;
       return Status::OK();
     }
-    uint32_t idx = RouteChild(n, e);
-    if (path != nullptr) path->push_back({cur, idx});
-    cur = n.children[idx].child;
+    if (hdr.count == 0) {
+      return Status::Corruption("internal node with no children");
+    }
+    const std::byte* body = buf.data() + sizeof(hdr);
+    // Largest i with sep[i] <= e; sep[0] acts as -infinity, which the upper
+    // bound honors by clamping 0 (no separator <= e) to child 0.
+    size_t ub;
+    PageId child;
+    if (hdr.pad[0] == kNodeV3) {
+      ub = kernels::UpperBoundKVPacked(
+          reinterpret_cast<const int64_t*>(body),
+          reinterpret_cast<const uint64_t*>(body + hdr.count * 8), hdr.count,
+          e.key, e.value);
+      const uint32_t idx = ub == 0 ? 0 : static_cast<uint32_t>(ub - 1);
+      std::memcpy(&child, body + hdr.count * 16 + idx * sizeof(PageId),
+                  sizeof(PageId));
+      if (path != nullptr) path->push_back({cur, idx});
+    } else {
+      ub = kernels::UpperBoundKVStrided(body, sizeof(ChildEntry), hdr.count,
+                                        e.key, e.value);
+      const uint32_t idx = ub == 0 ? 0 : static_cast<uint32_t>(ub - 1);
+      std::memcpy(&child,
+                  body + idx * sizeof(ChildEntry) + offsetof(ChildEntry, child),
+                  sizeof(PageId));
+      if (path != nullptr) path->push_back({cur, idx});
+    }
+    cur = child;
   }
 }
 
@@ -261,7 +353,7 @@ Status BPlusTree::Insert(const BTreeEntry& e) {
   std::vector<std::byte> buf;
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
-  Decode(buf, &n);
+  PC_RETURN_IF_ERROR(Decode(buf, &n));
   auto it = LeafLowerBound(n.leaf, e);
   if (it != n.leaf.end() && *it == e) {
     return Status::InvalidArgument("duplicate entry");
@@ -315,7 +407,7 @@ Status BPlusTree::InsertIntoParent(std::vector<PathElem>* path, BTreeEntry sep,
     path->pop_back();
     PC_RETURN_IF_ERROR(ReadPage(pe.page, &buf));
     Node n;
-    Decode(buf, &n);
+    PC_RETURN_IF_ERROR(Decode(buf, &n));
     n.children.insert(n.children.begin() + pe.child_idx + 1,
                       {sep, right_child});
     if (n.children.size() <= internal_cap_) {
@@ -348,7 +440,7 @@ Status BPlusTree::Delete(const BTreeEntry& e) {
   std::vector<std::byte> buf;
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
-  Decode(buf, &n);
+  PC_RETURN_IF_ERROR(Decode(buf, &n));
   auto it = LeafLowerBound(n.leaf, e);
   if (it == n.leaf.end() || !(*it == e)) {
     return Status::NotFound("entry not present");
@@ -372,10 +464,10 @@ Status BPlusTree::RebalanceAfterDelete(std::vector<PathElem>* path,
 
     PC_RETURN_IF_ERROR(ReadPage(pe.page, &buf));
     Node parent;
-    Decode(buf, &parent);
+    PC_RETURN_IF_ERROR(Decode(buf, &parent));
     PC_RETURN_IF_ERROR(ReadPage(node_id, &buf2));
     Node node;
-    Decode(buf2, &node);
+    PC_RETURN_IF_ERROR(Decode(buf2, &node));
 
     const uint32_t min_count = (node.is_leaf ? leaf_cap_ : internal_cap_) / 2;
     if (node.count() >= min_count) return Status::OK();
@@ -386,7 +478,7 @@ Status BPlusTree::RebalanceAfterDelete(std::vector<PathElem>* path,
       PageId left_id = parent.children[idx - 1].child;
       PC_RETURN_IF_ERROR(ReadPage(left_id, &buf3));
       Node left;
-      Decode(buf3, &left);
+      PC_RETURN_IF_ERROR(Decode(buf3, &left));
       if (left.count() > min_count) {
         if (node.is_leaf) {
           node.leaf.insert(node.leaf.begin(), left.leaf.back());
@@ -410,7 +502,7 @@ Status BPlusTree::RebalanceAfterDelete(std::vector<PathElem>* path,
       PageId right_id = parent.children[idx + 1].child;
       PC_RETURN_IF_ERROR(ReadPage(right_id, &buf3));
       Node right;
-      Decode(buf3, &right);
+      PC_RETURN_IF_ERROR(Decode(buf3, &right));
       if (right.count() > min_count) {
         if (node.is_leaf) {
           node.leaf.push_back(right.leaf.front());
@@ -438,10 +530,10 @@ Status BPlusTree::RebalanceAfterDelete(std::vector<PathElem>* path,
     if (left_id == node_id) {
       left = node;
       PC_RETURN_IF_ERROR(ReadPage(right_id, &buf3));
-      Decode(buf3, &right);
+      PC_RETURN_IF_ERROR(Decode(buf3, &right));
     } else {
       PC_RETURN_IF_ERROR(ReadPage(left_id, &buf3));
-      Decode(buf3, &left);
+      PC_RETURN_IF_ERROR(Decode(buf3, &left));
       right = node;
     }
     if (left.is_leaf) {
@@ -479,24 +571,52 @@ Status BPlusTree::Get(int64_t key, uint64_t* value, bool* found) {
   PageId leaf;
   PC_RETURN_IF_ERROR(DescendToLeaf({key, 0}, nullptr, &leaf));
   std::vector<std::byte> buf;
-  PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
-  Node n;
-  Decode(buf, &n);
-  auto it = LeafLowerBound(n.leaf, BTreeEntry{key, 0});
-  if (it != n.leaf.end() && it->key == key) {
-    *found = true;
-    *value = it->value;
+  // Probe in place across both body formats; a v3 leaf searches its dense
+  // key array without reinterleaving the page.
+  auto probe = [&](size_t* pos, PageId* next) -> Status {
+    NodeHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    PC_RETURN_IF_ERROR(CheckNodeHeader(hdr, buf.size()));
+    if (hdr.is_leaf == 0) return Status::Corruption("expected a leaf node");
+    *next = hdr.next;
+    const std::byte* body = buf.data() + sizeof(hdr);
+    if (hdr.pad[0] == kNodeV3) {
+      const auto* keys = reinterpret_cast<const int64_t*>(body);
+      const auto* vals =
+          reinterpret_cast<const uint64_t*>(body + hdr.count * 8);
+      const size_t i =
+          kernels::LowerBoundKVPacked(keys, vals, hdr.count, key, 0);
+      *pos = i;
+      if (i < hdr.count && keys[i] == key) {
+        *found = true;
+        *value = vals[i];
+      }
+    } else {
+      const size_t i = kernels::LowerBoundKV(body, hdr.count, key, 0);
+      *pos = i;
+      if (i < hdr.count) {
+        BTreeEntry e;
+        std::memcpy(&e, body + i * sizeof(BTreeEntry), sizeof(e));
+        if (e.key == key) {
+          *found = true;
+          *value = e.value;
+        }
+      }
+    }
+    *pos = hdr.count - *pos;  // records at or after the probe
     return Status::OK();
-  }
+  };
+  PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
+  size_t after = 0;
+  PageId next = kInvalidPageId;
+  PC_RETURN_IF_ERROR(probe(&after, &next));
+  if (*found) return Status::OK();
   // The first entry with this key may start the next leaf only if this leaf
   // ends exactly before it; handle the boundary by peeking the chain.
-  if (it == n.leaf.end() && n.next != kInvalidPageId) {
-    PC_RETURN_IF_ERROR(ReadPage(n.next, &buf));
-    Decode(buf, &n);
-    if (!n.leaf.empty() && n.leaf.front().key == key) {
-      *found = true;
-      *value = n.leaf.front().value;
-    }
+  if (after == 0 && next != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(ReadPage(next, &buf));
+    PageId next2;
+    PC_RETURN_IF_ERROR(probe(&after, &next2));
   }
   return Status::OK();
 }
@@ -510,7 +630,7 @@ Status BPlusTree::FindFloor(int64_t key, BTreeEntry* out, bool* found) {
   std::vector<std::byte> buf;
   PC_RETURN_IF_ERROR(ReadPage(leaf, &buf));
   Node n;
-  Decode(buf, &n);
+  PC_RETURN_IF_ERROR(Decode(buf, &n));
   auto it = LeafUpperBound(n.leaf, BTreeEntry{key, UINT64_MAX});
   if (it != n.leaf.begin()) {
     *out = *(it - 1);
@@ -523,11 +643,11 @@ Status BPlusTree::FindFloor(int64_t key, BTreeEntry* out, bool* found) {
     path.pop_back();
     if (pe.child_idx == 0) continue;
     PC_RETURN_IF_ERROR(ReadPage(pe.page, &buf));
-    Decode(buf, &n);
+    PC_RETURN_IF_ERROR(Decode(buf, &n));
     PageId cur = n.children[pe.child_idx - 1].child;
     for (;;) {
       PC_RETURN_IF_ERROR(ReadPage(cur, &buf));
-      Decode(buf, &n);
+      PC_RETURN_IF_ERROR(Decode(buf, &n));
       if (n.is_leaf) break;
       cur = n.children.back().child;
     }
@@ -549,7 +669,7 @@ Status BPlusTree::ScanFrom(int64_t lo,
   while (cur != kInvalidPageId) {
     PC_RETURN_IF_ERROR(ReadPage(cur, &buf));
     Node n;
-    Decode(buf, &n);
+    PC_RETURN_IF_ERROR(Decode(buf, &n));
     size_t start = 0;
     if (first) {
       start = kernels::LowerBoundKV(n.leaf.data(), n.leaf.size(), lo, 0);
@@ -598,7 +718,7 @@ Status BPlusTree::CheckInvariants() const {
     stack.pop_back();
     PC_RETURN_IF_ERROR(ReadPage(item.page, &buf));
     Node n;
-    Decode(buf, &n);
+    PC_RETURN_IF_ERROR(Decode(buf, &n));
     if (n.is_leaf) {
       if (leaf_depth == 0) leaf_depth = item.depth;
       if (leaf_depth != item.depth) {
@@ -671,7 +791,7 @@ Status BPlusTree::CheckInvariants() const {
     if (cur != expect) return Status::Corruption("leaf chain out of order");
     PC_RETURN_IF_ERROR(ReadPage(cur, &buf));
     Node n;
-    Decode(buf, &n);
+    PC_RETURN_IF_ERROR(Decode(buf, &n));
     cur = n.next;
   }
   if (cur != kInvalidPageId) {

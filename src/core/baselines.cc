@@ -1,7 +1,10 @@
 #include "core/baselines.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+
+#include "kernels/search.h"
 
 namespace pathcache {
 
@@ -12,7 +15,8 @@ Status XSortedBaseline::Build(std::vector<Point> points) {
   n_ = points.size();
   if (n_ == 0) return index_.Init();
   std::sort(points.begin(), points.end(), LessByX);
-  auto info = BuildBlockList<Point>(dev_, std::span<const Point>(points));
+  auto info = BuildBlockList<Point>(dev_, std::span<const Point>(points),
+                                    offsetof(Point, x));
   if (!info.ok()) return info.status();
   pages_ = info.value().pages;
   data_ = info.value().ref;
@@ -54,6 +58,7 @@ Status XSortedBaseline::Scan(int64_t x_lo, int64_t x_hi, int64_t y_min,
   const uint32_t cap = RecordsPerPage<Point>(dev_->page_size());
   PageId page = start;
   std::vector<std::byte> buf(dev_->page_size());
+  std::vector<Point> pts;
   uint64_t walked = 0;
   while (page != kInvalidPageId) {
     PC_RETURN_IF_ERROR(CheckChainStep(walked++, dev_->live_pages()));
@@ -61,22 +66,46 @@ Status XSortedBaseline::Scan(int64_t x_lo, int64_t x_hi, int64_t y_min,
     if (stats != nullptr) ++stats->ancestor;
     BlockPageHeader hdr;
     std::memcpy(&hdr, buf.data(), sizeof(hdr));
-    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, cap));
-    std::vector<Point> pts(hdr.count);
-    std::memcpy(pts.data(), buf.data() + sizeof(hdr),
-                hdr.count * sizeof(Point));
+    PC_RETURN_IF_ERROR(
+        CheckBlockPageHeader(hdr, cap, sizeof(Point), dev_->page_size()));
     uint64_t qual = 0;
-    for (const Point& p : pts) {
-      if (p.x > x_hi) {
+    if (codec::IsPacked(hdr.count) &&
+        codec::KeyOffset(hdr.count) == offsetof(Point, x)) {
+      // v3 packed page: the ascending-x stop probes the dense key array.
+      const PackedPageView<Point> v =
+          PackedPageView<Point>::From(buf.data(), hdr);
+      const size_t lim =
+          kernels::FindFirstAbove(v.keys, sizeof(int64_t), v.count, x_hi);
+      for (size_t i = 0; i < lim; ++i) {
+        const int64_t y = v.I64Field(i, offsetof(Point, y));
+        if (v.keys[i] >= x_lo && y >= y_min) {
+          out->push_back(
+              Point{v.keys[i], y, v.U64Field(i, offsetof(Point, id))});
+          ++qual;
+        }
+      }
+      if (lim < v.count) {
         if (stats != nullptr) {
           ++(qual >= cap ? stats->useful : stats->wasteful);
           stats->records_reported = out->size();
         }
         return Status::OK();
       }
-      if (p.x >= x_lo && p.y >= y_min) {
-        out->push_back(p);
-        ++qual;
+    } else {
+      pts.clear();
+      AppendBlockRecords(buf.data(), hdr, &pts);
+      for (const Point& p : pts) {
+        if (p.x > x_hi) {
+          if (stats != nullptr) {
+            ++(qual >= cap ? stats->useful : stats->wasteful);
+            stats->records_reported = out->size();
+          }
+          return Status::OK();
+        }
+        if (p.x >= x_lo && p.y >= y_min) {
+          out->push_back(p);
+          ++qual;
+        }
       }
     }
     if (stats != nullptr) ++(qual >= cap ? stats->useful : stats->wasteful);

@@ -159,11 +159,15 @@ inline constexpr uint64_t kExtIntTreeMagic = 0x35545350'43500005ULL;
 /// `header_crc` (CRC32C over the header bytes with that field zeroed) so a
 /// single flipped bit anywhere in the header — including fields no open
 /// path interprets, like the storage breakdown — degrades to Corruption
-/// instead of a silently wrong handle.  Readers verify the CRC on every
-/// manifest (all extant stores are written by this code), accept any
-/// version <= current, and reject newer ones with Corruption instead of
-/// misparsing pages from a future writer.
-inline constexpr uint32_t kManifestFormatVersion = 3;
+/// instead of a silently wrong handle; version 4 marks stores whose block
+/// pages may use the packed (deinterleaved) page format v3 of
+/// io/page_codec.h — each block page self-describes via its count word, so
+/// readers need no per-store flag, and version-3 stores (all-interleaved)
+/// open unchanged.  Readers verify the CRC on every manifest (all extant
+/// stores are written by this code), accept any version <= current, and
+/// reject newer ones with Corruption instead of misparsing pages from a
+/// future writer.
+inline constexpr uint32_t kManifestFormatVersion = 4;
 
 struct PstManifestHeader {
   uint64_t magic = 0;

@@ -19,11 +19,9 @@ Status ReadPointBlockPage(PageDevice* dev, PageId page,
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
   PC_RETURN_IF_ERROR(
-      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size())));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(Point));
+      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size()),
+                           sizeof(Point), dev->page_size()));
+  AppendBlockRecords(buf.data(), hdr, out);
   if (next != nullptr) *next = hdr.next;
   return Status::OK();
 }
@@ -35,11 +33,9 @@ Status ReadSrcBlockPage(PageDevice* dev, PageId page,
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
   PC_RETURN_IF_ERROR(
-      CheckBlockPageHeader(hdr, RecordsPerPage<SrcPoint>(dev->page_size())));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(SrcPoint));
+      CheckBlockPageHeader(hdr, RecordsPerPage<SrcPoint>(dev->page_size()),
+                           sizeof(SrcPoint), dev->page_size()));
+  AppendBlockRecords(buf.data(), hdr, out);
   return Status::OK();
 }
 

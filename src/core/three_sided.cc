@@ -48,11 +48,9 @@ Status ReadPointBlock(PageDevice* dev, PageId page, std::vector<Point>* out,
   BlockPageHeader hdr;
   std::memcpy(&hdr, buf.data(), sizeof(hdr));
   PC_RETURN_IF_ERROR(
-      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size())));
-  size_t old = out->size();
-  out->resize(old + hdr.count);
-  std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-              hdr.count * sizeof(Point));
+      CheckBlockPageHeader(hdr, RecordsPerPage<Point>(dev->page_size()),
+                           sizeof(Point), dev->page_size()));
+  AppendBlockRecords(buf.data(), hdr, out);
   *next = hdr.next;
   return Status::OK();
 }
@@ -108,8 +106,9 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
   std::vector<Pst3NodeRec> recs(nodes.size());
   std::vector<int32_t> lefts(nodes.size()), rights(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
-    auto info =
-        BuildBlockList<Point>(dev_, std::span<const Point>(nodes[i].pts));
+    // Points pages pack on y (format v3): the descend scan's stop key.
+    auto info = BuildBlockList<Point>(
+        dev_, std::span<const Point>(nodes[i].pts), offsetof(Point, y));
     if (!info.ok()) return info.status();
     for (PageId p : info.value().pages) owned_pages_.push_back(p);
     storage_.points += info.value().pages.size();
@@ -176,8 +175,9 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
         }
       }
       std::sort(a_recs.begin(), a_recs.end(), LessByXId);
-      auto a_info =
-          BuildBlockList<SrcPoint>(dev_, std::span<const SrcPoint>(a_recs));
+      // A-cache is ascending x; x is the scan/stop key.
+      auto a_info = BuildBlockList<SrcPoint>(
+          dev_, std::span<const SrcPoint>(a_recs), offsetof(SrcPoint, x));
       if (!a_info.ok()) return a_info.status();
       for (PageId p : a_info.value().pages) owned_pages_.push_back(p);
       storage_.cache_blocks += a_info.value().pages.size();
@@ -250,7 +250,7 @@ Status ThreeSidedPst::Build(std::vector<Point> points) {
                       return GreaterByY(a.ToPoint(), b.ToPoint());
                     });
           auto s_info = BuildBlockList<SrcPoint>(
-              dev_, std::span<const SrcPoint>(s_recs));
+              dev_, std::span<const SrcPoint>(s_recs), offsetof(SrcPoint, y));
           if (!s_info.ok()) return s_info.status();
           cache.s_pages = s_info.value().pages;
           cache.s_count = s_recs.size();
@@ -393,6 +393,30 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       }
       Classify(stats, qual, src_cap);
     };
+    // v3 packed pages: stop probe over the dense ascending-x key array,
+    // qualifying records reassembled field-wise.  Same records, same stop,
+    // same accounting as scan_a_block.
+    auto scan_a_packed = [&](const PackedPageView<SrcPoint>& v) {
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      const size_t limit =
+          kernels::FindFirstAbove(v.keys, sizeof(int64_t), v.count, q.x_max);
+      if (limit < v.count) stop = true;
+      for (size_t i = 0; i < limit; ++i) {
+        if (v.keys[i] < q.x_min) continue;
+        if (right_side &&
+            seg_start + v.U32Field(i, offsetof(SrcPoint, src)) <= fork) {
+          continue;
+        }
+        const int64_t y = v.I64Field(i, offsetof(SrcPoint, y));
+        if (y >= q.y_min) {
+          out->push_back(
+              Point{v.keys[i], y, v.U64Field(i, offsetof(SrcPoint, id))});
+          ++qual;
+        }
+      }
+      Classify(stats, qual, src_cap);
+    };
     if (opts_.enable_readahead && !max_x.empty() && ah.pages > 0) {
       // Ascending x stops in the first block whose maximum exceeds x_max,
       // so the page-at-a-time scan reads exactly blocks [start..end].
@@ -406,10 +430,19 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       BlockListCursor<SrcPoint> cur(
           dev_,
           std::span<const PageId>(pages.data() + start, end - start + 1));
+      std::vector<SrcPoint> recs;
       while (!cur.done()) {
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
-        scan_a_block(recs);
+        const std::byte* page = nullptr;
+        BlockPageHeader bh;
+        PC_RETURN_IF_ERROR(cur.NextBlockRaw(&page, &bh));
+        if (codec::IsPacked(bh.count) &&
+            codec::KeyOffset(bh.count) == offsetof(SrcPoint, x)) {
+          scan_a_packed(PackedPageView<SrcPoint>::From(page, bh));
+        } else {
+          recs.clear();
+          AppendBlockRecords(page, bh, &recs);
+          scan_a_block(recs);
+        }
       }
     } else {
       // Records scanned in place via a pinned frame: one counted read per
@@ -417,7 +450,11 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       BlockPageView<SrcPoint> view;
       for (uint32_t bi = start; bi < ah.pages && !stop; ++bi) {
         PC_RETURN_IF_ERROR(view.Load(dev_, pages[bi]));
-        scan_a_block(view.records());
+        if (view.is_packed() && view.key_offset() == offsetof(SrcPoint, x)) {
+          scan_a_packed(view.packed());
+        } else {
+          scan_a_block(view.records());
+        }
       }
     }
   }
@@ -482,6 +519,29 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       }
       Classify(stats, qual, src_cap);
     };
+    auto scan_s_packed = [&](const PackedPageView<SrcPoint>& v) {
+      Bump(stats, &QueryStats::cache);
+      uint64_t qual = 0;
+      const size_t limit =
+          kernels::FindFirstBelow(v.keys, sizeof(int64_t), v.count, q.y_min);
+      if (limit < v.count) stop = true;
+      for (size_t i = 0; i < limit; ++i) {
+        const uint32_t src = v.U32Field(i, offsetof(SrcPoint, src));
+        if (src >= sib_qual.size()) {
+          bad_src = true;
+          stop = true;
+          break;
+        }
+        ++sib_qual[src];
+        const Point p{v.I64Field(i, offsetof(SrcPoint, x)), v.keys[i],
+                      v.U64Field(i, offsetof(SrcPoint, id))};
+        if (q.Contains(p)) {
+          out->push_back(p);
+          ++qual;
+        }
+      }
+      Classify(stats, qual, src_cap);
+    };
     if (opts_.enable_readahead &&
         cache.s_tails.size() == cache.s_pages.size()) {
       // Descending y stops in the first page whose tail (minimum y) falls
@@ -492,17 +552,30 @@ Status ThreeSidedPst::ProcessCache(const ThreeSidedQuery& q,
       const size_t prefix = hit == n_tails ? n_tails : hit + 1;
       BlockListCursor<SrcPoint> cur(
           dev_, std::span<const PageId>(cache.s_pages.data(), prefix));
+      std::vector<SrcPoint> recs;
       while (!cur.done()) {
-        std::vector<SrcPoint> recs;
-        PC_RETURN_IF_ERROR(cur.NextBlock(&recs));
-        scan_s_block(recs);
+        const std::byte* page = nullptr;
+        BlockPageHeader bh;
+        PC_RETURN_IF_ERROR(cur.NextBlockRaw(&page, &bh));
+        if (codec::IsPacked(bh.count) &&
+            codec::KeyOffset(bh.count) == offsetof(SrcPoint, y)) {
+          scan_s_packed(PackedPageView<SrcPoint>::From(page, bh));
+        } else {
+          recs.clear();
+          AppendBlockRecords(page, bh, &recs);
+          scan_s_block(recs);
+        }
       }
     } else {
       BlockPageView<SrcPoint> view;
       for (PageId p : cache.s_pages) {
         if (stop) break;
         PC_RETURN_IF_ERROR(view.Load(dev_, p));
-        scan_s_block(view.records());
+        if (view.is_packed() && view.key_offset() == offsetof(SrcPoint, y)) {
+          scan_s_packed(view.packed());
+        } else {
+          scan_s_block(view.records());
+        }
       }
     }
     if (bad_src) {
@@ -547,15 +620,32 @@ Status ThreeSidedPst::DescendDescendants(
     if (opts_.enable_readahead && rec.y_min >= q.y_min) {
       BlockListCursor<Point> cur(dev_, rec.points_page);
       cur.EnableChainReadahead();
+      std::vector<Point> pts;
       while (!cur.done()) {
-        std::vector<Point> pts;
-        PC_RETURN_IF_ERROR(cur.NextBlock(&pts));
+        const std::byte* page = nullptr;
+        BlockPageHeader bh;
+        PC_RETURN_IF_ERROR(cur.NextBlockRaw(&page, &bh));
         Bump(stats, &QueryStats::descendant);
         uint64_t qual = 0;
-        for (const Point& p : pts) {
-          if (q.Contains(p)) {
-            out->push_back(p);
-            ++qual;
+        if (codec::IsPacked(bh.count) &&
+            codec::KeyOffset(bh.count) == offsetof(Point, y)) {
+          const PackedPageView<Point> v = PackedPageView<Point>::From(page, bh);
+          for (size_t i = 0; i < v.count; ++i) {
+            const Point p{v.I64Field(i, offsetof(Point, x)), v.keys[i],
+                          v.U64Field(i, offsetof(Point, id))};
+            if (q.Contains(p)) {
+              out->push_back(p);
+              ++qual;
+            }
+          }
+        } else {
+          pts.clear();
+          AppendBlockRecords(page, bh, &pts);
+          for (const Point& p : pts) {
+            if (q.Contains(p)) {
+              out->push_back(p);
+              ++qual;
+            }
           }
         }
         Classify(stats, qual, pt_cap);
@@ -570,16 +660,31 @@ Status ThreeSidedPst::DescendDescendants(
         PC_RETURN_IF_ERROR(view.Load(dev_, page));
         Bump(stats, &QueryStats::descendant);
         uint64_t qual = 0;
-        const auto recs = view.records();
-        const size_t lim =
-            recs.empty() ? 0
-                         : kernels::FindFirstBelow(&recs[0].y, sizeof(Point),
-                                                   recs.size(), q.y_min);
-        if (lim < recs.size()) all = false;
-        for (const Point& p : recs.first(lim)) {
-          if (q.Contains(p)) {
-            out->push_back(p);
-            ++qual;
+        if (view.is_packed() && view.key_offset() == offsetof(Point, y)) {
+          const PackedPageView<Point> v = view.packed();
+          const size_t lim = kernels::FindFirstBelow(v.keys, sizeof(int64_t),
+                                                     v.count, q.y_min);
+          if (lim < v.count) all = false;
+          for (size_t i = 0; i < lim; ++i) {
+            const Point p{v.I64Field(i, offsetof(Point, x)), v.keys[i],
+                          v.U64Field(i, offsetof(Point, id))};
+            if (q.Contains(p)) {
+              out->push_back(p);
+              ++qual;
+            }
+          }
+        } else {
+          const auto recs = view.records();
+          const size_t lim =
+              recs.empty() ? 0
+                           : kernels::FindFirstBelow(&recs[0].y, sizeof(Point),
+                                                     recs.size(), q.y_min);
+          if (lim < recs.size()) all = false;
+          for (const Point& p : recs.first(lim)) {
+            if (q.Contains(p)) {
+              out->push_back(p);
+              ++qual;
+            }
           }
         }
         Classify(stats, qual, pt_cap);

@@ -6,9 +6,14 @@
 // records) and only the final partial block can be "wasteful".  Cover-lists,
 // X/Y-lists and the A/S caches are all BlockLists.
 //
-// On-page layout:  [BlockPageHeader][record 0][record 1]...[record k-1]
-// Pages are chained via `next`; builders also return the page-id vector so
-// callers that need random block access can keep a directory.
+// On-page layout (v2):  [BlockPageHeader][record 0][record 1]...[record k-1]
+// Builders may instead write the page-format v3 packed layout — the 8-byte
+// search key of every record deinterleaved into one dense array ahead of the
+// key-less payloads (see io/page_codec.h for the byte layout and the count
+// word's flag bits).  Both formats hold the same record count per page, and
+// every reader here decodes either transparently.  Pages are chained via
+// `next`; builders also return the page-id vector so callers that need
+// random block access can keep a directory.
 
 #ifndef PATHCACHE_IO_BLOCK_LIST_H_
 #define PATHCACHE_IO_BLOCK_LIST_H_
@@ -19,18 +24,21 @@
 #include <type_traits>
 #include <vector>
 
+#include "io/page_codec.h"
 #include "io/page_device.h"
 #include "util/mathutil.h"
 
 namespace pathcache {
 
 struct BlockPageHeader {
-  uint32_t count = 0;   // records in this page
+  uint32_t count = 0;   // count word: record count plus the v3 codec flag
+                        // bits (io/page_codec.h); codec::Count() masks them
   uint32_t contig = 0;  // id-contiguous successors: the next `contig` pages
                         // of the chain are this page's id + 1, + 2, ...
   PageId next = kInvalidPageId;
 };
 static_assert(sizeof(BlockPageHeader) == 16);
+static_assert(sizeof(BlockPageHeader) == codec::kPackedBaseLo);
 
 /// Default prefetch window (pages per batch) for readahead cursors.
 constexpr uint32_t kDefaultReadahead = 8;
@@ -51,16 +59,43 @@ constexpr uint32_t RecordsPerPage(uint32_t page_size) {
 }
 
 /// Validates a block page header read from untrusted storage: the record
-/// count must fit the page.  (A `next` pointer cannot be validated locally —
-/// chain walkers bound their step count by the device's live pages instead,
-/// so a corrupt pointer that forms a cycle degrades to Corruption rather
-/// than an infinite loop.)
+/// count must fit the page, and a v3 packed page's flag bits must be
+/// self-consistent — `rec_size`/`page_size`, when nonzero, additionally
+/// bound the key offset and the aligned-flag pad against the actual page.
+/// (A `next` pointer cannot be validated locally — chain walkers bound
+/// their step count by the device's live pages instead, so a corrupt
+/// pointer that forms a cycle degrades to Corruption rather than an
+/// infinite loop.)
 inline Status CheckBlockPageHeader(const BlockPageHeader& hdr,
-                                   uint32_t records_per_page) {
-  if (hdr.count > records_per_page) {
+                                   uint32_t records_per_page,
+                                   uint32_t rec_size = 0,
+                                   uint32_t page_size = 0) {
+  const uint32_t count = codec::Count(hdr.count);
+  if (count > records_per_page) {
     return Status::Corruption(
-        "block page record count " + std::to_string(hdr.count) +
+        "block page record count " + std::to_string(count) +
         " exceeds page capacity " + std::to_string(records_per_page));
+  }
+  if (codec::IsPacked(hdr.count)) {
+    if (rec_size != 0 && codec::KeyOffset(hdr.count) + 8 > rec_size) {
+      return Status::Corruption(
+          "packed block page key offset " +
+          std::to_string(codec::KeyOffset(hdr.count)) +
+          " exceeds record size " + std::to_string(rec_size));
+    }
+    // The aligned form spends 48 pad bytes; the arrays starting at byte 64
+    // must still fit the page (the builder's exact condition), else a
+    // corrupt aligned flag would let readers run off the frame.
+    if (rec_size != 0 && page_size != 0 &&
+        codec::PackedBase(hdr.count) == codec::kPackedBaseHi &&
+        codec::kPackedBaseHi + static_cast<uint64_t>(count) * rec_size >
+            page_size) {
+      return Status::Corruption(
+          "packed block page aligned flag set but " + std::to_string(count) +
+          " records leave no room for the alignment pad");
+    }
+  } else if (hdr.count > records_per_page) {
+    return Status::Corruption("block page count word has unknown flag bits");
   }
   return Status::OK();
 }
@@ -87,13 +122,19 @@ struct BlockListInfo {
 };
 
 /// Writes `records` as a chained BlockList.  One device write per page.
+/// `key_off`, when >= 0, names the byte offset of the record's 8-byte search
+/// key; pages are then written in the v3 packed layout (keys deinterleaved,
+/// io/page_codec.h) unless the codec is disabled.  Packing never changes
+/// page count, chain shape or counted I/O — only the in-page byte order.
 template <typename T>
 Result<BlockListInfo> BuildBlockList(PageDevice* dev,
-                                     std::span<const T> records) {
+                                     std::span<const T> records,
+                                     int key_off = -1) {
   BlockListInfo info;
   info.ref.count = records.size();
   if (records.empty()) return info;
 
+  const bool pack = key_off >= 0 && codec::PackedPagesEnabled();
   const uint32_t per_page = RecordsPerPage<T>(dev->page_size());
   const uint64_t num_pages = CeilDiv(records.size(), per_page);
   info.pages.reserve(num_pages);
@@ -118,18 +159,100 @@ Result<BlockListInfo> BuildBlockList(PageDevice* dev,
     const uint32_t here = static_cast<uint32_t>(
         std::min<uint64_t>(per_page, records.size() - off));
     BlockPageHeader hdr;
-    hdr.count = here;
     hdr.contig = contig[i];
     hdr.next = (i + 1 < num_pages) ? info.pages[i + 1] : kInvalidPageId;
     std::memset(buf.data(), 0, buf.size());
+    if (pack) {
+      const bool aligned = codec::kPackedBaseHi +
+                               static_cast<uint64_t>(here) * sizeof(T) <=
+                           dev->page_size();
+      hdr.count = codec::MakePackedCountWord(
+          here, static_cast<uint32_t>(key_off), aligned);
+      codec::EncodePackedRecords(buf.data() + codec::PackedBase(hdr.count),
+                                 records.data() + off, here, sizeof(T),
+                                 static_cast<uint32_t>(key_off));
+    } else {
+      hdr.count = here;
+      std::memcpy(buf.data() + sizeof(hdr), records.data() + off,
+                  here * sizeof(T));
+    }
     std::memcpy(buf.data(), &hdr, sizeof(hdr));
-    std::memcpy(buf.data() + sizeof(hdr), records.data() + off,
-                here * sizeof(T));
     PC_RETURN_IF_ERROR(dev->Write(info.pages[i], buf.data()));
     off += here;
   }
   return info;
 }
+
+/// Appends the records of one already-validated block page to `out`,
+/// decoding either page format.  The fixed decode point every reader
+/// funnels through: v2 pages are one memcpy, v3 packed pages reconstruct
+/// the interleaved records from the key and payload arrays.
+template <typename T>
+void AppendBlockRecords(const std::byte* page, const BlockPageHeader& hdr,
+                        std::vector<T>* out) {
+  const uint32_t count = codec::Count(hdr.count);
+  const size_t old = out->size();
+  out->resize(old + count);
+  if (count == 0) return;  // empty vector data() is null; memcpy forbids it
+  if (codec::IsPacked(hdr.count)) {
+    codec::DecodePackedRecords(page + codec::PackedBase(hdr.count),
+                               out->data() + old, count, sizeof(T),
+                               codec::KeyOffset(hdr.count));
+  } else {
+    std::memcpy(out->data() + old, page + sizeof(BlockPageHeader),
+                count * sizeof(T));
+  }
+}
+
+/// Zero-copy accessor over one v3 packed page: the dense key array plus
+/// record-order payloads.  Field offsets are given in LOGICAL record
+/// coordinates (offsetof(T, field)) and translated past the extracted key,
+/// so scan code reads fields by the same offsets in either format.
+template <typename T>
+struct PackedPageView {
+  const int64_t* keys = nullptr;
+  const std::byte* pays = nullptr;
+  uint32_t key_off = 0;
+  uint32_t count = 0;
+  static constexpr uint32_t kPayStride = sizeof(T) - 8;
+
+  /// Precondition: codec::IsPacked(hdr.count); header already validated.
+  static PackedPageView From(const std::byte* page,
+                             const BlockPageHeader& hdr) {
+    PackedPageView v;
+    v.count = codec::Count(hdr.count);
+    v.key_off = codec::KeyOffset(hdr.count);
+    const uint32_t base = codec::PackedBase(hdr.count);
+    v.keys = reinterpret_cast<const int64_t*>(page + base);
+    v.pays = page + base + static_cast<size_t>(v.count) * 8;
+    return v;
+  }
+
+  int64_t I64Field(size_t i, uint32_t field_off) const {
+    int64_t v;
+    std::memcpy(&v,
+                pays + i * kPayStride +
+                    codec::PayloadFieldOffset(key_off, field_off),
+                8);
+    return v;
+  }
+  uint64_t U64Field(size_t i, uint32_t field_off) const {
+    uint64_t v;
+    std::memcpy(&v,
+                pays + i * kPayStride +
+                    codec::PayloadFieldOffset(key_off, field_off),
+                8);
+    return v;
+  }
+  uint32_t U32Field(size_t i, uint32_t field_off) const {
+    uint32_t v;
+    std::memcpy(&v,
+                pays + i * kPayStride +
+                    codec::PayloadFieldOffset(key_off, field_off),
+                4);
+    return v;
+  }
+};
 
 /// Collects the page ids of a chain starting at `head` by following the
 /// `next` pointers.  One read per page; used by layout passes that need a
@@ -170,13 +293,9 @@ Status ReadBlockChain(PageDevice* dev, PageId head, std::vector<T>* out,
     PC_RETURN_IF_ERROR(dev->Read(id, buf.data()));
     BlockPageHeader hdr;
     std::memcpy(&hdr, buf.data(), sizeof(hdr));
-    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, cap));
-    const size_t old = out->size();
-    out->resize(old + hdr.count);
-    if (hdr.count != 0) {  // empty vector data() is null; memcpy forbids it
-      std::memcpy(out->data() + old, buf.data() + sizeof(hdr),
-                  hdr.count * sizeof(T));
-    }
+    PC_RETURN_IF_ERROR(
+        CheckBlockPageHeader(hdr, cap, sizeof(T), dev->page_size()));
+    AppendBlockRecords(buf.data(), hdr, out);
     if (walked == 1 && second_page != nullptr) *second_page = hdr.next;
     id = hdr.next;
   }
@@ -216,24 +335,59 @@ class BlockPageView {
   Status Load(PageDevice* dev, PageId id) {
     PC_RETURN_IF_ERROR(pin_.Load(dev, id));
     std::memcpy(&hdr_, pin_.data(), sizeof(hdr_));
-    return CheckBlockPageHeader(hdr_, RecordsPerPage<T>(dev->page_size()));
+    decoded_ = false;
+    return CheckBlockPageHeader(hdr_, RecordsPerPage<T>(dev->page_size()),
+                                sizeof(T), dev->page_size());
   }
 
   const BlockPageHeader& header() const { return hdr_; }
   PageId next() const { return hdr_.next; }
+  uint32_t count() const { return codec::Count(hdr_.count); }
+  bool is_packed() const { return codec::IsPacked(hdr_.count); }
 
-  /// The page's records, in place.  Valid until the next Load() or until the
-  /// view is destroyed.  (Records are written with memcpy and the frame is
-  /// new[]-aligned, so reading them through a T* is well-formed for the
-  /// trivially copyable record types block lists hold.)
+  /// Packed fast-path accessors (valid only when is_packed()): the dense
+  /// key array, the record-order payload array and its stride, and the
+  /// key's byte offset within the logical record.  Scans that only need
+  /// the keys plus a field or two stay zero-copy on packed pages.
+  const int64_t* keys() const {
+    return reinterpret_cast<const int64_t*>(pin_.data() +
+                                            codec::PackedBase(hdr_.count));
+  }
+  const std::byte* payloads() const {
+    return pin_.data() + codec::PackedBase(hdr_.count) +
+           static_cast<size_t>(count()) * 8;
+  }
+  static constexpr uint32_t payload_stride() { return sizeof(T) - 8; }
+  uint32_t key_offset() const { return codec::KeyOffset(hdr_.count); }
+  PackedPageView<T> packed() const {
+    return PackedPageView<T>::From(pin_.data(), hdr_);
+  }
+
+  /// The page's records.  For v2 pages this is the zero-copy in-place view;
+  /// a v3 packed page is decoded (once per Load) into an internal scratch
+  /// buffer.  Valid until the next Load() or until the view is destroyed.
+  /// (Records are written with memcpy and the frame is new[]-aligned, so
+  /// reading them through a T* is well-formed for the trivially copyable
+  /// record types block lists hold.)
   std::span<const T> records() const {
-    return {reinterpret_cast<const T*>(pin_.data() + sizeof(BlockPageHeader)),
-            hdr_.count};
+    if (!is_packed()) {
+      return {
+          reinterpret_cast<const T*>(pin_.data() + sizeof(BlockPageHeader)),
+          count()};
+    }
+    if (!decoded_) {
+      scratch_.clear();
+      AppendBlockRecords(pin_.data(), hdr_, &scratch_);
+      decoded_ = true;
+    }
+    return {scratch_.data(), scratch_.size()};
   }
 
  private:
   PagePin pin_;
   BlockPageHeader hdr_;
+  mutable std::vector<T> scratch_;
+  mutable bool decoded_ = false;
 };
 
 /// Forward scanner over a BlockList.  Every page is read exactly once and
@@ -243,12 +397,20 @@ class BlockPageView {
 ///  - Plain chain mode (default): one device Read per NextBlock().
 ///  - Chain readahead (EnableChainReadahead): when a page's header says the
 ///    next `contig` pages are id-adjacent, the cursor fetches up to
-///    window-1 of them in one ReadBatch.  ONLY correct when the caller will
+///    window-1 of them in one batch.  ONLY correct when the caller will
 ///    consume the whole remainder of the list — an early-stopping scan
 ///    would pay for pages it never looks at.
 ///  - Directory mode: the caller hands the exact pages the scan will
 ///    consume (e.g. a tail-key-computed prefix of a cache list) and the
 ///    cursor batches through them window pages at a time.
+///
+/// Multi-page fetches are pipelined: the cursor submits each batch through
+/// the device's async engine (AsyncBatchReader) and only awaits it when the
+/// caller asks for the batch's first page, so on an async-capable device the
+/// transfer lands underneath the caller's in-page compute.  In directory
+/// mode the NEXT window is submitted as soon as the current one is awaited.
+/// Devices without an async engine degrade to the blocking ReadBatch at
+/// submit time — same pages, same counted reads, no overlap.
 template <typename T>
 class BlockListCursor {
  public:
@@ -277,12 +439,20 @@ class BlockListCursor {
   }
 
   bool done() const {
-    if (!dir_.empty()) return dir_pos_ >= dir_.size() && batch_pos_ >= batch_cnt_;
-    return batch_pos_ >= batch_cnt_ && next_ == kInvalidPageId;
+    if (!dir_.empty()) {
+      return dir_pos_ >= dir_.size() && !pending_ready_ &&
+             batch_pos_ >= batch_cnt_;
+    }
+    return batch_pos_ >= batch_cnt_ && !pending_ready_ &&
+           next_ == kInvalidPageId;
   }
 
-  /// Appends the next page's records to `out`; no-op once done().
-  Status NextBlock(std::vector<T>* out) {
+  /// Advances to the next page and exposes its raw bytes (header already
+  /// validated into `*hdr`).  The pointer stays valid until the next
+  /// NextBlockRaw/NextBlock call; use the io/page_codec.h accessors (or
+  /// AppendBlockRecords) to reach the records in either page format.
+  Status NextBlockRaw(const std::byte** page_out, BlockPageHeader* hdr_out) {
+    *page_out = nullptr;
     if (done()) return Status::OK();
     // In chain mode a corrupt `next` pointer can form a cycle; no walk can
     // legitimately visit more pages than the device holds.
@@ -294,14 +464,19 @@ class BlockListCursor {
     if (batch_pos_ < batch_cnt_) {
       page = batch_buf_.data() + static_cast<size_t>(batch_pos_) * psz;
       ++batch_pos_;
+    } else if (pending_ready_) {
+      PC_RETURN_IF_ERROR(PromotePending());
+      page = batch_buf_.data();
+      batch_pos_ = 1;
+      if (!dir_.empty()) PC_RETURN_IF_ERROR(SubmitNextDirWindow());
     } else if (!dir_.empty()) {
-      const size_t n =
-          std::min<size_t>(readahead_, dir_.size() - dir_pos_);
-      PC_RETURN_IF_ERROR(FetchBatch(
-          std::span<const PageId>(dir_.data() + dir_pos_, n)));
+      const size_t n = std::min<size_t>(readahead_, dir_.size() - dir_pos_);
+      PC_RETURN_IF_ERROR(
+          FetchBatch(std::span<const PageId>(dir_.data() + dir_pos_, n)));
       dir_pos_ += n;
       page = batch_buf_.data();
       batch_pos_ = 1;
+      PC_RETURN_IF_ERROR(SubmitNextDirWindow());
     } else {
       PC_RETURN_IF_ERROR(dev_->Read(next_, buf_.data()));
       page = buf_.data();
@@ -310,41 +485,84 @@ class BlockListCursor {
         std::memcpy(&hdr, buf_.data(), sizeof(hdr));
         if (hdr.contig > 0) {
           const uint32_t n = std::min(hdr.contig, readahead_ - 1);
-          std::vector<PageId> run(n);
-          for (uint32_t k = 0; k < n; ++k) run[k] = next_ + 1 + k;
-          PC_RETURN_IF_ERROR(FetchBatch(run));
-          batch_pos_ = 0;  // current page came from buf_, batch is all pending
+          run_ids_.resize(n);
+          for (uint32_t k = 0; k < n; ++k) run_ids_[k] = next_ + 1 + k;
+          // The run lands while the caller works on the page in buf_.
+          PC_RETURN_IF_ERROR(SubmitPending(run_ids_));
         }
       }
     }
     ++blocks_read_;
     BlockPageHeader hdr;
     std::memcpy(&hdr, page, sizeof(hdr));
-    PC_RETURN_IF_ERROR(CheckBlockPageHeader(hdr, RecordsPerPage<T>(psz)));
-    const size_t old = out->size();
-    out->resize(old + hdr.count);
-    if (hdr.count != 0) {  // empty vector data() is null; memcpy forbids it
-      std::memcpy(out->data() + old, page + sizeof(hdr),
-                  hdr.count * sizeof(T));
-    }
+    PC_RETURN_IF_ERROR(
+        CheckBlockPageHeader(hdr, RecordsPerPage<T>(psz), sizeof(T), psz));
     next_ = hdr.next;
+    *page_out = page;
+    *hdr_out = hdr;
+    return Status::OK();
+  }
+
+  /// Appends the next page's records to `out`; no-op once done().
+  Status NextBlock(std::vector<T>* out) {
+    const std::byte* page = nullptr;
+    BlockPageHeader hdr;
+    PC_RETURN_IF_ERROR(NextBlockRaw(&page, &hdr));
+    if (page != nullptr) AppendBlockRecords(page, hdr, out);
     return Status::OK();
   }
 
   uint64_t blocks_read() const { return blocks_read_; }
 
  private:
+  // Blocking fetch into the serving buffer (first directory window, or a
+  // single page).  A single page gains nothing from the batch path; keep
+  // the device's batch_reads counter meaningful (one tick == one
+  // multi-page batch).
   Status FetchBatch(std::span<const PageId> ids) {
     batch_buf_.resize(ids.size() * static_cast<size_t>(dev_->page_size()));
     if (ids.size() == 1) {
-      // A single page gains nothing from the batch path; keep the device's
-      // batch_reads counter meaningful (one tick == one multi-page batch).
       PC_RETURN_IF_ERROR(dev_->Read(ids[0], batch_buf_.data()));
     } else {
       PC_RETURN_IF_ERROR(dev_->ReadBatch(ids, batch_buf_.data()));
     }
     batch_pos_ = 0;
     batch_cnt_ = ids.size();
+    return Status::OK();
+  }
+
+  // Starts filling the pending buffer with `ids` (async when the device
+  // supports it).  Single pages stay on the Read path for counter parity.
+  Status SubmitPending(std::span<const PageId> ids) {
+    pending_buf_.resize(ids.size() * static_cast<size_t>(dev_->page_size()));
+    if (ids.size() == 1) {
+      PC_RETURN_IF_ERROR(dev_->Read(ids[0], pending_buf_.data()));
+    } else {
+      PC_RETURN_IF_ERROR(async_.Start(dev_, ids, pending_buf_.data()));
+    }
+    pending_cnt_ = ids.size();
+    pending_ready_ = true;
+    return Status::OK();
+  }
+
+  // Awaits the pending batch and makes it the serving batch.
+  Status PromotePending() {
+    PC_RETURN_IF_ERROR(async_.Wait());
+    batch_buf_.swap(pending_buf_);
+    batch_pos_ = 0;
+    batch_cnt_ = pending_cnt_;
+    pending_cnt_ = 0;
+    pending_ready_ = false;
+    return Status::OK();
+  }
+
+  // Directory mode: pipeline the next window while the current one serves.
+  Status SubmitNextDirWindow() {
+    if (dir_pos_ >= dir_.size()) return Status::OK();
+    const size_t n = std::min<size_t>(readahead_, dir_.size() - dir_pos_);
+    PC_RETURN_IF_ERROR(
+        SubmitPending(std::span<const PageId>(dir_.data() + dir_pos_, n)));
+    dir_pos_ += n;
     return Status::OK();
   }
 
@@ -357,6 +575,11 @@ class BlockListCursor {
   std::vector<std::byte> batch_buf_;
   size_t batch_pos_ = 0;
   size_t batch_cnt_ = 0;
+  std::vector<std::byte> pending_buf_;  // in-flight double buffer
+  size_t pending_cnt_ = 0;
+  bool pending_ready_ = false;
+  std::vector<PageId> run_ids_;
+  AsyncBatchReader async_;
   uint64_t blocks_read_ = 0;
 };
 

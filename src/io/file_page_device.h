@@ -24,6 +24,7 @@
 #ifndef PATHCACHE_IO_FILE_PAGE_DEVICE_H_
 #define PATHCACHE_IO_FILE_PAGE_DEVICE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,19 @@ class FilePageDevice final : public PageDevice {
   Status Free(PageId id) override;
   Status Read(PageId id, std::byte* buf) override;
   Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
+
+  /// Truly-async ReadBatch: SubmitBatch coalesces exactly like ReadBatch and
+  /// hands every run to the io_uring WITHOUT waiting, so the kernel reads
+  /// under the caller's compute; AwaitBatch blocks until the batch landed.
+  /// Returns NotSupported when the io_uring backend is unavailable (callers
+  /// fall back to ReadBatch via AsyncBatchReader).  IoStats land at
+  /// AwaitBatch with totals identical to ReadBatch on the same ids;
+  /// read_syscalls() counts submitted ring ops as it does for the
+  /// synchronous uring path.
+  Result<uint64_t> SubmitBatch(std::span<const PageId> ids,
+                               std::byte* bufs) override;
+  Status AwaitBatch(uint64_t ticket) override;
+
   Status Write(PageId id, const std::byte* buf) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override {
@@ -113,6 +127,17 @@ class FilePageDevice final : public PageDevice {
   ReadBackend backend_ = ReadBackend::kPreadv;
   std::unique_ptr<UringReader> uring_;
   bool uring_failed_ = false;
+
+  // One outstanding SubmitBatch.  `token` is the ring's handle; `n` defers
+  // the IoStats bump to AwaitBatch; `submitted` is false for the empty
+  // batch, which never touches the ring.
+  struct InflightBatch {
+    uint64_t token = 0;
+    size_t n = 0;
+    bool submitted = false;
+  };
+  std::map<uint64_t, InflightBatch> inflight_;
+  uint64_t next_ticket_ = 1;
 };
 
 }  // namespace pathcache

@@ -1,0 +1,147 @@
+// Versioned on-page record codec for BlockList pages — page format v3.
+//
+// v2 pages (every store written before the manifest v4 bump) interleave
+// fixed-size records after the 16-byte BlockPageHeader:
+//
+//   [BlockPageHeader][rec 0][rec 1]...[rec k-1]
+//
+// A bounds probe over such a page strides sizeof(T) bytes per step, touching
+// one cache line per record visited.  v3 deinterleaves the 8-byte search key
+// out of each record so the keys form one densely packed array (8 keys per
+// cache line) followed by the key-less payloads in the same order:
+//
+//   [BlockPageHeader][pad?][key 0..k-1][payload 0..payload k-1]
+//
+// The pad grows the key array's start from byte 16 to byte 64 — a full cache
+// line boundary on the 64-byte-aligned frames every in-memory page lives on
+// (io/aligned.h) — but only when the page has 48 spare bytes; a full page
+// keeps base 16 so v3 NEVER changes how many records fit a page.  That is
+// the codec's load-bearing invariant: RecordsPerPage is identical across
+// formats, so chain shapes, counted reads and every theorem-bound quantity
+// are bit-identical codec-on and codec-off.
+//
+// Pages are self-describing via the header's count word, so v3 and v2 pages
+// coexist in one store and old stores open unchanged:
+//
+//   bit  31     packed flag (0 = v2 interleaved, count word IS the count)
+//   bits 30-24  key byte-offset within the logical record, divided by 8
+//   bit  23     aligned flag (key array starts at byte 64, not 16)
+//   bits 22-0   record count
+//
+// A v2 writer can never set bit 31: the count word equals the record count,
+// bounded by RecordsPerPage < 2^23 for any supported page size.  Layout
+// clustering (io/layout.h) rewrites only `contig` and `next`, so the flag
+// bits survive relocation untouched.
+
+#ifndef PATHCACHE_IO_PAGE_CODEC_H_
+#define PATHCACHE_IO_PAGE_CODEC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace pathcache {
+namespace codec {
+
+inline constexpr uint32_t kPackedFlag = 0x8000'0000u;
+inline constexpr uint32_t kAlignedFlag = 0x0080'0000u;
+inline constexpr uint32_t kKeyOffShift = 24;
+inline constexpr uint32_t kKeyOffMask = 0x7Fu;
+inline constexpr uint32_t kCountMask = 0x007F'FFFFu;
+
+/// Byte offset of the packed key array within the page.
+inline constexpr uint32_t kPackedBaseLo = 16;  // == sizeof(BlockPageHeader)
+inline constexpr uint32_t kPackedBaseHi = 64;  // cache-line aligned start
+
+inline bool IsPacked(uint32_t count_word) {
+  return (count_word & kPackedFlag) != 0;
+}
+
+/// Record count for either format.  v2 count words never reach 2^23, so the
+/// mask is a no-op on them.
+inline uint32_t Count(uint32_t count_word) { return count_word & kCountMask; }
+
+/// Key field's byte offset within the logical record (packed pages only).
+inline uint32_t KeyOffset(uint32_t count_word) {
+  return ((count_word >> kKeyOffShift) & kKeyOffMask) * 8u;
+}
+
+/// Page offset of the packed key array (packed pages only).
+inline uint32_t PackedBase(uint32_t count_word) {
+  return (count_word & kAlignedFlag) != 0 ? kPackedBaseHi : kPackedBaseLo;
+}
+
+inline uint32_t MakePackedCountWord(uint32_t count, uint32_t key_off,
+                                    bool aligned) {
+  return kPackedFlag | (aligned ? kAlignedFlag : 0u) |
+         ((key_off / 8u) << kKeyOffShift) | (count & kCountMask);
+}
+
+/// Byte offset of a logical-record field within the key-less payload.
+/// Precondition: the field does not overlap the extracted key.
+inline constexpr uint32_t PayloadFieldOffset(uint32_t key_off,
+                                             uint32_t field_off) {
+  return field_off < key_off ? field_off : field_off - 8u;
+}
+
+/// Writes `n` records of `rec_size` bytes in packed form at `dst` (the page
+/// offset given by PackedBase): keys first, then the key-less payloads.
+inline void EncodePackedRecords(std::byte* dst, const void* recs, size_t n,
+                                uint32_t rec_size, uint32_t key_off) {
+  const uint32_t pay_size = rec_size - 8;
+  const char* src = static_cast<const char*>(recs);
+  std::byte* keys = dst;
+  std::byte* pays = dst + n * 8;
+  for (size_t i = 0; i < n; ++i) {
+    const char* r = src + i * rec_size;
+    std::memcpy(keys + i * 8, r + key_off, 8);
+    std::byte* p = pays + i * pay_size;
+    std::memcpy(p, r, key_off);
+    std::memcpy(p + key_off, r + key_off + 8, rec_size - key_off - 8);
+  }
+}
+
+/// Reconstructs `n` interleaved records from a packed image at `src`.
+inline void DecodePackedRecords(const std::byte* src, void* out, size_t n,
+                                uint32_t rec_size, uint32_t key_off) {
+  const uint32_t pay_size = rec_size - 8;
+  char* dst = static_cast<char*>(out);
+  const std::byte* keys = src;
+  const std::byte* pays = src + n * 8;
+  for (size_t i = 0; i < n; ++i) {
+    char* r = dst + i * rec_size;
+    const std::byte* p = pays + i * pay_size;
+    std::memcpy(r, p, key_off);
+    std::memcpy(r + key_off, keys + i * 8, 8);
+    std::memcpy(r + key_off + 8, p + key_off, rec_size - key_off - 8);
+  }
+}
+
+namespace internal {
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+inline std::atomic<int> g_packed_override{-1};
+}  // namespace internal
+
+/// True when builders should write v3 packed pages.  Defaults on; the
+/// PATHCACHE_DISABLE_V3 environment variable (any non-empty value) turns it
+/// off — readers are unaffected, pages self-describe.
+inline bool PackedPagesEnabled() {
+  const int ov = internal::g_packed_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  static const bool env_disabled = [] {
+    const char* v = std::getenv("PATHCACHE_DISABLE_V3");
+    return v != nullptr && v[0] != '\0';
+  }();
+  return !env_disabled;
+}
+
+/// Test/bench override; pass -1 to restore environment-driven behavior.
+inline void SetPackedPagesEnabled(int enabled) {
+  internal::g_packed_override.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace codec
+}  // namespace pathcache
+
+#endif  // PATHCACHE_IO_PAGE_CODEC_H_

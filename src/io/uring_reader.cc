@@ -293,9 +293,214 @@ Status UringReader::ReadRuns(int fd, std::span<Run> runs, uint64_t* ops) {
   return first_error;
 }
 
+// One in-flight BeginBatch.  The iovecs live here (not in the caller) so
+// short-completion adjustment and resubmission never race caller memory;
+// the buffers they point AT stay caller-owned until WaitBatch returns.
+struct UringReader::Batch {
+  int fd = -1;
+  std::vector<struct iovec> iov;
+  std::vector<Run> runs;
+  std::vector<uint32_t> pending;  // run indices awaiting (re)submission
+  size_t inflight = 0;            // this batch's SQEs inside the kernel
+  size_t done = 0;
+  uint64_t* ops = nullptr;
+  Status first_error;
+};
+
+namespace {
+
+// user_data packs (batch token << 24 | run index); 2^24 runs per batch is
+// far above kMaxInflightBatches * any real batch size.
+constexpr uint64_t kRunBits = 24;
+constexpr uint64_t kRunMask = (uint64_t{1} << kRunBits) - 1;
+
+}  // namespace
+
+Result<uint64_t> UringReader::BeginBatch(int fd, std::vector<struct iovec> iov,
+                                         std::vector<Run> runs,
+                                         uint64_t* ops) {
+  if (runs.size() > kRunMask) {
+    return Status::InvalidArgument("batch has too many runs");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t token = next_token_++;
+  auto b = std::make_unique<Batch>();
+  b->fd = fd;
+  b->iov = std::move(iov);
+  b->runs = std::move(runs);
+  b->ops = ops;
+  b->pending.reserve(b->runs.size());
+  for (size_t i = b->runs.size(); i > 0; --i) {
+    b->pending.push_back(static_cast<uint32_t>(i - 1));
+  }
+  batches_.emplace(token, std::move(b));
+  // Hand the kernel as much of the batch as the ring accepts right now; the
+  // enter must NOT wait — the caller's compute happens between here and
+  // WaitBatch.  A failed enter is not fatal yet: WaitBatch retries.
+  (void)PumpLocked(/*wait=*/false);
+  return token;
+}
+
+Status UringReader::PumpLocked(bool wait) {
+  Rings& rg = *rings_;
+  // Top up the SQ: oldest batch first, stop when full.  The bound counts
+  // completions the kernel still owes us (ring_inflight_) on top of the
+  // unconsumed SQEs, so total outstanding work never exceeds the SQ size —
+  // which keeps the CQ ring (>= SQ size) from overflowing even though many
+  // batches share it.
+  unsigned tail = LoadRelaxed(rg.sq_tail);
+  for (auto& [token, bp] : batches_) {
+    Batch& b = *bp;
+    if (!b.first_error.ok()) continue;
+    while (!b.pending.empty() &&
+           ring_inflight_ + (tail - LoadAcquire(rg.sq_head)) < rg.sq_entries) {
+      const uint32_t ri = b.pending.back();
+      b.pending.pop_back();
+      Run& run = b.runs[ri];
+      const unsigned idx = tail & *rg.sq_mask;
+      struct io_uring_sqe* sqe = &rg.sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READV;
+      sqe->fd = b.fd;
+      sqe->addr = reinterpret_cast<uint64_t>(run.iov);
+      sqe->len = static_cast<uint32_t>(run.iovcnt);
+      sqe->off = static_cast<uint64_t>(run.offset);
+      sqe->user_data = (token << kRunBits) | ri;
+      rg.sq_array[idx] = idx;
+      ++tail;
+      ++b.inflight;
+      if (b.ops != nullptr) ++*b.ops;
+    }
+  }
+  StoreRelease(rg.sq_tail, tail);
+
+  // Recomputed from the ring so an EINTR retry never double-counts entries
+  // the kernel already consumed.
+  const unsigned unconsumed = LoadRelaxed(rg.sq_tail) - LoadAcquire(rg.sq_head);
+  const unsigned min_complete = wait && ring_inflight_ + unconsumed > 0 ? 1 : 0;
+  const int ret = SysUringEnter(rg.fd, unconsumed, min_complete,
+                                IORING_ENTER_GETEVENTS);
+  if (ret < 0) {
+    // EBUSY = completion-queue backpressure: drain below and retry later.
+    if (errno != EINTR && errno != EBUSY) {
+      return Status::IoError(std::string("io_uring_enter: ") +
+                             std::strerror(errno));
+    }
+  } else {
+    ring_inflight_ += static_cast<uint64_t>(ret);
+  }
+
+  // Drain every available completion and route it home by token.
+  unsigned chead = LoadRelaxed(rg.cq_head);
+  const unsigned ctail = LoadAcquire(rg.cq_tail);
+  while (chead != ctail) {
+    const struct io_uring_cqe& cqe = rg.cqes[chead & *rg.cq_mask];
+    const uint64_t token = cqe.user_data >> kRunBits;
+    const auto ri = static_cast<uint32_t>(cqe.user_data & kRunMask);
+    const int res = cqe.res;
+    ++chead;
+    --ring_inflight_;
+    auto it = batches_.find(token);
+    if (it == batches_.end()) continue;  // defensive; tokens await their CQEs
+    Batch& b = *it->second;
+    --b.inflight;
+    Run& run = b.runs[ri];
+    if (res < 0) {
+      if ((res == -EINTR || res == -EAGAIN) && b.first_error.ok()) {
+        b.pending.push_back(ri);
+        continue;
+      }
+      if (b.first_error.ok()) {
+        b.first_error = Status::IoError(
+            "io_uring read at offset " + std::to_string(run.offset) + ": " +
+            std::strerror(-res));
+      }
+      ++b.done;
+      continue;
+    }
+    if (res == 0) {
+      // Same mapping as the synchronous helpers: EOF mid-run means the
+      // file is truncated relative to the page table.
+      if (b.first_error.ok()) {
+        b.first_error = Status::Corruption(
+            "short read at offset " + std::to_string(run.offset) +
+            ": unexpected end of file");
+      }
+      ++b.done;
+      continue;
+    }
+    size_t got = static_cast<size_t>(res);
+    run.offset += res;
+    while (got > 0 && run.iovcnt > 0) {
+      if (got >= run.iov[0].iov_len) {
+        got -= run.iov[0].iov_len;
+        ++run.iov;
+        --run.iovcnt;
+      } else {
+        run.iov[0].iov_base = static_cast<char*>(run.iov[0].iov_base) + got;
+        run.iov[0].iov_len -= got;
+        got = 0;
+      }
+    }
+    if (run.iovcnt == 0) {
+      ++b.done;
+    } else if (b.first_error.ok()) {
+      b.pending.push_back(ri);  // short completion: resubmit the remainder
+    } else {
+      ++b.done;
+    }
+  }
+  StoreRelease(rg.cq_head, chead);
+
+  // Stop-the-batch per batch: once a batch errors, its never-submitted runs
+  // are abandoned (other batches are untouched).
+  for (auto& [token, bp] : batches_) {
+    Batch& b = *bp;
+    if (!b.first_error.ok() && !b.pending.empty()) {
+      b.done += b.pending.size();
+      b.pending.clear();
+    }
+  }
+  return Status::OK();
+}
+
+Status UringReader::WaitBatch(uint64_t token) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = batches_.find(token);
+  if (it == batches_.end()) {
+    return Status::InvalidArgument("unknown io_uring batch token");
+  }
+  Batch& b = *it->second;
+  int enter_failures = 0;
+  // done == runs.size() implies none of this batch's SQEs remain in the
+  // kernel (each run is completed, resubmitted-then-completed, or abandoned
+  // before submission), so erasing the batch below never frees iovecs the
+  // kernel could still write through.
+  while (b.done < b.runs.size()) {
+    Status s = PumpLocked(/*wait=*/true);
+    if (!s.ok()) {
+      // A persistently failing enter with submissions in flight would spin
+      // forever; give the kernel a bounded number of chances.
+      if (++enter_failures > 100) {
+        if (b.first_error.ok()) b.first_error = s;
+        if (b.inflight == 0) break;  // nothing of ours in the kernel: safe
+        // Poisoned ring with our SQEs still inside: leak the batch rather
+        // than hand the kernel dangling iovecs.
+        Status out = b.first_error;
+        (void)batches_.extract(it).mapped().release();
+        return out;
+      }
+    }
+  }
+  Status out = b.first_error;
+  batches_.erase(it);
+  return out;
+}
+
 #else  // !PATHCACHE_HAVE_URING
 
 struct UringReader::Rings {};
+struct UringReader::Batch {};
 
 bool UringReader::SystemSupported() { return false; }
 
@@ -310,6 +515,21 @@ Result<std::unique_ptr<UringReader>> UringReader::Create(unsigned /*entries*/) {
 
 Status UringReader::ReadRuns(int /*fd*/, std::span<Run> /*runs*/,
                              uint64_t* /*ops*/) {
+  return Status::NotSupported("io_uring unavailable on this platform");
+}
+
+Result<uint64_t> UringReader::BeginBatch(int /*fd*/,
+                                         std::vector<struct iovec> /*iov*/,
+                                         std::vector<Run> /*runs*/,
+                                         uint64_t* /*ops*/) {
+  return Status::NotSupported("io_uring unavailable on this platform");
+}
+
+Status UringReader::WaitBatch(uint64_t /*token*/) {
+  return Status::NotSupported("io_uring unavailable on this platform");
+}
+
+Status UringReader::PumpLocked(bool /*wait*/) {
   return Status::NotSupported("io_uring unavailable on this platform");
 }
 

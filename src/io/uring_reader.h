@@ -26,8 +26,11 @@
 #include <sys/uio.h>
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "util/status.h"
 
@@ -63,12 +66,55 @@ class UringReader {
   /// once per submitted read operation, retries included.
   Status ReadRuns(int fd, std::span<Run> runs, uint64_t* ops);
 
+  /// Truly-asynchronous batch API, the submit half.  Queues every run for
+  /// reading from `fd`, submits as many as the ring accepts WITHOUT waiting
+  /// for completions, and returns a token for WaitBatch.  The kernel reads
+  /// under the caller's subsequent compute — that overlap is the entire
+  /// point of the split.
+  ///
+  /// `runs[i].iov` must point into `iov`; both vectors move into the reader
+  /// and live until WaitBatch returns, so the in-place iovec adjustment on
+  /// short completions never touches caller memory.  The target buffers the
+  /// iovecs address ARE caller-owned and must stay alive until WaitBatch.
+  ///
+  /// Thread-safe: any number of batches may be in flight concurrently,
+  /// submitted and awaited from different threads.  Submission-queue access
+  /// serializes behind one internal mutex and each completion routes back
+  /// to its batch via the io_uring user_data field (token | run index).
+  ///
+  /// `*ops` is bumped once per submitted read operation (retries included),
+  /// under the internal mutex, with the same totals ReadRuns would count;
+  /// the pointee must outlive WaitBatch.
+  Result<uint64_t> BeginBatch(int fd, std::vector<struct iovec> iov,
+                              std::vector<Run> runs, uint64_t* ops);
+
+  /// Drives the ring until the batch behind `token` has fully completed
+  /// (or errored AND fully drained — the kernel writes into caller buffers,
+  /// so no completion may outlive this call), then returns the batch's
+  /// status: first error wins, short completions resubmit, -EINTR/-EAGAIN
+  /// retry, zero-length completions map to the same Corruption as the
+  /// synchronous path.  Each token must be awaited exactly once.
+  Status WaitBatch(uint64_t token);
+
  private:
   struct Rings;  // mmap'd SQ/CQ state, defined in the .cc
+  struct Batch;  // one in-flight BeginBatch, defined in the .cc
 
   explicit UringReader(std::unique_ptr<Rings> rings);
 
+  /// Caller holds mu_.  Tops up the SQ from every live batch's pending
+  /// runs, enters the kernel (waiting for >= 1 completion iff `wait`), and
+  /// drains + routes every available completion.  Returns the status of the
+  /// enter machinery itself; per-run outcomes land in their batches.
+  Status PumpLocked(bool wait);
+
   std::unique_ptr<Rings> rings_;
+  std::mutex mu_;
+  // Ordered so the oldest batch tops up the SQ first; unique_ptr keeps
+  // Batch an incomplete type here.
+  std::map<uint64_t, std::unique_ptr<Batch>> batches_;
+  uint64_t next_token_ = 1;
+  uint64_t ring_inflight_ = 0;  // SQEs handed to the kernel, not yet completed
 };
 
 }  // namespace pathcache

@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "core/pathcache.h"
+#include "io/checksum_page_device.h"
+#include "io/counting_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "io/uring_reader.h"
 #include "util/mathutil.h"
 #include "workload/generators.h"
 #include "workload/oracle.h"
@@ -112,6 +116,71 @@ TEST(DeviceIntegrationTest, StabbingOnRealFileWithPool) {
     ASSERT_TRUE(idx.Stab(q, &got).ok());
     ASSERT_TRUE(SameResult(got, BruteStab(ivs, q)));
   }
+}
+
+TEST(DeviceIntegrationTest, AsyncBatchThroughFullDecoratorStack) {
+  // File -> Checksum -> SharedBufferPool -> CountingPageDevice: the serving
+  // stack.  SubmitBatch/AwaitBatch through all four layers must deliver the
+  // same bytes and the same per-layer counts as ReadBatch on the same ids.
+  if (!UringReader::SystemSupported()) {
+    GTEST_SKIP() << "io_uring unavailable; the stack then reports "
+                    "NotSupported and AsyncBatchReader covers the fallback";
+  }
+  constexpr uint32_t kPhysPage = 512;
+  auto r = FilePageDevice::Create(::testing::TempDir() + "/pc_async_stack.db",
+                                  kPhysPage);
+  ASSERT_TRUE(r.ok());
+  auto file = std::move(r).value();
+  if (file->read_backend() != FilePageDevice::ReadBackend::kIoUring) {
+    GTEST_SKIP() << "uring backend disabled in this environment";
+  }
+  ChecksumPageDevice check(file.get());
+  const uint32_t payload = check.page_size();
+
+  std::vector<PageId> ids;
+  std::vector<std::byte> page(payload);
+  for (int i = 0; i < 24; ++i) {
+    PageId id = check.Allocate().value();
+    for (uint32_t j = 0; j < payload; ++j) {
+      page[j] = static_cast<std::byte>((id * 37u + j) & 0xFF);
+    }
+    ASSERT_TRUE(check.Write(id, page.data()).ok());
+    ids.push_back(id);
+  }
+
+  SharedBufferPool pool(&check, 8, 4);  // small: most of the batch misses
+  CountingPageDevice counter(&pool);
+  std::vector<PageId> batch{ids[0], ids[5], ids[6], ids[7], ids[20], ids[13]};
+
+  std::vector<std::byte> via_sync(batch.size() * payload);
+  ASSERT_TRUE(counter.ReadBatch(batch, via_sync.data()).ok());
+  const uint64_t sync_reads = counter.stats().reads;
+  const uint64_t sync_hits = pool.hits();
+  const uint64_t sync_misses = pool.misses();
+
+  pool.ClearAndResetStats();
+  counter.ResetStats();
+  std::vector<std::byte> via_async(batch.size() * payload, std::byte{0xEE});
+  auto t = counter.SubmitBatch(batch, via_async.data());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_TRUE(counter.AwaitBatch(t.value()).ok());
+
+  EXPECT_EQ(
+      std::memcmp(via_sync.data(), via_async.data(), via_sync.size()), 0);
+  EXPECT_EQ(counter.stats().reads, sync_reads);
+  EXPECT_EQ(counter.stats().batch_reads, 1u);
+  EXPECT_EQ(pool.hits(), sync_hits);
+  EXPECT_EQ(pool.misses(), sync_misses);
+
+  // Warm repeat: every page was admitted at await, so the async batch is
+  // all hits and completes at submit without touching the file.
+  file->ResetStats();
+  auto t2 = counter.SubmitBatch(batch, via_async.data());
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  ASSERT_TRUE(counter.AwaitBatch(t2.value()).ok());
+  EXPECT_EQ(file->stats().reads, 0u);
+  EXPECT_EQ(
+      std::memcmp(via_sync.data(), via_async.data(), via_sync.size()), 0);
 }
 
 }  // namespace

@@ -241,7 +241,8 @@ TEST(DynamicPstTest, GlobalRebuildTriggers) {
   }
   EXPECT_GE(pst.rebuilds(), 1u);
   std::vector<Point> all;
-  ASSERT_TRUE(pst.QueryTwoSided({INT64_MIN, INT64_MIN}, &all).ok());
+  Status qs = pst.QueryTwoSided({INT64_MIN, INT64_MIN}, &all);
+  ASSERT_TRUE(qs.ok()) << qs.message();
   EXPECT_EQ(all.size(), 6500u);
 }
 

@@ -284,5 +284,112 @@ TEST_F(SharedBufferPoolTest, ConcurrentPinnedReadsStayCoherent) {
   EXPECT_EQ(pool.hits() + pool.misses(), pool.stats().reads);
 }
 
+// --- SubmitBatch/AwaitBatch through the pool ------------------------------
+
+TEST_F(SharedBufferPoolTest, AsyncBatchFallsBackWhenInnerIsSyncOnly) {
+  // MemPageDevice has no async engine.  The FIRST pool SubmitBatch discovers
+  // that mid-batch (counters already moved), finishes with a blocking inner
+  // read, and memoizes; later submits refuse before counting so the
+  // ReadBatch fallback counts the batch exactly once.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(MakePage(static_cast<uint8_t>(i)));
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<std::byte> warm(kPage);
+  ASSERT_TRUE(pool.Read(ids[1], warm.data()).ok());  // one future hit
+
+  std::vector<std::byte> bufs(ids.size() * kPage);
+  auto t = pool.SubmitBatch(ids, bufs.data());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_TRUE(pool.AwaitBatch(t.value()).ok());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    EXPECT_EQ(bufs[k * kPage], static_cast<std::byte>(k)) << "slot " << k;
+  }
+  EXPECT_EQ(pool.stats().reads, 1u + ids.size());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), ids.size());
+  // All pages were admitted at await: a second async attempt now refuses
+  // up front (memoized sync-only inner) and ReadBatch serves pure hits.
+  EXPECT_EQ(pool.SubmitBatch(ids, bufs.data()).status().code(),
+            StatusCode::kNotSupported);
+  dev_.ResetStats();
+  ASSERT_TRUE(pool.ReadBatch(ids, bufs.data()).ok());
+  EXPECT_EQ(dev_.stats().reads, 0u);
+}
+
+TEST_F(SharedBufferPoolTest, AsyncBatchRefusesDuplicateIdsBeforeCounting) {
+  PageId a = MakePage(0x11);
+  PageId b = MakePage(0x22);
+  SharedBufferPool pool(&dev_, 16, 4);
+  std::vector<PageId> dup{a, b, a};
+  std::vector<std::byte> bufs(dup.size() * kPage);
+  EXPECT_EQ(pool.SubmitBatch(dup, bufs.data()).status().code(),
+            StatusCode::kNotSupported);
+  // Nothing counted: the ReadBatch fallback owns the whole batch.
+  EXPECT_EQ(pool.stats().reads, 0u);
+  EXPECT_EQ(pool.hits() + pool.misses(), 0u);
+  ASSERT_TRUE(pool.ReadBatch(dup, bufs.data()).ok());
+  EXPECT_EQ(pool.stats().reads, dup.size());
+  EXPECT_EQ(bufs[0], std::byte{0x11});
+  EXPECT_EQ(bufs[kPage], std::byte{0x22});
+  EXPECT_EQ(bufs[2 * kPage], std::byte{0x11});
+}
+
+// --- Pin alignment (the packed-kernel performance contract) ---------------
+
+TEST_F(SharedBufferPoolTest, PinnedFramesAreCacheLineAligned) {
+  // io/aligned.h promises every pool frame starts on a 64-byte boundary so
+  // the SIMD kernels' loads never straddle a cache line.  Exercise the full
+  // frame lifecycle: first admission, hit re-pin, eviction + re-admission,
+  // and survival through Clear().
+  auto aligned = [](const std::byte* p) {
+    return reinterpret_cast<uintptr_t>(p) % kPageFrameAlign == 0;
+  };
+  std::vector<PageId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(MakePage(static_cast<uint8_t>(i + 1)));
+  }
+  SharedBufferPool pool(&dev_, 4, 1);  // one tiny shard: real eviction churn
+
+  // Miss-path admission.
+  auto p0 = pool.Pin(ids[0]);
+  ASSERT_TRUE(p0.ok()) << p0.status().ToString();
+  EXPECT_TRUE(aligned(p0.value()));
+  pool.Unpin(ids[0]);
+
+  // Hit-path re-pin returns the same resident, aligned frame.
+  auto p0again = pool.Pin(ids[0]);
+  ASSERT_TRUE(p0again.ok());
+  EXPECT_EQ(p0again.value(), p0.value());
+  EXPECT_TRUE(aligned(p0again.value()));
+  pool.Unpin(ids[0]);
+
+  // Evict it (capacity 4, read 12 distinct pages), then re-admit: the fresh
+  // frame must be aligned too.
+  std::vector<std::byte> buf(kPage);
+  for (PageId id : ids) ASSERT_TRUE(pool.Read(id, buf.data()).ok());
+  for (PageId id : ids) {
+    auto p = pool.Pin(id);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_TRUE(aligned(p.value())) << "page " << id;
+    EXPECT_EQ(p.value()[0], static_cast<std::byte>(id + 1));
+    pool.Unpin(id);
+  }
+
+  // A frame pinned across Clear() keeps its (aligned) identity; pages
+  // re-admitted after the Clear get fresh aligned frames.
+  auto held = pool.Pin(ids[3]);
+  ASSERT_TRUE(held.ok());
+  const std::byte* held_ptr = held.value();
+  pool.Clear();
+  EXPECT_TRUE(aligned(held_ptr));
+  EXPECT_EQ(held_ptr[0], static_cast<std::byte>(ids[3] + 1));
+  auto readmitted = pool.Pin(ids[5]);
+  ASSERT_TRUE(readmitted.ok());
+  EXPECT_TRUE(aligned(readmitted.value()));
+  pool.Unpin(ids[5]);
+  pool.Unpin(ids[3]);
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
 }  // namespace
 }  // namespace pathcache

@@ -3,11 +3,15 @@
 // read_syscalls() and error mapping must all be identical, so every
 // experiment's counted I/O is the same no matter which path served it.
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -213,6 +217,235 @@ TEST(UringEquivalence, EnvDisableForcesPreadvDefault) {
   std::vector<std::byte> buf(2 * 256);
   ASSERT_TRUE(dev->ReadBatch(batch, buf.data()).ok());
   EXPECT_EQ(dev->uring_batches(), 0u);
+}
+
+// --- SubmitBatch/AwaitBatch: the truly-async split ------------------------
+
+TEST(UringAsync, SubmitAwaitMatchesReadBatch) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_async.db";
+  constexpr uint32_t kPageSize = 512;
+  constexpr size_t kPages = 40;
+  auto r = MakeStore(path, kPages, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+
+  for (const auto& batch : InterestingBatches(kPages)) {
+    std::vector<std::byte> via_sync(batch.size() * kPageSize);
+    std::vector<std::byte> via_async(batch.size() * kPageSize, std::byte{0xAA});
+
+    dev->ResetStats();
+    ASSERT_TRUE(dev->ReadBatch(batch, via_sync.data()).ok());
+    const IoStats sync_stats = dev->stats();
+    const uint64_t sync_syscalls = dev->read_syscalls();
+
+    dev->ResetStats();
+    auto t = dev->SubmitBatch(batch, via_async.data());
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    // Counting happens at await: a submitted-but-unawaited batch has not
+    // paid its logical reads yet.
+    EXPECT_EQ(dev->stats().reads, 0u);
+    ASSERT_TRUE(dev->AwaitBatch(t.value()).ok());
+    const IoStats async_stats = dev->stats();
+
+    EXPECT_EQ(std::memcmp(via_sync.data(), via_async.data(), via_sync.size()),
+              0)
+        << "byte mismatch on batch of " << batch.size();
+    EXPECT_EQ(async_stats.reads, sync_stats.reads);
+    EXPECT_EQ(async_stats.batch_reads, sync_stats.batch_reads);
+    // Same coalescing, same runs, same op count — splitting submit from
+    // await is a transport change, never an accounting one.
+    EXPECT_EQ(dev->read_syscalls(), sync_syscalls)
+        << "batch of " << batch.size();
+  }
+}
+
+TEST(UringAsync, ManyOverlappedBatchesLandCorrectly) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_overlap.db";
+  constexpr uint32_t kPageSize = 256;
+  constexpr size_t kPages = 64;
+  auto r = MakeStore(path, kPages, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+
+  // Submit a pile of overlapping batches, then await them out of order;
+  // every slot must still hold exactly the page its batch asked for.
+  std::vector<std::vector<PageId>> batches;
+  for (size_t b = 0; b < 16; ++b) {
+    std::vector<PageId> ids;
+    for (size_t k = 0; k < 7; ++k) ids.push_back((b * 11 + k * 5) % kPages);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    batches.push_back(std::move(ids));
+  }
+  std::vector<std::vector<std::byte>> bufs(batches.size());
+  std::vector<uint64_t> tickets(batches.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    bufs[b].assign(batches[b].size() * kPageSize, std::byte{0});
+    auto t = dev->SubmitBatch(batches[b], bufs[b].data());
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    tickets[b] = t.value();
+  }
+  for (size_t b = batches.size(); b-- > 0;) {  // reverse await order
+    ASSERT_TRUE(dev->AwaitBatch(tickets[b]).ok());
+    for (size_t k = 0; k < batches[b].size(); ++k) {
+      std::vector<std::byte> want(kPageSize);
+      FillPage(batches[b][k], kPageSize, want.data());
+      ASSERT_EQ(std::memcmp(bufs[b].data() + k * kPageSize, want.data(),
+                            kPageSize),
+                0)
+          << "batch " << b << " slot " << k;
+    }
+  }
+  EXPECT_EQ(dev->AwaitBatch(tickets[0]).code(), StatusCode::kInvalidArgument)
+      << "double await must not silently succeed";
+}
+
+TEST(UringAsync, PreadvBackendReportsNotSupportedAndReaderFallsBack) {
+  const std::string path = ::testing::TempDir() + "/pc_uring_async_fb.db";
+  constexpr uint32_t kPageSize = 256;
+  auto r = MakeStore(path, 8, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kPreadv).ok());
+
+  std::vector<PageId> batch{1, 4, 6};
+  std::vector<std::byte> buf(batch.size() * kPageSize);
+  EXPECT_EQ(dev->SubmitBatch(batch, buf.data()).status().code(),
+            StatusCode::kNotSupported);
+
+  // AsyncBatchReader packages the fallback: same bytes, ReadBatch counting.
+  dev->ResetStats();
+  AsyncBatchReader reader;
+  ASSERT_TRUE(reader.Start(dev.get(), batch, buf.data()).ok());
+  EXPECT_FALSE(reader.in_flight());  // fell back to the blocking path
+  ASSERT_TRUE(reader.Wait().ok());
+  EXPECT_EQ(dev->stats().reads, batch.size());
+  EXPECT_EQ(dev->stats().batch_reads, 1u);
+  for (size_t k = 0; k < batch.size(); ++k) {
+    std::vector<std::byte> want(kPageSize);
+    FillPage(batch[k], kPageSize, want.data());
+    EXPECT_EQ(
+        std::memcmp(buf.data() + k * kPageSize, want.data(), kPageSize), 0);
+  }
+}
+
+TEST(UringAsync, EmptyBatchIsAValidTicket) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_async_empty.db";
+  auto r = MakeStore(path, 2, 256);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+  dev->ResetStats();
+  auto t = dev->SubmitBatch({}, nullptr);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_TRUE(dev->AwaitBatch(t.value()).ok());
+  EXPECT_EQ(dev->stats().reads, 0u);
+  EXPECT_EQ(dev->stats().batch_reads, 0u);
+}
+
+TEST(UringAsync, TruncatedFileSurfacesCorruptionAtAwait) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_async_trunc.db";
+  constexpr uint32_t kPageSize = 512;
+  auto r = MakeStore(path, 10, kPageSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto dev = std::move(r).value();
+  ASSERT_TRUE(dev->SetReadBackend(Backend::kIoUring).ok());
+  ASSERT_EQ(::truncate(path.c_str(), 6 * kPageSize), 0);
+
+  std::vector<PageId> batch{0, 1, 5, 6, 8, 9};
+  std::vector<std::byte> buf(batch.size() * kPageSize);
+  auto t = dev->SubmitBatch(batch, buf.data());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Status s = dev->AwaitBatch(t.value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.message().find("short read"), std::string::npos) << s.ToString();
+
+  // The device stays usable: the healthy prefix reads clean afterwards.
+  std::vector<PageId> healthy{0, 2, 4};
+  std::vector<std::byte> ok_buf(healthy.size() * kPageSize);
+  auto t2 = dev->SubmitBatch(healthy, ok_buf.data());
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  EXPECT_TRUE(dev->AwaitBatch(t2.value()).ok());
+  for (size_t k = 0; k < healthy.size(); ++k) {
+    std::vector<std::byte> want(kPageSize);
+    FillPage(healthy[k], kPageSize, want.data());
+    EXPECT_EQ(std::memcmp(ok_buf.data() + k * kPageSize, want.data(),
+                          kPageSize),
+              0);
+  }
+}
+
+TEST(UringAsync, RawRingIsThreadSafeAcrossConcurrentBatches) {
+  if (!UringReader::SystemSupported()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "/pc_uring_async_mt.db";
+  constexpr uint32_t kPageSize = 512;
+  constexpr size_t kPages = 64;
+  {
+    auto r = MakeStore(path, kPages, kPageSize);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  auto ring_r = UringReader::Create();
+  ASSERT_TRUE(ring_r.ok()) << ring_r.status().ToString();
+  auto ring = std::move(ring_r).value();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int tix = 0; tix < kThreads; ++tix) {
+    threads.emplace_back([&, tix] {
+      std::vector<std::byte> buf(8 * kPageSize);
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread reads its own stride of scattered pages.
+        std::vector<PageId> ids;
+        for (int k = 0; k < 8; ++k) {
+          ids.push_back((tix * 13 + round * 7 + k * 9) % kPages);
+        }
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        std::vector<struct iovec> iov;
+        std::vector<UringReader::Run> runs;
+        for (size_t k = 0; k < ids.size(); ++k) {
+          iov.push_back({buf.data() + k * kPageSize, kPageSize});
+        }
+        for (size_t k = 0; k < ids.size(); ++k) {
+          runs.push_back({static_cast<off_t>(ids[k]) * kPageSize,
+                          iov.data() + k, 1});
+        }
+        auto t = ring->BeginBatch(fd, std::move(iov), std::move(runs),
+                                  nullptr);
+        if (!t.ok()) {
+          ++failures;
+          return;
+        }
+        if (!ring->WaitBatch(t.value()).ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t k = 0; k < ids.size(); ++k) {
+          std::vector<std::byte> want(kPageSize);
+          FillPage(ids[k], kPageSize, want.data());
+          if (std::memcmp(buf.data() + k * kPageSize, want.data(),
+                          kPageSize) != 0) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ::close(fd);
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(UringEquivalence, SetReadBackendReportsSupport) {
