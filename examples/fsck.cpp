@@ -3,7 +3,23 @@
 // owned page, and runs each structure's deep CheckStructure() validation.
 //
 //   $ ./fsck [--page-size N] [--checksums] [--no-scrub] [--no-structs]
-//            [--no-coverage] <store-file> <manifest-id>...
+//            [--no-coverage] [--gc] <store-file> <id>...
+//
+// Each <id> may be a plain structure manifest OR a dynamic-store root page
+// (the tool sniffs the page header).  When any dynamic root is present the
+// multi-generation checker runs: the winning generation of every store gets
+// the full deep checks, crash debris (orphaned generations, dangling WAL
+// pages, unreachable pages) is classified distinctly from corruption, and
+// --gc frees that debris so a re-run reports full coverage.  Static
+// manifests listed alongside dynamic roots are verified too and their pages
+// count as owned.
+//
+// Caveat on file stores: FilePageDevice keeps its free map in memory (the
+// format has no persistent allocator), so --gc makes debris pages reusable
+// within the opening process and proves the reachable set intact, but a
+// fresh open sees every page of the file as live again and re-classifies
+// the same bytes as debris.  Debris is never corruption — the verdict
+// stays `clean` either way.
 //
 // --checksums reads the store through a ChecksumPageDevice, so the scrub
 // pass verifies every page's CRC trailer (stores written through the same
@@ -18,6 +34,7 @@
 #include <vector>
 
 #include "core/pathcache.h"
+#include "dynamic/dynamic_fsck.h"
 #include "io/checksum_page_device.h"
 
 using namespace pathcache;
@@ -25,9 +42,10 @@ using namespace pathcache;
 int main(int argc, char** argv) {
   uint32_t page_size = 4096;
   bool checksums = false;
+  bool gc = false;
   VerifyStoreOptions opts;
   std::string path;
-  std::vector<PageId> manifests;
+  std::vector<PageId> ids;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,17 +59,19 @@ int main(int argc, char** argv) {
       opts.check_structures = false;
     } else if (arg == "--no-coverage") {
       opts.expect_full_coverage = false;
+    } else if (arg == "--gc") {
+      gc = true;
     } else if (path.empty()) {
       path = arg;
     } else {
-      manifests.push_back(std::strtoull(arg.c_str(), nullptr, 10));
+      ids.push_back(std::strtoull(arg.c_str(), nullptr, 10));
     }
   }
-  if (path.empty() || manifests.empty()) {
+  if (path.empty() || ids.empty()) {
     std::fprintf(stderr,
                  "usage: fsck [--page-size N] [--checksums] [--no-scrub] "
-                 "[--no-structs] [--no-coverage] <store-file> "
-                 "<manifest-id>...\n");
+                 "[--no-structs] [--no-coverage] [--gc] <store-file> "
+                 "<id>...\n");
     return 2;
   }
 
@@ -68,22 +88,51 @@ int main(int argc, char** argv) {
     dev = sum.get();
   }
 
-  VerifyStoreReport report;
-  Status s = VerifyStore(dev, std::span<const PageId>(manifests), opts,
-                         &report);
-  std::printf("manifests walked:   %" PRIu64 "\n", report.manifests);
-  std::printf("structures checked: %" PRIu64 "\n", report.structures_checked);
-  std::printf("owned pages:        %" PRIu64 "\n", report.owned_pages);
-  std::printf("scrubbed pages:     %" PRIu64 "\n", report.scrubbed_pages);
-  std::printf("leaked pages:       %" PRIu64 "\n", report.leaked_pages);
+  // Sniff each id: dynamic-store roots get the multi-generation checker,
+  // plain manifests the classic walk.
+  std::vector<PageId> roots, manifests;
+  for (PageId id : ids) {
+    (IsDynamicRoot(dev, id) ? roots : manifests).push_back(id);
+  }
+
+  int rc = 0;
+  if (!roots.empty()) {
+    DynamicFsckOptions dopts;
+    dopts.scrub_pages = opts.scrub_pages;
+    dopts.check_structures = opts.check_structures;
+    dopts.gc = gc;
+    dopts.static_manifests = manifests;
+    DynamicFsckReport report;
+    Status s = VerifyDynamicStores(dev, std::span<const PageId>(roots), dopts,
+                                   &report);
+    std::printf("%s\n", report.ToString().c_str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
+      rc = 1;
+    }
+  } else {
+    if (gc) {
+      std::fprintf(stderr, "--gc needs a dynamic store root\n");
+      return 2;
+    }
+    VerifyStoreReport report;
+    Status s = VerifyStore(dev, std::span<const PageId>(manifests), opts,
+                           &report);
+    std::printf("manifests walked:   %" PRIu64 "\n", report.manifests);
+    std::printf("structures checked: %" PRIu64 "\n",
+                report.structures_checked);
+    std::printf("owned pages:        %" PRIu64 "\n", report.owned_pages);
+    std::printf("scrubbed pages:     %" PRIu64 "\n", report.scrubbed_pages);
+    std::printf("leaked pages:       %" PRIu64 "\n", report.leaked_pages);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
+      rc = 1;
+    }
+  }
   if (sum != nullptr) {
     std::printf("checksum failures:  %" PRIu64 " of %" PRIu64 " verified\n",
                 sum->checksum_failures(), sum->pages_verified());
   }
-  if (!s.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  std::printf("clean\n");
-  return 0;
+  if (rc == 0) std::printf("clean\n");
+  return rc;
 }

@@ -37,7 +37,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "build: %s\n", s.ToString().c_str());
       return 1;
     }
-    auto m = index.Save();
+    // SaveDurable = Save() + fdatasync: without the barrier a crash right
+    // after this block can lose pages of a store whose manifest id we
+    // already printed (Create() fsync'd the directory entry, so the FILE
+    // survives — its CONTENTS need this sync).
+    auto m = SaveDurable(&index, dev.get());
     if (!m.ok()) {
       std::fprintf(stderr, "save: %s\n", m.status().ToString().c_str());
       return 1;

@@ -222,6 +222,9 @@ Status VerifyStore(PageDevice* dev, std::span<const PageId> manifests,
         " pages but only " + std::to_string(live) + " are live");
   }
   local.leaked_pages = live - owned_set.size();
+  if (opts.collect_claimed) {
+    local.claimed_pages.assign(owned_set.begin(), owned_set.end());
+  }
   if (report != nullptr) *report = local;
   if (opts.expect_full_coverage && local.leaked_pages != 0) {
     return Status::Corruption(

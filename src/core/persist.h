@@ -29,6 +29,10 @@ struct VerifyStoreOptions {
   /// Treat live pages owned by no manifest as Corruption (leaks).  Disable
   /// when the device hosts data outside the manifests being verified.
   bool expect_full_coverage = true;
+  /// Record every claimed page id in VerifyStoreReport::claimed_pages.
+  /// Higher-level checkers (the dynamic store's fsck) use the set to
+  /// classify pages their own metadata owns versus true leaks.
+  bool collect_claimed = false;
 };
 
 /// What VerifyStore saw.  Filled on success and on a leak failure; earlier
@@ -39,6 +43,9 @@ struct VerifyStoreReport {
   uint64_t owned_pages = 0;        // distinct pages claimed by the manifests
   uint64_t scrubbed_pages = 0;     // pages read by the scrub pass
   uint64_t leaked_pages = 0;       // live pages no manifest claims
+  /// Every page the manifests claim; filled only when
+  /// VerifyStoreOptions::collect_claimed is set.
+  std::vector<PageId> claimed_pages;
 };
 
 /// Offline consistency check over a store: walks every manifest (descending
@@ -74,6 +81,28 @@ template <typename S>
 Result<PageId> SaveClustered(S* s) {
   PC_RETURN_IF_ERROR(s->Cluster());
   return s->Save();
+}
+
+/// Save() + a durability barrier.  Save() only WRITES pages; on a real file
+/// the data sits in the page cache until an fsync, so a crash after Save()
+/// returned can lose any subset of the structure while the caller already
+/// published the manifest id — the classic "saved but not durable" hole the
+/// fsync audit closed.  This helper orders the barrier before the id is
+/// returned: when it succeeds, the whole structure (manifest included) has
+/// reached stable storage.  `dev` must be the (bottom of the) stack `s`
+/// writes through.
+template <typename S>
+Result<PageId> SaveDurable(S* s, PageDevice* dev) {
+  PC_ASSIGN_OR_RETURN(PageId manifest, s->Save());
+  PC_RETURN_IF_ERROR(dev->Sync());
+  return manifest;
+}
+
+/// Cluster() + Save() + durability barrier; see SaveDurable.
+template <typename S>
+Result<PageId> SaveClusteredDurable(S* s, PageDevice* dev) {
+  PC_RETURN_IF_ERROR(s->Cluster());
+  return SaveDurable(s, dev);
 }
 
 namespace internal {

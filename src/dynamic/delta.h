@@ -1,0 +1,114 @@
+// DeltaIndex: the in-memory overlay of committed-but-not-yet-rebuilt
+// mutations sitting on top of a static base generation.
+//
+// Semantics are last-writer-wins presence overrides, keyed by the full
+// record (a, b, id): an insert marks the record present, a delete marks it
+// absent (a tombstone), regardless of what the base generation holds.  The
+// merged view of any query is then
+//
+//   result(Q) = { r in base(Q) : no override for r }
+//             ∪ { r in overlay : r present and r matches Q }
+//
+// — overridden records are dropped from the base answer first and present
+// overrides added exactly once, so the merge needs no membership probe
+// into the base structure and is correct whether or not an inserted record
+// already existed (re-inserts collapse: the library stores sets of 24-byte
+// records, not multisets).  Tombstones for records the base never held
+// suppress nothing and are harmless.
+//
+// Every entry carries the WAL commit LSN that produced it.  A background
+// rebuild freezes the overlay at LSN L, folds it into a new generation,
+// and then discards exactly the entries with lsn <= L — an entry written
+// after the freeze (lsn > L) survives and, being an override, remains
+// correct against the new base without rewriting.
+//
+// The container is a std::map ordered by (a, b, id); query-time overlay
+// scans are O(overlay size), which the rebuild threshold keeps small.
+// Thread safety is the owner's job (DynamicStore holds its mutex across
+// every call).
+
+#ifndef PATHCACHE_DYNAMIC_DELTA_H_
+#define PATHCACHE_DYNAMIC_DELTA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dynamic/update.h"
+
+namespace pathcache {
+
+class DeltaIndex {
+ public:
+  struct Entry {
+    bool present = false;  // false = tombstone
+    uint64_t lsn = 0;      // commit LSN of the group that wrote this
+  };
+  using Map = std::map<DynamicItem, Entry, DynamicItemLess>;
+
+  /// Records one committed mutation (call only after its WAL group commit
+  /// is durable).
+  void Apply(const DynamicUpdate& u, uint64_t commit_lsn) {
+    map_[u.item] = Entry{u.op == UpdateOp::kInsert, commit_lsn};
+  }
+
+  bool Overrides(const DynamicItem& item) const {
+    return map_.find(item) != map_.end();
+  }
+
+  /// Drops base-query results that have an override (their authoritative
+  /// state comes from the overlay side of the merge).
+  template <typename Rec>
+  void FilterOverridden(std::vector<Rec>* recs) const {
+    if (map_.empty()) return;
+    recs->erase(std::remove_if(recs->begin(), recs->end(),
+                               [&](const Rec& r) {
+                                 return Overrides(DynamicItem::From(r));
+                               }),
+                recs->end());
+  }
+
+  /// Appends every present override whose record satisfies `pred`.
+  template <typename Pred, typename Rec, typename Conv>
+  void CollectPresent(const Pred& pred, Conv conv, std::vector<Rec>* out) const {
+    for (const auto& [item, e] : map_) {
+      if (!e.present) continue;
+      Rec r = conv(item);
+      if (pred(r)) out->push_back(r);
+    }
+  }
+
+  /// Folds the overlay into a base snapshot: removes overridden records,
+  /// appends present overrides, returns the result sorted by (a, b, id).
+  /// This is the record set a rebuild persists as the next generation.
+  std::vector<DynamicItem> MergeIntoBase(std::vector<DynamicItem> base) const {
+    base.erase(std::remove_if(base.begin(), base.end(),
+                              [&](const DynamicItem& i) { return Overrides(i); }),
+               base.end());
+    for (const auto& [item, e] : map_) {
+      if (e.present) base.push_back(item);
+    }
+    std::sort(base.begin(), base.end(), DynamicItemLess{});
+    return base;
+  }
+
+  /// Discards entries already folded into a published generation.
+  void PruneAbsorbed(uint64_t absorbed_lsn) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      it = it->second.lsn <= absorbed_lsn ? map_.erase(it) : std::next(it);
+    }
+  }
+
+  const Map& entries() const { return map_; }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+ private:
+  Map map_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_DELTA_H_

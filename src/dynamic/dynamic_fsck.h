@@ -1,0 +1,88 @@
+// Offline fsck for dynamic stores: extends core VerifyStore coverage to
+// the multi-generation world the crash-safe update layer creates.
+//
+// A healthy dynamic store owns: its root page, two publish slots, the
+// winning generation (structure manifest graph + items snapshot chain) and
+// the WAL chain (including the tail's pre-allocated successor).  A crash,
+// however, legitimately strands pages that are NOT corruption:
+//
+//   * orphaned generations — a rebuild crashed after building the next
+//     generation but before publishing it (or after publishing, before the
+//     old generation was reclaimed): complete, valid structures reachable
+//     from no slot;
+//   * dangling WAL pages — a publish truncated the durable head past them
+//     before the crash dropped their Free();
+//   * unreachable pages — debris with no recognizable header (a half-built
+//     structure, an orphaned generation's items chain).
+//
+// VerifyDynamicStores classifies every live page into owned / orphaned /
+// dangling / unreachable, runs the core VerifyStore deep checks on each
+// winning generation, and — with `gc` set — frees everything unowned so a
+// re-run reports a fully covered device.  Orphans and dangling pages are
+// reported distinctly and never fail the check; Corruption is reserved for
+// real damage (bad checksums, double-owned pages, broken chains).
+
+#ifndef PATHCACHE_DYNAMIC_DYNAMIC_FSCK_H_
+#define PATHCACHE_DYNAMIC_DYNAMIC_FSCK_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/persist.h"
+#include "dynamic/dynamic_store.h"
+#include "io/page_device.h"
+
+namespace pathcache {
+
+struct DynamicFsckOptions {
+  /// Run CheckStructure() on each winning generation's structure.
+  bool check_structures = true;
+  /// Read every owned page once (CRC scrub on a checksummed stack).
+  bool scrub_pages = true;
+  /// Free orphaned generations, dangling WAL pages and unreachable pages.
+  bool gc = false;
+  /// Plain (non-dynamic) top-level manifests that share the device.  Their
+  /// page graphs are walked with the core VerifyStore checks and counted as
+  /// owned, so a mixed device classifies (and gc's) only what nobody —
+  /// dynamic or static — claims.
+  std::vector<PageId> static_manifests;
+};
+
+struct DynamicFsckReport {
+  uint64_t stores = 0;           // roots verified
+  uint64_t meta_pages = 0;       // roots + slots
+  uint64_t wal_pages = 0;        // reachable WAL chains (incl. spares)
+  uint64_t items_pages = 0;      // items snapshot chains
+  uint64_t generation_pages = 0; // pages claimed by winning generations
+  uint64_t static_pages = 0;     // pages claimed by opts.static_manifests
+  uint64_t structures_checked = 0;
+
+  uint64_t orphaned_generations = 0;
+  uint64_t orphaned_generation_pages = 0;
+  uint64_t dangling_wal_pages = 0;
+  uint64_t unreachable_pages = 0;
+
+  uint64_t freed_pages = 0;  // gc mode only
+  /// True when the device cannot enumerate live pages (ListLivePages is
+  /// NotSupported): orphan classification and gc were skipped.
+  bool classification_skipped = false;
+
+  std::string ToString() const;
+};
+
+/// Verifies every dynamic store rooted at `roots` plus full-device page
+/// coverage.  All dynamic roots on the device must be listed — a root that
+/// is not would itself be classified unreachable.
+Status VerifyDynamicStores(PageDevice* dev, std::span<const PageId> roots,
+                           const DynamicFsckOptions& opts = {},
+                           DynamicFsckReport* report = nullptr);
+
+/// True when the page at `id` carries a dynamic-store root header with a
+/// valid checksum (used by tools to distinguish dynamic roots from plain
+/// structure manifests).
+bool IsDynamicRoot(PageDevice* dev, PageId id);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_DYNAMIC_FSCK_H_

@@ -1,0 +1,87 @@
+// RegisterDynamicStoreMetrics: publishes a DynamicStore's update / rebuild
+// / WAL accounting through a MetricsRegistry.  Header-only and in dynamic/
+// (not obs/) so the dependency arrow stays obs <- dynamic: the registry
+// knows nothing about the store.
+//
+// Every sample callback goes through DynamicStore::stats(), which takes the
+// store's mutex, so exports may run concurrently with updates, queries and
+// background rebuilds.
+
+#ifndef PATHCACHE_DYNAMIC_DYNAMIC_METRICS_H_
+#define PATHCACHE_DYNAMIC_DYNAMIC_METRICS_H_
+
+#include <string>
+
+#include "dynamic/dynamic_store.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+/// Registers the store's counters (updates / commits / rebuilds / replays /
+/// WAL activity) and gauges (overlay size, generation size and version, WAL
+/// chain length) labeled {store="<store_label>"}.  `store` must outlive the
+/// registry's exports.
+inline Status RegisterDynamicStoreMetrics(MetricsRegistry* reg,
+                                          const std::string& store_label,
+                                          const DynamicStore* store) {
+  const MetricLabels labels = {{"store", store_label}};
+  struct Row {
+    const char* name;
+    const char* help;
+    uint64_t (*get)(const DynamicStoreStats&);
+  };
+  static constexpr Row kCounters[] = {
+      {"pathcache_dynamic_updates_applied_total",
+       "Mutations durably committed through Apply()",
+       [](const DynamicStoreStats& s) { return s.updates_applied; }},
+      {"pathcache_dynamic_groups_committed_total",
+       "Update groups committed (one WAL Sync each)",
+       [](const DynamicStoreStats& s) { return s.groups_committed; }},
+      {"pathcache_dynamic_rebuilds_total",
+       "Generations built and published",
+       [](const DynamicStoreStats& s) { return s.rebuilds; }},
+      {"pathcache_dynamic_rebuild_failures_total",
+       "Rebuild attempts that returned non-OK",
+       [](const DynamicStoreStats& s) { return s.rebuild_failures; }},
+      {"pathcache_dynamic_generations_reclaimed_total",
+       "Retired generations whose pages were freed",
+       [](const DynamicStoreStats& s) { return s.generations_reclaimed; }},
+      {"pathcache_dynamic_wal_replayed_records_total",
+       "Committed WAL records re-applied at Open()",
+       [](const DynamicStoreStats& s) { return s.replayed_records; }},
+      {"pathcache_dynamic_wal_records_appended_total",
+       "WAL record slots written (commit markers included)",
+       [](const DynamicStoreStats& s) { return s.wal.records_appended; }},
+      {"pathcache_dynamic_wal_pages_sealed_total",
+       "WAL tail pages filled and rolled",
+       [](const DynamicStoreStats& s) { return s.wal.pages_sealed; }},
+      {"pathcache_dynamic_wal_pages_truncated_total",
+       "WAL pages freed by post-publish truncation",
+       [](const DynamicStoreStats& s) { return s.wal.pages_truncated; }},
+  };
+  for (const Row& row : kCounters) {
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        row.name, row.help, labels,
+        [store, get = row.get] { return get(store->stats()); }));
+  }
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_dynamic_delta_entries", "Overlay entries awaiting a rebuild",
+      labels, [store] { return double(store->stats().delta_entries); }));
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_dynamic_generation_items",
+      "Records in the published base generation", labels,
+      [store] { return double(store->stats().generation_items); }));
+  PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+      "pathcache_dynamic_generation_version",
+      "Version of the published generation", labels,
+      [store] { return double(store->stats().generation_version); }));
+  return reg->AddGaugeFn(
+      "pathcache_dynamic_wal_chain_pages",
+      "Pages in the live WAL chain (spares excluded)", labels,
+      [store] { return double(store->stats().wal_chain_pages); });
+}
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_DYNAMIC_METRICS_H_

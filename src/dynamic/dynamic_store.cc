@@ -1,0 +1,629 @@
+#include "dynamic/dynamic_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/persist.h"
+#include "core/pst_external.h"
+#include "core/pst_two_level.h"
+#include "io/crc32c.h"
+
+namespace pathcache {
+
+namespace {
+
+uint32_t RootCrc(DynamicRootHeader h) {
+  h.header_crc = 0;
+  return Crc32c(&h, sizeof(h));
+}
+
+uint32_t SlotCrc(DynamicSlotHeader h) {
+  h.header_crc = 0;
+  return Crc32c(&h, sizeof(h));
+}
+
+bool ValidSlot(const DynamicSlotHeader& h) {
+  return h.magic == kDynamicSlotMagic && h.header_crc == SlotCrc(h) &&
+         h.version > 0;
+}
+
+std::vector<Point> ToPoints(const std::vector<DynamicItem>& items) {
+  std::vector<Point> out;
+  out.reserve(items.size());
+  for (const DynamicItem& i : items) out.push_back(i.ToPoint());
+  return out;
+}
+
+std::vector<Interval> ToIntervals(const std::vector<DynamicItem>& items) {
+  std::vector<Interval> out;
+  out.reserve(items.size());
+  for (const DynamicItem& i : items) out.push_back(i.ToInterval());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DynamicReadHandle
+
+Status DynamicReadHandle::Open(PageDevice* dev, DynamicStructure kind,
+                               PageId manifest, uint64_t version_in) {
+  Reset();
+  version = version_in;
+  if (manifest == kInvalidPageId) return Status::OK();  // empty generation
+  switch (kind) {
+    case DynamicStructure::kExternalPst:
+    case DynamicStructure::kTwoLevelPst: {
+      PC_ASSIGN_OR_RETURN(two_sided, OpenTwoSidedIndex(dev, manifest));
+      break;
+    }
+    case DynamicStructure::kThreeSidedPst: {
+      three_sided = std::make_unique<ThreeSidedPst>(dev);
+      PC_RETURN_IF_ERROR(three_sided->Open(manifest));
+      break;
+    }
+    case DynamicStructure::kExtSegmentTree: {
+      seg_tree = std::make_unique<ExtSegmentTree>(dev);
+      PC_RETURN_IF_ERROR(seg_tree->Open(manifest));
+      break;
+    }
+    case DynamicStructure::kExtIntervalTree: {
+      interval_tree = std::make_unique<ExtIntervalTree>(dev);
+      PC_RETURN_IF_ERROR(interval_tree->Open(manifest));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown dynamic structure kind");
+  }
+  ready = true;
+  return Status::OK();
+}
+
+void DynamicReadHandle::Reset() {
+  version = 0;
+  ready = false;
+  two_sided.reset();
+  three_sided.reset();
+  seg_tree.reset();
+  interval_tree.reset();
+}
+
+Status DynamicReadHandle::QueryTwoSided(const TwoSidedQuery& q,
+                                        std::vector<Point>* out,
+                                        QueryStats* stats) const {
+  if (!ready) return Status::OK();
+  if (two_sided == nullptr) {
+    return Status::FailedPrecondition("not a 2-sided structure");
+  }
+  return two_sided->QueryTwoSided(q, out, stats);
+}
+
+Status DynamicReadHandle::QueryThreeSided(const ThreeSidedQuery& q,
+                                          std::vector<Point>* out,
+                                          QueryStats* stats) const {
+  if (!ready) return Status::OK();
+  if (three_sided == nullptr) {
+    return Status::FailedPrecondition("not a 3-sided structure");
+  }
+  return three_sided->QueryThreeSided(q, out, stats);
+}
+
+Status DynamicReadHandle::Stab(int64_t q, std::vector<Interval>* out,
+                               QueryStats* stats) const {
+  if (!ready) return Status::OK();
+  if (seg_tree != nullptr) return seg_tree->Stab(q, out, stats);
+  if (interval_tree != nullptr) return interval_tree->Stab(q, out, stats);
+  return Status::FailedPrecondition("not a stabbing structure");
+}
+
+// ---------------------------------------------------------------------------
+// DynamicStore
+
+DynamicStore::DynamicStore(PageDevice* dev, DynamicStoreOptions opts)
+    : dev_(dev), opts_(opts) {}
+
+DynamicStore::~DynamicStore() {
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+}
+
+Status DynamicStore::WriteRoot() {
+  DynamicRootHeader h;
+  h.kind = static_cast<uint32_t>(kind_);
+  h.slot[0] = slot_page_[0];
+  h.slot[1] = slot_page_[1];
+  h.header_crc = RootCrc(h);
+  std::vector<std::byte> page(dev_->page_size(), std::byte{0});
+  std::memcpy(page.data(), &h, sizeof(h));
+  return dev_->Write(root_, page.data());
+}
+
+Status DynamicStore::WriteSlotLocked(uint32_t idx, const DynamicSlotHeader& in) {
+  DynamicSlotHeader h = in;
+  h.magic = kDynamicSlotMagic;
+  h.header_crc = SlotCrc(h);
+  std::vector<std::byte> page(dev_->page_size(), std::byte{0});
+  std::memcpy(page.data(), &h, sizeof(h));
+  PC_RETURN_IF_ERROR(dev_->Write(slot_page_[idx], page.data()));
+  return dev_->Sync();
+}
+
+Result<std::shared_ptr<DynamicStore::Generation>> DynamicStore::BuildGeneration(
+    std::vector<DynamicItem> items) {
+  auto g = std::make_shared<Generation>();
+  if (items.empty()) return g;
+
+  switch (kind_) {
+    case DynamicStructure::kExternalPst: {
+      ExternalPst s(dev_);
+      PC_RETURN_IF_ERROR(s.Build(ToPoints(items)));
+      PC_ASSIGN_OR_RETURN(g->manifest, SaveClustered(&s));
+      break;
+    }
+    case DynamicStructure::kTwoLevelPst: {
+      TwoLevelPst s(dev_);
+      PC_RETURN_IF_ERROR(s.Build(ToPoints(items)));
+      PC_ASSIGN_OR_RETURN(g->manifest, s.Save());
+      break;
+    }
+    case DynamicStructure::kThreeSidedPst: {
+      ThreeSidedPst s(dev_);
+      PC_RETURN_IF_ERROR(s.Build(ToPoints(items)));
+      PC_ASSIGN_OR_RETURN(g->manifest, SaveClustered(&s));
+      break;
+    }
+    case DynamicStructure::kExtSegmentTree: {
+      ExtSegmentTree s(dev_);
+      PC_RETURN_IF_ERROR(s.Build(ToIntervals(items)));
+      PC_ASSIGN_OR_RETURN(g->manifest, SaveClustered(&s));
+      break;
+    }
+    case DynamicStructure::kExtIntervalTree: {
+      ExtIntervalTree s(dev_);
+      PC_RETURN_IF_ERROR(s.Build(ToIntervals(items)));
+      PC_ASSIGN_OR_RETURN(g->manifest, SaveClustered(&s));
+      break;
+    }
+  }
+  PC_ASSIGN_OR_RETURN(
+      BlockListInfo info,
+      BuildBlockList<DynamicItem>(dev_, {items.data(), items.size()}));
+  g->items = info.ref;
+  return g;
+}
+
+Status DynamicStore::FreeGeneration(const Generation& g) {
+  if (g.manifest != kInvalidPageId) {
+    DynamicReadHandle h;
+    PC_RETURN_IF_ERROR(h.Open(dev_, kind_, g.manifest, g.version));
+    if (h.two_sided != nullptr) PC_RETURN_IF_ERROR(h.two_sided->Destroy());
+    if (h.three_sided != nullptr) PC_RETURN_IF_ERROR(h.three_sided->Destroy());
+    if (h.seg_tree != nullptr) PC_RETURN_IF_ERROR(h.seg_tree->Destroy());
+    if (h.interval_tree != nullptr) {
+      PC_RETURN_IF_ERROR(h.interval_tree->Destroy());
+    }
+  }
+  if (!g.items.empty()) PC_RETURN_IF_ERROR(FreeBlockList(dev_, g.items));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DynamicStore>> DynamicStore::Create(
+    PageDevice* dev, DynamicStructure kind, std::span<const DynamicItem> initial,
+    DynamicStoreOptions opts) {
+  if (static_cast<uint32_t>(kind) < 1 || static_cast<uint32_t>(kind) > 5) {
+    return Status::InvalidArgument("unknown dynamic structure kind");
+  }
+  auto store = std::unique_ptr<DynamicStore>(new DynamicStore(dev, opts));
+  store->kind_ = kind;
+  PC_ASSIGN_OR_RETURN(store->root_, dev->Allocate());
+  PC_ASSIGN_OR_RETURN(store->slot_page_[0], dev->Allocate());
+  PC_ASSIGN_OR_RETURN(store->slot_page_[1], dev->Allocate());
+  PC_ASSIGN_OR_RETURN(store->wal_, WriteAheadLog::Create(dev));
+
+  std::vector<DynamicItem> items(initial.begin(), initial.end());
+  std::sort(items.begin(), items.end(), DynamicItemLess{});
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  PC_ASSIGN_OR_RETURN(store->current_, store->BuildGeneration(std::move(items)));
+  store->current_->version = 1;
+
+  DynamicSlotHeader slot;
+  slot.version = 1;
+  slot.inner_manifest = store->current_->manifest;
+  slot.items_head = store->current_->items.head;
+  slot.items_count = store->current_->items.count;
+  slot.wal_head = store->wal_->head();
+  slot.absorbed_lsn = 0;
+  PC_RETURN_IF_ERROR(store->WriteSlotLocked(0, slot));
+  PC_RETURN_IF_ERROR(store->WriteRoot());
+  PC_RETURN_IF_ERROR(dev->Sync());
+
+  PC_RETURN_IF_ERROR(store->handle_.Open(dev, kind, store->current_->manifest,
+                                         /*version=*/1));
+  store->current_slot_ = 0;
+  store->version_.store(1, std::memory_order_release);
+  store->idle_version_.store(1, std::memory_order_release);
+  return store;
+}
+
+Result<std::unique_ptr<DynamicStore>> DynamicStore::Open(
+    PageDevice* dev, PageId root, DynamicStoreOptions opts) {
+  auto store = std::unique_ptr<DynamicStore>(new DynamicStore(dev, opts));
+  TraceSpan span(opts.tracer, "dynamic.recover");
+
+  std::vector<std::byte> page(dev->page_size());
+  PC_RETURN_IF_ERROR(dev->Read(root, page.data()));
+  DynamicRootHeader rh;
+  std::memcpy(&rh, page.data(), sizeof(rh));
+  if (rh.magic != kDynamicRootMagic) {
+    return Status::Corruption("not a dynamic store root");
+  }
+  if (rh.header_crc != RootCrc(rh)) {
+    return Status::Corruption("dynamic root header checksum mismatch");
+  }
+  if (rh.format_version != kDynamicFormatVersion) {
+    return Status::InvalidArgument("unsupported dynamic format version " +
+                                   std::to_string(rh.format_version));
+  }
+  store->root_ = root;
+  store->kind_ = static_cast<DynamicStructure>(rh.kind);
+  store->slot_page_[0] = rh.slot[0];
+  store->slot_page_[1] = rh.slot[1];
+
+  // Pick the winning publish slot: valid header, highest version.  A slot
+  // torn by a crashed publish fails its CRC and simply loses.
+  DynamicSlotHeader winner;
+  int winner_idx = -1;
+  for (int i = 0; i < 2; ++i) {
+    DynamicSlotHeader h;
+    PC_RETURN_IF_ERROR(dev->Read(rh.slot[i], page.data()));
+    std::memcpy(&h, page.data(), sizeof(h));
+    if (ValidSlot(h) && (winner_idx < 0 || h.version > winner.version)) {
+      winner = h;
+      winner_idx = i;
+    }
+  }
+  if (winner_idx < 0) {
+    return Status::Corruption("dynamic store has no valid publish slot");
+  }
+
+  store->current_ = std::make_shared<Generation>();
+  store->current_->version = winner.version;
+  store->current_->manifest = winner.inner_manifest;
+  store->current_->items.head = winner.items_head;
+  store->current_->items.count = winner.items_count;
+
+  std::vector<WriteAheadLog::ReplayedRecord> replayed;
+  PC_ASSIGN_OR_RETURN(store->wal_,
+                      WriteAheadLog::Open(dev, winner.wal_head,
+                                          winner.absorbed_lsn, &replayed));
+  for (const auto& r : replayed) {
+    store->delta_.Apply(DynamicUpdate{r.op, r.item}, r.lsn);
+  }
+  store->stats_.replayed_records = replayed.size();
+
+  PC_RETURN_IF_ERROR(store->handle_.Open(dev, store->kind_,
+                                         winner.inner_manifest, winner.version));
+  store->current_slot_ = static_cast<uint32_t>(winner_idx);
+  store->version_.store(winner.version, std::memory_order_release);
+  store->idle_version_.store(store->delta_.empty() ? winner.version : 0,
+                             std::memory_order_release);
+  return store;
+}
+
+Status DynamicStore::Apply(std::span<const DynamicUpdate> updates) {
+  if (updates.empty()) return Status::OK();
+  TraceSpan span(opts_.tracer, "dynamic.apply", updates.size());
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PC_ASSIGN_OR_RETURN(uint64_t commit_lsn, wal_->AppendGroup(updates));
+    for (const DynamicUpdate& u : updates) delta_.Apply(u, commit_lsn);
+    idle_version_.store(0, std::memory_order_release);
+    stats_.updates_applied += updates.size();
+    ++stats_.groups_committed;
+    if (opts_.rebuild_threshold > 0 &&
+        delta_.size() >= opts_.rebuild_threshold && !rebuild_inflight_) {
+      trigger = true;
+      if (opts_.background_rebuild) rebuild_inflight_ = true;
+    }
+  }
+  if (trigger) {
+    if (opts_.background_rebuild) {
+      LaunchBackgroundRebuild();
+    } else {
+      return RunRebuild();
+    }
+  }
+  return Status::OK();
+}
+
+void DynamicStore::LaunchBackgroundRebuild() {
+  // The previous thread (if any) has finished: rebuild_inflight_ was false
+  // when the caller set it, and the flag is cleared only as the thread's
+  // last action.
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  rebuild_thread_ = std::thread([this] {
+    Status s = RunRebuild();
+    std::lock_guard<std::mutex> lk(mu_);
+    last_rebuild_status_ = s;
+    if (!s.ok()) ++stats_.rebuild_failures;
+    rebuild_inflight_ = false;
+  });
+}
+
+Status DynamicStore::WaitForRebuild() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // No thread launched at all: nothing to wait for.
+    if (!rebuild_thread_.joinable() && !rebuild_inflight_) {
+      return std::exchange(last_rebuild_status_, Status::OK());
+    }
+  }
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::exchange(last_rebuild_status_, Status::OK());
+}
+
+Status DynamicStore::Rebuild() { return RunRebuild(); }
+
+Status DynamicStore::RunRebuild() {
+  // One rebuild at a time, start to publish.  Without this, an explicit
+  // Rebuild() racing a background one can freeze the SAME base at an older
+  // LSN and publish it after the newer generation: the newer publish has
+  // already pruned the overlay and truncated the WAL past the older freeze
+  // point, so every record between the two freeze LSNs would be lost from
+  // base and overlay alike.
+  std::lock_guard<std::mutex> rebuild_lk(rebuild_mu_);
+  TraceSpan span(opts_.tracer, "dynamic.rebuild");
+
+  // Freeze: pin the base generation and copy the overlay at LSN L.
+  std::shared_ptr<Generation> base;
+  DeltaIndex frozen;
+  uint64_t absorb_lsn = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (delta_.empty()) return Status::OK();
+    base = current_;
+    ++base->pins;
+    for (const auto& [item, e] : delta_.entries()) {
+      frozen.Apply(DynamicUpdate{e.present ? UpdateOp::kInsert
+                                           : UpdateOp::kDelete,
+                                 item},
+                   e.lsn);
+    }
+    absorb_lsn = wal_->last_committed_lsn();
+  }
+  auto unpin_base = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    --base->pins;
+  };
+
+  // Merge base snapshot + frozen overlay, build the next generation into
+  // fresh pages, and make its pages durable before anything references it.
+  std::vector<DynamicItem> items;
+  if (!base->items.empty()) {
+    Status rs = ReadBlockChain<DynamicItem>(dev_, base->items.head, &items);
+    if (!rs.ok()) {
+      unpin_base();
+      return rs;
+    }
+  }
+  Result<std::shared_ptr<Generation>> built =
+      BuildGeneration(frozen.MergeIntoBase(std::move(items)));
+  if (!built.ok()) {
+    unpin_base();
+    return built.status();
+  }
+  std::shared_ptr<Generation> next = built.value();
+  Status sync = dev_->Sync();
+  if (!sync.ok()) {
+    unpin_base();
+    return sync;
+  }
+
+  // Publish: write the non-current slot with version+1, then sync.  The
+  // slot's wal_head already accounts for the truncation that follows, so a
+  // crash in between never strands the durable head behind freed pages.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --base->pins;
+    const uint64_t v = current_->version + 1;
+    const uint32_t idx = current_slot_ ^ 1u;
+    next->version = v;
+    DynamicSlotHeader slot;
+    slot.version = v;
+    slot.inner_manifest = next->manifest;
+    slot.items_head = next->items.head;
+    slot.items_count = next->items.count;
+    slot.wal_head = wal_->TruncatePreview(absorb_lsn);
+    slot.absorbed_lsn = absorb_lsn;
+    PC_RETURN_IF_ERROR(WriteSlotLocked(idx, slot));
+    TraceSpan publish(opts_.tracer, "dynamic.publish", v);
+
+    current_->retired = true;
+    retired_.push_back(current_);
+    current_ = next;
+    current_slot_ = idx;
+    version_.store(v, std::memory_order_release);
+    PC_RETURN_IF_ERROR(
+        handle_.Open(dev_, kind_, current_->manifest, current_->version));
+    delta_.PruneAbsorbed(absorb_lsn);
+    idle_version_.store(delta_.empty() ? v : 0, std::memory_order_release);
+    PC_RETURN_IF_ERROR(wal_->TruncateThrough(absorb_lsn).ToStatus());
+    ++stats_.rebuilds;
+    PC_RETURN_IF_ERROR(ReclaimRetiredLocked());
+  }
+  return Status::OK();
+}
+
+GenerationRef DynamicStore::PinCurrent() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++current_->pins;
+  return GenerationRef{current_->version, current_->manifest,
+                       current_->items.count};
+}
+
+void DynamicStore::Unpin(uint64_t version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->version == version) {
+    --current_->pins;
+    return;
+  }
+  for (auto& g : retired_) {
+    if (g->version == version) {
+      --g->pins;
+      break;
+    }
+  }
+  // Last reader off a retired generation reclaims it (and any other
+  // drained generation) right here.
+  (void)ReclaimRetiredLocked();
+}
+
+Status DynamicStore::ReclaimRetired() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ReclaimRetiredLocked();
+}
+
+Status DynamicStore::ReclaimRetiredLocked() {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if ((*it)->pins == 0) {
+      PC_RETURN_IF_ERROR(FreeGeneration(**it));
+      ++stats_.generations_reclaimed;
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicStore::QueryTwoSided(const TwoSidedQuery& q,
+                                   std::vector<Point>* out, QueryStats* stats) {
+  // Guard the verb by kind here, not in the handle: an empty generation has
+  // no structure to reject it for us.
+  if (kind_ != DynamicStructure::kExternalPst &&
+      kind_ != DynamicStructure::kTwoLevelPst) {
+    return Status::InvalidArgument(
+        "QueryTwoSided on a dynamic store of a different kind");
+  }
+  out->clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(handle_.QueryTwoSided(q, out, stats));
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Point& p) { return q.Contains(p); },
+                        [](const DynamicItem& i) { return i.ToPoint(); }, out);
+  return Status::OK();
+}
+
+Status DynamicStore::QueryThreeSided(const ThreeSidedQuery& q,
+                                     std::vector<Point>* out,
+                                     QueryStats* stats) {
+  if (kind_ != DynamicStructure::kThreeSidedPst) {
+    return Status::InvalidArgument(
+        "QueryThreeSided on a dynamic store of a different kind");
+  }
+  out->clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(handle_.QueryThreeSided(q, out, stats));
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Point& p) { return q.Contains(p); },
+                        [](const DynamicItem& i) { return i.ToPoint(); }, out);
+  return Status::OK();
+}
+
+Status DynamicStore::Stab(int64_t q, std::vector<Interval>* out,
+                          QueryStats* stats) {
+  if (IsPointStructure(kind_)) {
+    return Status::InvalidArgument(
+        "Stab on a dynamic store of a point kind");
+  }
+  out->clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(handle_.Stab(q, out, stats));
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Interval& iv) { return iv.Contains(q); },
+                        [](const DynamicItem& i) { return i.ToInterval(); },
+                        out);
+  return Status::OK();
+}
+
+bool DynamicStore::OverlayTwoSided(uint64_t version, const TwoSidedQuery& q,
+                                   std::vector<Point>* out) {
+  // Idle fast path: one acquire load proving "generation `version` is still
+  // published and the delta is empty" — at that instant the base result IS
+  // the merged result, no lock needed.  Versions start at 1, so 0 never
+  // matches.
+  if (idle_version_.load(std::memory_order_acquire) == version) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->version != version) return false;
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Point& p) { return q.Contains(p); },
+                        [](const DynamicItem& i) { return i.ToPoint(); }, out);
+  return true;
+}
+
+bool DynamicStore::OverlayThreeSided(uint64_t version, const ThreeSidedQuery& q,
+                                     std::vector<Point>* out) {
+  if (idle_version_.load(std::memory_order_acquire) == version) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->version != version) return false;
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Point& p) { return q.Contains(p); },
+                        [](const DynamicItem& i) { return i.ToPoint(); }, out);
+  return true;
+}
+
+bool DynamicStore::OverlayStab(uint64_t version, int64_t q,
+                               std::vector<Interval>* out) {
+  if (idle_version_.load(std::memory_order_acquire) == version) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (current_->version != version) return false;
+  delta_.FilterOverridden(out);
+  delta_.CollectPresent([&](const Interval& iv) { return iv.Contains(q); },
+                        [](const DynamicItem& i) { return i.ToInterval(); },
+                        out);
+  return true;
+}
+
+Status DynamicStore::Destroy() {
+  (void)WaitForRebuild();
+  std::lock_guard<std::mutex> lk(mu_);
+  PC_RETURN_IF_ERROR(ReclaimRetiredLocked());
+  if (!retired_.empty()) {
+    return Status::FailedPrecondition("retired generations still pinned");
+  }
+  if (current_ != nullptr) {
+    PC_RETURN_IF_ERROR(FreeGeneration(*current_));
+    current_.reset();
+  }
+  handle_.Reset();
+  if (wal_ != nullptr) PC_RETURN_IF_ERROR(wal_->Destroy());
+  for (PageId& p : slot_page_) {
+    if (p != kInvalidPageId) {
+      PC_RETURN_IF_ERROR(dev_->Free(p));
+      p = kInvalidPageId;
+    }
+  }
+  if (root_ != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev_->Free(root_));
+    root_ = kInvalidPageId;
+  }
+  delta_.clear();
+  return Status::OK();
+}
+
+DynamicStoreStats DynamicStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DynamicStoreStats s = stats_;
+  s.delta_entries = delta_.size();
+  s.generation_items = current_ != nullptr ? current_->items.count : 0;
+  s.generation_version = current_ != nullptr ? current_->version : 0;
+  if (wal_ != nullptr) {
+    s.wal = wal_->stats();
+    s.wal_chain_pages = wal_->chain_pages();
+  }
+  return s;
+}
+
+}  // namespace pathcache

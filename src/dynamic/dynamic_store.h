@@ -1,0 +1,309 @@
+// DynamicStore: crash-safe online updates over any of the library's saved
+// external structures (Section 5 of the paper, engineered for durability).
+//
+// Layered view of one store:
+//
+//   root page (immutable)           — names the two publish slots + kind
+//   publish slots A/B (ping-pong)   — versioned, checksummed pointers to
+//                                     the current GENERATION: the saved
+//                                     structure's manifest, an items
+//                                     snapshot (BlockList of DynamicItem),
+//                                     the WAL head and the absorbed LSN
+//   generation (immutable pages)    — a normal Save()d structure + items
+//   write-ahead log (wal.h)         — committed mutations since absorption
+//   delta overlay (delta.h)         — in-memory image of the WAL tail
+//
+// Mutations: Apply() appends the group to the WAL, group-commits with one
+// Sync(), and only then folds the group into the in-memory overlay and
+// acknowledges.  Queries merge the base generation with the overlay
+// (delta.h documents why the merge is exact).
+//
+// Rebuild + publish: when the overlay passes a threshold (or on demand), a
+// rebuild freezes the overlay at LSN L, bulk-builds a brand-new generation
+// into fresh pages (old pages are never modified), Sync()s, and publishes
+// by writing the *non-current* slot with version+1 and Sync()ing again —
+// the dual-slot ping-pong makes the swap atomic: recovery picks the valid
+// slot with the highest version, so a torn slot write simply loses the
+// publish, never the store.  Only after the new slot is durable is the WAL
+// truncated and the old generation retired.
+//
+// Epochs: readers pin the current generation (PinCurrent/Unpin); a publish
+// retires the old generation but frees its pages only when its pin count
+// drains to zero, so in-flight readers finish on the old generation
+// without blocking the swap.
+//
+// Crash safety: a crash at ANY point recovers to exactly the acknowledged
+// prefix — the winning slot names a complete generation, the WAL replays
+// committed groups past the slot's absorbed LSN, and unacknowledged
+// groups vanish atomically (wal.h).  Pages a crash orphans (a half-built
+// generation, WAL pages past a truncation) are unreferenced, never
+// corrupting; dynamic_fsck.h finds and reclaims them.
+//
+// Thread-safety: all public methods are safe to call concurrently.  The
+// device must itself be thread-safe (e.g. SharedBufferPool) whenever
+// background rebuilds or multi-threaded callers are in play; the overlay
+// and WAL are guarded by one internal mutex.
+
+#ifndef PATHCACHE_DYNAMIC_DYNAMIC_STORE_H_
+#define PATHCACHE_DYNAMIC_DYNAMIC_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/ext_interval_tree.h"
+#include "core/ext_segment_tree.h"
+#include "core/three_sided.h"
+#include "core/two_sided_index.h"
+#include "dynamic/delta.h"
+#include "dynamic/update.h"
+#include "dynamic/wal.h"
+#include "io/block_list.h"
+#include "io/page_device.h"
+#include "obs/trace.h"
+#include "util/geometry.h"
+
+namespace pathcache {
+
+inline constexpr uint64_t kDynamicRootMagic = 0x544F4F5243414E59ULL;  // "YNACROOT"
+inline constexpr uint64_t kDynamicSlotMagic = 0x544F4C5343414E59ULL;  // "YNACSLOT"
+inline constexpr uint32_t kDynamicFormatVersion = 1;
+
+/// Which saved structure a store wraps; decides both the rebuild builder
+/// and which query verbs are valid (points: TwoSided for the 2-sided
+/// indexes, ThreeSided for the PST; intervals: Stab for the two trees).
+enum class DynamicStructure : uint32_t {
+  kExternalPst = 1,
+  kTwoLevelPst = 2,
+  kThreeSidedPst = 3,
+  kExtSegmentTree = 4,
+  kExtIntervalTree = 5,
+};
+
+inline bool IsPointStructure(DynamicStructure k) {
+  return k == DynamicStructure::kExternalPst ||
+         k == DynamicStructure::kTwoLevelPst ||
+         k == DynamicStructure::kThreeSidedPst;
+}
+
+struct DynamicRootHeader {
+  uint64_t magic = kDynamicRootMagic;
+  uint32_t format_version = kDynamicFormatVersion;
+  uint32_t kind = 0;  // DynamicStructure
+  PageId slot[2] = {kInvalidPageId, kInvalidPageId};
+  uint32_t pad = 0;
+  uint32_t header_crc = 0;  // CRC32C of the header with this field zeroed
+};
+static_assert(sizeof(DynamicRootHeader) == 40);
+
+struct DynamicSlotHeader {
+  uint64_t magic = kDynamicSlotMagic;
+  uint64_t version = 0;  // publish counter; recovery picks the valid max
+  PageId inner_manifest = kInvalidPageId;  // invalid = empty generation
+  PageId items_head = kInvalidPageId;      // BlockList<DynamicItem> snapshot
+  uint64_t items_count = 0;
+  PageId wal_head = kInvalidPageId;
+  uint64_t absorbed_lsn = 0;  // WAL records <= this are in the generation
+  uint64_t reserved = 0;
+  uint32_t pad = 0;
+  uint32_t header_crc = 0;  // CRC32C of the header with this field zeroed
+};
+static_assert(sizeof(DynamicSlotHeader) == 72);
+
+/// A per-device read handle over one generation's saved structure: the
+/// store uses one internally, and each QueryEngine worker opens its own
+/// over its private counting device so per-request I/O stays exact.
+struct DynamicReadHandle {
+  uint64_t version = 0;
+  bool ready = false;  // false = empty generation (no structure)
+  std::unique_ptr<TwoSidedIndex> two_sided;
+  std::unique_ptr<ThreeSidedPst> three_sided;
+  std::unique_ptr<ExtSegmentTree> seg_tree;
+  std::unique_ptr<ExtIntervalTree> interval_tree;
+
+  Status Open(PageDevice* dev, DynamicStructure kind, PageId manifest,
+              uint64_t version);
+  void Reset();
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats) const;
+  Status QueryThreeSided(const ThreeSidedQuery& q, std::vector<Point>* out,
+                         QueryStats* stats) const;
+  Status Stab(int64_t q, std::vector<Interval>* out, QueryStats* stats) const;
+};
+
+struct DynamicStoreOptions {
+  /// Overlay size (entries) that triggers an automatic rebuild after an
+  /// Apply(); 0 = rebuild only on explicit Rebuild() calls.
+  uint64_t rebuild_threshold = 0;
+  /// Run threshold-triggered rebuilds on a background thread instead of
+  /// inline in Apply().  Requires a thread-safe device.
+  bool background_rebuild = false;
+  Tracer* tracer = nullptr;
+};
+
+struct DynamicStoreStats {
+  uint64_t updates_applied = 0;
+  uint64_t groups_committed = 0;
+  uint64_t rebuilds = 0;
+  uint64_t rebuild_failures = 0;
+  uint64_t generations_reclaimed = 0;
+  uint64_t replayed_records = 0;  // committed records re-applied at Open
+  uint64_t delta_entries = 0;     // gauge: current overlay size
+  uint64_t generation_items = 0;  // gauge: records in the base generation
+  uint64_t generation_version = 0;
+  uint64_t wal_chain_pages = 0;
+  WriteAheadLog::WalStats wal;
+};
+
+/// An epoch pin on one generation (see PinCurrent).
+struct GenerationRef {
+  uint64_t version = 0;
+  PageId manifest = kInvalidPageId;  // invalid = empty generation
+  uint64_t items = 0;
+};
+
+class DynamicStore {
+ public:
+  /// Creates a new store (initial records are deduplicated), durable when
+  /// the call returns; the caller persists root() wherever it keeps
+  /// manifest ids.
+  static Result<std::unique_ptr<DynamicStore>> Create(
+      PageDevice* dev, DynamicStructure kind,
+      std::span<const DynamicItem> initial = {}, DynamicStoreOptions opts = {});
+
+  /// Recovers a store from its root page: picks the winning publish slot,
+  /// replays the WAL's committed tail into the overlay, discards torn or
+  /// unacknowledged records.
+  static Result<std::unique_ptr<DynamicStore>> Open(
+      PageDevice* dev, PageId root, DynamicStoreOptions opts = {});
+
+  ~DynamicStore();
+
+  PageId root() const { return root_; }
+  DynamicStructure structure() const { return kind_; }
+
+  /// Durably applies one group of mutations: WAL append + group-commit
+  /// Sync, then the overlay.  When it returns OK the whole group survives
+  /// any crash; on error (or a crash mid-call) the whole group is absent
+  /// after recovery.
+  Status Apply(std::span<const DynamicUpdate> updates);
+  Status Insert(const DynamicItem& item) {
+    DynamicUpdate u{UpdateOp::kInsert, item};
+    return Apply({&u, 1});
+  }
+  Status Erase(const DynamicItem& item) {
+    DynamicUpdate u{UpdateOp::kDelete, item};
+    return Apply({&u, 1});
+  }
+
+  /// Merged queries (base generation + overlay).  Each verb is valid only
+  /// for the matching structure kind.  Results carry no particular order.
+  Status QueryTwoSided(const TwoSidedQuery& q, std::vector<Point>* out,
+                       QueryStats* stats = nullptr);
+  Status QueryThreeSided(const ThreeSidedQuery& q, std::vector<Point>* out,
+                         QueryStats* stats = nullptr);
+  Status Stab(int64_t q, std::vector<Interval>* out,
+              QueryStats* stats = nullptr);
+
+  /// Synchronously rebuilds + publishes a new generation and truncates the
+  /// WAL.  Cheap no-op when the overlay is empty.
+  Status Rebuild();
+
+  /// Joins an in-flight background rebuild and returns its status (OK when
+  /// none ran since the last call).
+  Status WaitForRebuild();
+
+  /// Epoch pins for external readers: the pinned generation's pages stay
+  /// allocated until Unpin, even across publishes.  Every PinCurrent must
+  /// be matched by exactly one Unpin with the returned version.
+  GenerationRef PinCurrent();
+  void Unpin(uint64_t version);
+  /// The currently published version — cheap staleness probe for cached
+  /// read handles (no lock).
+  uint64_t current_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Overlay-side merge for external read handles: drops overridden
+  /// records from `out` and appends matching present overrides.  Call with
+  /// the base results of the pinned generation's structure and the pinned
+  /// version; returns false (leaving `out` untouched) when a publish
+  /// absorbed overlay entries since the pin — the overlay no longer pairs
+  /// with that base, so the caller must re-pin and re-run the base query.
+  bool OverlayTwoSided(uint64_t version, const TwoSidedQuery& q,
+                       std::vector<Point>* out);
+  bool OverlayThreeSided(uint64_t version, const ThreeSidedQuery& q,
+                         std::vector<Point>* out);
+  bool OverlayStab(uint64_t version, int64_t q, std::vector<Interval>* out);
+
+  /// Frees retired generations whose pin counts drained to zero.  Runs
+  /// automatically at publish and at the last Unpin of a retired
+  /// generation.
+  Status ReclaimRetired();
+
+  /// Frees every page the store owns (current + retired generations, WAL,
+  /// root and slots).  The store is unusable afterwards.
+  Status Destroy();
+
+  DynamicStoreStats stats() const;
+
+ private:
+  struct Generation {
+    uint64_t version = 0;
+    PageId manifest = kInvalidPageId;
+    BlockListRef items;
+    uint64_t pins = 0;  // guarded by mu_
+    bool retired = false;
+  };
+
+  explicit DynamicStore(PageDevice* dev, DynamicStoreOptions opts);
+
+  Status WriteRoot();
+  Status WriteSlotLocked(uint32_t idx, const DynamicSlotHeader& h);
+  // Builds a fresh generation (structure + items snapshot) from `items`;
+  // pure page allocation + writes, no sync, no publish.
+  Result<std::shared_ptr<Generation>> BuildGeneration(
+      std::vector<DynamicItem> items);
+  // Frees a generation's pages (structure via its own Destroy, items via
+  // FreeBlockList).
+  Status FreeGeneration(const Generation& g);
+  Status ReclaimRetiredLocked();
+  // The full rebuild pipeline; `locked_hint` is the overlay size observed
+  // by the caller (metrics only).
+  Status RunRebuild();
+  void LaunchBackgroundRebuild();
+
+  PageDevice* dev_;
+  DynamicStoreOptions opts_;
+  DynamicStructure kind_ = DynamicStructure::kExternalPst;
+  PageId root_ = kInvalidPageId;
+  PageId slot_page_[2] = {kInvalidPageId, kInvalidPageId};
+
+  mutable std::mutex mu_;
+  /// Serializes entire rebuild pipelines (freeze → build → publish); always
+  /// acquired before mu_, never while holding it.  See RunRebuild.
+  std::mutex rebuild_mu_;
+  uint32_t current_slot_ = 0;  // index of the slot holding current_->version
+  std::shared_ptr<Generation> current_;
+  std::vector<std::shared_ptr<Generation>> retired_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  DeltaIndex delta_;
+  DynamicReadHandle handle_;  // the store's own read handle on dev_
+  DynamicStoreStats stats_;
+  std::atomic<uint64_t> version_{0};
+  /// Equal to the published version while the delta is empty, 0 otherwise.
+  /// Written only under mu_; lets OverlayX answer the idle common case (no
+  /// pending updates) with one acquire load instead of taking mu_.
+  std::atomic<uint64_t> idle_version_{0};
+
+  // Background rebuild bookkeeping (guarded by mu_ except the thread).
+  std::thread rebuild_thread_;
+  bool rebuild_inflight_ = false;
+  Status last_rebuild_status_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_DYNAMIC_STORE_H_

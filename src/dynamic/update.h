@@ -1,0 +1,58 @@
+// Record and mutation types shared by the dynamic-update layer (src/dynamic).
+//
+// Every external structure in this library stores 24-byte records of the
+// same shape — Point{x, y, id} or Interval{lo, hi, id} — so the dynamic
+// layer handles both through one layout-compatible DynamicItem and lets the
+// store's kind decide how queries interpret the two coordinates.
+
+#ifndef PATHCACHE_DYNAMIC_UPDATE_H_
+#define PATHCACHE_DYNAMIC_UPDATE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "util/geometry.h"
+
+namespace pathcache {
+
+/// One stored record, kind-agnostic: (a, b) is (x, y) for point structures
+/// and (lo, hi) for interval structures; `id` is the caller's identifier.
+struct DynamicItem {
+  int64_t a = 0;
+  int64_t b = 0;
+  uint64_t id = 0;
+
+  Point ToPoint() const { return Point{a, b, id}; }
+  Interval ToInterval() const { return Interval{a, b, id}; }
+  static DynamicItem From(const Point& p) { return DynamicItem{p.x, p.y, p.id}; }
+  static DynamicItem From(const Interval& iv) {
+    return DynamicItem{iv.lo, iv.hi, iv.id};
+  }
+
+  friend bool operator==(const DynamicItem&, const DynamicItem&) = default;
+};
+static_assert(sizeof(DynamicItem) == 24);
+
+/// Total order used by the delta index and the merge paths.
+struct DynamicItemLess {
+  bool operator()(const DynamicItem& x, const DynamicItem& y) const {
+    return std::tie(x.a, x.b, x.id) < std::tie(y.a, y.b, y.id);
+  }
+};
+
+enum class UpdateOp : uint8_t {
+  kInsert = 1,  // add one copy of the item
+  kDelete = 2,  // remove one copy if any copy is present, else a no-op
+};
+
+/// One acknowledged mutation.  Groups of these are the unit of atomicity:
+/// a group is durable (and acknowledged) only after its WAL commit record
+/// is synced, and recovery replays whole groups or nothing.
+struct DynamicUpdate {
+  UpdateOp op = UpdateOp::kInsert;
+  DynamicItem item;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_UPDATE_H_

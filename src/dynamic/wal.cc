@@ -1,0 +1,304 @@
+#include "dynamic/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "io/crc32c.h"
+
+namespace pathcache {
+
+namespace {
+
+// CRC over everything after the crc field: op, pad, lsn, item.
+uint32_t RecordCrc(const WalRecordDisk& r) {
+  const std::byte* base = reinterpret_cast<const std::byte*>(&r);
+  return Crc32c(base + sizeof(uint32_t), sizeof(WalRecordDisk) - sizeof(uint32_t));
+}
+
+WalRecordDisk MakeRecord(WalOp op, uint64_t lsn, const DynamicItem& item) {
+  WalRecordDisk r;
+  r.op = static_cast<uint8_t>(op);
+  r.lsn = lsn;
+  r.item = item;
+  r.crc = RecordCrc(r);
+  return r;
+}
+
+size_t SlotOffset(uint32_t slot) {
+  return sizeof(WalPageHeader) + static_cast<size_t>(slot) * sizeof(WalRecordDisk);
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(PageDevice* dev)
+    : dev_(dev),
+      page_size_(dev->page_size()),
+      slots_per_page_(SlotsPerPage(dev->page_size())) {}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(PageDevice* dev) {
+  if (SlotsPerPage(dev->page_size()) == 0) {
+    return Status::InvalidArgument("page size too small for WAL records");
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(dev));
+  PC_ASSIGN_OR_RETURN(PageId head, dev->Allocate());
+  PC_ASSIGN_OR_RETURN(log->spare_, dev->Allocate());
+  log->pages_.push_back(head);
+  log->page_max_lsn_.push_back(0);
+  log->tail_image_.assign(log->page_size_, std::byte{0});
+  WalPageHeader hdr;
+  hdr.seq = 0;
+  hdr.next = log->spare_;
+  std::memcpy(log->tail_image_.data(), &hdr, sizeof(hdr));
+  PC_RETURN_IF_ERROR(dev->Write(head, log->tail_image_.data()));
+  return log;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    PageDevice* dev, PageId head, uint64_t absorbed_lsn,
+    std::vector<ReplayedRecord>* committed) {
+  if (SlotsPerPage(dev->page_size()) == 0) {
+    return Status::InvalidArgument("page size too small for WAL records");
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(dev));
+
+  std::vector<std::byte> page(log->page_size_);
+  std::vector<ReplayedRecord> pending;  // records since the last commit
+  // Where the last *committed* record landed; everything after it is the
+  // discarded tail that the next append must physically overwrite.
+  size_t committed_page_index = 0;
+  uint32_t committed_slots = 0;
+
+  uint64_t last_lsn = 0;
+  PageId cursor = head;
+  const uint64_t live_bound = dev->live_pages() + 2;  // cycle guard
+  bool stop = false;
+  while (!stop) {
+    if (log->pages_.size() > live_bound) {
+      return Status::Corruption("WAL chain cycle");
+    }
+    Status rs = dev->Read(cursor, page.data());
+    if (!rs.ok()) {
+      if (log->pages_.empty()) return rs;  // unreadable head
+      break;  // chain ran past the last durable page
+    }
+    WalPageHeader hdr;
+    std::memcpy(&hdr, page.data(), sizeof(hdr));
+    if (hdr.magic != kWalPageMagic) {
+      if (log->pages_.empty()) {
+        return Status::Corruption("WAL head is not a WAL page");
+      }
+      break;  // pre-allocated successor that was never written
+    }
+    log->pages_.push_back(cursor);
+    log->page_max_lsn_.push_back(0);
+
+    uint32_t slot = 0;
+    for (; slot < log->slots_per_page_; ++slot) {
+      WalRecordDisk rec;
+      std::memcpy(&rec, page.data() + SlotOffset(slot), sizeof(rec));
+      if (rec.op == 0) break;  // end of used slots
+      if (rec.crc != RecordCrc(rec) || rec.lsn <= last_lsn) {
+        stop = true;  // torn or stale bytes: end of log
+        break;
+      }
+      last_lsn = rec.lsn;
+      log->page_max_lsn_.back() = rec.lsn;
+      switch (static_cast<WalOp>(rec.op)) {
+        case WalOp::kInsert:
+        case WalOp::kDelete:
+          pending.push_back(ReplayedRecord{
+              rec.lsn,
+              rec.op == static_cast<uint8_t>(WalOp::kInsert) ? UpdateOp::kInsert
+                                                             : UpdateOp::kDelete,
+              rec.item});
+          break;
+        case WalOp::kCommit:
+          for (ReplayedRecord& r : pending) {
+            ++log->stats_.replay_records;
+            if (r.lsn > absorbed_lsn && committed != nullptr) {
+              committed->push_back(r);
+            }
+          }
+          pending.clear();
+          log->last_committed_lsn_ = rec.lsn;
+          committed_page_index = log->pages_.size() - 1;
+          committed_slots = slot + 1;
+          break;
+        default:
+          stop = true;  // unknown op: treat as torn tail
+          break;
+      }
+      if (stop) break;
+    }
+    if (stop) break;
+    if (slot < log->slots_per_page_) break;  // page not full: it is the tail
+    if (hdr.next == kInvalidPageId) break;
+    cursor = hdr.next;
+  }
+
+  log->stats_.replay_discarded = pending.size();
+  log->next_lsn_ = last_lsn + 1;
+
+  // Torn-tail truncation: drop chain pages past the last committed record,
+  // re-read the page it lives on as the tail image, and zero every slot
+  // after it.  The dropped pages stay allocated — they are overwritten (via
+  // the tail's pre-recorded `next` chain) as appends refill the log, and
+  // until then fsck classifies them as WAL pages of this chain.
+  if (log->pages_.empty()) return Status::Corruption("empty WAL chain");
+  const size_t keep = committed_page_index + 1;
+  // Pages past the tail keep their ids but leave the logical chain; the
+  // tail's on-media `next` still points at the first of them, which is
+  // exactly the pre-allocated-successor invariant AppendGroup relies on.
+  log->junk_.assign(log->pages_.begin() + keep, log->pages_.end());
+  log->pages_.resize(keep);
+  log->page_max_lsn_.resize(keep);
+  PC_RETURN_IF_ERROR(dev->Read(log->pages_.back(), page.data()));
+  WalPageHeader tail_hdr;
+  std::memcpy(&tail_hdr, page.data(), sizeof(tail_hdr));
+  log->tail_seq_ = tail_hdr.seq;
+  log->tail_image_.assign(page.begin(), page.end());
+  std::memset(log->tail_image_.data() + SlotOffset(committed_slots), 0,
+              log->page_size_ - SlotOffset(committed_slots));
+  log->tail_slots_used_ = committed_slots;
+  log->page_max_lsn_.back() = 0;
+  for (uint32_t s = 0; s < committed_slots; ++s) {
+    WalRecordDisk rec;
+    std::memcpy(&rec, log->tail_image_.data() + SlotOffset(s), sizeof(rec));
+    log->page_max_lsn_.back() = rec.lsn;
+  }
+  // The tail's on-media successor is the spare going forward; when the
+  // torn tail spanned several pages that successor is junk_[0], and the
+  // junk list shifts up so RollTail reuses the old chain in media order.
+  log->spare_ = tail_hdr.next;
+  if (!log->junk_.empty()) {
+    log->spare_ = log->junk_.front();
+    log->junk_.erase(log->junk_.begin());
+  }
+  if (log->spare_ == kInvalidPageId) {
+    // Legacy/defensive: a tail without a successor gets one now; it is
+    // persisted with the next page write.
+    PC_ASSIGN_OR_RETURN(log->spare_, dev->Allocate());
+    WalPageHeader* h = reinterpret_cast<WalPageHeader*>(log->tail_image_.data());
+    h->next = log->spare_;
+  }
+  return log;
+}
+
+Status WriteAheadLog::WritePage(size_t chain_index) {
+  return dev_->Write(pages_[chain_index], tail_image_.data());
+}
+
+Status WriteAheadLog::RollTail(std::vector<size_t>* dirty) {
+  // Seal the current tail: its image is full and already has `next` set to
+  // the spare.  Write it out as part of this group.
+  dirty->push_back(pages_.size() - 1);
+  PC_RETURN_IF_ERROR(WritePage(pages_.size() - 1));
+  ++stats_.pages_sealed;
+
+  // The spare becomes the new tail; pre-allocate its successor so the
+  // header never changes after this first write.  Junk pages left behind
+  // by torn-tail truncation are recycled first.
+  PageId fresh = kInvalidPageId;
+  if (!junk_.empty()) {
+    fresh = junk_.front();
+    junk_.erase(junk_.begin());
+  } else {
+    PC_ASSIGN_OR_RETURN(fresh, dev_->Allocate());
+  }
+  pages_.push_back(spare_);
+  page_max_lsn_.push_back(0);
+  spare_ = fresh;
+  ++tail_seq_;
+  tail_image_.assign(page_size_, std::byte{0});
+  WalPageHeader hdr;
+  hdr.seq = tail_seq_;
+  hdr.next = spare_;
+  std::memcpy(tail_image_.data(), &hdr, sizeof(hdr));
+  tail_slots_used_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::PlaceRecord(WalOp op, const DynamicItem& item,
+                                  std::vector<size_t>* dirty) {
+  if (tail_slots_used_ == slots_per_page_) {
+    PC_RETURN_IF_ERROR(RollTail(dirty));
+  }
+  const WalRecordDisk rec = MakeRecord(op, next_lsn_, item);
+  if (tail_slots_used_ == 0) {
+    WalPageHeader* h = reinterpret_cast<WalPageHeader*>(tail_image_.data());
+    h->first_lsn = rec.lsn;
+  }
+  std::memcpy(tail_image_.data() + SlotOffset(tail_slots_used_), &rec,
+              sizeof(rec));
+  ++tail_slots_used_;
+  page_max_lsn_.back() = rec.lsn;
+  ++next_lsn_;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::AppendGroup(
+    std::span<const DynamicUpdate> updates) {
+  if (updates.empty()) {
+    return Status::InvalidArgument("empty WAL group");
+  }
+  std::vector<size_t> dirty;  // sealed pages already written by RollTail
+  for (const DynamicUpdate& u : updates) {
+    PC_RETURN_IF_ERROR(PlaceRecord(
+        u.op == UpdateOp::kInsert ? WalOp::kInsert : WalOp::kDelete, u.item,
+        &dirty));
+  }
+  const uint64_t commit_lsn = next_lsn_;
+  PC_RETURN_IF_ERROR(PlaceRecord(WalOp::kCommit, DynamicItem{}, &dirty));
+  PC_RETURN_IF_ERROR(WritePage(pages_.size() - 1));
+  PC_RETURN_IF_ERROR(dev_->Sync());
+  last_committed_lsn_ = commit_lsn;
+  stats_.records_appended += updates.size();
+  ++stats_.group_commits;
+  return commit_lsn;
+}
+
+size_t WriteAheadLog::TruncateDropCount(uint64_t absorbed_lsn) const {
+  size_t drop = 0;
+  while (drop + 1 < pages_.size() && page_max_lsn_[drop] <= absorbed_lsn &&
+         page_max_lsn_[drop] != 0) {
+    ++drop;
+  }
+  return drop;
+}
+
+PageId WriteAheadLog::TruncatePreview(uint64_t absorbed_lsn) const {
+  return pages_[TruncateDropCount(absorbed_lsn)];
+}
+
+Result<PageId> WriteAheadLog::TruncateThrough(uint64_t absorbed_lsn) {
+  const size_t drop = TruncateDropCount(absorbed_lsn);
+  for (size_t i = 0; i < drop; ++i) {
+    PC_RETURN_IF_ERROR(dev_->Free(pages_[i]));
+    ++stats_.pages_truncated;
+  }
+  pages_.erase(pages_.begin(), pages_.begin() + drop);
+  page_max_lsn_.erase(page_max_lsn_.begin(), page_max_lsn_.begin() + drop);
+  return pages_.front();
+}
+
+Status WriteAheadLog::Destroy() {
+  for (PageId id : pages_) PC_RETURN_IF_ERROR(dev_->Free(id));
+  for (PageId id : junk_) PC_RETURN_IF_ERROR(dev_->Free(id));
+  pages_.clear();
+  junk_.clear();
+  page_max_lsn_.clear();
+  if (spare_ != kInvalidPageId) {
+    PC_RETURN_IF_ERROR(dev_->Free(spare_));
+    spare_ = kInvalidPageId;
+  }
+  return Status::OK();
+}
+
+std::vector<PageId> WriteAheadLog::OwnedPages() const {
+  std::vector<PageId> out = pages_;
+  out.insert(out.end(), junk_.begin(), junk_.end());
+  if (spare_ != kInvalidPageId) out.push_back(spare_);
+  return out;
+}
+
+}  // namespace pathcache

@@ -1,0 +1,181 @@
+// Write-ahead log for the dynamic-update layer: a page-chained, checksummed,
+// append-only record log over an arbitrary PageDevice.
+//
+// On-disk layout.  The log is a singly linked chain of pages.  Each page
+// starts with a WalPageHeader followed by fixed-size 40-byte record slots.
+// A record slot holds a CRC32C (over everything after the crc field), the
+// op, an LSN and the 24-byte item payload.  An all-zero op byte marks the
+// end of the used slots in a page.
+//
+// Torn-write safety.  Every mutation of an existing page is a pure record
+// append: the header — including the `next` pointer, which is assigned when
+// the page is FIRST written (its successor page is pre-allocated at that
+// moment) — and all previously written slots are rewritten with identical
+// bytes.  A torn write (arbitrary prefix of the new image, suffix from the
+// old image) therefore can only garble slots belonging to the in-flight,
+// not-yet-acknowledged group: acknowledged bytes are the same in both
+// images.  Replay validates each slot's CRC and requires LSNs to be
+// strictly increasing, so a torn tail parses as end-of-log.
+//
+// Group atomicity.  AppendGroup writes the group's records followed by one
+// kCommit record, then issues a single PageDevice::Sync() and only then
+// reports the group durable.  Replay buffers records until it sees their
+// commit record; a missing or torn commit discards the whole group
+// ("torn-tail truncation"), and the first append after recovery physically
+// overwrites the discarded bytes so they can never be resurrected by a
+// later commit record.
+//
+// The log itself never persists its own head pointer — the owner (the
+// dynamic store's publish slot) records `head()` and the LSN watermark it
+// has absorbed into a rebuilt generation, and passes both back to Open().
+
+#ifndef PATHCACHE_DYNAMIC_WAL_H_
+#define PATHCACHE_DYNAMIC_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dynamic/update.h"
+#include "io/page_device.h"
+#include "util/status.h"
+
+namespace pathcache {
+
+inline constexpr uint64_t kWalPageMagic = 0x484341'43'504C4157ULL;  // "WALPCACH"
+
+struct WalPageHeader {
+  uint64_t magic = kWalPageMagic;
+  uint64_t seq = 0;      // position of this page in the chain, for debugging
+  PageId next = kInvalidPageId;  // successor page, assigned at first write
+  uint64_t first_lsn = 0;        // LSN of the first record slot, 0 if none yet
+};
+static_assert(sizeof(WalPageHeader) == 32);
+
+enum class WalOp : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kCommit = 3,  // group commit marker; payload unused
+};
+
+/// One fixed-size record slot as stored on a WAL page.
+struct WalRecordDisk {
+  uint32_t crc = 0;  // CRC32C over the 36 bytes after this field
+  uint8_t op = 0;    // 0 = unused slot (end of page)
+  uint8_t pad[3] = {0, 0, 0};
+  uint64_t lsn = 0;
+  DynamicItem item;  // zero for kCommit
+};
+static_assert(sizeof(WalRecordDisk) == 40);
+
+class WriteAheadLog {
+ public:
+  /// A committed record surfaced by replay (commit markers are consumed,
+  /// not surfaced).
+  struct ReplayedRecord {
+    uint64_t lsn = 0;
+    UpdateOp op = UpdateOp::kInsert;
+    DynamicItem item;
+  };
+
+  struct WalStats {
+    uint64_t records_appended = 0;
+    uint64_t group_commits = 0;
+    uint64_t pages_sealed = 0;
+    uint64_t pages_truncated = 0;
+    uint64_t replay_records = 0;
+    uint64_t replay_discarded = 0;  // torn / uncommitted tail records dropped
+  };
+
+  /// Creates an empty log: writes the head page (with a pre-allocated
+  /// successor) but does NOT sync — the owner's publish step provides the
+  /// barrier that makes the new log reachable and durable atomically.
+  static Result<std::unique_ptr<WriteAheadLog>> Create(PageDevice* dev);
+
+  /// Opens an existing log from `head`, replaying every committed record
+  /// with LSN > `absorbed_lsn` into `committed` (in log order).  Torn or
+  /// uncommitted tail records are discarded, and the in-memory append
+  /// cursor is positioned so the next AppendGroup physically overwrites
+  /// them.  Never writes to the device.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      PageDevice* dev, PageId head, uint64_t absorbed_lsn,
+      std::vector<ReplayedRecord>* committed);
+
+  /// Appends the group followed by a commit marker, writes every dirty
+  /// page, then syncs.  Returns the commit record's LSN; when it returns
+  /// OK the whole group is durable, otherwise none of it is (after a
+  /// crash-and-reopen).  Empty groups are rejected.
+  Result<uint64_t> AppendGroup(std::span<const DynamicUpdate> updates);
+
+  /// The head TruncateThrough(absorbed_lsn) would leave, without mutating
+  /// anything.  Publish writes this preview into the slot BEFORE the
+  /// truncation frees pages, so the durable head never points at a freed
+  /// page.
+  PageId TruncatePreview(uint64_t absorbed_lsn) const;
+
+  /// Frees chain pages whose records are all committed at LSN <=
+  /// `absorbed_lsn`, keeping at least the tail page.  Returns the new head.
+  /// The caller must durably record the new head BEFORE calling this (a
+  /// crash in between leaves dangling-but-unreferenced WAL pages for fsck,
+  /// never a dangling head pointer).
+  Result<PageId> TruncateThrough(uint64_t absorbed_lsn);
+
+  /// Frees every page of the log, including the pre-allocated spare.
+  Status Destroy();
+
+  /// All pages the log owns on the device: the chain plus the
+  /// pre-allocated successor of the tail page.
+  std::vector<PageId> OwnedPages() const;
+
+  PageId head() const { return pages_.front(); }
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t last_committed_lsn() const { return last_committed_lsn_; }
+  uint64_t chain_pages() const { return pages_.size(); }
+  const WalStats& stats() const { return stats_; }
+
+  /// Record slots per page for this device's page size.
+  static uint32_t SlotsPerPage(uint32_t page_size) {
+    return (page_size - static_cast<uint32_t>(sizeof(WalPageHeader))) /
+           static_cast<uint32_t>(sizeof(WalRecordDisk));
+  }
+
+ private:
+  explicit WriteAheadLog(PageDevice* dev);
+
+  // Seals the tail (it is full), making the pre-allocated spare the new
+  // tail and allocating a fresh spare for it.  Records the sealed page in
+  // `dirty` so AppendGroup writes it out.
+  Status RollTail(std::vector<size_t>* dirty);
+  size_t TruncateDropCount(uint64_t absorbed_lsn) const;
+  // Places one record into the tail image, rolling first if full.
+  Status PlaceRecord(WalOp op, const DynamicItem& item,
+                     std::vector<size_t>* dirty);
+  Status WritePage(size_t chain_index);
+
+  PageDevice* dev_;
+  uint32_t page_size_;
+  uint32_t slots_per_page_;
+
+  std::vector<PageId> pages_;         // the chain, head first
+  std::vector<uint64_t> page_max_lsn_;  // max record LSN per chain page
+  PageId spare_ = kInvalidPageId;       // tail's pre-allocated successor
+  // Pages that left the logical chain during torn-tail truncation but are
+  // still allocated (and still linked from the media tail's `next` chain).
+  // RollTail drains them as replacement spares before allocating fresh
+  // pages, so recovery never has to Free() anything.
+  std::vector<PageId> junk_;
+
+  std::vector<std::byte> tail_image_;  // full image of the tail page
+  uint32_t tail_slots_used_ = 0;
+  uint64_t tail_seq_ = 0;
+
+  uint64_t next_lsn_ = 1;
+  uint64_t last_committed_lsn_ = 0;
+  WalStats stats_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_DYNAMIC_WAL_H_

@@ -37,6 +37,17 @@ class BufferPool final : public PageDevice {
   Result<const std::byte*> Pin(PageId id) override;
   void Unpin(PageId id) override;
 
+  /// The pool is write-through, so a barrier is just the inner device's.
+  Status Sync() override {
+    Status s = inner_->Sync();
+    if (s.ok()) ++stats_.syncs;
+    return s;
+  }
+
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
+
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override {
     stats_ = IoStats{};

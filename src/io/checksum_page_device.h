@@ -83,6 +83,14 @@ class ChecksumPageDevice final : public PageDevice {
   /// above this device, not below, if that matters.
   Result<const std::byte*> Pin(PageId id) override;
   void Unpin(PageId id) override { inner_->Unpin(id); }
+  Status Sync() override {
+    Status s = inner_->Sync();
+    if (s.ok()) ++stats_.syncs;
+    return s;
+  }
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return inner_->live_pages(); }

@@ -90,6 +90,16 @@ class CountingPageDevice final : public PageDevice {
 
   void Unpin(PageId id) override { inner_->Unpin(id); }
 
+  Status Sync() override {
+    Status s = inner_->Sync();
+    if (s.ok()) ++stats_.syncs;
+    return s;
+  }
+
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
+
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return inner_->live_pages(); }

@@ -31,6 +31,29 @@ void FaultPageDevice::TearWriteAt(uint64_t nth, uint32_t keep_bytes) {
 
 void FaultPageDevice::CrashAtWrite(uint64_t nth) { crash_at_ = nth; }
 
+void FaultPageDevice::CrashAtSync(uint64_t nth) { crash_at_sync_ = nth; }
+
+void FaultPageDevice::CrashNow() { TriggerCrash(); }
+
+void FaultPageDevice::TriggerCrash() {
+  crashed_ = true;
+  // Power loss with a volatile write-back cache: everything unsynced is
+  // gone.  (Without volatile mode the shadow is empty and this is a no-op —
+  // the legacy model where pre-trigger writes persist unsynced.)
+  shadow_.clear();
+}
+
+void FaultPageDevice::SetVolatileWrites(bool on) {
+  if (!on && !crashed_) {
+    // Orderly disable: flush, like a clean shutdown.
+    for (const auto& [id, bytes] : shadow_) {
+      (void)inner_->Write(id, bytes.data());
+    }
+  }
+  if (!on) shadow_.clear();
+  volatile_writes_ = on;
+}
+
 bool FaultPageDevice::crashed() const { return crashed_; }
 
 void FaultPageDevice::ClearFaults() {
@@ -39,16 +62,23 @@ void FaultPageDevice::ClearFaults() {
   read_flips_.clear();
   tears_.clear();
   crash_at_.reset();
+  crash_at_sync_.reset();
   crashed_ = false;
   fault_stats_ = FaultStats{};
   reads_seen_ = 0;
   writes_seen_ = 0;
+  syncs_seen_ = 0;
 }
 
 Status FaultPageDevice::CorruptStoredBit(PageId id, uint64_t bit) {
   const uint32_t psz = inner_->page_size();
   if (bit >= 8ULL * psz) {
     return Status::InvalidArgument("bit index beyond page");
+  }
+  if (auto it = shadow_.find(id); it != shadow_.end()) {
+    it->second[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    ++fault_stats_.bit_flips;
+    return Status::OK();
   }
   std::vector<std::byte> tmp(psz);
   PC_RETURN_IF_ERROR(inner_->Read(id, tmp.data()));
@@ -65,6 +95,15 @@ Result<PageId> FaultPageDevice::Allocate() {
 }
 
 Status FaultPageDevice::Free(PageId id) {
+  if (crashed_) {
+    // The deallocation metadata update is a write like any other: dropped
+    // after the crash point, so post-crash GC leaves its pages live for
+    // recovery (and fsck) to find.
+    ++fault_stats_.dropped_frees;
+    ++stats_.frees;
+    return Status::OK();
+  }
+  shadow_.erase(id);
   PC_RETURN_IF_ERROR(inner_->Free(id));
   ++stats_.frees;
   return Status::OK();
@@ -79,7 +118,12 @@ Status FaultPageDevice::ReadImpl(PageId id, std::byte* buf) {
                              (f.persistent ? " (persistent)" : " (transient)"));
     }
   }
-  PC_RETURN_IF_ERROR(inner_->Read(id, buf));
+  // Unsynced shadow pages are what the "disk" currently answers with.
+  if (auto it = shadow_.find(id); it != shadow_.end()) {
+    std::memcpy(buf, it->second.data(), page_size());
+  } else {
+    PC_RETURN_IF_ERROR(inner_->Read(id, buf));
+  }
   for (const auto& [at, bit] : read_flips_) {
     if (nth == at && bit < 8ULL * page_size()) {
       buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
@@ -114,8 +158,8 @@ Status FaultPageDevice::Write(PageId id, const std::byte* buf) {
                              (f.persistent ? " (persistent)" : " (transient)"));
     }
   }
-  if (crash_at_ && nth >= *crash_at_) {
-    crashed_ = true;
+  if (crashed_ || (crash_at_ && nth >= *crash_at_)) {
+    TriggerCrash();
     ++fault_stats_.dropped_writes;
     ++stats_.writes;  // the caller believes this write happened
     return Status::OK();
@@ -124,16 +168,50 @@ Status FaultPageDevice::Write(PageId id, const std::byte* buf) {
     if (nth == at) {
       const uint32_t psz = page_size();
       std::vector<std::byte> torn(psz);
-      PC_RETURN_IF_ERROR(inner_->Read(id, torn.data()));
+      // Tear against the currently visible content (shadow included).
+      if (auto it = shadow_.find(id); it != shadow_.end()) {
+        std::memcpy(torn.data(), it->second.data(), psz);
+      } else {
+        PC_RETURN_IF_ERROR(inner_->Read(id, torn.data()));
+      }
       std::memcpy(torn.data(), buf, std::min<uint64_t>(keep, psz));
-      PC_RETURN_IF_ERROR(inner_->Write(id, torn.data()));
+      if (volatile_writes_) {
+        shadow_[id] = std::move(torn);
+      } else {
+        PC_RETURN_IF_ERROR(inner_->Write(id, torn.data()));
+      }
       ++fault_stats_.torn_writes;
       ++stats_.writes;
       return Status::OK();
     }
   }
-  PC_RETURN_IF_ERROR(inner_->Write(id, buf));
+  if (volatile_writes_) {
+    auto& slot = shadow_[id];
+    slot.assign(buf, buf + page_size());
+  } else {
+    PC_RETURN_IF_ERROR(inner_->Write(id, buf));
+  }
   ++stats_.writes;
+  return Status::OK();
+}
+
+Status FaultPageDevice::Sync() {
+  const uint64_t nth = syncs_seen_++;
+  if (crashed_ || (crash_at_sync_ && nth >= *crash_at_sync_)) {
+    // The barrier "succeeds" but nothing becomes durable — and everything
+    // volatile is lost.  This is the kill point between a WAL append and
+    // its group-commit acknowledgement.
+    TriggerCrash();
+    ++fault_stats_.dropped_syncs;
+    ++stats_.syncs;
+    return Status::OK();
+  }
+  for (const auto& [id, bytes] : shadow_) {
+    PC_RETURN_IF_ERROR(inner_->Write(id, bytes.data()));
+  }
+  shadow_.clear();
+  PC_RETURN_IF_ERROR(inner_->Sync());
+  ++stats_.syncs;
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #define PATHCACHE_IO_FAULT_PAGE_DEVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -42,10 +43,12 @@ struct FaultStats {
   uint64_t bit_flips = 0;
   uint64_t torn_writes = 0;
   uint64_t dropped_writes = 0;
+  uint64_t dropped_syncs = 0;  // post-crash durability barriers swallowed
+  uint64_t dropped_frees = 0;  // post-crash deallocations swallowed
 
   uint64_t total() const {
     return read_errors + write_errors + bit_flips + torn_writes +
-           dropped_writes;
+           dropped_writes + dropped_syncs + dropped_frees;
   }
 };
 
@@ -80,6 +83,24 @@ class FaultPageDevice final : public PageDevice {
   /// the caller believed durable after the trigger is gone on "reboot".
   void CrashAtWrite(uint64_t nth);
 
+  /// Volatile write-back cache: with this on, Write() lands in a shadow
+  /// cache (reads see it; `inner` does not) and only Sync() flushes the
+  /// shadow down.  When a crash triggers — CrashAtWrite / CrashAtSync /
+  /// CrashNow — the unflushed shadow is DISCARDED, so every write since the
+  /// last Sync() is gone on "reboot", exactly the power-loss-with-a-
+  /// write-back-cache model WAL group commits must survive.  Turning the
+  /// cache off flushes it (unless already crashed).
+  void SetVolatileWrites(bool on);
+
+  /// The sync with ordinal `nth` (0-based, counted like reads/writes)
+  /// triggers the crash INSTEAD of flushing: it reports success but drops
+  /// the shadow cache, and every later write and sync is dropped too.
+  void CrashAtSync(uint64_t nth);
+
+  /// Triggers the crash immediately: the unflushed shadow (if any) is
+  /// discarded and every later Write/Sync is silently dropped.
+  void CrashNow();
+
   /// True once the crash point has triggered (some write was dropped).
   bool crashed() const;
 
@@ -96,6 +117,7 @@ class FaultPageDevice final : public PageDevice {
   const FaultStats& fault_stats() const { return fault_stats_; }
   uint64_t reads_seen() const { return reads_seen_; }
   uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t syncs_seen() const { return syncs_seen_; }
 
   // --- PageDevice ---------------------------------------------------------
 
@@ -105,6 +127,10 @@ class FaultPageDevice final : public PageDevice {
   Status Read(PageId id, std::byte* buf) override;
   Status ReadBatch(std::span<const PageId> ids, std::byte* bufs) override;
   Status Write(PageId id, const std::byte* buf) override;
+  Status Sync() override;
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return inner_->live_pages(); }
@@ -116,19 +142,27 @@ class FaultPageDevice final : public PageDevice {
   };
 
   Status ReadImpl(PageId id, std::byte* buf);
+  /// Marks the crash as triggered and discards the unflushed shadow cache.
+  void TriggerCrash();
 
   PageDevice* inner_;
   IoStats stats_;
   FaultStats fault_stats_;
   uint64_t reads_seen_ = 0;
   uint64_t writes_seen_ = 0;
+  uint64_t syncs_seen_ = 0;
 
   std::vector<OrdinalFault> read_fails_;
   std::vector<OrdinalFault> write_fails_;
   std::vector<std::pair<uint64_t, uint64_t>> read_flips_;  // (ordinal, bit)
   std::vector<std::pair<uint64_t, uint32_t>> tears_;  // (ordinal, keep_bytes)
   std::optional<uint64_t> crash_at_;
+  std::optional<uint64_t> crash_at_sync_;
   bool crashed_ = false;
+
+  // Volatile write-back mode: pages written since the last Sync().
+  bool volatile_writes_ = false;
+  std::map<PageId, std::vector<std::byte>> shadow_;
 };
 
 }  // namespace pathcache

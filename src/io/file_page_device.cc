@@ -144,7 +144,43 @@ Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Create(
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
   }
+  // Make the file's DIRECTORY ENTRY durable before anything is stored in
+  // it: without this, a crash after a fully Sync()ed save can still lose
+  // the whole store because the name itself never reached disk.
+  PC_RETURN_IF_ERROR(SyncParentDir(path));
   return std::unique_ptr<FilePageDevice>(new FilePageDevice(fd, page_size));
+}
+
+Status FilePageDevice::SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = (slash == std::string::npos)
+                              ? std::string(".")
+                              : path.substr(0, std::max<size_t>(slash, 1));
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::IoError("open(" + dir + "): " + std::strerror(errno));
+  }
+  Status s = Status::OK();
+  if (::fsync(dfd) != 0) {
+    s = Status::IoError("fsync(" + dir + "): " + std::strerror(errno));
+  }
+  ::close(dfd);
+  return s;
+}
+
+Status FilePageDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
+  }
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status FilePageDevice::ListLivePages(std::vector<PageId>* out) {
+  for (PageId id = 0; id < page_count_; ++id) {
+    if (id >= freed_.size() || !freed_[id]) out->push_back(id);
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Open(

@@ -53,6 +53,12 @@ class FilePageDevice final : public PageDevice {
   static Result<std::unique_ptr<FilePageDevice>> Open(
       const std::string& path, uint32_t page_size = kDefaultPageSize);
 
+  /// fsyncs the directory containing `path`, making renames and creations
+  /// of entries in it durable.  Create() calls this itself; publish
+  /// protocols that rename a store file into place need it again after the
+  /// rename.
+  static Status SyncParentDir(const std::string& path);
+
   ~FilePageDevice() override;
   FilePageDevice(const FilePageDevice&) = delete;
   FilePageDevice& operator=(const FilePageDevice&) = delete;
@@ -76,6 +82,10 @@ class FilePageDevice final : public PageDevice {
   Status AwaitBatch(uint64_t ticket) override;
 
   Status Write(PageId id, const std::byte* buf) override;
+  /// fdatasync on the backing file — the durability barrier the WAL and
+  /// manifest-publish protocols ack against.
+  Status Sync() override;
+  Status ListLivePages(std::vector<PageId>* out) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override {
     stats_ = IoStats{};

@@ -27,12 +27,16 @@ struct IoStats {
   uint64_t allocs = 0;
   uint64_t frees = 0;
   uint64_t batch_reads = 0;
+  /// Durability barriers (PageDevice::Sync) issued.  Like batch_reads this
+  /// is a transport/durability count, not a paper cost-model quantity.
+  uint64_t syncs = 0;
 
   uint64_t total() const { return reads + writes; }
 
   IoStats operator-(const IoStats& o) const {
-    return IoStats{reads - o.reads, writes - o.writes, allocs - o.allocs,
-                   frees - o.frees, batch_reads - o.batch_reads};
+    return IoStats{reads - o.reads,   writes - o.writes,
+                   allocs - o.allocs, frees - o.frees,
+                   batch_reads - o.batch_reads, syncs - o.syncs};
   }
 };
 

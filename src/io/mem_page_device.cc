@@ -87,4 +87,11 @@ Status MemPageDevice::Write(PageId id, const std::byte* buf) {
   return Status::OK();
 }
 
+Status MemPageDevice::ListLivePages(std::vector<PageId>* out) {
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (!freed_[id]) out->push_back(id);
+  }
+  return Status::OK();
+}
+
 }  // namespace pathcache

@@ -26,6 +26,13 @@ class MemPageDevice final : public PageDevice {
   /// Pages live in stable heap blocks, so pinning is free: same counting as
   /// Read(), no copy.  Unpin is a no-op — the simulated disk never evicts.
   Result<const std::byte*> Pin(PageId id) override;
+  /// Memory is trivially durable; counted so callers can assert their sync
+  /// discipline on the simulated disk.
+  Status Sync() override {
+    ++stats_.syncs;
+    return Status::OK();
+  }
+  Status ListLivePages(std::vector<PageId>* out) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return live_; }

@@ -77,6 +77,24 @@ class PageDevice {
   /// Overwrites the page from `buf`, which must hold page_size() bytes.
   virtual Status Write(PageId id, const std::byte* buf) = 0;
 
+  /// Durability barrier: blocks until every Write() acknowledged before this
+  /// call has reached stable storage.  A write is only guaranteed to survive
+  /// a crash once a later Sync() has returned OK — the write-ahead-log and
+  /// manifest-publish protocols are built on exactly this contract.  The
+  /// default is a no-op because the in-memory devices are trivially durable;
+  /// FilePageDevice issues fdatasync, decorators forward, and
+  /// FaultPageDevice models power loss by discarding unsynced writes.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Appends the id of every live (allocated, not freed) page to `out`, in
+  /// unspecified order.  Offline passes (fsck orphan classification, --gc
+  /// repair) need the actual id set, not just the live_pages() count.
+  /// Devices that cannot enumerate return NotSupported and those passes
+  /// degrade to count-only reporting.
+  virtual Status ListLivePages(std::vector<PageId>* /*out*/) {
+    return Status::NotSupported("device cannot enumerate live pages");
+  }
+
   /// Pins the page in the device's own storage and returns a stable pointer
   /// to its page_size() bytes, valid until the matching Unpin(id).  Counted
   /// exactly like Read() — pinning is a transport optimization (it skips the

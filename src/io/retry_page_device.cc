@@ -82,6 +82,12 @@ Status RetryPageDevice::Write(PageId id, const std::byte* buf) {
   return Status::OK();
 }
 
+Status RetryPageDevice::Sync() {
+  PC_RETURN_IF_ERROR(RetryLoop([&] { return inner_->Sync(); }));
+  ++stats_.syncs;
+  return Status::OK();
+}
+
 Result<const std::byte*> RetryPageDevice::Pin(PageId id) {
   const std::byte* frame = nullptr;
   PC_RETURN_IF_ERROR(RetryLoop([&] {

@@ -70,6 +70,12 @@ class RetryPageDevice final : public PageDevice {
   Status Write(PageId id, const std::byte* buf) override;
   Result<const std::byte*> Pin(PageId id) override;
   void Unpin(PageId id) override { inner_->Unpin(id); }
+  /// Sync retries like reads/writes: a transient IoError barrier is retried,
+  /// anything else surfaces unchanged.
+  Status Sync() override;
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_ = IoStats{}; }
   uint64_t live_pages() const override { return inner_->live_pages(); }

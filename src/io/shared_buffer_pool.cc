@@ -302,6 +302,22 @@ Status SharedBufferPool::AwaitBatch(uint64_t ticket) {
   return Status::OK();
 }
 
+Status SharedBufferPool::Sync() {
+  Shard& s = ShardFor(0);
+  std::lock_guard<std::mutex> slk(s.mu);
+  {
+    std::lock_guard<std::mutex> ilk(inner_mu_);
+    PC_RETURN_IF_ERROR(inner_->Sync());
+  }
+  ++s.stats.syncs;
+  return Status::OK();
+}
+
+Status SharedBufferPool::ListLivePages(std::vector<PageId>* out) {
+  std::lock_guard<std::mutex> ilk(inner_mu_);
+  return inner_->ListLivePages(out);
+}
+
 Status SharedBufferPool::Write(PageId id, const std::byte* buf) {
   Shard& s = ShardFor(id);
   std::lock_guard<std::mutex> slk(s.mu);

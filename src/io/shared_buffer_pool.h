@@ -68,6 +68,12 @@ class SharedBufferPool final : public PageDevice {
   Result<const std::byte*> Pin(PageId id) override;
   void Unpin(PageId id) override;
 
+  /// Write-through pool: a barrier is the inner device's barrier, issued
+  /// under the inner-device lock like every other inner call.
+  Status Sync() override;
+
+  Status ListLivePages(std::vector<PageId>* out) override;
+
   /// Aggregated logical-access counters.  Returns a reference to an
   /// internal snapshot refreshed by this call; the refresh is serialized, but
   /// the returned reference can be overwritten by a later call, so this

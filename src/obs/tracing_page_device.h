@@ -64,6 +64,16 @@ class TracingPageDevice final : public PageDevice {
 
   void Unpin(PageId id) override { inner_->Unpin(id); }
 
+  Status Sync() override {
+    if (!Tracing()) return inner_->Sync();
+    TraceSpan span(tracer_, "io.sync");
+    return inner_->Sync();
+  }
+
+  Status ListLivePages(std::vector<PageId>* out) override {
+    return inner_->ListLivePages(out);
+  }
+
   const IoStats& stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
   uint64_t live_pages() const override { return inner_->live_pages(); }

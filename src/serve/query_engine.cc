@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -101,6 +102,51 @@ Result<uint32_t> QueryEngine::AddStructure(PageId manifest) {
   }
   manifests_.push_back(manifest);
   kinds_.push_back(kind);
+  stores_.push_back(nullptr);
+  return static_cast<uint32_t>(manifests_.size() - 1);
+}
+
+Result<uint32_t> QueryEngine::AddDynamicStore(DynamicStore* store) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_ || stopping_) {
+      return Status::FailedPrecondition(
+          "AddDynamicStore is a setup-phase call; the engine is already "
+          "running");
+    }
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument("null dynamic store");
+  }
+  QueryKind kind;
+  switch (store->structure()) {
+    case DynamicStructure::kExternalPst:
+    case DynamicStructure::kTwoLevelPst:
+      kind = QueryKind::kTwoSided;
+      break;
+    case DynamicStructure::kThreeSidedPst:
+      kind = QueryKind::kThreeSided;
+      break;
+    case DynamicStructure::kExtSegmentTree:
+    case DynamicStructure::kExtIntervalTree:
+      kind = QueryKind::kStabbing;
+      break;
+    default:
+      return Status::InvalidArgument("dynamic store wraps no servable type");
+  }
+  // Workers cache a DynamicReadHandle per store but open it lazily at the
+  // first query (and reopen on version moves): the current generation may
+  // be republished between setup and serving, so an eager open here would
+  // just be thrown away.
+  for (auto& w : workers_) {
+    StructureHandle h;
+    h.kind = kind;
+    h.dynamic = store;
+    w->handles.push_back(std::move(h));
+  }
+  manifests_.push_back(store->root());
+  kinds_.push_back(kind);
+  stores_.push_back(store);
   return static_cast<uint32_t>(manifests_.size() - 1);
 }
 
@@ -145,6 +191,35 @@ Status QueryEngine::Submit(uint32_t structure_id, const ServeQuery& query,
   req.done = std::move(done);
   req.deadline_micros = deadline_micros;
   req.submit_micros = clock_->NowMicros();
+  return EnqueueRequest(std::move(req));
+}
+
+Status QueryEngine::SubmitUpdate(uint32_t structure_id,
+                                 std::span<const DynamicUpdate> updates,
+                                 QueryDoneCallback done,
+                                 uint64_t deadline_micros) {
+  if (structure_id >= manifests_.size()) {
+    return Status::InvalidArgument("unknown structure id " +
+                                   std::to_string(structure_id));
+  }
+  if (stores_[structure_id] == nullptr) {
+    return Status::InvalidArgument("structure " + std::to_string(structure_id) +
+                                   " is static; updates need a dynamic store");
+  }
+  if (updates.empty()) {
+    return Status::InvalidArgument("empty update group");
+  }
+  Request req;
+  req.structure_id = structure_id;
+  req.is_update = true;
+  req.updates.assign(updates.begin(), updates.end());
+  req.done = std::move(done);
+  req.deadline_micros = deadline_micros;
+  req.submit_micros = clock_->NowMicros();
+  return EnqueueRequest(std::move(req));
+}
+
+Status QueryEngine::EnqueueRequest(Request req) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!running_ || stopping_) {
@@ -182,10 +257,31 @@ int64_t QueryEngine::LocalityKey(QueryKind kind, const ServeQuery& q) {
 }
 
 QueryResult QueryEngine::Execute(Worker* w, const Request& req) {
+  StructureHandle& h = w->handles[req.structure_id];
+  if (h.dynamic != nullptr) {
+    if (req.is_update) {
+      // Durable apply: WAL append + group-commit Sync inside the store.
+      // The store serializes appliers on its own mutex, so concurrent
+      // workers' update groups interleave at group granularity — never
+      // within a group.  I/O goes through the store's device, not the
+      // worker's counting device, so res.io stays zero here by design.
+      QueryResult res;
+      TraceSpan span(opts_.tracer, "serve.update", req.updates.size());
+      res.status = h.dynamic->Apply(req.updates);
+      update_groups_.fetch_add(1, std::memory_order_relaxed);
+      if (res.status.ok()) {
+        updates_applied_.fetch_add(req.updates.size(),
+                                   std::memory_order_relaxed);
+      } else {
+        update_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return res;
+    }
+    return ExecuteDynamicQuery(w, req);
+  }
   QueryResult res;
   TraceSpan span(opts_.tracer, "serve.query", req.structure_id);
   const IoStats before = w->dev.stats();
-  StructureHandle& h = w->handles[req.structure_id];
   switch (h.kind) {
     case QueryKind::kTwoSided:
       res.status = h.two_sided->QueryTwoSided(req.query.two_sided,
@@ -204,6 +300,76 @@ QueryResult QueryEngine::Execute(Worker* w, const Request& req) {
             h.interval_tree->Stab(req.query.stab, &res.intervals, &res.stats);
       }
       break;
+  }
+  res.io = w->dev.stats() - before;
+  return res;
+}
+
+QueryResult QueryEngine::ExecuteDynamicQuery(Worker* w, const Request& req) {
+  QueryResult res;
+  TraceSpan span(opts_.tracer, "serve.query", req.structure_id);
+  StructureHandle& h = w->handles[req.structure_id];
+  DynamicStore* store = h.dynamic;
+  const IoStats before = w->dev.stats();
+  for (;;) {
+    // Pin the published generation so its pages cannot be reclaimed while
+    // the base query walks them, then make sure the worker's cached handle
+    // is over THAT generation (versions are unique, so a version match
+    // means the handle already reads the pinned manifest).
+    GenerationRef ref = store->PinCurrent();
+    if (h.dyn_handle.version != ref.version) {
+      Status s = h.dyn_handle.Open(&w->dev, store->structure(), ref.manifest,
+                                   ref.version);
+      if (!s.ok()) {
+        store->Unpin(ref.version);
+        res.status = s;
+        break;
+      }
+    }
+    std::vector<Point> pts;
+    std::vector<Interval> ivs;
+    QueryStats qstats;
+    Status qs;
+    bool consistent = false;
+    switch (h.kind) {
+      case QueryKind::kTwoSided:
+        qs = h.dyn_handle.QueryTwoSided(req.query.two_sided, &pts, &qstats);
+        if (qs.ok()) {
+          consistent =
+              store->OverlayTwoSided(ref.version, req.query.two_sided, &pts);
+        }
+        break;
+      case QueryKind::kThreeSided:
+        qs = h.dyn_handle.QueryThreeSided(req.query.three_sided, &pts,
+                                          &qstats);
+        if (qs.ok()) {
+          consistent = store->OverlayThreeSided(ref.version,
+                                                req.query.three_sided, &pts);
+        }
+        break;
+      case QueryKind::kStabbing:
+        qs = h.dyn_handle.Stab(req.query.stab, &ivs, &qstats);
+        if (qs.ok()) {
+          consistent = store->OverlayStab(ref.version, req.query.stab, &ivs);
+        }
+        break;
+    }
+    store->Unpin(ref.version);
+    if (!qs.ok()) {
+      res.status = qs;
+      break;
+    }
+    if (consistent) {
+      res.points = std::move(pts);
+      res.intervals = std::move(ivs);
+      res.stats = qstats;
+      break;
+    }
+    // A publish absorbed overlay entries between our pin and the merge: the
+    // overlay no longer pairs with the base we queried.  Re-pin (picking up
+    // the new generation) and re-run — the loop terminates because each
+    // retry observes a strictly newer version and publishes are finite.
+    read_repins_.fetch_add(1, std::memory_order_relaxed);
   }
   res.io = w->dev.stats() - before;
   return res;
@@ -256,18 +422,19 @@ void QueryEngine::WorkerLoop(Worker* w) {
 
     // Locality sort: group the batch by structure, then by query key, so
     // consecutive queries descend through the same skeletal neighborhoods
-    // while the shared pool still holds them.  stable_sort keeps equal
-    // queries in submission order.
+    // while the shared pool still holds them.  Updates sort with key
+    // INT64_MIN — ahead of every query on the same structure — and
+    // stable_sort keeps equal keys in submission order, so updates retain
+    // their FIFO order relative to each other.
+    auto request_key = [this](const Request& r) {
+      return std::make_tuple(
+          r.structure_id, r.is_update
+                              ? std::numeric_limits<int64_t>::min()
+                              : LocalityKey(kinds_[r.structure_id], r.query));
+    };
     std::stable_sort(batch.begin(), batch.end(),
-                     [this](const Request& a, const Request& b) {
-                       return std::make_tuple(
-                                  a.structure_id,
-                                  LocalityKey(kinds_[a.structure_id],
-                                              a.query)) <
-                              std::make_tuple(
-                                  b.structure_id,
-                                  LocalityKey(kinds_[b.structure_id],
-                                              b.query));
+                     [&request_key](const Request& a, const Request& b) {
+                       return request_key(a) < request_key(b);
                      });
 
     for (Request& req : batch) {
@@ -315,6 +482,10 @@ ServeStats QueryEngine::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+  s.update_groups = update_groups_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.update_failures = update_failures_.load(std::memory_order_relaxed);
+  s.read_repins = read_repins_.load(std::memory_order_relaxed);
   s.latency = latency_.TakeSnapshot();
   s.io.reads = io_reads_.load(std::memory_order_relaxed);
   s.io.batch_reads = io_batch_reads_.load(std::memory_order_relaxed);

@@ -48,6 +48,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -56,6 +57,8 @@
 #include "core/query_stats.h"
 #include "core/three_sided.h"
 #include "core/two_sided_index.h"
+#include "dynamic/dynamic_store.h"
+#include "dynamic/update.h"
 #include "io/counting_page_device.h"
 #include "io/io_types.h"
 #include "io/page_device.h"
@@ -172,6 +175,14 @@ struct ServeStats {
   uint64_t queue_depth = 0;         // requests waiting right now
   uint64_t max_queue_depth = 0;     // high-water mark since Start()
   uint64_t slow_queries = 0;        // requests the slow-query log captured
+  uint64_t update_groups = 0;       // update requests executed (any status)
+  uint64_t updates_applied = 0;     // individual mutations durably committed
+  uint64_t update_failures = 0;     // update requests that returned non-OK
+  /// Dynamic reads that re-pinned because a publish absorbed overlay
+  /// entries between the base query and the overlay merge.  A nonzero
+  /// value is healthy under concurrent rebuilds; it should stay tiny
+  /// relative to `completed`.
+  uint64_t read_repins = 0;
   /// Latency of executed queries (expired requests excluded).
   LatencyHistogram::Snapshot latency;
   /// Page I/O across all workers (sum of the per-request deltas).
@@ -195,6 +206,14 @@ class QueryEngine {
   /// Submit() addresses.
   Result<uint32_t> AddStructure(PageId manifest);
 
+  /// Registers a DynamicStore (crash-safe updatable structure) for both
+  /// queries and updates.  The store must be backed by (or share) the same
+  /// underlying pages as `shared` — workers open per-worker read handles on
+  /// their private counting devices, exactly like AddStructure, but reopen
+  /// them whenever the store publishes a new generation.  Setup-phase only.
+  /// The engine does not own the store; it must outlive the engine.
+  Result<uint32_t> AddDynamicStore(DynamicStore* store);
+
   /// Spawns the workers.  No-op error (FailedPrecondition) if already
   /// started.
   Status Start();
@@ -212,6 +231,18 @@ class QueryEngine {
   Status Submit(uint32_t structure_id, const ServeQuery& query,
                 QueryDoneCallback done, uint64_t deadline_micros = 0);
 
+  /// Enqueues one durable update group against a structure registered with
+  /// AddDynamicStore (InvalidArgument otherwise).  The group is applied
+  /// atomically — when the completion callback sees OK, every mutation in
+  /// it has been WAL-committed and survives any crash.  Updates ride the
+  /// same bounded queue as queries (same kOverloaded back pressure, same
+  /// deadline gate at dispatch; an expired update is dropped BEFORE any WAL
+  /// append, so it is durably absent).  FIFO order among updates is
+  /// preserved within a worker batch.
+  Status SubmitUpdate(uint32_t structure_id,
+                      std::span<const DynamicUpdate> updates,
+                      QueryDoneCallback done, uint64_t deadline_micros = 0);
+
   /// Blocks until every accepted request has completed (queue empty and no
   /// request in flight).
   void Drain();
@@ -221,15 +252,21 @@ class QueryEngine {
   uint32_t num_workers() const { return opts_.num_workers; }
   size_t num_structures() const { return manifests_.size(); }
   QueryKind structure_kind(uint32_t id) const { return kinds_[id]; }
+  bool structure_dynamic(uint32_t id) const { return stores_[id] != nullptr; }
 
  private:
   struct StructureHandle {
     QueryKind kind;
-    // Exactly one is set, by kind.
+    // Static structures: exactly one is set, by kind.
     std::unique_ptr<TwoSidedIndex> two_sided;
     std::unique_ptr<ThreeSidedPst> three_sided;
     std::unique_ptr<ExtSegmentTree> seg_tree;
     std::unique_ptr<ExtIntervalTree> interval_tree;
+    // Dynamic structures: the store plus a cached per-worker read handle
+    // over the generation it last saw; Execute reopens it (on the worker's
+    // private device) whenever the store's published version moves.
+    DynamicStore* dynamic = nullptr;
+    DynamicReadHandle dyn_handle;
   };
 
   /// Everything one worker thread touches while executing queries.  The
@@ -249,13 +286,20 @@ class QueryEngine {
   struct Request {
     uint32_t structure_id = 0;
     ServeQuery query;
+    bool is_update = false;
+    std::vector<DynamicUpdate> updates;
     QueryDoneCallback done;
     uint64_t deadline_micros = 0;  // 0 = none
     uint64_t submit_micros = 0;
   };
 
+  Status EnqueueRequest(Request req);
   void WorkerLoop(Worker* w);
   QueryResult Execute(Worker* w, const Request& req);
+  /// The dynamic read path: pin the current generation, (re)open the
+  /// worker's cached handle if the version moved, run the base query, merge
+  /// the overlay — retrying from the pin when a publish raced the read.
+  QueryResult ExecuteDynamicQuery(Worker* w, const Request& req);
   /// Feeds the slow-query log if `res` trips a configured threshold.
   void MaybeLogSlowQuery(const Request& req, const QueryResult& res);
   /// The key batch sorting clusters on: queries near each other descend
@@ -268,6 +312,9 @@ class QueryEngine {
 
   std::vector<PageId> manifests_;
   std::vector<QueryKind> kinds_;
+  /// Parallel to manifests_: the DynamicStore behind each id, or nullptr
+  /// for static structures.
+  std::vector<DynamicStore*> stores_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   mutable std::mutex mu_;
@@ -286,6 +333,10 @@ class QueryEngine {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> slow_queries_{0};
+  std::atomic<uint64_t> update_groups_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> update_failures_{0};
+  std::atomic<uint64_t> read_repins_{0};
   std::atomic<uint64_t> io_reads_{0};
   std::atomic<uint64_t> io_batch_reads_{0};
   std::atomic<uint64_t> io_writes_{0};

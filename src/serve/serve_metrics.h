@@ -42,6 +42,15 @@ inline Status RegisterServeMetrics(MetricsRegistry* reg,
        &ServeStats::expired},
       {"pathcache_serve_slow_queries_total",
        "Requests captured by the slow-query log", &ServeStats::slow_queries},
+      {"pathcache_serve_update_groups_total",
+       "Update requests executed (any status)", &ServeStats::update_groups},
+      {"pathcache_serve_updates_applied_total",
+       "Individual mutations durably committed", &ServeStats::updates_applied},
+      {"pathcache_serve_update_failures_total",
+       "Update requests that returned non-OK", &ServeStats::update_failures},
+      {"pathcache_serve_read_repins_total",
+       "Dynamic reads re-pinned because a publish raced the overlay merge",
+       &ServeStats::read_repins},
   };
   for (const Row& row : kCounters) {
     PC_RETURN_IF_ERROR(reg->AddCounterFn(

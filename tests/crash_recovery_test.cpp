@@ -8,12 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/ext_interval_tree.h"
 #include "core/ext_segment_tree.h"
+#include "core/persist.h"
+#include "core/pst_external.h"
 #include "core/pst_two_level.h"
 #include "core/three_sided.h"
+#include "dynamic/dynamic_fsck.h"
+#include "dynamic/dynamic_store.h"
 #include "io/fault_page_device.h"
 #include "io/mem_page_device.h"
 #include "util/random.h"
@@ -192,6 +197,244 @@ TEST(CrashRecoveryTest, CrashAfterLastWriteIsCleanShutdown) {
     std::vector<Point> got;
     ASSERT_TRUE(reopened.QueryTwoSided(q, &got).ok());
     ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+  }
+}
+
+// --- fsync audit regression (persist.h SaveDurable) ------------------------
+//
+// Power loss with a volatile write-back cache: a plain Save() whose pages
+// never hit media must fail cleanly on reopen (never answer wrong), while
+// SaveDurable()'s barrier makes the identical build survive the same crash.
+TEST(CrashRecoveryTest, SaveDurableSurvivesPowerLossWherePlainSaveIsLost) {
+  auto pts = Pts(55);
+  {
+    // Plain Save(), then the power goes: nothing was flushed.
+    MemPageDevice mem(kPageSize);
+    FaultPageDevice fault(&mem);
+    fault.SetVolatileWrites(true);
+    ExternalPst pst(&fault);
+    ASSERT_TRUE(pst.Build(pts).ok());
+    auto m = pst.Save();
+    ASSERT_TRUE(m.ok());
+    fault.CrashNow();  // unflushed shadow discarded — nothing reached media
+
+    ExternalPst reopened(&mem);
+    Status open = reopened.Open(m.value());
+    if (open.ok()) {
+      // If the empty media somehow opens, deep validation must catch it.
+      EXPECT_FALSE(reopened.CheckStructure().ok());
+    }
+  }
+  {
+    // SaveDurable(): Save() + Sync() barrier before the id is returned.
+    MemPageDevice mem(kPageSize);
+    FaultPageDevice fault(&mem);
+    fault.SetVolatileWrites(true);
+    ExternalPst pst(&fault);
+    ASSERT_TRUE(pst.Build(pts).ok());
+    auto m = SaveDurable(&pst, &fault);
+    ASSERT_TRUE(m.ok());
+    fault.CrashNow();
+
+    ExternalPst reopened(&mem);
+    ASSERT_TRUE(reopened.Open(m.value()).ok());
+    ASSERT_TRUE(reopened.CheckStructure().ok());
+    Rng rng(56);
+    for (int i = 0; i < 8; ++i) {
+      auto q = SampleTwoSidedQuery(pts, &rng);
+      std::vector<Point> got;
+      ASSERT_TRUE(reopened.QueryTwoSided(q, &got).ok());
+      ASSERT_TRUE(SameResult(got, BruteTwoSided(pts, q)));
+    }
+  }
+}
+
+// --- Dynamic-store kill-point matrix ---------------------------------------
+//
+// A deterministic update schedule (groups of 1-3 mutations, periodic
+// rebuild/publish) runs on a volatile write-back cache with a crash armed at
+// a seed-derived write or sync ordinal, so kill points land in WAL appends,
+// group-commit fsyncs, mid-rebuild page writes, the publish slot write/sync
+// and post-publish truncation.  Recovery from the surviving media must
+// reconstruct exactly the state after some durable PREFIX of the groups —
+// at least every group acknowledged before the crash (zero lost acked
+// updates), never a record outside an applied group (zero phantoms), never
+// a partial group (atomicity), and random queries against that state must
+// match the brute oracle (zero wrong answers).  The crashed media must also
+// pass the dynamic fsck, and gc must reclaim debris without touching the
+// recovered store.
+
+struct DynGroup {
+  std::vector<DynamicUpdate> ops;
+};
+
+std::vector<DynGroup> MakeDynGroups(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::vector<DynGroup> groups;
+  std::vector<DynamicItem> inserted;
+  uint64_t next_id = 0;
+  for (int g = 0; g < 30; ++g) {
+    DynGroup grp;
+    const uint64_t n = 1 + rng.Uniform(3);
+    for (uint64_t k = 0; k < n; ++k) {
+      if (!inserted.empty() && rng.Bernoulli(0.25)) {
+        grp.ops.push_back({UpdateOp::kDelete,
+                           inserted[rng.Uniform(inserted.size())]});
+      } else {
+        const DynamicItem it{int64_t(rng.Uniform(100'000)),
+                             int64_t(rng.Uniform(100'000)), next_id++};
+        grp.ops.push_back({UpdateOp::kInsert, it});
+        inserted.push_back(it);
+      }
+    }
+    groups.push_back(std::move(grp));
+  }
+  return groups;
+}
+
+std::vector<Point> PointsAfter(const std::vector<DynGroup>& groups, size_t p) {
+  std::map<DynamicItem, bool, DynamicItemLess> model;
+  for (size_t i = 0; i < p; ++i) {
+    for (const DynamicUpdate& u : groups[i].ops) {
+      if (u.op == UpdateOp::kInsert) {
+        model[u.item] = true;
+      } else {
+        model.erase(u.item);
+      }
+    }
+  }
+  std::vector<Point> pts;
+  pts.reserve(model.size());
+  for (const auto& [item, present] : model) {
+    if (present) pts.push_back(item.ToPoint());
+  }
+  return pts;
+}
+
+void DynamicKillPointTrial(uint64_t seed, bool kill_at_sync) {
+  const std::vector<DynGroup> groups = MakeDynGroups(seed);
+  auto rebuild_here = [](size_t g) { return g == 10 || g == 20; };
+
+  // Calibration pass: count the schedule's writes and syncs so the kill
+  // ordinal always lands inside it.
+  uint64_t total_writes = 0;
+  uint64_t total_syncs = 0;
+  {
+    MemPageDevice mem(kPageSize);
+    FaultPageDevice fault(&mem);
+    auto made = DynamicStore::Create(&fault, DynamicStructure::kExternalPst);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    auto store = std::move(made).value();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      ASSERT_TRUE(store->Apply(groups[g].ops).ok());
+      if (rebuild_here(g)) ASSERT_TRUE(store->Rebuild().ok());
+    }
+    total_writes = fault.writes_seen();
+    total_syncs = fault.syncs_seen();
+  }
+
+  // Crash pass: same schedule, volatile cache, seed-derived kill point
+  // armed after Create (Create's durability has its own tests).
+  MemPageDevice mem(kPageSize);
+  FaultPageDevice fault(&mem);
+  fault.SetVolatileWrites(true);
+  auto made = DynamicStore::Create(&fault, DynamicStructure::kExternalPst);
+  ASSERT_TRUE(made.ok());
+  auto store = std::move(made).value();
+  const PageId root = store->root();
+  const uint64_t h = seed * 2654435761ULL;
+  if (kill_at_sync) {
+    const uint64_t s0 = fault.syncs_seen();
+    ASSERT_GT(total_syncs, s0);
+    fault.CrashAtSync(s0 + h % (total_syncs - s0));
+  } else {
+    const uint64_t w0 = fault.writes_seen();
+    ASSERT_GT(total_writes, w0);
+    fault.CrashAtWrite(w0 + h % (total_writes - w0));
+  }
+
+  size_t acked = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Status st = store->Apply(groups[g].ops);
+    if (!fault.crashed()) {
+      ASSERT_TRUE(st.ok()) << "seed " << seed << " group " << g << ": "
+                           << st.ToString();
+      acked = g + 1;  // durable before the crash: must survive
+    }
+    if (rebuild_here(g)) {
+      Status rs = store->Rebuild();
+      if (!fault.crashed()) ASSERT_TRUE(rs.ok());
+    }
+  }
+  ASSERT_TRUE(fault.crashed()) << "kill point missed the schedule";
+  store.reset();  // the process dies; pages stay as the media has them
+
+  // Recovery must succeed and land on exactly one durable prefix >= acked.
+  auto reopened_r = DynamicStore::Open(&mem, root);
+  ASSERT_TRUE(reopened_r.ok())
+      << "seed " << seed << ": recovery failed: "
+      << reopened_r.status().ToString();
+  auto reopened = std::move(reopened_r).value();
+  std::vector<Point> got;
+  ASSERT_TRUE(reopened->QueryTwoSided(TwoSidedQuery{0, 0}, &got).ok());
+  size_t prefix = groups.size() + 1;
+  for (size_t p = acked; p <= groups.size(); ++p) {
+    if (SameResult(got, PointsAfter(groups, p))) {
+      prefix = p;
+      break;
+    }
+  }
+  ASSERT_LE(prefix, groups.size())
+      << "seed " << seed << " (kill_at_sync=" << kill_at_sync << ", acked "
+      << acked << "/" << groups.size() << "): recovered state matches no "
+      << "durable prefix — lost acked updates, phantoms or a torn group";
+
+  // Zero wrong answers against the recovered prefix.
+  const std::vector<Point> state = PointsAfter(groups, prefix);
+  Rng qrng(seed ^ 0xABCD17ULL);
+  for (int i = 0; i < 4; ++i) {
+    const TwoSidedQuery q{qrng.UniformRange(0, 100'000),
+                          qrng.UniformRange(0, 100'000)};
+    std::vector<Point> ans;
+    ASSERT_TRUE(reopened->QueryTwoSided(q, &ans).ok());
+    ASSERT_TRUE(SameResult(ans, BruteTwoSided(state, q)))
+        << "seed " << seed << ": wrong answer after recovery";
+  }
+  reopened.reset();
+
+  // The crashed media passes fsck (orphans/dangling are classified, not
+  // corruption), gc reclaims the debris, and the re-check is fully covered.
+  const PageId roots[] = {root};
+  DynamicFsckReport rep;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, {}, &rep).ok())
+      << "seed " << seed << ": fsck rejected crashed-but-recovered media";
+  DynamicFsckOptions gc_opts;
+  gc_opts.gc = true;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, gc_opts, nullptr).ok());
+  DynamicFsckReport clean;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, {}, &clean).ok());
+  EXPECT_EQ(clean.orphaned_generations, 0u);
+  EXPECT_EQ(clean.dangling_wal_pages, 0u);
+  EXPECT_EQ(clean.unreachable_pages, 0u);
+
+  // gc freed only debris: the store reopens onto the same state.
+  auto again = DynamicStore::Open(&mem, root);
+  ASSERT_TRUE(again.ok()) << "seed " << seed << ": reopen after gc failed";
+  std::vector<Point> got2;
+  ASSERT_TRUE(again.value()->QueryTwoSided(TwoSidedQuery{0, 0}, &got2).ok());
+  EXPECT_TRUE(SameResult(got2, state))
+      << "seed " << seed << ": gc changed the recovered state";
+}
+
+TEST(CrashRecoveryTest, DynamicStoreKillPointMatrixAtWrites) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ASSERT_NO_FATAL_FAILURE(DynamicKillPointTrial(seed, false));
+  }
+}
+
+TEST(CrashRecoveryTest, DynamicStoreKillPointMatrixAtSyncs) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ASSERT_NO_FATAL_FAILURE(DynamicKillPointTrial(seed, true));
   }
 }
 

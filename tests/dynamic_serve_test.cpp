@@ -1,0 +1,379 @@
+// QueryEngine x DynamicStore integration: dynamic queries through the
+// engine match the merge oracle, SubmitUpdate groups are durable and
+// atomically visible, static structures reject updates, and — the
+// acceptance-criteria test — concurrent readers racing background rebuilds
+// and publishes always see answers a serial merge would have produced.
+// serve_test's TSan CI job covers this binary too, so the concurrency test
+// doubles as the data-race probe for the epoch pin / publish / reopen path.
+
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dynamic/dynamic_store.h"
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "obs/promlint.h"
+#include "serve/serve_metrics.h"
+#include "util/random.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+DynamicItem PointItem(int64_t x, int64_t y, uint64_t id) {
+  return DynamicItem{x, y, id};
+}
+
+std::vector<DynamicItem> GridPoints(int n, int64_t coord_max, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DynamicItem> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    items.push_back(PointItem(rng.UniformRange(0, coord_max),
+                              rng.UniformRange(0, coord_max), i));
+  }
+  return items;
+}
+
+std::vector<Point> ToPoints(const std::vector<DynamicItem>& items) {
+  std::vector<Point> pts;
+  pts.reserve(items.size());
+  for (const auto& i : items) pts.push_back(i.ToPoint());
+  return pts;
+}
+
+QueryResult SubmitAndWait(QueryEngine* engine, uint32_t id,
+                          const ServeQuery& q) {
+  std::promise<QueryResult> done;
+  auto fut = done.get_future();
+  Status s = engine->Submit(
+      id, q, [&done](QueryResult r) { done.set_value(std::move(r)); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return fut.get();
+}
+
+QueryResult SubmitUpdateAndWait(QueryEngine* engine, uint32_t id,
+                                std::span<const DynamicUpdate> updates) {
+  std::promise<QueryResult> done;
+  auto fut = done.get_future();
+  Status s = engine->SubmitUpdate(
+      id, updates, [&done](QueryResult r) { done.set_value(std::move(r)); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return fut.get();
+}
+
+TEST(DynamicServeTest, DynamicQueriesMatchMergeOracle) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 4096);
+  const int64_t coord_max = 100'000;
+  auto initial = GridPoints(3000, coord_max, 11);
+  auto store = std::move(
+      DynamicStore::Create(&pool, DynamicStructure::kExternalPst, initial)
+          .value());
+  // Leave some updates unabsorbed so the engine path exercises the overlay
+  // merge, not just the base structure.
+  std::vector<Point> model = ToPoints(initial);
+  for (uint64_t i = 0; i < 40; ++i) {
+    const DynamicItem extra =
+        PointItem(int64_t(i) * 977 % coord_max, int64_t(i) * 643 % coord_max,
+                  10'000 + i);
+    ASSERT_TRUE(store->Insert(extra).ok());
+    model.push_back(extra.ToPoint());
+  }
+  ASSERT_TRUE(store->Erase(initial[7]).ok());
+  model.erase(model.begin() + 7);
+
+  QueryEngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 1024;
+  QueryEngine engine(&pool, opts);
+  auto id = engine.AddDynamicStore(store.get());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(engine.structure_dynamic(id.value()));
+  EXPECT_EQ(engine.structure_kind(id.value()), QueryKind::kTwoSided);
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    const TwoSidedQuery q{rng.UniformRange(0, coord_max),
+                          rng.UniformRange(0, coord_max)};
+    QueryResult r = SubmitAndWait(&engine, id.value(), ServeQuery::TwoSided(q));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(SameResult(r.points, BruteTwoSided(model, q)));
+  }
+  engine.Stop();
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+TEST(DynamicServeTest, UpdatesThroughEngineAreAppliedAndCounted) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 2048);
+  auto store = std::move(
+      DynamicStore::Create(&pool, DynamicStructure::kExternalPst,
+                           GridPoints(500, 10'000, 3))
+          .value());
+  std::vector<Point> model = ToPoints(GridPoints(500, 10'000, 3));
+
+  QueryEngine engine(&pool, {});
+  auto id = engine.AddDynamicStore(store.get());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // One group of three mutations, applied atomically.
+  std::vector<DynamicUpdate> group = {
+      {UpdateOp::kInsert, PointItem(1, 1, 9001)},
+      {UpdateOp::kInsert, PointItem(2, 2, 9002)},
+      {UpdateOp::kDelete, DynamicItem::From(model[0])},
+  };
+  QueryResult ur = SubmitUpdateAndWait(&engine, id.value(), group);
+  ASSERT_TRUE(ur.status.ok()) << ur.status.ToString();
+  model.push_back(Point{1, 1, 9001});
+  model.push_back(Point{2, 2, 9002});
+  model.erase(model.begin());
+
+  const TwoSidedQuery q{0, 0};
+  QueryResult r = SubmitAndWait(&engine, id.value(), ServeQuery::TwoSided(q));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(SameResult(r.points, BruteTwoSided(model, q)));
+
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.update_groups, 1u);
+  EXPECT_EQ(stats.updates_applied, 3u);
+  EXPECT_EQ(stats.update_failures, 0u);
+
+  // The metrics adapter exports the new counters and stays lint-clean.
+  MetricsRegistry reg;
+  ASSERT_TRUE(RegisterServeMetrics(&reg, "main", &engine).ok());
+  std::string prom;
+  reg.WritePrometheus(&prom);
+  EXPECT_NE(prom.find("pathcache_serve_updates_applied_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pathcache_serve_read_repins_total"), std::string::npos);
+  EXPECT_TRUE(PrometheusLint(prom).ok());
+
+  engine.Stop();
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+TEST(DynamicServeTest, StaticStructuresRejectUpdates) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 1024);
+  // A dynamic store used only to mint a static manifest for AddStructure.
+  auto store = std::move(
+      DynamicStore::Create(&pool, DynamicStructure::kExternalPst,
+                           GridPoints(200, 10'000, 5))
+          .value());
+  GenerationRef ref = store->PinCurrent();
+  QueryEngine engine(&pool, {});
+  auto static_id = engine.AddStructure(ref.manifest);
+  ASSERT_TRUE(static_id.ok()) << static_id.status().ToString();
+  EXPECT_FALSE(engine.structure_dynamic(static_id.value()));
+  ASSERT_TRUE(engine.Start().ok());
+
+  DynamicUpdate u{UpdateOp::kInsert, PointItem(1, 1, 1)};
+  Status s = engine.SubmitUpdate(static_id.value(), {&u, 1},
+                                 [](QueryResult) {});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  // Empty groups are rejected up front too.
+  Status e = engine.SubmitUpdate(static_id.value(), {}, [](QueryResult) {});
+  EXPECT_FALSE(e.ok());
+
+  engine.Stop();
+  store->Unpin(ref.version);
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+// The acceptance-criteria race test: readers stream queries while a mutator
+// applies insert-only groups (pairs) and forces publishes.  Every answer
+// must be one a serial merge could have produced:
+//   * sandwich — result superset of the initial model's answer and subset
+//     of the final model's answer (insert-only workload, so visibility is
+//     monotone);
+//   * group atomicity — inserted pairs become visible together, never split
+//     (an odd count of mutable-range points would mean a torn group or a
+//     half-published generation).
+// After the mutator finishes and the queue drains, answers must equal the
+// final model exactly.
+TEST(DynamicServeTest, ConcurrentReadersDuringRebuildsMatchSerialOracle) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 8192);
+  const int64_t coord_max = 50'000;
+  auto initial = GridPoints(2000, coord_max, 21);
+  DynamicStoreOptions sopts;
+  sopts.rebuild_threshold = 64;   // publishes keep happening mid-stream
+  sopts.background_rebuild = true;
+  auto store = std::move(DynamicStore::Create(&pool,
+                                              DynamicStructure::kExternalPst,
+                                              initial, sopts)
+                             .value());
+
+  QueryEngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 8192;
+  QueryEngine engine(&pool, opts);
+  auto id_r = engine.AddDynamicStore(store.get());
+  ASSERT_TRUE(id_r.ok());
+  const uint32_t id = id_r.value();
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Mutable records all live at ids >= kMutableBase, inserted in pairs.
+  constexpr uint64_t kMutableBase = 1'000'000;
+  constexpr int kPairs = 150;
+  std::vector<Point> final_model = ToPoints(initial);
+  std::vector<DynamicUpdate> all_groups;
+  for (int p = 0; p < kPairs; ++p) {
+    final_model.push_back(
+        Point{(p * 613) % coord_max, (p * 401) % coord_max,
+              kMutableBase + 2 * uint64_t(p)});
+    final_model.push_back(
+        Point{(p * 769) % coord_max, (p * 283) % coord_max,
+              kMutableBase + 2 * uint64_t(p) + 1});
+  }
+  const std::vector<Point> initial_model = ToPoints(initial);
+
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  std::string first_failure;
+  auto record_failure = [&](std::string why) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lk(fail_mu);
+      first_failure = std::move(why);
+    }
+  };
+
+  // Readers: full-range and random queries checked for the sandwich +
+  // atomicity invariants inside the completion callback.
+  std::atomic<uint64_t> checked{0};
+  auto make_checker = [&](TwoSidedQuery q) {
+    return [&, q](QueryResult r) {
+      if (!r.status.ok()) {
+        record_failure("query failed: " + r.status.ToString());
+        return;
+      }
+      const std::vector<Point> lo = BruteTwoSided(initial_model, q);
+      const std::vector<Point> hi = BruteTwoSided(final_model, q);
+      if (r.points.size() < lo.size() || r.points.size() > hi.size()) {
+        record_failure("answer size outside [initial, final] envelope");
+        return;
+      }
+      uint64_t mutable_seen = 0;
+      for (const Point& p : r.points) {
+        if (p.id >= kMutableBase) ++mutable_seen;
+      }
+      if (q.x_min == 0 && q.y_min == 0 && mutable_seen % 2 != 0) {
+        record_failure("odd mutable count: a group was half-visible");
+        return;
+      }
+      checked.fetch_add(1, std::memory_order_relaxed);
+    };
+  };
+
+  std::thread reader([&] {
+    Rng rng(77);
+    for (int i = 0; i < 600 && !failed.load(); ++i) {
+      TwoSidedQuery q{0, 0};
+      if (i % 3 != 0) {
+        q = TwoSidedQuery{rng.UniformRange(0, coord_max),
+                          rng.UniformRange(0, coord_max)};
+      }
+      Status s = engine.Submit(id, ServeQuery::TwoSided(q), make_checker(q));
+      if (!s.ok()) record_failure("Submit: " + s.ToString());
+    }
+  });
+
+  // Mutator: pairs through SubmitUpdate, explicit publishes sprinkled in.
+  std::thread mutator([&] {
+    for (int p = 0; p < kPairs && !failed.load(); ++p) {
+      std::vector<DynamicUpdate> group = {
+          {UpdateOp::kInsert,
+           PointItem((p * 613) % coord_max, (p * 401) % coord_max,
+                     kMutableBase + 2 * uint64_t(p))},
+          {UpdateOp::kInsert,
+           PointItem((p * 769) % coord_max, (p * 283) % coord_max,
+                     kMutableBase + 2 * uint64_t(p) + 1)},
+      };
+      QueryResult r = SubmitUpdateAndWait(&engine, id, group);
+      if (!r.status.ok()) {
+        record_failure("update failed: " + r.status.ToString());
+      }
+      if (p % 40 == 17) {
+        Status s = store->Rebuild();
+        if (!s.ok()) record_failure("Rebuild: " + s.ToString());
+      }
+    }
+  });
+
+  reader.join();
+  mutator.join();
+  engine.Drain();
+  ASSERT_TRUE(store->WaitForRebuild().ok());
+  ASSERT_FALSE(failed.load()) << first_failure;
+  EXPECT_GT(checked.load(), 0u);
+
+  // Quiesced: the engine's answer is exactly the serial merge of every
+  // applied update.
+  const TwoSidedQuery all{0, 0};
+  QueryResult r = SubmitAndWait(&engine, id, ServeQuery::TwoSided(all));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(SameResult(r.points, BruteTwoSided(final_model, all)))
+      << "got " << r.points.size() << " points, expected "
+      << BruteTwoSided(final_model, all).size();
+
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.update_groups, uint64_t(kPairs));
+  EXPECT_EQ(stats.updates_applied, uint64_t(2 * kPairs));
+  EXPECT_EQ(stats.update_failures, 0u);
+
+  engine.Stop();
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+// Stabbing-kind stores ride the same engine paths.
+TEST(DynamicServeTest, DynamicIntervalStoreThroughEngine) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 2048);
+  std::vector<DynamicItem> initial;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const int64_t lo = int64_t(i) * 3;
+    initial.push_back(DynamicItem{lo, lo + 1 + int64_t(i % 50), i});
+  }
+  auto store = std::move(
+      DynamicStore::Create(&pool, DynamicStructure::kExtIntervalTree, initial)
+          .value());
+  std::vector<Interval> model;
+  for (const auto& i : initial) model.push_back(i.ToInterval());
+
+  QueryEngine engine(&pool, {});
+  auto id = engine.AddDynamicStore(store.get());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine.structure_kind(id.value()), QueryKind::kStabbing);
+  ASSERT_TRUE(engine.Start().ok());
+
+  DynamicUpdate u{UpdateOp::kInsert, DynamicItem{2, 2000, 9000}};
+  QueryResult ur = SubmitUpdateAndWait(&engine, id.value(), {&u, 1});
+  ASSERT_TRUE(ur.status.ok());
+  model.push_back(Interval{2, 2000, 9000});
+
+  Rng rng(13);
+  for (int i = 0; i < 32; ++i) {
+    const int64_t q = rng.UniformRange(0, 1000);
+    QueryResult r = SubmitAndWait(&engine, id.value(), ServeQuery::Stab(q));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(SameResult(r.intervals, BruteStab(model, q)));
+  }
+  engine.Stop();
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+}  // namespace
+}  // namespace pathcache

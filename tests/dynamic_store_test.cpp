@@ -1,0 +1,576 @@
+// DynamicStore tests: merged queries vs. the set model, rebuild/publish,
+// WAL replay on reopen, epoch pins across publishes, page accounting, the
+// interleaved update/query/rebuild schedule harness (with ddmin shrinking)
+// for every wrapped structure kind, the multi-generation fsck, and the
+// metrics adapter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_fsck.h"
+#include "dynamic/dynamic_metrics.h"
+#include "dynamic/dynamic_store.h"
+#include "core/persist.h"
+#include "core/pst_external.h"
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+#include "oracle_common.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace {
+
+using difftest::dyntest::DynCase;
+using difftest::dyntest::RunDynamicSchedule;
+
+// Records are fully determined by their id: same id always means the same
+// record (so the by-id oracle comparison is unambiguous), and interval
+// endpoints of distinct ids never collide (endpoints are id mod id_max in
+// each stride block), which keeps the schedule inside the distinct-endpoint
+// regime the interval structures are specified for.
+int64_t HashCoord(uint64_t id, uint64_t salt, int64_t coord_max) {
+  const uint64_t h = (id + salt) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<int64_t>(h % static_cast<uint64_t>(coord_max + 1));
+}
+
+DynamicItem PointItemFor(uint64_t id, const DynCase& c) {
+  return DynamicItem{HashCoord(id, 1, c.coord_max), HashCoord(id, 2, c.coord_max),
+                     id};
+}
+
+DynamicItem IntervalItemFor(uint64_t id, const DynCase& c) {
+  const uint64_t h = id * 0x9E3779B97F4A7C15ULL;
+  const int64_t stride = static_cast<int64_t>(c.id_max);
+  const int64_t u = static_cast<int64_t>(h % 8);
+  const int64_t v = u + 1 + static_cast<int64_t>((h >> 8) % 8);
+  return DynamicItem{static_cast<int64_t>(id) + u * stride,
+                     static_cast<int64_t>(id) + v * stride, id};
+}
+
+struct TwoSidedDyn {
+  using Record = Point;
+  using Query = TwoSidedQuery;
+  static const char* Name() { return "DynamicStore<ExternalPst>"; }
+  static DynamicStructure Kind() { return DynamicStructure::kExternalPst; }
+  static Point ToRecord(const DynamicItem& i) { return i.ToPoint(); }
+  static DynamicItem MakeItem(Rng* rng, const DynCase& c) {
+    return PointItemFor(rng->Uniform(c.id_max), c);
+  }
+  static Query SampleQuery(Rng* rng, const DynCase& c) {
+    return TwoSidedQuery{rng->UniformRange(0, c.coord_max),
+                         rng->UniformRange(0, c.coord_max)};
+  }
+  static Status RunQuery(DynamicStore* s, const Query& q,
+                         std::vector<Point>* out) {
+    return s->QueryTwoSided(q, out);
+  }
+  static std::vector<Point> Oracle(const std::vector<Point>& pts,
+                                   const Query& q) {
+    return BruteTwoSided(pts, q);
+  }
+  static std::string FormatQuery(const Query& q) {
+    return "(x>=" + std::to_string(q.x_min) +
+           ", y>=" + std::to_string(q.y_min) + ")";
+  }
+};
+
+struct TwoLevelDyn : TwoSidedDyn {
+  static const char* Name() { return "DynamicStore<TwoLevelPst>"; }
+  static DynamicStructure Kind() { return DynamicStructure::kTwoLevelPst; }
+};
+
+struct ThreeSidedDyn {
+  using Record = Point;
+  using Query = ThreeSidedQuery;
+  static const char* Name() { return "DynamicStore<ThreeSidedPst>"; }
+  static DynamicStructure Kind() { return DynamicStructure::kThreeSidedPst; }
+  static Point ToRecord(const DynamicItem& i) { return i.ToPoint(); }
+  static DynamicItem MakeItem(Rng* rng, const DynCase& c) {
+    return PointItemFor(rng->Uniform(c.id_max), c);
+  }
+  static Query SampleQuery(Rng* rng, const DynCase& c) {
+    int64_t a = rng->UniformRange(0, c.coord_max);
+    int64_t b = rng->UniformRange(0, c.coord_max);
+    if (a > b) std::swap(a, b);
+    return ThreeSidedQuery{a, b, rng->UniformRange(0, c.coord_max)};
+  }
+  static Status RunQuery(DynamicStore* s, const Query& q,
+                         std::vector<Point>* out) {
+    return s->QueryThreeSided(q, out);
+  }
+  static std::vector<Point> Oracle(const std::vector<Point>& pts,
+                                   const Query& q) {
+    return BruteThreeSided(pts, q);
+  }
+  static std::string FormatQuery(const Query& q) {
+    return "(x in [" + std::to_string(q.x_min) + ", " +
+           std::to_string(q.x_max) + "], y>=" + std::to_string(q.y_min) + ")";
+  }
+};
+
+template <DynamicStructure K>
+struct StabDyn {
+  using Record = Interval;
+  using Query = int64_t;
+  static const char* Name() {
+    return K == DynamicStructure::kExtSegmentTree
+               ? "DynamicStore<ExtSegmentTree>"
+               : "DynamicStore<ExtIntervalTree>";
+  }
+  static DynamicStructure Kind() { return K; }
+  static Interval ToRecord(const DynamicItem& i) { return i.ToInterval(); }
+  static DynamicItem MakeItem(Rng* rng, const DynCase& c) {
+    return IntervalItemFor(rng->Uniform(c.id_max), c);
+  }
+  static Query SampleQuery(Rng* rng, const DynCase& c) {
+    // Interval endpoints live in [0, 17 * id_max); sample stabs across it.
+    return rng->UniformRange(0, static_cast<int64_t>(c.id_max) * 17);
+  }
+  static Status RunQuery(DynamicStore* s, const Query& q,
+                         std::vector<Interval>* out) {
+    return s->Stab(q, out);
+  }
+  static std::vector<Interval> Oracle(const std::vector<Interval>& ivs,
+                                      const Query& q) {
+    return BruteStab(ivs, q);
+  }
+  static std::string FormatQuery(const Query& q) { return std::to_string(q); }
+};
+
+using SegTreeDyn = StabDyn<DynamicStructure::kExtSegmentTree>;
+using IntTreeDyn = StabDyn<DynamicStructure::kExtIntervalTree>;
+
+std::vector<DynamicItem> SomePoints(int n, const DynCase& c) {
+  std::vector<DynamicItem> items;
+  for (int i = 0; i < n; ++i) items.push_back(PointItemFor(i, c));
+  return items;
+}
+
+// --- Basic lifecycle -------------------------------------------------------
+
+TEST(DynamicStoreTest, CreateWithInitialRecordsAnswersQueries) {
+  DynCase c;
+  c.coord_max = 10'000;
+  c.id_max = 500;
+  MemPageDevice mem(1024);
+  auto initial = SomePoints(400, c);
+  auto made = DynamicStore::Create(&mem, DynamicStructure::kExternalPst,
+                                   initial);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto store = std::move(made).value();
+
+  std::vector<Point> base;
+  for (const auto& i : initial) base.push_back(i.ToPoint());
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    const TwoSidedQuery q{rng.UniformRange(0, c.coord_max),
+                          rng.UniformRange(0, c.coord_max)};
+    std::vector<Point> got;
+    ASSERT_TRUE(store->QueryTwoSided(q, &got).ok());
+    EXPECT_TRUE(SameResult(got, BruteTwoSided(base, q)));
+  }
+  ASSERT_TRUE(store->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicStoreTest, UpdatesMergeWithoutRebuild) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto initial = SomePoints(100, c);
+  auto store = std::move(
+      DynamicStore::Create(&mem, DynamicStructure::kExternalPst, initial)
+          .value());
+
+  // Delete an existing record, insert a new one, re-insert an existing one.
+  std::vector<Point> model;
+  for (const auto& i : initial) model.push_back(i.ToPoint());
+  ASSERT_TRUE(store->Erase(initial[3]).ok());
+  model.erase(std::remove_if(model.begin(), model.end(),
+                             [&](const Point& p) {
+                               return DynamicItem::From(p) == initial[3];
+                             }),
+              model.end());
+  const DynamicItem fresh = PointItemFor(c.id_max + 7, c);
+  ASSERT_TRUE(store->Insert(fresh).ok());
+  model.push_back(fresh.ToPoint());
+  ASSERT_TRUE(store->Insert(initial[5]).ok());  // re-insert: must collapse
+
+  const TwoSidedQuery q{0, 0};  // everything
+  std::vector<Point> got;
+  ASSERT_TRUE(store->QueryTwoSided(q, &got).ok());
+  EXPECT_TRUE(SameResult(got, BruteTwoSided(model, q)));
+
+  // Rebuild publishes a fresh generation; the merged answer is unchanged
+  // and the overlay is fully absorbed.
+  ASSERT_TRUE(store->Rebuild().ok());
+  EXPECT_EQ(store->stats().rebuilds, 1u);
+  EXPECT_EQ(store->stats().delta_entries, 0u);
+  EXPECT_GE(store->stats().generation_version, 2u);
+  got.clear();
+  ASSERT_TRUE(store->QueryTwoSided(q, &got).ok());
+  EXPECT_TRUE(SameResult(got, BruteTwoSided(model, q)));
+
+  ASSERT_TRUE(store->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicStoreTest, ReopenReplaysCommittedWal) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  PageId root;
+  std::vector<Point> model;
+  {
+    auto initial = SomePoints(60, c);
+    for (const auto& i : initial) model.push_back(i.ToPoint());
+    auto store = std::move(
+        DynamicStore::Create(&mem, DynamicStructure::kExternalPst, initial)
+            .value());
+    root = store->root();
+    const DynamicItem extra = PointItemFor(c.id_max + 1, c);
+    ASSERT_TRUE(store->Insert(extra).ok());
+    model.push_back(extra.ToPoint());
+    ASSERT_TRUE(store->Erase(initial[0]).ok());
+    model.erase(model.begin());
+    // No Rebuild, no Destroy: the store object goes away, the pages stay.
+  }
+
+  auto reopened = DynamicStore::Open(&mem, root);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->stats().replayed_records, 2u);
+  const TwoSidedQuery q{0, 0};
+  std::vector<Point> got;
+  ASSERT_TRUE(reopened.value()->QueryTwoSided(q, &got).ok());
+  EXPECT_TRUE(SameResult(got, BruteTwoSided(model, q)));
+  ASSERT_TRUE(reopened.value()->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicStoreTest, EmptyStoreAcceptsUpdates) {
+  MemPageDevice mem(1024);
+  auto store = std::move(
+      DynamicStore::Create(&mem, DynamicStructure::kExtIntervalTree, {})
+          .value());
+  std::vector<Interval> got;
+  ASSERT_TRUE(store->Stab(5, &got).ok());
+  EXPECT_TRUE(got.empty());
+
+  ASSERT_TRUE(store->Insert(DynamicItem{0, 10, 1}).ok());
+  ASSERT_TRUE(store->Stab(5, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_TRUE(store->Rebuild().ok());
+  got.clear();
+  ASSERT_TRUE(store->Stab(5, &got).ok());
+  EXPECT_EQ(got.size(), 1u);
+  ASSERT_TRUE(store->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicStoreTest, WrongVerbForKindIsRejected) {
+  MemPageDevice mem(1024);
+  auto store = std::move(
+      DynamicStore::Create(&mem, DynamicStructure::kExternalPst, {}).value());
+  std::vector<Interval> ivs;
+  EXPECT_FALSE(store->Stab(1, &ivs).ok());
+  std::vector<Point> pts;
+  EXPECT_FALSE(store->QueryThreeSided({0, 1, 0}, &pts).ok());
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+// --- Epoch pins across publishes ------------------------------------------
+
+TEST(DynamicStoreTest, PinnedGenerationSurvivesPublish) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto initial = SomePoints(120, c);
+  auto store = std::move(
+      DynamicStore::Create(&mem, DynamicStructure::kExternalPst, initial)
+          .value());
+
+  GenerationRef pinned = store->PinCurrent();
+  ASSERT_NE(pinned.manifest, kInvalidPageId);
+
+  ASSERT_TRUE(store->Insert(PointItemFor(c.id_max + 9, c)).ok());
+  ASSERT_TRUE(store->Rebuild().ok());
+  EXPECT_GT(store->current_version(), pinned.version);
+  // The publish pruned the overlay, so the overlay no longer pairs with the
+  // pinned base: the version-checked merge must refuse.
+  std::vector<Point> out;
+  EXPECT_FALSE(store->OverlayTwoSided(pinned.version, TwoSidedQuery{0, 0},
+                                      &out));
+
+  // The pinned generation's pages are still readable: a fresh handle over
+  // its manifest answers exactly the old base.
+  DynamicReadHandle h;
+  ASSERT_TRUE(h.Open(&mem, store->structure(), pinned.manifest,
+                     pinned.version)
+                  .ok());
+  std::vector<Point> base_got;
+  ASSERT_TRUE(h.QueryTwoSided(TwoSidedQuery{0, 0}, &base_got, nullptr).ok());
+  std::vector<Point> base_want;
+  for (const auto& i : initial) base_want.push_back(i.ToPoint());
+  EXPECT_TRUE(SameResult(base_got, base_want));
+  h.Reset();
+
+  // Last unpin reclaims the retired generation.
+  const uint64_t live_before = mem.live_pages();
+  store->Unpin(pinned.version);
+  EXPECT_GE(store->stats().generations_reclaimed, 1u);
+  EXPECT_LT(mem.live_pages(), live_before);
+
+  ASSERT_TRUE(store->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicStoreTest, ThresholdTriggersAutomaticRebuild) {
+  MemPageDevice mem(1024);
+  DynamicStoreOptions opts;
+  opts.rebuild_threshold = 4;
+  DynCase c;
+  auto store = std::move(DynamicStore::Create(&mem,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(50, c), opts)
+                             .value());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store->Insert(PointItemFor(c.id_max + i, c)).ok());
+  }
+  EXPECT_GE(store->stats().rebuilds, 1u);
+  EXPECT_LT(store->stats().delta_entries, 5u);
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+TEST(DynamicStoreTest, BackgroundRebuildPublishes) {
+  MemPageDevice mem(1024);
+  SharedBufferPool pool(&mem, 4096);
+  DynamicStoreOptions opts;
+  opts.rebuild_threshold = 8;
+  opts.background_rebuild = true;
+  DynCase c;
+  auto store = std::move(DynamicStore::Create(&pool,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(80, c), opts)
+                             .value());
+  for (uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(store->Insert(PointItemFor(2 * c.id_max + i, c)).ok());
+  }
+  ASSERT_TRUE(store->WaitForRebuild().ok());
+  EXPECT_GE(store->stats().rebuilds, 1u);
+
+  std::vector<Point> model;
+  for (const auto& i : SomePoints(80, c)) model.push_back(i.ToPoint());
+  for (uint64_t i = 0; i < 32; ++i) {
+    model.push_back(PointItemFor(2 * c.id_max + i, c).ToPoint());
+  }
+  std::vector<Point> got;
+  ASSERT_TRUE(store->QueryTwoSided(TwoSidedQuery{0, 0}, &got).ok());
+  EXPECT_TRUE(SameResult(got, BruteTwoSided(model, TwoSidedQuery{0, 0})));
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+// --- Interleaved schedules, every structure kind ---------------------------
+
+TEST(DynamicScheduleTest, TwoSidedSchedules) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    DynCase c;
+    c.steps = 300;
+    c.seed = seed;
+    RunDynamicSchedule<TwoSidedDyn>(c);
+  }
+}
+
+TEST(DynamicScheduleTest, TwoSidedSchedulesWithAutoRebuild) {
+  DynCase c;
+  c.steps = 400;
+  c.seed = 42;
+  c.rebuild_threshold = 16;
+  RunDynamicSchedule<TwoSidedDyn>(c);
+}
+
+TEST(DynamicScheduleTest, TwoLevelSchedules) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DynCase c;
+    c.steps = 250;
+    c.seed = 10 + seed;
+    RunDynamicSchedule<TwoLevelDyn>(c);
+  }
+}
+
+TEST(DynamicScheduleTest, ThreeSidedSchedules) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DynCase c;
+    c.steps = 250;
+    c.seed = 20 + seed;
+    RunDynamicSchedule<ThreeSidedDyn>(c);
+  }
+}
+
+TEST(DynamicScheduleTest, SegmentTreeSchedules) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DynCase c;
+    c.steps = 220;
+    c.seed = 30 + seed;
+    c.id_max = 128;
+    RunDynamicSchedule<SegTreeDyn>(c);
+  }
+}
+
+TEST(DynamicScheduleTest, IntervalTreeSchedules) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DynCase c;
+    c.steps = 220;
+    c.seed = 40 + seed;
+    c.id_max = 128;
+    RunDynamicSchedule<IntTreeDyn>(c);
+  }
+}
+
+// --- Multi-generation fsck -------------------------------------------------
+
+TEST(DynamicFsckTest, HealthyStoreHasFullCoverage) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto store = std::move(DynamicStore::Create(&mem,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(150, c))
+                             .value());
+  ASSERT_TRUE(store->Insert(PointItemFor(c.id_max + 1, c)).ok());
+  ASSERT_TRUE(store->Rebuild().ok());
+
+  EXPECT_TRUE(IsDynamicRoot(&mem, store->root()));
+  const PageId roots[] = {store->root()};
+  DynamicFsckReport report;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, {}, &report).ok());
+  EXPECT_EQ(report.stores, 1u);
+  EXPECT_EQ(report.orphaned_generations, 0u);
+  EXPECT_EQ(report.dangling_wal_pages, 0u);
+  EXPECT_EQ(report.unreachable_pages, 0u);
+  EXPECT_GT(report.generation_pages, 0u);
+  EXPECT_GT(report.wal_pages, 0u);
+  EXPECT_GT(report.structures_checked, 0u);
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+TEST(DynamicFsckTest, ClassifiesOrphansDanglingAndDebrisThenGcs) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto store = std::move(DynamicStore::Create(&mem,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(100, c))
+                             .value());
+
+  // An orphaned generation: a complete structure nothing references (what a
+  // crash between build and publish leaves behind).
+  {
+    ExternalPst orphan(&mem);
+    std::vector<Point> pts;
+    for (int i = 0; i < 50; ++i) pts.push_back(PointItemFor(i, c).ToPoint());
+    ASSERT_TRUE(orphan.Build(pts).ok());
+    ASSERT_TRUE(SaveClustered(&orphan).ok());
+  }
+  // A dangling WAL page (truncated head moved past it, Free was lost).
+  {
+    auto p = mem.Allocate();
+    ASSERT_TRUE(p.ok());
+    std::vector<std::byte> buf(mem.page_size());
+    WalPageHeader h;
+    h.next = kInvalidPageId;
+    std::memcpy(buf.data(), &h, sizeof(h));
+    ASSERT_TRUE(mem.Write(p.value(), buf.data()).ok());
+  }
+  // Unrecognizable debris.
+  {
+    auto p = mem.Allocate();
+    ASSERT_TRUE(p.ok());
+    std::vector<std::byte> buf(mem.page_size(), std::byte{0x5A});
+    ASSERT_TRUE(mem.Write(p.value(), buf.data()).ok());
+  }
+
+  const PageId roots[] = {store->root()};
+  DynamicFsckReport report;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, {}, &report).ok());
+  EXPECT_EQ(report.orphaned_generations, 1u);
+  EXPECT_GT(report.orphaned_generation_pages, 0u);
+  EXPECT_EQ(report.dangling_wal_pages, 1u);
+  EXPECT_EQ(report.unreachable_pages, 1u);
+  EXPECT_EQ(report.freed_pages, 0u);  // report-only by default
+
+  DynamicFsckOptions gc;
+  gc.gc = true;
+  DynamicFsckReport after_gc;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, gc, &after_gc).ok());
+  EXPECT_EQ(after_gc.freed_pages, after_gc.orphaned_generation_pages +
+                                      after_gc.dangling_wal_pages +
+                                      after_gc.unreachable_pages);
+
+  // After gc the device is fully covered again.
+  DynamicFsckReport clean;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, {}, &clean).ok());
+  EXPECT_EQ(clean.orphaned_generations, 0u);
+  EXPECT_EQ(clean.dangling_wal_pages, 0u);
+  EXPECT_EQ(clean.unreachable_pages, 0u);
+
+  ASSERT_TRUE(store->Destroy().ok());
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+TEST(DynamicFsckTest, StaticCoTenantsAreOwnedNotOrphaned) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto store = std::move(DynamicStore::Create(&mem,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(80, c))
+                             .value());
+  PageId static_manifest;
+  {
+    ExternalPst neighbor(&mem);
+    std::vector<Point> pts;
+    for (int i = 0; i < 40; ++i) pts.push_back(PointItemFor(i, c).ToPoint());
+    ASSERT_TRUE(neighbor.Build(pts).ok());
+    auto m = SaveClustered(&neighbor);
+    ASSERT_TRUE(m.ok());
+    static_manifest = m.value();
+  }
+  EXPECT_FALSE(IsDynamicRoot(&mem, static_manifest));
+
+  const PageId roots[] = {store->root()};
+  DynamicFsckOptions opts;
+  opts.static_manifests = {static_manifest};
+  DynamicFsckReport report;
+  ASSERT_TRUE(VerifyDynamicStores(&mem, roots, opts, &report).ok());
+  EXPECT_EQ(report.orphaned_generations, 0u);
+  EXPECT_EQ(report.unreachable_pages, 0u);
+  EXPECT_GT(report.static_pages, 0u);
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+// --- Metrics adapter -------------------------------------------------------
+
+TEST(DynamicStoreTest, MetricsRegistryExportsStoreCounters) {
+  DynCase c;
+  MemPageDevice mem(1024);
+  auto store = std::move(DynamicStore::Create(&mem,
+                                              DynamicStructure::kExternalPst,
+                                              SomePoints(30, c))
+                             .value());
+  ASSERT_TRUE(store->Insert(PointItemFor(c.id_max + 1, c)).ok());
+  ASSERT_TRUE(store->Rebuild().ok());
+
+  MetricsRegistry reg;
+  ASSERT_TRUE(RegisterDynamicStoreMetrics(&reg, "test", store.get()).ok());
+  std::string prom;
+  reg.WritePrometheus(&prom);
+  EXPECT_NE(prom.find("pathcache_dynamic_updates_applied_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pathcache_dynamic_rebuilds_total"), std::string::npos);
+  EXPECT_NE(prom.find("pathcache_dynamic_generation_version"),
+            std::string::npos);
+  EXPECT_NE(prom.find("store=\"test\""), std::string::npos);
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+}  // namespace
+}  // namespace pathcache

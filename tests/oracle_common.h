@@ -40,10 +40,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dynamic/dynamic_store.h"
+#include "dynamic/update.h"
+#include "io/mem_page_device.h"
 #include "util/geometry.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -199,6 +203,253 @@ void RunDifferential(const DiffCase& c, int num_queries) {
   }
 }
 
+// --- Interleaved update/query/rebuild schedules (dynamic stores) -----------
+//
+// The static harness above checks one built structure against its oracle.
+// Dynamic stores need schedules: a deterministic interleaving of durable
+// updates (insert/delete), merged queries and rebuild/publish steps, checked
+// step by step against a plain set model — the "rebuilt from scratch after
+// every mutation" semantics the delta merge claims to be identical to.  On a
+// disagreement the ddmin shrinker minimizes the SCHEDULE (any subsequence of
+// steps is itself a valid schedule), replaying each candidate on a fresh
+// store, and prints every surviving step as a reproducer.
+//
+// A dynamic structure plugs in via a DynAdapter type:
+//
+//   struct MyDynAdapter {
+//     using Record = ...;              // Point or Interval
+//     using Query = ...;
+//     static const char* Name();
+//     static DynamicStructure Kind();
+//     static Record ToRecord(const DynamicItem&);
+//     static DynamicItem MakeItem(Rng*, const DynCase&);   // random record
+//     static Query SampleQuery(Rng*, const DynCase&);
+//     static Status RunQuery(DynamicStore*, const Query&,
+//                            std::vector<Record>*);
+//     static std::vector<Record> Oracle(const std::vector<Record>&,
+//                                       const Query&);
+//     static std::string FormatQuery(const Query&);
+//   };
+
+namespace dyntest {
+
+/// One schedule case: steps, queries and records all derive from these
+/// values, so quoting the case IS the reproducer.
+struct DynCase {
+  uint64_t steps = 0;
+  uint64_t seed = 0;
+  uint32_t page_size = 1024;
+  /// Small coordinate domain and id space on purpose: collisions make
+  /// deletes hit live records and re-inserts exercise the override rules.
+  int64_t coord_max = 1000;
+  uint64_t id_max = 256;
+  double p_insert = 0.45;
+  double p_delete = 0.25;
+  double p_query = 0.25;  // remainder: explicit Rebuild() steps
+  /// Forwarded to DynamicStoreOptions (0 = only explicit rebuild steps).
+  uint64_t rebuild_threshold = 0;
+};
+
+inline std::string FormatDynCase(const DynCase& c) {
+  std::ostringstream os;
+  os << "DynCase{.steps=" << c.steps << ", .seed=" << c.seed
+     << ", .page_size=" << c.page_size << ", .coord_max=" << c.coord_max
+     << ", .id_max=" << c.id_max << ", .rebuild_threshold="
+     << c.rebuild_threshold << "}";
+  return os.str();
+}
+
+template <typename D>
+struct DynStep {
+  enum What : uint8_t { kInsert, kDelete, kQuery, kRebuild };
+  What what = kInsert;
+  DynamicItem item;         // kInsert / kDelete
+  typename D::Query query;  // kQuery
+};
+
+template <typename D>
+std::vector<DynStep<D>> GenSchedule(const DynCase& c) {
+  Rng rng(c.seed ^ 0xD15C0B07ULL);
+  std::vector<DynStep<D>> steps;
+  steps.reserve(c.steps);
+  for (uint64_t i = 0; i < c.steps; ++i) {
+    DynStep<D> s;
+    const double r = rng.NextDouble();
+    if (r < c.p_insert) {
+      s.what = DynStep<D>::kInsert;
+      s.item = D::MakeItem(&rng, c);
+    } else if (r < c.p_insert + c.p_delete) {
+      s.what = DynStep<D>::kDelete;
+      s.item = D::MakeItem(&rng, c);
+    } else if (r < c.p_insert + c.p_delete + c.p_query) {
+      s.what = DynStep<D>::kQuery;
+      s.query = D::SampleQuery(&rng, c);
+    } else {
+      s.what = DynStep<D>::kRebuild;
+    }
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+/// Replays `steps` on a fresh store against the set model.  Returns true on
+/// the first disagreement or error, with a description in `*why` (step
+/// index included so a non-shrunk failure is still actionable).
+template <typename D>
+bool ScheduleFails(const std::vector<DynStep<D>>& steps, const DynCase& c,
+                   std::string* why) {
+  MemPageDevice mem(c.page_size);
+  DynamicStoreOptions opts;
+  opts.rebuild_threshold = c.rebuild_threshold;
+  auto made = DynamicStore::Create(&mem, D::Kind(), {}, opts);
+  if (!made.ok()) {
+    *why = "Create: " + made.status().ToString();
+    return true;
+  }
+  auto store = std::move(made).value();
+  std::map<DynamicItem, bool, DynamicItemLess> model;  // presence set
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const DynStep<D>& s = steps[i];
+    std::ostringstream at;
+    at << "step " << i << "/" << steps.size() << ": ";
+    switch (s.what) {
+      case DynStep<D>::kInsert: {
+        Status st = store->Insert(s.item);
+        if (!st.ok()) {
+          *why = at.str() + "Insert: " + st.ToString();
+          return true;
+        }
+        model[s.item] = true;
+        break;
+      }
+      case DynStep<D>::kDelete: {
+        Status st = store->Erase(s.item);
+        if (!st.ok()) {
+          *why = at.str() + "Erase: " + st.ToString();
+          return true;
+        }
+        model.erase(s.item);
+        break;
+      }
+      case DynStep<D>::kRebuild: {
+        Status st = store->Rebuild();
+        if (!st.ok()) {
+          *why = at.str() + "Rebuild: " + st.ToString();
+          return true;
+        }
+        break;
+      }
+      case DynStep<D>::kQuery: {
+        std::vector<typename D::Record> got;
+        Status st = D::RunQuery(store.get(), s.query, &got);
+        if (!st.ok()) {
+          *why = at.str() + "Query: " + st.ToString();
+          return true;
+        }
+        std::vector<typename D::Record> live;
+        live.reserve(model.size());
+        for (const auto& [item, present] : model) {
+          if (present) live.push_back(D::ToRecord(item));
+        }
+        if (!SameResult(got, D::Oracle(live, s.query))) {
+          *why = at.str() + "merged answer for " + D::FormatQuery(s.query) +
+                 " disagrees with the set model (" + std::to_string(got.size())
+                 + " records vs model's expectation)";
+          return true;
+        }
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+/// ddmin over the step sequence: any subsequence is a valid schedule, so the
+/// shrinker deletes chunks while the replay-from-scratch still fails.
+template <typename D>
+std::vector<DynStep<D>> ShrinkSchedule(std::vector<DynStep<D>> steps,
+                                       const DynCase& c,
+                                       int max_probes = 400) {
+  std::string why;
+  size_t chunks = 2;
+  int probes = 0;
+  while (steps.size() > 1 && chunks <= steps.size() && probes < max_probes) {
+    const size_t chunk_len = (steps.size() + chunks - 1) / chunks;
+    bool removed_any = false;
+    for (size_t start = 0; start < steps.size() && probes < max_probes;
+         start += chunk_len) {
+      std::vector<DynStep<D>> candidate;
+      candidate.reserve(steps.size());
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (i < start || i >= start + chunk_len) candidate.push_back(steps[i]);
+      }
+      if (candidate.empty()) continue;
+      ++probes;
+      if (ScheduleFails<D>(candidate, c, &why)) {
+        steps = std::move(candidate);
+        chunks = std::max<size_t>(2, chunks - 1);
+        removed_any = true;
+        break;
+      }
+    }
+    if (!removed_any) {
+      if (chunk_len == 1) break;  // 1-minimal
+      chunks = std::min(steps.size(), chunks * 2);
+    }
+  }
+  return steps;
+}
+
+template <typename D>
+std::string DynReproducer(const std::vector<DynStep<D>>& minimal,
+                          const DynCase& c) {
+  std::string why;
+  ScheduleFails<D>(minimal, c, &why);  // re-derive the failing step's story
+  std::ostringstream os;
+  os << D::Name() << " dynamic schedule disagrees with the set model.\n"
+     << "case: " << FormatDynCase(c) << "\n"
+     << "failure: " << why << "\n"
+     << "shrunk to " << minimal.size() << " step(s):\n";
+  const size_t show = std::min<size_t>(minimal.size(), 64);
+  for (size_t i = 0; i < show; ++i) {
+    const DynStep<D>& s = minimal[i];
+    os << "  ";
+    switch (s.what) {
+      case DynStep<D>::kInsert:
+        os << "insert {" << s.item.a << ", " << s.item.b << ", " << s.item.id
+           << "}";
+        break;
+      case DynStep<D>::kDelete:
+        os << "delete {" << s.item.a << ", " << s.item.b << ", " << s.item.id
+           << "}";
+        break;
+      case DynStep<D>::kRebuild:
+        os << "rebuild";
+        break;
+      case DynStep<D>::kQuery:
+        os << "query " << D::FormatQuery(s.query);
+        break;
+    }
+    os << "\n";
+  }
+  if (show < minimal.size()) {
+    os << "  ... (" << (minimal.size() - show) << " more)\n";
+  }
+  return os.str();
+}
+
+/// Harness entry point: generate the schedule from the case, replay it, and
+/// on a disagreement shrink + fail with the reproducer.
+template <typename D>
+void RunDynamicSchedule(const DynCase& c) {
+  const std::vector<DynStep<D>> steps = GenSchedule<D>(c);
+  std::string why;
+  if (!ScheduleFails<D>(steps, c, &why)) return;
+  auto minimal = ShrinkSchedule<D>(steps, c);
+  FAIL() << DynReproducer<D>(minimal, c) << "first failure: " << why;
+}
+
+}  // namespace dyntest
 }  // namespace difftest
 }  // namespace pathcache
 

@@ -1,0 +1,233 @@
+// WriteAheadLog unit tests: append/replay round trips, group atomicity
+// under crashes and torn writes, truncation, and page accounting.  The WAL
+// is the durability root of the dynamic-update layer, so these tests pin
+// its contract precisely: a group is durable iff AppendGroup returned OK
+// before the crash, and recovery never resurrects a discarded record.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dynamic/wal.h"
+#include "io/fault_page_device.h"
+#include "io/mem_page_device.h"
+
+namespace pathcache {
+namespace {
+
+constexpr uint32_t kPageSize = 256;  // (256 - 32) / 40 = 5 slots per page
+
+DynamicUpdate Ins(int64_t a, int64_t b, uint64_t id) {
+  return DynamicUpdate{UpdateOp::kInsert, DynamicItem{a, b, id}};
+}
+
+DynamicUpdate Del(int64_t a, int64_t b, uint64_t id) {
+  return DynamicUpdate{UpdateOp::kDelete, DynamicItem{a, b, id}};
+}
+
+std::vector<WriteAheadLog::ReplayedRecord> Reopen(PageDevice* dev, PageId head,
+                                                  uint64_t absorbed) {
+  std::vector<WriteAheadLog::ReplayedRecord> out;
+  auto wal = WriteAheadLog::Open(dev, head, absorbed, &out);
+  EXPECT_TRUE(wal.ok()) << wal.status().ToString();
+  return out;
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  MemPageDevice mem(kPageSize);
+  auto made = WriteAheadLog::Create(&mem);
+  ASSERT_TRUE(made.ok());
+  auto wal = std::move(made).value();
+
+  std::vector<DynamicUpdate> g1 = {Ins(1, 2, 10), Del(3, 4, 11)};
+  std::vector<DynamicUpdate> g2 = {Ins(5, 6, 12)};
+  auto c1 = wal->AppendGroup(g1);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = wal->AppendGroup(g2);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_GT(c2.value(), c1.value());
+  EXPECT_EQ(wal->last_committed_lsn(), c2.value());
+
+  auto replayed = Reopen(&mem, wal->head(), 0);
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0].op, UpdateOp::kInsert);
+  EXPECT_EQ(replayed[0].item, (DynamicItem{1, 2, 10}));
+  EXPECT_EQ(replayed[1].op, UpdateOp::kDelete);
+  EXPECT_EQ(replayed[1].item, (DynamicItem{3, 4, 11}));
+  EXPECT_EQ(replayed[2].item, (DynamicItem{5, 6, 12}));
+  // LSNs strictly increase in log order.
+  EXPECT_LT(replayed[0].lsn, replayed[1].lsn);
+  EXPECT_LT(replayed[1].lsn, replayed[2].lsn);
+}
+
+TEST(WalTest, EmptyGroupRejected) {
+  MemPageDevice mem(kPageSize);
+  auto wal = std::move(WriteAheadLog::Create(&mem).value());
+  EXPECT_FALSE(wal->AppendGroup({}).ok());
+}
+
+TEST(WalTest, AbsorbedLsnFiltersReplay) {
+  MemPageDevice mem(kPageSize);
+  auto wal = std::move(WriteAheadLog::Create(&mem).value());
+  auto c1 = wal->AppendGroup(std::vector<DynamicUpdate>{Ins(1, 1, 1)});
+  ASSERT_TRUE(c1.ok());
+  auto c2 = wal->AppendGroup(std::vector<DynamicUpdate>{Ins(2, 2, 2)});
+  ASSERT_TRUE(c2.ok());
+
+  auto replayed = Reopen(&mem, wal->head(), c1.value());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].item, (DynamicItem{2, 2, 2}));
+}
+
+TEST(WalTest, MultiPageGroupsRollTheTail) {
+  MemPageDevice mem(kPageSize);
+  auto wal = std::move(WriteAheadLog::Create(&mem).value());
+  // 12 records + commit = 13 slots over 5-slot pages: the tail rolls twice
+  // inside one append.
+  std::vector<DynamicUpdate> big;
+  for (int i = 0; i < 12; ++i) big.push_back(Ins(i, i, 100 + i));
+  ASSERT_TRUE(wal->AppendGroup(big).ok());
+  EXPECT_GE(wal->chain_pages(), 3u);
+  EXPECT_GE(wal->stats().pages_sealed, 2u);
+
+  auto replayed = Reopen(&mem, wal->head(), 0);
+  ASSERT_EQ(replayed.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(replayed[i].item, (DynamicItem{i, i, 100u + i}));
+  }
+}
+
+// Power loss with a volatile write-back cache: a group whose commit Sync
+// was swallowed by the crash must vanish atomically, while every earlier
+// synced group survives.
+TEST(WalTest, CrashAtCommitSyncDropsWholeGroup) {
+  MemPageDevice mem(kPageSize);
+  FaultPageDevice fault(&mem);
+  fault.SetVolatileWrites(true);
+
+  auto wal = std::move(WriteAheadLog::Create(&fault).value());
+  auto c1 = wal->AppendGroup(std::vector<DynamicUpdate>{Ins(1, 1, 1)});
+  ASSERT_TRUE(c1.ok());
+
+  // The next Sync (group 2's commit barrier) triggers the crash.
+  fault.CrashAtSync(fault.syncs_seen());
+  auto c2 = wal->AppendGroup(
+      std::vector<DynamicUpdate>{Ins(2, 2, 2), Ins(3, 3, 3)});
+  ASSERT_TRUE(c2.ok());  // the device lied — that is the point
+  ASSERT_TRUE(fault.crashed());
+
+  // "Reboot": reopen from the raw surviving media.
+  auto replayed = Reopen(&mem, wal->head(), 0);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].item, (DynamicItem{1, 1, 1}));
+}
+
+// A torn final write that keeps the group's records but loses the commit
+// marker discards the whole group, and the next append after recovery
+// physically overwrites the discarded bytes so no later state can
+// resurrect them.
+TEST(WalTest, TornCommitDiscardsGroupAndRecoveryOverwrites) {
+  MemPageDevice mem(kPageSize);
+  PageId head;
+  {
+    FaultPageDevice fault(&mem);
+    auto wal = std::move(WriteAheadLog::Create(&fault).value());
+    head = wal->head();
+    ASSERT_TRUE(
+        wal->AppendGroup(std::vector<DynamicUpdate>{Ins(1, 1, 1)}).ok());
+    // Group 2 rewrites the tail page once: tear that write so only the
+    // record slot lands and the commit slot keeps its old (zero) bytes.
+    const uint32_t keep =
+        sizeof(WalPageHeader) + 3 * sizeof(WalRecordDisk);  // slots 0..2
+    fault.TearWriteAt(fault.writes_seen(), keep);
+    ASSERT_TRUE(
+        wal->AppendGroup(std::vector<DynamicUpdate>{Ins(2, 2, 2)}).ok());
+    ASSERT_EQ(fault.fault_stats().torn_writes, 1u);
+  }
+
+  // Recovery: the torn group is gone.
+  std::vector<WriteAheadLog::ReplayedRecord> committed;
+  auto wal = WriteAheadLog::Open(&mem, head, 0, &committed);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].item, (DynamicItem{1, 1, 1}));
+  EXPECT_GE(wal.value()->stats().replay_discarded, 1u);
+
+  // Post-recovery append overwrites the torn bytes; a second recovery sees
+  // group 1 + group 3 and nothing of the torn group 2.
+  ASSERT_TRUE(wal.value()
+                  ->AppendGroup(std::vector<DynamicUpdate>{Ins(9, 9, 9)})
+                  .ok());
+  auto replayed = Reopen(&mem, head, 0);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].item, (DynamicItem{1, 1, 1}));
+  EXPECT_EQ(replayed[1].item, (DynamicItem{9, 9, 9}));
+}
+
+TEST(WalTest, TruncateThroughFreesAbsorbedPrefix) {
+  MemPageDevice mem(kPageSize);
+  auto wal = std::move(WriteAheadLog::Create(&mem).value());
+  uint64_t mid = 0;
+  for (int g = 0; g < 8; ++g) {
+    auto c = wal->AppendGroup(
+        std::vector<DynamicUpdate>{Ins(g, g, 100 + g), Ins(g, g, 200 + g)});
+    ASSERT_TRUE(c.ok());
+    if (g == 3) mid = c.value();
+  }
+  const uint64_t chain_before = wal->chain_pages();
+  ASSERT_GT(chain_before, 2u);
+
+  const PageId preview = wal->TruncatePreview(mid);
+  auto new_head = wal->TruncateThrough(mid);
+  ASSERT_TRUE(new_head.ok());
+  EXPECT_EQ(preview, new_head.value());
+  EXPECT_EQ(wal->head(), new_head.value());
+  EXPECT_LT(wal->chain_pages(), chain_before);
+  EXPECT_GT(wal->stats().pages_truncated, 0u);
+
+  // Replay from the truncated head with the same watermark: exactly the
+  // groups past `mid` survive (records <= mid on the kept boundary page are
+  // filtered by the LSN watermark).
+  auto replayed = Reopen(&mem, new_head.value(), mid);
+  ASSERT_EQ(replayed.size(), 8u);  // groups 4..7, two records each
+  EXPECT_EQ(replayed.front().item, (DynamicItem{4, 4, 104}));
+  EXPECT_EQ(replayed.back().item, (DynamicItem{7, 7, 207}));
+}
+
+TEST(WalTest, DestroyFreesEveryPage) {
+  MemPageDevice mem(kPageSize);
+  {
+    auto wal = std::move(WriteAheadLog::Create(&mem).value());
+    for (int g = 0; g < 6; ++g) {
+      ASSERT_TRUE(
+          wal->AppendGroup(std::vector<DynamicUpdate>{Ins(g, g, 1u + g)})
+              .ok());
+    }
+    ASSERT_TRUE(wal->TruncateThrough(wal->last_committed_lsn()).ok());
+    ASSERT_TRUE(wal->Destroy().ok());
+  }
+  EXPECT_EQ(mem.live_pages(), 0u);
+}
+
+// Crash mid-append before any sync: with the write-back cache, nothing of
+// the in-flight group reaches media, so recovery replays only the durable
+// prefix — and the accounting sees zero discarded records (the group never
+// touched the media image).
+TEST(WalTest, CrashBeforeFirstSyncLosesNothingDurable) {
+  MemPageDevice mem(kPageSize);
+  FaultPageDevice fault(&mem);
+  fault.SetVolatileWrites(true);
+  auto wal = std::move(WriteAheadLog::Create(&fault).value());
+  ASSERT_TRUE(wal->AppendGroup(std::vector<DynamicUpdate>{Ins(1, 1, 1)}).ok());
+  fault.CrashAtWrite(fault.writes_seen());  // first write of the next group
+  ASSERT_TRUE(wal->AppendGroup(std::vector<DynamicUpdate>{Ins(2, 2, 2)}).ok());
+  ASSERT_TRUE(fault.crashed());
+
+  auto replayed = Reopen(&mem, wal->head(), 0);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].item, (DynamicItem{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace pathcache
