@@ -1,0 +1,520 @@
+// E22 — Network serving: wall-clock QPS and end-to-end latency through the
+// binary TCP front-end (src/net), plus the overload contract.
+//
+// Where E17 measured the QueryEngine with callers in the same process, this
+// harness pays the full serving bill: frame encode + CRC32C on the client,
+// loopback TCP, the server's epoll loop, decode + CRC check, engine queue,
+// worker execution, response encode, and the trip back.  The load generator
+// is open-loop per connection: a sender thread issues requests on its own
+// schedule (paced by --rate, or as fast as the pipeline window allows when
+// unpaced) while a separate receiver thread drains responses, so slow
+// responses cannot throttle the offered load the way a call-and-wait client
+// would.  Latency is measured send-to-receive per request and accumulated
+// into the same power-of-two LatencyHistogram the engine uses internally,
+// so the reported p50/p95/p99 are comparable with E17's engine-side tails.
+//
+// Two segments:
+//
+//   * Warm sweep: QPS vs engine worker count {1, 2, 4} over a mixed
+//     2-sided + stabbing candidate pool on a RAM-backed store, C
+//     connections each keeping up to D requests in flight.  --zipf THETA
+//     skews which candidate each request replays (ZipfIndexStream), so the
+//     hot-key concentration real traffic has is one flag away.
+//   * Overload: a tiny-queue 1-worker engine is hit with a pipelined burst
+//     of full-domain scans.  The assertion is the protocol contract, not a
+//     number: some requests must come back RETRY_AFTER, every RETRY_AFTER
+//     must succeed on retry, and the server must not have dropped the
+//     connection (connections_closed stays 0).
+//
+// `--json out.json` dumps both segments machine-readably (the CI artifact);
+// `--check-qps MIN` gates the 4-worker row for regression runs.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ext_segment_tree.h"
+#include "core/pst_external.h"
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/latency_histogram.h"
+#include "serve/query_engine.h"
+#include "workload/generators.h"
+
+namespace pathcache {
+namespace {
+
+using net::MsgType;
+using net::NetClient;
+using net::NetServer;
+using net::NetServerOptions;
+using net::NetServerStats;
+using net::Request;
+using net::Response;
+
+const uint32_t kWorkerCounts[] = {1, 2, 4};
+constexpr size_t kCandidatePool = 4096;
+
+struct Options {
+  uint64_t points = 150'000;
+  uint64_t intervals = 100'000;
+  uint64_t requests = 20'000;  // per connection, per warm-sweep cell
+  uint32_t connections = 8;
+  uint32_t pipeline = 32;  // per-connection in-flight window
+  double rate = 0.0;       // per-connection offered QPS; 0 = unpaced
+  double zipf_theta = 0.0;
+  double check_qps = 0.0;  // gate on the 4-worker row; 0 disables
+  std::string json_path;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  auto value_of = [&](int* i, const char* flag) -> const char* {
+    const size_t len = std::strlen(flag);
+    if (std::strncmp(argv[*i], flag, len) != 0) return nullptr;
+    if (argv[*i][len] == '=') return argv[*i] + len + 1;
+    if (argv[*i][len] == '\0' && *i + 1 < argc) return argv[++*i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(&i, "--points")) {
+      o.points = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = value_of(&i, "--intervals")) {
+      o.intervals = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value_of(&i, "--requests")) {
+      o.requests = std::strtoull(v3, nullptr, 10);
+    } else if (const char* v4 = value_of(&i, "--connections")) {
+      o.connections = static_cast<uint32_t>(std::strtoul(v4, nullptr, 10));
+    } else if (const char* v5 = value_of(&i, "--pipeline")) {
+      o.pipeline = static_cast<uint32_t>(std::strtoul(v5, nullptr, 10));
+    } else if (const char* v6 = value_of(&i, "--rate")) {
+      o.rate = std::strtod(v6, nullptr);
+    } else if (const char* v7 = value_of(&i, "--zipf")) {
+      o.zipf_theta = std::strtod(v7, nullptr);
+    } else if (const char* v8 = value_of(&i, "--check-qps")) {
+      o.check_qps = std::strtod(v8, nullptr);
+    } else if (const char* v9 = value_of(&i, "--json")) {
+      o.json_path = v9;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--points N] [--intervals N] [--requests N] "
+                   "[--connections C] [--pipeline D] [--rate QPS] "
+                   "[--zipf THETA] [--check-qps MIN] [--json out.json]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (o.pipeline == 0) o.pipeline = 1;
+  if (o.connections == 0) o.connections = 1;
+  return o;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Store {
+  MemPageDevice dev{4096};
+  std::unique_ptr<SharedBufferPool> pool;
+  PageId pst_manifest = kInvalidPageId;
+  PageId seg_manifest = kInvalidPageId;
+};
+
+void BuildStore(const Options& opt, Store* s) {
+  s->pool = std::make_unique<SharedBufferPool>(&s->dev,
+                                               /*capacity_pages=*/1 << 18);
+  PointGenOptions po;
+  po.n = opt.points;
+  po.seed = 42;
+  {
+    ExternalPst pst(s->pool.get());
+    BenchCheck(pst.Build(GenPointsUniform(po)), "build 2-sided");
+    s->pst_manifest = BenchValue(pst.Save(), "save 2-sided");
+  }
+  IntervalGenOptions io;
+  io.n = opt.intervals;
+  io.seed = 43;
+  {
+    auto ivs = GenIntervalsUniform(io);
+    MakeEndpointsDistinct(&ivs);
+    ExtSegmentTree st(s->pool.get());
+    BenchCheck(st.Build(ivs), "build segment tree");
+    s->seg_manifest = BenchValue(st.Save(), "save segment tree");
+  }
+}
+
+// Even slots query the 2-sided structure, odd slots stab the segment tree.
+// The 2-sided corners sit deep in the top-right so the average answer is a
+// few dozen points — the "fetch my handful of matches" shape network
+// serving exists for.  (E17's wide scans would make this a memcpy/loopback
+// bandwidth bench: at its ~4k-point average answer every request moves
+// ~100 KB of payload.)  Structure ids follow registration order (0 pst,
+// 1 seg).
+std::vector<Request> MakeCandidates() {
+  std::vector<Request> pool;
+  pool.reserve(kCandidatePool);
+  Rng rng(7);
+  for (size_t i = 0; i < kCandidatePool; ++i) {
+    Request r;
+    if (i % 2 == 0) {
+      r.type = MsgType::kQueryTwoSided;
+      r.structure_id = 0;
+      r.two_sided = TwoSidedQuery{rng.UniformRange(960'000'000, 1'000'000'000),
+                                  rng.UniformRange(960'000'000,
+                                                   1'000'000'000)};
+    } else {
+      r.type = MsgType::kQueryStab;
+      r.structure_id = 1;
+      r.stab = rng.UniformRange(0, 1'000'000'000);
+    }
+    pool.push_back(r);
+  }
+  return pool;
+}
+
+// One connection of the open-loop generator: the sender paces Send() calls
+// and stamps each with its send time; the receiver drains responses (the
+// server answers in order, so timestamps pop FIFO) into the histogram.
+// The pipeline window bounds memory, not pacing — when it is full the
+// sender blocks, which an open-loop run reports as inflated latency rather
+// than silently shedding offered load.
+void RunConnection(uint16_t port, const std::vector<Request>& candidates,
+                   const std::vector<size_t>& stream, uint32_t window,
+                   double rate, LatencyHistogram* hist,
+                   std::atomic<bool>* failed) {
+  NetClient client;
+  Status st = client.Connect("127.0.0.1", port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL connect: %s\n", st.ToString().c_str());
+    failed->store(true);
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable room;
+  std::deque<uint64_t> send_times;
+
+  std::thread receiver([&] {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      Response resp;
+      Status rs = client.Receive(&resp);
+      if (!rs.ok() ||
+          (resp.type != MsgType::kPoints && resp.type != MsgType::kIntervals &&
+           resp.type != MsgType::kPong)) {
+        std::fprintf(stderr, "FATAL receive: %s (type 0x%02x)\n",
+                     rs.ToString().c_str(), unsigned(resp.type));
+        failed->store(true);
+        room.notify_all();
+        return;
+      }
+      uint64_t sent;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        sent = send_times.front();
+        send_times.pop_front();
+      }
+      hist->Record(NowUs() - sent);
+      room.notify_one();
+    }
+  });
+
+  const uint64_t start = NowUs();
+  const double interval_us = rate > 0.0 ? 1e6 / rate : 0.0;
+  for (size_t i = 0; i < stream.size() && !failed->load(); ++i) {
+    if (interval_us > 0.0) {
+      const uint64_t due =
+          start + static_cast<uint64_t>(interval_us * double(i));
+      uint64_t now = NowUs();
+      if (now < due) {
+        std::this_thread::sleep_for(std::chrono::microseconds(due - now));
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      room.wait(lk, [&] {
+        return send_times.size() < window || failed->load();
+      });
+      if (failed->load()) break;
+      send_times.push_back(NowUs());
+    }
+    Status ss = client.Send(candidates[stream[i]]);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "FATAL send: %s\n", ss.ToString().c_str());
+      failed->store(true);
+      break;
+    }
+  }
+  receiver.join();
+}
+
+struct WarmRow {
+  uint32_t workers = 0;
+  double qps = 0.0;
+  uint64_t completed = 0;
+  LatencyHistogram::Snapshot latency;
+};
+
+WarmRow RunWarm(Store& s, const Options& opt,
+                const std::vector<Request>& candidates, uint32_t workers) {
+  QueryEngineOptions eopts;
+  eopts.num_workers = workers;
+  eopts.queue_capacity = 4096;
+  eopts.batch_size = 8;
+  QueryEngine engine(s.pool.get(), eopts);
+  BenchCheck(engine.AddStructure(s.pst_manifest).ToStatus(),
+             "register 2-sided");
+  BenchCheck(engine.AddStructure(s.seg_manifest).ToStatus(), "register stab");
+  BenchCheck(engine.Start(), "start engine");
+  NetServer server(&engine);
+  BenchCheck(server.Start(), "start server");
+
+  // Per-connection replay streams over the shared candidate pool.  Theta=0
+  // degenerates to uniform, so one code path covers both.
+  std::vector<std::vector<size_t>> streams;
+  for (uint32_t c = 0; c < opt.connections; ++c) {
+    streams.push_back(ZipfIndexStream(kCandidatePool, opt.requests,
+                                      opt.zipf_theta, 100 + c));
+  }
+
+  auto run_pass = [&](uint64_t requests_per_conn,
+                      LatencyHistogram* hist) -> double {
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    const uint64_t t0 = NowUs();
+    for (uint32_t c = 0; c < opt.connections; ++c) {
+      const std::vector<size_t>& full = streams[c];
+      threads.emplace_back([&, c, requests_per_conn] {
+        std::vector<size_t> cut(full.begin(),
+                                full.begin() +
+                                    std::min<size_t>(requests_per_conn,
+                                                     full.size()));
+        RunConnection(server.port(), candidates, cut, opt.pipeline, opt.rate,
+                      hist, &failed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = double(NowUs() - t0) / 1e6;
+    if (failed.load()) {
+      std::fprintf(stderr, "FATAL warm pass failed at %u workers\n", workers);
+      std::abort();
+    }
+    return secs;
+  };
+
+  LatencyHistogram warm_hist;
+  run_pass(std::max<uint64_t>(opt.requests / 8, 256), &warm_hist);  // warm
+
+  LatencyHistogram hist;
+  const double secs = run_pass(opt.requests, &hist);
+
+  WarmRow row;
+  row.workers = workers;
+  row.completed = uint64_t(opt.connections) * opt.requests;
+  row.qps = double(row.completed) / secs;
+  row.latency = hist.TakeSnapshot();
+  server.Stop();
+  engine.Stop();
+  return row;
+}
+
+struct OverloadRow {
+  uint64_t burst = 0;
+  uint64_t retry_after = 0;  // RETRY_AFTER responses in the first pass
+  uint64_t retries = 0;      // resends needed until everything completed
+  uint64_t connections_closed = 0;
+};
+
+// The overload contract, end to end: a 1-worker engine with a 2-slot queue
+// cannot absorb a pipelined burst of full-domain scans, so the server must
+// answer the excess with RETRY_AFTER — same connection, in order — and a
+// client that honors the hint must eventually complete every request.
+OverloadRow RunOverload(Store& s, const Options& opt) {
+  QueryEngineOptions eopts;
+  eopts.num_workers = 1;
+  eopts.queue_capacity = 2;
+  eopts.batch_size = 1;
+  QueryEngine engine(s.pool.get(), eopts);
+  BenchCheck(engine.AddStructure(s.pst_manifest).ToStatus(),
+             "register 2-sided");
+  BenchCheck(engine.Start(), "start engine");
+  NetServerOptions sopts;
+  sopts.retry_after_micros = 500;
+  NetServer server(&engine, sopts);
+  BenchCheck(server.Start(), "start server");
+
+  NetClient client;
+  BenchCheck(client.Connect("127.0.0.1", server.port()), "connect");
+
+  // Each burst query must be expensive enough that a 1-worker engine cannot
+  // drain the queue between two decode-time submits: aim the corner so the
+  // answer is ~min(points/2, 50k) points — milliseconds of merge + encode
+  // per request, while staying under the frame payload cap however large
+  // --points is.
+  const double frac =
+      std::min(0.5, 50'000.0 / static_cast<double>(opt.points));
+  Request heavy;
+  heavy.type = MsgType::kQueryTwoSided;
+  heavy.structure_id = 0;
+  heavy.two_sided = TwoSidedQuery{
+      0, static_cast<int64_t>(1e9 * (1.0 - frac))};
+
+  OverloadRow row;
+  row.burst = 16;
+  uint64_t outstanding = row.burst;
+  for (uint64_t i = 0; i < row.burst; ++i) {
+    BenchCheck(client.Send(heavy), "overload send");
+  }
+  bool first_pass = true;
+  while (outstanding > 0) {
+    uint64_t need_retry = 0;
+    for (uint64_t i = 0; i < outstanding; ++i) {
+      Response resp;
+      BenchCheck(client.Receive(&resp), "overload receive");
+      if (resp.type == MsgType::kRetryAfter) {
+        ++need_retry;
+        if (first_pass) ++row.retry_after;
+      } else if (resp.type != MsgType::kPoints) {
+        std::fprintf(stderr, "FATAL unexpected overload response 0x%02x\n",
+                     unsigned(resp.type));
+        std::abort();
+      }
+    }
+    first_pass = false;
+    outstanding = need_retry;
+    if (outstanding > 0) {
+      row.retries += outstanding;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(sopts.retry_after_micros));
+      for (uint64_t i = 0; i < outstanding; ++i) {
+        BenchCheck(client.Send(heavy), "overload resend");
+      }
+    }
+  }
+  BenchCheck(client.Ping(), "post-overload ping");
+  const NetServerStats st = server.stats();
+  row.connections_closed = st.connections_closed;
+  if (row.retry_after == 0) {
+    std::fprintf(stderr,
+                 "FATAL overload burst produced no RETRY_AFTER responses\n");
+    std::abort();
+  }
+  if (row.connections_closed != 0) {
+    std::fprintf(stderr,
+                 "FATAL server dropped a connection under overload\n");
+    std::abort();
+  }
+  server.Stop();
+  engine.Stop();
+  return row;
+}
+
+void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
+               const OverloadRow& overload) {
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL cannot open %s for writing\n",
+                 opt.json_path.c_str());
+    std::abort();
+  }
+  JsonWriter w(f);
+  w.BeginObject();
+  w.Key("bench").Str("bench_net");
+  w.Key("points").Uint(opt.points);
+  w.Key("intervals").Uint(opt.intervals);
+  w.Key("requests_per_connection").Uint(opt.requests);
+  w.Key("connections").Uint(opt.connections);
+  w.Key("pipeline").Uint(opt.pipeline);
+  w.Key("rate").Double(opt.rate);
+  w.Key("zipf_theta").Double(opt.zipf_theta);
+  w.Key("warm_sweep").BeginArray();
+  for (const WarmRow& r : warm) {
+    w.BeginObject();
+    w.Key("workers").Uint(r.workers);
+    w.Key("qps").Double(r.qps);
+    w.Key("completed").Uint(r.completed);
+    w.Key("latency_p50_us").Uint(r.latency.p50);
+    w.Key("latency_p95_us").Uint(r.latency.p95);
+    w.Key("latency_p99_us").Uint(r.latency.p99);
+    w.Key("latency_max_us").Uint(r.latency.max);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("overload").BeginObject();
+  w.Key("burst").Uint(overload.burst);
+  w.Key("retry_after").Uint(overload.retry_after);
+  w.Key("retries").Uint(overload.retries);
+  w.Key("connections_closed").Uint(overload.connections_closed);
+  w.EndObject();
+  w.EndObject();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseArgs(argc, argv);
+  Store s;
+  BuildStore(opt, &s);
+  const std::vector<Request> candidates = MakeCandidates();
+
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf(
+      "connections=%u  pipeline=%u  requests/conn=%llu  rate=%s  zipf=%.2f\n",
+      opt.connections, opt.pipeline,
+      static_cast<unsigned long long>(opt.requests),
+      opt.rate > 0.0 ? std::to_string(opt.rate).c_str() : "unpaced",
+      opt.zipf_theta);
+
+  std::vector<WarmRow> warm;
+  for (uint32_t workers : kWorkerCounts) {
+    WarmRow row = RunWarm(s, opt, candidates, workers);
+    warm.push_back(row);
+    std::printf(
+        "warm workers=%u  qps=%9.0f  p50=%lluus  p95=%lluus  p99=%lluus  "
+        "max=%lluus\n",
+        row.workers, row.qps,
+        static_cast<unsigned long long>(row.latency.p50),
+        static_cast<unsigned long long>(row.latency.p95),
+        static_cast<unsigned long long>(row.latency.p99),
+        static_cast<unsigned long long>(row.latency.max));
+  }
+
+  const OverloadRow overload = RunOverload(s, opt);
+  std::printf(
+      "overload burst=%llu  retry_after=%llu  retries=%llu  "
+      "connections_closed=%llu (contract asserted)\n",
+      static_cast<unsigned long long>(overload.burst),
+      static_cast<unsigned long long>(overload.retry_after),
+      static_cast<unsigned long long>(overload.retries),
+      static_cast<unsigned long long>(overload.connections_closed));
+
+  if (opt.check_qps > 0.0 && warm.back().qps < opt.check_qps) {
+    std::fprintf(stderr, "FATAL %u-worker qps %.0f below required %.0f\n",
+                 warm.back().workers, warm.back().qps, opt.check_qps);
+    std::abort();
+  }
+  if (!opt.json_path.empty()) WriteJson(opt, warm, overload);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathcache
+
+int main(int argc, char** argv) { return pathcache::Main(argc, argv); }

@@ -51,6 +51,8 @@ enum class UpdateOp : uint8_t {
 struct DynamicUpdate {
   UpdateOp op = UpdateOp::kInsert;
   DynamicItem item;
+
+  friend bool operator==(const DynamicUpdate&, const DynamicUpdate&) = default;
 };
 
 }  // namespace pathcache

@@ -1,0 +1,281 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pathcache {
+namespace net {
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IoError("connect: " + std::string(strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  rbuf_.clear();
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rbuf_.clear();
+}
+
+Status NetClient::WriteAll(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd_, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return Status::IoError("write: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status NetClient::Send(const Request& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  PC_RETURN_IF_ERROR(EncodeRequest(stamped, &frame));
+  return WriteAll(frame.data(), frame.size());
+}
+
+Status NetClient::SendRaw(std::span<const uint8_t> bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status NetClient::Receive(Response* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    DecodeResult r = DecodeFrame(rbuf_.data(), rbuf_.size());
+    if (r.verdict == DecodeVerdict::kBadFrame) {
+      Close();
+      return Status::Corruption("response stream: " +
+                                std::string(r.error.message()));
+    }
+    if (r.verdict == DecodeVerdict::kFrame) {
+      Status parsed = ParseResponse(r.frame, {r.payload, r.frame.payload_len}, out);
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<long>(r.consumed));
+      if (!parsed.ok()) {
+        Close();
+        return Status::Corruption("response payload: " +
+                                  std::string(parsed.message()));
+      }
+      return Status::OK();
+    }
+    uint8_t chunk[16 * 1024];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = n == 0 ? Status::IoError("connection closed by server")
+                       : Status::IoError("read: " + std::string(strerror(errno)));
+    Close();
+    return st;
+  }
+}
+
+Status NetClient::ReceiveRawFrame(std::vector<uint8_t>* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    DecodeResult r = DecodeFrame(rbuf_.data(), rbuf_.size());
+    if (r.verdict == DecodeVerdict::kBadFrame) {
+      Close();
+      return Status::Corruption("response stream: " +
+                                std::string(r.error.message()));
+    }
+    if (r.verdict == DecodeVerdict::kFrame) {
+      out->assign(rbuf_.begin(), rbuf_.begin() + static_cast<long>(r.consumed));
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<long>(r.consumed));
+      return Status::OK();
+    }
+    uint8_t chunk[16 * 1024];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = n == 0 ? Status::IoError("connection closed by server")
+                       : Status::IoError("read: " + std::string(strerror(errno)));
+    Close();
+    return st;
+  }
+}
+
+Status NetClient::Call(const Request& req, Response* out) {
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_request_id_++;
+  PC_RETURN_IF_ERROR(Send(stamped));
+  PC_RETURN_IF_ERROR(Receive(out));
+  // kProtocolError frames answer the stream, not a request, so their id is 0.
+  if (out->type != MsgType::kProtocolError &&
+      out->request_id != stamped.request_id) {
+    Close();
+    return Status::Corruption("response id does not match request id");
+  }
+  return Status::OK();
+}
+
+Status NetClient::ResponseToStatus(const Response& resp) {
+  switch (resp.type) {
+    case MsgType::kError:
+    case MsgType::kProtocolError:
+      switch (resp.code) {
+        case StatusCode::kInvalidArgument:
+          return Status::InvalidArgument(resp.message);
+        case StatusCode::kNotFound:
+          return Status::NotFound(resp.message);
+        case StatusCode::kIoError:
+          return Status::IoError(resp.message);
+        case StatusCode::kCorruption:
+          return Status::Corruption(resp.message);
+        case StatusCode::kNotSupported:
+          return Status::NotSupported(resp.message);
+        case StatusCode::kOutOfRange:
+          return Status::OutOfRange(resp.message);
+        case StatusCode::kFailedPrecondition:
+          return Status::FailedPrecondition(resp.message);
+        case StatusCode::kOverloaded:
+          return Status::Overloaded(resp.message);
+        case StatusCode::kDeadlineExceeded:
+          return Status::DeadlineExceeded(resp.message);
+        default:
+          return Status::Corruption("error response with bad code");
+      }
+    case MsgType::kRetryAfter:
+      return Status::Overloaded(
+          "retry after " + std::to_string(resp.retry_after_micros) + "us");
+    default:
+      return Status::OK();
+  }
+}
+
+Status NetClient::Ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kPong) return ResponseToStatus(resp);
+  return Status::OK();
+}
+
+Status NetClient::QueryTwoSided(uint32_t structure_id, const TwoSidedQuery& q,
+                                std::vector<Point>* out, uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kQueryTwoSided;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.two_sided = q;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kPoints) return ResponseToStatus(resp);
+  *out = std::move(resp.points);
+  return Status::OK();
+}
+
+Status NetClient::QueryThreeSided(uint32_t structure_id, const ThreeSidedQuery& q,
+                                  std::vector<Point>* out,
+                                  uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kQueryThreeSided;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.three_sided = q;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kPoints) return ResponseToStatus(resp);
+  *out = std::move(resp.points);
+  return Status::OK();
+}
+
+Status NetClient::QueryRange(uint32_t structure_id, const RangeQuery& q,
+                             std::vector<Point>* out, uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kQueryRange;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.range = q;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kPoints) return ResponseToStatus(resp);
+  *out = std::move(resp.points);
+  return Status::OK();
+}
+
+Status NetClient::QueryDiagonal(uint32_t structure_id, int64_t corner,
+                                std::vector<Point>* out, uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kQueryDiagonal;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.corner = corner;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kPoints) return ResponseToStatus(resp);
+  *out = std::move(resp.points);
+  return Status::OK();
+}
+
+Status NetClient::QueryStab(uint32_t structure_id, int64_t q,
+                            std::vector<Interval>* out, uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kQueryStab;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.stab = q;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kIntervals) return ResponseToStatus(resp);
+  *out = std::move(resp.intervals);
+  return Status::OK();
+}
+
+Status NetClient::Update(uint32_t structure_id,
+                         std::span<const DynamicUpdate> updates,
+                         uint32_t budget_micros) {
+  Request req;
+  req.type = MsgType::kUpdateGroup;
+  req.structure_id = structure_id;
+  req.budget_micros = budget_micros;
+  req.updates.assign(updates.begin(), updates.end());
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kUpdateAck) return ResponseToStatus(resp);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace pathcache

@@ -1,0 +1,99 @@
+// NetClient: a small blocking client for the wire protocol, used by tests,
+// examples and bench_net.
+//
+// The client is deliberately simple — one TCP connection, synchronous
+// Call(), plus a split Send()/Receive() pair for pipelining — because the
+// interesting concurrency lives on the server.  Responses come back in
+// request order (the protocol guarantees it), so pipelined callers just
+// Receive() once per Send().
+//
+// Thread-safety: none.  One NetClient per thread; open several connections
+// for parallel load (bench_net does exactly that).
+
+#ifndef PATHCACHE_NET_CLIENT_H_
+#define PATHCACHE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace pathcache {
+namespace net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects (blocking) to host:port.  FailedPrecondition if already
+  /// connected, IoError on socket/connect failure.
+  Status Connect(const std::string& host, uint16_t port);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Encodes and writes one request.  Stamps req.request_id with the next
+  /// sequence number unless the caller set one (nonzero).
+  Status Send(const Request& req);
+
+  /// Writes arbitrary bytes to the socket — the robustness tests use this
+  /// to deliver malformed and partial frames.
+  Status SendRaw(std::span<const uint8_t> bytes);
+
+  /// Half-closes the send side (shutdown(SHUT_WR)); Receive() still works.
+  void ShutdownWrite();
+
+  /// Blocks until one whole response frame arrives and parses it.  IoError
+  /// on EOF/socket error, Corruption on a frame-level violation (the
+  /// connection is closed in both cases).  A response of type kError /
+  /// kRetryAfter / kProtocolError still returns OK here — protocol-level
+  /// outcomes are data, not transport failures; callers branch on
+  /// out->type.
+  Status Receive(Response* out);
+
+  /// Blocks until one whole frame arrives and returns its raw bytes without
+  /// parsing the payload — the fuzz oracle byte-compares server responses
+  /// against an in-process twin through this.
+  Status ReceiveRawFrame(std::vector<uint8_t>* out);
+
+  /// Send + Receive, asserting the response echoes the request id.
+  Status Call(const Request& req, Response* out);
+
+  // Convenience wrappers for the common shapes; each fills a Request,
+  // Call()s, and maps kError responses onto their carried Status so simple
+  // callers can stay on the Status rail.  kRetryAfter surfaces as
+  // kOverloaded with the hint in the message.
+  Status Ping();
+  Status QueryTwoSided(uint32_t structure_id, const TwoSidedQuery& q,
+                       std::vector<Point>* out, uint32_t budget_micros = 0);
+  Status QueryThreeSided(uint32_t structure_id, const ThreeSidedQuery& q,
+                         std::vector<Point>* out, uint32_t budget_micros = 0);
+  Status QueryRange(uint32_t structure_id, const RangeQuery& q,
+                    std::vector<Point>* out, uint32_t budget_micros = 0);
+  Status QueryDiagonal(uint32_t structure_id, int64_t corner,
+                       std::vector<Point>* out, uint32_t budget_micros = 0);
+  Status QueryStab(uint32_t structure_id, int64_t q, std::vector<Interval>* out,
+                   uint32_t budget_micros = 0);
+  Status Update(uint32_t structure_id, std::span<const DynamicUpdate> updates,
+                uint32_t budget_micros = 0);
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t size);
+  /// Turns a protocol-level response into a Status for the wrappers.
+  static Status ResponseToStatus(const Response& resp);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> rbuf_;  // bytes read past the last decoded frame
+};
+
+}  // namespace net
+}  // namespace pathcache
+
+#endif  // PATHCACHE_NET_CLIENT_H_

@@ -1,0 +1,74 @@
+// RegisterNetMetrics: publishes a NetServer's counters through a
+// MetricsRegistry, following the serve_metrics.h convention (header-only,
+// in net/ so the dependency arrow stays obs <- net).
+//
+// Every sample callback goes through NetServer::stats(), which reads
+// relaxed atomics and is safe from any thread while the server runs.
+
+#ifndef PATHCACHE_NET_NET_METRICS_H_
+#define PATHCACHE_NET_NET_METRICS_H_
+
+#include <string>
+
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace pathcache {
+namespace net {
+
+/// Registers the server's connection / frame / byte / error counters and
+/// the open-connections gauge, labeled {server="<server_label>"}.  `server`
+/// must outlive the registry's exports.
+inline Status RegisterNetMetrics(MetricsRegistry* reg,
+                                 const std::string& server_label,
+                                 const NetServer* server) {
+  const MetricLabels labels = {{"server", server_label}};
+  struct Row {
+    const char* name;
+    const char* help;
+    uint64_t NetServerStats::* field;
+  };
+  static constexpr Row kCounters[] = {
+      {"pathcache_net_connections_accepted_total", "Connections accepted",
+       &NetServerStats::connections_accepted},
+      {"pathcache_net_connections_closed_total", "Connections closed",
+       &NetServerStats::connections_closed},
+      {"pathcache_net_connections_rejected_total",
+       "Connections refused over max_connections",
+       &NetServerStats::connections_rejected},
+      {"pathcache_net_frames_in_total", "Valid request frames decoded",
+       &NetServerStats::frames_in},
+      {"pathcache_net_frames_out_total", "Response frames queued for write",
+       &NetServerStats::frames_out},
+      {"pathcache_net_bytes_in_total", "Bytes read from client sockets",
+       &NetServerStats::bytes_in},
+      {"pathcache_net_bytes_out_total", "Bytes written to client sockets",
+       &NetServerStats::bytes_out},
+      {"pathcache_net_protocol_errors_total",
+       "Frame-level violations (connection closed)",
+       &NetServerStats::protocol_errors},
+      {"pathcache_net_request_errors_total",
+       "Well-framed requests answered with an error response",
+       &NetServerStats::request_errors},
+      {"pathcache_net_retry_after_total",
+       "RETRY_AFTER responses sent under engine overload",
+       &NetServerStats::retry_after},
+      {"pathcache_net_read_pauses_total",
+       "Per-connection backpressure engagements",
+       &NetServerStats::read_pauses},
+  };
+  for (const Row& row : kCounters) {
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        row.name, row.help, labels,
+        [server, field = row.field] { return server->stats().*field; }));
+  }
+  return reg->AddGaugeFn(
+      "pathcache_net_open_connections", "Connections currently open", labels,
+      [server] { return double(server->stats().open_connections); });
+}
+
+}  // namespace net
+}  // namespace pathcache
+
+#endif  // PATHCACHE_NET_NET_METRICS_H_

@@ -1,0 +1,707 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pathcache {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int kEpollTimeoutMs = 100;
+
+void SetNonBlocking(int fd) {
+  // Sockets are created with SOCK_NONBLOCK; accepted fds use accept4.  This
+  // covers the rare path where accept4 is unavailable (it never is on the
+  // kernels we target, but the fallback is cheap).
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+/// One response slot plus the bytes that answer it.  Workers fill `bytes`
+/// and flip `done` under the owning connection's mutex; the loop thread
+/// drains leading done slots into the write buffer.  Kept alive by
+/// shared_ptr so a completion arriving after its connection closed only
+/// writes into soon-to-be-freed slot memory, never a dead Conn field.
+struct NetServer::Slot {
+  bool done = false;
+  std::vector<uint8_t> bytes;
+};
+
+struct NetServer::Waker {
+  int fd = -1;
+
+  Waker() { fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
+  ~Waker() {
+    if (fd >= 0) ::close(fd);
+  }
+  void Notify() const {
+    uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) still wakes the loop; ignore errors.
+    ssize_t n = ::write(fd, &one, sizeof(one));
+    (void)n;
+  }
+  void Drain() const {
+    uint64_t val = 0;
+    ssize_t n = ::read(fd, &val, sizeof(val));
+    (void)n;
+  }
+};
+
+struct NetServer::Conn {
+  int fd = -1;
+
+  // Loop-thread-only state.
+  std::vector<uint8_t> rbuf;
+  size_t rpos = 0;  // decoded prefix of rbuf
+  std::vector<uint8_t> wbuf;
+  size_t wpos = 0;  // flushed prefix of wbuf
+  uint32_t epoll_events = 0;
+  bool read_paused = false;      // backpressure engaged (for the counter)
+  bool saw_eof = false;          // peer half-closed; answer then close
+  bool close_after_flush = false;
+
+  // Shared with engine workers, guarded by mu.
+  std::mutex mu;
+  std::deque<std::shared_ptr<Slot>> pipeline;
+};
+
+NetServer::NetServer(QueryEngine* engine, NetServerOptions opts)
+    : engine_(engine), opts_(std::move(opts)), tracer_(opts_.tracer) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host address: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IoError("bind: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, opts_.backlog) != 0) {
+    Status st = Status::IoError("listen: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Status::IoError("getsockname: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    Status st = Status::IoError("epoll_create1: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  waker_ = std::make_shared<Waker>();
+  if (waker_->fd < 0) {
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = listen_fd_ = -1;
+    waker_.reset();
+    return Status::IoError("eventfd failed");
+  }
+
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = waker_->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, waker_->fd, &ev);
+
+  stop_.store(false);
+  running_.store(true);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  waker_->Notify();
+  loop_thread_.join();
+
+  for (auto& [fd, c] : conns_) {
+    ::close(c->fd);
+    c->fd = -1;
+    stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_.open_connections.fetch_sub(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = epoll_fd_ = -1;
+  // The waker's eventfd stays open until the last in-flight completion
+  // drops its reference; a Notify() into it is then a harmless counter add.
+  waker_.reset();
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  s.connections_accepted = stats_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed = stats_.connections_closed.load(std::memory_order_relaxed);
+  s.connections_rejected = stats_.connections_rejected.load(std::memory_order_relaxed);
+  s.frames_in = stats_.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = stats_.frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.request_errors = stats_.request_errors.load(std::memory_order_relaxed);
+  s.retry_after = stats_.retry_after.load(std::memory_order_relaxed);
+  s.read_pauses = stats_.read_pauses.load(std::memory_order_relaxed);
+  s.open_connections = stats_.open_connections.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::Loop() {
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                       kEpollTimeoutMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t evs = events[i].events;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == waker_->fd) {
+        waker_->Drain();
+        // Completions do not say which connection finished; with at most
+        // max_connections of them, sweeping every pipeline is cheaper than
+        // a cross-thread dirty list and has no ordering hazards.
+        std::vector<std::shared_ptr<Conn>> snapshot;
+        snapshot.reserve(conns_.size());
+        for (auto& [cfd, c] : conns_) snapshot.push_back(c);
+        for (auto& c : snapshot) {
+          if (c->fd < 0) continue;
+          ServiceConn(c);
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this wakeup
+      std::shared_ptr<Conn> c = it->second;
+      if (evs & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(c);
+        continue;
+      }
+      if (evs & EPOLLOUT) ServiceConn(c);
+      if (c->fd >= 0 && (evs & EPOLLIN)) ReadReady(c);
+    }
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (conns_.size() >= opts_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto c = std::make_shared<Conn>();
+    c->fd = fd;
+    c->epoll_events = EPOLLIN;
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = c->epoll_events;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_[fd] = c;
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.open_connections.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_) tracer_->Instant("serve.net.accept", static_cast<uint64_t>(fd));
+  }
+}
+
+void NetServer::ReadReady(const std::shared_ptr<Conn>& c) {
+  uint8_t chunk[kReadChunk];
+  for (;;) {
+    ssize_t n = ::read(c->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      stats_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      c->rbuf.insert(c->rbuf.end(), chunk, chunk + n);
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;  // drained the socket
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending.  Everything already buffered still gets
+      // decoded and answered, then the connection closes once the write
+      // buffer drains (clients may shutdown(WR) and collect responses).
+      c->saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(c);
+    return;
+  }
+  ServiceConn(c);
+}
+
+void NetServer::ServiceConn(const std::shared_ptr<Conn>& c) {
+  // Alternate decode and drain until neither makes progress: a run of
+  // inline-answered frames (pings, malformed payloads) can fill and empty
+  // the pipeline repeatedly with no socket or engine event in between, and
+  // engine completions must re-open decode capacity that backpressure
+  // closed.  "Progress" is bytes leaving the read buffer.
+  for (;;) {
+    if (c->fd < 0) return;
+    DrainCompleted(c);
+    const size_t before = c->rbuf.size();
+    DecodeLoop(c);
+    if (c->fd < 0) return;
+    if (c->rbuf.size() == before) break;
+  }
+  DrainCompleted(c);
+  WriteReady(c);
+}
+
+void NetServer::DecodeLoop(const std::shared_ptr<Conn>& c) {
+  while (c->fd >= 0 && !c->close_after_flush) {
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      if (c->pipeline.size() >= opts_.max_pipeline) break;  // backpressure
+    }
+    if (c->wbuf.size() - c->wpos > opts_.max_write_buffer) break;
+    DecodeResult r = DecodeFrame(c->rbuf.data() + c->rpos, c->rbuf.size() - c->rpos);
+    if (r.verdict == DecodeVerdict::kNeedMore) break;
+    if (r.verdict == DecodeVerdict::kBadFrame) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_) tracer_->Instant("serve.net.protocol_error");
+      Response resp;
+      resp.type = MsgType::kProtocolError;
+      resp.request_id = 0;  // the header cannot be trusted
+      resp.code = r.error.code() == StatusCode::kOk ? StatusCode::kInvalidArgument
+                                                    : r.error.code();
+      resp.message = std::string(r.error.message());
+      CompleteInline(c, resp);
+      c->close_after_flush = true;
+      c->rbuf.clear();
+      c->rpos = 0;
+      break;
+    }
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(c, r.frame, r.payload);
+    c->rpos += r.consumed;
+  }
+  // Compact the decoded prefix so the buffer never grows past one frame of
+  // undecoded bytes plus one socket read.
+  if (c->rpos > 0) {
+    c->rbuf.erase(c->rbuf.begin(), c->rbuf.begin() + static_cast<long>(c->rpos));
+    c->rpos = 0;
+  }
+  UpdateReadInterest(c);
+}
+
+void NetServer::HandleFrame(const std::shared_ptr<Conn>& c, const FrameInfo& frame,
+                            const uint8_t* payload) {
+  if (tracer_) tracer_->Begin("serve.net.frame", frame.request_id);
+  Request req;
+  Status parsed = ParseRequest(frame, {payload, frame.payload_len}, &req);
+  if (!parsed.ok()) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.type = MsgType::kError;
+    resp.request_id = frame.request_id;
+    resp.code = parsed.code();
+    resp.message = std::string(parsed.message());
+    CompleteInline(c, resp);
+    if (tracer_) tracer_->End("serve.net.frame", frame.request_id);
+    return;
+  }
+  switch (req.type) {
+    case MsgType::kPing: {
+      Response resp;
+      resp.type = MsgType::kPong;
+      resp.request_id = req.request_id;
+      CompleteInline(c, resp);
+      break;
+    }
+    case MsgType::kUpdateGroup:
+      HandleUpdate(c, req);
+      break;
+    default:
+      HandleQuery(c, req);
+      break;
+  }
+  if (tracer_) tracer_->End("serve.net.frame", frame.request_id);
+}
+
+namespace {
+
+/// Maps a wire query onto the engine's menu; returns the kind the target
+/// structure must have.  kQueryRange additionally needs the y_max filter.
+bool WireQueryToServe(const Request& req, ServeQuery* q, QueryKind* need) {
+  switch (req.type) {
+    case MsgType::kQueryTwoSided:
+      *q = ServeQuery::TwoSided(req.two_sided);
+      *need = QueryKind::kTwoSided;
+      return true;
+    case MsgType::kQueryDiagonal:
+      *q = ServeQuery::TwoSided(DiagonalCornerQuery{req.corner}.AsTwoSided());
+      *need = QueryKind::kTwoSided;
+      return true;
+    case MsgType::kQueryThreeSided:
+      *q = ServeQuery::ThreeSided(req.three_sided);
+      *need = QueryKind::kThreeSided;
+      return true;
+    case MsgType::kQueryRange:
+      *q = ServeQuery::ThreeSided(
+          ThreeSidedQuery{req.range.x_min, req.range.x_max, req.range.y_min});
+      *need = QueryKind::kThreeSided;
+      return true;
+    case MsgType::kQueryStab:
+      *q = ServeQuery::Stab(req.stab);
+      *need = QueryKind::kStabbing;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void NetServer::HandleQuery(const std::shared_ptr<Conn>& c, const Request& req) {
+  ServeQuery query;
+  QueryKind need = QueryKind::kTwoSided;
+  if (!WireQueryToServe(req, &query, &need) ||
+      req.structure_id >= engine_->num_structures()) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.type = MsgType::kError;
+    resp.request_id = req.request_id;
+    resp.code = StatusCode::kInvalidArgument;
+    resp.message = "unknown structure id";
+    CompleteInline(c, resp);
+    return;
+  }
+  if (engine_->structure_kind(req.structure_id) != need) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.type = MsgType::kError;
+    resp.request_id = req.request_id;
+    resp.code = StatusCode::kInvalidArgument;
+    resp.message = "structure kind does not answer this query type";
+    CompleteInline(c, resp);
+    return;
+  }
+
+  uint64_t deadline = 0;
+  if (req.budget_micros != 0)
+    deadline = engine_->clock()->NowMicros() + req.budget_micros;
+
+  auto slot = std::make_shared<Slot>();
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    c->pipeline.push_back(slot);
+  }
+
+  const uint64_t request_id = req.request_id;
+  const bool is_range = req.type == MsgType::kQueryRange;
+  const int64_t y_max = req.range.y_max;
+  const bool intervals = need == QueryKind::kStabbing;
+  std::shared_ptr<Conn> conn = c;
+  std::shared_ptr<Waker> waker = waker_;
+  AtomicStats* stats = &stats_;
+
+  Status submitted = engine_->Submit(
+      req.structure_id, query,
+      [conn, slot, waker, stats, request_id, is_range, y_max,
+       intervals](QueryResult res) {
+        Response resp;
+        resp.request_id = request_id;
+        if (!res.status.ok()) {
+          resp.type = MsgType::kError;
+          resp.code = res.status.code();
+          resp.message = std::string(res.status.message());
+          stats->request_errors.fetch_add(1, std::memory_order_relaxed);
+        } else if (intervals) {
+          resp.type = MsgType::kIntervals;
+          resp.intervals = std::move(res.intervals);
+        } else {
+          resp.type = MsgType::kPoints;
+          resp.points = std::move(res.points);
+          if (is_range) {
+            std::erase_if(resp.points,
+                          [y_max](const Point& p) { return p.y > y_max; });
+          }
+        }
+        std::vector<uint8_t> bytes;
+        Status enc = EncodeResponse(resp, &bytes);
+        if (!enc.ok()) {
+          // Result set larger than a frame: substitute an error response.
+          Response err;
+          err.type = MsgType::kError;
+          err.request_id = request_id;
+          err.code = enc.code();
+          err.message = std::string(enc.message());
+          bytes.clear();
+          (void)EncodeResponse(err, &bytes);
+          stats->request_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        {
+          std::lock_guard<std::mutex> lk(conn->mu);
+          slot->bytes = std::move(bytes);
+          slot->done = true;
+        }
+        waker->Notify();
+      },
+      deadline);
+
+  if (!submitted.ok()) FillRejectedSlot(c, slot, request_id, submitted);
+}
+
+void NetServer::HandleUpdate(const std::shared_ptr<Conn>& c, const Request& req) {
+  if (req.structure_id >= engine_->num_structures() ||
+      !engine_->structure_dynamic(req.structure_id)) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.type = MsgType::kError;
+    resp.request_id = req.request_id;
+    resp.code = StatusCode::kInvalidArgument;
+    resp.message = "structure does not accept updates";
+    CompleteInline(c, resp);
+    return;
+  }
+
+  uint64_t deadline = 0;
+  if (req.budget_micros != 0)
+    deadline = engine_->clock()->NowMicros() + req.budget_micros;
+
+  auto slot = std::make_shared<Slot>();
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    c->pipeline.push_back(slot);
+  }
+
+  const uint64_t request_id = req.request_id;
+  const uint32_t applied = static_cast<uint32_t>(req.updates.size());
+  std::shared_ptr<Conn> conn = c;
+  std::shared_ptr<Waker> waker = waker_;
+  AtomicStats* stats = &stats_;
+
+  Status submitted = engine_->SubmitUpdate(
+      req.structure_id, req.updates,
+      [conn, slot, waker, stats, request_id, applied](QueryResult res) {
+        Response resp;
+        resp.request_id = request_id;
+        if (!res.status.ok()) {
+          resp.type = MsgType::kError;
+          resp.code = res.status.code();
+          resp.message = std::string(res.status.message());
+          stats->request_errors.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          resp.type = MsgType::kUpdateAck;
+          resp.applied = applied;
+        }
+        std::vector<uint8_t> bytes;
+        (void)EncodeResponse(resp, &bytes);
+        {
+          std::lock_guard<std::mutex> lk(conn->mu);
+          slot->bytes = std::move(bytes);
+          slot->done = true;
+        }
+        waker->Notify();
+      },
+      deadline);
+
+  if (!submitted.ok()) FillRejectedSlot(c, slot, request_id, submitted);
+}
+
+void NetServer::FillRejectedSlot(const std::shared_ptr<Conn>& c,
+                                 const std::shared_ptr<Slot>& slot,
+                                 uint64_t request_id, const Status& why) {
+  Response resp;
+  resp.request_id = request_id;
+  if (why.IsOverloaded()) {
+    // Admission control: the engine queue is full.  RETRY_AFTER instead of
+    // dropping the connection is the overload contract bench_net asserts.
+    resp.type = MsgType::kRetryAfter;
+    resp.retry_after_micros = opts_.retry_after_micros;
+    stats_.retry_after.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_) tracer_->Instant("serve.net.retry_after", request_id);
+  } else {
+    resp.type = MsgType::kError;
+    resp.code = why.code();
+    resp.message = std::string(why.message());
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<uint8_t> bytes;
+  (void)EncodeResponse(resp, &bytes);
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    slot->bytes = std::move(bytes);
+    slot->done = true;
+  }
+}
+
+void NetServer::CompleteInline(const std::shared_ptr<Conn>& c, const Response& resp) {
+  auto slot = std::make_shared<Slot>();
+  Status enc = EncodeResponse(resp, &slot->bytes);
+  if (!enc.ok()) slot->bytes.clear();  // unreachable for the inline shapes
+  slot->done = true;
+  std::lock_guard<std::mutex> lk(c->mu);
+  c->pipeline.push_back(slot);
+}
+
+void NetServer::DrainCompleted(const std::shared_ptr<Conn>& c) {
+  std::lock_guard<std::mutex> lk(c->mu);
+  while (!c->pipeline.empty() && c->pipeline.front()->done) {
+    std::vector<uint8_t>& bytes = c->pipeline.front()->bytes;
+    if (!bytes.empty()) {
+      c->wbuf.insert(c->wbuf.end(), bytes.begin(), bytes.end());
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->pipeline.pop_front();
+  }
+}
+
+void NetServer::WriteReady(const std::shared_ptr<Conn>& c) {
+  while (c->wpos < c->wbuf.size()) {
+    ssize_t n = ::write(c->fd, c->wbuf.data() + c->wpos, c->wbuf.size() - c->wpos);
+    if (n > 0) {
+      c->wpos += static_cast<size_t>(n);
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(c);
+    return;
+  }
+  if (c->wpos == c->wbuf.size()) {
+    c->wbuf.clear();
+    c->wpos = 0;
+    // A protocol error (close_after_flush) or a peer EOF (saw_eof) closes
+    // once every pending response has left; ServiceConn ran decode just
+    // before this, so any bytes still in rbuf are an unfinishable partial
+    // frame — exactly the mid-frame-disconnect case, dropped by design.
+    if (c->close_after_flush || c->saw_eof) {
+      bool pipeline_empty;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        pipeline_empty = c->pipeline.empty();
+      }
+      if (pipeline_empty) {
+        CloseConn(c);
+        return;
+      }
+    }
+  } else if (c->wpos > 0 && c->wpos * 2 >= c->wbuf.size()) {
+    // Compact once the flushed prefix dominates, keeping memory bounded
+    // without memmoving on every partial write.
+    c->wbuf.erase(c->wbuf.begin(), c->wbuf.begin() + static_cast<long>(c->wpos));
+    c->wpos = 0;
+  }
+  UpdateReadInterest(c);
+}
+
+void NetServer::UpdateReadInterest(const std::shared_ptr<Conn>& c) {
+  if (c->fd < 0) return;
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    depth = c->pipeline.size();
+  }
+  const bool backpressured = depth >= opts_.max_pipeline ||
+                             (c->wbuf.size() - c->wpos) > opts_.max_write_buffer;
+  const bool want_read = !c->saw_eof && !c->close_after_flush && !backpressured;
+  if (backpressured && !c->read_paused) {
+    c->read_paused = true;
+    stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_) tracer_->Instant("serve.net.read_pause");
+  } else if (!backpressured) {
+    c->read_paused = false;
+  }
+  uint32_t want = (want_read ? EPOLLIN : 0u) |
+                  (c->wpos < c->wbuf.size() ? EPOLLOUT : 0u);
+  if (want != c->epoll_events) {
+    c->epoll_events = want;
+    EpollMod(c);
+  }
+}
+
+void NetServer::EpollMod(const std::shared_ptr<Conn>& c) {
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = c->epoll_events;
+  ev.data.fd = c->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void NetServer::CloseConn(const std::shared_ptr<Conn>& c) {
+  if (c->fd < 0) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  conns_.erase(c->fd);
+  ::close(c->fd);
+  c->fd = -1;
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  stats_.open_connections.fetch_sub(1, std::memory_order_relaxed);
+  if (tracer_) tracer_->Instant("serve.net.close");
+  // Outstanding engine completions for this connection still hold the Conn
+  // and their Slot via shared_ptr; they will fill orphaned slots and wake
+  // the loop, which finds the fd gone and does nothing.
+}
+
+}  // namespace net
+}  // namespace pathcache

@@ -1,0 +1,186 @@
+// NetServer: the TCP serving front-end over a QueryEngine.
+//
+// One event-loop thread owns an epoll set with the listener, a wakeup
+// eventfd, and every accepted connection (all non-blocking) — the classic
+// accept-loop + event-dispatch shape.  Per connection the server keeps a
+// read buffer, a write buffer, and an ordered pipeline of response slots:
+//
+//   * Pipelining with in-order responses.  Frames are decoded in arrival
+//     order; each request claims the next slot in the connection's pipeline
+//     before it is handed to the QueryEngine.  Engine completions (on
+//     worker threads) fill their slot and signal the eventfd; the loop
+//     thread drains completed slots strictly from the front, so responses
+//     always leave in request order no matter how workers interleave.
+//   * Backpressure, two layers.  Per connection: once `max_pipeline`
+//     decoded requests are unanswered (or the write buffer exceeds
+//     `max_write_buffer`), the connection's EPOLLIN interest is dropped —
+//     the kernel's TCP window does the rest — and re-armed when the
+//     pipeline drains.  Engine-wide: a Submit() rejected with kOverloaded
+//     (bounded-queue admission control) is answered immediately, in slot
+//     order, with a protocol-level RETRY_AFTER frame carrying a
+//     microseconds hint; the connection stays open, which is the contract
+//     bench_net's overload segment asserts.
+//   * Deadlines travel as relative budgets.  A request's budget_micros is
+//     converted to an absolute deadline on the engine's own clock at decode
+//     time; expired requests come back kDeadlineExceeded and are answered
+//     with a kError response like any other failed request.
+//   * Error containment mirrors wire.h's two tiers: a payload-level
+//     malformation answers that request_id with kError and keeps the
+//     connection; a frame-level violation (bad magic/CRC/version/length)
+//     queues one kProtocolError response behind the slots already pending,
+//     stops reading, flushes, and closes.  A peer that disconnects
+//     mid-frame is just closed — in-flight completions for it resolve into
+//     orphaned slots and are dropped.
+//
+// Query kinds map onto the engine as documented in wire.h: diagonal-corner
+// runs as a two-sided query with the corner on the diagonal, range as a
+// three-sided query plus an exact y <= y_max filter applied before
+// encoding.  Both reductions are from the paper (Figure 1).
+//
+// Thread-safety: Start()/Stop() from one thread; port() and stats() from
+// any thread once Start() returned.  The engine must be Start()ed before
+// traffic arrives and must not be Stop()ped while the server is running
+// (submissions would bounce with FailedPrecondition, answered as kError).
+// Server shutdown is safe with engine requests still in flight: orphaned
+// completions only touch slot memory kept alive by shared ownership.
+
+#ifndef PATHCACHE_NET_SERVER_H_
+#define PATHCACHE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace pathcache {
+namespace net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port with port()
+  int backlog = 128;
+  uint32_t max_connections = 256;
+  /// Per-connection cap on decoded-but-unanswered requests; reads pause
+  /// beyond it and resume as the pipeline drains.
+  uint32_t max_pipeline = 64;
+  /// Per-connection write-buffer bytes beyond which reads also pause.
+  size_t max_write_buffer = 16u << 20;
+  /// Hint carried in RETRY_AFTER responses when the engine queue is full.
+  uint64_t retry_after_micros = 1000;
+  /// Optional tracer: serve.net.* spans and instants.  Not owned.
+  Tracer* tracer = nullptr;
+};
+
+/// Monotonic counters plus one gauge, snapshotted by NetServer::stats().
+struct NetServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_rejected = 0;  // over max_connections, closed at accept
+  uint64_t frames_in = 0;             // whole valid frames decoded
+  uint64_t frames_out = 0;            // response frames queued for write
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t protocol_errors = 0;  // frame-level violations (connection closed)
+  uint64_t request_errors = 0;   // well-framed requests answered with kError
+  uint64_t retry_after = 0;      // RETRY_AFTER responses sent
+  uint64_t read_pauses = 0;      // backpressure engagements
+  uint64_t open_connections = 0;  // gauge
+};
+
+class NetServer {
+ public:
+  explicit NetServer(QueryEngine* engine, NetServerOptions opts = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens and spawns the event-loop thread.  FailedPrecondition
+  /// if already started; IoError on any socket failure.
+  Status Start();
+
+  /// Closes the listener and every connection, then joins the loop thread.
+  /// Idempotent.  Responses for requests still inside the engine are
+  /// dropped (their connections are gone).
+  void Stop();
+
+  /// The bound TCP port (resolves port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+
+  NetServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Slot;
+  struct Waker;
+
+  void Loop();
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Conn>& c);
+  void WriteReady(const std::shared_ptr<Conn>& c);
+  /// Decode/drain/flush to a fixed point; every event funnels through this.
+  void ServiceConn(const std::shared_ptr<Conn>& c);
+  void DecodeLoop(const std::shared_ptr<Conn>& c);
+  void HandleFrame(const std::shared_ptr<Conn>& c, const FrameInfo& frame,
+                   const uint8_t* payload);
+  void HandleQuery(const std::shared_ptr<Conn>& c, const Request& req);
+  void HandleUpdate(const std::shared_ptr<Conn>& c, const Request& req);
+  /// Pushes an already-answered slot (ping, errors, retry-after) and drains.
+  void CompleteInline(const std::shared_ptr<Conn>& c, const Response& resp);
+  /// Fills a pipeline slot whose Submit bounced synchronously: kOverloaded
+  /// becomes RETRY_AFTER (backpressure), anything else a kError response.
+  void FillRejectedSlot(const std::shared_ptr<Conn>& c,
+                        const std::shared_ptr<Slot>& slot, uint64_t request_id,
+                        const Status& why);
+  /// Moves every leading completed slot's bytes into the write buffer.
+  void DrainCompleted(const std::shared_ptr<Conn>& c);
+  void UpdateReadInterest(const std::shared_ptr<Conn>& c);
+  void CloseConn(const std::shared_ptr<Conn>& c);
+  void EpollMod(const std::shared_ptr<Conn>& c);
+
+  QueryEngine* engine_;
+  NetServerOptions opts_;
+  Tracer* tracer_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::shared_ptr<Waker> waker_;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  // Owned by the loop thread; completions only ever touch a Conn through
+  // the shared_ptr captured in their callback.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  // Counters live as relaxed atomics so stats() is callable from any thread
+  // while the loop mutates them.
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> connections_rejected{0};
+    std::atomic<uint64_t> frames_in{0};
+    std::atomic<uint64_t> frames_out{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> request_errors{0};
+    std::atomic<uint64_t> retry_after{0};
+    std::atomic<uint64_t> read_pauses{0};
+    std::atomic<uint64_t> open_connections{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace net
+}  // namespace pathcache
+
+#endif  // PATHCACHE_NET_SERVER_H_

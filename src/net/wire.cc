@@ -1,0 +1,482 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "io/crc32c.h"
+
+namespace pathcache {
+namespace net {
+namespace {
+
+// Shift-based little-endian accessors: well-defined on any byte values and
+// any host endianness, which is what lets the decode surface run over
+// attacker-controlled input under UBSan without a finding.
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(uint8_t(v));
+  out->push_back(uint8_t(v >> 8));
+  out->push_back(uint8_t(v >> 16));
+  out->push_back(uint8_t(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  PutU32(uint32_t(v), out);
+  PutU32(uint32_t(v >> 32), out);
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  PutU64(uint64_t(v), out);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+         uint32_t(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return uint64_t(GetU32(p)) | uint64_t(GetU32(p + 4)) << 32;
+}
+
+int64_t GetI64(const uint8_t* p) { return int64_t(GetU64(p)); }
+
+uint16_t GetU16(const uint8_t* p) {
+  return uint16_t(uint32_t(p[0]) | uint32_t(p[1]) << 8);
+}
+
+Status Malformed(MsgType t, const std::string& what) {
+  return Status::InvalidArgument("malformed " + std::string(MsgTypeName(t)) +
+                                 " payload: " + what);
+}
+
+// The query payload prefix shared by every query request.
+constexpr size_t kQueryPrefix = 8;
+
+size_t FixedQueryPayload(MsgType t) {
+  switch (t) {
+    case MsgType::kQueryTwoSided:
+      return kQueryPrefix + 16;
+    case MsgType::kQueryThreeSided:
+      return kQueryPrefix + 24;
+    case MsgType::kQueryStab:
+    case MsgType::kQueryDiagonal:
+      return kQueryPrefix + 8;
+    case MsgType::kQueryRange:
+      return kQueryPrefix + 32;
+    default:
+      return 0;
+  }
+}
+
+void AppendRecord(int64_t a, int64_t b, uint64_t id,
+                  std::vector<uint8_t>* out) {
+  PutI64(a, out);
+  PutI64(b, out);
+  PutU64(id, out);
+}
+
+}  // namespace
+
+bool IsRequestType(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+    case MsgType::kQueryTwoSided:
+    case MsgType::kQueryThreeSided:
+    case MsgType::kQueryStab:
+    case MsgType::kQueryDiagonal:
+    case MsgType::kQueryRange:
+    case MsgType::kUpdateGroup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseType(MsgType t) {
+  switch (t) {
+    case MsgType::kPong:
+    case MsgType::kPoints:
+    case MsgType::kIntervals:
+    case MsgType::kUpdateAck:
+    case MsgType::kError:
+    case MsgType::kRetryAfter:
+    case MsgType::kProtocolError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "PING";
+    case MsgType::kQueryTwoSided: return "QUERY_TWO_SIDED";
+    case MsgType::kQueryThreeSided: return "QUERY_THREE_SIDED";
+    case MsgType::kQueryStab: return "QUERY_STAB";
+    case MsgType::kQueryDiagonal: return "QUERY_DIAGONAL";
+    case MsgType::kQueryRange: return "QUERY_RANGE";
+    case MsgType::kUpdateGroup: return "UPDATE_GROUP";
+    case MsgType::kPong: return "PONG";
+    case MsgType::kPoints: return "POINTS";
+    case MsgType::kIntervals: return "INTERVALS";
+    case MsgType::kUpdateAck: return "UPDATE_ACK";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kRetryAfter: return "RETRY_AFTER";
+    case MsgType::kProtocolError: return "PROTOCOL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+DecodeResult DecodeFrame(const uint8_t* data, size_t size) {
+  DecodeResult r;
+  if (size < kHeaderSize) {
+    r.verdict = DecodeVerdict::kNeedMore;
+    r.need = kHeaderSize;
+    return r;
+  }
+  const uint32_t magic = GetU32(data);
+  if (magic != kFrameMagic) {
+    r.verdict = DecodeVerdict::kBadFrame;
+    r.error = Status::Corruption("bad frame magic");
+    return r;
+  }
+  const uint8_t version = data[4];
+  const uint8_t type_byte = data[5];
+  const uint16_t flags = GetU16(data + 6);
+  const uint64_t request_id = GetU64(data + 8);
+  const uint32_t payload_len = GetU32(data + 16);
+  // Reject a hostile length before waiting for (or buffering) its bytes.
+  if (payload_len > kMaxPayload) {
+    r.verdict = DecodeVerdict::kBadFrame;
+    r.error = Status::Corruption("declared payload length " +
+                                 std::to_string(payload_len) +
+                                 " exceeds the protocol cap");
+    return r;
+  }
+  const size_t total = kHeaderSize + payload_len + kTrailerSize;
+  if (size < total) {
+    r.verdict = DecodeVerdict::kNeedMore;
+    r.need = total;
+    return r;
+  }
+  const uint32_t want_crc = GetU32(data + kHeaderSize + payload_len);
+  const uint32_t got_crc = Crc32c(data, kHeaderSize + payload_len);
+  if (want_crc != got_crc) {
+    r.verdict = DecodeVerdict::kBadFrame;
+    r.error = Status::Corruption("frame CRC mismatch");
+    return r;
+  }
+  // Version and flags are CRC-protected, so a failure here is real version
+  // skew / protocol misuse, not line noise.
+  if (version != kWireVersion) {
+    r.verdict = DecodeVerdict::kBadFrame;
+    r.error = Status::Corruption("unsupported wire version " +
+                                 std::to_string(version));
+    return r;
+  }
+  if (flags != 0) {
+    r.verdict = DecodeVerdict::kBadFrame;
+    r.error = Status::Corruption("reserved frame flags set");
+    return r;
+  }
+  r.verdict = DecodeVerdict::kFrame;
+  r.consumed = total;
+  r.frame.version = version;
+  r.frame.type = MsgType{type_byte};
+  r.frame.request_id = request_id;
+  r.frame.payload_len = payload_len;
+  r.payload = data + kHeaderSize;
+  return r;
+}
+
+void AppendFrame(MsgType type, uint64_t request_id,
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  out->reserve(start + kHeaderSize + payload.size() + kTrailerSize);
+  PutU32(kFrameMagic, out);
+  out->push_back(kWireVersion);
+  out->push_back(uint8_t(type));
+  out->push_back(0);  // flags lo
+  out->push_back(0);  // flags hi
+  PutU64(request_id, out);
+  PutU32(uint32_t(payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(out->data() + start, out->size() - start);
+  PutU32(crc, out);
+}
+
+Status EncodeRequest(const Request& req, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  switch (req.type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kQueryTwoSided:
+    case MsgType::kQueryThreeSided:
+    case MsgType::kQueryStab:
+    case MsgType::kQueryDiagonal:
+    case MsgType::kQueryRange:
+      PutU32(req.structure_id, &payload);
+      PutU32(req.budget_micros, &payload);
+      switch (req.type) {
+        case MsgType::kQueryTwoSided:
+          PutI64(req.two_sided.x_min, &payload);
+          PutI64(req.two_sided.y_min, &payload);
+          break;
+        case MsgType::kQueryThreeSided:
+          PutI64(req.three_sided.x_min, &payload);
+          PutI64(req.three_sided.x_max, &payload);
+          PutI64(req.three_sided.y_min, &payload);
+          break;
+        case MsgType::kQueryStab:
+          PutI64(req.stab, &payload);
+          break;
+        case MsgType::kQueryDiagonal:
+          PutI64(req.corner, &payload);
+          break;
+        default:  // kQueryRange
+          PutI64(req.range.x_min, &payload);
+          PutI64(req.range.x_max, &payload);
+          PutI64(req.range.y_min, &payload);
+          PutI64(req.range.y_max, &payload);
+          break;
+      }
+      break;
+    case MsgType::kUpdateGroup: {
+      if (req.updates.empty()) {
+        return Status::InvalidArgument("update group must not be empty");
+      }
+      if (req.updates.size() > kMaxUpdatesPerGroup) {
+        return Status::InvalidArgument("update group exceeds protocol cap");
+      }
+      PutU32(req.structure_id, &payload);
+      PutU32(req.budget_micros, &payload);
+      PutU32(uint32_t(req.updates.size()), &payload);
+      PutU32(0, &payload);
+      for (const DynamicUpdate& u : req.updates) {
+        PutU64(uint64_t(u.op), &payload);
+        AppendRecord(u.item.a, u.item.b, u.item.id, &payload);
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("EncodeRequest on non-request type");
+  }
+  AppendFrame(req.type, req.request_id, payload, out);
+  return Status::OK();
+}
+
+Status EncodeResponse(const Response& resp, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  switch (resp.type) {
+    case MsgType::kPong:
+      break;
+    case MsgType::kPoints: {
+      const size_t need = 8 + resp.points.size() * 24;
+      if (need > kMaxPayload) {
+        return Status::OutOfRange("result set does not fit one frame");
+      }
+      payload.reserve(need);
+      PutU32(uint32_t(resp.points.size()), &payload);
+      PutU32(0, &payload);
+      for (const Point& p : resp.points) AppendRecord(p.x, p.y, p.id, &payload);
+      break;
+    }
+    case MsgType::kIntervals: {
+      const size_t need = 8 + resp.intervals.size() * 24;
+      if (need > kMaxPayload) {
+        return Status::OutOfRange("result set does not fit one frame");
+      }
+      payload.reserve(need);
+      PutU32(uint32_t(resp.intervals.size()), &payload);
+      PutU32(0, &payload);
+      for (const Interval& iv : resp.intervals) {
+        AppendRecord(iv.lo, iv.hi, iv.id, &payload);
+      }
+      break;
+    }
+    case MsgType::kUpdateAck:
+      PutU32(resp.applied, &payload);
+      PutU32(0, &payload);
+      break;
+    case MsgType::kError:
+    case MsgType::kProtocolError: {
+      if (resp.code == StatusCode::kOk) {
+        return Status::InvalidArgument("error response needs a nonzero code");
+      }
+      std::string msg = resp.message.substr(0, kMaxErrorMessage);
+      PutU32(uint32_t(resp.code), &payload);
+      PutU32(uint32_t(msg.size()), &payload);
+      payload.insert(payload.end(), msg.begin(), msg.end());
+      break;
+    }
+    case MsgType::kRetryAfter:
+      PutU64(resp.retry_after_micros, &payload);
+      break;
+    default:
+      return Status::InvalidArgument("EncodeResponse on non-response type");
+  }
+  AppendFrame(resp.type, resp.request_id, payload, out);
+  return Status::OK();
+}
+
+Status ParseRequest(const FrameInfo& frame, std::span<const uint8_t> payload,
+                    Request* out) {
+  const MsgType t = frame.type;
+  if (!IsRequestType(t)) {
+    return Status::InvalidArgument("unknown or non-request message type " +
+                                   std::to_string(uint32_t(t)));
+  }
+  if (payload.size() != frame.payload_len) {
+    return Status::InvalidArgument("payload span does not match header");
+  }
+  Request req;
+  req.type = t;
+  req.request_id = frame.request_id;
+  const uint8_t* p = payload.data();
+  switch (t) {
+    case MsgType::kPing:
+      if (!payload.empty()) return Malformed(t, "expected empty payload");
+      break;
+    case MsgType::kQueryTwoSided:
+    case MsgType::kQueryThreeSided:
+    case MsgType::kQueryStab:
+    case MsgType::kQueryDiagonal:
+    case MsgType::kQueryRange: {
+      const size_t want = FixedQueryPayload(t);
+      if (payload.size() != want) {
+        return Malformed(t, "expected " + std::to_string(want) + " bytes, got " +
+                                std::to_string(payload.size()));
+      }
+      req.structure_id = GetU32(p);
+      req.budget_micros = GetU32(p + 4);
+      const uint8_t* q = p + kQueryPrefix;
+      switch (t) {
+        case MsgType::kQueryTwoSided:
+          req.two_sided = TwoSidedQuery{GetI64(q), GetI64(q + 8)};
+          break;
+        case MsgType::kQueryThreeSided:
+          req.three_sided =
+              ThreeSidedQuery{GetI64(q), GetI64(q + 8), GetI64(q + 16)};
+          break;
+        case MsgType::kQueryStab:
+          req.stab = GetI64(q);
+          break;
+        case MsgType::kQueryDiagonal:
+          req.corner = GetI64(q);
+          break;
+        default:  // kQueryRange
+          req.range = RangeQuery{GetI64(q), GetI64(q + 8), GetI64(q + 16),
+                                 GetI64(q + 24)};
+          break;
+      }
+      break;
+    }
+    case MsgType::kUpdateGroup: {
+      if (payload.size() < 16) return Malformed(t, "truncated group header");
+      req.structure_id = GetU32(p);
+      req.budget_micros = GetU32(p + 4);
+      const uint32_t count = GetU32(p + 8);
+      const uint32_t reserved = GetU32(p + 12);
+      if (reserved != 0) return Malformed(t, "reserved word set");
+      if (count == 0) return Malformed(t, "empty update group");
+      if (count > kMaxUpdatesPerGroup) {
+        return Malformed(t, "update count exceeds protocol cap");
+      }
+      if (payload.size() != 16 + size_t(count) * 32) {
+        return Malformed(t, "payload size disagrees with update count");
+      }
+      req.updates.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t* rec = p + 16 + size_t(i) * 32;
+        const uint64_t opword = GetU64(rec);
+        if (opword != uint64_t(UpdateOp::kInsert) &&
+            opword != uint64_t(UpdateOp::kDelete)) {
+          return Malformed(t, "invalid update op");
+        }
+        DynamicUpdate u;
+        u.op = UpdateOp{uint8_t(opword)};
+        u.item = DynamicItem{GetI64(rec + 8), GetI64(rec + 16),
+                             GetU64(rec + 24)};
+        req.updates.push_back(u);
+      }
+      break;
+    }
+    default:
+      return Malformed(t, "unreachable");
+  }
+  *out = std::move(req);
+  return Status::OK();
+}
+
+Status ParseResponse(const FrameInfo& frame, std::span<const uint8_t> payload,
+                     Response* out) {
+  const MsgType t = frame.type;
+  if (!IsResponseType(t)) {
+    return Status::InvalidArgument("unknown or non-response message type " +
+                                   std::to_string(uint32_t(t)));
+  }
+  if (payload.size() != frame.payload_len) {
+    return Status::InvalidArgument("payload span does not match header");
+  }
+  Response resp;
+  resp.type = t;
+  resp.request_id = frame.request_id;
+  const uint8_t* p = payload.data();
+  switch (t) {
+    case MsgType::kPong:
+      if (!payload.empty()) return Malformed(t, "expected empty payload");
+      break;
+    case MsgType::kPoints:
+    case MsgType::kIntervals: {
+      if (payload.size() < 8) return Malformed(t, "truncated result header");
+      const uint32_t count = GetU32(p);
+      const uint32_t reserved = GetU32(p + 4);
+      if (reserved != 0) return Malformed(t, "reserved word set");
+      if (payload.size() != 8 + size_t(count) * 24) {
+        return Malformed(t, "payload size disagrees with record count");
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t* rec = p + 8 + size_t(i) * 24;
+        if (t == MsgType::kPoints) {
+          resp.points.push_back(
+              Point{GetI64(rec), GetI64(rec + 8), GetU64(rec + 16)});
+        } else {
+          resp.intervals.push_back(
+              Interval{GetI64(rec), GetI64(rec + 8), GetU64(rec + 16)});
+        }
+      }
+      break;
+    }
+    case MsgType::kUpdateAck: {
+      if (payload.size() != 8) return Malformed(t, "expected 8 bytes");
+      resp.applied = GetU32(p);
+      if (GetU32(p + 4) != 0) return Malformed(t, "reserved word set");
+      break;
+    }
+    case MsgType::kError:
+    case MsgType::kProtocolError: {
+      if (payload.size() < 8) return Malformed(t, "truncated error header");
+      const uint32_t code = GetU32(p);
+      const uint32_t msg_len = GetU32(p + 4);
+      if (code == 0 || code > uint32_t(StatusCode::kDeadlineExceeded)) {
+        return Malformed(t, "invalid status code");
+      }
+      if (msg_len > kMaxErrorMessage ||
+          payload.size() != 8 + size_t(msg_len)) {
+        return Malformed(t, "payload size disagrees with message length");
+      }
+      resp.code = StatusCode{int(code)};
+      resp.message.assign(reinterpret_cast<const char*>(p + 8), msg_len);
+      break;
+    }
+    case MsgType::kRetryAfter:
+      if (payload.size() != 8) return Malformed(t, "expected 8 bytes");
+      resp.retry_after_micros = GetU64(p);
+      break;
+    default:
+      return Malformed(t, "unreachable");
+  }
+  *out = std::move(resp);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace pathcache

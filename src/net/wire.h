@@ -1,0 +1,197 @@
+// Wire protocol for the network serving front-end: length-prefixed binary
+// frames over TCP.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic        0x46574350 ("PCWF" on the wire)
+//   4       1     version      kWireVersion
+//   5       1     type         MsgType
+//   6       2     flags        reserved, must be zero
+//   8       8     request_id   echoed verbatim in the response
+//   16      4     payload_len  <= kMaxPayload
+//   20      n     payload      (by type; layouts below)
+//   20+n    4     crc32c       over bytes [0, 20+n) — the same CRC32C
+//                              (src/io/crc32c) that guards persisted pages
+//
+// Error handling is two-tier, and the tests lean on the distinction:
+//
+//   * Frame-level (DecodeFrame): bad magic, unknown version, nonzero
+//     reserved flags, oversized declared length, or a CRC mismatch mean the
+//     byte stream itself cannot be trusted — the server answers with one
+//     kProtocolError frame and closes the connection (there is no reliable
+//     way to resync a corrupted length-prefixed stream).
+//   * Payload-level (ParseRequest / ParseResponse): the frame is intact
+//     (CRC passed) but the payload is malformed — unknown type, wrong size
+//     for the type, invalid op, count mismatch.  The server answers that
+//     request_id with a kError response and keeps the connection: framing
+//     is still sound, so later pipelined requests are unaffected.
+//
+// Every multi-byte field is read and written through shift-based helpers, so
+// decoding arbitrary attacker-controlled bytes is well-defined on any
+// platform — the codec fuzz tests run the whole surface under ASan+UBSan.
+//
+// Request payloads (queries share an 8-byte prefix):
+//
+//   kPing            (empty)
+//   query prefix     structure_id u32, budget_micros u32 (relative deadline
+//                    on the server's clock; 0 = none)
+//   kQueryTwoSided   + x_min i64, y_min i64                        (24 B)
+//   kQueryThreeSided + x_min i64, x_max i64, y_min i64             (32 B)
+//   kQueryStab       + q i64                                       (16 B)
+//   kQueryDiagonal   + corner i64                                  (16 B)
+//   kQueryRange      + x_min i64, x_max i64, y_min i64, y_max i64  (40 B)
+//   kUpdateGroup     structure_id u32, budget_micros u32, count u32,
+//                    reserved u32 (zero), then count records of 32 B each:
+//                    op u64 (1 = insert, 2 = delete), a i64, b i64, id u64
+//
+// The five query kinds are exactly the paper's Figure-1 query menu: the
+// server maps kQueryDiagonal onto a two-sided engine query with the corner
+// on the diagonal, and kQueryRange onto a three-sided engine query plus an
+// exact y <= y_max filter on the reported points.
+//
+// Response payloads:
+//
+//   kPong            (empty)
+//   kPoints          count u32, reserved u32, count x {x i64, y i64, id u64}
+//   kIntervals       count u32, reserved u32, count x {lo i64, hi i64, id u64}
+//   kUpdateAck       applied u32, reserved u32
+//   kError           code u32 (StatusCode, nonzero), msg_len u32, msg bytes
+//   kRetryAfter      retry_after_micros u64  (admission-control backpressure:
+//                    the engine queue was full; retry after the hint)
+//   kProtocolError   same layout as kError; the stream is dead after it
+
+#ifndef PATHCACHE_NET_WIRE_H_
+#define PATHCACHE_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dynamic/update.h"
+#include "util/geometry.h"
+#include "util/status.h"
+
+namespace pathcache {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x46574350;  // "PCWF" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 20;
+inline constexpr size_t kTrailerSize = 4;
+/// Declared payload lengths beyond this are a frame-level error before any
+/// buffering happens, so a hostile length field cannot balloon server memory.
+inline constexpr size_t kMaxPayload = 4u << 20;
+inline constexpr size_t kMaxFrameSize = kHeaderSize + kMaxPayload + kTrailerSize;
+inline constexpr size_t kMaxUpdatesPerGroup = 4096;
+inline constexpr size_t kMaxErrorMessage = 4096;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kPing = 0x01,
+  kQueryTwoSided = 0x02,
+  kQueryThreeSided = 0x03,
+  kQueryStab = 0x04,
+  kQueryDiagonal = 0x05,
+  kQueryRange = 0x06,
+  kUpdateGroup = 0x07,
+  // Responses.
+  kPong = 0x41,
+  kPoints = 0x42,
+  kIntervals = 0x43,
+  kUpdateAck = 0x44,
+  kError = 0x45,
+  kRetryAfter = 0x46,
+  kProtocolError = 0x47,
+};
+
+bool IsRequestType(MsgType t);
+bool IsResponseType(MsgType t);
+std::string_view MsgTypeName(MsgType t);
+
+/// One decoded request.  Only the members named by `type` are meaningful;
+/// the rest stay default-initialized so equality across a round trip holds.
+struct Request {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+  uint32_t structure_id = 0;
+  uint32_t budget_micros = 0;  // relative deadline; 0 = none
+  TwoSidedQuery two_sided;
+  ThreeSidedQuery three_sided;
+  RangeQuery range;
+  int64_t stab = 0;
+  int64_t corner = 0;
+  std::vector<DynamicUpdate> updates;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// One decoded response, same convention.
+struct Response {
+  MsgType type = MsgType::kPong;
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;    // kError / kProtocolError
+  std::string message;                  // kError / kProtocolError
+  uint32_t applied = 0;                 // kUpdateAck
+  uint64_t retry_after_micros = 0;      // kRetryAfter
+  std::vector<Point> points;            // kPoints
+  std::vector<Interval> intervals;      // kIntervals
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// Parsed frame header, returned by DecodeFrame once the CRC has passed.
+struct FrameInfo {
+  uint8_t version = 0;
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+enum class DecodeVerdict : uint8_t {
+  kFrame,     // one whole valid frame decoded; `consumed` bytes used
+  kNeedMore,  // the buffer holds only a prefix of a plausible frame
+  kBadFrame,  // frame-level violation; the stream cannot be resynced
+};
+
+struct DecodeResult {
+  DecodeVerdict verdict = DecodeVerdict::kNeedMore;
+  size_t consumed = 0;            // kFrame: bytes to advance past
+  size_t need = 0;                // kNeedMore: total frame size once known
+  Status error;                   // kBadFrame: what was wrong
+  FrameInfo frame;                // kFrame
+  const uint8_t* payload = nullptr;  // kFrame: into the caller's buffer
+};
+
+/// Scans exactly one frame starting at data[0].  Never reads past `size`,
+/// never crashes on arbitrary bytes; a frame whose declared length exceeds
+/// kMaxPayload is rejected before waiting for its bytes.
+DecodeResult DecodeFrame(const uint8_t* data, size_t size);
+
+/// Appends one complete frame (header + payload + CRC trailer) to *out.
+void AppendFrame(MsgType type, uint64_t request_id,
+                 std::span<const uint8_t> payload, std::vector<uint8_t>* out);
+
+/// Encodes `req` as one frame appended to *out.  InvalidArgument if the
+/// request violates protocol limits (update count, payload size).
+Status EncodeRequest(const Request& req, std::vector<uint8_t>* out);
+
+/// Encodes `resp` as one frame appended to *out.  OutOfRange if the result
+/// set does not fit in kMaxPayload (callers substitute an error response).
+Status EncodeResponse(const Response& resp, std::vector<uint8_t>* out);
+
+/// Payload-level request parse.  `frame`/`payload` come from DecodeFrame.
+/// InvalidArgument (with a caller-presentable message) on any malformation;
+/// the connection survives these.
+Status ParseRequest(const FrameInfo& frame,
+                    std::span<const uint8_t> payload, Request* out);
+
+/// Payload-level response parse, used by the client library.
+Status ParseResponse(const FrameInfo& frame,
+                     std::span<const uint8_t> payload, Response* out);
+
+}  // namespace net
+}  // namespace pathcache
+
+#endif  // PATHCACHE_NET_WIRE_H_

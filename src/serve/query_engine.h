@@ -250,6 +250,10 @@ class QueryEngine {
   ServeStats stats() const;
 
   uint32_t num_workers() const { return opts_.num_workers; }
+  size_t queue_capacity() const { return opts_.queue_capacity; }
+  /// The deadline clock (SystemClock unless options injected one).  The net
+  /// front-end uses it to turn relative wire budgets into absolute deadlines.
+  Clock* clock() const { return clock_; }
   size_t num_structures() const { return manifests_.size(); }
   QueryKind structure_kind(uint32_t id) const { return kinds_[id]; }
   bool structure_dynamic(uint32_t id) const { return stores_[id] != nullptr; }

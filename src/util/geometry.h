@@ -56,6 +56,8 @@ struct TwoSidedQuery {
   int64_t y_min = 0;
 
   bool Contains(const Point& p) const { return p.x >= x_min && p.y >= y_min; }
+
+  friend bool operator==(const TwoSidedQuery&, const TwoSidedQuery&) = default;
 };
 
 /// 3-sided query (Figure 1): x_min <= x <= x_max && y >= y_min.
@@ -67,6 +69,9 @@ struct ThreeSidedQuery {
   bool Contains(const Point& p) const {
     return p.x >= x_min && p.x <= x_max && p.y >= y_min;
   }
+
+  friend bool operator==(const ThreeSidedQuery&,
+                         const ThreeSidedQuery&) = default;
 };
 
 /// General axis-aligned rectangle query (Figure 1, rightmost shape).
@@ -79,6 +84,8 @@ struct RangeQuery {
   bool Contains(const Point& p) const {
     return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
   }
+
+  friend bool operator==(const RangeQuery&, const RangeQuery&) = default;
 };
 
 /// Diagonal-corner query (Figure 1): 2-sided query whose corner lies on the

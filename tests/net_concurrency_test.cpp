@@ -1,0 +1,248 @@
+// Socket-level concurrency test (satellite 3 of PR 9, in the TSan CI job):
+// N client threads pipeline mixed queries + update groups over TCP while
+// the dynamic store runs background rebuilds, and every answer must satisfy
+// the same serial-merge-oracle invariants dynamic_serve_test pins for the
+// in-process path:
+//
+//   * sandwich — with insert-only mutations, every answer lies between the
+//     initial model's answer and the final model's answer;
+//   * group atomicity — mutations land in pairs, so a full-range query must
+//     never see an odd number of mutable records;
+//   * read-your-writes — a client that received an UPDATE_ACK sees those
+//     records in every later answer on the same connection.
+//
+// Everything flows through one NetServer, so this doubles as the data-race
+// probe for the event loop's pipeline slots, waker, and stats counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dynamic/dynamic_store.h"
+#include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "util/random.h"
+#include "workload/oracle.h"
+
+namespace pathcache {
+namespace net {
+namespace {
+
+std::vector<DynamicItem> GridPoints(int n, int64_t coord_max, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DynamicItem> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    items.push_back(DynamicItem{rng.UniformRange(0, coord_max),
+                                rng.UniformRange(0, coord_max), uint64_t(i)});
+  }
+  return items;
+}
+
+std::vector<Point> ToPoints(const std::vector<DynamicItem>& items) {
+  std::vector<Point> pts;
+  pts.reserve(items.size());
+  for (const auto& i : items) pts.push_back(i.ToPoint());
+  return pts;
+}
+
+TEST(NetConcurrencyTest, PipeliningClientsDuringRebuildsMatchSerialOracle) {
+  MemPageDevice mem(4096);
+  SharedBufferPool pool(&mem, 8192);
+  const int64_t coord_max = 50'000;
+  auto initial = GridPoints(1500, coord_max, 91);
+  DynamicStoreOptions sopts;
+  sopts.rebuild_threshold = 64;  // publishes keep happening mid-stream
+  sopts.background_rebuild = true;
+  auto store = std::move(
+      DynamicStore::Create(&pool, DynamicStructure::kExternalPst, initial,
+                           sopts)
+          .value());
+
+  QueryEngineOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 8192;
+  QueryEngine engine(&pool, opts);
+  auto id_r = engine.AddDynamicStore(store.get());
+  ASSERT_TRUE(id_r.ok());
+  const uint32_t id = id_r.value();
+  ASSERT_TRUE(engine.Start().ok());
+
+  NetServer server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  constexpr int kClients = 4;
+  constexpr int kPairsPerClient = 30;
+  constexpr uint64_t kMutableBase = 1'000'000;
+  constexpr uint64_t kClientIdStride = 10'000;
+
+  const std::vector<Point> initial_model = ToPoints(initial);
+  std::vector<Point> final_model = initial_model;
+  for (int c = 0; c < kClients; ++c) {
+    for (int p = 0; p < kPairsPerClient; ++p) {
+      const uint64_t base = kMutableBase + uint64_t(c) * kClientIdStride +
+                            2 * uint64_t(p);
+      final_model.push_back(Point{(c * 997 + p * 613) % coord_max,
+                                  (c * 131 + p * 401) % coord_max, base});
+      final_model.push_back(Point{(c * 757 + p * 769) % coord_max,
+                                  (c * 373 + p * 283) % coord_max, base + 1});
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  std::string first_failure;
+  auto record_failure = [&](std::string why) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lk(fail_mu);
+      first_failure = std::move(why);
+    }
+  };
+
+  auto client_thread = [&](int cidx) {
+    NetClient client;
+    Status conn = client.Connect("127.0.0.1", port);
+    if (!conn.ok()) {
+      record_failure("connect: " + conn.ToString());
+      return;
+    }
+    Rng rng(1000 + uint64_t(cidx));
+    std::vector<Point> my_acked;  // read-your-writes floor for this client
+
+    for (int p = 0; p < kPairsPerClient && !failed.load(); ++p) {
+      const uint64_t base = kMutableBase + uint64_t(cidx) * kClientIdStride +
+                            2 * uint64_t(p);
+      const Point a{(cidx * 997 + p * 613) % coord_max,
+                    (cidx * 131 + p * 401) % coord_max, base};
+      const Point b{(cidx * 757 + p * 769) % coord_max,
+                    (cidx * 373 + p * 283) % coord_max, base + 1};
+      std::vector<DynamicUpdate> group = {
+          {UpdateOp::kInsert, DynamicItem::From(a)},
+          {UpdateOp::kInsert, DynamicItem::From(b)},
+      };
+      Status up = client.Update(id, group);
+      if (!up.ok()) {
+        record_failure("update: " + up.ToString());
+        return;
+      }
+      my_acked.push_back(a);
+      my_acked.push_back(b);
+
+      // Pipeline a burst of queries, then collect: full-range (invariant
+      // probes) mixed with random corners (sandwich probes).
+      constexpr int kBurst = 4;
+      std::vector<TwoSidedQuery> burst;
+      for (int i = 0; i < kBurst; ++i) {
+        if (i == 0) {
+          burst.push_back(TwoSidedQuery{0, 0});
+        } else {
+          burst.push_back(TwoSidedQuery{rng.UniformRange(0, coord_max),
+                                        rng.UniformRange(0, coord_max)});
+        }
+        Request req;
+        req.type = MsgType::kQueryTwoSided;
+        req.request_id = uint64_t(cidx + 1) * 1'000'000 +
+                         uint64_t(p) * 100 + uint64_t(i) + 1;
+        req.structure_id = id;
+        req.two_sided = burst.back();
+        Status s = client.Send(req);
+        if (!s.ok()) {
+          record_failure("send: " + s.ToString());
+          return;
+        }
+      }
+      for (int i = 0; i < kBurst; ++i) {
+        Response resp;
+        Status s = client.Receive(&resp);
+        if (!s.ok()) {
+          record_failure("receive: " + s.ToString());
+          return;
+        }
+        if (resp.type != MsgType::kPoints) {
+          record_failure("unexpected response type");
+          return;
+        }
+        const TwoSidedQuery q = burst[size_t(i)];
+        const std::vector<Point> lo = BruteTwoSided(initial_model, q);
+        const std::vector<Point> hi = BruteTwoSided(final_model, q);
+        if (resp.points.size() < lo.size() || resp.points.size() > hi.size()) {
+          record_failure("answer size outside [initial, final] envelope");
+          return;
+        }
+        if (q.x_min == 0 && q.y_min == 0) {
+          uint64_t mutable_seen = 0;
+          for (const Point& pt : resp.points) {
+            if (pt.id >= kMutableBase) ++mutable_seen;
+          }
+          if (mutable_seen % 2 != 0) {
+            record_failure("odd mutable count: a group was half-visible");
+            return;
+          }
+          // Read-your-writes: everything this client saw acked must be in
+          // a full-range answer.
+          uint64_t mine = 0;
+          for (const Point& pt : resp.points) {
+            if (pt.id >= kMutableBase + uint64_t(cidx) * kClientIdStride &&
+                pt.id < kMutableBase + uint64_t(cidx + 1) * kClientIdStride) {
+              ++mine;
+            }
+          }
+          if (mine < my_acked.size()) {
+            record_failure("read-your-writes violated: saw " +
+                           std::to_string(mine) + " of " +
+                           std::to_string(my_acked.size()));
+            return;
+          }
+        }
+      }
+    }
+  };
+
+  std::atomic<bool> stop_rebuilds{false};
+  std::thread rebuilder([&] {
+    while (!stop_rebuilds.load() && !failed.load()) {
+      Status s = store->Rebuild();
+      if (!s.ok()) {
+        record_failure("Rebuild: " + s.ToString());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client_thread, c);
+  for (auto& t : clients) t.join();
+  stop_rebuilds.store(true);
+  rebuilder.join();
+  ASSERT_TRUE(store->WaitForRebuild().ok());
+
+  EXPECT_FALSE(failed.load()) << first_failure;
+
+  // Quiescent end state: one serial query sees exactly the final model.
+  NetClient checker;
+  ASSERT_TRUE(checker.Connect("127.0.0.1", port).ok());
+  std::vector<Point> got;
+  ASSERT_TRUE(checker.QueryTwoSided(id, TwoSidedQuery{0, 0}, &got).ok());
+  EXPECT_TRUE(SameResult(got, final_model));
+
+  const NetServerStats stats = server.stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.request_errors, 0u);
+
+  server.Stop();
+  engine.Stop();
+  ASSERT_TRUE(store->Destroy().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pathcache

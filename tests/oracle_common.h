@@ -45,9 +45,13 @@
 #include <string>
 #include <vector>
 
+#include <future>
+
 #include "dynamic/dynamic_store.h"
 #include "dynamic/update.h"
 #include "io/mem_page_device.h"
+#include "net/wire.h"
+#include "serve/query_engine.h"
 #include "util/geometry.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -451,6 +455,173 @@ void RunDynamicSchedule(const DynCase& c) {
 
 }  // namespace dyntest
 }  // namespace difftest
+
+// ---------------------------------------------------------------------------
+// Network-protocol oracle (PR 9).  The wire-level fuzz and robustness tests
+// need two things beyond the brute-force oracles above: a generator of
+// random VALID wire requests against a served catalog, and a twin of the
+// server's request-execution path run against an in-process QueryEngine —
+// including the server's query mappings (diagonal-corner → two-sided with
+// the corner on the diagonal, range → three-sided plus an exact y <= y_max
+// filter).  A valid frame sent to the live server must produce bytes
+// identical to EncodeResponse(EngineOracleResponse(twin_engine, request)).
+// ---------------------------------------------------------------------------
+
+namespace nettest {
+
+/// What one served structure looks like to the fuzzers, by wire id.
+struct NetStructure {
+  QueryKind kind = QueryKind::kTwoSided;
+  bool dynamic = false;
+  int64_t coord_max = 100'000;  // coordinate range for generated traffic
+};
+
+/// One random, semantically valid request against the catalog: a ping, a
+/// query of a type the addressed structure answers, or (when allowed and
+/// the structure is dynamic) a small update group.  Every choice derives
+/// from `rng`, so a seed reproduces the stream.
+inline net::Request RandomValidRequest(Rng* rng,
+                                       const std::vector<NetStructure>& catalog,
+                                       uint64_t request_id,
+                                       bool allow_updates) {
+  net::Request req;
+  req.request_id = request_id;
+  if (catalog.empty() || rng->Uniform(16) == 0) {
+    req.type = net::MsgType::kPing;
+    return req;
+  }
+  const uint32_t sid = uint32_t(rng->Uniform(catalog.size()));
+  const NetStructure& s = catalog[sid];
+  req.structure_id = sid;
+  const int64_t m = s.coord_max;
+  if (allow_updates && s.dynamic && rng->Uniform(4) == 0) {
+    req.type = net::MsgType::kUpdateGroup;
+    const size_t n = 1 + rng->Uniform(4);
+    for (size_t i = 0; i < n; ++i) {
+      DynamicUpdate u;
+      // Inserts dominate so delete-of-absent stays a rarity, not the norm.
+      u.op = rng->Uniform(4) == 0 ? UpdateOp::kDelete : UpdateOp::kInsert;
+      u.item = DynamicItem{rng->UniformRange(0, m), rng->UniformRange(0, m),
+                           500'000 + rng->Uniform(1'000'000)};
+      req.updates.push_back(u);
+    }
+    return req;
+  }
+  switch (s.kind) {
+    case QueryKind::kTwoSided:
+      if (rng->Bernoulli(0.3)) {
+        req.type = net::MsgType::kQueryDiagonal;
+        req.corner = rng->UniformRange(0, m);
+      } else {
+        req.type = net::MsgType::kQueryTwoSided;
+        req.two_sided =
+            TwoSidedQuery{rng->UniformRange(0, m), rng->UniformRange(0, m)};
+      }
+      break;
+    case QueryKind::kThreeSided:
+      if (rng->Bernoulli(0.3)) {
+        const int64_t x = rng->UniformRange(0, m);
+        const int64_t y = rng->UniformRange(0, m);
+        req.type = net::MsgType::kQueryRange;
+        req.range = RangeQuery{x, x + rng->UniformRange(0, m / 4), y,
+                               y + rng->UniformRange(0, m / 4)};
+      } else {
+        const int64_t x = rng->UniformRange(0, m);
+        req.type = net::MsgType::kQueryThreeSided;
+        req.three_sided = ThreeSidedQuery{x, x + rng->UniformRange(0, m / 4),
+                                          rng->UniformRange(0, m)};
+      }
+      break;
+    case QueryKind::kStabbing:
+      req.type = net::MsgType::kQueryStab;
+      req.stab = rng->UniformRange(0, m);
+      break;
+  }
+  return req;
+}
+
+/// Runs one semantically valid request through an in-process engine the
+/// exact way NetServer does — same query mapping, same response shaping —
+/// and returns the Response the server is expected to send.  Blocks until
+/// the engine completes the request.
+inline net::Response EngineOracleResponse(QueryEngine* engine,
+                                          const net::Request& req) {
+  net::Response resp;
+  resp.request_id = req.request_id;
+  if (req.type == net::MsgType::kPing) {
+    resp.type = net::MsgType::kPong;
+    return resp;
+  }
+
+  std::promise<QueryResult> done;
+  auto fut = done.get_future();
+  auto complete = [&done](QueryResult r) { done.set_value(std::move(r)); };
+
+  if (req.type == net::MsgType::kUpdateGroup) {
+    Status s = engine->SubmitUpdate(req.structure_id, req.updates, complete);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    QueryResult r = fut.get();
+    if (!r.status.ok()) {
+      resp.type = net::MsgType::kError;
+      resp.code = r.status.code();
+      resp.message = std::string(r.status.message());
+    } else {
+      resp.type = net::MsgType::kUpdateAck;
+      resp.applied = uint32_t(req.updates.size());
+    }
+    return resp;
+  }
+
+  ServeQuery query;
+  bool is_range = false;
+  int64_t y_max = 0;
+  switch (req.type) {
+    case net::MsgType::kQueryTwoSided:
+      query = ServeQuery::TwoSided(req.two_sided);
+      break;
+    case net::MsgType::kQueryDiagonal:
+      query = ServeQuery::TwoSided(DiagonalCornerQuery{req.corner}.AsTwoSided());
+      break;
+    case net::MsgType::kQueryThreeSided:
+      query = ServeQuery::ThreeSided(req.three_sided);
+      break;
+    case net::MsgType::kQueryRange:
+      query = ServeQuery::ThreeSided(ThreeSidedQuery{
+          req.range.x_min, req.range.x_max, req.range.y_min});
+      is_range = true;
+      y_max = req.range.y_max;
+      break;
+    case net::MsgType::kQueryStab:
+      query = ServeQuery::Stab(req.stab);
+      break;
+    default:
+      ADD_FAILURE() << "oracle fed a non-request type";
+      return resp;
+  }
+  Status s = engine->Submit(req.structure_id, query, complete);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  QueryResult r = fut.get();
+  if (!r.status.ok()) {
+    resp.type = net::MsgType::kError;
+    resp.code = r.status.code();
+    resp.message = std::string(r.status.message());
+    return resp;
+  }
+  if (engine->structure_kind(req.structure_id) == QueryKind::kStabbing) {
+    resp.type = net::MsgType::kIntervals;
+    resp.intervals = std::move(r.intervals);
+  } else {
+    resp.type = net::MsgType::kPoints;
+    resp.points = std::move(r.points);
+    if (is_range) {
+      std::erase_if(resp.points,
+                    [y_max](const Point& p) { return p.y > y_max; });
+    }
+  }
+  return resp;
+}
+
+}  // namespace nettest
 }  // namespace pathcache
 
 #endif  // PATHCACHE_TESTS_ORACLE_COMMON_H_

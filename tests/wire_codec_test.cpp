@@ -1,0 +1,415 @@
+// Wire-codec property tests: encode→decode→parse is the identity for every
+// request/response type across seeds, every single-byte mutation of a valid
+// frame is rejected at frame level (never decoded, never UB — this binary
+// runs in the ASan+UBSan CI job), every truncation asks for more bytes, and
+// every payload-level malformation comes back as a clean InvalidArgument.
+//
+// The mutation sweep leans on the design fact that the CRC32C trailer
+// covers all header+payload bytes: flipping any covered byte breaks the
+// CRC, flipping a trailer byte breaks the comparison, and growing the
+// declared length just makes the decoder wait for bytes that never pass
+// the CRC — so no single-byte corruption can smuggle a frame through.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/random.h"
+
+namespace pathcache {
+namespace net {
+namespace {
+
+constexpr MsgType kRequestTypes[] = {
+    MsgType::kPing,        MsgType::kQueryTwoSided, MsgType::kQueryThreeSided,
+    MsgType::kQueryStab,   MsgType::kQueryDiagonal, MsgType::kQueryRange,
+    MsgType::kUpdateGroup,
+};
+
+constexpr MsgType kResponseTypes[] = {
+    MsgType::kPong,   MsgType::kPoints,     MsgType::kIntervals,
+    MsgType::kUpdateAck, MsgType::kError,   MsgType::kRetryAfter,
+    MsgType::kProtocolError,
+};
+
+Request RandomRequest(MsgType t, Rng* rng) {
+  Request req;
+  req.type = t;
+  req.request_id = rng->Next() | 1;  // nonzero: 0 means "stamp me"
+  req.structure_id = uint32_t(rng->Uniform(8));
+  req.budget_micros = uint32_t(rng->Uniform(1 << 20));
+  switch (t) {
+    case MsgType::kQueryTwoSided:
+      req.two_sided = TwoSidedQuery{int64_t(rng->Next()), int64_t(rng->Next())};
+      break;
+    case MsgType::kQueryThreeSided:
+      req.three_sided = ThreeSidedQuery{int64_t(rng->Next()),
+                                        int64_t(rng->Next()),
+                                        int64_t(rng->Next())};
+      break;
+    case MsgType::kQueryStab:
+      req.stab = int64_t(rng->Next());
+      break;
+    case MsgType::kQueryDiagonal:
+      req.corner = int64_t(rng->Next());
+      break;
+    case MsgType::kQueryRange:
+      req.range = RangeQuery{int64_t(rng->Next()), int64_t(rng->Next()),
+                             int64_t(rng->Next()), int64_t(rng->Next())};
+      break;
+    case MsgType::kUpdateGroup: {
+      const size_t n = 1 + rng->Uniform(16);
+      for (size_t i = 0; i < n; ++i) {
+        DynamicUpdate u;
+        u.op = rng->Bernoulli(0.5) ? UpdateOp::kInsert : UpdateOp::kDelete;
+        u.item = DynamicItem{int64_t(rng->Next()), int64_t(rng->Next()),
+                             rng->Next()};
+        req.updates.push_back(u);
+      }
+      break;
+    }
+    default:
+      break;  // kPing: structure_id/budget are ignored but harmless
+  }
+  if (t == MsgType::kPing) {
+    req.structure_id = 0;
+    req.budget_micros = 0;
+  }
+  return req;
+}
+
+Response RandomResponse(MsgType t, Rng* rng) {
+  Response resp;
+  resp.type = t;
+  resp.request_id = rng->Next() | 1;
+  switch (t) {
+    case MsgType::kPoints: {
+      const size_t n = rng->Uniform(32);
+      for (size_t i = 0; i < n; ++i) {
+        resp.points.push_back(
+            Point{int64_t(rng->Next()), int64_t(rng->Next()), rng->Next()});
+      }
+      break;
+    }
+    case MsgType::kIntervals: {
+      const size_t n = rng->Uniform(32);
+      for (size_t i = 0; i < n; ++i) {
+        resp.intervals.push_back(
+            Interval{int64_t(rng->Next()), int64_t(rng->Next()), rng->Next()});
+      }
+      break;
+    }
+    case MsgType::kUpdateAck:
+      resp.applied = uint32_t(rng->Uniform(4096));
+      break;
+    case MsgType::kError:
+    case MsgType::kProtocolError:
+      resp.code = StatusCode{int(1 + rng->Uniform(9))};
+      resp.message = std::string(rng->Uniform(64), 'e');
+      break;
+    case MsgType::kRetryAfter:
+      resp.retry_after_micros = rng->Next();
+      break;
+    default:
+      break;
+  }
+  return resp;
+}
+
+TEST(WireCodec, RequestRoundTripIsIdentityAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed);
+    for (MsgType t : kRequestTypes) {
+      const Request req = RandomRequest(t, &rng);
+      std::vector<uint8_t> buf;
+      ASSERT_TRUE(EncodeRequest(req, &buf).ok());
+
+      DecodeResult r = DecodeFrame(buf.data(), buf.size());
+      ASSERT_EQ(r.verdict, DecodeVerdict::kFrame) << MsgTypeName(t);
+      EXPECT_EQ(r.consumed, buf.size());
+      EXPECT_EQ(r.frame.type, t);
+      EXPECT_EQ(r.frame.request_id, req.request_id);
+      EXPECT_EQ(r.frame.version, kWireVersion);
+
+      Request back;
+      Status parsed = ParseRequest(r.frame, {r.payload, r.frame.payload_len},
+                                   &back);
+      ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+      EXPECT_EQ(back, req) << "round trip changed a " << MsgTypeName(t);
+    }
+  }
+}
+
+TEST(WireCodec, ResponseRoundTripIsIdentityAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    for (MsgType t : kResponseTypes) {
+      const Response resp = RandomResponse(t, &rng);
+      std::vector<uint8_t> buf;
+      ASSERT_TRUE(EncodeResponse(resp, &buf).ok());
+
+      DecodeResult r = DecodeFrame(buf.data(), buf.size());
+      ASSERT_EQ(r.verdict, DecodeVerdict::kFrame) << MsgTypeName(t);
+      EXPECT_EQ(r.consumed, buf.size());
+
+      Response back;
+      Status parsed = ParseResponse(r.frame, {r.payload, r.frame.payload_len},
+                                    &back);
+      ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+      EXPECT_EQ(back, resp) << "round trip changed a " << MsgTypeName(t);
+    }
+  }
+}
+
+TEST(WireCodec, ConcatenatedFramesDecodeInSequence) {
+  Rng rng(7);
+  std::vector<Request> reqs;
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    MsgType t = kRequestTypes[rng.Uniform(std::size(kRequestTypes))];
+    reqs.push_back(RandomRequest(t, &rng));
+    ASSERT_TRUE(EncodeRequest(reqs.back(), &stream).ok());
+  }
+  size_t off = 0;
+  for (const Request& want : reqs) {
+    DecodeResult r = DecodeFrame(stream.data() + off, stream.size() - off);
+    ASSERT_EQ(r.verdict, DecodeVerdict::kFrame);
+    Request back;
+    ASSERT_TRUE(
+        ParseRequest(r.frame, {r.payload, r.frame.payload_len}, &back).ok());
+    EXPECT_EQ(back, want);
+    off += r.consumed;
+  }
+  EXPECT_EQ(off, stream.size());
+}
+
+// Every single-byte mutation of a valid frame must be rejected at frame
+// level — kBadFrame, or kNeedMore when the mutation grew the declared
+// length — and must never produce kFrame or undefined behavior.  Three
+// mutation patterns per offset cover flip-all, flip-one-bit, and zeroing.
+TEST(WireCodec, SingleByteMutationSweepNeverDecodes) {
+  Rng rng(11);
+  for (MsgType t : kRequestTypes) {
+    const Request req = RandomRequest(t, &rng);
+    std::vector<uint8_t> base;
+    ASSERT_TRUE(EncodeRequest(req, &base).ok());
+    for (size_t off = 0; off < base.size(); ++off) {
+      for (uint8_t pattern : {uint8_t(0xFF), uint8_t(0x01), uint8_t(0x80)}) {
+        std::vector<uint8_t> buf = base;
+        const uint8_t mutated = uint8_t(buf[off] ^ pattern);
+        if (mutated == base[off]) continue;
+        buf[off] = mutated;
+        DecodeResult r = DecodeFrame(buf.data(), buf.size());
+        EXPECT_NE(r.verdict, DecodeVerdict::kFrame)
+            << MsgTypeName(t) << " offset " << off << " pattern "
+            << int(pattern);
+        if (r.verdict == DecodeVerdict::kBadFrame) {
+          EXPECT_FALSE(r.error.ok());
+        }
+      }
+    }
+  }
+}
+
+// A zeroed single byte in the byte-sweep above can also hit the "declared
+// length grew" path; feeding the stream back with MORE bytes after the
+// mutated frame must still never decode the corrupt frame as valid.
+TEST(WireCodec, MutatedLengthWithTrailingBytesStillRejected) {
+  Rng rng(13);
+  const Request req = RandomRequest(MsgType::kQueryRange, &rng);
+  std::vector<uint8_t> base;
+  ASSERT_TRUE(EncodeRequest(req, &base).ok());
+  // Append a second valid frame so grown-length mutations have real bytes
+  // to mis-span, then corrupt each byte of the first frame's length field.
+  std::vector<uint8_t> two = base;
+  ASSERT_TRUE(EncodeRequest(RandomRequest(MsgType::kPing, &rng), &two).ok());
+  for (size_t off = 16; off < 20; ++off) {
+    for (int delta = 1; delta <= 255; delta += 37) {
+      std::vector<uint8_t> buf = two;
+      buf[off] = uint8_t(buf[off] + delta);
+      DecodeResult r = DecodeFrame(buf.data(), buf.size());
+      // The CRC no longer matches any framing the mutated length implies.
+      EXPECT_NE(r.verdict, DecodeVerdict::kFrame) << off << "+" << delta;
+    }
+  }
+}
+
+TEST(WireCodec, TruncationAlwaysAsksForMore) {
+  Rng rng(17);
+  const Request req = RandomRequest(MsgType::kUpdateGroup, &rng);
+  std::vector<uint8_t> base;
+  ASSERT_TRUE(EncodeRequest(req, &base).ok());
+  for (size_t len = 0; len < base.size(); ++len) {
+    DecodeResult r = DecodeFrame(base.data(), len);
+    ASSERT_EQ(r.verdict, DecodeVerdict::kNeedMore) << "prefix " << len;
+    EXPECT_GT(r.need, len);
+    EXPECT_LE(r.need, base.size());
+  }
+}
+
+TEST(WireCodec, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  Request req;
+  req.type = MsgType::kPing;
+  req.request_id = 1;
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(EncodeRequest(req, &buf).ok());
+  // Patch the length field to just past the cap; the decoder must reject
+  // from the 20 header bytes alone instead of asking for 4 GiB.
+  const uint32_t huge = uint32_t(kMaxPayload) + 1;
+  buf[16] = uint8_t(huge);
+  buf[17] = uint8_t(huge >> 8);
+  buf[18] = uint8_t(huge >> 16);
+  buf[19] = uint8_t(huge >> 24);
+  DecodeResult r = DecodeFrame(buf.data(), kHeaderSize);
+  EXPECT_EQ(r.verdict, DecodeVerdict::kBadFrame);
+}
+
+TEST(WireCodec, EncodeRequestRejectsProtocolViolations) {
+  Request req;
+  req.type = MsgType::kUpdateGroup;
+  req.request_id = 1;
+  std::vector<uint8_t> buf;
+  EXPECT_TRUE(EncodeRequest(req, &buf).IsInvalidArgument())
+      << "empty update group";
+
+  req.updates.resize(kMaxUpdatesPerGroup + 1);
+  EXPECT_TRUE(EncodeRequest(req, &buf).IsInvalidArgument())
+      << "oversized update group";
+
+  Request bad;
+  bad.type = MsgType::kPong;  // response type through the request encoder
+  EXPECT_TRUE(EncodeRequest(bad, &buf).IsInvalidArgument());
+}
+
+TEST(WireCodec, EncodeResponseRejectsProtocolViolations) {
+  std::vector<uint8_t> buf;
+  Response err;
+  err.type = MsgType::kError;
+  err.code = StatusCode::kOk;  // error responses need a real code
+  EXPECT_TRUE(EncodeResponse(err, &buf).IsInvalidArgument());
+
+  Response big;
+  big.type = MsgType::kPoints;
+  big.points.resize(kMaxPayload / 24 + 1);
+  Status st = EncodeResponse(big, &buf);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+
+  Response bad;
+  bad.type = MsgType::kPing;  // request type through the response encoder
+  EXPECT_TRUE(EncodeResponse(bad, &buf).IsInvalidArgument());
+}
+
+// Builds a syntactically perfect frame (good CRC) around a broken payload;
+// these must fail at ParseRequest with InvalidArgument — the tier that
+// keeps the connection alive — not at DecodeFrame.
+void ExpectPayloadError(MsgType t, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> buf;
+  AppendFrame(t, 99, payload, &buf);
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  ASSERT_EQ(r.verdict, DecodeVerdict::kFrame) << MsgTypeName(t);
+  Request out;
+  Status st = ParseRequest(r.frame, {r.payload, r.frame.payload_len}, &out);
+  EXPECT_TRUE(st.IsInvalidArgument())
+      << MsgTypeName(t) << ": " << st.ToString();
+}
+
+TEST(WireCodec, PayloadMalformationsAreConnectionSurvivable) {
+  // Wrong sizes for fixed-size types.
+  ExpectPayloadError(MsgType::kPing, std::vector<uint8_t>(1));
+  ExpectPayloadError(MsgType::kQueryTwoSided, std::vector<uint8_t>(23));
+  ExpectPayloadError(MsgType::kQueryThreeSided, std::vector<uint8_t>(33));
+  ExpectPayloadError(MsgType::kQueryStab, std::vector<uint8_t>(8));
+  ExpectPayloadError(MsgType::kQueryDiagonal, std::vector<uint8_t>(24));
+  ExpectPayloadError(MsgType::kQueryRange, std::vector<uint8_t>(39));
+
+  // Update group: truncated header, zero count, reserved word set, count
+  // disagreeing with size, invalid op.
+  ExpectPayloadError(MsgType::kUpdateGroup, std::vector<uint8_t>(15));
+  ExpectPayloadError(MsgType::kUpdateGroup, std::vector<uint8_t>(16));
+  {
+    std::vector<uint8_t> p(16 + 32, 0);
+    p[8] = 1;   // count = 1
+    p[12] = 1;  // reserved word nonzero
+    ExpectPayloadError(MsgType::kUpdateGroup, p);
+  }
+  {
+    std::vector<uint8_t> p(16 + 32, 0);
+    p[8] = 2;  // count says 2, payload holds 1
+    ExpectPayloadError(MsgType::kUpdateGroup, p);
+  }
+  {
+    std::vector<uint8_t> p(16 + 32, 0);
+    p[8] = 1;
+    p[16] = 3;  // op = 3: neither insert nor delete
+    ExpectPayloadError(MsgType::kUpdateGroup, p);
+  }
+
+  // Unknown / non-request types in the type byte.
+  ExpectPayloadError(MsgType{0x20}, {});
+  ExpectPayloadError(MsgType::kPong, {});
+}
+
+TEST(WireCodec, ResponsePayloadMalformationsRejected) {
+  auto expect_bad = [](MsgType t, std::span<const uint8_t> payload) {
+    std::vector<uint8_t> buf;
+    AppendFrame(t, 7, payload, &buf);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    ASSERT_EQ(r.verdict, DecodeVerdict::kFrame);
+    Response out;
+    EXPECT_TRUE(ParseResponse(r.frame, {r.payload, r.frame.payload_len}, &out)
+                    .IsInvalidArgument())
+        << MsgTypeName(t);
+  };
+  expect_bad(MsgType::kPong, std::vector<uint8_t>(4));
+  expect_bad(MsgType::kPoints, std::vector<uint8_t>(7));
+  {
+    std::vector<uint8_t> p(8 + 24, 0);
+    p[0] = 2;  // count says 2, payload holds 1 record
+    expect_bad(MsgType::kPoints, p);
+  }
+  {
+    std::vector<uint8_t> p(8, 0);
+    p[4] = 1;  // reserved word set
+    expect_bad(MsgType::kIntervals, p);
+  }
+  expect_bad(MsgType::kUpdateAck, std::vector<uint8_t>(7));
+  {
+    std::vector<uint8_t> p(8, 0);  // error with code 0
+    expect_bad(MsgType::kError, p);
+  }
+  {
+    std::vector<uint8_t> p(8, 0);
+    p[0] = 10;  // past kDeadlineExceeded
+    expect_bad(MsgType::kError, p);
+  }
+  {
+    std::vector<uint8_t> p(8, 0);
+    p[0] = 1;
+    p[4] = 5;  // msg_len = 5 but no message bytes
+    expect_bad(MsgType::kProtocolError, p);
+  }
+  expect_bad(MsgType::kRetryAfter, std::vector<uint8_t>(7));
+  expect_bad(MsgType::kPing, {});  // request type through the response parser
+}
+
+// Random byte soup must never decode as a frame (the magic + CRC gate) and,
+// more importantly for the sanitizer job, must never read out of bounds.
+TEST(WireCodec, RandomBytesNeverDecode) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> buf(rng.Uniform(256));
+    for (auto& b : buf) b = uint8_t(rng.Next());
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    if (r.verdict == DecodeVerdict::kFrame) {
+      // Astronomically unlikely (needs magic + CRC to line up); if it ever
+      // happens the bytes must at least form a self-consistent frame.
+      EXPECT_LE(r.consumed, buf.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pathcache
