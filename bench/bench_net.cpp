@@ -26,6 +26,14 @@
 //     must succeed on retry, and the server must not have dropped the
 //     connection (connections_closed stays 0).
 //
+// E23 (--shards N) adds a third segment: the same candidate pool served
+// through a ShardRouter over N shard stacks behind the same TCP front-end,
+// so the scatter-gather cost shows up in end-to-end tails next to the
+// single-engine rows.  A per-tenant mix rides along on the wire: a starved
+// tenant (admission quota 0, bound per-connection via SET_TENANT) must see
+// every request answered RETRY_AFTER while a quiet tenant on a second
+// connection completes the identical stream — both asserted.
+//
 // `--json out.json` dumps both segments machine-readably (the CI artifact);
 // `--check-qps MIN` gates the 4-worker row for regression runs.
 
@@ -52,6 +60,8 @@
 #include "net/wire.h"
 #include "serve/latency_histogram.h"
 #include "serve/query_engine.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_store.h"
 #include "workload/generators.h"
 
 namespace pathcache {
@@ -77,6 +87,7 @@ struct Options {
   double rate = 0.0;       // per-connection offered QPS; 0 = unpaced
   double zipf_theta = 0.0;
   double check_qps = 0.0;  // gate on the 4-worker row; 0 disables
+  uint32_t shards = 0;     // --shards N: run the E23 sharded segment
   std::string json_path;
 };
 
@@ -108,11 +119,14 @@ Options ParseArgs(int argc, char** argv) {
       o.check_qps = std::strtod(v8, nullptr);
     } else if (const char* v9 = value_of(&i, "--json")) {
       o.json_path = v9;
+    } else if (const char* v10 = value_of(&i, "--shards")) {
+      o.shards = static_cast<uint32_t>(std::strtoul(v10, nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--points N] [--intervals N] [--requests N] "
                    "[--connections C] [--pipeline D] [--rate QPS] "
-                   "[--zipf THETA] [--check-qps MIN] [--json out.json]\n",
+                   "[--zipf THETA] [--check-qps MIN] [--shards N] "
+                   "[--json out.json]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -424,8 +438,139 @@ OverloadRow RunOverload(Store& s, const Options& opt) {
   return row;
 }
 
+// --- E23: sharded serving over the wire -------------------------------------
+
+struct ShardedNetRow {
+  uint32_t shards = 0;
+  double qps = 0.0;
+  uint64_t completed = 0;
+  LatencyHistogram::Snapshot latency;
+  uint64_t quiet_completed = 0;
+  uint64_t starved_bounced = 0;
+};
+
+// The warm-sweep harness pointed at a ShardRouter instead of a single
+// engine: the server speaks the identical protocol, so RunConnection needs
+// no changes — sharding is invisible on the wire except in the tails.
+ShardedNetRow RunSharded(const Options& opt,
+                         const std::vector<Request>& candidates) {
+  constexpr uint32_t kStarvedTenant = 9;
+
+  // The same generated data BuildStore gave the single-engine rows.
+  PointGenOptions po;
+  po.n = opt.points;
+  po.seed = 42;
+  const std::vector<Point> pts = GenPointsUniform(po);
+  IntervalGenOptions io;
+  io.n = opt.intervals;
+  io.seed = 43;
+  std::vector<Interval> ivs = GenIntervalsUniform(io);
+  MakeEndpointsDistinct(&ivs);
+
+  ShardedStoreOptions sopts;
+  sopts.shards = opt.shards;
+  sopts.pool_pages_total = 1 << 18;
+  sopts.engine_workers = 2;
+  sopts.queue_capacity = 4096;
+  ShardedStore store(sopts);
+  BenchCheck(store.AddTwoSided(pts).ToStatus(), "shard register 2-sided");
+  BenchCheck(store.AddStabbing(ivs).ToStatus(), "shard register stab");
+  BenchCheck(store.SetTenantQuota(kStarvedTenant, 0), "shard quota");
+  BenchCheck(store.Start(), "start sharded store");
+  ShardRouter router(&store);
+  NetServerOptions nopts;
+  nopts.retry_after_micros = 200;
+  NetServer server(&router, nopts);
+  BenchCheck(server.Start(), "start sharded server");
+
+  std::vector<std::vector<size_t>> streams;
+  for (uint32_t c = 0; c < opt.connections; ++c) {
+    streams.push_back(ZipfIndexStream(kCandidatePool, opt.requests,
+                                      opt.zipf_theta, 100 + c));
+  }
+  auto run_pass = [&](uint64_t requests_per_conn,
+                      LatencyHistogram* hist) -> double {
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    const uint64_t t0 = NowUs();
+    for (uint32_t c = 0; c < opt.connections; ++c) {
+      const std::vector<size_t>& full = streams[c];
+      threads.emplace_back([&, requests_per_conn] {
+        std::vector<size_t> cut(full.begin(),
+                                full.begin() +
+                                    std::min<size_t>(requests_per_conn,
+                                                     full.size()));
+        RunConnection(server.port(), candidates, cut, opt.pipeline, opt.rate,
+                      hist, &failed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = double(NowUs() - t0) / 1e6;
+    if (failed.load()) {
+      std::fprintf(stderr, "FATAL sharded warm pass failed\n");
+      std::abort();
+    }
+    return secs;
+  };
+
+  LatencyHistogram warm_hist;
+  run_pass(std::max<uint64_t>(opt.requests / 8, 256), &warm_hist);
+
+  LatencyHistogram hist;
+  const double secs = run_pass(opt.requests, &hist);
+
+  ShardedNetRow row;
+  row.shards = opt.shards;
+  row.completed = uint64_t(opt.connections) * opt.requests;
+  row.qps = double(row.completed) / secs;
+  row.latency = hist.TakeSnapshot();
+
+  // Per-tenant mix on the wire: the starved tenant binds its quota-0
+  // identity with SET_TENANT, so every request on that connection must be
+  // answered RETRY_AFTER while the quiet connection completes the same
+  // stream.
+  NetClient starved;
+  BenchCheck(starved.Connect("127.0.0.1", server.port()), "starved connect");
+  BenchCheck(starved.SetTenant(kStarvedTenant), "starved set tenant");
+  NetClient quiet;
+  BenchCheck(quiet.Connect("127.0.0.1", server.port()), "quiet connect");
+  constexpr uint64_t kMix = 64;
+  for (uint64_t i = 0; i < kMix; ++i) {
+    // Even candidate slots are 2-sided queries; their x-range always
+    // intersects a point-bearing shard, so admission (and thus the quota
+    // bounce) is guaranteed to be exercised.  A stab key can land in a
+    // shard holding none of the stabbing structure's intervals, where the
+    // router answers empty inline without entering any engine queue.
+    const Request& req = candidates[(2 * i) % candidates.size()];
+    Response resp;
+    BenchCheck(starved.Call(req, &resp), "starved call");
+    if (resp.type == MsgType::kRetryAfter) {
+      ++row.starved_bounced;
+    } else {
+      std::fprintf(stderr,
+                   "FATAL quota-0 tenant got response 0x%02x, expected "
+                   "RETRY_AFTER\n",
+                   unsigned(resp.type));
+      std::abort();
+    }
+    Response qresp;
+    BenchCheck(quiet.Call(req, &qresp), "quiet call");
+    if (qresp.type != MsgType::kPoints && qresp.type != MsgType::kIntervals) {
+      std::fprintf(stderr, "FATAL quiet tenant got response 0x%02x\n",
+                   unsigned(qresp.type));
+      std::abort();
+    }
+    ++row.quiet_completed;
+  }
+  starved.Close();
+  quiet.Close();
+  server.Stop();
+  store.Stop();
+  return row;
+}
+
 void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
-               const OverloadRow& overload) {
+               const OverloadRow& overload, const ShardedNetRow* shard) {
   std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL cannot open %s for writing\n",
@@ -461,6 +606,19 @@ void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
   w.Key("retries").Uint(overload.retries);
   w.Key("connections_closed").Uint(overload.connections_closed);
   w.EndObject();
+  if (shard != nullptr) {
+    w.Key("sharded").BeginObject();
+    w.Key("shards").Uint(shard->shards);
+    w.Key("qps").Double(shard->qps);
+    w.Key("completed").Uint(shard->completed);
+    w.Key("latency_p50_us").Uint(shard->latency.p50);
+    w.Key("latency_p95_us").Uint(shard->latency.p95);
+    w.Key("latency_p99_us").Uint(shard->latency.p99);
+    w.Key("latency_max_us").Uint(shard->latency.max);
+    w.Key("tenant_quiet_completed").Uint(shard->quiet_completed);
+    w.Key("tenant_starved_bounced").Uint(shard->starved_bounced);
+    w.EndObject();
+  }
   w.EndObject();
   std::fputc('\n', f);
   std::fclose(f);
@@ -510,7 +668,28 @@ int Main(int argc, char** argv) {
                  warm.back().workers, warm.back().qps, opt.check_qps);
     std::abort();
   }
-  if (!opt.json_path.empty()) WriteJson(opt, warm, overload);
+
+  ShardedNetRow shard;
+  if (opt.shards > 0) {
+    shard = RunSharded(opt, candidates);
+    std::printf(
+        "sharded shards=%u  qps=%9.0f  p50=%lluus  p95=%lluus  p99=%lluus  "
+        "max=%lluus\n",
+        shard.shards, shard.qps,
+        static_cast<unsigned long long>(shard.latency.p50),
+        static_cast<unsigned long long>(shard.latency.p95),
+        static_cast<unsigned long long>(shard.latency.p99),
+        static_cast<unsigned long long>(shard.latency.max));
+    std::printf(
+        "sharded tenants: quiet %llu completed  starved %llu bounced "
+        "RETRY_AFTER (contract asserted)\n",
+        static_cast<unsigned long long>(shard.quiet_completed),
+        static_cast<unsigned long long>(shard.starved_bounced));
+  }
+
+  if (!opt.json_path.empty()) {
+    WriteJson(opt, warm, overload, opt.shards > 0 ? &shard : nullptr);
+  }
   return 0;
 }
 

@@ -25,6 +25,16 @@
 // throughput under a mixed stream where a fraction of requests are durable
 // update groups (WAL append + group-commit fsync each).
 //
+// E23 — Sharded serving (--shards N): the same 2-sided + stabbing data
+// partitioned across N independent shard stacks (device + pool slice +
+// engine each) behind a ShardRouter, replayed against an unsharded twin
+// engine over identical data.  Three assertions ride along with the QPS
+// comparison: the canonicalized result fingerprints must be IDENTICAL
+// sharded vs unsharded, a saturating tenant with a small admission quota
+// must see kOverloaded while the quiet tenant completes every request, and
+// a persistent read fault injected under exactly one shard must surface as
+// a typed per-shard error while the healthy shard still answers.
+//
 // `--json out.json` dumps everything machine-readably.  Speedup beyond 1
 // worker requires as many hardware threads; single-core machines will show
 // flat QPS (the CI smoke run only checks the harness executes).
@@ -35,16 +45,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/ext_segment_tree.h"
 #include "core/pst_external.h"
 #include "dynamic/dynamic_store.h"
+#include "io/fault_page_device.h"
 #include "io/file_page_device.h"
+#include "io/mem_page_device.h"
 #include "io/shared_buffer_pool.h"
 #include "kernels/dispatch.h"
 #include "obs/metrics.h"
@@ -52,6 +67,8 @@
 #include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "serve/serve_metrics.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_store.h"
 #include "workload/generators.h"
 
 namespace pathcache {
@@ -87,6 +104,10 @@ struct Options {
   // static engine on an identical read-only stream (0 = measure when E21
   // runs, never gate).
   double check_dynamic_overhead_pct = 0.0;
+  // --shards N: run E23's sharded segment — sharded-vs-unsharded
+  // fingerprint equality, per-tenant quota mix, and the single-shard
+  // fault-injection partial-failure assertion (0 skips it).
+  uint32_t shards = 0;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -127,6 +148,8 @@ Options ParseArgs(int argc, char** argv) {
       o.update_mix = std::strtod(uv, nullptr);
     } else if (const char* dv = value_of(&i, "--check-dynamic-overhead")) {
       o.check_dynamic_overhead_pct = std::strtod(dv, nullptr);
+    } else if (const char* sv = value_of(&i, "--shards")) {
+      o.shards = static_cast<uint32_t>(std::strtoul(sv, nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--points N] [--intervals N] [--queries N] "
@@ -134,7 +157,7 @@ Options ParseArgs(int argc, char** argv) {
                    "[--json out.json] [--obs] [--check-overhead PCT] "
                    "[--metrics-out m.prom] [--metrics-json m.json] "
                    "[--trace-out t.json] [--update-mix PCT] "
-                   "[--check-dynamic-overhead PCT]\n",
+                   "[--check-dynamic-overhead PCT] [--shards N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -678,10 +701,241 @@ UpdateMixRow RunUpdateMix(Store& s, DynamicStore* store,
   return row;
 }
 
+// --- E23: sharded serving ---------------------------------------------------
+
+// Order-insensitive per-request fingerprint over canonically sorted
+// results, so the sharded router's merge order and the unsharded engine's
+// traversal order cannot make identical answers look different.
+uint64_t CanonicalFingerprint(size_t ordinal, const QueryResult& r) {
+  QueryResult c;
+  c.points = r.points;
+  c.intervals = r.intervals;
+  std::sort(c.points.begin(), c.points.end(),
+            [](const Point& a, const Point& b) {
+              return std::tie(a.x, a.y, a.id) < std::tie(b.x, b.y, b.id);
+            });
+  std::sort(c.intervals.begin(), c.intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return std::tie(a.lo, a.hi, a.id) < std::tie(b.lo, b.hi, b.id);
+            });
+  return Fingerprint(ordinal, c);
+}
+
+struct ShardRow {
+  uint32_t shards = 0;
+  double qps_sharded = 0.0;
+  double qps_unsharded = 0.0;
+  uint64_t fingerprint = 0;  // identical sharded vs unsharded (asserted)
+  uint64_t quiet_submitted = 0;
+  uint64_t quiet_completed = 0;
+  uint64_t starved_submitted = 0;
+  uint64_t starved_rejected = 0;
+  bool partial_failure_typed = false;
+};
+
+// Replays `plan` through `svc`, XOR-folding canonical fingerprints, and
+// returns QPS.  Every request must succeed.
+double ReplayPlan(QueryService* svc, const std::vector<PlannedQuery>& plan,
+                  std::atomic<uint64_t>* fp) {
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<size_t> outstanding{plan.size()};
+  std::promise<void> all_done;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    Status st = svc->Submit(plan[i].structure, plan[i].query,
+                            [i, fp, &outstanding, &all_done](QueryResult r) {
+                              BenchCheck(r.status, "sharded replay");
+                              fp->fetch_xor(CanonicalFingerprint(i, r),
+                                            std::memory_order_relaxed);
+                              if (outstanding.fetch_sub(1) == 1) {
+                                all_done.set_value();
+                              }
+                            });
+    BenchCheck(st, "sharded submit");
+  }
+  all_done.get_future().wait();
+  return static_cast<double>(plan.size()) /
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count();
+}
+
+// A persistent read fault under exactly one shard must come back as a
+// typed per-shard IoError while the healthy shard's slice still answers.
+bool RunPartialFailure(const std::vector<Point>& pts) {
+  MemPageDevice healthy_dev{4096};
+  MemPageDevice faulty_inner{4096};
+  FaultPageDevice fault(&faulty_inner);
+  ShardedStoreOptions sopts;
+  sopts.shards = 2;
+  sopts.devices = {&healthy_dev, &fault};
+  sopts.pool_pages_total = 2048;
+  ShardedStore store(sopts);
+  const uint32_t id = BenchValue(store.AddTwoSided(pts), "pf register");
+  BenchCheck(store.Start(), "pf start");
+  ShardRouter router(&store);
+
+  fault.FailReadAt(fault.reads_seen(), /*persistent=*/true);
+  store.pool(1)->Clear();
+
+  std::promise<QueryResult> done;
+  auto fut = done.get_future();
+  BenchCheck(router.Submit(id,
+                           ServeQuery::TwoSided(TwoSidedQuery{
+                               std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::min()}),
+                           [&done](QueryResult r) {
+                             done.set_value(std::move(r));
+                           }),
+             "pf submit");
+  QueryResult r = fut.get();
+  store.Stop();
+
+  bool typed = r.status.IsIoError() &&
+               r.status.message().find("shard 1") != std::string::npos &&
+               r.shards.size() == 2;
+  if (typed) {
+    typed = r.shards[0].status.ok() && !r.points.empty() &&
+            r.shards[1].status.IsIoError();
+  }
+  return typed;
+}
+
+ShardRow RunSharded(const Options& opt) {
+  constexpr uint32_t kStarvedTenant = 7;
+  constexpr uint64_t kStarvedQuota = 4;
+
+  // The same generated data BuildStore feeds the unsharded segments.
+  PointGenOptions po;
+  po.n = opt.points;
+  po.seed = 42;
+  const std::vector<Point> pts = GenPointsUniform(po);
+  IntervalGenOptions io;
+  io.n = opt.intervals;
+  io.seed = 43;
+  std::vector<Interval> ivs = GenIntervalsUniform(io);
+  MakeEndpointsDistinct(&ivs);
+
+  ShardedStoreOptions sopts;
+  sopts.shards = opt.shards;
+  sopts.pool_pages_total = 1 << 18;
+  sopts.engine_workers = 2;
+  sopts.queue_capacity = 4096;
+  ShardedStore store(sopts);
+  const uint32_t pst_id = BenchValue(store.AddTwoSided(pts), "shard 2-sided");
+  const uint32_t seg_id = BenchValue(store.AddStabbing(ivs), "shard stab");
+  BenchCheck(store.SetTenantQuota(kStarvedTenant, kStarvedQuota),
+             "shard quota");
+  BenchCheck(store.Start(), "start sharded store");
+  ShardRouter router(&store);
+
+  MemPageDevice twin_dev{4096};
+  SharedBufferPool twin_pool(&twin_dev, 1 << 18);
+  PageId twin_pst = kInvalidPageId;
+  PageId twin_seg = kInvalidPageId;
+  {
+    ExternalPst pst(&twin_pool);
+    BenchCheck(pst.Build(pts), "twin build 2-sided");
+    twin_pst = BenchValue(pst.Save(), "twin save 2-sided");
+  }
+  {
+    ExtSegmentTree st(&twin_pool);
+    BenchCheck(st.Build(ivs), "twin build stab");
+    twin_seg = BenchValue(st.Save(), "twin save stab");
+  }
+  QueryEngineOptions eopts;
+  eopts.num_workers = 2 * opt.shards;  // same total worker budget
+  eopts.queue_capacity = 4096;
+  eopts.batch_size = 8;
+  QueryEngine twin(&twin_pool, eopts);
+  BenchCheck(twin.AddStructure(twin_pst).ToStatus(), "twin register 2-sided");
+  BenchCheck(twin.AddStructure(twin_seg).ToStatus(), "twin register stab");
+  BenchCheck(twin.Start(), "start twin engine");
+
+  const std::vector<PlannedQuery> plan =
+      MakePlan(opt.queries, pst_id, seg_id, opt.zipf_theta);
+
+  ShardRow row;
+  row.shards = opt.shards;
+  std::atomic<uint64_t> fp_warm{0};
+  ReplayPlan(&router, plan, &fp_warm);  // warm both pools
+  ReplayPlan(&twin, plan, &fp_warm);
+  std::atomic<uint64_t> fp_sharded{0};
+  std::atomic<uint64_t> fp_unsharded{0};
+  row.qps_sharded = ReplayPlan(&router, plan, &fp_sharded);
+  row.qps_unsharded = ReplayPlan(&twin, plan, &fp_unsharded);
+  if (fp_sharded.load() != fp_unsharded.load()) {
+    std::fprintf(stderr,
+                 "FATAL sharded result fingerprint diverged from unsharded "
+                 "twin: %016llx vs %016llx\n",
+                 static_cast<unsigned long long>(fp_sharded.load()),
+                 static_cast<unsigned long long>(fp_unsharded.load()));
+    std::abort();
+  }
+  row.fingerprint = fp_sharded.load();
+
+  // Per-tenant mix: full-domain scans from a quiet unlimited tenant and a
+  // saturating tenant holding kStarvedQuota queue tokens.  The burst
+  // outruns the workers, so the starved tenant must see kOverloaded
+  // bounces while every quiet-tenant request completes.
+  const ServeQuery heavy = ServeQuery::TwoSided(
+      TwoSidedQuery{std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::min()});
+  std::atomic<uint64_t> quiet_done{0};
+  std::atomic<uint64_t> starved_rejected{0};
+  constexpr uint64_t kBurst = 64;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    BenchCheck(router.Submit(pst_id, heavy,
+                             [&quiet_done](QueryResult r) {
+                               BenchCheck(r.status, "quiet tenant");
+                               quiet_done.fetch_add(1);
+                             },
+                             /*deadline_micros=*/0, /*tenant=*/0),
+               "quiet submit");
+    BenchCheck(router.Submit(pst_id, heavy,
+                             [&starved_rejected](QueryResult r) {
+                               if (r.status.IsOverloaded()) {
+                                 starved_rejected.fetch_add(1);
+                               } else {
+                                 BenchCheck(r.status, "starved tenant");
+                               }
+                             },
+                             /*deadline_micros=*/0, kStarvedTenant),
+               "starved submit");
+  }
+  for (uint32_t k = 0; k < store.shards(); ++k) store.engine(k)->Drain();
+  row.quiet_submitted = kBurst;
+  row.quiet_completed = quiet_done.load();
+  row.starved_submitted = kBurst;
+  row.starved_rejected = starved_rejected.load();
+  if (row.quiet_completed != row.quiet_submitted) {
+    std::fprintf(stderr,
+                 "FATAL quiet tenant lost requests: %llu of %llu\n",
+                 static_cast<unsigned long long>(row.quiet_completed),
+                 static_cast<unsigned long long>(row.quiet_submitted));
+    std::abort();
+  }
+  if (row.starved_rejected == 0) {
+    std::fprintf(stderr,
+                 "FATAL saturating tenant saw no quota rejections\n");
+    std::abort();
+  }
+  twin.Stop();
+  store.Stop();
+
+  row.partial_failure_typed = RunPartialFailure(pts);
+  if (!row.partial_failure_typed) {
+    std::fprintf(stderr,
+                 "FATAL single-shard fault did not surface as a typed "
+                 "per-shard error\n");
+    std::abort();
+  }
+  return row;
+}
+
 void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
                const std::vector<LoadRow>& load, const ObsRow* obs,
                const DynOverheadRow* dyn,
-               const std::vector<UpdateMixRow>& mix) {
+               const std::vector<UpdateMixRow>& mix, const ShardRow* shard) {
   std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL cannot open %s for writing\n",
@@ -751,6 +1005,19 @@ void WriteJson(const Options& opt, const std::vector<WarmRow>& warm,
       w.EndObject();
     }
     w.EndArray();
+  }
+  if (shard != nullptr) {
+    w.Key("sharded").BeginObject();
+    w.Key("shards").Uint(shard->shards);
+    w.Key("qps_sharded").Double(shard->qps_sharded);
+    w.Key("qps_unsharded").Double(shard->qps_unsharded);
+    w.Key("fingerprint_match").Uint(1);
+    w.Key("quiet_submitted").Uint(shard->quiet_submitted);
+    w.Key("quiet_completed").Uint(shard->quiet_completed);
+    w.Key("starved_submitted").Uint(shard->starved_submitted);
+    w.Key("starved_rejected").Uint(shard->starved_rejected);
+    w.Key("partial_failure_typed").Uint(shard->partial_failure_typed ? 1 : 0);
+    w.EndObject();
   }
   w.EndObject();
   std::fputc('\n', f);
@@ -894,9 +1161,30 @@ int Main(int argc, char** argv) {
     BenchCheck(store->Destroy(), "destroy dynamic twin");
   }
 
+  ShardRow shard;
+  if (opt.shards > 0) {
+    std::printf("\n");
+    shard = RunSharded(opt);
+    std::printf(
+        "sharded shards=%u  qps=%9.0f  unsharded qps=%9.0f  "
+        "fingerprints identical (asserted)\n",
+        shard.shards, shard.qps_sharded, shard.qps_unsharded);
+    std::printf(
+        "sharded tenants: quiet %llu/%llu completed  starved %llu/%llu "
+        "rejected kOverloaded (asserted >=1)\n",
+        static_cast<unsigned long long>(shard.quiet_completed),
+        static_cast<unsigned long long>(shard.quiet_submitted),
+        static_cast<unsigned long long>(shard.starved_rejected),
+        static_cast<unsigned long long>(shard.starved_submitted));
+    std::printf(
+        "sharded partial failure: single-shard fault surfaced as typed "
+        "per-shard IoError, healthy shard answered (asserted)\n");
+  }
+
   if (!opt.json_path.empty()) {
     WriteJson(opt, warm, load, opt.obs ? &obs : nullptr,
-              dynamic_bench ? &dyn : nullptr, mix);
+              dynamic_bench ? &dyn : nullptr, mix,
+              opt.shards > 0 ? &shard : nullptr);
   }
   return 0;
 }

@@ -8,13 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/safe_strerror.h"
+
 namespace pathcache {
 namespace net {
 
 Status NetClient::Connect(const std::string& host, uint16_t port) {
   if (fd_ >= 0) return Status::FailedPrecondition("already connected");
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  if (fd < 0) return Status::IoError("socket: " + SafeStrError(errno));
   sockaddr_in addr;
   memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -24,7 +26,7 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("bad host address: " + host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::IoError("connect: " + std::string(strerror(errno)));
+    Status st = Status::IoError("connect: " + SafeStrError(errno));
     ::close(fd);
     return st;
   }
@@ -51,7 +53,7 @@ Status NetClient::WriteAll(const uint8_t* data, size_t size) {
     }
     if (n < 0 && errno == EINTR) continue;
     Close();
-    return Status::IoError("write: " + std::string(strerror(errno)));
+    return Status::IoError("write: " + SafeStrError(errno));
   }
   return Status::OK();
 }
@@ -101,7 +103,7 @@ Status NetClient::Receive(Response* out) {
     }
     if (n < 0 && errno == EINTR) continue;
     Status st = n == 0 ? Status::IoError("connection closed by server")
-                       : Status::IoError("read: " + std::string(strerror(errno)));
+                       : Status::IoError("read: " + SafeStrError(errno));
     Close();
     return st;
   }
@@ -129,7 +131,7 @@ Status NetClient::ReceiveRawFrame(std::vector<uint8_t>* out) {
     }
     if (n < 0 && errno == EINTR) continue;
     Status st = n == 0 ? Status::IoError("connection closed by server")
-                       : Status::IoError("read: " + std::string(strerror(errno)));
+                       : Status::IoError("read: " + SafeStrError(errno));
     Close();
     return st;
   }
@@ -189,6 +191,19 @@ Status NetClient::Ping() {
   Response resp;
   PC_RETURN_IF_ERROR(Call(req, &resp));
   if (resp.type != MsgType::kPong) return ResponseToStatus(resp);
+  return Status::OK();
+}
+
+Status NetClient::SetTenant(uint32_t tenant) {
+  Request req;
+  req.type = MsgType::kSetTenant;
+  req.tenant = tenant;
+  Response resp;
+  PC_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.type != MsgType::kTenantAck) return ResponseToStatus(resp);
+  if (resp.tenant != tenant) {
+    return Status::Corruption("tenant ack does not echo the bound tenant");
+  }
   return Status::OK();
 }
 

@@ -70,6 +70,9 @@ class NetClient {
   // callers can stay on the Status rail.  kRetryAfter surfaces as
   // kOverloaded with the hint in the message.
   Status Ping();
+  /// Binds this connection to admission tenant `tenant`; later queries and
+  /// updates are admitted against that tenant's quota on the server.
+  Status SetTenant(uint32_t tenant);
   Status QueryTwoSided(uint32_t structure_id, const TwoSidedQuery& q,
                        std::vector<Point>* out, uint32_t budget_micros = 0);
   Status QueryThreeSided(uint32_t structure_id, const ThreeSidedQuery& q,

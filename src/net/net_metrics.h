@@ -57,6 +57,9 @@ inline Status RegisterNetMetrics(MetricsRegistry* reg,
       {"pathcache_net_read_pauses_total",
        "Per-connection backpressure engagements",
        &NetServerStats::read_pauses},
+      {"pathcache_net_accept_errors_total",
+       "accept() failures (transient skips and EMFILE/ENFILE backoffs)",
+       &NetServerStats::accept_errors},
   };
   for (const Row& row : kCounters) {
     PC_RETURN_IF_ERROR(reg->AddCounterFn(

@@ -11,11 +11,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/safe_strerror.h"
 
 namespace pathcache {
 namespace net {
@@ -24,6 +27,17 @@ namespace {
 
 constexpr size_t kReadChunk = 64 * 1024;
 constexpr int kEpollTimeoutMs = 100;
+/// How long the listener stays out of the epoll set after an EMFILE/ENFILE
+/// accept failure.  Matches the epoll timeout so the loop re-arms promptly
+/// even with no other traffic.
+constexpr uint64_t kAcceptBackoffMicros = 100 * 1000;
+
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void SetNonBlocking(int fd) {
   // Sockets are created with SOCK_NONBLOCK; accepted fds use accept4.  This
@@ -78,12 +92,37 @@ struct NetServer::Conn {
   bool saw_eof = false;          // peer half-closed; answer then close
   bool close_after_flush = false;
 
+  // Loop-thread-only: the admission tenant bound by kSetTenant; every later
+  // query/update on this connection submits under it.
+  uint32_t tenant = 0;
+
   // Shared with engine workers, guarded by mu.
   std::mutex mu;
   std::deque<std::shared_ptr<Slot>> pipeline;
 };
 
-NetServer::NetServer(QueryEngine* engine, NetServerOptions opts)
+AcceptErrorAction ClassifyAcceptError(int err) {
+  switch (err) {
+    // The connection died between the kernel's SYN handling and our
+    // accept — a per-connection mishap, not a listener problem.  Keep
+    // draining the backlog.
+    case ECONNABORTED:
+    case EPROTO:
+      return AcceptErrorAction::kRetry;
+    // Fd/buffer exhaustion: every immediate retry fails the same way, so a
+    // hot accept loop would spin at 100% CPU.  Disarm the listener briefly;
+    // pending connections wait in the backlog meanwhile.
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptErrorAction::kBackoff;
+    default:
+      return AcceptErrorAction::kFail;
+  }
+}
+
+NetServer::NetServer(QueryService* engine, NetServerOptions opts)
     : engine_(engine), opts_(std::move(opts)), tracer_(opts_.tracer) {}
 
 NetServer::~NetServer() { Stop(); }
@@ -92,7 +131,7 @@ Status NetServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("server already started");
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  if (listen_fd_ < 0) return Status::IoError("socket: " + SafeStrError(errno));
 
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -107,20 +146,20 @@ Status NetServer::Start() {
     return Status::InvalidArgument("bad host address: " + opts_.host);
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::IoError("bind: " + std::string(strerror(errno)));
+    Status st = Status::IoError("bind: " + SafeStrError(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
   }
   if (::listen(listen_fd_, opts_.backlog) != 0) {
-    Status st = Status::IoError("listen: " + std::string(strerror(errno)));
+    Status st = Status::IoError("listen: " + SafeStrError(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
   }
   socklen_t len = sizeof(addr);
   if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    Status st = Status::IoError("getsockname: " + std::string(strerror(errno)));
+    Status st = Status::IoError("getsockname: " + SafeStrError(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
@@ -129,7 +168,7 @@ Status NetServer::Start() {
 
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
-    Status st = Status::IoError("epoll_create1: " + std::string(strerror(errno)));
+    Status st = Status::IoError("epoll_create1: " + SafeStrError(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
@@ -191,6 +230,7 @@ NetServerStats NetServer::stats() const {
   s.request_errors = stats_.request_errors.load(std::memory_order_relaxed);
   s.retry_after = stats_.retry_after.load(std::memory_order_relaxed);
   s.read_pauses = stats_.read_pauses.load(std::memory_order_relaxed);
+  s.accept_errors = stats_.accept_errors.load(std::memory_order_relaxed);
   s.open_connections = stats_.open_connections.load(std::memory_order_relaxed);
   return s;
 }
@@ -203,6 +243,17 @@ void NetServer::Loop() {
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll itself failed; nothing sensible left to do
+    }
+    // Re-arm a listener parked by EMFILE/ENFILE backoff once the deadline
+    // passes; the epoll timeout guarantees we get here even when idle.
+    if (accept_rearm_micros_ != 0 &&
+        SteadyNowMicros() >= accept_rearm_micros_) {
+      accept_rearm_micros_ = 0;
+      epoll_event ev;
+      memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
@@ -244,7 +295,24 @@ void NetServer::AcceptReady() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      return;  // transient accept failure; the listener stays armed
+      stats_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+      switch (ClassifyAcceptError(errno)) {
+        case AcceptErrorAction::kRetry:
+          // ECONNABORTED/EPROTO: that one connection is gone; the rest of
+          // the backlog is fine.
+          continue;
+        case AcceptErrorAction::kBackoff:
+          // Out of fds/buffers: a level-triggered listener would wake us
+          // right back into the same failure.  Park it and let Loop()
+          // re-arm after the backoff window.
+          epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          accept_rearm_micros_ = SteadyNowMicros() + kAcceptBackoffMicros;
+          if (tracer_) tracer_->Instant("serve.net.accept_backoff");
+          return;
+        case AcceptErrorAction::kFail:
+          return;  // counted; the listener stays armed for the next event
+      }
+      return;
     }
     if (conns_.size() >= opts_.max_connections) {
       stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -377,6 +445,17 @@ void NetServer::HandleFrame(const std::shared_ptr<Conn>& c, const FrameInfo& fra
       CompleteInline(c, resp);
       break;
     }
+    case MsgType::kSetTenant: {
+      // Binds the connection's admission tenant; later requests submit
+      // under its quota.  Answered inline in pipeline order like ping.
+      c->tenant = req.tenant;
+      Response resp;
+      resp.type = MsgType::kTenantAck;
+      resp.request_id = req.request_id;
+      resp.tenant = req.tenant;
+      CompleteInline(c, resp);
+      break;
+    }
     case MsgType::kUpdateGroup:
       HandleUpdate(c, req);
       break;
@@ -460,21 +539,32 @@ void NetServer::HandleQuery(const std::shared_ptr<Conn>& c, const Request& req) 
   const bool is_range = req.type == MsgType::kQueryRange;
   const int64_t y_max = req.range.y_max;
   const bool intervals = need == QueryKind::kStabbing;
+  const uint64_t retry_hint = opts_.retry_after_micros;
   std::shared_ptr<Conn> conn = c;
   std::shared_ptr<Waker> waker = waker_;
   AtomicStats* stats = &stats_;
 
   Status submitted = engine_->Submit(
       req.structure_id, query,
-      [conn, slot, waker, stats, request_id, is_range, y_max,
-       intervals](QueryResult res) {
+      [conn, slot, waker, stats, request_id, is_range, y_max, intervals,
+       retry_hint](QueryResult res) {
         Response resp;
         resp.request_id = request_id;
         if (!res.status.ok()) {
-          resp.type = MsgType::kError;
-          resp.code = res.status.code();
-          resp.message = std::string(res.status.message());
-          stats->request_errors.fetch_add(1, std::memory_order_relaxed);
+          if (res.status.IsOverloaded()) {
+            // A routed query can surface admission control asynchronously
+            // (a shard's engine bounced a sub-submit); keep the wire
+            // contract identical to the synchronous bounce: RETRY_AFTER,
+            // connection stays open.
+            resp.type = MsgType::kRetryAfter;
+            resp.retry_after_micros = retry_hint;
+            stats->retry_after.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            resp.type = MsgType::kError;
+            resp.code = res.status.code();
+            resp.message = std::string(res.status.message());
+            stats->request_errors.fetch_add(1, std::memory_order_relaxed);
+          }
         } else if (intervals) {
           resp.type = MsgType::kIntervals;
           resp.intervals = std::move(res.intervals);
@@ -506,7 +596,7 @@ void NetServer::HandleQuery(const std::shared_ptr<Conn>& c, const Request& req) 
         }
         waker->Notify();
       },
-      deadline);
+      deadline, c->tenant);
 
   if (!submitted.ok()) FillRejectedSlot(c, slot, request_id, submitted);
 }
@@ -563,7 +653,7 @@ void NetServer::HandleUpdate(const std::shared_ptr<Conn>& c, const Request& req)
         }
         waker->Notify();
       },
-      deadline);
+      deadline, c->tenant);
 
   if (!submitted.ok()) FillRejectedSlot(c, slot, request_id, submitted);
 }

@@ -1,4 +1,6 @@
-// NetServer: the TCP serving front-end over a QueryEngine.
+// NetServer: the TCP serving front-end over a QueryService — a single
+// QueryEngine or a ShardRouter scatter-gathering over many; the server
+// cannot tell the difference and does not need to.
 //
 // One event-loop thread owns an epoll set with the listener, a wakeup
 // eventfd, and every accepted connection (all non-blocking) — the classic
@@ -56,7 +58,7 @@
 
 #include "net/wire.h"
 #include "obs/trace.h"
-#include "serve/query_engine.h"
+#include "serve/query_service.h"
 #include "util/status.h"
 
 namespace pathcache {
@@ -91,12 +93,23 @@ struct NetServerStats {
   uint64_t request_errors = 0;   // well-framed requests answered with kError
   uint64_t retry_after = 0;      // RETRY_AFTER responses sent
   uint64_t read_pauses = 0;      // backpressure engagements
+  uint64_t accept_errors = 0;    // accept() failures (transient or backoff)
   uint64_t open_connections = 0;  // gauge
 };
 
+/// What AcceptReady should do with a failed accept(2), by errno.  Split out
+/// as a pure function so the policy is unit-testable without a socket.
+enum class AcceptErrorAction : uint8_t {
+  kRetry,    // per-connection mishap (ECONNABORTED/EPROTO/EINTR): try again
+  kBackoff,  // resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM): disarm
+             // the listener briefly instead of spinning on a hot error
+  kFail,     // anything else: count it and wait for the next epoll event
+};
+AcceptErrorAction ClassifyAcceptError(int err);
+
 class NetServer {
  public:
-  explicit NetServer(QueryEngine* engine, NetServerOptions opts = {});
+  explicit NetServer(QueryService* engine, NetServerOptions opts = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -145,12 +158,15 @@ class NetServer {
   void CloseConn(const std::shared_ptr<Conn>& c);
   void EpollMod(const std::shared_ptr<Conn>& c);
 
-  QueryEngine* engine_;
+  QueryService* engine_;
   NetServerOptions opts_;
   Tracer* tracer_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
+  /// Loop-thread-only: when nonzero, the listener is out of the epoll set
+  /// (EMFILE/ENFILE backoff) until the loop's clock passes this deadline.
+  uint64_t accept_rearm_micros_ = 0;
   std::shared_ptr<Waker> waker_;
   uint16_t port_ = 0;
   std::thread loop_thread_;
@@ -175,6 +191,7 @@ class NetServer {
     std::atomic<uint64_t> request_errors{0};
     std::atomic<uint64_t> retry_after{0};
     std::atomic<uint64_t> read_pauses{0};
+    std::atomic<uint64_t> accept_errors{0};
     std::atomic<uint64_t> open_connections{0};
   };
   AtomicStats stats_;

@@ -84,6 +84,7 @@ bool IsRequestType(MsgType t) {
     case MsgType::kQueryDiagonal:
     case MsgType::kQueryRange:
     case MsgType::kUpdateGroup:
+    case MsgType::kSetTenant:
       return true;
     default:
       return false;
@@ -99,6 +100,7 @@ bool IsResponseType(MsgType t) {
     case MsgType::kError:
     case MsgType::kRetryAfter:
     case MsgType::kProtocolError:
+    case MsgType::kTenantAck:
       return true;
     default:
       return false;
@@ -114,6 +116,7 @@ std::string_view MsgTypeName(MsgType t) {
     case MsgType::kQueryDiagonal: return "QUERY_DIAGONAL";
     case MsgType::kQueryRange: return "QUERY_RANGE";
     case MsgType::kUpdateGroup: return "UPDATE_GROUP";
+    case MsgType::kSetTenant: return "SET_TENANT";
     case MsgType::kPong: return "PONG";
     case MsgType::kPoints: return "POINTS";
     case MsgType::kIntervals: return "INTERVALS";
@@ -121,6 +124,7 @@ std::string_view MsgTypeName(MsgType t) {
     case MsgType::kError: return "ERROR";
     case MsgType::kRetryAfter: return "RETRY_AFTER";
     case MsgType::kProtocolError: return "PROTOCOL_ERROR";
+    case MsgType::kTenantAck: return "TENANT_ACK";
   }
   return "UNKNOWN";
 }
@@ -256,6 +260,10 @@ Status EncodeRequest(const Request& req, std::vector<uint8_t>* out) {
       }
       break;
     }
+    case MsgType::kSetTenant:
+      PutU32(req.tenant, &payload);
+      PutU32(0, &payload);
+      break;
     default:
       return Status::InvalidArgument("EncodeRequest on non-request type");
   }
@@ -309,6 +317,10 @@ Status EncodeResponse(const Response& resp, std::vector<uint8_t>* out) {
     }
     case MsgType::kRetryAfter:
       PutU64(resp.retry_after_micros, &payload);
+      break;
+    case MsgType::kTenantAck:
+      PutU32(resp.tenant, &payload);
+      PutU32(0, &payload);
       break;
     default:
       return Status::InvalidArgument("EncodeResponse on non-response type");
@@ -399,6 +411,12 @@ Status ParseRequest(const FrameInfo& frame, std::span<const uint8_t> payload,
       }
       break;
     }
+    case MsgType::kSetTenant: {
+      if (payload.size() != 8) return Malformed(t, "expected 8 bytes");
+      req.tenant = GetU32(p);
+      if (GetU32(p + 4) != 0) return Malformed(t, "reserved word set");
+      break;
+    }
     default:
       return Malformed(t, "unreachable");
   }
@@ -470,6 +488,11 @@ Status ParseResponse(const FrameInfo& frame, std::span<const uint8_t> payload,
     case MsgType::kRetryAfter:
       if (payload.size() != 8) return Malformed(t, "expected 8 bytes");
       resp.retry_after_micros = GetU64(p);
+      break;
+    case MsgType::kTenantAck:
+      if (payload.size() != 8) return Malformed(t, "expected 8 bytes");
+      resp.tenant = GetU32(p);
+      if (GetU32(p + 4) != 0) return Malformed(t, "reserved word set");
       break;
     default:
       return Malformed(t, "unreachable");

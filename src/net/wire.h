@@ -44,6 +44,10 @@
 //   kUpdateGroup     structure_id u32, budget_micros u32, count u32,
 //                    reserved u32 (zero), then count records of 32 B each:
 //                    op u64 (1 = insert, 2 = delete), a i64, b i64, id u64
+//   kSetTenant       tenant u32, reserved u32 (zero)                (8 B)
+//                    binds the connection to an admission-quota tenant;
+//                    every later query/update on this connection is
+//                    admitted against that tenant's tokens
 //
 // The five query kinds are exactly the paper's Figure-1 query menu: the
 // server maps kQueryDiagonal onto a two-sided engine query with the corner
@@ -58,8 +62,10 @@
 //   kUpdateAck       applied u32, reserved u32
 //   kError           code u32 (StatusCode, nonzero), msg_len u32, msg bytes
 //   kRetryAfter      retry_after_micros u64  (admission-control backpressure:
-//                    the engine queue was full; retry after the hint)
+//                    the engine queue or the tenant's quota was full; retry
+//                    after the hint)
 //   kProtocolError   same layout as kError; the stream is dead after it
+//   kTenantAck       tenant u32, reserved u32 (echoes the bound tenant)
 
 #ifndef PATHCACHE_NET_WIRE_H_
 #define PATHCACHE_NET_WIRE_H_
@@ -96,6 +102,7 @@ enum class MsgType : uint8_t {
   kQueryDiagonal = 0x05,
   kQueryRange = 0x06,
   kUpdateGroup = 0x07,
+  kSetTenant = 0x08,
   // Responses.
   kPong = 0x41,
   kPoints = 0x42,
@@ -104,6 +111,7 @@ enum class MsgType : uint8_t {
   kError = 0x45,
   kRetryAfter = 0x46,
   kProtocolError = 0x47,
+  kTenantAck = 0x48,
 };
 
 bool IsRequestType(MsgType t);
@@ -122,6 +130,7 @@ struct Request {
   RangeQuery range;
   int64_t stab = 0;
   int64_t corner = 0;
+  uint32_t tenant = 0;  // kSetTenant
   std::vector<DynamicUpdate> updates;
 
   friend bool operator==(const Request&, const Request&) = default;
@@ -134,6 +143,7 @@ struct Response {
   StatusCode code = StatusCode::kOk;    // kError / kProtocolError
   std::string message;                  // kError / kProtocolError
   uint32_t applied = 0;                 // kUpdateAck
+  uint32_t tenant = 0;                  // kTenantAck
   uint64_t retry_after_micros = 0;      // kRetryAfter
   std::vector<Point> points;            // kPoints
   std::vector<Interval> intervals;      // kIntervals

@@ -14,6 +14,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace pathcache {
@@ -69,15 +70,18 @@ class LatencyHistogram {
   }
 
  private:
-  /// Value below which at least ceil(q * total) recorded samples fall:
-  /// the upper bound of the bucket containing the q-quantile sample.
+  /// Value at or below which at least ceil(q * total) recorded samples
+  /// fall (nearest-rank): the upper bound of the bucket holding the
+  /// ceil(q * total)-th smallest sample.  Requires total >= 1.
   static uint64_t Quantile(const std::array<uint64_t, kBuckets>& counts,
                            uint64_t total, double q) {
-    const uint64_t rank = static_cast<uint64_t>(q * double(total - 1));
+    uint64_t target = static_cast<uint64_t>(std::ceil(q * double(total)));
+    if (target < 1) target = 1;
+    if (target > total) target = total;
     uint64_t seen = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
       seen += counts[i];
-      if (seen > rank) {
+      if (seen >= target) {
         // Bucket i holds values of bit width i: upper bound 2^i - 1.
         return i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
       }

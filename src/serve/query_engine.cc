@@ -150,6 +150,21 @@ Result<uint32_t> QueryEngine::AddDynamicStore(DynamicStore* store) {
   return static_cast<uint32_t>(manifests_.size() - 1);
 }
 
+Status QueryEngine::SetTenantQuota(uint32_t tenant, uint64_t tokens) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_ || stopping_) {
+    return Status::FailedPrecondition(
+        "SetTenantQuota is a setup-phase call; the engine is already running");
+  }
+  if (tokens > opts_.queue_capacity) {
+    return Status::InvalidArgument(
+        "tenant quota " + std::to_string(tokens) +
+        " exceeds queue_capacity " + std::to_string(opts_.queue_capacity));
+  }
+  tenants_[tenant].quota = tokens;
+  return Status::OK();
+}
+
 Status QueryEngine::Start() {
   std::lock_guard<std::mutex> lk(mu_);
   if (running_ || stopping_) {
@@ -180,7 +195,8 @@ void QueryEngine::Stop() {
 }
 
 Status QueryEngine::Submit(uint32_t structure_id, const ServeQuery& query,
-                           QueryDoneCallback done, uint64_t deadline_micros) {
+                           QueryDoneCallback done, uint64_t deadline_micros,
+                           uint32_t tenant) {
   if (structure_id >= manifests_.size()) {
     return Status::InvalidArgument("unknown structure id " +
                                    std::to_string(structure_id));
@@ -191,13 +207,14 @@ Status QueryEngine::Submit(uint32_t structure_id, const ServeQuery& query,
   req.done = std::move(done);
   req.deadline_micros = deadline_micros;
   req.submit_micros = clock_->NowMicros();
+  req.tenant = tenant;
   return EnqueueRequest(std::move(req));
 }
 
 Status QueryEngine::SubmitUpdate(uint32_t structure_id,
                                  std::span<const DynamicUpdate> updates,
                                  QueryDoneCallback done,
-                                 uint64_t deadline_micros) {
+                                 uint64_t deadline_micros, uint32_t tenant) {
   if (structure_id >= manifests_.size()) {
     return Status::InvalidArgument("unknown structure id " +
                                    std::to_string(structure_id));
@@ -216,6 +233,7 @@ Status QueryEngine::SubmitUpdate(uint32_t structure_id,
   req.done = std::move(done);
   req.deadline_micros = deadline_micros;
   req.submit_micros = clock_->NowMicros();
+  req.tenant = tenant;
   return EnqueueRequest(std::move(req));
 }
 
@@ -230,6 +248,25 @@ Status QueryEngine::EnqueueRequest(Request req) {
       return Status::Overloaded("queue full (" +
                                 std::to_string(opts_.queue_capacity) +
                                 " requests waiting)");
+    }
+    // Tenant admission: a tenant with a configured quota holds one token
+    // per queued request and gets bounced once they are all in use — the
+    // global queue may still have room, which is the point: the remaining
+    // capacity stays available to everyone else.  Tokens release at batch
+    // dequeue (see WorkerLoop), i.e. quota bounds queue residency, not
+    // in-flight execution.
+    auto it = tenants_.find(req.tenant);
+    if (it != tenants_.end()) {
+      TenantState& t = it->second;
+      if (t.queued >= t.quota) {
+        ++t.rejected;
+        ++rejected_quota_;
+        return Status::Overloaded(
+            "tenant " + std::to_string(req.tenant) + " quota exhausted (" +
+            std::to_string(t.quota) + " tokens)");
+      }
+      ++t.queued;
+      ++t.admitted;
     }
     queue_.push_back(std::move(req));
     ++submitted_;
@@ -410,6 +447,13 @@ void QueryEngine::WorkerLoop(Worker* w) {
       const size_t take =
           std::min<size_t>(opts_.batch_size, queue_.size());
       for (size_t i = 0; i < take; ++i) {
+        // Release the tenant's admission token as the request leaves the
+        // queue: quota caps queued requests, and a dequeued one no longer
+        // occupies the capacity the quota protects.
+        auto it = tenants_.find(queue_.front().tenant);
+        if (it != tenants_.end() && it->second.queued > 0) {
+          --it->second.queued;
+        }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -476,8 +520,14 @@ ServeStats QueryEngine::stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     s.submitted = submitted_;
     s.rejected_overload = rejected_overload_;
+    s.rejected_quota = rejected_quota_;
     s.queue_depth = queue_.size();
     s.max_queue_depth = max_queue_depth_;
+    s.tenants.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) {
+      s.tenants.push_back(ServeStats::TenantStats{
+          id, t.quota, t.queued, t.admitted, t.rejected});
+    }
   }
   s.completed = completed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -66,61 +67,11 @@
 #include "obs/tracing_page_device.h"
 #include "serve/clock.h"
 #include "serve/latency_histogram.h"
+#include "serve/query_service.h"
 #include "util/geometry.h"
 #include "util/status.h"
 
 namespace pathcache {
-
-/// Which query family a registered structure answers.
-enum class QueryKind : uint8_t {
-  kTwoSided,    // ExternalPst / TwoLevelPst: x >= x_min && y >= y_min
-  kThreeSided,  // ThreeSidedPst: x in [x_min, x_max] && y >= y_min
-  kStabbing,    // ExtSegmentTree / ExtIntervalTree: intervals containing q
-};
-
-/// A query addressed to one registered structure.  Only the member matching
-/// the structure's kind is read.
-struct ServeQuery {
-  TwoSidedQuery two_sided;
-  ThreeSidedQuery three_sided;
-  int64_t stab = 0;
-
-  static ServeQuery TwoSided(TwoSidedQuery q) {
-    ServeQuery s;
-    s.two_sided = q;
-    return s;
-  }
-  static ServeQuery ThreeSided(ThreeSidedQuery q) {
-    ServeQuery s;
-    s.three_sided = q;
-    return s;
-  }
-  static ServeQuery Stab(int64_t q) {
-    ServeQuery s;
-    s.stab = q;
-    return s;
-  }
-};
-
-/// Outcome of one request, delivered to its completion callback on a worker
-/// thread.  Exactly one of `points` / `intervals` is populated on success,
-/// by the structure's kind.
-struct QueryResult {
-  Status status = Status::OK();
-  std::vector<Point> points;
-  std::vector<Interval> intervals;
-  /// Pages this request read, isolated per-request via the worker's private
-  /// counting device.  Zero for rejected/expired requests (no I/O issued).
-  IoStats io;
-  /// The structure's own per-query accounting (role + useful/wasteful
-  /// breakdown); `stats.total_reads()` matches `io` block reads by
-  /// construction, and serve_test asserts it byte-for-byte.
-  QueryStats stats;
-  /// Submit-to-completion time on the engine's clock.
-  uint64_t latency_micros = 0;
-};
-
-using QueryDoneCallback = std::function<void(QueryResult)>;
 
 /// One slow-query log record: everything needed to explain where a request's
 /// time and I/O went, captured at completion on the worker thread.
@@ -168,9 +119,20 @@ struct QueryEngineOptions {
 
 /// Mid-flight counters, snapshotted by QueryEngine::stats().
 struct ServeStats {
+  /// Per-tenant admission accounting, present for every tenant with a
+  /// configured quota.  Ordered by tenant id.
+  struct TenantStats {
+    uint32_t tenant = 0;
+    uint64_t quota = 0;     // tokens carved out of queue_capacity
+    uint64_t queued = 0;    // tokens held right now
+    uint64_t admitted = 0;  // requests accepted under this quota
+    uint64_t rejected = 0;  // requests bounced by this quota
+  };
+
   uint64_t submitted = 0;           // accepted into the queue
   uint64_t completed = 0;           // executed (status delivered, any code)
   uint64_t rejected_overload = 0;   // bounced at Submit() with kOverloaded
+  uint64_t rejected_quota = 0;      // bounced by a tenant quota (kOverloaded)
   uint64_t expired = 0;             // dropped at dispatch, kDeadlineExceeded
   uint64_t queue_depth = 0;         // requests waiting right now
   uint64_t max_queue_depth = 0;     // high-water mark since Start()
@@ -187,15 +149,17 @@ struct ServeStats {
   LatencyHistogram::Snapshot latency;
   /// Page I/O across all workers (sum of the per-request deltas).
   IoStats io;
+  /// One entry per tenant with a configured quota, ordered by tenant id.
+  std::vector<TenantStats> tenants;
 };
 
-class QueryEngine {
+class QueryEngine : public QueryService {
  public:
   /// `shared` is the device every worker reads through; it must be
   /// thread-safe if `num_workers > 1` (SharedBufferPool is the intended
   /// stack).  The engine does not own it.
   explicit QueryEngine(PageDevice* shared, QueryEngineOptions opts = {});
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -214,6 +178,15 @@ class QueryEngine {
   /// The engine does not own the store; it must outlive the engine.
   Result<uint32_t> AddDynamicStore(DynamicStore* store);
 
+  /// Carves a per-tenant admission quota out of `queue_capacity`: tenant
+  /// `tenant` may hold at most `tokens` queued requests at once; a Submit
+  /// beyond that bounces with kOverloaded even while the global queue has
+  /// room, so one hot tenant cannot starve the rest.  Tenants without a
+  /// quota share the global bound untracked.  Setup-phase only (returns
+  /// FailedPrecondition once Start() has run); `tokens` may be 0 to shut a
+  /// tenant out entirely, and must not exceed queue_capacity.
+  Status SetTenantQuota(uint32_t tenant, uint64_t tokens);
+
   /// Spawns the workers.  No-op error (FailedPrecondition) if already
   /// started.
   Status Start();
@@ -229,7 +202,8 @@ class QueryEngine {
   /// no deadline.  Returns kOverloaded when the queue is full and
   /// FailedPrecondition when the engine is not running.
   Status Submit(uint32_t structure_id, const ServeQuery& query,
-                QueryDoneCallback done, uint64_t deadline_micros = 0);
+                QueryDoneCallback done, uint64_t deadline_micros = 0,
+                uint32_t tenant = 0) override;
 
   /// Enqueues one durable update group against a structure registered with
   /// AddDynamicStore (InvalidArgument otherwise).  The group is applied
@@ -241,7 +215,8 @@ class QueryEngine {
   /// preserved within a worker batch.
   Status SubmitUpdate(uint32_t structure_id,
                       std::span<const DynamicUpdate> updates,
-                      QueryDoneCallback done, uint64_t deadline_micros = 0);
+                      QueryDoneCallback done, uint64_t deadline_micros = 0,
+                      uint32_t tenant = 0) override;
 
   /// Blocks until every accepted request has completed (queue empty and no
   /// request in flight).
@@ -253,10 +228,12 @@ class QueryEngine {
   size_t queue_capacity() const { return opts_.queue_capacity; }
   /// The deadline clock (SystemClock unless options injected one).  The net
   /// front-end uses it to turn relative wire budgets into absolute deadlines.
-  Clock* clock() const { return clock_; }
-  size_t num_structures() const { return manifests_.size(); }
-  QueryKind structure_kind(uint32_t id) const { return kinds_[id]; }
-  bool structure_dynamic(uint32_t id) const { return stores_[id] != nullptr; }
+  Clock* clock() const override { return clock_; }
+  size_t num_structures() const override { return manifests_.size(); }
+  QueryKind structure_kind(uint32_t id) const override { return kinds_[id]; }
+  bool structure_dynamic(uint32_t id) const override {
+    return stores_[id] != nullptr;
+  }
 
  private:
   struct StructureHandle {
@@ -295,6 +272,15 @@ class QueryEngine {
     QueryDoneCallback done;
     uint64_t deadline_micros = 0;  // 0 = none
     uint64_t submit_micros = 0;
+    uint32_t tenant = 0;
+  };
+
+  /// Per-tenant admission state, keyed by tenant id; guarded by mu_.
+  struct TenantState {
+    uint64_t quota = 0;
+    uint64_t queued = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
   };
 
   Status EnqueueRequest(Request req);
@@ -333,7 +319,9 @@ class QueryEngine {
   // atomics so workers never retake the queue lock to account a result.
   uint64_t submitted_ = 0;
   uint64_t rejected_overload_ = 0;
+  uint64_t rejected_quota_ = 0;
   uint64_t max_queue_depth_ = 0;
+  std::map<uint32_t, TenantState> tenants_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> slow_queries_{0};

@@ -37,6 +37,9 @@ inline Status RegisterServeMetrics(MetricsRegistry* reg,
        "Requests executed (any status code)", &ServeStats::completed},
       {"pathcache_serve_rejected_overload_total",
        "Submissions bounced with kOverloaded", &ServeStats::rejected_overload},
+      {"pathcache_serve_rejected_quota_total",
+       "Submissions bounced by a tenant admission quota",
+       &ServeStats::rejected_quota},
       {"pathcache_serve_expired_total",
        "Requests dropped at dispatch past their deadline",
        &ServeStats::expired},
@@ -76,6 +79,36 @@ inline Status RegisterServeMetrics(MetricsRegistry* reg,
         m.p99 = s.p99;
         return m;
       }));
+  // Per-tenant admission rows, labeled {engine, tenant}.  Quotas are
+  // setup-phase-fixed, so the tenant set snapshotted here is complete for
+  // the engine's lifetime.
+  for (const ServeStats::TenantStats& t : engine->stats().tenants) {
+    MetricLabels tlabels = labels;
+    tlabels.push_back({"tenant", std::to_string(t.tenant)});
+    auto tenant_field = [engine, id = t.tenant](
+                            uint64_t ServeStats::TenantStats::* field) {
+      for (const ServeStats::TenantStats& ts : engine->stats().tenants) {
+        if (ts.tenant == id) return ts.*field;
+      }
+      return uint64_t{0};
+    };
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        "pathcache_serve_tenant_admitted_total",
+        "Requests admitted under this tenant's quota", tlabels,
+        [tenant_field] {
+          return tenant_field(&ServeStats::TenantStats::admitted);
+        }));
+    PC_RETURN_IF_ERROR(reg->AddCounterFn(
+        "pathcache_serve_tenant_rejected_total",
+        "Requests bounced by this tenant's quota", tlabels, [tenant_field] {
+          return tenant_field(&ServeStats::TenantStats::rejected);
+        }));
+    PC_RETURN_IF_ERROR(reg->AddGaugeFn(
+        "pathcache_serve_tenant_queued", "Quota tokens held right now",
+        tlabels, [tenant_field] {
+          return double(tenant_field(&ServeStats::TenantStats::queued));
+        }));
+  }
   return RegisterIoStatsMetrics(reg, engine_label,
                                 [engine] { return engine->stats().io; });
 }

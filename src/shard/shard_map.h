@@ -1,0 +1,70 @@
+// ShardMap: the key-range partition behind ShardedStore and ShardRouter.
+//
+// The key space splits into N contiguous ranges by N-1 ascending cut keys;
+// shard i serves keys k with cuts[i-1] <= k < cuts[i] (first and last ranges
+// unbounded below/above).  Contiguity is what makes routing cheap AND
+// partial: a stab lands in exactly one shard, and a [lo, hi] range
+// intersects exactly the consecutive run Overlapping() returns — never a
+// scatter to all N.
+//
+// Header-only and immutable after construction, so every router thread can
+// read it without synchronization.
+
+#ifndef PATHCACHE_SHARD_SHARD_MAP_H_
+#define PATHCACHE_SHARD_SHARD_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pathcache {
+
+class ShardMap {
+ public:
+  /// A single-shard map: everything routes to shard 0.
+  ShardMap() = default;
+
+  /// Explicit cuts (must be strictly ascending); shards() == cuts.size()+1.
+  explicit ShardMap(std::vector<int64_t> cuts) : cuts_(std::move(cuts)) {}
+
+  /// Equal-count cuts from a key sample: sorts a copy and picks the keys at
+  /// the s/N record boundaries, so each shard holds roughly keys.size()/N
+  /// of the sample.  Duplicate boundary keys collapse (a key lives in
+  /// exactly one shard), which can leave trailing shards empty — the store
+  /// marks those and the router skips them.
+  static ShardMap FromKeys(std::vector<int64_t> keys, uint32_t shards) {
+    if (shards <= 1 || keys.empty()) return ShardMap();
+    std::sort(keys.begin(), keys.end());
+    std::vector<int64_t> cuts;
+    cuts.reserve(shards - 1);
+    for (uint32_t s = 1; s < shards; ++s) {
+      const int64_t cut = keys[keys.size() * s / shards];
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+    return ShardMap(std::move(cuts));
+  }
+
+  uint32_t shards() const { return static_cast<uint32_t>(cuts_.size()) + 1; }
+
+  /// The unique shard owning `key`: the number of cuts <= key.
+  uint32_t ShardOf(int64_t key) const {
+    return static_cast<uint32_t>(
+        std::upper_bound(cuts_.begin(), cuts_.end(), key) - cuts_.begin());
+  }
+
+  /// The inclusive shard range [first, last] intersecting [lo, hi].
+  /// Requires lo <= hi.
+  std::pair<uint32_t, uint32_t> Overlapping(int64_t lo, int64_t hi) const {
+    return {ShardOf(lo), ShardOf(hi)};
+  }
+
+  const std::vector<int64_t>& cuts() const { return cuts_; }
+
+ private:
+  std::vector<int64_t> cuts_;
+};
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_SHARD_SHARD_MAP_H_

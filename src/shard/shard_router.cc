@@ -1,0 +1,202 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathcache {
+namespace {
+
+/// Rebuilds `st` with a "shard K: " message prefix, preserving its code so
+/// callers (and the wire layer) still see kOverloaded / kDeadlineExceeded /
+/// kIoError through the router.
+Status PrefixShard(uint32_t shard, const Status& st) {
+  std::string msg =
+      "shard " + std::to_string(shard) + ": " + std::string(st.message());
+  switch (st.code()) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kOverloaded:
+      return Status::Overloaded(std::move(msg));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    default:
+      return Status::Corruption(std::move(msg));
+  }
+}
+
+void Accumulate(IoStats* a, const IoStats& b) {
+  a->reads += b.reads;
+  a->writes += b.writes;
+  a->allocs += b.allocs;
+  a->frees += b.frees;
+  a->batch_reads += b.batch_reads;
+  a->syncs += b.syncs;
+}
+
+/// Gather state shared by every in-flight sub-query of one routed request.
+/// The last slice to land (under mu) finalizes and fires `done` outside the
+/// lock, so a completion callback can re-submit without deadlocking.
+struct Gather {
+  std::mutex mu;
+  QueryResult merged;
+  size_t pending = 0;
+  QueryDoneCallback done;
+  Clock* clock = nullptr;
+  uint64_t start_micros = 0;
+};
+
+void CompleteSlice(const std::shared_ptr<Gather>& g, uint32_t shard,
+                   QueryResult sub) {
+  QueryDoneCallback fire;
+  QueryResult out;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    ShardSlice slice;
+    slice.shard = shard;
+    slice.status = sub.status;
+    slice.io = sub.io;
+    slice.latency_micros = sub.latency_micros;
+    g->merged.shards.push_back(std::move(slice));
+    if (sub.status.ok()) {
+      g->merged.points.insert(g->merged.points.end(), sub.points.begin(),
+                              sub.points.end());
+      g->merged.intervals.insert(g->merged.intervals.end(),
+                                 sub.intervals.begin(), sub.intervals.end());
+      Accumulate(&g->merged.io, sub.io);
+      g->merged.stats += sub.stats;
+    }
+    if (--g->pending != 0) return;
+    // Canonical, shard-count-independent order: the differential oracle
+    // compares this byte-for-byte against an unsharded twin.
+    std::sort(g->merged.shards.begin(), g->merged.shards.end(),
+              [](const ShardSlice& a, const ShardSlice& b) {
+                return a.shard < b.shard;
+              });
+    std::sort(g->merged.points.begin(), g->merged.points.end(),
+              [](const Point& a, const Point& b) {
+                return std::tie(a.x, a.y, a.id) < std::tie(b.x, b.y, b.id);
+              });
+    std::sort(g->merged.intervals.begin(), g->merged.intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return std::tie(a.lo, a.hi, a.id) <
+                       std::tie(b.lo, b.hi, b.id);
+              });
+    for (const ShardSlice& s : g->merged.shards) {
+      if (!s.status.ok()) {
+        g->merged.status = PrefixShard(s.shard, s.status);
+        break;
+      }
+    }
+    g->merged.latency_micros = g->clock->NowMicros() - g->start_micros;
+    fire = std::move(g->done);
+    out = std::move(g->merged);
+  }
+  fire(std::move(out));
+}
+
+}  // namespace
+
+Status ShardRouter::Submit(uint32_t structure_id, const ServeQuery& query,
+                           QueryDoneCallback done, uint64_t deadline_micros,
+                           uint32_t tenant) {
+  if (structure_id >= store_->num_structures()) {
+    return Status::InvalidArgument("unknown structure id " +
+                                   std::to_string(structure_id));
+  }
+  const ShardedStore::StructureInfo& info = store_->info(structure_id);
+  const ShardMap& map = store_->map();
+
+  uint32_t first = 0;
+  uint32_t last = 0;
+  switch (info.kind) {
+    case QueryKind::kStabbing:
+      first = last = map.ShardOf(query.stab);
+      break;
+    case QueryKind::kTwoSided: {
+      auto [f, l] = map.Overlapping(query.two_sided.x_min,
+                                    std::numeric_limits<int64_t>::max());
+      first = f;
+      last = l;
+      break;
+    }
+    case QueryKind::kThreeSided: {
+      if (query.three_sided.x_min > query.three_sided.x_max) {
+        first = 1;
+        last = 0;  // empty range
+        break;
+      }
+      auto [f, l] =
+          map.Overlapping(query.three_sided.x_min, query.three_sided.x_max);
+      first = f;
+      last = l;
+      break;
+    }
+  }
+
+  std::vector<uint32_t> targets;
+  for (uint32_t k = first; k <= last && k < store_->shards(); ++k) {
+    if (info.engine_id[k] >= 0) targets.push_back(k);
+  }
+
+  const uint64_t start = clock()->NowMicros();
+  if (targets.empty()) {
+    QueryResult empty;
+    done(std::move(empty));
+    return Status::OK();
+  }
+
+  uint64_t sub_deadline = deadline_micros;
+  if (opts_.per_shard_budget_micros != 0) {
+    const uint64_t budget_deadline = start + opts_.per_shard_budget_micros;
+    if (sub_deadline == 0 || budget_deadline < sub_deadline) {
+      sub_deadline = budget_deadline;
+    }
+  }
+
+  auto g = std::make_shared<Gather>();
+  g->pending = targets.size();
+  g->done = std::move(done);
+  g->clock = clock();
+  g->start_micros = start;
+
+  for (uint32_t k : targets) {
+    const uint32_t engine_id = static_cast<uint32_t>(info.engine_id[k]);
+    Status st = store_->engine(k)->Submit(
+        engine_id, query,
+        [g, k](QueryResult sub) { CompleteSlice(g, k, std::move(sub)); },
+        sub_deadline, tenant);
+    if (!st.ok()) {
+      // A synchronous bounce (full queue, tenant quota) becomes a failed
+      // slice so the gather always completes and the caller still gets the
+      // healthy shards' answer.
+      QueryResult bounced;
+      bounced.status = std::move(st);
+      CompleteSlice(g, k, std::move(bounced));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::SubmitUpdate(uint32_t, std::span<const DynamicUpdate>,
+                                 QueryDoneCallback, uint64_t, uint32_t) {
+  return Status::NotSupported("routed updates are not supported");
+}
+
+}  // namespace pathcache

@@ -1,0 +1,32 @@
+#include "util/safe_strerror.h"
+
+#include <string.h>
+
+namespace pathcache {
+namespace {
+
+// strerror_r has two incompatible signatures: the XSI flavor returns int
+// (0 on success) and fills the caller's buffer, the GNU flavor returns a
+// char* that may or may not be the caller's buffer.  Which one we get
+// depends on feature-test macros, so resolve the difference by overload
+// instead of by #ifdef.
+inline const char* StrErrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : nullptr;  // XSI
+}
+inline const char* StrErrorResult(const char* msg, const char* /*buf*/) {
+  return msg;  // GNU
+}
+
+}  // namespace
+
+std::string SafeStrError(int errnum) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = StrErrorResult(strerror_r(errnum, buf, sizeof(buf)), buf);
+  if (msg == nullptr || msg[0] == '\0') {
+    return "errno " + std::to_string(errnum);
+  }
+  return std::string(msg);
+}
+
+}  // namespace pathcache

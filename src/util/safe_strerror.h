@@ -1,0 +1,17 @@
+#ifndef PATHCACHE_UTIL_SAFE_STRERROR_H_
+#define PATHCACHE_UTIL_SAFE_STRERROR_H_
+
+#include <string>
+
+namespace pathcache {
+
+/// Thread-safe replacement for strerror(3).  strerror may return a pointer
+/// into a shared static buffer, so concurrent callers (the epoll loop and
+/// client threads format errno strings at the same time) can observe a torn
+/// message.  This wraps strerror_r and always returns an owned string; an
+/// unknown errno yields "errno N" rather than an empty message.
+std::string SafeStrError(int errnum);
+
+}  // namespace pathcache
+
+#endif  // PATHCACHE_UTIL_SAFE_STRERROR_H_

@@ -25,6 +25,7 @@
 #include "io/mem_page_device.h"
 #include "io/shared_buffer_pool.h"
 #include "net/client.h"
+#include "serve/query_engine.h"
 #include "net/server.h"
 #include "net/wire.h"
 #include "util/random.h"

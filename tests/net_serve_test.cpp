@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <future>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "net/wire.h"
 #include "obs/promlint.h"
 #include "serve/clock.h"
+#include "serve/query_engine.h"
 #include "workload/generators.h"
 #include "workload/oracle.h"
 
@@ -451,6 +453,135 @@ TEST_F(NetServeTest, HalfCloseStillDeliversPipelinedResponses) {
   }
   Response eof;
   EXPECT_FALSE(client.Receive(&eof).ok());
+}
+
+TEST(AcceptErrorClassificationTest, TransientBackoffAndFatalErrnosSplit) {
+  // Aborted-in-backlog handshakes are non-events: keep accepting.
+  EXPECT_EQ(ClassifyAcceptError(ECONNABORTED), AcceptErrorAction::kRetry);
+  EXPECT_EQ(ClassifyAcceptError(EPROTO), AcceptErrorAction::kRetry);
+  // Resource exhaustion would spin at 100% CPU if retried immediately (the
+  // ready listener keeps waking epoll): park the listener instead.
+  EXPECT_EQ(ClassifyAcceptError(EMFILE), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENFILE), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENOBUFS), AcceptErrorAction::kBackoff);
+  EXPECT_EQ(ClassifyAcceptError(ENOMEM), AcceptErrorAction::kBackoff);
+  // Anything else (EBADF, EINVAL, ...) is a bug or teardown: bail out of
+  // this accept pass without spinning.
+  EXPECT_EQ(ClassifyAcceptError(EBADF), AcceptErrorAction::kFail);
+  EXPECT_EQ(ClassifyAcceptError(EINVAL), AcceptErrorAction::kFail);
+}
+
+TEST_F(NetServeTest, AcceptErrorCounterIsExportedAndStartsAtZero) {
+  StartServing();
+  EXPECT_EQ(server_->stats().accept_errors, 0u);
+  MetricsRegistry reg;
+  ASSERT_TRUE(RegisterNetMetrics(&reg, "front", server_.get()).ok());
+  std::string text;
+  reg.WritePrometheus(&text);
+  ASSERT_TRUE(PrometheusLint(text).ok()) << text;
+  EXPECT_NE(
+      text.find("pathcache_net_accept_errors_total{server=\"front\"} 0"),
+      std::string::npos)
+      << text;
+}
+
+TEST_F(NetServeTest, TenantQuotaBindsPerConnectionAndBouncesSaturator) {
+  BuildStore(&store_);
+  pool_ = std::make_unique<SharedBufferPool>(&store_.dev, 4096);
+  QueryEngineOptions opts;
+  opts.num_workers = 1;
+  opts.batch_size = 1;
+  opts.queue_capacity = 8;
+  engine_ = std::make_unique<QueryEngine>(pool_.get(), opts);
+  ASSERT_TRUE(engine_->AddStructure(store_.pst_manifest).ok());
+  ASSERT_TRUE(engine_->SetTenantQuota(7, 2).ok());
+  ASSERT_TRUE(engine_->Start().ok());
+  NetServerOptions sopts;
+  sopts.retry_after_micros = 321;
+  server_ = std::make_unique<NetServer>(engine_.get(), sopts);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // Park the only worker so admitted requests provably stay queued.
+  std::promise<void> parked, release;
+  std::shared_future<void> release_f = release.get_future().share();
+  ASSERT_TRUE(engine_
+                  ->Submit(0, ServeQuery::TwoSided(TwoSidedQuery{INT64_MAX,
+                                                                 INT64_MAX}),
+                           [&](QueryResult) {
+                             parked.set_value();
+                             release_f.wait();
+                           })
+                  .ok());
+  parked.get_future().wait();
+
+  // The saturating tenant binds its connection, then pipelines exactly its
+  // two quota tokens' worth of queries.
+  NetClient saturator;
+  ASSERT_TRUE(Connect(&saturator).ok());
+  ASSERT_TRUE(saturator.SetTenant(7).ok());
+  Request q;
+  q.type = MsgType::kQueryTwoSided;
+  q.structure_id = 0;
+  ASSERT_TRUE(saturator.Send(q).ok());
+  ASSERT_TRUE(saturator.Send(q).ok());
+  auto tenant_queued = [&] {
+    for (const auto& t : engine_->stats().tenants) {
+      if (t.tenant == 7) return t.queued;
+    }
+    return uint64_t{0};
+  };
+  while (tenant_queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A third request from the same tenant (fresh connection, same binding)
+  // bounces with RETRY_AFTER even though the global queue has room.
+  NetClient sat2;
+  ASSERT_TRUE(Connect(&sat2).ok());
+  ASSERT_TRUE(sat2.SetTenant(7).ok());
+  Response resp;
+  ASSERT_TRUE(sat2.Call(q, &resp).ok());
+  EXPECT_EQ(resp.type, MsgType::kRetryAfter);
+  EXPECT_EQ(resp.retry_after_micros, 321u);
+
+  // A quiet tenant (no binding = unlimited default) is still admitted.
+  NetClient quiet;
+  ASSERT_TRUE(Connect(&quiet).ok());
+  ASSERT_TRUE(quiet.Send(q).ok());
+  while (engine_->stats().queue_depth < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  release.set_value();
+  engine_->Drain();
+  for (int i = 0; i < 2; ++i) {
+    Response r;
+    ASSERT_TRUE(saturator.Receive(&r).ok()) << i;
+    EXPECT_EQ(r.type, MsgType::kPoints) << i;
+  }
+  Response qr;
+  ASSERT_TRUE(quiet.Receive(&qr).ok());
+  EXPECT_EQ(qr.type, MsgType::kPoints);
+
+  // The quota accounting is visible in ServeStats and the metrics export.
+  ServeStats stats = engine_->stats();
+  EXPECT_GE(stats.rejected_quota, 1u);
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant, 7u);
+  EXPECT_EQ(stats.tenants[0].quota, 2u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
+  EXPECT_EQ(stats.tenants[0].admitted, 2u);
+  EXPECT_GE(stats.tenants[0].rejected, 1u);
+}
+
+TEST_F(NetServeTest, SetTenantAcksAndSurvivesRebinding) {
+  StartServing();
+  NetClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.SetTenant(42).ok());
+  ASSERT_TRUE(client.SetTenant(0).ok());  // rebinding back to default works
+  std::vector<Point> got;
+  EXPECT_TRUE(client.QueryTwoSided(0, TwoSidedQuery{0, 0}, &got).ok());
 }
 
 }  // namespace

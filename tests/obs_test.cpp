@@ -694,17 +694,50 @@ TEST(LatencyHistogramEdgeTest, QuantilesResolveToExactBucketUpperBounds) {
   EXPECT_EQ(s.count, 4u);
   EXPECT_EQ(s.sum, 10u);
   EXPECT_EQ(s.max, 4u);
-  // p50 rank = floor(0.5 * 3) = 1: the second sample (value 2) sits in the
-  // width-2 bucket, whose exact upper bound is 3.
+  // Nearest-rank p50: the ceil(0.5 * 4) = 2nd smallest sample (value 2)
+  // sits in the width-2 bucket, whose exact upper bound is 3.
   EXPECT_EQ(s.p50, 3u);
-  // p99 rank = floor(0.99 * 3) = 2: still the width-2 bucket (value 3).
-  EXPECT_EQ(s.p99, 3u);
-  // A lone extra sample in the next bucket moves p99 to that bucket's exact
-  // upper bound (width 3 -> 7).
+  // Nearest-rank p99: the ceil(0.99 * 4) = 4th smallest sample (value 4)
+  // sits in the width-3 bucket, bound 2^3 - 1 = 7.
+  EXPECT_EQ(s.p99, 7u);
   h.Record(5);
   h.Record(6);
   LatencyHistogram::Snapshot s2 = h.TakeSnapshot();
-  EXPECT_EQ(s2.p99, 7u);  // rank 5 of 6 -> width-3 bucket, bound 2^3 - 1
+  EXPECT_EQ(s2.p99, 7u);  // ceil(0.99 * 6) = 6th sample -> still bound 7
+}
+
+TEST(LatencyHistogramEdgeTest, NearestRankBoundaries) {
+  // count == 1: every quantile is the lone sample's bucket bound (the old
+  // floor-rank formula agreed here, but only by accident of rank 0).
+  {
+    LatencyHistogram h;
+    h.Record(5);  // width 3 -> bucket bound 7
+    LatencyHistogram::Snapshot s = h.TakeSnapshot();
+    EXPECT_EQ(s.p50, 7u);
+    EXPECT_EQ(s.p95, 7u);
+    EXPECT_EQ(s.p99, 7u);
+  }
+  // Exact bucket edges: 2^k - 1 and 2^k land in adjacent buckets, and a
+  // 50/50 split resolves p50 to the LOWER bucket (the 1st of 2 samples is
+  // the nearest rank) while p99 takes the upper one.
+  {
+    LatencyHistogram h;
+    h.Record(7);  // bucket bound 7
+    h.Record(8);  // bucket bound 15
+    LatencyHistogram::Snapshot s = h.TakeSnapshot();
+    EXPECT_EQ(s.p50, 7u);
+    EXPECT_EQ(s.p99, 15u);
+  }
+  // The top bucket holds values with all 64 bits in play; its "upper bound"
+  // must saturate to UINT64_MAX instead of overflowing 1 << 64.
+  {
+    LatencyHistogram h;
+    h.Record(1);
+    h.Record(UINT64_MAX - 1);
+    h.Record(UINT64_MAX);
+    LatencyHistogram::Snapshot s = h.TakeSnapshot();
+    EXPECT_EQ(s.p99, UINT64_MAX);
+  }
 }
 
 TEST(LatencyHistogramEdgeTest, ConcurrentRecordSnapshotReset) {

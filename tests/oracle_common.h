@@ -47,11 +47,16 @@
 
 #include <future>
 
+#include "core/ext_segment_tree.h"
+#include "core/pst_external.h"
+#include "core/three_sided.h"
 #include "dynamic/dynamic_store.h"
 #include "dynamic/update.h"
 #include "io/mem_page_device.h"
+#include "io/shared_buffer_pool.h"
 #include "net/wire.h"
 #include "serve/query_engine.h"
+#include "shard/shard_router.h"
 #include "util/geometry.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -622,6 +627,167 @@ inline net::Response EngineOracleResponse(QueryEngine* engine,
 }
 
 }  // namespace nettest
+
+// ---------------------------------------------------------------------------
+// Sharded differential harness (PR 10).  A ShardedStore + ShardRouter and an
+// unsharded twin QueryEngine are built over the SAME records; every query
+// must come back byte-identical from both (after putting the twin's answer
+// into the router's canonical order), and the router's merged I/O must equal
+// the sum of its per-shard slices.  Only shard_test instantiates these
+// helpers; other oracle_common.h users never reference (and so never link)
+// the shard library.
+// ---------------------------------------------------------------------------
+
+namespace shardtest {
+
+/// Submits through any QueryService and blocks for the result.  A
+/// synchronous rejection (full queue, tenant quota) comes back as the
+/// result's status instead of a Status return, so callers have one rail.
+inline QueryResult BlockingSubmit(QueryService* svc, uint32_t id,
+                                  const ServeQuery& q,
+                                  uint64_t deadline_micros = 0,
+                                  uint32_t tenant = 0) {
+  std::promise<QueryResult> done;
+  auto fut = done.get_future();
+  Status s = svc->Submit(
+      id, q, [&done](QueryResult r) { done.set_value(std::move(r)); },
+      deadline_micros, tenant);
+  if (!s.ok()) {
+    QueryResult r;
+    r.status = std::move(s);
+    return r;
+  }
+  return fut.get();
+}
+
+/// ShardRouter's canonical merge order, applied to the unsharded twin's
+/// answer so the two compare byte-for-byte.
+inline void Canonicalize(std::vector<Point>* pts) {
+  std::sort(pts->begin(), pts->end(), [](const Point& a, const Point& b) {
+    return std::tie(a.x, a.y, a.id) < std::tie(b.x, b.y, b.id);
+  });
+}
+inline void Canonicalize(std::vector<Interval>* ivs) {
+  std::sort(ivs->begin(), ivs->end(),
+            [](const Interval& a, const Interval& b) {
+              return std::tie(a.lo, a.hi, a.id) < std::tie(b.lo, b.hi, b.id);
+            });
+}
+
+/// A sharded store + router and its unsharded twin engine over the same
+/// records.  Add* registers on both sides (asserting the structure ids stay
+/// aligned); Check() queries both and demands identical answers.
+class ShardedTwin {
+ public:
+  explicit ShardedTwin(ShardedStoreOptions sopts = {},
+                       ShardRouterOptions ropts = {})
+      : store_(sopts),
+        router_(&store_, ropts),
+        twin_pool_(&twin_dev_, sopts.pool_pages_total),
+        twin_engine_(&twin_pool_, TwinOptions(sopts)) {}
+
+  Result<uint32_t> AddTwoSided(std::span<const Point> pts) {
+    PC_ASSIGN_OR_RETURN(uint32_t sid, store_.AddTwoSided(pts));
+    ExternalPst pst(&twin_pool_);
+    PC_RETURN_IF_ERROR(pst.Build({pts.begin(), pts.end()}));
+    return TwinRegister(sid, pst.Save());
+  }
+
+  Result<uint32_t> AddThreeSided(std::span<const Point> pts) {
+    PC_ASSIGN_OR_RETURN(uint32_t sid, store_.AddThreeSided(pts));
+    ThreeSidedPst pst(&twin_pool_);
+    PC_RETURN_IF_ERROR(pst.Build({pts.begin(), pts.end()}));
+    return TwinRegister(sid, pst.Save());
+  }
+
+  Result<uint32_t> AddStabbing(std::span<const Interval> ivs) {
+    PC_ASSIGN_OR_RETURN(uint32_t sid, store_.AddStabbing(ivs));
+    ExtSegmentTree st(&twin_pool_);
+    PC_RETURN_IF_ERROR(st.Build({ivs.begin(), ivs.end()}));
+    return TwinRegister(sid, st.Save());
+  }
+
+  Status Start() {
+    PC_RETURN_IF_ERROR(store_.Start());
+    return twin_engine_.Start();
+  }
+
+  void Stop() {
+    store_.Stop();
+    twin_engine_.Stop();
+  }
+
+  /// One differential probe: the routed answer must match the twin's
+  /// (canonicalized), and the merged I/O must equal the slice sum.
+  ::testing::AssertionResult Check(uint32_t id, const ServeQuery& q) {
+    QueryResult sharded = BlockingSubmit(&router_, id, q);
+    QueryResult flat = BlockingSubmit(&twin_engine_, id, q);
+    if (!sharded.status.ok()) {
+      return ::testing::AssertionFailure()
+             << "routed query failed: " << sharded.status.ToString();
+    }
+    if (!flat.status.ok()) {
+      return ::testing::AssertionFailure()
+             << "twin query failed: " << flat.status.ToString();
+    }
+    Canonicalize(&flat.points);
+    Canonicalize(&flat.intervals);
+    if (sharded.points != flat.points) {
+      return ::testing::AssertionFailure()
+             << "points diverge: sharded " << sharded.points.size()
+             << " vs twin " << flat.points.size();
+    }
+    if (sharded.intervals != flat.intervals) {
+      return ::testing::AssertionFailure()
+             << "intervals diverge: sharded " << sharded.intervals.size()
+             << " vs twin " << flat.intervals.size();
+    }
+    IoStats sum;
+    for (const ShardSlice& s : sharded.shards) {
+      sum.reads += s.io.reads;
+      sum.writes += s.io.writes;
+      sum.batch_reads += s.io.batch_reads;
+    }
+    if (sum.reads != sharded.io.reads || sum.writes != sharded.io.writes ||
+        sum.batch_reads != sharded.io.batch_reads) {
+      return ::testing::AssertionFailure()
+             << "merged IoStats do not equal the per-shard slice sum";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  ShardedStore* store() { return &store_; }
+  ShardRouter* router() { return &router_; }
+  QueryEngine* twin_engine() { return &twin_engine_; }
+
+ private:
+  static QueryEngineOptions TwinOptions(const ShardedStoreOptions& sopts) {
+    QueryEngineOptions eopts;
+    eopts.num_workers = sopts.engine_workers;
+    eopts.queue_capacity = sopts.queue_capacity;
+    eopts.batch_size = sopts.batch_size;
+    eopts.clock = sopts.clock;
+    return eopts;
+  }
+
+  Result<uint32_t> TwinRegister(uint32_t sid, Result<PageId> manifest) {
+    PC_RETURN_IF_ERROR(manifest.ToStatus());
+    PC_ASSIGN_OR_RETURN(uint32_t tid,
+                        twin_engine_.AddStructure(manifest.value()));
+    if (tid != sid) {
+      return Status::FailedPrecondition("twin structure ids diverged");
+    }
+    return sid;
+  }
+
+  ShardedStore store_;
+  ShardRouter router_;
+  MemPageDevice twin_dev_;
+  SharedBufferPool twin_pool_;
+  QueryEngine twin_engine_;
+};
+
+}  // namespace shardtest
 }  // namespace pathcache
 
 #endif  // PATHCACHE_TESTS_ORACLE_COMMON_H_

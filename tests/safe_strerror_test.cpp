@@ -1,0 +1,63 @@
+// SafeStrError must be thread-safe (unlike strerror) and always produce a
+// non-empty, meaningful message regardless of which strerror_r flavor the
+// libc provides.
+
+#include "util/safe_strerror.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pathcache {
+namespace {
+
+TEST(SafeStrErrorTest, KnownErrnosMatchStrerror) {
+  // Single-threaded here, so plain strerror is a safe reference.
+  for (int err : {EINTR, EAGAIN, ENOENT, ECONNABORTED, EMFILE, ENFILE}) {
+    EXPECT_EQ(SafeStrError(err), std::string(strerror(err))) << err;
+  }
+}
+
+TEST(SafeStrErrorTest, UnknownErrnoIsNonEmptyAndMentionsTheNumber) {
+  const std::string msg = SafeStrError(123456);
+  EXPECT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("123456"), std::string::npos) << msg;
+}
+
+TEST(SafeStrErrorTest, ZeroAndNegativeDoNotCrash) {
+  EXPECT_FALSE(SafeStrError(0).empty());
+  EXPECT_FALSE(SafeStrError(-1).empty());
+}
+
+TEST(SafeStrErrorTest, ConcurrentCallsStayCoherent) {
+  // strerror's shared static buffer is exactly what this helper exists to
+  // avoid; N threads hammering different errnos must each read back their
+  // own message intact.
+  const std::vector<int> errs = {EINTR, EAGAIN, ENOENT, ECONNABORTED, EMFILE};
+  std::vector<std::string> want;
+  for (int e : errs) want.push_back(SafeStrError(e));
+
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < errs.size(); ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (SafeStrError(errs[t]) != want[t]) {
+          ok = false;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace pathcache

@@ -25,13 +25,13 @@ namespace {
 constexpr MsgType kRequestTypes[] = {
     MsgType::kPing,        MsgType::kQueryTwoSided, MsgType::kQueryThreeSided,
     MsgType::kQueryStab,   MsgType::kQueryDiagonal, MsgType::kQueryRange,
-    MsgType::kUpdateGroup,
+    MsgType::kUpdateGroup, MsgType::kSetTenant,
 };
 
 constexpr MsgType kResponseTypes[] = {
     MsgType::kPong,   MsgType::kPoints,     MsgType::kIntervals,
     MsgType::kUpdateAck, MsgType::kError,   MsgType::kRetryAfter,
-    MsgType::kProtocolError,
+    MsgType::kProtocolError, MsgType::kTenantAck,
 };
 
 Request RandomRequest(MsgType t, Rng* rng) {
@@ -70,10 +70,13 @@ Request RandomRequest(MsgType t, Rng* rng) {
       }
       break;
     }
+    case MsgType::kSetTenant:
+      req.tenant = uint32_t(rng->Next());
+      break;
     default:
       break;  // kPing: structure_id/budget are ignored but harmless
   }
-  if (t == MsgType::kPing) {
+  if (t == MsgType::kPing || t == MsgType::kSetTenant) {
     req.structure_id = 0;
     req.budget_micros = 0;
   }
@@ -111,6 +114,9 @@ Response RandomResponse(MsgType t, Rng* rng) {
       break;
     case MsgType::kRetryAfter:
       resp.retry_after_micros = rng->Next();
+      break;
+    case MsgType::kTenantAck:
+      resp.tenant = uint32_t(rng->Next());
       break;
     default:
       break;
@@ -346,6 +352,14 @@ TEST(WireCodec, PayloadMalformationsAreConnectionSurvivable) {
     ExpectPayloadError(MsgType::kUpdateGroup, p);
   }
 
+  // SetTenant: wrong size and reserved word set.
+  ExpectPayloadError(MsgType::kSetTenant, std::vector<uint8_t>(7));
+  {
+    std::vector<uint8_t> p(8, 0);
+    p[4] = 1;  // reserved word nonzero
+    ExpectPayloadError(MsgType::kSetTenant, p);
+  }
+
   // Unknown / non-request types in the type byte.
   ExpectPayloadError(MsgType{0x20}, {});
   ExpectPayloadError(MsgType::kPong, {});
@@ -391,6 +405,12 @@ TEST(WireCodec, ResponsePayloadMalformationsRejected) {
     expect_bad(MsgType::kProtocolError, p);
   }
   expect_bad(MsgType::kRetryAfter, std::vector<uint8_t>(7));
+  expect_bad(MsgType::kTenantAck, std::vector<uint8_t>(7));
+  {
+    std::vector<uint8_t> p(8, 0);
+    p[4] = 1;  // reserved word nonzero
+    expect_bad(MsgType::kTenantAck, p);
+  }
   expect_bad(MsgType::kPing, {});  // request type through the response parser
 }
 
